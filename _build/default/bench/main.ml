@@ -1,0 +1,196 @@
+(* Benchmark and experiment harness.
+
+   Usage:
+     main.exe              run every experiment (full size) and print tables
+     main.exe e1 .. e9     run a single experiment
+     main.exe micro        run the Bechamel microbenchmarks
+     main.exe all          experiments + microbenchmarks
+   Add "quick" anywhere to use the reduced parameter sets. *)
+
+open Staleroute_experiments
+module Table = Staleroute_util.Table
+
+(* When [csv_dir] is set ("csv=DIR" argument), every printed table is
+   also written to DIR/<slug>.csv. *)
+let csv_dir = ref None
+
+let slug_of_title title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+      | _ -> '-')
+    title
+  |> fun s ->
+  (* Collapse runs of dashes and trim. *)
+  let buf = Buffer.create (String.length s) in
+  let last_dash = ref true in
+  String.iter
+    (fun c ->
+      if c = '-' then begin
+        if not !last_dash then Buffer.add_char buf '-';
+        last_dash := true
+      end
+      else begin
+        Buffer.add_char buf c;
+        last_dash := false
+      end)
+    s;
+  let s = Buffer.contents buf in
+  if String.length s > 60 then String.sub s 0 60 else s
+
+let print_tables tables =
+  List.iter
+    (fun table ->
+      Table.print table;
+      match !csv_dir with
+      | None -> ()
+      | Some dir ->
+          let path =
+            Filename.concat dir (slug_of_title (Table.title table) ^ ".csv")
+          in
+          let oc = open_out path in
+          output_string oc (Table.to_csv table);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "(csv written to %s)\n%!" path)
+    tables
+
+let print_figures figures = List.iter print_endline figures
+
+let experiments =
+  [
+    ( "e1",
+      fun ~quick ->
+        print_tables (E1_oscillation.tables ~quick ());
+        print_figures (E1_oscillation.figures ~quick ()) );
+    ("e2", fun ~quick -> print_tables (E2_fresh_convergence.tables ~quick ()));
+    ("e3", fun ~quick -> print_tables (E3_stale_convergence.tables ~quick ()));
+    ( "e4",
+      fun ~quick -> print_tables (E4_potential_inequality.tables ~quick ()) );
+    ("e5", fun ~quick -> print_tables (E5_uniform_scaling.tables ~quick ()));
+    ( "e6",
+      fun ~quick -> print_tables (E6_proportional_scaling.tables ~quick ()) );
+    ("e7", fun ~quick -> print_tables (E7_delta_eps_scaling.tables ~quick ()));
+    ("e8", fun ~quick -> print_tables (E8_finite_population.tables ~quick ()));
+    ("e9", fun ~quick -> print_tables (E9_ablation.tables ~quick ()));
+    ("e10", fun ~quick -> print_tables (E10_elastic_policy.tables ~quick ()));
+    ("e11", fun ~quick -> print_tables (E11_stale_vs_random.tables ~quick ()));
+    ("e12", fun ~quick -> print_tables (E12_multicommodity.tables ~quick ()));
+    ( "e13",
+      fun ~quick -> print_tables (E13_convergence_rate.tables ~quick ()) );
+    ( "e14",
+      fun ~quick -> print_tables (E14_synchronous_rounds.tables ~quick ()) );
+    ( "e15",
+      fun ~quick -> print_tables (E15_polled_information.tables ~quick ()) );
+    ( "e16",
+      fun ~quick ->
+        print_tables (E16_phase_diagram.tables ~quick ());
+        print_figures (E16_phase_diagram.figures ~quick ()) );
+  ]
+
+(* --- Bechamel microbenchmarks of the hot paths --- *)
+
+let micro () =
+  let open Bechamel in
+  let open Staleroute_wardrop in
+  let open Staleroute_dynamics in
+  let inst = Common.parallel 16 in
+  let braess = Common.braess () in
+  let flow = Flow.uniform inst in
+  let board = Bulletin_board.post inst ~time:0. flow in
+  let policy = Policy.replicator inst in
+  let grid = Staleroute_graph.Gen.grid ~width:6 ~height:6 in
+  let weights =
+    Array.init
+      (Staleroute_graph.Digraph.edge_count grid.Staleroute_graph.Gen.graph)
+      (fun e -> 1. +. float_of_int (e mod 7))
+  in
+  let tests =
+    [
+      Test.make ~name:"flow-derivative (16 paths)"
+        (Staged.stage (fun () ->
+             ignore (Rates.flow_derivative inst policy ~board flow)));
+      Test.make ~name:"potential (16 paths)"
+        (Staged.stage (fun () -> ignore (Potential.phi inst flow)));
+      Test.make ~name:"rk4 phase step (16 paths)"
+        (Staged.stage (fun () ->
+             let deriv g = Rates.flow_derivative inst policy ~board g in
+             ignore
+               (Integrator.integrate_phase Integrator.Rk4 inst ~deriv
+                  ~f0:flow ~tau:0.1 ~steps:1)));
+      Test.make ~name:"dijkstra (6x6 grid)"
+        (Staged.stage (fun () ->
+             ignore
+               (Staleroute_graph.Dijkstra.run grid.Staleroute_graph.Gen.graph
+                  ~weights ~src:0)));
+      Test.make ~name:"path enumeration (braess)"
+        (Staged.stage (fun () ->
+             ignore
+               (Staleroute_graph.Path_enum.all_simple_paths
+                  (Instance.graph braess) ~src:0 ~dst:3)));
+      Test.make ~name:"frank-wolfe iteration (braess)"
+        (Staged.stage (fun () ->
+             ignore (Frank_wolfe.equilibrium ~max_iter:1 braess)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let raw =
+    Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"staleroute" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Table.create ~title:"Microbenchmarks (monotonic clock)"
+      ~columns:[ "benchmark"; "ns/run" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.1f" x
+        | _ -> "n/a"
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Table.add_row table [ name; ns ])
+    (List.sort compare !rows);
+  Table.print table
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let args = List.filter (fun a -> a <> "quick") args in
+  let args =
+    List.filter
+      (fun a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = "csv" ->
+            let dir = String.sub a (i + 1) (String.length a - i - 1) in
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            csv_dir := Some dir;
+            false
+        | _ -> true)
+      args
+  in
+  let run_experiment name =
+    match List.assoc_opt name experiments with
+    | Some f ->
+        Printf.printf "\n### Experiment %s ###\n%!" (String.uppercase_ascii name);
+        f ~quick
+    | None ->
+        Printf.eprintf "unknown experiment %S\n" name;
+        exit 2
+  in
+  match args with
+  | [] -> List.iter (fun (name, _) -> run_experiment name) experiments
+  | [ "micro" ] -> micro ()
+  | [ "all" ] ->
+      List.iter (fun (name, _) -> run_experiment name) experiments;
+      micro ()
+  | names -> List.iter run_experiment names

@@ -1,0 +1,1 @@
+bin/instance_tool.mli:

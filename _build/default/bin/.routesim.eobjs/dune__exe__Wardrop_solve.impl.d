@@ -1,0 +1,1 @@
+bin/wardrop_solve.ml: Arg Array Cmd Cmdliner Equilibrium Flow Format Frank_wolfe Instance Printf Social Staleroute_graph Staleroute_util Staleroute_wardrop Term Topologies

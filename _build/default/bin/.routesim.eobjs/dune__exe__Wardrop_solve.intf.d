@@ -1,0 +1,1 @@
+bin/wardrop_solve.mli:

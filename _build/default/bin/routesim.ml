@@ -1,0 +1,216 @@
+(* routesim: run a rerouting policy on a built-in topology in the
+   bulletin-board model and report convergence measurements. *)
+
+open Cmdliner
+open Staleroute_wardrop
+open Staleroute_dynamics
+open Staleroute_experiments
+module Table = Staleroute_util.Table
+
+type policy_spec =
+  | Smooth of (Instance.t -> Policy.t)
+  | Best_response_exact
+
+let parse_policy spec =
+  match Topologies.split_spec (String.lowercase_ascii spec) with
+  | "uniform-linear", None -> Ok (Smooth Policy.uniform_linear)
+  | "replicator", None -> Ok (Smooth Policy.replicator)
+  | "logit", arg -> (
+      match Option.bind arg float_of_string_opt with
+      | Some c when c > 0. ->
+          Ok (Smooth (fun inst -> Policy.best_response_approx inst ~c))
+      | _ -> Error "logit requires a positive parameter, e.g. logit:5")
+  | "better-response", None ->
+      Ok (Smooth (fun _ -> Policy.better_response ~sampling:Sampling.Uniform))
+  | "frv", None -> Ok (Smooth (fun _ -> Policy.frv ()))
+  | "best-response", None -> Ok Best_response_exact
+  | name, _ -> Error (Printf.sprintf "unknown policy %S" name)
+
+let policy_doc =
+  "Policy: uniform-linear, replicator, logit:C, better-response, frv, \
+   best-response."
+
+let parse_init inst = function
+  | "uniform" -> Ok (Flow.uniform inst)
+  | "worst" -> Ok (Common.worst_start inst)
+  | "biased" -> Ok (Common.biased_start inst)
+  | s -> Error (Printf.sprintf "unknown initial flow %S" s)
+
+let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~trace =
+  let policy = policy_of inst in
+  let staleness, t_label =
+    match period with
+    | `Fresh -> (Driver.Fresh, "fresh")
+    | `Auto -> (
+        match Policy.safe_update_period inst policy with
+        | Some t_star ->
+            let t = Float.min t_star 1. in
+            (Driver.Stale t, Printf.sprintf "%.6g (auto = min(T*,1))" t)
+        | None ->
+            (* Not alpha-smooth (e.g. frv): fall back to the
+               elasticity-based period. *)
+            let t = Float.min (Policy.elastic_update_period inst) 1. in
+            (Driver.Stale t, Printf.sprintf "%.6g (auto = min(T_e,1))" t))
+    | `Fixed t -> (Driver.Stale t, Printf.sprintf "%.6g" t)
+  in
+  let result =
+    Common.run inst policy staleness ~phases ~steps_per_phase:steps ~init ()
+  in
+  let snapshots = Common.phase_start_flows result in
+  let eq = Frank_wolfe.equilibrium inst in
+  Printf.printf "policy           : %s\n" (Policy.name policy);
+  Printf.printf "update period    : %s\n" t_label;
+  (match Policy.safe_update_period inst policy with
+  | Some t_star -> Printf.printf "safe period T*   : %.6g\n" t_star
+  | None -> Printf.printf "safe period T*   : none (policy not smooth)\n");
+  Printf.printf "phases           : %d\n" phases;
+  Printf.printf "potential  start : %.6g\n"
+    result.Driver.records.(0).Driver.start_potential;
+  Printf.printf "potential  final : %.6g\n" result.Driver.final_potential;
+  Printf.printf "potential  PHI*  : %.6g\n" eq.Frank_wolfe.objective;
+  Printf.printf "wardrop gap      : %.6g\n"
+    (Equilibrium.wardrop_gap inst result.Driver.final_flow);
+  Printf.printf "bad rounds       : %d (delta=%g, eps=%g)\n"
+    (Convergence.bad_rounds inst Convergence.Strict ~delta ~eps snapshots)
+    delta eps;
+  Printf.printf "oscillating      : %b\n"
+    (Convergence.is_oscillating snapshots);
+  if trace then begin
+    print_endline "phase,time,potential,virtual_gain,delta_phi";
+    Array.iter
+      (fun r ->
+        Printf.printf "%d,%.6g,%.8g,%.8g,%.8g\n" r.Driver.index
+          r.Driver.start_time r.Driver.start_potential r.Driver.virtual_gain
+          r.Driver.delta_phi)
+      result.Driver.records
+  end
+
+let run_best_response inst ~period ~phases ~delta ~eps ~trace =
+  let t =
+    match period with
+    | `Fixed t -> t
+    | `Auto -> 1.
+    | `Fresh ->
+        prerr_endline "best-response requires a positive update period";
+        exit 2
+  in
+  let init = Common.biased_start inst in
+  let run = Best_response.run inst ~update_period:t ~phases ~init in
+  let last = run.Best_response.phase_starts.(phases) in
+  Printf.printf "policy           : best-response (exact per-phase orbit)\n";
+  Printf.printf "update period    : %.6g\n" t;
+  Printf.printf "phases           : %d\n" phases;
+  Printf.printf "potential  start : %.6g\n" run.Best_response.potentials.(0);
+  Printf.printf "potential  final : %.6g\n"
+    run.Best_response.potentials.(phases);
+  Printf.printf "wardrop gap      : %.6g\n" (Equilibrium.wardrop_gap inst last);
+  Printf.printf "bad rounds       : %d (delta=%g, eps=%g)\n"
+    (Convergence.bad_rounds inst Convergence.Strict ~delta ~eps
+       run.Best_response.phase_starts)
+    delta eps;
+  Printf.printf "oscillating      : %b\n"
+    (Convergence.is_oscillating run.Best_response.phase_starts);
+  if trace then begin
+    print_endline "phase,time,potential";
+    Array.iteri
+      (fun k phi -> Printf.printf "%d,%.6g,%.8g\n" k (float_of_int k *. t) phi)
+      run.Best_response.potentials
+  end
+
+let main topology policy period phases steps init delta eps trace =
+  match Topologies.parse topology with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok inst -> (
+      Format.printf "instance         : %a@." Instance.pp inst;
+      match parse_policy policy with
+      | Error e ->
+          prerr_endline e;
+          exit 2
+      | Ok (Smooth policy_of) -> (
+          match parse_init inst init with
+          | Error e ->
+              prerr_endline e;
+              exit 2
+          | Ok init ->
+              run_smooth inst policy_of ~period ~phases ~steps ~init ~delta
+                ~eps ~trace)
+      | Ok Best_response_exact ->
+          run_best_response inst ~period ~phases ~delta ~eps ~trace)
+
+let period_conv =
+  let parse = function
+    | "auto" -> Ok `Auto
+    | "fresh" -> Ok `Fresh
+    | s -> (
+        match float_of_string_opt s with
+        | Some t when t > 0. -> Ok (`Fixed t)
+        | _ -> Error (`Msg (Printf.sprintf "bad period %S" s)))
+  in
+  let print ppf = function
+    | `Auto -> Format.fprintf ppf "auto"
+    | `Fresh -> Format.fprintf ppf "fresh"
+    | `Fixed t -> Format.fprintf ppf "%g" t
+  in
+  Arg.conv (parse, print)
+
+let cmd =
+  let topology =
+    Arg.(
+      value
+      & opt string "braess"
+      & info [ "t"; "topology" ] ~docv:"SPEC" ~doc:Topologies.doc)
+  in
+  let policy =
+    Arg.(
+      value
+      & opt string "replicator"
+      & info [ "p"; "policy" ] ~docv:"POLICY" ~doc:policy_doc)
+  in
+  let period =
+    Arg.(
+      value
+      & opt period_conv `Auto
+      & info [ "T"; "period" ] ~docv:"T"
+          ~doc:
+            "Bulletin-board update period: a float, 'auto' (= min(T*, 1)) \
+             or 'fresh' (always current information).")
+  in
+  let phases =
+    Arg.(value & opt int 200 & info [ "n"; "phases" ] ~docv:"N"
+         ~doc:"Number of update periods to simulate.")
+  in
+  let steps =
+    Arg.(value & opt int 20 & info [ "steps" ] ~docv:"K"
+         ~doc:"Integrator steps per phase.")
+  in
+  let init =
+    Arg.(value & opt string "biased" & info [ "init" ] ~docv:"INIT"
+         ~doc:"Initial flow: uniform, worst or biased.")
+  in
+  let delta =
+    Arg.(value & opt float 0.1 & info [ "delta" ] ~docv:"D"
+         ~doc:"Latency slack of the approximate equilibrium report.")
+  in
+  let eps =
+    Arg.(value & opt float 0.1 & info [ "eps" ] ~docv:"E"
+         ~doc:"Volume slack of the approximate equilibrium report.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+         ~doc:"Print a per-phase CSV trace after the summary.")
+  in
+  let term =
+    Term.(
+      const main $ topology $ policy $ period $ phases $ steps $ init $ delta
+      $ eps $ trace)
+  in
+  Cmd.v
+    (Cmd.info "routesim" ~version:"1.0.0"
+       ~doc:
+         "Simulate adaptive rerouting with stale information in the Wardrop \
+          model (Fischer & Vocking, PODC 2005)")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,104 @@
+(* Shared topology parsing for the CLI tools.
+
+   Accepted specs:
+     two-link[:BETA]   the paper's 3.2 instance (default beta 4)
+     braess            classic Braess network
+     parallel:M        M parallel links, affine latencies
+     needle:M          1 good link among M-1 bad ones
+     grid:WxH          directed grid
+     ladder:K          chain of K diamonds
+     layered:SEED      random layered DAG *)
+
+open Staleroute_experiments
+open Staleroute_wardrop
+module Gen = Staleroute_graph.Gen
+module Latency = Staleroute_latency.Latency
+
+let split_spec s =
+  match String.index_opt s ':' with
+  | None -> (s, None)
+  | Some i ->
+      ( String.sub s 0 i,
+        Some (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let ladder_instance k =
+  let st = Gen.ladder k in
+  let m = Staleroute_graph.Digraph.edge_count st.Gen.graph in
+  let latencies =
+    Array.init m (fun e ->
+        Latency.affine
+          ~slope:(0.5 +. (0.5 *. float_of_int (e mod 3)))
+          ~intercept:(0.05 *. float_of_int (e mod 2)))
+  in
+  Instance.create ~graph:st.Gen.graph ~latencies
+    ~commodities:[ Commodity.single ~src:st.Gen.src ~dst:st.Gen.dst ]
+    ()
+
+let parse spec =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let int_arg name default = function
+    | None -> (
+        match default with
+        | Some d -> Ok d
+        | None -> fail "%s requires an argument, e.g. %s:8" name name)
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some v when v > 0 -> Ok v
+        | _ -> fail "%s: bad argument %S" name s)
+  in
+  (* Lowercase only the keyword: arguments (file paths) keep their
+     case. *)
+  let name, arg = split_spec spec in
+  match (String.lowercase_ascii name, arg) with
+  | "two-link", arg ->
+      let beta =
+        match arg with None -> Some 4. | Some s -> float_of_string_opt s
+      in
+      (match beta with
+      | Some beta when beta > 0. -> Ok (Common.two_link ~beta)
+      | _ -> fail "two-link: bad beta %S" (Option.value arg ~default:""))
+  | "braess", None -> Ok (Common.braess ())
+  | "parallel", arg ->
+      Result.map Common.parallel (int_arg "parallel" None arg)
+  | "needle", arg -> Result.map Common.needle (int_arg "needle" None arg)
+  | "grid", Some dims -> (
+      match String.split_on_char 'x' dims with
+      | [ w; h ] -> (
+          match (int_of_string_opt w, int_of_string_opt h) with
+          | Some w, Some h when w >= 1 && h >= 1 && w * h >= 2 ->
+              let st = Gen.grid ~width:w ~height:h in
+              let m = Staleroute_graph.Digraph.edge_count st.Gen.graph in
+              let latencies =
+                Array.init m (fun e ->
+                    Latency.affine
+                      ~slope:(0.5 +. (0.25 *. float_of_int (e mod 4)))
+                      ~intercept:(0.1 *. float_of_int (e mod 3)))
+              in
+              Ok
+                (Instance.create ~graph:st.Gen.graph ~latencies
+                   ~commodities:
+                     [ Commodity.single ~src:st.Gen.src ~dst:st.Gen.dst ]
+                   ())
+          | _ -> fail "grid: bad dimensions %S" dims)
+      | _ -> fail "grid: expected grid:WxH")
+  | "ladder", arg -> Result.map ladder_instance (int_arg "ladder" None arg)
+  | "layered", arg ->
+      Result.map
+        (fun seed -> Common.layered_random ~seed)
+        (int_arg "layered" (Some 42) arg)
+  | "poly", Some spec -> (
+      match String.split_on_char ':' spec with
+      | [ m; d ] -> (
+          match (int_of_string_opt m, int_of_string_opt d) with
+          | Some m, Some d when m >= 2 && d >= 1 ->
+              Ok (Common.poly_parallel ~m ~degree:d)
+          | _ -> fail "poly: bad arguments %S" spec)
+      | _ -> fail "poly: expected poly:M:D")
+  | "two-commodity", None -> Ok (Common.two_commodity ())
+  | "file", Some path -> Instance_format.of_file path
+  | name, _ -> fail "unknown topology %S" name
+
+let doc =
+  "Topology spec: two-link[:BETA], braess, parallel:M, needle:M, grid:WxH, \
+   ladder:K, layered[:SEED], poly:M:D, two-commodity, or file:PATH (an \
+   instance file; see Instance_format)."

@@ -1,0 +1,1 @@
+examples/braess_traffic.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Commodity Driver Equilibrium Flow Format Frank_wolfe Gen Instance Integrator Option Policy Staleroute_dynamics Staleroute_graph Staleroute_latency Staleroute_wardrop

@@ -1,0 +1,1 @@
+examples/replicator_vs_uniform.mli:

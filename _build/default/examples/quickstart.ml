@@ -1,0 +1,75 @@
+(* Quickstart: build a routing game from scratch, run an adaptive policy
+   under stale information, and watch it converge.
+
+     dune exec examples/quickstart.exe
+
+   The network is a two-node, three-link load balancer: a fast link that
+   congests quickly, a medium link, and a slow constant link. *)
+
+open Staleroute_graph
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Latency = Staleroute_latency.Latency
+
+let () =
+  (* 1. Build the network: two nodes, three parallel edges. *)
+  let net = Gen.parallel_links 3 in
+  let latencies =
+    [|
+      Latency.affine ~slope:2. ~intercept:0.1; (* fast but congestible *)
+      Latency.affine ~slope:1. ~intercept:0.4; (* balanced *)
+      Latency.const 0.9;                       (* slow, load-independent *)
+    |]
+  in
+  let inst =
+    Instance.create ~graph:net.Gen.graph ~latencies
+      ~commodities:[ Commodity.single ~src:net.Gen.src ~dst:net.Gen.dst ]
+      ()
+  in
+  Format.printf "instance: %a@." Instance.pp inst;
+
+  (* 2. Ground truth: the Wardrop equilibrium via Frank-Wolfe. *)
+  let eq = Frank_wolfe.equilibrium inst in
+  Format.printf "equilibrium potential PHI* = %.6f@." eq.Frank_wolfe.objective;
+
+  (* 3. Pick the replicator policy and the paper's safe update period
+        T* = 1/(4 D alpha beta). *)
+  let policy = Policy.replicator inst in
+  let t_star = Option.get (Policy.safe_update_period inst policy) in
+  Format.printf "policy %s, safe update period T* = %.4f@."
+    (Policy.name policy) t_star;
+
+  (* 4. Simulate 150 bulletin-board phases from a bad start: almost all
+        traffic on the slow link. *)
+  let init =
+    let f = Flow.uniform inst in
+    let skew = [| 0.05; 0.05; 0.9 |] in
+    Array.iteri (fun p _ -> f.(p) <- skew.(p)) f;
+    f
+  in
+  let config =
+    {
+      Driver.policy;
+      staleness = Driver.Stale t_star;
+      phases = 150;
+      steps_per_phase = 20;
+      scheme = Integrator.Rk4;
+    }
+  in
+  let result = Driver.run inst config ~init in
+
+  (* 5. Report. *)
+  Format.printf "@.%-8s %-12s %-12s@." "phase" "potential" "wardrop gap";
+  Array.iter
+    (fun r ->
+      if r.Driver.index mod 25 = 0 then
+        Format.printf "%-8d %-12.6f %-12.6f@." r.Driver.index
+          r.Driver.start_potential
+          (Equilibrium.wardrop_gap inst r.Driver.start_flow))
+    result.Driver.records;
+  Format.printf "%-8s %-12.6f %-12.6f@." "final" result.Driver.final_potential
+    (Equilibrium.wardrop_gap inst result.Driver.final_flow);
+  Format.printf "@.final flow:@.%a@." (Flow.pp inst) result.Driver.final_flow;
+  Format.printf
+    "The potential decreases every phase (Lemma 4) and the flow approaches \
+     the Wardrop equilibrium despite decisions being up to T* stale.@."

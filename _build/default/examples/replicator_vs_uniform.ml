@@ -1,0 +1,76 @@
+(* Theorems 6 vs 7 in one picture: finding a needle in a haystack.
+
+   One fast route hides among m-1 slow identical routes.  Uniform
+   sampling must stumble on the needle (probability 1/m per wake-up), so
+   its convergence time grows with m; proportional sampling (the
+   replicator) amplifies the needle's population share exponentially,
+   and its convergence time barely moves.
+
+     dune exec examples/replicator_vs_uniform.exe *)
+
+open Staleroute_graph
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Latency = Staleroute_latency.Latency
+module Table = Staleroute_util.Table
+
+let needle m =
+  let net = Gen.parallel_links m in
+  let latencies =
+    Array.init m (fun j ->
+        if j = 0 then Latency.linear 1. else Latency.const 2.)
+  in
+  Instance.create ~graph:net.Gen.graph ~latencies
+    ~commodities:[ Commodity.single ~src:net.Gen.src ~dst:net.Gen.dst ]
+    ()
+
+let rounds_to_settle inst policy =
+  let t = Option.get (Policy.safe_update_period inst policy) in
+  let t = Float.min t 1. in
+  let config =
+    {
+      Driver.policy;
+      staleness = Driver.Stale t;
+      phases = 3000;
+      steps_per_phase = 10;
+      scheme = Integrator.Rk4;
+    }
+  in
+  let result = Driver.run inst config ~init:(Flow.uniform inst) in
+  let snapshots =
+    Array.append
+      (Array.map (fun r -> r.Driver.start_flow) result.Driver.records)
+      [| result.Driver.final_flow |]
+  in
+  match
+    Convergence.all_good_after inst Convergence.Weak ~delta:0.3 ~eps:0.1
+      snapshots
+  with
+  | Some k -> string_of_int k
+  | None -> ">3000"
+
+let () =
+  Format.printf
+    "Rounds until the population stays within a weak (0.3, 0.1)-equilibrium \
+     (needle workload, start = uniform over all m routes):@.@.";
+  let table =
+    Table.create ~title:"Needle in a haystack: sampling rule matters"
+      ~columns:
+        [ "m routes"; "uniform sampling (Thm 6)"; "replicator (Thm 7)" ]
+  in
+  List.iter
+    (fun m ->
+      let inst = needle m in
+      Table.add_row table
+        [
+          Table.cell_int m;
+          rounds_to_settle inst (Policy.uniform_linear inst);
+          rounds_to_settle inst (Policy.replicator inst);
+        ])
+    [ 2; 4; 8; 16; 32 ];
+  Table.print table;
+  Format.printf
+    "@.Uniform sampling scales like the number of routes (the |P| factor \
+     in Theorem 6); the replicator's time is nearly flat, paying only a \
+     log m warm-up to grow the needle's share from 1/m (Theorem 7 has no \
+     |P| factor).@."

@@ -1,0 +1,1 @@
+lib/dynamics/best_response.ml: Array Bulletin_board Flow Instance Potential Staleroute_util Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/dynamics/best_response.mli: Bulletin_board Flow Instance Staleroute_wardrop

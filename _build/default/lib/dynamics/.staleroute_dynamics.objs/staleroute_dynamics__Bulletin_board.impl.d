@@ -1,0 +1,1 @@
+lib/dynamics/bulletin_board.ml: Array Flow Instance Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/dynamics/bulletin_board.mli: Flow Instance Staleroute_wardrop

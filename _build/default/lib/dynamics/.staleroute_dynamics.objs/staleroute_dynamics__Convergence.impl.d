@@ -1,0 +1,1 @@
+lib/dynamics/convergence.ml: Array Equilibrium Float Staleroute_util Staleroute_wardrop

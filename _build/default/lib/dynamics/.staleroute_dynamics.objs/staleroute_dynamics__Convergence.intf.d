@@ -1,0 +1,1 @@
+lib/dynamics/convergence.mli: Flow Instance Staleroute_wardrop

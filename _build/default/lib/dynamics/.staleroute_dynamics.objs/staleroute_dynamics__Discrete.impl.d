@@ -1,0 +1,1 @@
+lib/dynamics/discrete.ml: Array Bulletin_board Flow List Policy Potential Rates Staleroute_util Staleroute_wardrop

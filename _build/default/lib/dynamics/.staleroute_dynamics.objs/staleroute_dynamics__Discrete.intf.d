@@ -1,0 +1,1 @@
+lib/dynamics/discrete.mli: Bulletin_board Flow Instance Policy Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/dynamics/driver.ml: Array Bulletin_board Flow Integrator List Policy Potential Rates Staleroute_util Staleroute_wardrop Virtual_gain

@@ -1,0 +1,1 @@
+lib/dynamics/driver.mli: Flow Instance Integrator Policy Staleroute_wardrop

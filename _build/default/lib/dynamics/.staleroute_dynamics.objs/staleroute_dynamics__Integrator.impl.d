@@ -1,0 +1,1 @@
+lib/dynamics/integrator.ml: Flow Staleroute_util Staleroute_wardrop

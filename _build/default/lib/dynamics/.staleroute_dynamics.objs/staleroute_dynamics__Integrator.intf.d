@@ -1,0 +1,1 @@
+lib/dynamics/integrator.mli: Flow Instance Staleroute_util Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/dynamics/migration.ml: Array Format Printf Staleroute_util

@@ -1,0 +1,1 @@
+lib/dynamics/migration.mli: Format

@@ -1,0 +1,1 @@
+lib/dynamics/policy.ml: Float Format Instance Migration Printf Sampling Staleroute_graph Staleroute_latency Staleroute_wardrop

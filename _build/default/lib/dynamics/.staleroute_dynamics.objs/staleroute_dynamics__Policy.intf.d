@@ -1,0 +1,1 @@
+lib/dynamics/policy.mli: Format Instance Migration Sampling Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/dynamics/rates.ml: Array Bulletin_board Instance Migration Policy Sampling Staleroute_wardrop

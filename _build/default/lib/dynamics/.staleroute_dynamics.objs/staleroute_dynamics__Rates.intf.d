@@ -1,0 +1,1 @@
+lib/dynamics/rates.mli: Bulletin_board Flow Instance Policy Staleroute_util Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/dynamics/sampling.ml: Array Float Flow Format Instance Printf Staleroute_util Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/dynamics/sampling.mli: Flow Format Instance Staleroute_wardrop

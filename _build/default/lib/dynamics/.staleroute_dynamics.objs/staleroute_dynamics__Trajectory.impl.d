@@ -1,0 +1,1 @@
+lib/dynamics/trajectory.ml: Array Bulletin_board Driver Flow Frank_wolfe Integrator List Potential Rates Staleroute_util Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/dynamics/trajectory.mli: Driver Flow Instance Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/dynamics/virtual_gain.ml: Array Flow Instance Potential Staleroute_latency Staleroute_wardrop

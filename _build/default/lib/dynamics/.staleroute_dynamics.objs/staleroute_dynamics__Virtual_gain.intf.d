@@ -1,0 +1,1 @@
+lib/dynamics/virtual_gain.mli: Flow Instance Staleroute_wardrop

@@ -1,0 +1,40 @@
+open Staleroute_wardrop
+module Vec = Staleroute_util.Vec
+
+let best_reply inst ~board =
+  let lat = board.Bulletin_board.path_latencies in
+  let d = Array.make (Instance.path_count inst) 0. in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let ps = Instance.paths_of_commodity inst ci in
+    let best = ref ps.(0) in
+    Array.iter (fun p -> if lat.(p) < lat.(!best) then best := p) ps;
+    d.(!best) <- Instance.demand inst ci
+  done;
+  d
+
+let step_phase inst ~board ~f0 ~tau =
+  if tau < 0. then invalid_arg "Best_response.step_phase: negative tau";
+  let d = best_reply inst ~board in
+  let decay = exp (-.tau) in
+  (* f(τ) = d + (f0 - d)·e^{-τ}, the exact solution of ḟ = d - f. *)
+  Array.init (Array.length f0) (fun p ->
+      d.(p) +. ((f0.(p) -. d.(p)) *. decay))
+
+type run = { phase_starts : Flow.t array; potentials : float array }
+
+let run inst ~update_period ~phases ~init =
+  if update_period <= 0. then
+    invalid_arg "Best_response.run: update_period must be positive";
+  if phases < 0 then invalid_arg "Best_response.run: negative phase count";
+  let phase_starts = Array.make (phases + 1) init in
+  let f = ref (Vec.copy init) in
+  for k = 0 to phases - 1 do
+    phase_starts.(k) <- Vec.copy !f;
+    let board =
+      Bulletin_board.post inst ~time:(float_of_int k *. update_period) !f
+    in
+    f := step_phase inst ~board ~f0:!f ~tau:update_period
+  done;
+  phase_starts.(phases) <- Vec.copy !f;
+  let potentials = Array.map (fun f -> Potential.phi inst f) phase_starts in
+  { phase_starts; potentials }

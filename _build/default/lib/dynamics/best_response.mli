@@ -1,0 +1,30 @@
+(** The best response dynamics under stale information (Eq. 4),
+    integrated {e exactly}.
+
+    Within a phase the best-reply flow [d ∈ β(f(t̂))] is constant, so
+    [ḟ = d - f] solves to [f(t̂ + τ) = d + (f(t̂) - d) e^{-τ}] in closed
+    form — the §3.2 oscillation example is reproduced without any
+    integration error.  Ties among shortest paths are broken towards the
+    lowest path index (a measurable selection of the differential
+    inclusion). *)
+
+open Staleroute_wardrop
+
+val best_reply : Instance.t -> board:Bulletin_board.t -> Flow.t
+(** The all-or-nothing flow routing each commodity's demand on its
+    minimum-posted-latency path. *)
+
+val step_phase :
+  Instance.t -> board:Bulletin_board.t -> f0:Flow.t -> tau:float -> Flow.t
+(** Exact phase evolution from [f0] for duration [tau >= 0]. *)
+
+type run = {
+  phase_starts : Flow.t array;  (** [f(kT)] for [k = 0 .. phases] *)
+  potentials : float array;     (** [Φ(f(kT))] aligned with the above *)
+}
+
+val run :
+  Instance.t -> update_period:float -> phases:int -> init:Flow.t -> run
+(** Iterate [phases] bulletin-board periods of length [update_period];
+    index [k] of the result is the state at the start of phase [k], and
+    the last entry is the final state. *)

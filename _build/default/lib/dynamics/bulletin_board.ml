@@ -1,0 +1,18 @@
+open Staleroute_wardrop
+
+type t = {
+  posted_at : float;
+  flow : Flow.t;
+  path_latencies : float array;
+  edge_latencies : float array;
+}
+
+let post inst ~time flow =
+  let edge_latencies = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
+  let path_latencies =
+    Array.init (Instance.path_count inst) (fun p ->
+        Flow.path_latency inst ~edge_latencies p)
+  in
+  { posted_at = time; flow = Array.copy flow; path_latencies; edge_latencies }
+
+let fresh inst flow = post inst ~time:0. flow

@@ -1,0 +1,22 @@
+(** Mitzenmacher's bulletin board: the model of stale information.
+
+    At the beginning of every phase of length [T] the current flow and
+    the latencies it induces are posted; all agent decisions during the
+    phase read the posted values.  A board is an immutable snapshot. *)
+
+open Staleroute_wardrop
+
+type t = private {
+  posted_at : float;          (** time [t̂] of the snapshot *)
+  flow : Flow.t;              (** [f(t̂)] *)
+  path_latencies : float array;  (** [ℓ_P(f(t̂))] by global path index *)
+  edge_latencies : float array;  (** [ℓ_e(f(t̂))] by edge id *)
+}
+
+val post : Instance.t -> time:float -> Flow.t -> t
+(** Snapshot the given flow at the given time.  The flow is copied. *)
+
+val fresh : Instance.t -> Flow.t -> t
+(** A board that is always exactly current ([posted_at = 0.]); used to
+    model the [T -> 0] (fresh information) limit by re-posting every
+    step. *)

@@ -1,0 +1,53 @@
+open Staleroute_wardrop
+module Vec = Staleroute_util.Vec
+
+type config = {
+  policy : Policy.t;
+  rounds : int;
+  rounds_per_update : int;
+}
+
+type round_record = {
+  index : int;
+  start_flow : Flow.t;
+  start_potential : float;
+}
+
+type result = {
+  records : round_record array;
+  final_flow : Flow.t;
+  final_potential : float;
+}
+
+let step inst policy ~board f =
+  let d = Rates.flow_derivative inst policy ~board f in
+  let g = Vec.copy f in
+  Vec.axpy ~alpha:1. ~x:d ~y:g;
+  Flow.project inst g
+
+let run inst config ~init =
+  if config.rounds < 0 then invalid_arg "Discrete.run: negative rounds";
+  if config.rounds_per_update < 1 then
+    invalid_arg "Discrete.run: rounds_per_update < 1";
+  if not (Flow.is_feasible inst init) then
+    invalid_arg "Discrete.run: infeasible initial flow";
+  let f = ref (Flow.project inst init) in
+  let board = ref (Bulletin_board.post inst ~time:0. !f) in
+  let records = ref [] in
+  for k = 0 to config.rounds - 1 do
+    if k mod config.rounds_per_update = 0 then
+      board := Bulletin_board.post inst ~time:(float_of_int k) !f;
+    records :=
+      {
+        index = k;
+        start_flow = Vec.copy !f;
+        start_potential = Potential.phi inst !f;
+      }
+      :: !records;
+    f := step inst config.policy ~board:!board !f
+  done;
+  {
+    records = Array.of_list (List.rev !records);
+    final_flow = !f;
+    final_potential = Potential.phi inst !f;
+  }

@@ -1,0 +1,40 @@
+(** Synchronous discrete-round dynamics.
+
+    The paper's model is continuous: agents wake at Poisson times, so
+    within a phase only an exponentially small fraction acts "at once".
+    The related work it contrasts against (Bertsekas & Tsitsiklis)
+    reroutes at {e discrete time steps}: every agent applies the
+    two-step policy simultaneously once per round.  In the fluid limit
+    one synchronous round moves the flow by the full expected migration
+    volume, [f' = f + Σ_Q (ρ_QP - ρ_PQ)] — an explicit Euler step of
+    size 1 — which overshoots where the staggered continuous dynamics
+    would not.  Experiment E14 measures how much earlier the
+    synchronous variant loses stability. *)
+
+open Staleroute_wardrop
+
+type config = {
+  policy : Policy.t;
+  rounds : int;                (** number of synchronous rounds *)
+  rounds_per_update : int;     (** bulletin-board refresh cadence (>= 1) *)
+}
+
+type round_record = {
+  index : int;
+  start_flow : Flow.t;
+  start_potential : float;
+}
+
+type result = {
+  records : round_record array;
+  final_flow : Flow.t;
+  final_potential : float;
+}
+
+val step : Instance.t -> Policy.t -> board:Bulletin_board.t -> Flow.t -> Flow.t
+(** One synchronous round under the given posted information; the
+    result is projected back to feasibility. *)
+
+val run : Instance.t -> config -> init:Flow.t -> result
+(** Iterate [rounds] rounds, re-posting the board every
+    [rounds_per_update] rounds (the board time unit is one round). *)

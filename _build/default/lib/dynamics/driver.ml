@@ -1,0 +1,106 @@
+open Staleroute_wardrop
+module Vec = Staleroute_util.Vec
+
+type staleness = Fresh | Stale of float
+
+type config = {
+  policy : Policy.t;
+  staleness : staleness;
+  phases : int;
+  steps_per_phase : int;
+  scheme : Integrator.scheme;
+}
+
+let default_config ~policy ~staleness =
+  {
+    policy;
+    staleness;
+    phases = 200;
+    steps_per_phase = 20;
+    scheme = Integrator.Rk4;
+  }
+
+type phase_record = {
+  index : int;
+  start_time : float;
+  start_flow : Flow.t;
+  start_potential : float;
+  virtual_gain : float;
+  delta_phi : float;
+}
+
+type result = {
+  config : config;
+  records : phase_record array;
+  final_flow : Flow.t;
+  final_potential : float;
+}
+
+let phase_length config =
+  match config.staleness with
+  | Fresh -> 1.
+  | Stale t ->
+      if t <= 0. then invalid_arg "Driver: update period must be positive";
+      t
+
+let advance_one_phase inst config ~time f =
+  let tau = phase_length config in
+  match config.staleness with
+  | Stale _ ->
+      let board = Bulletin_board.post inst ~time f in
+      let deriv g = Rates.flow_derivative inst config.policy ~board g in
+      Integrator.integrate_phase config.scheme inst ~deriv ~f0:f ~tau
+        ~steps:config.steps_per_phase
+  | Fresh ->
+      (* Re-post before every internal step: zero information age up to
+         the step size. *)
+      let h = tau /. float_of_int config.steps_per_phase in
+      let g = ref (Vec.copy f) in
+      for k = 0 to config.steps_per_phase - 1 do
+        let board =
+          Bulletin_board.post inst ~time:(time +. (float_of_int k *. h)) !g
+        in
+        let deriv g' = Rates.flow_derivative inst config.policy ~board g' in
+        g :=
+          Integrator.integrate_phase config.scheme inst ~deriv ~f0:!g ~tau:h
+            ~steps:1
+      done;
+      !g
+
+let run inst config ~init =
+  if config.phases < 0 then invalid_arg "Driver.run: negative phase count";
+  if config.steps_per_phase < 1 then
+    invalid_arg "Driver.run: steps_per_phase < 1";
+  if not (Flow.is_feasible inst init) then
+    invalid_arg "Driver.run: infeasible initial flow";
+  let tau = phase_length config in
+  let records = ref [] in
+  let f = ref (Flow.project inst init) in
+  let phi = ref (Potential.phi inst !f) in
+  for k = 0 to config.phases - 1 do
+    let start_time = float_of_int k *. tau in
+    let start_flow = Vec.copy !f in
+    let start_potential = !phi in
+    let next = advance_one_phase inst config ~time:start_time !f in
+    let next_phi = Potential.phi inst next in
+    records :=
+      {
+        index = k;
+        start_time;
+        start_flow;
+        start_potential;
+        virtual_gain =
+          Virtual_gain.virtual_gain inst ~phase_start:start_flow
+            ~phase_end:next;
+        delta_phi = next_phi -. start_potential;
+      }
+      :: !records;
+    f := next;
+    phi := next_phi
+  done;
+  {
+    config;
+    records = Array.of_list (List.rev !records);
+    final_flow = !f;
+    final_potential = !phi;
+  }

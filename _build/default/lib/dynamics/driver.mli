@@ -1,0 +1,52 @@
+(** The main simulation driver: integrate a sample-and-migrate policy in
+    the bulletin-board model, phase by phase, recording the measurements
+    the paper's theorems speak about.
+
+    At the start of each phase the board is re-posted; within the phase
+    the fluid ODE is integrated with the board frozen (Eq. 3).  Setting
+    [update_period] to [`Fresh] re-posts the board at {e every} internal
+    step, modelling up-to-date information (Eq. 1). *)
+
+open Staleroute_wardrop
+
+type staleness =
+  | Fresh
+      (** information is always current: the board is re-posted every
+          integrator step. *)
+  | Stale of float
+      (** bulletin-board model with the given update period [T > 0]. *)
+
+type config = {
+  policy : Policy.t;
+  staleness : staleness;
+  phases : int;        (** number of update periods to simulate *)
+  steps_per_phase : int;  (** integrator resolution within a phase *)
+  scheme : Integrator.scheme;
+}
+
+val default_config : policy:Policy.t -> staleness:staleness -> config
+(** [phases = 200], [steps_per_phase = 20], RK4. *)
+
+type phase_record = {
+  index : int;
+  start_time : float;
+  start_flow : Flow.t;
+  start_potential : float;
+  virtual_gain : float;  (** [V(f̂, f_end)] over the phase (Eq. 8) *)
+  delta_phi : float;     (** true potential change over the phase *)
+}
+
+type result = {
+  config : config;
+  records : phase_record array;  (** one per simulated phase *)
+  final_flow : Flow.t;
+  final_potential : float;
+}
+
+val run : Instance.t -> config -> init:Flow.t -> result
+(** Simulate.  For [Stale t] the phase length is [t]; for [Fresh] the
+    phase length defaults to 1 time unit (it only controls recording
+    granularity, not information age). *)
+
+val phase_length : config -> float
+(** The duration of one recorded phase under the given configuration. *)

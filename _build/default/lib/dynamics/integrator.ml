@@ -1,0 +1,51 @@
+open Staleroute_wardrop
+module Vec = Staleroute_util.Vec
+
+type scheme = Euler | Rk4
+
+let scheme_of_string = function
+  | "euler" -> Some Euler
+  | "rk4" -> Some Rk4
+  | _ -> None
+
+let scheme_name = function Euler -> "euler" | Rk4 -> "rk4"
+
+let euler_step ~deriv ~h f =
+  let d = deriv f in
+  let g = Vec.copy f in
+  Vec.axpy ~alpha:h ~x:d ~y:g;
+  g
+
+let rk4_step ~deriv ~h f =
+  let k1 = deriv f in
+  let mid1 = Vec.copy f in
+  Vec.axpy ~alpha:(h /. 2.) ~x:k1 ~y:mid1;
+  let k2 = deriv mid1 in
+  let mid2 = Vec.copy f in
+  Vec.axpy ~alpha:(h /. 2.) ~x:k2 ~y:mid2;
+  let k3 = deriv mid2 in
+  let last = Vec.copy f in
+  Vec.axpy ~alpha:h ~x:k3 ~y:last;
+  let k4 = deriv last in
+  let g = Vec.copy f in
+  Vec.axpy ~alpha:(h /. 6.) ~x:k1 ~y:g;
+  Vec.axpy ~alpha:(h /. 3.) ~x:k2 ~y:g;
+  Vec.axpy ~alpha:(h /. 3.) ~x:k3 ~y:g;
+  Vec.axpy ~alpha:(h /. 6.) ~x:k4 ~y:g;
+  g
+
+let integrate_phase scheme inst ~deriv ~f0 ~tau ~steps =
+  if tau < 0. then invalid_arg "Integrator.integrate_phase: negative tau";
+  if steps < 1 then invalid_arg "Integrator.integrate_phase: steps < 1";
+  if tau = 0. then Vec.copy f0
+  else begin
+    let h = tau /. float_of_int steps in
+    let step =
+      match scheme with Euler -> euler_step | Rk4 -> rk4_step
+    in
+    let f = ref (Vec.copy f0) in
+    for _ = 1 to steps do
+      f := Flow.project inst (step ~deriv ~h !f)
+    done;
+    !f
+  end

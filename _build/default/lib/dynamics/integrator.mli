@@ -1,0 +1,26 @@
+(** Numerical integration of the fluid-limit ODE within one phase.
+
+    Within a phase the bulletin board is constant, so the right-hand
+    side is Lipschitz (Picard–Lindelöf applies) and a classical
+    fixed-step scheme converges; steps never cross a board update — the
+    driver integrates phase by phase.  After each step the state is
+    projected back onto the product of simplices to absorb rounding
+    drift (flows stay feasible exactly). *)
+
+open Staleroute_wardrop
+
+type scheme = Euler | Rk4
+
+val scheme_of_string : string -> scheme option
+val scheme_name : scheme -> string
+
+val integrate_phase :
+  scheme ->
+  Instance.t ->
+  deriv:(Flow.t -> Staleroute_util.Vec.t) ->
+  f0:Flow.t ->
+  tau:float ->
+  steps:int ->
+  Flow.t
+(** Advance [f0] by time [tau >= 0] in [steps >= 1] equal steps of the
+    autonomous ODE [ḟ = deriv f].  Returns a fresh feasible flow. *)

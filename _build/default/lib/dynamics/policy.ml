@@ -1,0 +1,62 @@
+open Staleroute_wardrop
+
+type t = { sampling : Sampling.t; migration : Migration.t }
+
+let make ~sampling ~migration = { sampling; migration }
+
+let replicator inst =
+  {
+    sampling = Sampling.Proportional;
+    migration = Migration.Linear { ell_max = Instance.ell_max inst };
+  }
+
+let uniform_linear inst =
+  {
+    sampling = Sampling.Uniform;
+    migration = Migration.Linear { ell_max = Instance.ell_max inst };
+  }
+
+let best_response_approx inst ~c =
+  {
+    sampling = Sampling.Logit c;
+    migration = Migration.Linear { ell_max = Instance.ell_max inst };
+  }
+
+let better_response ~sampling =
+  { sampling; migration = Migration.Better_response }
+
+let frv ?(gamma = 0.25) ?(scale = 0.5) () =
+  {
+    sampling = Sampling.Mixed gamma;
+    migration = Migration.Relative { scale };
+  }
+
+let elastic_update_period inst =
+  let g = Instance.graph inst in
+  let d_elast = ref 0. in
+  for e = 0 to Staleroute_graph.Digraph.edge_count g - 1 do
+    d_elast :=
+      Float.max !d_elast
+        (Staleroute_latency.Latency.elasticity_bound (Instance.latency inst e))
+  done;
+  if !d_elast = 0. then infinity
+  else
+    1.
+    /. (4. *. float_of_int (Instance.max_path_length inst) *. !d_elast)
+
+let alpha t = Migration.alpha t.migration
+
+let safe_update_period inst t =
+  match alpha t with
+  | None -> None
+  | Some a ->
+      let d = float_of_int (Instance.max_path_length inst) in
+      let beta = Instance.beta inst in
+      if beta = 0. || a = 0. then Some infinity
+      else Some (1. /. (4. *. d *. a *. beta))
+
+let name t =
+  Printf.sprintf "%s/%s" (Sampling.name t.sampling)
+    (Migration.name t.migration)
+
+let pp ppf t = Format.pp_print_string ppf (name t)

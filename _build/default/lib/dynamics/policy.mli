@@ -1,0 +1,58 @@
+(** Rerouting policies: a sampling rule paired with a migration rule,
+    plus the paper's derived safety constants.
+
+    The headline condition (Lemma 4 / Corollary 5): if the migration
+    rule is α-smooth and the bulletin board is updated at intervals
+    [T <= 1/(4 D α β)], the dynamics converges to Wardrop equilibria
+    despite staleness. *)
+
+open Staleroute_wardrop
+
+type t = { sampling : Sampling.t; migration : Migration.t }
+
+val make : sampling:Sampling.t -> migration:Migration.t -> t
+
+(** {1 The paper's named policies} *)
+
+val replicator : Instance.t -> t
+(** Proportional sampling + linear migration with the instance's
+    [ℓ_max] — the replicator dynamics of Theorem 7. *)
+
+val uniform_linear : Instance.t -> t
+(** Uniform sampling + linear migration — Theorem 6's policy. *)
+
+val best_response_approx : Instance.t -> c:float -> t
+(** Logit sampling with parameter [c] + linear migration — the paper's
+    smooth approximation of best response (§2.2). *)
+
+val better_response : sampling:Sampling.t -> t
+(** The deceptive non-smooth rule: migrate with probability 1 on any
+    anticipated improvement. *)
+
+val frv : ?gamma:float -> ?scale:float -> unit -> t
+(** The follow-up adaptive-sampling policy of Fischer, Räcke & Vöcking
+    (STOC 2006), which the paper's conclusion points to: [Mixed gamma]
+    sampling (default [gamma = 0.25]) combined with [Relative scale]
+    migration (default [scale = 0.5]).  Not α-smooth — see
+    {!elastic_update_period} for the staleness bound its theory uses
+    instead of [T*]. *)
+
+val elastic_update_period : Instance.t -> float
+(** [1 / (4 · D · d)] where [d] bounds the {e elasticity} of the edge
+    latencies — the analogue of {!safe_update_period} with the slope
+    bound [β] replaced by the scale-free elasticity, following the
+    fast-convergence follow-up work.  [infinity] when all latencies are
+    constant. *)
+
+(** {1 Derived constants} *)
+
+val alpha : t -> float option
+(** Smoothness constant of the migration rule. *)
+
+val safe_update_period : Instance.t -> t -> float option
+(** [T* = 1 / (4 D α β)] — the paper's sufficient bound on the update
+    period.  [None] when the policy is not smooth ([α] undefined) and
+    [infinity] when [β = 0] (constant latencies never oscillate). *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

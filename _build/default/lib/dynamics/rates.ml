@@ -1,0 +1,79 @@
+open Staleroute_wardrop
+
+let migration_rate inst policy ~board ~flow ~from_ q =
+  if Instance.commodity_of_path inst from_ <> Instance.commodity_of_path inst q
+  then 0.
+  else begin
+    let ci = Instance.commodity_of_path inst from_ in
+    let dist =
+      Sampling.distribution policy.Policy.sampling inst ~commodity:ci
+        ~flow:board.Bulletin_board.flow
+        ~latencies:board.Bulletin_board.path_latencies ~from_
+    in
+    let ps = Instance.paths_of_commodity inst ci in
+    let local_q = ref (-1) in
+    Array.iteri (fun j p -> if p = q then local_q := j) ps;
+    assert (!local_q >= 0);
+    let mu =
+      Migration.prob policy.Policy.migration
+        ~ell_p:board.Bulletin_board.path_latencies.(from_)
+        ~ell_q:board.Bulletin_board.path_latencies.(q)
+    in
+    flow.(from_) *. dist.(!local_q) *. mu
+  end
+
+let flow_derivative inst policy ~board flow =
+  let n = Instance.path_count inst in
+  let deriv = Array.make n 0. in
+  let lat = board.Bulletin_board.path_latencies in
+  let bflow = board.Bulletin_board.flow in
+  let mu = Migration.prob policy.Policy.migration in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let ps = Instance.paths_of_commodity inst ci in
+    let m = Array.length ps in
+    if Sampling.origin_independent policy.Policy.sampling then begin
+      (* σ does not depend on the origin: one distribution per
+         commodity, shared by every ordered pair. *)
+      let sigma =
+        Sampling.distribution policy.Policy.sampling inst ~commodity:ci
+          ~flow:bflow ~latencies:lat ~from_:ps.(0)
+      in
+      for a = 0 to m - 1 do
+        let p = ps.(a) in
+        for b = 0 to m - 1 do
+          if a <> b then begin
+            let q = ps.(b) in
+            (* Outflow P -> Q and inflow Q -> P for this ordered pair. *)
+            let out = flow.(p) *. sigma.(b) *. mu ~ell_p:lat.(p) ~ell_q:lat.(q) in
+            let inc = flow.(q) *. sigma.(a) *. mu ~ell_p:lat.(q) ~ell_q:lat.(p) in
+            deriv.(p) <- deriv.(p) +. inc -. out
+          end
+        done
+      done
+    end
+    else
+      for a = 0 to m - 1 do
+        let p = ps.(a) in
+        let sigma_from_p =
+          Sampling.distribution policy.Policy.sampling inst ~commodity:ci
+            ~flow:bflow ~latencies:lat ~from_:p
+        in
+        for b = 0 to m - 1 do
+          if a <> b then begin
+            let q = ps.(b) in
+            let sigma_from_q =
+              Sampling.distribution policy.Policy.sampling inst ~commodity:ci
+                ~flow:bflow ~latencies:lat ~from_:q
+            in
+            let out =
+              flow.(p) *. sigma_from_p.(b) *. mu ~ell_p:lat.(p) ~ell_q:lat.(q)
+            in
+            let inc =
+              flow.(q) *. sigma_from_q.(a) *. mu ~ell_p:lat.(q) ~ell_q:lat.(p)
+            in
+            deriv.(p) <- deriv.(p) +. inc -. out
+          end
+        done
+      done
+  done;
+  deriv

@@ -1,0 +1,22 @@
+(** The fluid-limit growth rates (Eq. 1 / Eq. 3 of the paper).
+
+    With Poisson activation rate normalised to 1, agents migrate from
+    path [P] to [Q] at rate
+    [ρ̂_PQ(t) = f_P(t) · σ_PQ(f(t̂)) · µ(ℓ_P(f(t̂)), ℓ_Q(f(t̂)))]
+    and the population share of [P] evolves as
+    [ḟ_P = Σ_Q (ρ̂_QP - ρ̂_PQ)]. *)
+
+open Staleroute_wardrop
+
+val migration_rate :
+  Instance.t -> Policy.t -> board:Bulletin_board.t -> flow:Flow.t ->
+  from_:int -> int -> float
+(** [ρ̂_PQ] for a single ordered pair of global path indices in the same
+    commodity (0 when the paths belong to different commodities). *)
+
+val flow_derivative :
+  Instance.t -> Policy.t -> board:Bulletin_board.t -> Flow.t ->
+  Staleroute_util.Vec.t
+(** [ḟ] at the current flow, with decisions read from [board].  The sum
+    of the derivative entries of each commodity is zero (total demand is
+    conserved) up to float rounding. *)

@@ -1,0 +1,66 @@
+open Staleroute_wardrop
+
+type t =
+  | Uniform
+  | Proportional
+  | Logit of float
+  | Mixed of float
+  | Custom of custom
+
+and custom = {
+  name : string;
+  prob :
+    Instance.t ->
+    commodity:int ->
+    flow:Flow.t ->
+    latencies:float array ->
+    from_:int ->
+    int ->
+    float;
+}
+
+let distribution rule inst ~commodity ~flow ~latencies ~from_ =
+  let ps = Instance.paths_of_commodity inst commodity in
+  let m = Array.length ps in
+  match rule with
+  | Uniform -> Array.make m (1. /. float_of_int m)
+  | Proportional ->
+      let r = Instance.demand inst commodity in
+      Array.map (fun q -> flow.(q) /. r) ps
+  | Logit c ->
+      (* Softmax with the max subtracted for numerical stability. *)
+      let scores = Array.map (fun q -> -.c *. latencies.(q)) ps in
+      let top = Array.fold_left Float.max neg_infinity scores in
+      let weights = Array.map (fun s -> exp (s -. top)) scores in
+      let total = Staleroute_util.Numerics.kahan_sum weights in
+      Array.map (fun w -> w /. total) weights
+  | Mixed gamma ->
+      if gamma < 0. || gamma > 1. then
+        invalid_arg "Sampling.Mixed: gamma outside [0,1]";
+      let r = Instance.demand inst commodity in
+      let unif = gamma /. float_of_int m in
+      Array.map (fun q -> unif +. ((1. -. gamma) *. flow.(q) /. r)) ps
+  | Custom { prob; _ } ->
+      Array.map (fun q -> prob inst ~commodity ~flow ~latencies ~from_ q) ps
+
+let origin_independent = function
+  | Uniform | Proportional | Logit _ | Mixed _ -> true
+  | Custom _ -> false
+
+let positive = function
+  | Uniform | Logit _ -> true
+  | Mixed gamma -> gamma > 0.
+  | Proportional ->
+      (* Positive as long as the posted flow is interior; boundary
+         points with f_Q = 0 are absorbing for the replicator. *)
+      true
+  | Custom _ -> false
+
+let name = function
+  | Uniform -> "uniform"
+  | Proportional -> "proportional"
+  | Logit c -> Printf.sprintf "logit(%g)" c
+  | Mixed gamma -> Printf.sprintf "mixed(%g)" gamma
+  | Custom { name; _ } -> name
+
+let pp ppf t = Format.pp_print_string ppf (name t)

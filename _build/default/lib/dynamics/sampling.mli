@@ -1,0 +1,68 @@
+(** Sampling rules [σ_PQ] — step (1) of the paper's two-step rerouting
+    policies.
+
+    A sampling rule gives, for an agent on path [P] of commodity [i],
+    the probability of sampling candidate path [Q ∈ P_i].  Under stale
+    information the rule is evaluated on the {e posted} flow and
+    latencies (the bulletin board), not the live state. *)
+
+open Staleroute_wardrop
+
+type t =
+  | Uniform
+      (** [σ_PQ = 1/|P_i|] — Theorem 6's rule. *)
+  | Proportional
+      (** [σ_PQ = f_Q / r_i] — sample another agent of the commodity;
+          with linear migration this is the replicator dynamics
+          (Theorem 7). *)
+  | Logit of float
+      (** [Logit c]: [σ_PQ ∝ exp (-c · ℓ_Q)] — the paper's smoothed
+          approximation of best response (§2.2); origin-independent. *)
+  | Mixed of float
+      (** [Mixed gamma]: with probability [gamma] sample uniformly,
+          otherwise proportionally — the exploration/exploitation
+          mixture of the follow-up adaptive-sampling policy (Fischer,
+          Räcke & Vöcking, STOC 2006) that escapes the boundary
+          (uniform part) yet amplifies good paths (proportional part).
+          Requires [gamma ∈ [0, 1]]. *)
+  | Custom of custom
+
+and custom = {
+  name : string;
+  prob :
+    Instance.t ->
+    commodity:int ->
+    flow:Flow.t ->
+    latencies:float array ->
+    from_:int ->
+    int ->
+    float;
+      (** [prob inst ~commodity ~flow ~latencies ~from_ q] is
+          [σ_{from_ q}]; [flow]/[latencies] are the posted (stale)
+          values, [from_] and [q] global path indices. *)
+}
+
+val distribution :
+  t ->
+  Instance.t ->
+  commodity:int ->
+  flow:Flow.t ->
+  latencies:float array ->
+  from_:int ->
+  float array
+(** Probability of sampling each path of the commodity (aligned with
+    [Instance.paths_of_commodity]), from the agent's current path
+    [from_].  Sums to 1 up to rounding for the built-in rules. *)
+
+val origin_independent : t -> bool
+(** True when [σ_PQ] does not depend on [P] (all built-in rules); rate
+    computation exploits this. *)
+
+val positive : t -> bool
+(** Whether [σ_PQ > 0] is guaranteed for all [Q] — required by the
+    convergence theorems.  [Logit] and the built-ins satisfy it;
+    [Custom] rules are trusted to declare their own name and are
+    reported as [false]. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+open Staleroute_wardrop
+module Vec = Staleroute_util.Vec
+
+type sample = { time : float; flow : Flow.t }
+
+type t = sample array
+
+let record inst (config : Driver.config) ~init ~samples_per_phase =
+  if samples_per_phase < 1 then
+    invalid_arg "Trajectory.record: samples_per_phase < 1";
+  let tau = Driver.phase_length config in
+  (* Integrate in [samples_per_phase] chunks per phase, re-posting the
+     board per phase (Stale) or per chunk (Fresh). *)
+  let steps_per_chunk =
+    max 1 (config.Driver.steps_per_phase / samples_per_phase)
+  in
+  let chunk = tau /. float_of_int samples_per_phase in
+  let samples = ref [] in
+  let f = ref (Flow.project inst init) in
+  let push time flow = samples := { time; flow = Vec.copy flow } :: !samples in
+  push 0. !f;
+  for k = 0 to config.Driver.phases - 1 do
+    let phase_start = float_of_int k *. tau in
+    let phase_board = Bulletin_board.post inst ~time:phase_start !f in
+    for j = 0 to samples_per_phase - 1 do
+      let time = phase_start +. (float_of_int j *. chunk) in
+      let board =
+        match config.Driver.staleness with
+        | Driver.Stale _ -> phase_board
+        | Driver.Fresh -> Bulletin_board.post inst ~time !f
+      in
+      let deriv g = Rates.flow_derivative inst config.Driver.policy ~board g in
+      f :=
+        Integrator.integrate_phase config.Driver.scheme inst ~deriv ~f0:!f
+          ~tau:chunk ~steps:steps_per_chunk;
+      push (time +. chunk) !f
+    done
+  done;
+  Array.of_list (List.rev !samples)
+
+let series observe t =
+  Array.map (fun s -> (s.time, observe s.flow)) t
+
+let potential_gap inst ?phi_star t =
+  let phi_star =
+    match phi_star with
+    | Some v -> v
+    | None -> (Frank_wolfe.equilibrium inst).Frank_wolfe.objective
+  in
+  series (fun f -> Potential.phi inst f -. phi_star) t
+
+let fit_exponential_rate points =
+  let usable =
+    Array.of_list
+      (List.filter_map
+         (fun (t, y) -> if y > 0. then Some (t, log y) else None)
+         (Array.to_list points))
+  in
+  let n = Array.length usable in
+  if n < 2 then None
+  else begin
+    let nf = float_of_int n in
+    let sum sel = Staleroute_util.Numerics.sum_by sel usable in
+    let st = sum fst and sy = sum snd in
+    let stt = sum (fun (t, _) -> t *. t) in
+    let sty = sum (fun (t, y) -> t *. y) in
+    let denom = (nf *. stt) -. (st *. st) in
+    if denom <= 0. then None
+    else Some (-.(((nf *. sty) -. (st *. sy)) /. denom))
+  end
+
+let time_to_threshold points ~threshold =
+  let n = Array.length points in
+  let rec scan i candidate =
+    if i >= n then candidate
+    else begin
+      let t, y = points.(i) in
+      if y <= threshold then
+        scan (i + 1) (match candidate with None -> Some t | some -> some)
+      else scan (i + 1) None
+    end
+  in
+  scan 0 None

@@ -1,0 +1,41 @@
+(** Dense trajectory recording and convergence-rate analysis.
+
+    {!Driver.run} records one snapshot per bulletin-board phase; this
+    module samples {e inside} phases too, and provides the measurement
+    helpers used to quantify convergence speed: the potential gap
+    [Φ(f(t)) - Φ*] over time, exponential-rate fits, and
+    time-to-threshold readings. *)
+
+open Staleroute_wardrop
+
+type sample = { time : float; flow : Flow.t }
+
+type t = sample array
+(** Samples in increasing time order, starting at [t = 0]. *)
+
+val record :
+  Instance.t ->
+  Driver.config ->
+  init:Flow.t ->
+  samples_per_phase:int ->
+  t
+(** Integrate exactly like {!Driver.run} (same staleness semantics,
+    scheme and steps per phase) but keep [samples_per_phase >= 1]
+    evenly spaced snapshots inside every phase, plus the final state. *)
+
+val potential_gap : Instance.t -> ?phi_star:float -> t -> (float * float) array
+(** Series of [(time, Φ(f(t)) - Φ_star)]; [phi_star] defaults to the
+    Frank–Wolfe optimum of the instance. *)
+
+val series : (Flow.t -> float) -> t -> (float * float) array
+(** Generic observable over the trajectory. *)
+
+val fit_exponential_rate : (float * float) array -> float option
+(** Least-squares fit of [y(t) ≈ C·e^{-r·t}] on the positive part of
+    the series (linear regression on [ln y]); returns the rate [r].
+    [None] when fewer than two positive samples exist or time does not
+    vary. *)
+
+val time_to_threshold : (float * float) array -> threshold:float -> float option
+(** First time the series drops to or below [threshold] and stays there
+    for the rest of the recording. *)

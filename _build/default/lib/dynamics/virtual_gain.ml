@@ -1,0 +1,33 @@
+open Staleroute_wardrop
+module Latency = Staleroute_latency.Latency
+
+let virtual_gain inst ~phase_start ~phase_end =
+  let fe_hat = Flow.edge_flows inst phase_start in
+  let fe = Flow.edge_flows inst phase_end in
+  let ell_hat = Flow.edge_latencies inst fe_hat in
+  let acc = ref 0. in
+  Array.iteri
+    (fun e l -> acc := !acc +. (l *. (fe.(e) -. fe_hat.(e))))
+    ell_hat;
+  !acc
+
+let error_terms inst ~phase_start ~phase_end =
+  let fe_hat = Flow.edge_flows inst phase_start in
+  let fe = Flow.edge_flows inst phase_end in
+  let acc = ref 0. in
+  Array.iteri
+    (fun e load_end ->
+      let l = Instance.latency inst e in
+      let load_start = fe_hat.(e) in
+      (* U_e = ∫_{f̂_e}^{f_e} ℓ_e - ℓ_e(f̂_e) (f_e - f̂_e), closed form. *)
+      let integral_piece =
+        Latency.integral l load_end -. Latency.integral l load_start
+      in
+      acc :=
+        !acc +. integral_piece
+        -. (Latency.eval l load_start *. (load_end -. load_start)))
+    fe;
+  !acc
+
+let true_gain inst ~phase_start ~phase_end =
+  Potential.phi inst phase_end -. Potential.phi inst phase_start

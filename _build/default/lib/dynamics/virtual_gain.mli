@@ -1,0 +1,21 @@
+(** The virtual potential gain of a phase (Eq. 8 of the paper) and the
+    error decomposition of Lemma 3.
+
+    During a phase starting at [f̂] and ending at [f], agents perceive a
+    potential gain computed at the posted latencies,
+    [V(f̂, f) = Σ_e ℓ_e(f̂_e) (f_e - f̂_e)]; the true gain differs by the
+    error terms [U_e = ∫_{f̂_e}^{f_e} (ℓ_e(u) - ℓ_e(f̂_e)) du], and
+    Lemma 3 states [Φ(f) - Φ(f̂) = Σ_e U_e + V(f̂, f)].  Lemma 4 bounds
+    [ΔΦ <= V/2 <= 0] for smooth policies with [T <= 1/(4DαΒ)]. *)
+
+open Staleroute_wardrop
+
+val virtual_gain : Instance.t -> phase_start:Flow.t -> phase_end:Flow.t -> float
+(** [V(f̂, f)]. *)
+
+val error_terms : Instance.t -> phase_start:Flow.t -> phase_end:Flow.t -> float
+(** [Σ_e U_e], evaluated in closed form via latency integrals. *)
+
+val true_gain : Instance.t -> phase_start:Flow.t -> phase_end:Flow.t -> float
+(** [Φ(f) - Φ(f̂)] — by Lemma 3 equal to
+    [error_terms + virtual_gain] (tested property). *)

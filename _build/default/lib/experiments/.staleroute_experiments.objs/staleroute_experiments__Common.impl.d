@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Commodity Digraph Driver Float Flow Gen Instance Integrator Policy Staleroute_dynamics Staleroute_graph Staleroute_latency Staleroute_util Staleroute_wardrop

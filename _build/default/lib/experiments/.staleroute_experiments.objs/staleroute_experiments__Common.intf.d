@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Driver Flow Instance Policy Staleroute_dynamics Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/experiments/e10_elastic_policy.ml: Common Convergence Driver Float Instance List Policy Printf Staleroute_dynamics Staleroute_util Staleroute_wardrop

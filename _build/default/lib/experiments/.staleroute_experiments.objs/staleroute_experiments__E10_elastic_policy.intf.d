@@ -1,0 +1,1 @@
+lib/experiments/e10_elastic_policy.mli: Staleroute_util

@@ -1,0 +1,1 @@
+lib/experiments/e11_stale_vs_random.mli: Staleroute_util

@@ -1,0 +1,1 @@
+lib/experiments/e12_multicommodity.ml: Array Common Driver Equilibrium Float Flow Frank_wolfe Instance List Policy Staleroute_dynamics Staleroute_util Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/experiments/e12_multicommodity.mli: Staleroute_util

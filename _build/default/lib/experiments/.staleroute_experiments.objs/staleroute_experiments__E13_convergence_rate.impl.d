@@ -1,0 +1,1 @@
+lib/experiments/e13_convergence_rate.ml: Array Common Driver Float Integrator List Policy Printf Staleroute_dynamics Staleroute_util Trajectory

@@ -1,0 +1,1 @@
+lib/experiments/e13_convergence_rate.mli: Staleroute_util

@@ -1,0 +1,1 @@
+lib/experiments/e15_polled_information.ml: Array Common Float List Policy Printf Sampling Simulator Staleroute_dynamics Staleroute_sim Staleroute_util

@@ -1,0 +1,1 @@
+lib/experiments/e16_phase_diagram.ml: Array Buffer Common Convergence Driver Equilibrium Instance Migration Policy Printf Sampling Staleroute_dynamics Staleroute_util Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/experiments/e16_phase_diagram.mli: Staleroute_util

@@ -1,0 +1,1 @@
+lib/experiments/e1_oscillation.mli: Staleroute_util

@@ -1,0 +1,1 @@
+lib/experiments/e2_fresh_convergence.mli: Staleroute_util

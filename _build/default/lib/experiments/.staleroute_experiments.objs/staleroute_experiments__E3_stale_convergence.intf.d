@@ -1,0 +1,1 @@
+lib/experiments/e3_stale_convergence.mli: Staleroute_util

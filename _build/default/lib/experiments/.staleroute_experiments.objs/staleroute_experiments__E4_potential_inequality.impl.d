@@ -1,0 +1,1 @@
+lib/experiments/e4_potential_inequality.ml: Array Common Driver Float List Policy Printf Staleroute_dynamics Staleroute_util Virtual_gain

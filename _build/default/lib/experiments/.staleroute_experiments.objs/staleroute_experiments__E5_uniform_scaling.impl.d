@@ -1,0 +1,1 @@
+lib/experiments/e5_uniform_scaling.ml: Common Convergence Driver Float List Policy Printf Staleroute_dynamics Staleroute_util Staleroute_wardrop

@@ -1,0 +1,1 @@
+lib/experiments/e5_uniform_scaling.mli: Staleroute_util

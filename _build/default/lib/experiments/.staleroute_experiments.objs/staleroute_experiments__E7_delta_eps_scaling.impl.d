@@ -1,0 +1,1 @@
+lib/experiments/e7_delta_eps_scaling.ml: Common Convergence Driver List Policy Staleroute_dynamics Staleroute_util

@@ -1,0 +1,1 @@
+lib/experiments/e7_delta_eps_scaling.mli: Staleroute_util

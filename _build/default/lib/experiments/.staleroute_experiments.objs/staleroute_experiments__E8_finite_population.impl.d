@@ -1,0 +1,1 @@
+lib/experiments/e8_finite_population.ml: Array Common Driver Float List Policy Printf Simulator Staleroute_dynamics Staleroute_sim Staleroute_util

@@ -1,0 +1,1 @@
+lib/experiments/e8_finite_population.mli: Staleroute_util

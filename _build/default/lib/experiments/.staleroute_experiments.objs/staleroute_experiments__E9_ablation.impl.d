@@ -1,0 +1,1 @@
+lib/experiments/e9_ablation.ml: Array Common Convergence Driver Equilibrium Float Instance Integrator List Migration Policy Printf Sampling Staleroute_dynamics Staleroute_util Staleroute_wardrop

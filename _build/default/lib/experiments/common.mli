@@ -1,0 +1,84 @@
+(** Shared workloads and helpers for the experiment suite (E1–E9).
+
+    Each experiment module regenerates one quantitative claim of the
+    paper; this module provides the benchmark topologies (with their
+    latency functions), run helpers and snapshot extraction. *)
+
+open Staleroute_wardrop
+open Staleroute_dynamics
+
+(** {1 Benchmark instances} *)
+
+val two_link : beta:float -> Instance.t
+(** The §3.2 oscillation instance: two parallel links with
+    [ℓ₁ = ℓ₂ = max{0, β (x - ½)}] and unit demand. *)
+
+val braess : unit -> Instance.t
+(** Classic Braess network: latencies [x] / [1] on the upper route,
+    [1] / [x] on the lower, [0] on the bridge (price of anarchy 4/3). *)
+
+val parallel : int -> Instance.t
+(** [parallel m]: [m] parallel links with affine latencies of cycling
+    slopes {1, 2, 3} and spread intercepts — a load-balancing workload
+    whose equilibrium mixes several links. *)
+
+val needle : int -> Instance.t
+(** [needle m]: one good link ([ℓ = x]) hidden among [m - 1] identical
+    bad links ([ℓ = 2]).  The Wardrop equilibrium routes everything on
+    the good link; finding it is a sampling problem, which maximally
+    separates Theorem 6's [|P|] factor (uniform sampling discovers the
+    needle at rate [1/m]) from Theorem 7's [|P|]-free bound (the
+    replicator amplifies the needle's share exponentially). *)
+
+val grid33 : unit -> Instance.t
+(** 3×3 directed grid with deterministic affine latencies (6 paths,
+    [D = 4]). *)
+
+val layered_random : seed:int -> Instance.t
+(** Random 2-layer × width-3 DAG with affine latencies drawn from the
+    seeded RNG. *)
+
+val poly_parallel : m:int -> degree:int -> Instance.t
+(** [m] parallel links with steep polynomial latencies
+    [ℓ_j(x) = (1 + j/(4m)) x^degree + small intercept]: the slope bound
+    grows linearly with [degree] while the elasticity bound stays
+    [degree] — the regime the paper's conclusion flags as problematic
+    for slope-based smoothness (used by E10). *)
+
+val two_commodity : unit -> Instance.t
+(** Two commodities sharing a bottleneck: commodity A (demand 0.6)
+    routes 0→3 over a private link and a shared middle edge; commodity
+    B (demand 0.4) routes 1→3 over the same middle edge and a private
+    bypass.  Exercises the multicommodity accounting of the model. *)
+
+(** {1 Run helpers} *)
+
+val run :
+  Instance.t ->
+  Policy.t ->
+  Driver.staleness ->
+  phases:int ->
+  ?steps_per_phase:int ->
+  ?init:Flow.t ->
+  unit ->
+  Driver.result
+(** Drive the fluid dynamics (RK4).  [init] defaults to the flow
+    concentrated on each commodity's first path — deliberately far from
+    equilibrium. *)
+
+val worst_start : Instance.t -> Flow.t
+(** All demand of each commodity on its path of maximal fresh latency
+    under the uniform flow — a deliberately bad starting point. *)
+
+val biased_start : Instance.t -> Flow.t
+(** [0.9 · worst_start + 0.1 · uniform] — still far from equilibrium but
+    interior, so that proportional sampling (whose boundary faces are
+    absorbing) can escape. *)
+
+val phase_start_flows : Driver.result -> Flow.t array
+(** Phase-start snapshots plus the final flow (length [phases + 1]). *)
+
+val safe_period : Instance.t -> Policy.t -> float
+(** [min T* 1] where [T* = 1/(4DαΒ)], the period used throughout the
+    experiments (Theorems 6/7 additionally require [T <= 1]).  Raises
+    [Invalid_argument] for non-smooth policies. *)

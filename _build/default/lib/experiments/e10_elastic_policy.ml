@@ -1,0 +1,65 @@
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+
+let delta = 0.05
+let eps = 0.05
+
+let settle inst policy ~t ~phases =
+  let result =
+    Common.run inst policy (Driver.Stale t) ~phases
+      ~init:(Common.biased_start inst) ()
+  in
+  let snapshots = Common.phase_start_flows result in
+  let settled =
+    Convergence.all_good_after inst Convergence.Weak ~delta ~eps snapshots
+  in
+  (settled, Convergence.is_oscillating snapshots)
+
+let tables ?(quick = false) () =
+  let phases = if quick then 400 else 4000 in
+  let degrees = if quick then [ 2; 8 ] else [ 2; 4; 8; 16 ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E10  Extension: elasticity-based FRV policy vs slope-based \
+            smoothness on x^d latencies (weak (%g,%g)-eq, 4 links)"
+           delta eps)
+      ~columns:
+        [
+          "degree d"; "beta"; "T* (slope)"; "repl rounds"; "repl time";
+          "T_e (elastic)"; "frv rounds"; "frv time"; "frv oscillates?";
+        ]
+  in
+  List.iter
+    (fun degree ->
+      let inst = Common.poly_parallel ~m:4 ~degree in
+      let repl = Policy.replicator inst in
+      let t_star = Common.safe_period inst repl in
+      let repl_settled, _ = settle inst repl ~t:t_star ~phases in
+      let frv = Policy.frv () in
+      let t_e = Float.min (Policy.elastic_update_period inst) 1. in
+      let frv_settled, frv_osc = settle inst frv ~t:t_e ~phases in
+      let cell_rounds = function
+        | Some k -> Table.cell_int k
+        | None -> Printf.sprintf ">%d" phases
+      in
+      let cell_time t = function
+        | Some k -> Table.cell_float ~decimals:2 (float_of_int k *. t)
+        | None -> "-"
+      in
+      Table.add_row table
+        [
+          Table.cell_int degree;
+          Table.cell_float ~decimals:2 (Instance.beta inst);
+          Table.cell_float ~decimals:4 t_star;
+          cell_rounds repl_settled;
+          cell_time t_star repl_settled;
+          Table.cell_float ~decimals:4 t_e;
+          cell_rounds frv_settled;
+          cell_time t_e frv_settled;
+          string_of_bool frv_osc;
+        ])
+    degrees;
+  [ table ]

@@ -1,0 +1,16 @@
+(** E10 (extension) — the paper's conclusion: slope-based smoothness is
+    unsatisfactory for steep latency functions (for polynomials of
+    growing degree the slope bound [β] grows without bound, so [T*]
+    collapses), and points to the follow-up adaptive-sampling policy
+    whose staleness condition depends on the {e elasticity} instead.
+
+    This experiment runs the replicator (smooth, [T = T*(β)]) against
+    the FRV policy (mixed sampling + relative migration,
+    [T = 1/(4·D·d)] from the elasticity [d]) on parallel links with
+    [x^d]-shaped latencies of growing degree, and reports rounds and
+    virtual time to a weak (δ,ε)-equilibrium.  Expected shape: the
+    smooth policy's safe period collapses with the degree while the
+    FRV policy's period and convergence stay essentially flat — and it
+    converges despite violating α-smoothness. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

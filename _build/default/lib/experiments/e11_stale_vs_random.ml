@@ -1,0 +1,79 @@
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+
+let avg_latency inst f =
+  let pl = Flow.path_latencies inst f in
+  Flow.overall_avg_latency inst f ~path_latencies:pl
+
+(* Steady-state average latency of the exact best-response orbit:
+   sub-sample the closed-form solution inside each tail phase. *)
+let best_response_tail_latency inst ~t ~phases ~tail_from =
+  let init = Common.biased_start inst in
+  let samples = ref [] in
+  let f = ref (Array.copy init) in
+  for k = 0 to phases - 1 do
+    let board = Bulletin_board.post inst ~time:(float_of_int k *. t) !f in
+    if k >= tail_from then
+      for j = 0 to 9 do
+        let tau = t *. float_of_int j /. 10. in
+        samples :=
+          avg_latency inst (Best_response.step_phase inst ~board ~f0:!f ~tau)
+          :: !samples
+      done;
+    f := Best_response.step_phase inst ~board ~f0:!f ~tau:t
+  done;
+  Staleroute_util.Stats.mean (Array.of_list !samples)
+
+(* Steady-state average latency of a fluid policy run (tail phase
+   starts). *)
+let policy_tail_latency inst policy ~t ~phases ~tail_from =
+  let result =
+    Common.run inst policy (Driver.Stale t) ~phases
+      ~init:(Common.biased_start inst) ()
+  in
+  let values = ref [] in
+  Array.iter
+    (fun r ->
+      if r.Driver.index >= tail_from then
+        values := avg_latency inst r.Driver.start_flow :: !values)
+    result.Driver.records;
+  Staleroute_util.Stats.mean (Array.of_list !values)
+
+let tables ?(quick = false) () =
+  let phases = if quick then 60 else 200 in
+  let tail_from = phases / 3 in
+  let periods = if quick then [ 0.25; 2. ] else [ 0.125; 0.25; 0.5; 1.; 2. ] in
+  let inst = Common.parallel 6 in
+  let blind = avg_latency inst (Flow.uniform inst) in
+  let eq = Frank_wolfe.equilibrium inst in
+  let wardrop_latency = avg_latency inst eq.Frank_wolfe.flow in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E11  Extension: stale greedy vs blind random assignment \
+            (6 links; blind uniform = %.4f, Wardrop = %.4f)"
+           blind wardrop_latency)
+      ~columns:
+        [
+          "T"; "best-response avg L"; "uniform/linear avg L";
+          "BR worse than blind?";
+        ]
+  in
+  List.iter
+    (fun t ->
+      let br = best_response_tail_latency inst ~t ~phases ~tail_from in
+      let smooth =
+        policy_tail_latency inst (Policy.uniform_linear inst) ~t ~phases
+          ~tail_from
+      in
+      Table.add_row table
+        [
+          Table.cell_float ~decimals:3 t;
+          Table.cell_float ~decimals:4 br;
+          Table.cell_float ~decimals:4 smooth;
+          string_of_bool (br > blind);
+        ])
+    periods;
+  [ table ]

@@ -1,0 +1,14 @@
+(** E11 (extension) — Mitzenmacher's headline negative result, in our
+    model: decisions based on sufficiently stale information can degrade
+    performance below a {e blind random assignment} that never looks at
+    any information at all.
+
+    On a 6-link load-balancing instance we compare the steady-state
+    average latency of (a) the best response policy at update period
+    [T], (b) the uniform/linear smooth policy at the same [T], and (c)
+    the static uniform-random assignment.  Expected shape: best
+    response's steady-state latency grows with [T] and crosses above
+    the blind assignment, while the smooth policy stays at (or near)
+    the Wardrop optimum — the paper's positive result. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

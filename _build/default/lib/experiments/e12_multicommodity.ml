@@ -1,0 +1,66 @@
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+
+let tables ?(quick = false) () =
+  let phases = if quick then 100 else 800 in
+  let inst = Common.two_commodity () in
+  let eq = Frank_wolfe.equilibrium inst in
+  let table =
+    Table.create
+      ~title:
+        "E12  Extension: two commodities through a shared bottleneck \
+         (stale info, T = T*)"
+      ~columns:
+        [
+          "policy"; "phi final"; "phi*"; "phi increases";
+          "c0 latency spread"; "c1 latency spread"; "unsat vol (0.05)";
+        ]
+  in
+  List.iter
+    (fun (pname, policy) ->
+      let t = Common.safe_period inst policy in
+      let result =
+        Common.run inst policy (Driver.Stale t) ~phases
+          ~init:(Common.biased_start inst) ()
+      in
+      let increases =
+        Array.fold_left
+          (fun n r -> if r.Driver.delta_phi > 1e-9 then n + 1 else n)
+          0 result.Driver.records
+      in
+      let f = result.Driver.final_flow in
+      let pl = Flow.path_latencies inst f in
+      let spread ci =
+        (* Latency spread over the commodity's used paths. *)
+        let ps = Instance.paths_of_commodity inst ci in
+        let used =
+          Array.to_list ps |> List.filter (fun p -> f.(p) > 1e-6)
+        in
+        match used with
+        | [] -> 0.
+        | p0 :: _ ->
+            let lo, hi =
+              List.fold_left
+                (fun (lo, hi) p -> (Float.min lo pl.(p), Float.max hi pl.(p)))
+                (pl.(p0), pl.(p0))
+                used
+            in
+            hi -. lo
+      in
+      Table.add_row table
+        [
+          pname;
+          Table.cell_float ~decimals:6 result.Driver.final_potential;
+          Table.cell_float ~decimals:6 eq.Frank_wolfe.objective;
+          Table.cell_int increases;
+          Table.cell_sci (spread 0);
+          Table.cell_sci (spread 1);
+          Table.cell_sci (Equilibrium.unsatisfied_volume inst f ~delta:0.05);
+        ])
+    [
+      ("uniform/linear", Policy.uniform_linear inst);
+      ("replicator", Policy.replicator inst);
+      ("logit(8)/linear", Policy.best_response_approx inst ~c:8.);
+    ];
+  [ table ]

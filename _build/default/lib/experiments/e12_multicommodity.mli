@@ -1,0 +1,8 @@
+(** E12 (extension) — the theorems are stated for arbitrary
+    multicommodity instances; this experiment exercises them beyond the
+    single-commodity workloads: two commodities coupled through a shared
+    bottleneck edge converge under stale information at [T = T*], the
+    potential decreases every phase, and both commodities equalise the
+    latencies of their used paths. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

@@ -1,0 +1,12 @@
+(** E13 (extension) — empirical convergence {e rates}: fit
+    [Φ(f(t)) - Φ* ≈ C·e^{-rt}] for each policy under fresh and stale
+    ([T = T*]) information.
+
+    Quantifies the cost of staleness beyond the paper's qualitative
+    convergence guarantee: the smoothness condition slows the dynamics
+    by a factor tied to [1/(4DαΒ)], so the fitted rate under staleness
+    should be of the same order as (and not dramatically below) the
+    fresh-information rate at the same policy, while best response has
+    no rate at all (it does not converge). *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

@@ -1,0 +1,13 @@
+(** E14 (extension) — continuous (Poisson-staggered) vs synchronous
+    (Bertsekas–Tsitsiklis-style) rerouting.
+
+    Both variants use uniform sampling with a κ-scaled linear migration
+    rule and a bulletin board refreshed once per time unit / round.  The
+    continuous dynamics spreads the same expected migration volume over
+    the phase (late movers see less incentive left on the board only at
+    the next refresh — but they also move less because the flow factor
+    [f_P(t)] has decayed); the synchronous variant fires it all at once
+    and overshoots earlier as κ grows.  The table reports the smallest
+    κ at which each variant stops converging. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

@@ -1,0 +1,20 @@
+(** E15 (extension) — synchronized vs polled stale information.
+
+    The paper's model discussion notes the bulletin board also stands
+    for settings where information is "uploaded to a server from where
+    it can be polled by clients".  Polling desynchronises the agents:
+    each wake-up sees a copy whose age is uniform on [0, T), i.e. on
+    average T/2 older than the synchronized board, but spread across
+    {e two} consecutive postings.
+
+    Measured effect on the herding (better response) policy, two-link
+    instance: in the large-population regime (the fluid-like limit;
+    N = 20000 here) the age mixture averages the two postings'
+    conflicting directions and roughly {e halves} the steady-state
+    swing; at moderate N (the quick configuration) the extra average
+    age instead {e increases} the swing.  The α-smooth policy shows no
+    measurable swing under either delivery mode at any size — the
+    paper's robustness message survives the change of staleness
+    mechanism. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

@@ -1,0 +1,115 @@
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+
+(* Grid axes: multiples of the critical values.  alpha0 * t0 sits
+   exactly on the hyperbola alpha T = 1/(4 D beta). *)
+let multiples ~quick =
+  if quick then [| 0.5; 1.; 4.; 16. |]
+  else [| 0.25; 0.5; 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+
+type verdict = Converged | Oscillating | Drifting
+
+let classify inst ~alpha ~t ~phases =
+  let policy =
+    Policy.make ~sampling:Sampling.Uniform
+      ~migration:(Migration.Scaled_linear { alpha })
+  in
+  let result =
+    Common.run inst policy (Driver.Stale t) ~phases ~steps_per_phase:12
+      ~init:(Common.biased_start inst) ()
+  in
+  let snapshots = Common.phase_start_flows result in
+  if Convergence.is_oscillating snapshots then Oscillating
+  else if
+    Equilibrium.unsatisfied_volume inst result.Driver.final_flow ~delta:0.05
+    <= 0.05
+  then Converged
+  else Drifting
+
+let grid ~quick inst =
+  let ms = multiples ~quick in
+  let d = float_of_int (Instance.max_path_length inst) in
+  let beta = Instance.beta inst in
+  let critical = 1. /. (4. *. d *. beta) in
+  (* Anchor: alpha0 = the linear rule's 1/lmax; t0 completes the
+     critical product. *)
+  let alpha0 = 1. /. Instance.ell_max inst in
+  let t0 = critical /. alpha0 in
+  let cells =
+    Array.map
+      (fun ka ->
+        Array.map
+          (fun kt ->
+            let phases = if quick then 120 else 400 in
+            classify inst ~alpha:(ka *. alpha0) ~t:(kt *. t0) ~phases)
+          ms)
+      ms
+  in
+  (ms, alpha0, t0, cells)
+
+let tables ?(quick = false) () =
+  let inst = Common.two_link ~beta:4. in
+  let ms, alpha0, t0, cells = grid ~quick inst in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E16  Stability phase diagram (two-link, alpha0=%.3g, t0=%.3g; \
+            theory guarantees alpha.T multiples <= 1)"
+           alpha0 t0)
+      ~columns:
+        ("alpha\\T"
+        :: Array.to_list (Array.map (fun kt -> Printf.sprintf "%gxT0" kt) ms))
+  in
+  Array.iteri
+    (fun i ka ->
+      Table.add_row table
+        (Printf.sprintf "%g x a0" ka
+        :: Array.to_list
+             (Array.mapi
+                (fun j _ ->
+                  match cells.(i).(j) with
+                  | Converged -> "conv"
+                  | Oscillating -> "OSC"
+                  | Drifting -> "slow")
+                ms)))
+    ms;
+  [ table ]
+
+let figures ?(quick = false) () =
+  let inst = Common.two_link ~beta:4. in
+  let ms, _, _, cells = grid ~quick inst in
+  let n = Array.length ms in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "E16  Stability phase diagram: rows = alpha multiples (growing down), \
+     cols = T multiples (growing right)\n";
+  Buffer.add_string buf
+    "     '.' converged   '#' oscillating   '~' slow   '|' theoretical \
+     boundary alpha.T = 1/(4 D beta)\n\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%6gxa0  " ms.(i));
+    for j = 0 to n - 1 do
+      let product = ms.(i) *. ms.(j) in
+      let glyph =
+        match cells.(i).(j) with
+        | Converged -> '.'
+        | Oscillating -> '#'
+        | Drifting -> '~'
+      in
+      Buffer.add_char buf glyph;
+      (* Mark the last safe column of this row. *)
+      let next_product =
+        if j + 1 < n then ms.(i) *. ms.(j + 1) else infinity
+      in
+      if product <= 1. && next_product > 1. then
+        Buffer.add_string buf "|   "
+      else Buffer.add_string buf "    "
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "           ";
+  Array.iter (fun kt -> Buffer.add_string buf (Printf.sprintf "%-5g" kt)) ms;
+  Buffer.add_string buf " x T0\n";
+  [ Buffer.contents buf ]

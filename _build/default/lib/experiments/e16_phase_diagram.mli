@@ -1,0 +1,18 @@
+(** E16 (extension) — the stability phase diagram in the (T, α) plane.
+
+    Corollary 5's sufficient condition is the hyperbola
+    [α · T ≤ 1/(4 D β)]: halving the migration aggressiveness buys
+    twice the tolerable information age.  This experiment grids
+    (T, α) multiples of the critical product on the two-link instance,
+    classifies each cell as converged / oscillating, and renders the
+    empirical stability boundary next to the theoretical hyperbola —
+    the "figure" the paper's theory implies but never plots.
+
+    Expected shape: everything on or below the hyperbola converges
+    (the guarantee), the empirical boundary is a parallel hyperbola a
+    constant factor above it (the condition's slack, cf. E9b). *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list
+
+val figures : ?quick:bool -> unit -> string list
+(** The ASCII phase diagram. *)

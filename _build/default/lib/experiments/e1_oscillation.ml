@@ -1,0 +1,127 @@
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+module Vec = Staleroute_util.Vec
+
+let initial_flow inst ~t =
+  let f1 = 1. /. (exp (-.t) +. 1.) in
+  let f = Array.make (Instance.path_count inst) 0. in
+  f.(0) <- f1;
+  f.(1) <- 1. -. f1;
+  f
+
+let x_analytic ~beta ~t =
+  beta *. (1. -. exp (-.t)) /. ((2. *. exp (-.t)) +. 2.)
+
+let max_latency_at inst f =
+  Array.fold_left Float.max neg_infinity (Flow.path_latencies inst f)
+
+let run_case ~beta ~t ~phases =
+  let inst = Common.two_link ~beta in
+  let init = initial_flow inst ~t in
+  let run = Best_response.run inst ~update_period:t ~phases ~init in
+  (inst, init, run)
+
+let orbit_table ~phases ~betas ~periods =
+  let table =
+    Table.create ~title:"E1a  Best response oscillates (paper 3.2)"
+      ~columns:
+        [
+          "beta"; "T"; "X analytic"; "X measured"; "|f(0)-f(2T)|_1";
+          "period-2?";
+        ]
+  in
+  List.iter
+    (fun beta ->
+      List.iter
+        (fun t ->
+          let inst, init, run = run_case ~beta ~t ~phases in
+          let measured =
+            Array.fold_left
+              (fun acc f -> Float.max acc (max_latency_at inst f))
+              neg_infinity run.Best_response.phase_starts
+          in
+          let recurrence = Vec.dist1 init run.Best_response.phase_starts.(2) in
+          let oscillating =
+            Convergence.is_oscillating run.Best_response.phase_starts
+          in
+          Table.add_row table
+            [
+              Table.cell_float ~decimals:1 beta;
+              Table.cell_float ~decimals:2 t;
+              Table.cell_float ~decimals:6 (x_analytic ~beta ~t);
+              Table.cell_float ~decimals:6 measured;
+              Table.cell_sci recurrence;
+              string_of_bool oscillating;
+            ])
+        periods)
+    betas;
+  table
+
+let bound_table ~phases =
+  let beta = 2. in
+  let table =
+    Table.create
+      ~title:
+        "E1b  Update period needed for deviation <= eps: T = \
+         ln((1+2e/b)/(1-2e/b))"
+      ~columns:[ "beta"; "eps"; "T bound"; "X at T bound"; "X <= eps?" ]
+  in
+  List.iter
+    (fun eps ->
+      let ratio = 2. *. eps /. beta in
+      let t = log ((1. +. ratio) /. (1. -. ratio)) in
+      let inst, _, run = run_case ~beta ~t ~phases in
+      let measured =
+        Array.fold_left
+          (fun acc f -> Float.max acc (max_latency_at inst f))
+          neg_infinity run.Best_response.phase_starts
+      in
+      Table.add_row table
+        [
+          Table.cell_float ~decimals:1 beta;
+          Table.cell_float ~decimals:3 eps;
+          Table.cell_float ~decimals:6 t;
+          Table.cell_float ~decimals:6 measured;
+          string_of_bool (measured <= eps +. 1e-9);
+        ])
+    [ 0.05; 0.1; 0.2; 0.4 ];
+  table
+
+let tables ?(quick = false) () =
+  let phases = if quick then 10 else 60 in
+  let periods =
+    if quick then [ 0.1; 1.0 ] else [ 0.05; 0.1; 0.2; 0.5; 1.0; 2.0 ]
+  in
+  let betas = if quick then [ 2. ] else [ 1.; 2.; 4. ] in
+  [ orbit_table ~phases ~betas ~periods; bound_table ~phases ]
+
+let figures ?(quick = false) () =
+  if quick then []
+  else begin
+    let beta = 2. and t = 1. in
+    let inst = Common.two_link ~beta in
+    let init = initial_flow inst ~t in
+    (* Sample the exact within-phase solution finely for the plot. *)
+    let samples = ref [] in
+    let f = ref (Vec.copy init) in
+    let per_phase = 20 in
+    for k = 0 to 7 do
+      let board =
+        Bulletin_board.post inst ~time:(float_of_int k *. t) !f
+      in
+      for j = 0 to per_phase - 1 do
+        let tau = t *. float_of_int j /. float_of_int per_phase in
+        let g = Best_response.step_phase inst ~board ~f0:!f ~tau in
+        samples := ((float_of_int k *. t) +. tau, g.(0)) :: !samples
+      done;
+      f := Best_response.step_phase inst ~board ~f0:!f ~tau:t
+    done;
+    let points = List.rev !samples in
+    [
+      Staleroute_util.Ascii_plot.render
+        ~title:
+          "E1  f1(t) under best response, beta=2, T=1 (period-2 sawtooth)"
+        [ { Staleroute_util.Ascii_plot.label = "f1"; points } ];
+    ]
+  end

@@ -1,0 +1,15 @@
+(** E1 — §3.2: oscillation of the best response policy under stale
+    information.
+
+    Reproduces, on the two-link network with
+    [ℓ₁ = ℓ₂ = max{0, β(x - ½)}] and the paper's initial condition
+    [f₁(0) = 1/(e^{-T} + 1)]:
+
+    - the exact 2-periodicity of the orbit ([f(2T) = f(0)]);
+    - the per-round deviation from the Wardrop latency
+      [X(T) = β (1 - e^{-T}) / (2 e^{-T} + 2)];
+    - the update-period bound [T <= ln((1 + 2ε/β)/(1 - 2ε/β))] needed to
+      keep the deviation below [ε]. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list
+val figures : ?quick:bool -> unit -> string list

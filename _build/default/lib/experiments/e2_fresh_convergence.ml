@@ -1,0 +1,59 @@
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+
+let instances () =
+  [
+    ("braess", Common.braess ());
+    ("parallel-8", Common.parallel 8);
+    ("grid-3x3", Common.grid33 ());
+    ("layered", Common.layered_random ~seed:42);
+  ]
+
+let policies inst =
+  [
+    ("uniform/linear", Policy.uniform_linear inst);
+    ("replicator", Policy.replicator inst);
+    ("logit(5)/linear", Policy.best_response_approx inst ~c:5.);
+  ]
+
+let tables ?(quick = false) () =
+  let phases = if quick then 40 else 400 in
+  let table =
+    Table.create
+      ~title:"E2  Convergence under fresh information (Theorem 2)"
+      ~columns:
+        [
+          "instance"; "policy"; "phi(0)"; "phi(final)"; "phi*";
+          "wardrop gap"; "phi monotone?";
+        ]
+  in
+  List.iter
+    (fun (iname, inst) ->
+      let phi_star = Frank_wolfe.(equilibrium inst).objective in
+      List.iter
+        (fun (pname, policy) ->
+          let result =
+            Common.run inst policy Driver.Fresh ~phases
+              ~init:(Common.biased_start inst) ()
+          in
+          let monotone =
+            Array.for_all
+              (fun r -> r.Driver.delta_phi <= 1e-9)
+              result.Driver.records
+          in
+          let phi0 = result.Driver.records.(0).Driver.start_potential in
+          let gap = Equilibrium.wardrop_gap inst result.Driver.final_flow in
+          Table.add_row table
+            [
+              iname;
+              pname;
+              Table.cell_float ~decimals:5 phi0;
+              Table.cell_float ~decimals:5 result.Driver.final_potential;
+              Table.cell_float ~decimals:5 phi_star;
+              Table.cell_sci gap;
+              string_of_bool monotone;
+            ])
+        (policies inst))
+    (instances ());
+  [ table ]

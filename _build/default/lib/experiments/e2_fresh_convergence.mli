@@ -1,0 +1,6 @@
+(** E2 — Theorem 2: under up-to-date information every selfish
+    sample-and-migrate policy converges to the set of Wardrop
+    equilibria, with the BMW potential decreasing monotonically along
+    the trajectory. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

@@ -1,0 +1,111 @@
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+
+let smooth_table ~quick =
+  let phases = if quick then 60 else 600 in
+  let ratios = if quick then [ 1.; 8. ] else [ 0.5; 1.; 2.; 8.; 32. ] in
+  let table =
+    Table.create
+      ~title:
+        "E3a  Smooth policies under stale information (Corollary 5): \
+         sweep of T/T*"
+      ~columns:
+        [
+          "instance"; "policy"; "T*"; "T/T*"; "wardrop gap";
+          "phi increases"; "oscillating?";
+        ]
+  in
+  let instances =
+    [ ("two-link(b=4)", Common.two_link ~beta:4.); ("braess", Common.braess ());
+      ("parallel-8", Common.parallel 8) ]
+  in
+  List.iter
+    (fun (iname, inst) ->
+      List.iter
+        (fun (pname, policy) ->
+          let t_star = Common.safe_period inst policy in
+          List.iter
+            (fun ratio ->
+              let t = ratio *. t_star in
+              let result =
+                Common.run inst policy (Driver.Stale t) ~phases
+                  ~init:(Common.biased_start inst) ()
+              in
+              let increases =
+                Array.fold_left
+                  (fun n r -> if r.Driver.delta_phi > 1e-9 then n + 1 else n)
+                  0 result.Driver.records
+              in
+              let snapshots = Common.phase_start_flows result in
+              Table.add_row table
+                [
+                  iname;
+                  pname;
+                  Table.cell_float ~decimals:4 t_star;
+                  Table.cell_float ~decimals:1 ratio;
+                  Table.cell_sci
+                    (Equilibrium.wardrop_gap inst result.Driver.final_flow);
+                  Table.cell_int increases;
+                  string_of_bool (Convergence.is_oscillating snapshots);
+                ])
+            ratios)
+        [
+          ("uniform/linear", Policy.uniform_linear inst);
+          ("replicator", Policy.replicator inst);
+        ])
+    instances;
+  table
+
+let better_response_table ~quick =
+  let phases = if quick then 40 else 200 in
+  let table =
+    Table.create
+      ~title:
+        "E3b  Non-smooth policies oscillate under stale information \
+         (any T > 0)"
+      ~columns:
+        [ "instance"; "policy"; "T"; "wardrop gap"; "oscillating?" ]
+  in
+  let inst = Common.two_link ~beta:4. in
+  (* Best response: the paper's closed-form run. *)
+  List.iter
+    (fun t ->
+      let init = Array.make (Instance.path_count inst) 0. in
+      init.(0) <- 1. /. (exp (-.t) +. 1.);
+      init.(1) <- 1. -. init.(0);
+      let run = Best_response.run inst ~update_period:t ~phases ~init in
+      let last = run.Best_response.phase_starts.(phases) in
+      Table.add_row table
+        [
+          "two-link(b=4)";
+          "best-response";
+          Table.cell_float ~decimals:2 t;
+          Table.cell_sci (Equilibrium.wardrop_gap inst last);
+          string_of_bool
+            (Convergence.is_oscillating run.Best_response.phase_starts);
+        ])
+    [ 0.25; 1.0 ];
+  (* Better response with uniform sampling, fluid-integrated. *)
+  List.iter
+    (fun t ->
+      let policy = Policy.better_response ~sampling:Sampling.Uniform in
+      let result =
+        Common.run inst policy (Driver.Stale t) ~phases
+          ~init:(Common.biased_start inst) ()
+      in
+      let snapshots = Common.phase_start_flows result in
+      Table.add_row table
+        [
+          "two-link(b=4)";
+          "uniform/better-response";
+          Table.cell_float ~decimals:2 t;
+          Table.cell_sci
+            (Equilibrium.wardrop_gap inst result.Driver.final_flow);
+          string_of_bool (Convergence.is_oscillating snapshots);
+        ])
+    [ 0.25; 1.0 ];
+  table
+
+let tables ?(quick = false) () =
+  [ smooth_table ~quick; better_response_table ~quick ]

@@ -1,0 +1,8 @@
+(** E3 — Corollary 5: α-smooth policies converge under stale information
+    when [T <= T* = 1/(4DαΒ)], while the (non-smooth) better response /
+    best response policies oscillate at any [T > 0].
+
+    Sweeps the staleness ratio [T/T*] to probe how sharp the sufficient
+    condition is in practice. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

@@ -1,0 +1,73 @@
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+
+let tables ?(quick = false) () =
+  let phases = if quick then 40 else 300 in
+  let table =
+    Table.create
+      ~title:
+        "E4  Per-phase potential accounting (Lemmas 3-4): dPhi <= V/2 <= 0 \
+         at T = T*"
+      ~columns:
+        [
+          "instance"; "policy"; "phases"; "V <= 0"; "dPhi <= V/2";
+          "max lemma3 residual"; "min V"; "min dPhi";
+        ]
+  in
+  let instances =
+    [
+      ("two-link(b=4)", Common.two_link ~beta:4.);
+      ("braess", Common.braess ());
+      ("parallel-8", Common.parallel 8);
+      ("grid-3x3", Common.grid33 ());
+    ]
+  in
+  List.iter
+    (fun (iname, inst) ->
+      List.iter
+        (fun (pname, policy) ->
+          let t = Common.safe_period inst policy in
+          let result =
+            Common.run inst policy (Driver.Stale t) ~phases
+              ~init:(Common.biased_start inst) ()
+          in
+          let v_nonpos = ref 0
+          and halving = ref 0
+          and lemma3_residual = ref 0.
+          and v_min = ref 0.
+          and dphi_min = ref 0. in
+          let snapshots = Common.phase_start_flows result in
+          Array.iteri
+            (fun k r ->
+              let v = r.Driver.virtual_gain in
+              let dphi = r.Driver.delta_phi in
+              if v <= 1e-12 then incr v_nonpos;
+              if dphi <= (v /. 2.) +. 1e-9 then incr halving;
+              v_min := Float.min !v_min v;
+              dphi_min := Float.min !dphi_min dphi;
+              (* Lemma 3 identity, evaluated independently. *)
+              let u =
+                Virtual_gain.error_terms inst ~phase_start:snapshots.(k)
+                  ~phase_end:snapshots.(k + 1)
+              in
+              lemma3_residual :=
+                Float.max !lemma3_residual
+                  (Float.abs (dphi -. (u +. v))))
+            result.Driver.records;
+          Table.add_row table
+            [
+              iname;
+              pname;
+              Table.cell_int phases;
+              Printf.sprintf "%d/%d" !v_nonpos phases;
+              Printf.sprintf "%d/%d" !halving phases;
+              Table.cell_sci !lemma3_residual;
+              Table.cell_sci !v_min;
+              Table.cell_sci !dphi_min;
+            ])
+        [
+          ("uniform/linear", Policy.uniform_linear inst);
+          ("replicator", Policy.replicator inst);
+        ])
+    instances;
+  [ table ]

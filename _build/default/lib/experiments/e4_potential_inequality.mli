@@ -1,0 +1,8 @@
+(** E4 — Lemma 3 and Lemma 4: per-phase potential accounting.
+
+    Lemma 3 (exact identity): [ΔΦ = Σ_e U_e + V(f̂, f)].
+    Lemma 4 (for α-smooth policies with [T <= 1/(4DαΒ)]):
+    [ΔΦ <= V(f̂, f)/2 <= 0] — the stale error terms eat at most half of
+    the virtual progress.  Measured on every phase of converging runs. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

@@ -1,0 +1,70 @@
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+
+let delta = 0.3
+let eps = 0.1
+
+(* The concrete constant behind Theorem 6's O(.): the proof shows each
+   bad round decreases Phi by at least T.eps.delta^2.e^-1/(2 m lmax),
+   and Phi ranges over at most lmax, so
+     bad rounds <= 2 e m lmax^2 / (T eps delta^2). *)
+let theorem6_bound ~m ~t ~ell_max =
+  2. *. Float.exp 1. *. float_of_int m *. ell_max *. ell_max
+  /. (t *. eps *. delta *. delta)
+
+(* The needle workload from the uniform start: every link holds 1/m, so
+   the instance is far from its equilibrium (everything on link 0) and
+   discovering the needle is exactly the sampling problem the theorems
+   describe. *)
+let run_width ~phases ~policy_of ~kind m =
+  let inst = Common.needle m in
+  let policy = policy_of inst in
+  let t = Common.safe_period inst policy in
+  let result =
+    Common.run inst policy (Driver.Stale t) ~phases
+      ~init:(Staleroute_wardrop.Flow.uniform inst) ()
+  in
+  let snapshots = Common.phase_start_flows result in
+  let bad = Convergence.bad_rounds inst kind ~delta ~eps snapshots in
+  let settled = Convergence.all_good_after inst kind ~delta ~eps snapshots in
+  (t, bad, settled)
+
+let tables ?(quick = false) () =
+  let phases = if quick then 400 else 3000 in
+  let widths = if quick then [ 2; 8 ] else [ 2; 4; 8; 16; 32; 64 ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E5  Theorem 6: uniform sampling pays the |P| factor (needle \
+            workload, delta=%g, eps=%g; bound ~ m)"
+           delta eps)
+      ~columns:
+        [
+          "m (paths)"; "T"; "bad rounds"; "bad/m"; "Thm 6 bound";
+          "settled at"; "horizon";
+        ]
+  in
+  List.iter
+    (fun m ->
+      let inst = Common.needle m in
+      let t, bad, settled =
+        run_width ~phases ~policy_of:Policy.uniform_linear
+          ~kind:Convergence.Strict m
+      in
+      Table.add_row table
+        [
+          Table.cell_int m;
+          Table.cell_float ~decimals:4 t;
+          Table.cell_int bad;
+          Table.cell_float ~decimals:2 (float_of_int bad /. float_of_int m);
+          Table.cell_int
+            (int_of_float
+               (Float.ceil
+                  (theorem6_bound ~m ~t
+                     ~ell_max:(Staleroute_wardrop.Instance.ell_max inst))));
+          (match settled with Some k -> Table.cell_int k | None -> "never");
+          Table.cell_int phases;
+        ])
+    widths;
+  [ table ]

@@ -1,0 +1,7 @@
+(** E5 — Theorem 6: with uniform sampling and linear migration the
+    number of update periods not starting at a (δ,ε)-equilibrium is
+    [O(max_i |P_i| / (ε T) · (ℓ_max/δ)²)] — in particular it grows
+    (roughly linearly) with the number of paths.  Measured on parallel-
+    link networks of increasing width. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

@@ -1,0 +1,60 @@
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+
+let delta = 0.3
+let eps = 0.1
+
+(* Theorem 7's concrete constant: bad rounds <= 2 e lmax^2/(T eps
+   delta^2) — no |P| factor. *)
+let theorem7_bound ~t ~ell_max =
+  2. *. Float.exp 1. *. ell_max *. ell_max /. (t *. eps *. delta *. delta)
+
+let tables ?(quick = false) () =
+  let phases = if quick then 400 else 3000 in
+  let widths = if quick then [ 2; 8 ] else [ 2; 4; 8; 16; 32; 64 ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E6  Theorem 7: the replicator's bad rounds do not scale with \
+            |P| (needle workload, weak eq, delta=%g, eps=%g)"
+           delta eps)
+      ~columns:
+        [
+          "m (paths)"; "repl bad (weak)"; "repl bad/log2(m)";
+          "Thm 7 bound"; "unif bad (weak)"; "ratio unif/repl";
+        ]
+  in
+  List.iter
+    (fun m ->
+      let run policy_of kind =
+        let inst = Common.needle m in
+        let policy = policy_of inst in
+        let t = Common.safe_period inst policy in
+        let result =
+          Common.run inst policy (Driver.Stale t) ~phases
+            ~init:(Staleroute_wardrop.Flow.uniform inst) ()
+        in
+        ( Convergence.bad_rounds inst kind ~delta ~eps
+            (Common.phase_start_flows result),
+          t,
+          Staleroute_wardrop.Instance.ell_max inst )
+      in
+      let bad_repl, t_repl, ell_max = run Policy.replicator Convergence.Weak in
+      let bad_unif, _, _ = run Policy.uniform_linear Convergence.Weak in
+      Table.add_row table
+        [
+          Table.cell_int m;
+          Table.cell_int bad_repl;
+          Table.cell_float ~decimals:2
+            (float_of_int bad_repl /. (log (float_of_int m) /. log 2.));
+          Table.cell_int
+            (int_of_float (Float.ceil (theorem7_bound ~t:t_repl ~ell_max)));
+          Table.cell_int bad_unif;
+          (if bad_repl = 0 then "-"
+           else
+             Table.cell_float ~decimals:2
+               (float_of_int bad_unif /. float_of_int bad_repl));
+        ])
+    widths;
+  [ table ]

@@ -1,0 +1,6 @@
+(** E6 — Theorem 7: proportional sampling (the replicator) removes the
+    [|P|] factor — the number of update periods not starting at a weak
+    (δ,ε)-equilibrium is [O(1/(ε T) · (ℓ_max/δ)²)], independent of the
+    number of paths.  Same sweep as E5 for a side-by-side comparison. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

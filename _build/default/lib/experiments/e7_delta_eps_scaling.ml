@@ -1,0 +1,93 @@
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+
+let count_bad ~snapshots ~inst ~kind ~delta ~eps =
+  Convergence.bad_rounds inst kind ~delta ~eps snapshots
+
+let run_once ~phases ~policy_of inst =
+  let policy = policy_of inst in
+  let t = Common.safe_period inst policy in
+  let result =
+    Common.run inst policy (Driver.Stale t) ~phases
+      ~init:(Common.biased_start inst) ()
+  in
+  Common.phase_start_flows result
+
+let delta_table ~snapshots_u ~snapshots_r ~inst ~deltas =
+  let eps = 0.1 in
+  let table =
+    Table.create
+      ~title:
+        "E7a  Bad rounds vs delta at eps=0.1 (bound predicts ~1/delta^2)"
+      ~columns:
+        [
+          "delta"; "unif bad (strict)"; "unif x delta^2";
+          "repl bad (weak)"; "repl x delta^2";
+        ]
+  in
+  List.iter
+    (fun delta ->
+      let bu =
+        count_bad ~snapshots:snapshots_u ~inst ~kind:Convergence.Strict
+          ~delta ~eps
+      in
+      let br =
+        count_bad ~snapshots:snapshots_r ~inst ~kind:Convergence.Weak ~delta
+          ~eps
+      in
+      Table.add_row table
+        [
+          Table.cell_float ~decimals:3 delta;
+          Table.cell_int bu;
+          Table.cell_float ~decimals:2 (float_of_int bu *. delta *. delta);
+          Table.cell_int br;
+          Table.cell_float ~decimals:2 (float_of_int br *. delta *. delta);
+        ])
+    deltas;
+  table
+
+let eps_table ~snapshots_u ~snapshots_r ~inst ~epss =
+  let delta = 0.2 in
+  let table =
+    Table.create
+      ~title:"E7b  Bad rounds vs eps at delta=0.2 (bound predicts ~1/eps)"
+      ~columns:
+        [
+          "eps"; "unif bad (strict)"; "unif x eps"; "repl bad (weak)";
+          "repl x eps";
+        ]
+  in
+  List.iter
+    (fun eps ->
+      let bu =
+        count_bad ~snapshots:snapshots_u ~inst ~kind:Convergence.Strict
+          ~delta ~eps
+      in
+      let br =
+        count_bad ~snapshots:snapshots_r ~inst ~kind:Convergence.Weak ~delta
+          ~eps
+      in
+      Table.add_row table
+        [
+          Table.cell_float ~decimals:3 eps;
+          Table.cell_int bu;
+          Table.cell_float ~decimals:2 (float_of_int bu *. eps);
+          Table.cell_int br;
+          Table.cell_float ~decimals:2 (float_of_int br *. eps);
+        ])
+    epss;
+  table
+
+let tables ?(quick = false) () =
+  let phases = if quick then 300 else 4000 in
+  let inst = Common.parallel 8 in
+  (* One long run per policy; the (delta, eps) grid is evaluated on the
+     recorded snapshots. *)
+  let snapshots_u = run_once ~phases ~policy_of:Policy.uniform_linear inst in
+  let snapshots_r = run_once ~phases ~policy_of:Policy.replicator inst in
+  let deltas = if quick then [ 0.4; 0.1 ] else [ 0.4; 0.2; 0.1; 0.05 ] in
+  let epss = if quick then [ 0.4; 0.1 ] else [ 0.4; 0.2; 0.1; 0.05 ] in
+  [
+    delta_table ~snapshots_u ~snapshots_r ~inst ~deltas;
+    eps_table ~snapshots_u ~snapshots_r ~inst ~epss;
+  ]

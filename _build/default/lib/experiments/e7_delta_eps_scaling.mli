@@ -1,0 +1,7 @@
+(** E7 — Theorems 6/7, dependence on the approximation quality: bad
+    rounds scale like [(ℓ_max/δ)²] in the latency slack and like [1/ε]
+    in the population slack.  Measured on the 8-link network with both
+    policies; the theorems give upper bounds, so the measured growth
+    should be no faster than predicted. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

@@ -1,0 +1,69 @@
+open Staleroute_dynamics
+open Staleroute_sim
+module Table = Staleroute_util.Table
+module Vec = Staleroute_util.Vec
+module Rng = Staleroute_util.Rng
+
+let tables ?(quick = false) () =
+  let inst = Common.braess () in
+  let policy = Policy.replicator inst in
+  let t = Common.safe_period inst policy in
+  let phases = if quick then 10 else 40 in
+  let init = Common.biased_start inst in
+  let fluid =
+    Common.run inst policy (Driver.Stale t) ~phases ~init ()
+  in
+  let fluid_snapshots = Common.phase_start_flows fluid in
+  let populations = if quick then [ 100; 1000 ] else [ 100; 1000; 10000 ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E8  Finite population vs fluid limit (braess, replicator, \
+            T=%.3f, %d phases)"
+           t phases)
+      ~columns:
+        [
+          "N"; "mean L1 distance"; "max L1 distance"; "final L1";
+          "activations"; "migrations";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create ~seed:(1000 + n) () in
+      let config =
+        {
+          Simulator.agents = n;
+          update_period = t;
+          horizon = float_of_int phases *. t;
+          policy;
+          record_every = t;
+          info_mode = Simulator.Synchronized;
+        }
+      in
+      let sim = Simulator.run inst config ~rng ~init in
+      (* Snapshot k of the simulator is at time k*T, matching fluid
+         phase starts. *)
+      let distances =
+        Array.mapi
+          (fun k snap ->
+            if k < Array.length fluid_snapshots then
+              Vec.dist1 snap.Simulator.flow fluid_snapshots.(k)
+            else 0.)
+          sim.Simulator.snapshots
+      in
+      let m = min (Array.length distances) (Array.length fluid_snapshots) in
+      let distances = Array.sub distances 0 m in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float ~decimals:5 (Staleroute_util.Stats.mean distances);
+          Table.cell_float ~decimals:5
+            (Array.fold_left Float.max 0. distances);
+          Table.cell_float ~decimals:5
+            (Vec.dist1 sim.Simulator.final_flow fluid.Driver.final_flow);
+          Table.cell_int sim.Simulator.activations;
+          Table.cell_int sim.Simulator.migrations;
+        ])
+    populations;
+  [ table ]

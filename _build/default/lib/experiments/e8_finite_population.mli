@@ -1,0 +1,7 @@
+(** E8 — model validation: the finite-population discrete-event
+    simulator converges to the fluid-limit trajectory as the population
+    grows (the regime in which the paper's differential equations are
+    the right description).  Reports the L¹ distance between empirical
+    and fluid flows at phase starts for increasing N. *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

@@ -1,0 +1,99 @@
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+module Vec = Staleroute_util.Vec
+
+let integrator_table ~quick =
+  let inst = Common.braess () in
+  let policy = Policy.replicator inst in
+  let t = Common.safe_period inst policy in
+  let phases = if quick then 20 else 100 in
+  let init = Common.biased_start inst in
+  let reference =
+    Common.run inst policy (Driver.Stale t) ~phases ~steps_per_phase:200 ~init
+      ()
+  in
+  let table =
+    Table.create
+      ~title:
+        "E9a  Ablation: integrator scheme and resolution vs 200-step RK4 \
+         reference"
+      ~columns:
+        [ "scheme"; "steps/phase"; "|phi - phi_ref|"; "final flow L1 err" ]
+  in
+  List.iter
+    (fun (scheme, steps) ->
+      let config =
+        { Driver.policy; staleness = Driver.Stale t; phases;
+          steps_per_phase = steps; scheme }
+      in
+      let result = Driver.run inst config ~init in
+      Table.add_row table
+        [
+          Integrator.scheme_name scheme;
+          Table.cell_int steps;
+          Table.cell_sci
+            (Float.abs
+               (result.Driver.final_potential
+               -. reference.Driver.final_potential));
+          Table.cell_sci
+            (Vec.dist1 result.Driver.final_flow reference.Driver.final_flow);
+        ])
+    [
+      (Integrator.Euler, 1);
+      (Integrator.Euler, 5);
+      (Integrator.Euler, 20);
+      (Integrator.Rk4, 1);
+      (Integrator.Rk4, 5);
+      (Integrator.Rk4, 20);
+    ];
+  table
+
+let sharpness_table ~quick =
+  let inst = Common.two_link ~beta:4. in
+  let ell_max = Instance.ell_max inst in
+  let alpha0 = 1. /. ell_max in
+  let base_policy =
+    Policy.make ~sampling:Sampling.Uniform
+      ~migration:(Migration.Scaled_linear { alpha = alpha0 })
+  in
+  let t = Common.safe_period inst base_policy in
+  let phases = if quick then 60 else 400 in
+  let kappas = if quick then [ 1.; 16. ] else [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E9b  Ablation: migration scaled kappa-fold beyond alpha0 at \
+            fixed T=T*(alpha0)=%.3f (effective T/T* = kappa)"
+           t)
+      ~columns:[ "kappa"; "wardrop gap"; "phi increases"; "oscillating?" ]
+  in
+  List.iter
+    (fun kappa ->
+      let policy =
+        Policy.make ~sampling:Sampling.Uniform
+          ~migration:(Migration.Scaled_linear { alpha = kappa *. alpha0 })
+      in
+      let result =
+        Common.run inst policy (Driver.Stale t) ~phases
+          ~init:(Common.biased_start inst) ()
+      in
+      let increases =
+        Array.fold_left
+          (fun n r -> if r.Driver.delta_phi > 1e-9 then n + 1 else n)
+          0 result.Driver.records
+      in
+      Table.add_row table
+        [
+          Table.cell_float ~decimals:0 kappa;
+          Table.cell_sci (Equilibrium.wardrop_gap inst result.Driver.final_flow);
+          Table.cell_int increases;
+          string_of_bool
+            (Convergence.is_oscillating (Common.phase_start_flows result));
+        ])
+    kappas;
+  table
+
+let tables ?(quick = false) () =
+  [ integrator_table ~quick; sharpness_table ~quick ]

@@ -1,0 +1,10 @@
+(** E9 — ablations of the reproduction's own design choices:
+
+    (a) integrator fidelity: scheme × steps-per-phase against a
+        high-resolution reference (DESIGN.md decision 2);
+    (b) sharpness of the smoothness condition: scale the migration
+        probability by [κ] beyond the largest α that keeps
+        [T = T*(α₀)] safe and watch where convergence is lost
+        (DESIGN.md decision 5). *)
+
+val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list

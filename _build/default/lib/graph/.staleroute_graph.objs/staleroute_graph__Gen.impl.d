@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Digraph List Staleroute_util

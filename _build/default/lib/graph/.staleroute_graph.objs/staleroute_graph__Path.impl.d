@@ -1,0 +1,1 @@
+lib/graph/path.ml: Array Digraph Format Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/graph/path_enum.ml: Array Digraph List Path

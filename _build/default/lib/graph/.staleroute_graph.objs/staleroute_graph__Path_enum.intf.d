@@ -1,0 +1,1 @@
+lib/graph/path_enum.mli: Digraph Path

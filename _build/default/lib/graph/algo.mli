@@ -1,0 +1,30 @@
+(** Classic graph algorithms over {!Digraph}: reachability, topological
+    order, strongly connected components.
+
+    Used for instance sanity checks (e.g. verifying generated topologies
+    are acyclic) and available to downstream users building their own
+    networks. *)
+
+val reachable_from : Digraph.t -> Digraph.node -> bool array
+(** Nodes reachable from the given node (including itself), by BFS. *)
+
+val co_reachable_to : Digraph.t -> Digraph.node -> bool array
+(** Nodes from which the given node is reachable (including itself). *)
+
+val on_some_path :
+  Digraph.t -> src:Digraph.node -> dst:Digraph.node -> bool array
+(** Nodes lying on at least one (not necessarily simple) [src]–[dst]
+    walk: reachable from [src] and co-reachable to [dst]. *)
+
+val topological_order : Digraph.t -> Digraph.node list option
+(** A topological order of the nodes, or [None] if the graph has a
+    cycle (Kahn's algorithm; ties broken towards smaller node ids, so
+    the order is deterministic). *)
+
+val is_acyclic : Digraph.t -> bool
+
+val strongly_connected_components : Digraph.t -> Digraph.node list list
+(** Tarjan's algorithm.  Components are returned in reverse topological
+    order of the condensation (a component appears before the
+    components it can reach... from callees to callers); nodes within a
+    component are listed in discovery order. *)

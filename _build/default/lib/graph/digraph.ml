@@ -1,0 +1,70 @@
+type node = int
+
+type edge = { id : int; src : node; dst : node }
+
+type t = {
+  node_count : int;
+  edge_array : edge array;
+  out_adj : edge list array;
+  in_adj : edge list array;
+}
+
+let create ~nodes ~edges =
+  if nodes <= 0 then invalid_arg "Digraph.create: need at least one node";
+  let edge_array =
+    Array.of_list
+      (List.mapi
+         (fun id (src, dst) ->
+           if src < 0 || src >= nodes || dst < 0 || dst >= nodes then
+             invalid_arg "Digraph.create: endpoint out of range";
+           if src = dst then invalid_arg "Digraph.create: self-loop";
+           { id; src; dst })
+         edges)
+  in
+  let out_adj = Array.make nodes [] and in_adj = Array.make nodes [] in
+  (* Iterate in reverse so adjacency lists end up in increasing id order. *)
+  for i = Array.length edge_array - 1 downto 0 do
+    let e = edge_array.(i) in
+    out_adj.(e.src) <- e :: out_adj.(e.src);
+    in_adj.(e.dst) <- e :: in_adj.(e.dst)
+  done;
+  { node_count = nodes; edge_array; out_adj; in_adj }
+
+let node_count t = t.node_count
+let edge_count t = Array.length t.edge_array
+
+let edge t id =
+  if id < 0 || id >= Array.length t.edge_array then
+    invalid_arg "Digraph.edge: id out of range";
+  t.edge_array.(id)
+
+let edges t = Array.copy t.edge_array
+
+let check_node t v =
+  if v < 0 || v >= t.node_count then
+    invalid_arg "Digraph: node out of range"
+
+let out_edges t v =
+  check_node t v;
+  t.out_adj.(v)
+
+let in_edges t v =
+  check_node t v;
+  t.in_adj.(v)
+
+let out_degree t v = List.length (out_edges t v)
+
+let mem_edge t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  List.exists (fun e -> e.dst = dst) t.out_adj.(src)
+
+let fold_edges f t init = Array.fold_left (fun acc e -> f e acc) init t.edge_array
+
+let pp ppf t =
+  Format.fprintf ppf "digraph(%d nodes,@ %d edges:@ %a)" t.node_count
+    (edge_count t)
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf e -> Format.fprintf ppf "%d:%d->%d" e.id e.src e.dst))
+    t.edge_array

@@ -1,0 +1,40 @@
+(** Directed finite multigraphs.
+
+    Nodes are dense integers [0 .. node_count - 1]; edges carry dense
+    integer ids [0 .. edge_count - 1] and are directed.  Parallel edges
+    and self-loops are representable (the Wardrop model of the paper is
+    defined on multigraphs); self-loops are rejected because no simple
+    path uses them. *)
+
+type node = int
+
+type edge = private { id : int; src : node; dst : node }
+
+type t
+
+val create : nodes:int -> edges:(node * node) list -> t
+(** [create ~nodes ~edges] builds a graph with [nodes] vertices and the
+    given directed edges, whose ids are assigned in list order.  Raises
+    [Invalid_argument] on out-of-range endpoints, [nodes <= 0], or a
+    self-loop. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val edge : t -> int -> edge
+(** Edge by id; raises [Invalid_argument] when out of range. *)
+
+val edges : t -> edge array
+(** All edges in id order.  The returned array is fresh. *)
+
+val out_edges : t -> node -> edge list
+(** Outgoing edges of a node, in increasing id order. *)
+
+val in_edges : t -> node -> edge list
+
+val out_degree : t -> node -> int
+val mem_edge : t -> src:node -> dst:node -> bool
+(** Whether at least one edge [src -> dst] exists. *)
+
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+val pp : Format.formatter -> t -> unit

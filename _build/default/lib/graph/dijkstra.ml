@@ -1,0 +1,68 @@
+type result = {
+  graph : Digraph.t;
+  src : Digraph.node;
+  dist : float array;
+  pred : Digraph.edge option array;
+}
+
+let run g ~weights ~src =
+  if Array.length weights <> Digraph.edge_count g then
+    invalid_arg "Dijkstra.run: weight vector length mismatch";
+  Array.iter
+    (fun w -> if w < 0. then invalid_arg "Dijkstra.run: negative weight")
+    weights;
+  let n = Digraph.node_count g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.run: src out of range";
+  let dist = Array.make n infinity in
+  let pred = Array.make n None in
+  let settled = Array.make n false in
+  let frontier = Staleroute_util.Heap.create () in
+  dist.(src) <- 0.;
+  Staleroute_util.Heap.push frontier ~priority:0. src;
+  let rec drain () =
+    match Staleroute_util.Heap.pop frontier with
+    | None -> ()
+    | Some (d, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          List.iter
+            (fun e ->
+              let w = e.Digraph.dst in
+              let nd = d +. weights.(e.Digraph.id) in
+              if nd < dist.(w) then begin
+                dist.(w) <- nd;
+                pred.(w) <- Some e;
+                Staleroute_util.Heap.push frontier ~priority:nd w
+              end)
+            (Digraph.out_edges g v)
+        end;
+        drain ()
+  in
+  drain ();
+  { graph = g; src; dist; pred }
+
+let distance r v =
+  if v < 0 || v >= Array.length r.dist then
+    invalid_arg "Dijkstra.distance: node out of range";
+  r.dist.(v)
+
+let path_to r v =
+  if v < 0 || v >= Array.length r.dist then
+    invalid_arg "Dijkstra.path_to: node out of range";
+  if v = r.src || r.dist.(v) = infinity then None
+  else begin
+    let rec collect v acc =
+      if v = r.src then acc
+      else
+        match r.pred.(v) with
+        | None -> assert false
+        | Some e -> collect e.Digraph.src (e.Digraph.id :: acc)
+    in
+    Some (Path.of_edges r.graph (collect v []))
+  end
+
+let shortest_path g ~weights ~src ~dst =
+  let r = run g ~weights ~src in
+  match path_to r dst with
+  | None -> None
+  | Some p -> Some (p, r.dist.(dst))

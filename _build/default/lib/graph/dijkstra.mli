@@ -1,0 +1,25 @@
+(** Single-source shortest paths with non-negative edge weights.
+
+    Used for best-response computation: given posted latencies as edge
+    weights, the best reply of a commodity is a shortest source–sink
+    path. *)
+
+type result
+(** Distances and a shortest-path tree rooted at the source. *)
+
+val run : Digraph.t -> weights:float array -> src:Digraph.node -> result
+(** [run g ~weights ~src] computes shortest distances from [src].
+    [weights] is indexed by edge id; raises [Invalid_argument] on a
+    negative weight or a length mismatch. *)
+
+val distance : result -> Digraph.node -> float
+(** Distance to a node, [infinity] if unreachable. *)
+
+val path_to : result -> Digraph.node -> Path.t option
+(** A shortest path from the source, [None] if unreachable or equal to
+    the source. *)
+
+val shortest_path :
+  Digraph.t -> weights:float array -> src:Digraph.node -> dst:Digraph.node ->
+  (Path.t * float) option
+(** Convenience wrapper: one shortest [src -> dst] path and its length. *)

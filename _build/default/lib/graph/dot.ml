@@ -1,0 +1,19 @@
+let to_dot ?(name = "g") ?edge_label g =
+  let edge_label =
+    match edge_label with
+    | Some f -> f
+    | None -> fun e -> string_of_int e.Digraph.id
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  for v = 0 to Digraph.node_count g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  n%d;\n" v)
+  done;
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" e.Digraph.src
+           e.Digraph.dst (edge_label e)))
+    (Digraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Graphviz DOT export, for debugging and documentation. *)
+
+val to_dot :
+  ?name:string ->
+  ?edge_label:(Digraph.edge -> string) ->
+  Digraph.t ->
+  string
+(** Render the graph in DOT syntax.  [edge_label] defaults to the edge
+    id. *)

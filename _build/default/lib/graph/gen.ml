@@ -1,0 +1,76 @@
+type st = { graph : Digraph.t; src : Digraph.node; dst : Digraph.node }
+
+let parallel_links m =
+  if m < 1 then invalid_arg "Gen.parallel_links: need m >= 1";
+  let edges = List.init m (fun _ -> (0, 1)) in
+  { graph = Digraph.create ~nodes:2 ~edges; src = 0; dst = 1 }
+
+let braess () =
+  let edges = [ (0, 1); (0, 2); (1, 3); (2, 3); (1, 2) ] in
+  { graph = Digraph.create ~nodes:4 ~edges; src = 0; dst = 3 }
+
+let grid ~width ~height =
+  if width < 1 || height < 1 || width * height < 2 then
+    invalid_arg "Gen.grid: need at least two cells";
+  let id x y = (y * width) + x in
+  let edges = ref [] in
+  for y = height - 1 downto 0 do
+    for x = width - 1 downto 0 do
+      if x + 1 < width then edges := (id x y, id (x + 1) y) :: !edges;
+      if y + 1 < height then edges := (id x y, id x (y + 1)) :: !edges
+    done
+  done;
+  {
+    graph = Digraph.create ~nodes:(width * height) ~edges:!edges;
+    src = 0;
+    dst = id (width - 1) (height - 1);
+  }
+
+let layered ~rng ~layers ~width ~edge_prob =
+  if layers < 1 || width < 1 then
+    invalid_arg "Gen.layered: need layers, width >= 1";
+  if edge_prob < 0. || edge_prob > 1. then
+    invalid_arg "Gen.layered: edge_prob outside [0,1]";
+  let src = 0 in
+  let node layer i = 1 + ((layer - 1) * width) + i in
+  let dst = 1 + (layers * width) in
+  let edges = ref [] in
+  (* Source connects to the whole first layer. *)
+  for i = 0 to width - 1 do
+    edges := (src, node 1 i) :: !edges
+  done;
+  for layer = 1 to layers - 1 do
+    for i = 0 to width - 1 do
+      (* One forced edge keeps every node on a source-sink path. *)
+      let forced = Staleroute_util.Rng.int rng width in
+      for j = 0 to width - 1 do
+        if j = forced || Staleroute_util.Rng.uniform rng < edge_prob then
+          edges := (node layer i, node (layer + 1) j) :: !edges
+      done
+    done
+  done;
+  for i = 0 to width - 1 do
+    edges := (node layers i, dst) :: !edges
+  done;
+  {
+    graph = Digraph.create ~nodes:(dst + 1) ~edges:(List.rev !edges);
+    src;
+    dst;
+  }
+
+let ladder k =
+  if k < 1 then invalid_arg "Gen.ladder: need k >= 1";
+  (* Nodes 0 .. k; between node i and i+1 run two parallel length-2
+     branches through dedicated middle nodes. *)
+  let mid_base = k + 1 in
+  let edges = ref [] in
+  for i = k - 1 downto 0 do
+    let up = mid_base + (2 * i) and down = mid_base + (2 * i) + 1 in
+    edges :=
+      (i, up) :: (up, i + 1) :: (i, down) :: (down, i + 1) :: !edges
+  done;
+  {
+    graph = Digraph.create ~nodes:(mid_base + (2 * k)) ~edges:!edges;
+    src = 0;
+    dst = k;
+  }

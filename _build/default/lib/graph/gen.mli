@@ -1,0 +1,34 @@
+(** Topology generators for experiments.
+
+    Every generator returns a single-source single-sink network; the
+    Wardrop instances built on top attach latency functions and demands. *)
+
+type st = { graph : Digraph.t; src : Digraph.node; dst : Digraph.node }
+(** A graph with a designated source and sink. *)
+
+val parallel_links : int -> st
+(** [parallel_links m] is the 2-node network with [m] parallel edges —
+    the load-balancing topology of the paper's §3.2 example (with
+    [m = 2]) and of Mitzenmacher's bulletin-board model. *)
+
+val braess : unit -> st
+(** The classic 4-node Braess graph: source [0], sink [3], upper route
+    [0->1->3], lower route [0->2->3] and the bridge [1->2].  Edge order:
+    [0:(0,1)], [1:(0,2)], [2:(1,3)], [3:(2,3)], [4:(1,2)]. *)
+
+val grid : width:int -> height:int -> st
+(** Directed grid with rightward and downward edges; source top-left,
+    sink bottom-right.  Requires [width, height >= 1] and at least two
+    cells. *)
+
+val layered :
+  rng:Staleroute_util.Rng.t -> layers:int -> width:int -> edge_prob:float ->
+  st
+(** Random layered DAG: a source, [layers] layers of [width] nodes, and
+    a sink.  Consecutive layers are connected independently with
+    probability [edge_prob]; one edge per node in each direction is
+    forced so that every node lies on some source–sink path. *)
+
+val ladder : int -> st
+(** [ladder k] is a series chain of [k] two-link "diamonds": a network
+    with maximum path length [2k] and [2^k] paths.  Requires [k >= 1]. *)

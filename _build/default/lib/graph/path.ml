@@ -1,0 +1,45 @@
+type t = { edges : int array; nodes : Digraph.node array }
+(* [nodes] holds the visited vertices, so [nodes.(0)] is the source and
+   the last entry the destination; [Array.length nodes = length + 1]. *)
+
+let of_edges g ids =
+  match ids with
+  | [] -> invalid_arg "Path.of_edges: empty path"
+  | first :: _ ->
+      let edges = Array.of_list ids in
+      let first_edge = Digraph.edge g first in
+      let seen = Hashtbl.create 16 in
+      let start = first_edge.Digraph.src in
+      Hashtbl.add seen start ();
+      let rev_nodes = ref [ start ] in
+      let (_ : Digraph.node) =
+        Array.fold_left
+          (fun cur id ->
+            let e = Digraph.edge g id in
+            if e.Digraph.src <> cur then
+              invalid_arg "Path.of_edges: edges do not chain";
+            if Hashtbl.mem seen e.Digraph.dst then
+              invalid_arg "Path.of_edges: node repeats (path not simple)";
+            Hashtbl.add seen e.Digraph.dst ();
+            rev_nodes := e.Digraph.dst :: !rev_nodes;
+            e.Digraph.dst)
+          start edges
+      in
+      { edges; nodes = Array.of_list (List.rev !rev_nodes) }
+
+let edge_ids t = Array.to_list t.edges
+let edge_id_array t = t.edges
+let src t = t.nodes.(0)
+let dst t = t.nodes.(Array.length t.nodes - 1)
+let length t = Array.length t.edges
+let nodes t = Array.to_list t.nodes
+let mem_edge t id = Array.exists (fun e -> e = id) t.edges
+let equal a b = src a = src b && a.edges = b.edges
+let compare a b = Stdlib.compare (src a, a.edges) (src b, b.edges)
+
+let pp ppf t =
+  Format.fprintf ppf "%d-[%a]->%d" (src t)
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    t.edges (dst t)

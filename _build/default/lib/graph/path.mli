@@ -1,0 +1,35 @@
+(** Simple directed paths, represented as sequences of edge ids.
+
+    A path is immutable and validated on construction: consecutive edges
+    must chain head-to-tail and no node may repeat (paths in the Wardrop
+    game are simple). *)
+
+type t
+
+val of_edges : Digraph.t -> int list -> t
+(** [of_edges g ids] builds a path from edge ids.  Raises
+    [Invalid_argument] if the list is empty, an id is out of range, the
+    edges do not chain, or a node repeats. *)
+
+val edge_ids : t -> int list
+(** Edge ids in traversal order. *)
+
+val edge_id_array : t -> int array
+(** Same as {!edge_ids}, zero-copy view used by hot loops; do not
+    mutate. *)
+
+val src : t -> Digraph.node
+val dst : t -> Digraph.node
+
+val length : t -> int
+(** Number of edges. *)
+
+val nodes : t -> Digraph.node list
+(** Visited nodes from [src] to [dst] inclusive. *)
+
+val mem_edge : t -> int -> bool
+(** Whether the path uses the given edge id. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+exception Too_many_paths of int
+
+let all_simple_paths ?(max_paths = 10_000) g ~src ~dst =
+  if src = dst then invalid_arg "Path_enum.all_simple_paths: src = dst";
+  let visited = Array.make (Digraph.node_count g) false in
+  let found = ref [] and count = ref 0 in
+  (* Depth-first search carrying the reversed edge-id prefix. *)
+  let rec dfs v rev_prefix =
+    if v = dst then begin
+      incr count;
+      if !count > max_paths then raise (Too_many_paths max_paths);
+      found := Path.of_edges g (List.rev rev_prefix) :: !found
+    end
+    else begin
+      visited.(v) <- true;
+      List.iter
+        (fun e ->
+          if not visited.(e.Digraph.dst) then
+            dfs e.Digraph.dst (e.Digraph.id :: rev_prefix))
+        (Digraph.out_edges g v);
+      visited.(v) <- false
+    end
+  in
+  dfs src [];
+  List.rev !found
+
+let count_paths g ~src ~dst =
+  if src = dst then invalid_arg "Path_enum.count_paths: src = dst";
+  let visited = Array.make (Digraph.node_count g) false in
+  let rec dfs v =
+    if v = dst then 1
+    else begin
+      visited.(v) <- true;
+      let n =
+        List.fold_left
+          (fun acc e ->
+            if visited.(e.Digraph.dst) then acc else acc + dfs e.Digraph.dst)
+          0 (Digraph.out_edges g v)
+      in
+      visited.(v) <- false;
+      n
+    end
+  in
+  dfs src

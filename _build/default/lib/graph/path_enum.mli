@@ -1,0 +1,22 @@
+(** Exhaustive enumeration of simple source–sink paths.
+
+    The Wardrop game is path-explicit: each commodity plays over the set
+    [P_i] of all simple [s_i -> t_i] paths.  Enumeration is depth-first
+    with an explicit visited set; a cap guards against exponential
+    blow-ups in adversarial topologies. *)
+
+exception Too_many_paths of int
+(** Raised when enumeration exceeds the cap (payload: the cap). *)
+
+val all_simple_paths :
+  ?max_paths:int -> Digraph.t -> src:Digraph.node -> dst:Digraph.node ->
+  Path.t list
+(** All simple paths from [src] to [dst], in lexicographic order of edge
+    ids.  Returns [] when [dst] is unreachable.  Raises
+    {!Too_many_paths} when more than [max_paths] (default 10_000) paths
+    exist and [Invalid_argument] when [src = dst]. *)
+
+val count_paths : Digraph.t -> src:Digraph.node -> dst:Digraph.node -> int
+(** Number of simple [src -> dst] paths, without materialising them
+    (still exponential time in the worst case, but constant space per
+    recursion level). *)

@@ -1,0 +1,1 @@
+lib/latency/latency.ml: Array Buffer Float Format List Printf Staleroute_util String

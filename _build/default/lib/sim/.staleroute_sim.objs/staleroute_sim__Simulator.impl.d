@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Bulletin_board Float Flow Instance List Migration Policy Printf Sampling Staleroute_dynamics Staleroute_util Staleroute_wardrop

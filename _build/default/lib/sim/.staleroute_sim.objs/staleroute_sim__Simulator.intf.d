@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Flow Instance Policy Staleroute_dynamics Staleroute_util Staleroute_wardrop

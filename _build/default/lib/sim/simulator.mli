@@ -1,0 +1,53 @@
+(** Finite-population discrete-event simulator of the bulletin-board
+    routing game.
+
+    The fluid limit of the paper describes infinitely many infinitesimal
+    agents; this simulator runs [N] discrete agents, each activated by
+    an independent rate-1 Poisson clock (i.i.d. Exp(1) inter-activation
+    times through a global event queue).  On activation an agent samples
+    a path and migrates according to the policy, reading {e posted}
+    information from the bulletin board, which is refreshed from the
+    live empirical flow at every multiple of the update period.
+
+    As [N] grows the empirical flow converges to the fluid trajectory
+    (experiment E8 measures the gap). *)
+
+open Staleroute_wardrop
+open Staleroute_dynamics
+
+type info_mode =
+  | Synchronized
+      (** every agent reads the latest posted board — the paper's
+          bulletin-board model. *)
+  | Polled
+      (** each wake-up reads a cached copy whose age is uniform on
+          [\[0, T)]: the agent sees the board that was current that long
+          ago.  Models clients polling a server that itself refreshes
+          every [T] (the variant the paper's model discussion mentions);
+          desynchronised information ages break herd behaviour. *)
+
+type config = {
+  agents : int;           (** population size [N >= 1] *)
+  update_period : float;  (** bulletin-board period [T > 0] *)
+  horizon : float;        (** simulated time span *)
+  policy : Policy.t;
+  record_every : float;   (** snapshot interval (> 0) *)
+  info_mode : info_mode;
+}
+
+type snapshot = { time : float; flow : Flow.t }
+(** Empirical flow: per path, (agents on the path) × (demand weight). *)
+
+type result = {
+  snapshots : snapshot array;   (** at times [0, record_every, ...] *)
+  final_flow : Flow.t;
+  activations : int;            (** total number of agent wake-ups *)
+  migrations : int;             (** wake-ups that switched paths *)
+}
+
+val run :
+  Instance.t -> config -> rng:Staleroute_util.Rng.t -> init:Flow.t -> result
+(** Simulate from an initial fluid flow: agents are apportioned to
+    commodities by demand and to paths by largest remainder of [init].
+    Raises [Invalid_argument] on a non-positive configuration field or
+    an infeasible [init]. *)

@@ -1,0 +1,56 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 72) ?(height = 20) ?(title = "") series =
+  let all = List.concat_map (fun s -> s.points) series in
+  match all with
+  | [] -> "(empty plot)"
+  | (x0, y0) :: _ ->
+      let fold f init sel = List.fold_left (fun a p -> f a (sel p)) init all in
+      let xmin = fold Float.min x0 fst and xmax = fold Float.max x0 fst in
+      let ymin = fold Float.min y0 snd and ymax = fold Float.max y0 snd in
+      let xspan = if xmax > xmin then xmax -. xmin else 1. in
+      let yspan = if ymax > ymin then ymax -. ymin else 1. in
+      let grid = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si s ->
+          let glyph = glyphs.(si mod Array.length glyphs) in
+          List.iter
+            (fun (x, y) ->
+              let col =
+                int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+              in
+              let row =
+                height - 1
+                - int_of_float
+                    ((y -. ymin) /. yspan *. float_of_int (height - 1))
+              in
+              if row >= 0 && row < height && col >= 0 && col < width then
+                grid.(row).(col) <- glyph)
+            s.points)
+        series;
+      let buf = Buffer.create ((width + 12) * (height + 4)) in
+      if title <> "" then Buffer.add_string buf (title ^ "\n");
+      Buffer.add_string buf (Printf.sprintf "%10.4g +" ymax);
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      Array.iter
+        (fun row ->
+          Buffer.add_string buf (String.make 11 ' ' ^ "|");
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf (Printf.sprintf "%10.4g +" ymin);
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "%10s  %-10.4g%*s%10.4g\n" "" xmin
+           (width - 20) "" xmax);
+      List.iteri
+        (fun si s ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %c %s\n" glyphs.(si mod Array.length glyphs)
+               s.label))
+        series;
+      Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Minimal ASCII line plots, used by the bench harness to render the
+    paper's "figures" in a terminal. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  series list ->
+  string
+(** Render one or more series on a shared grid (default 72x20).  Each
+    series is drawn with its own glyph and listed in a legend.  Empty
+    input or degenerate (single-valued) axes render a placeholder. *)

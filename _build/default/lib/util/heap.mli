@@ -1,0 +1,18 @@
+(** Binary min-heap keyed by float priority, used as the Dijkstra
+    frontier and the discrete-event queue of the simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element.  Ties are broken by
+    insertion order (FIFO), which keeps event-driven simulations
+    deterministic. *)
+
+val peek : 'a t -> (float * 'a) option
+val clear : 'a t -> unit

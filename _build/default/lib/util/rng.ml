@@ -1,0 +1,100 @@
+type t = { mutable state : int64; inc : int64 }
+
+let multiplier = 0x5851f42d4c957f2dL
+
+let next_raw t =
+  let old = t.state in
+  t.state <- Int64.add (Int64.mul old multiplier) t.inc;
+  old
+
+let output old =
+  (* PCG-XSH-RR output permutation. *)
+  let xorshifted =
+    Int64.to_int32
+      (Int64.shift_right_logical
+         (Int64.logxor (Int64.shift_right_logical old 18) old)
+         27)
+  in
+  let rot = Int64.to_int (Int64.shift_right_logical old 59) land 31 in
+  let open Int32 in
+  logor
+    (shift_right_logical xorshifted rot)
+    (shift_left xorshifted (-rot land 31))
+
+let bits32 t = output (next_raw t)
+
+let create ?(seed = 0x3c49e6748fea9b) ?(stream = 1) () =
+  let inc = Int64.logor (Int64.shift_left (Int64.of_int stream) 1) 1L in
+  let t = { state = 0L; inc } in
+  ignore (next_raw t);
+  t.state <- Int64.add t.state (Int64.of_int seed);
+  ignore (next_raw t);
+  t
+
+let copy t = { state = t.state; inc = t.inc }
+
+let mask30 = (1 lsl 30) - 1
+
+let bits30 t = Int32.to_int (bits32 t) land mask30
+
+let split t =
+  let seed = bits30 t in
+  let stream = (2 * bits30 t) + 1 in
+  create ~seed ~stream ()
+
+let int t bound =
+  if bound <= 0 || bound > mask30 then
+    invalid_arg "Rng.int: bound must be in [1, 2^30)";
+  (* Rejection sampling for an unbiased draw. *)
+  let limit = mask30 + 1 - ((mask30 + 1) mod bound) in
+  let rec loop () =
+    let v = bits30 t in
+    if v >= limit then loop () else v mod bound
+  in
+  loop ()
+
+let uniform t =
+  (* 30 high-quality bits are plenty for simulation purposes. *)
+  float_of_int (bits30 t) /. float_of_int (mask30 + 1)
+
+let float t bound = bound *. uniform t
+
+let bool t = Int32.to_int (bits32 t) land 1 = 1
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1. -. uniform t) /. rate
+
+let gaussian t =
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose_weighted t w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Rng.choose_weighted: empty weights";
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    if w.(i) < 0. then invalid_arg "Rng.choose_weighted: negative weight";
+    total := !total +. w.(i)
+  done;
+  if !total <= 0. then invalid_arg "Rng.choose_weighted: zero total weight";
+  let x = float t !total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.

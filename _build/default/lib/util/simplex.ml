@@ -1,0 +1,29 @@
+let project ~total v =
+  if total <= 0. then invalid_arg "Simplex.project: total must be positive";
+  let n = Array.length v in
+  if n = 0 then invalid_arg "Simplex.project: empty vector";
+  (* Find the threshold theta such that sum_i max(0, v_i - theta) =
+     total; then x_i = max(0, v_i - theta). *)
+  let sorted = Array.copy v in
+  Array.sort (fun a b -> compare b a) sorted;
+  let theta = ref 0. and cumulative = ref 0. and rho = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       cumulative := !cumulative +. sorted.(i);
+       let candidate = (!cumulative -. total) /. float_of_int (i + 1) in
+       if sorted.(i) -. candidate > 0. then begin
+         rho := i + 1;
+         theta := candidate
+       end
+       else raise Exit
+     done
+   with Exit -> ());
+  if !rho = 0 then begin
+    (* Degenerate: all mass goes to the largest coordinate(s). *)
+    let x = Array.make n 0. in
+    let best = ref 0 in
+    Array.iteri (fun i vi -> if vi > v.(!best) then best := i) v;
+    x.(!best) <- total;
+    x
+  end
+  else Array.map (fun vi -> Float.max 0. (vi -. !theta)) v

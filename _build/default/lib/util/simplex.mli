@@ -1,0 +1,12 @@
+(** Euclidean projection onto the scaled probability simplex.
+
+    Used by the projected-gradient equilibrium solver: unlike the cheap
+    clip-and-rescale repair (which suits tiny integrator drift), the
+    Euclidean projection is the correct operation inside a descent
+    method. *)
+
+val project : total:float -> float array -> float array
+(** [project ~total v] returns the closest point (in L2) to [v] in
+    [{ x : x_i >= 0, Σ x_i = total }] — the Held–Wolfe / sort-based
+    algorithm, O(n log n).  Requires [total > 0] and a non-empty
+    vector. *)

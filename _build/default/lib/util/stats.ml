@@ -1,0 +1,63 @@
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  (* Welford's online algorithm: numerically stable single pass. *)
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = ref 0. and m2 = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = x -. !m in
+        m := !m +. (d /. float_of_int (i + 1));
+        m2 := !m2 +. (d *. (x -. !m)))
+      xs;
+    !m2 /. float_of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty sample";
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  let frac = pos -. float_of_int lo in
+  ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median xs = quantile xs 0.5
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  {
+    n;
+    mean = mean xs;
+    std = std xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = median xs;
+  }
+
+let confidence95 xs =
+  let n = Array.length xs in
+  if n < 2 then 0. else 1.96 *. std xs /. sqrt (float_of_int n)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.6g std=%.6g min=%.6g med=%.6g max=%.6g" s.n
+    s.mean s.std s.min s.median s.max

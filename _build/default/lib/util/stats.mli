@@ -1,0 +1,35 @@
+(** Descriptive statistics over float samples. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (Welford); [0.] for fewer than two samples. *)
+
+val std : float array -> float
+(** Square root of {!variance}. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [\[0,1\]], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on empty input or [q]
+    outside [\[0,1\]]. *)
+
+val median : float array -> float
+
+val summarize : float array -> summary
+(** Full summary; raises [Invalid_argument] on empty input. *)
+
+val confidence95 : float array -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean ([1.96 * std / sqrt n]); [0.] for fewer than two samples. *)
+
+val pp_summary : Format.formatter -> summary -> unit

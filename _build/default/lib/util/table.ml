@@ -1,0 +1,67 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rev_rows : string list list;
+}
+
+let create ~title ~columns = { title; columns; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rev_rows <- row :: t.rev_rows
+
+let cell_float ?(decimals = 4) x = Printf.sprintf "%.*f" decimals x
+let cell_sci x = Printf.sprintf "%.3g" x
+let cell_int = string_of_int
+let row_count t = List.length t.rev_rows
+let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rev_rows
+
+let widths t =
+  let all = t.columns :: rows t in
+  List.fold_left
+    (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+    (List.map (fun _ -> 0) t.columns)
+    all
+
+let render_row widths row =
+  let cells =
+    List.map2 (fun w c -> Printf.sprintf " %-*s " w c) widths row
+  in
+  "|" ^ String.concat "|" cells ^ "|"
+
+let to_string t =
+  let widths = widths t in
+  let sep =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (render_row widths t.columns ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter
+    (fun row -> Buffer.add_string buf (render_row widths row ^ "\n"))
+    (rows t);
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let csv_cell c =
+  let needs_quote =
+    String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c
+  in
+  if needs_quote then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (line t.columns :: List.map line (rows t))
+
+let print t =
+  print_string (to_string t);
+  print_newline ()

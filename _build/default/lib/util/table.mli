@@ -1,0 +1,36 @@
+(** Formatted result tables for experiment output.
+
+    A table has a title, a header row and string cells; numeric helpers
+    render floats consistently.  Tables print either as aligned ASCII or
+    as CSV. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** New empty table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Render a float with [decimals] fraction digits (default 4). *)
+
+val cell_sci : float -> string
+(** Render in scientific notation with 3 significant digits. *)
+
+val cell_int : int -> string
+
+val row_count : t -> int
+val title : t -> string
+val columns : t -> string list
+val rows : t -> string list list
+
+val to_string : t -> string
+(** Aligned, boxed ASCII rendering including the title. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)
+
+val print : t -> unit
+(** [to_string] to stdout followed by a newline. *)

@@ -1,0 +1,50 @@
+type t = float array
+
+let create n x = Array.make n x
+let copy = Array.copy
+let dim = Array.length
+
+let check_dim a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vec: dimension mismatch"
+
+let map2 f a b =
+  check_dim a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale s a = Array.map (fun x -> s *. x) a
+
+let axpy ~alpha ~x ~y =
+  check_dim x y;
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let dot a b =
+  check_dim a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let lerp s a b = map2 (fun x y -> ((1. -. s) *. x) +. (s *. y)) a b
+let sum a = Numerics.kahan_sum a
+let norm1 a = Numerics.sum_by Float.abs a
+let norm2 a = sqrt (dot a a)
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. a
+let dist1 a b = norm1 (sub a b)
+let dist_inf a b = norm_inf (sub a b)
+
+let approx_equal ?rtol ?atol a b =
+  dim a = dim b
+  && Array.for_all2 (fun x y -> Numerics.approx_equal ?rtol ?atol x y) a b
+
+let pp ppf a =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%.6g" x))
+    a

@@ -1,0 +1,34 @@
+(** Dense float vectors (thin wrappers over [float array]) used for flow
+    vectors and ODE states. *)
+
+type t = float array
+
+val create : int -> float -> t
+(** [create n x] is the length-[n] vector with all entries [x]. *)
+
+val copy : t -> t
+val dim : t -> int
+
+val add : t -> t -> t
+(** Elementwise sum; raises [Invalid_argument] on dimension mismatch. *)
+
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** In-place [y <- alpha * x + y]. *)
+
+val dot : t -> t -> float
+val lerp : float -> t -> t -> t
+(** [lerp s a b = (1-s) a + s b]. *)
+
+val norm1 : t -> float
+val norm2 : t -> float
+val norm_inf : t -> float
+val dist1 : t -> t -> float
+val dist_inf : t -> t -> float
+val sum : t -> float
+
+val map2 : (float -> float -> float) -> t -> t -> t
+val approx_equal : ?rtol:float -> ?atol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

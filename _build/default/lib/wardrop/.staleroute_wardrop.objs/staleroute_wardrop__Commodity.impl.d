@@ -1,0 +1,1 @@
+lib/wardrop/commodity.ml: Float Format Staleroute_graph

@@ -1,0 +1,1 @@
+lib/wardrop/commodity.mli: Format Staleroute_graph

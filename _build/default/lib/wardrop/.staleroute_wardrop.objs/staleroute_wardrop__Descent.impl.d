@@ -1,0 +1,1 @@
+lib/wardrop/descent.ml: Array Flow Instance Potential Staleroute_util

@@ -1,0 +1,1 @@
+lib/wardrop/descent.mli: Flow Instance

@@ -1,0 +1,1 @@
+lib/wardrop/equilibrium.ml: Array Float Flow Instance

@@ -1,0 +1,1 @@
+lib/wardrop/equilibrium.mli: Flow Instance

@@ -1,0 +1,1 @@
+lib/wardrop/flow.ml: Array Float Format Instance Staleroute_graph Staleroute_latency Staleroute_util

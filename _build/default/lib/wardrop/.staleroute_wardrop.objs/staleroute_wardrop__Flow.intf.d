@@ -1,0 +1,1 @@
+lib/wardrop/flow.mli: Format Instance Staleroute_util

@@ -1,0 +1,1 @@
+lib/wardrop/frank_wolfe.ml: Array Float Flow Instance Potential Staleroute_util

@@ -1,0 +1,1 @@
+lib/wardrop/frank_wolfe.mli: Flow Instance

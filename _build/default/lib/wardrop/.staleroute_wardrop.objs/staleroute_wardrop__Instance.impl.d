@@ -1,0 +1,1 @@
+lib/wardrop/instance.ml: Array Commodity Digraph Float Format Path Path_enum Staleroute_graph Staleroute_latency Staleroute_util

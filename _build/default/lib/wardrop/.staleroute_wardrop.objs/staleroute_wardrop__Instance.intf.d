@@ -1,0 +1,1 @@
+lib/wardrop/instance.mli: Commodity Digraph Format Path Staleroute_graph Staleroute_latency

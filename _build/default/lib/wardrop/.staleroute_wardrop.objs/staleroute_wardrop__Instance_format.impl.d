@@ -1,0 +1,1 @@
+lib/wardrop/instance_format.ml: Array Buffer Commodity Digraph Fun In_channel Instance List Out_channel Path_enum Printf Staleroute_graph Staleroute_latency String

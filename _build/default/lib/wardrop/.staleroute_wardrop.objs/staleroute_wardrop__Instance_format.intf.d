@@ -1,0 +1,1 @@
+lib/wardrop/instance_format.mli: Instance

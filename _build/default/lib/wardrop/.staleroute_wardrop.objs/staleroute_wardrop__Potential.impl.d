@@ -1,0 +1,1 @@
+lib/wardrop/potential.ml: Array Flow Instance Staleroute_latency

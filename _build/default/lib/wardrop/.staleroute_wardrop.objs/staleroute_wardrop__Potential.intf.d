@@ -1,0 +1,1 @@
+lib/wardrop/potential.mli: Flow Instance

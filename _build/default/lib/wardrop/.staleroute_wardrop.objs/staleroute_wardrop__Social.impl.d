@@ -1,0 +1,1 @@
+lib/wardrop/social.ml: Array Flow Frank_wolfe Instance Staleroute_latency

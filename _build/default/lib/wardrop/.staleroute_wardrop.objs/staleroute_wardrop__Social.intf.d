@@ -1,0 +1,1 @@
+lib/wardrop/social.mli: Flow Frank_wolfe Instance

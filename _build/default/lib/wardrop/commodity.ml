@@ -1,0 +1,14 @@
+type t = { src : Staleroute_graph.Digraph.node;
+           dst : Staleroute_graph.Digraph.node;
+           demand : float }
+
+let make ~src ~dst ~demand =
+  if demand <= 0. || Float.is_nan demand then
+    invalid_arg "Commodity.make: demand must be positive";
+  if src = dst then invalid_arg "Commodity.make: src = dst";
+  { src; dst; demand }
+
+let single ~src ~dst = make ~src ~dst ~demand:1.
+
+let pp ppf t =
+  Format.fprintf ppf "%d->%d (r=%g)" t.src t.dst t.demand

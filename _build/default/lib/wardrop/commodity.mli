@@ -1,0 +1,19 @@
+(** Commodities of the Wardrop routing game: a source, a sink and a flow
+    demand.  The paper normalises total demand to 1. *)
+
+type t = { src : Staleroute_graph.Digraph.node;
+           dst : Staleroute_graph.Digraph.node;
+           demand : float }
+
+val make :
+  src:Staleroute_graph.Digraph.node ->
+  dst:Staleroute_graph.Digraph.node ->
+  demand:float ->
+  t
+(** Raises [Invalid_argument] unless [demand > 0] and [src <> dst]. *)
+
+val single :
+  src:Staleroute_graph.Digraph.node -> dst:Staleroute_graph.Digraph.node -> t
+(** One commodity carrying the whole unit demand. *)
+
+val pp : Format.formatter -> t -> unit

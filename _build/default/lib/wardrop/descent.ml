@@ -1,0 +1,62 @@
+module Vec = Staleroute_util.Vec
+module Simplex = Staleroute_util.Simplex
+
+type result = {
+  flow : Flow.t;
+  objective : float;
+  iterations : int;
+  converged : bool;
+}
+
+let project_product inst v =
+  let x = Array.copy v in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let ps = Instance.paths_of_commodity inst ci in
+    let sub = Array.map (fun p -> v.(p)) ps in
+    let proj = Simplex.project ~total:(Instance.demand inst ci) sub in
+    Array.iteri (fun j p -> x.(p) <- proj.(j)) ps
+  done;
+  x
+
+let minimize ?(max_iter = 5000) ?(tol = 1e-10) ?(step0 = 1.) ~objective
+    ~gradient inst =
+  let f = ref (Flow.uniform inst) in
+  let value = ref (objective !f) in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (try
+     while !iterations < max_iter do
+       incr iterations;
+       let grad = gradient !f in
+       (* Backtracking: shrink the step until the Armijo condition
+          holds for the projected move. *)
+       let rec attempt eta tries =
+         let trial = Vec.copy !f in
+         Vec.axpy ~alpha:(-.eta) ~x:grad ~y:trial;
+         let candidate = project_product inst trial in
+         let move = Vec.sub candidate !f in
+         let decrease = Vec.dot grad move in
+         let candidate_value = objective candidate in
+         if candidate_value <= !value +. (0.25 *. decrease) || tries = 0 then
+           (candidate, candidate_value, move)
+         else attempt (eta /. 2.) (tries - 1)
+       in
+       let candidate, candidate_value, move = attempt step0 40 in
+       if candidate_value < !value then begin
+         f := candidate;
+         value := candidate_value
+       end;
+       if Vec.norm_inf move < tol then begin
+         converged := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  { flow = !f; objective = !value; iterations = !iterations;
+    converged = !converged }
+
+let equilibrium ?max_iter ?tol inst =
+  minimize ?max_iter ?tol
+    ~objective:(fun f -> Potential.phi inst f)
+    ~gradient:(fun f -> Flow.path_latencies inst f)
+    inst

@@ -1,0 +1,31 @@
+(** Projected-gradient equilibrium solver — an independent second
+    algorithm for minimising the BMW potential (or any smooth convex
+    objective) over the product of path simplices.
+
+    Iterates [f <- Π(f - η ∇)] with a backtracking (Armijo) step size
+    and the exact Euclidean projection [Π] of
+    {!Staleroute_util.Simplex}.  Slower per iteration than
+    {!Frank_wolfe} but structurally different, so the test suite
+    cross-validates the two solvers against each other. *)
+
+type result = {
+  flow : Flow.t;
+  objective : float;
+  iterations : int;
+  converged : bool;  (** step-size criterion met before the cap *)
+}
+
+val minimize :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?step0:float ->
+  objective:(Flow.t -> float) ->
+  gradient:(Flow.t -> float array) ->
+  Instance.t ->
+  result
+(** Stops when the projected step moves the flow by less than [tol] in
+    L∞ (default [1e-10]) or after [max_iter] (default 5000) iterations.
+    [step0] (default 1.0) is the initial trial step. *)
+
+val equilibrium : ?max_iter:int -> ?tol:float -> Instance.t -> result
+(** Wardrop equilibrium: minimise [Φ] (gradient = path latencies). *)

@@ -1,0 +1,40 @@
+let wardrop_gap ?(used_threshold = 1e-9) inst f =
+  let pl = Flow.path_latencies inst f in
+  let gap = ref 0. in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let lmin = Flow.commodity_min_latency inst ~path_latencies:pl ci in
+    Array.iter
+      (fun p ->
+        if f.(p) > used_threshold then
+          gap := Float.max !gap (pl.(p) -. lmin))
+      (Instance.paths_of_commodity inst ci)
+  done;
+  !gap
+
+let is_wardrop ?used_threshold ?(tol = 1e-6) inst f =
+  wardrop_gap ?used_threshold inst f <= tol
+
+let volume_above inst f ~threshold_of_commodity =
+  let pl = Flow.path_latencies inst f in
+  let vol = ref 0. in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let bar = threshold_of_commodity pl ci in
+    Array.iter
+      (fun p -> if pl.(p) > bar then vol := !vol +. f.(p))
+      (Instance.paths_of_commodity inst ci)
+  done;
+  !vol
+
+let unsatisfied_volume inst f ~delta =
+  volume_above inst f ~threshold_of_commodity:(fun pl ci ->
+      Flow.commodity_min_latency inst ~path_latencies:pl ci +. delta)
+
+let weakly_unsatisfied_volume inst f ~delta =
+  volume_above inst f ~threshold_of_commodity:(fun pl ci ->
+      Flow.commodity_avg_latency inst f ~path_latencies:pl ci +. delta)
+
+let is_delta_eps_equilibrium inst f ~delta ~eps =
+  unsatisfied_volume inst f ~delta <= eps
+
+let is_weak_delta_eps_equilibrium inst f ~delta ~eps =
+  weakly_unsatisfied_volume inst f ~delta <= eps

@@ -1,0 +1,34 @@
+(** Wardrop equilibria and their approximations.
+
+    Definition 1 (Wardrop): every used path of a commodity has minimal
+    latency.  Definition 3 ((δ,ε)-equilibrium): the volume of agents on
+    paths more than [δ] above their commodity's minimum latency is at
+    most [ε].  Definition 4 (weak (δ,ε)-equilibrium): likewise with the
+    commodity's {e average} latency [L_i] in place of the minimum. *)
+
+val wardrop_gap : ?used_threshold:float -> Instance.t -> Flow.t -> float
+(** [max_i max_{P ∈ P_i, f_P > used_threshold} (ℓ_P - ℓ^i_min)].  Zero
+    exactly at Wardrop equilibria.  [used_threshold] (default [1e-9])
+    ignores numerically dead paths; an iterative solver can leave
+    O(solver tolerance) residual mass on expensive paths, so for
+    solver outputs prefer {!unsatisfied_volume}, which weights paths by
+    the flow they actually carry. *)
+
+val is_wardrop : ?used_threshold:float -> ?tol:float -> Instance.t -> Flow.t -> bool
+(** [wardrop_gap <= tol] (default [1e-6]). *)
+
+val unsatisfied_volume : Instance.t -> Flow.t -> delta:float -> float
+(** Total flow on paths with [ℓ_P > ℓ^i_min + δ] — the volume of
+    δ-unsatisfied agents of Definition 3. *)
+
+val weakly_unsatisfied_volume : Instance.t -> Flow.t -> delta:float -> float
+(** Total flow on paths with [ℓ_P > L_i + δ] (Definition 4). *)
+
+val is_delta_eps_equilibrium :
+  Instance.t -> Flow.t -> delta:float -> eps:float -> bool
+(** [(δ,ε)]-equilibrium test: {!unsatisfied_volume} [<= eps]. *)
+
+val is_weak_delta_eps_equilibrium :
+  Instance.t -> Flow.t -> delta:float -> eps:float -> bool
+(** Weak [(δ,ε)]-equilibrium test: {!weakly_unsatisfied_volume}
+    [<= eps]. *)

@@ -1,0 +1,115 @@
+module Vec = Staleroute_util.Vec
+module Rng = Staleroute_util.Rng
+module Latency = Staleroute_latency.Latency
+
+type t = Vec.t
+
+let uniform inst =
+  let f = Array.make (Instance.path_count inst) 0. in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let ps = Instance.paths_of_commodity inst ci in
+    let share = Instance.demand inst ci /. float_of_int (Array.length ps) in
+    Array.iter (fun p -> f.(p) <- share) ps
+  done;
+  f
+
+let concentrated inst ~on =
+  let f = Array.make (Instance.path_count inst) 0. in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let ps = Instance.paths_of_commodity inst ci in
+    let j = on ci in
+    if j < 0 || j >= Array.length ps then
+      invalid_arg "Flow.concentrated: path choice out of range";
+    f.(ps.(j)) <- Instance.demand inst ci
+  done;
+  f
+
+let random inst rng =
+  let f = Array.make (Instance.path_count inst) 0. in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let ps = Instance.paths_of_commodity inst ci in
+    let weights = Array.map (fun _ -> Rng.exponential rng ~rate:1.) ps in
+    let total = Staleroute_util.Numerics.kahan_sum weights in
+    let r = Instance.demand inst ci in
+    Array.iteri (fun j p -> f.(p) <- r *. weights.(j) /. total) ps
+  done;
+  f
+
+let is_feasible ?(tol = 1e-7) inst f =
+  Array.length f = Instance.path_count inst
+  && Array.for_all (fun x -> x >= -.tol) f
+  &&
+  let ok = ref true in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let mass =
+      Array.fold_left
+        (fun acc p -> acc +. f.(p))
+        0.
+        (Instance.paths_of_commodity inst ci)
+    in
+    if Float.abs (mass -. Instance.demand inst ci) > tol then ok := false
+  done;
+  !ok
+
+let project inst f =
+  let g = Array.map (fun x -> Float.max 0. x) f in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let ps = Instance.paths_of_commodity inst ci in
+    let mass = Array.fold_left (fun acc p -> acc +. g.(p)) 0. ps in
+    if mass <= 0. then
+      invalid_arg "Flow.project: commodity mass vanished entirely";
+    let scale = Instance.demand inst ci /. mass in
+    Array.iter (fun p -> g.(p) <- g.(p) *. scale) ps
+  done;
+  g
+
+let edge_flows inst f =
+  let fe = Array.make (Staleroute_graph.Digraph.edge_count (Instance.graph inst)) 0. in
+  Array.iteri
+    (fun p fp ->
+      if fp <> 0. then
+        Array.iter (fun e -> fe.(e) <- fe.(e) +. fp) (Instance.path_edges inst p))
+    f;
+  fe
+
+let edge_latencies inst fe =
+  Array.mapi (fun e load -> Latency.eval (Instance.latency inst e) load) fe
+
+let path_latency inst ~edge_latencies p =
+  Array.fold_left
+    (fun acc e -> acc +. edge_latencies.(e))
+    0.
+    (Instance.path_edges inst p)
+
+let path_latencies inst f =
+  let el = edge_latencies inst (edge_flows inst f) in
+  Array.init (Instance.path_count inst) (fun p ->
+      path_latency inst ~edge_latencies:el p)
+
+let commodity_min_latency inst ~path_latencies ci =
+  Array.fold_left
+    (fun acc p -> Float.min acc path_latencies.(p))
+    infinity
+    (Instance.paths_of_commodity inst ci)
+
+let commodity_avg_latency inst f ~path_latencies ci =
+  let r = Instance.demand inst ci in
+  Array.fold_left
+    (fun acc p -> acc +. (f.(p) /. r *. path_latencies.(p)))
+    0.
+    (Instance.paths_of_commodity inst ci)
+
+let overall_avg_latency inst f ~path_latencies =
+  let acc = ref 0. in
+  for p = 0 to Instance.path_count inst - 1 do
+    acc := !acc +. (f.(p) *. path_latencies.(p))
+  done;
+  !acc
+
+let pp inst ppf f =
+  Format.fprintf ppf "@[<v>";
+  for p = 0 to Instance.path_count inst - 1 do
+    Format.fprintf ppf "%a: %.6g@," Staleroute_graph.Path.pp
+      (Instance.path inst p) f.(p)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,59 @@
+(** Feasible flow vectors over the global path index of an instance.
+
+    A flow [f] assigns non-negative mass to every path such that the
+    paths of commodity [i] carry exactly demand [r_i].  All latency
+    observations of the model live here: edge loads [f_e], edge and path
+    latencies, per-commodity average [L_i] and minimum latencies, and
+    the overall average latency [L]. *)
+
+type t = Staleroute_util.Vec.t
+(** Indexed by the instance's global path index. *)
+
+(** {1 Construction} *)
+
+val uniform : Instance.t -> t
+(** Every commodity splits its demand equally over its paths. *)
+
+val concentrated : Instance.t -> on:(int -> int) -> t
+(** [concentrated inst ~on] puts commodity [i]'s whole demand on its
+    [on i]-th path (an index into [paths_of_commodity], checked). *)
+
+val random : Instance.t -> Staleroute_util.Rng.t -> t
+(** Uniformly random point of each commodity's simplex (symmetric
+    Dirichlet via exponential spacings). *)
+
+val is_feasible : ?tol:float -> Instance.t -> t -> bool
+(** Non-negativity and demand satisfaction within [tol]
+    (default [1e-7]). *)
+
+val project : Instance.t -> t -> t
+(** Clip negative entries to 0 and rescale each commodity to its demand
+    — repairs the O(h^5) drift of a numerical integrator step.  Raises
+    [Invalid_argument] if a commodity's mass has entirely vanished. *)
+
+(** {1 Observations} *)
+
+val edge_flows : Instance.t -> t -> float array
+(** Edge loads [f_e = Σ_{P ∋ e} f_P], indexed by edge id. *)
+
+val edge_latencies : Instance.t -> float array -> float array
+(** [edge_latencies inst fe] evaluates every edge latency at its load. *)
+
+val path_latency : Instance.t -> edge_latencies:float array -> int -> float
+(** Latency of one path given precomputed edge latencies. *)
+
+val path_latencies : Instance.t -> t -> float array
+(** Latency of every path at flow [f] (fresh information). *)
+
+val commodity_min_latency :
+  Instance.t -> path_latencies:float array -> int -> float
+(** [ℓ^i_min], the cheapest path latency of commodity [i]. *)
+
+val commodity_avg_latency :
+  Instance.t -> t -> path_latencies:float array -> int -> float
+(** [L_i = Σ_{P∈P_i} (f_P / r_i) ℓ_P]. *)
+
+val overall_avg_latency : Instance.t -> t -> path_latencies:float array -> float
+(** [L = Σ_P f_P ℓ_P] (demands are normalised to 1). *)
+
+val pp : Instance.t -> Format.formatter -> t -> unit

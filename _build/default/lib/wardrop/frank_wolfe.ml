@@ -1,0 +1,95 @@
+module Vec = Staleroute_util.Vec
+module Numerics = Staleroute_util.Numerics
+
+type result = {
+  flow : Flow.t;
+  objective : float;
+  gap : float;
+  iterations : int;
+}
+
+let best_response_direction inst grad =
+  let d = Array.make (Instance.path_count inst) 0. in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let ps = Instance.paths_of_commodity inst ci in
+    let best = ref ps.(0) in
+    Array.iter (fun p -> if grad.(p) < grad.(!best) then best := p) ps;
+    d.(!best) <- Instance.demand inst ci
+  done;
+  d
+
+(* Pairwise direction: within each commodity, move the mass sitting on
+   the worst used path towards the best path.  Unlike the classic
+   all-or-nothing step this does not zigzag, giving linear convergence
+   on products of simplices. *)
+let pairwise_direction inst grad f =
+  let d = Array.make (Instance.path_count inst) 0. in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let ps = Instance.paths_of_commodity inst ci in
+    let best = ref ps.(0) and worst = ref (-1) in
+    Array.iter
+      (fun p ->
+        if grad.(p) < grad.(!best) then best := p;
+        if f.(p) > 0. && (!worst < 0 || grad.(p) > grad.(!worst)) then
+          worst := p)
+      ps;
+    if !worst >= 0 && !worst <> !best then begin
+      d.(!best) <- d.(!best) +. f.(!worst);
+      d.(!worst) <- d.(!worst) -. f.(!worst)
+    end
+  done;
+  d
+
+let minimize ?(max_iter = 10_000) ?(tol = 1e-8) ~objective ~gradient inst =
+  let f = ref (Flow.uniform inst) in
+  let rec loop iter =
+    let grad = gradient !f in
+    let br = best_response_direction inst grad in
+    (* Duality gap <∇, f - br> bounds the suboptimality from above. *)
+    let gap = Vec.dot grad (Vec.sub !f br) in
+    if gap <= tol || iter >= max_iter then
+      { flow = !f; objective = objective !f; gap; iterations = iter }
+    else begin
+      (* Candidate 1: pairwise step along d (additive).  Candidate 2:
+         classic step towards the all-or-nothing vertex (convex mix).
+         The pairwise step converges linearly but can stall when the
+         worst path carries little mass; the classic step never stalls
+         but zigzags.  Take whichever wins the line search. *)
+      let d = pairwise_direction inst grad !f in
+      let line_pair gamma =
+        let g = Vec.copy !f in
+        Vec.axpy ~alpha:gamma ~x:d ~y:g;
+        objective g
+      in
+      let line_classic gamma = objective (Vec.lerp gamma !f br) in
+      let gamma_pair =
+        Numerics.golden_section_min ~tol:1e-12 line_pair 0. 1.
+      in
+      let gamma_classic =
+        Numerics.golden_section_min ~tol:1e-12 line_classic 0. 1.
+      in
+      let here = objective !f in
+      let value_pair = line_pair gamma_pair in
+      let value_classic = line_classic gamma_classic in
+      if Float.min value_pair value_classic < here then begin
+        if value_pair <= value_classic then begin
+          let g = Vec.copy !f in
+          Vec.axpy ~alpha:gamma_pair ~x:d ~y:g;
+          (* Clip the tiny negatives produced by gamma ~ 1 rounding. *)
+          f := Array.map (fun x -> Float.max 0. x) g
+        end
+        else f := Vec.lerp gamma_classic !f br
+      end;
+      loop (iter + 1)
+    end
+  in
+  loop 0
+
+let equilibrium ?max_iter ?tol inst =
+  minimize ?max_iter ?tol
+    ~objective:(fun f -> Potential.phi inst f)
+    ~gradient:(fun f -> Flow.path_latencies inst f)
+    inst
+
+let optimum_potential ?max_iter ?tol inst =
+  (equilibrium ?max_iter ?tol inst).objective

@@ -1,0 +1,35 @@
+(** Frank–Wolfe (conditional gradient) minimisation of convex objectives
+    over the product of path simplices — used to compute Wardrop
+    equilibria ([Φ]-minimisers, with exact optimum [Φ*]) and system
+    optima.
+
+    Each iteration routes all demand of every commodity onto the path
+    minimising the current gradient (an all-or-nothing assignment) and
+    line-searches the step size by golden section.  The Frank–Wolfe
+    duality gap [⟨∇, f - d⟩] upper-bounds the suboptimality, giving a
+    sound stopping criterion for convex objectives. *)
+
+type result = {
+  flow : Flow.t;
+  objective : float;   (** objective value at [flow] *)
+  gap : float;         (** final duality gap *)
+  iterations : int;
+}
+
+val minimize :
+  ?max_iter:int ->
+  ?tol:float ->
+  objective:(Flow.t -> float) ->
+  gradient:(Flow.t -> float array) ->
+  Instance.t ->
+  result
+(** Generic driver.  [gradient f] must return the partial derivatives by
+    path index.  Stops when the duality gap drops below [tol] (default
+    [1e-8]) or after [max_iter] (default 10_000) iterations. *)
+
+val equilibrium : ?max_iter:int -> ?tol:float -> Instance.t -> result
+(** Wardrop equilibrium: minimises the BMW potential [Φ]; the gradient
+    by [f_P] is the path latency [ℓ_P]. *)
+
+val optimum_potential : ?max_iter:int -> ?tol:float -> Instance.t -> float
+(** [Φ* = min_f Φ(f)]. *)

@@ -1,0 +1,140 @@
+open Staleroute_graph
+module Latency = Staleroute_latency.Latency
+
+type t = {
+  graph : Digraph.t;
+  latencies : Latency.t array;
+  commodities : Commodity.t array;
+  paths : Path.t array;
+  path_edges : int array array;
+  commodity_of_path : int array;
+  paths_of_commodity : int array array;
+  max_path_length : int;
+  beta : float;
+  ell_max : float;
+}
+
+let create ?(max_paths_per_commodity = 10_000) ~graph ~latencies ~commodities
+    () =
+  if Array.length latencies <> Digraph.edge_count graph then
+    invalid_arg "Instance.create: one latency function per edge required";
+  let commodities = Array.of_list commodities in
+  if Array.length commodities = 0 then
+    invalid_arg "Instance.create: need at least one commodity";
+  let total_demand =
+    Staleroute_util.Numerics.sum_by (fun c -> c.Commodity.demand) commodities
+  in
+  if not (Staleroute_util.Numerics.approx_equal ~atol:1e-9 total_demand 1.)
+  then
+    invalid_arg "Instance.create: total demand must be normalised to 1";
+  let per_commodity =
+    Array.map
+      (fun c ->
+        let paths =
+          Path_enum.all_simple_paths ~max_paths:max_paths_per_commodity graph
+            ~src:c.Commodity.src ~dst:c.Commodity.dst
+        in
+        if paths = [] then
+          invalid_arg "Instance.create: commodity has no path";
+        Array.of_list paths)
+      commodities
+  in
+  let path_count = Array.fold_left (fun n ps -> n + Array.length ps) 0 per_commodity in
+  let paths = Array.make path_count (per_commodity.(0)).(0) in
+  let commodity_of_path = Array.make path_count 0 in
+  let paths_of_commodity = Array.map (fun ps -> Array.make (Array.length ps) 0) per_commodity in
+  let next = ref 0 in
+  Array.iteri
+    (fun ci ps ->
+      Array.iteri
+        (fun j p ->
+          paths.(!next) <- p;
+          commodity_of_path.(!next) <- ci;
+          paths_of_commodity.(ci).(j) <- !next;
+          incr next)
+        ps)
+    per_commodity;
+  let path_edges = Array.map Path.edge_id_array paths in
+  let max_path_length =
+    Array.fold_left (fun m p -> max m (Path.length p)) 0 paths
+  in
+  let beta =
+    Array.fold_left (fun m l -> Float.max m (Latency.slope_bound l)) 0.
+      latencies
+  in
+  let ell_max =
+    Array.fold_left
+      (fun m edges ->
+        let total =
+          Array.fold_left
+            (fun acc e -> acc +. Latency.max_value latencies.(e))
+            0. edges
+        in
+        Float.max m total)
+      0. path_edges
+  in
+  {
+    graph;
+    latencies;
+    commodities;
+    paths;
+    path_edges;
+    commodity_of_path;
+    paths_of_commodity;
+    max_path_length;
+    beta;
+    ell_max;
+  }
+
+let graph t = t.graph
+
+let latency t e =
+  if e < 0 || e >= Array.length t.latencies then
+    invalid_arg "Instance.latency: edge out of range";
+  t.latencies.(e)
+
+let commodity_count t = Array.length t.commodities
+
+let commodity t i =
+  if i < 0 || i >= Array.length t.commodities then
+    invalid_arg "Instance.commodity: index out of range";
+  t.commodities.(i)
+
+let path_count t = Array.length t.paths
+
+let path t i =
+  if i < 0 || i >= Array.length t.paths then
+    invalid_arg "Instance.path: index out of range";
+  t.paths.(i)
+
+let path_edges t i =
+  if i < 0 || i >= Array.length t.path_edges then
+    invalid_arg "Instance.path_edges: index out of range";
+  t.path_edges.(i)
+
+let commodity_of_path t i =
+  if i < 0 || i >= Array.length t.commodity_of_path then
+    invalid_arg "Instance.commodity_of_path: index out of range";
+  t.commodity_of_path.(i)
+
+let paths_of_commodity t i =
+  if i < 0 || i >= Array.length t.paths_of_commodity then
+    invalid_arg "Instance.paths_of_commodity: index out of range";
+  t.paths_of_commodity.(i)
+
+let demand t i = (commodity t i).Commodity.demand
+let max_path_length t = t.max_path_length
+let beta t = t.beta
+let ell_max t = t.ell_max
+
+let max_paths_in_commodity t =
+  Array.fold_left (fun m ps -> max m (Array.length ps)) 0 t.paths_of_commodity
+
+let pp ppf t =
+  Format.fprintf ppf
+    "instance(%d nodes, %d edges, %d commodities, %d paths, D=%d, beta=%g, \
+     lmax=%g)"
+    (Digraph.node_count t.graph)
+    (Digraph.edge_count t.graph)
+    (Array.length t.commodities)
+    (Array.length t.paths) t.max_path_length t.beta t.ell_max

@@ -1,0 +1,69 @@
+(** Instances of the Wardrop routing game.
+
+    An instance couples a multigraph with one latency function per edge
+    and a set of commodities; on construction the full path set [P_i] of
+    every commodity is enumerated and indexed globally, and the paper's
+    structural constants are derived:
+
+    - [max_path_length] — the constant [D];
+    - [beta] — the maximal slope of any edge latency, the constant [β];
+    - [ell_max] — an upper bound on any path latency
+      ([max_P Σ_{e∈P} ℓ_e(1)]), the constant [ℓ_max]. *)
+
+open Staleroute_graph
+
+type t
+
+val create :
+  ?max_paths_per_commodity:int ->
+  graph:Digraph.t ->
+  latencies:Staleroute_latency.Latency.t array ->
+  commodities:Commodity.t list ->
+  unit ->
+  t
+(** Builds an instance.  Raises [Invalid_argument] when the latency
+    array length differs from the edge count, total demand is not 1
+    (tolerance 1e-9, per the paper's normalisation), a commodity has no
+    path, or path enumeration exceeds the per-commodity cap
+    (default 10_000). *)
+
+(** {1 Structure} *)
+
+val graph : t -> Digraph.t
+val latency : t -> int -> Staleroute_latency.Latency.t
+(** Latency function of an edge id. *)
+
+val commodity_count : t -> int
+val commodity : t -> int -> Commodity.t
+val path_count : t -> int
+(** Size of the global path index, [|P|]. *)
+
+val path : t -> int -> Path.t
+(** Path by global index. *)
+
+val path_edges : t -> int -> int array
+(** Edge ids of a path (shared array — do not mutate). *)
+
+val commodity_of_path : t -> int -> int
+val paths_of_commodity : t -> int -> int array
+(** Global indices of the commodity's paths (shared array — do not
+    mutate). *)
+
+val demand : t -> int -> float
+(** Demand of a commodity. *)
+
+(** {1 The paper's constants} *)
+
+val max_path_length : t -> int
+(** [D]: maximum number of edges on any enumerated path. *)
+
+val beta : t -> float
+(** [β]: bound on the slope of every edge latency on [0,1]. *)
+
+val ell_max : t -> float
+(** [ℓ_max]: upper bound on the latency of any path. *)
+
+val max_paths_in_commodity : t -> int
+(** [max_i |P_i|], the factor appearing in Theorem 6. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,169 @@
+open Staleroute_graph
+module Latency = Staleroute_latency.Latency
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+type accumulator = {
+  mutable nodes : int option;
+  mutable rev_edges : (int * int) list;
+  mutable latencies : (int * Latency.t) list;
+  mutable rev_commodities : Commodity.t list;
+}
+
+let parse ?max_paths_per_commodity text =
+  let acc =
+    { nodes = None; rev_edges = []; latencies = []; rev_commodities = [] }
+  in
+  let error line_no fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" line_no m)) fmt
+  in
+  let parse_line line_no line =
+    let body = strip_comment line in
+    match split_words body with
+    | [] -> Ok ()
+    | "nodes" :: rest -> (
+        if acc.nodes <> None then error line_no "duplicate 'nodes' line"
+        else
+          match rest with
+          | [ n ] -> (
+              match int_of_string_opt n with
+              | Some n when n > 0 ->
+                  acc.nodes <- Some n;
+                  Ok ()
+              | _ -> error line_no "bad node count %S" n)
+          | _ -> error line_no "usage: nodes N")
+    | "edge" :: rest -> (
+        if acc.nodes = None then error line_no "'edge' before 'nodes'"
+        else
+          match rest with
+          | [ u; v ] -> (
+              match (int_of_string_opt u, int_of_string_opt v) with
+              | Some u, Some v ->
+                  acc.rev_edges <- (u, v) :: acc.rev_edges;
+                  Ok ()
+              | _ -> error line_no "bad edge endpoints")
+          | _ -> error line_no "usage: edge U V")
+    | "latency" :: e :: spec_words -> (
+        match int_of_string_opt e with
+        | None -> error line_no "bad edge id %S" e
+        | Some e -> (
+            if List.mem_assoc e acc.latencies then
+              error line_no "duplicate latency for edge %d" e
+            else
+              match Latency.of_spec (String.concat " " spec_words) with
+              | Ok l ->
+                  acc.latencies <- (e, l) :: acc.latencies;
+                  Ok ()
+              | Error m -> error line_no "latency: %s" m))
+    | "latency" :: _ -> error line_no "usage: latency EDGE (spec ...)"
+    | "commodity" :: rest -> (
+        match rest with
+        | [ s; t; r ] -> (
+            match
+              (int_of_string_opt s, int_of_string_opt t, float_of_string_opt r)
+            with
+            | Some src, Some dst, Some demand -> (
+                match Commodity.make ~src ~dst ~demand with
+                | c ->
+                    acc.rev_commodities <- c :: acc.rev_commodities;
+                    Ok ()
+                | exception Invalid_argument m -> error line_no "%s" m)
+            | _ -> error line_no "bad commodity fields")
+        | _ -> error line_no "usage: commodity SRC DST DEMAND")
+    | keyword :: _ -> error line_no "unknown keyword %S" keyword
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec scan line_no = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match parse_line line_no line with
+        | Ok () -> scan (line_no + 1) rest
+        | Error _ as e -> e)
+  in
+  match scan 1 lines with
+  | Error _ as e -> e
+  | Ok () -> (
+      match acc.nodes with
+      | None -> Error "missing 'nodes' line"
+      | Some nodes -> (
+          let edges = List.rev acc.rev_edges in
+          let edge_count = List.length edges in
+          let missing =
+            List.filter
+              (fun e -> not (List.mem_assoc e acc.latencies))
+              (List.init edge_count Fun.id)
+          in
+          match missing with
+          | e :: _ -> Error (Printf.sprintf "edge %d has no latency" e)
+          | [] -> (
+              let extraneous =
+                List.filter (fun (e, _) -> e < 0 || e >= edge_count)
+                  acc.latencies
+              in
+              match extraneous with
+              | (e, _) :: _ ->
+                  Error (Printf.sprintf "latency for unknown edge %d" e)
+              | [] -> (
+                  if acc.rev_commodities = [] then Error "no commodities"
+                  else
+                    let latencies =
+                      Array.init edge_count (fun e ->
+                          List.assoc e acc.latencies)
+                    in
+                    match
+                      Instance.create ?max_paths_per_commodity
+                        ~graph:(Digraph.create ~nodes ~edges)
+                        ~latencies
+                        ~commodities:(List.rev acc.rev_commodities)
+                        ()
+                    with
+                    | inst -> Ok inst
+                    | exception Invalid_argument m -> Error m
+                    | exception Path_enum.Too_many_paths n ->
+                        Error
+                          (Printf.sprintf
+                             "a commodity has more than %d paths" n)))))
+
+let of_file ?max_paths_per_commodity path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse ?max_paths_per_commodity text
+  | exception Sys_error m -> Error m
+
+let to_string inst =
+  let buf = Buffer.create 512 in
+  let g = Instance.graph inst in
+  Buffer.add_string buf "# staleroute instance\n";
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Digraph.node_count g));
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %d %d\n" e.Digraph.src e.Digraph.dst))
+    (Digraph.edges g);
+  for e = 0 to Digraph.edge_count g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "latency %d %s\n" e
+         (Latency.to_spec (Instance.latency inst e)))
+  done;
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    let c = Instance.commodity inst ci in
+    Buffer.add_string buf
+      (Printf.sprintf "commodity %d %d %.17g\n" c.Commodity.src
+         c.Commodity.dst c.Commodity.demand)
+  done;
+  Buffer.contents buf
+
+let to_file path inst =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (to_string inst))
+  with
+  | () -> Ok ()
+  | exception Sys_error m -> Error m

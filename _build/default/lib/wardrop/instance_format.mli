@@ -1,0 +1,39 @@
+(** A small text format for routing-game instances, so the CLI tools and
+    experiments can run on user-defined networks.
+
+    Line-oriented; [#] starts a comment; blank lines are ignored:
+
+    {v
+    # Braess's network
+    nodes 4
+    edge 0 1          # edge ids are assigned in order: this is edge 0
+    edge 0 2
+    edge 1 3
+    edge 2 3
+    edge 1 2
+    latency 0 (linear 1)
+    latency 1 (const 1)
+    latency 2 (const 1)
+    latency 3 (linear 1)
+    latency 4 (const 0)
+    commodity 0 3 1.0
+    v}
+
+    [nodes] must appear exactly once and before any [edge]; every edge
+    needs exactly one [latency] line (in the syntax of
+    {!Staleroute_latency.Latency.of_spec}); commodity demands must sum
+    to 1. *)
+
+val parse : ?max_paths_per_commodity:int -> string -> (Instance.t, string) result
+(** Parse an instance from the file contents.  Error messages carry the
+    offending line number. *)
+
+val of_file :
+  ?max_paths_per_commodity:int -> string -> (Instance.t, string) result
+(** Read and {!parse} a file; IO errors become [Error]. *)
+
+val to_string : Instance.t -> string
+(** Serialise an instance; [parse (to_string inst)] reconstructs an
+    instance with identical structure, latencies and commodities. *)
+
+val to_file : string -> Instance.t -> (unit, string) result

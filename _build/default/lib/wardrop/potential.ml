@@ -1,0 +1,12 @@
+module Latency = Staleroute_latency.Latency
+
+let phi_of_edge_flows inst fe =
+  let acc = ref 0. in
+  Array.iteri
+    (fun e load -> acc := !acc +. Latency.integral (Instance.latency inst e) load)
+    fe;
+  !acc
+
+let phi inst f = phi_of_edge_flows inst (Flow.edge_flows inst f)
+
+let upper_bound inst = Instance.ell_max inst

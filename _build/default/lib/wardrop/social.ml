@@ -1,0 +1,37 @@
+module Latency = Staleroute_latency.Latency
+
+let cost inst f =
+  let fe = Flow.edge_flows inst f in
+  let acc = ref 0. in
+  Array.iteri
+    (fun e load -> acc := !acc +. (load *. Latency.eval (Instance.latency inst e) load))
+    fe;
+  !acc
+
+let marginal_gradient inst f =
+  let fe = Flow.edge_flows inst f in
+  let marg =
+    Array.mapi
+      (fun e load ->
+        let l = Instance.latency inst e in
+        Latency.eval l load +. (load *. Latency.deriv l load))
+      fe
+  in
+  Array.init (Instance.path_count inst) (fun p ->
+      Array.fold_left
+        (fun acc e -> acc +. marg.(e))
+        0.
+        (Instance.path_edges inst p))
+
+let optimum ?max_iter ?tol inst =
+  Frank_wolfe.minimize ?max_iter ?tol
+    ~objective:(fun f -> cost inst f)
+    ~gradient:(fun f -> marginal_gradient inst f)
+    inst
+
+let price_of_anarchy ?max_iter ?tol inst =
+  let eq = Frank_wolfe.equilibrium ?max_iter ?tol inst in
+  let opt = optimum ?max_iter ?tol inst in
+  let ceq = cost inst eq.Frank_wolfe.flow in
+  let copt = opt.Frank_wolfe.objective in
+  if copt = 0. then if ceq = 0. then 1. else infinity else ceq /. copt

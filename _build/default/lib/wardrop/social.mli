@@ -1,0 +1,17 @@
+(** Social cost and the price of anarchy.
+
+    The social cost of a flow is the average sustained latency
+    [C(f) = Σ_e f_e ℓ_e(f_e)]; the price of anarchy compares the
+    Wardrop equilibrium's cost to the system optimum's
+    (Roughgarden–Tardos).  Used by examples and by sanity checks of the
+    equilibrium solver. *)
+
+val cost : Instance.t -> Flow.t -> float
+(** [C(f) = Σ_e f_e · ℓ_e(f_e)] (equals [Σ_P f_P ℓ_P]). *)
+
+val optimum : ?max_iter:int -> ?tol:float -> Instance.t -> Frank_wolfe.result
+(** System optimum: minimises [C] by Frank–Wolfe with the marginal-cost
+    gradient [∂C/∂f_P = Σ_{e∈P} (ℓ_e(f_e) + f_e ℓ'_e(f_e))]. *)
+
+val price_of_anarchy : ?max_iter:int -> ?tol:float -> Instance.t -> float
+(** [C(wardrop) / C(optimum)].  Returns 1 when both costs are zero. *)

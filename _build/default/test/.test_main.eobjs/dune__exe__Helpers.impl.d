@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest QCheck2 QCheck_alcotest Staleroute_util

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Algo Array Digraph Fun Gen Helpers List QCheck2 Staleroute_graph Staleroute_util

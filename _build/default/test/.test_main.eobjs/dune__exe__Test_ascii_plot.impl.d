@@ -1,0 +1,1 @@
+test/test_ascii_plot.ml: Helpers Staleroute_util Str_contains String

@@ -1,0 +1,1 @@
+test/test_digraph.ml: Array Digraph Helpers List Staleroute_graph

@@ -1,0 +1,1 @@
+test/test_dijkstra.ml: Alcotest Array Digraph Dijkstra Float Gen Helpers List Path Path_enum QCheck2 Staleroute_graph Staleroute_util

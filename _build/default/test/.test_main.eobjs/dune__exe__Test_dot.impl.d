@@ -1,0 +1,1 @@
+test/test_dot.ml: Digraph Dot Gen Helpers Printf Staleroute_graph Str_contains

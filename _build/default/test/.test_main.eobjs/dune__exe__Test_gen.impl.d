@@ -1,0 +1,1 @@
+test/test_gen.ml: Array Digraph Gen Helpers List Path Path_enum Staleroute_graph Staleroute_util

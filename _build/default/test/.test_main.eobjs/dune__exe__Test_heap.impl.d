@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Helpers List QCheck2 Staleroute_util

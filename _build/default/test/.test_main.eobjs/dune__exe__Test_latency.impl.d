@@ -1,0 +1,1 @@
+test/test_latency.ml: Array Float Helpers List Printf QCheck2 Staleroute_latency Staleroute_util String

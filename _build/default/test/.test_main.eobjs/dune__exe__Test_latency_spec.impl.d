@@ -1,0 +1,1 @@
+test/test_latency_spec.ml: Alcotest Array Helpers List Printf QCheck2 Staleroute_latency Staleroute_util

@@ -1,0 +1,1 @@
+test/test_migration.ml: Float Helpers List Migration QCheck2 Staleroute_dynamics

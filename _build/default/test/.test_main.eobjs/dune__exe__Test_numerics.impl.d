@@ -1,0 +1,1 @@
+test/test_numerics.ml: Array Float Helpers QCheck2 Staleroute_util

@@ -1,0 +1,1 @@
+test/test_path.ml: Array Digraph Helpers Path Staleroute_graph

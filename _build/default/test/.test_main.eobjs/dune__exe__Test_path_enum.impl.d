@@ -1,0 +1,1 @@
+test/test_path_enum.ml: Alcotest Digraph Gen Helpers List Path Path_enum QCheck2 Staleroute_graph Staleroute_util

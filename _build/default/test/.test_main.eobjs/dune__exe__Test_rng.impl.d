@@ -1,0 +1,1 @@
+test/test_rng.ml: Array Fun Helpers QCheck2 Staleroute_util

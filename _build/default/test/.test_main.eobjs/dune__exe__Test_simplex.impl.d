@@ -1,0 +1,1 @@
+test/test_simplex.ml: Array Float Helpers QCheck2 Staleroute_util

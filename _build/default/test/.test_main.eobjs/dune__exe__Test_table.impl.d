@@ -1,0 +1,1 @@
+test/test_table.ml: Helpers List Printf Staleroute_util Str_contains

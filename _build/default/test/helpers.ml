@@ -1,0 +1,25 @@
+(* Shared helpers for the test suite. *)
+
+let close ?(eps = 1e-9) () = Alcotest.float eps
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (close ~eps ()) msg expected actual
+
+let check_true msg b = Alcotest.check Alcotest.bool msg true b
+let check_false msg b = Alcotest.check Alcotest.bool msg false b
+let check_int msg = Alcotest.check Alcotest.int msg
+
+let check_raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* A deterministic RNG for tests that need randomness. *)
+let rng ?(seed = 12345) () = Staleroute_util.Rng.create ~seed ()

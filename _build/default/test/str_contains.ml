@@ -1,0 +1,13 @@
+(* Substring search helper for tests (Stdlib has none). *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let rec scan i =
+      if i + n > h then false
+      else if String.sub haystack i n = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  end

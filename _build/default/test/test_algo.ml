@@ -1,0 +1,133 @@
+open Helpers
+open Staleroute_graph
+
+let diamond () =
+  Digraph.create ~nodes:4 ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let cycle3 () = Digraph.create ~nodes:3 ~edges:[ (0, 1); (1, 2); (2, 0) ]
+
+let test_reachable () =
+  let g = diamond () in
+  let r = Algo.reachable_from g 0 in
+  check_true "everything reachable from source" (Array.for_all Fun.id r);
+  let r1 = Algo.reachable_from g 1 in
+  check_true "sink reachable from 1" r1.(3);
+  check_false "source not reachable from 1" r1.(0);
+  check_true "self reachable" r1.(1)
+
+let test_co_reachable () =
+  let g = diamond () in
+  let c = Algo.co_reachable_to g 3 in
+  check_true "all co-reach the sink" (Array.for_all Fun.id c);
+  let c0 = Algo.co_reachable_to g 0 in
+  check_true "only the source co-reaches itself"
+    (c0 = [| true; false; false; false |])
+
+let test_on_some_path () =
+  let g =
+    Digraph.create ~nodes:5 ~edges:[ (0, 1); (1, 2); (3, 2); (1, 4) ]
+  in
+  (* Node 3 cannot be reached from 0; node 4 cannot reach 2. *)
+  let p = Algo.on_some_path g ~src:0 ~dst:2 in
+  check_true "path nodes" (p = [| true; true; true; false; false |])
+
+let test_topological_order () =
+  let g = diamond () in
+  match Algo.topological_order g with
+  | None -> Alcotest.fail "diamond is acyclic"
+  | Some order ->
+      check_int "all nodes" 4 (List.length order);
+      let position = Array.make 4 0 in
+      List.iteri (fun i v -> position.(v) <- i) order;
+      Digraph.fold_edges
+        (fun e () ->
+          check_true "edges point forward"
+            (position.(e.Digraph.src) < position.(e.Digraph.dst)))
+        g ();
+      (* Deterministic tie-breaking. *)
+      check_true "smallest-id-first" (order = [ 0; 1; 2; 3 ])
+
+let test_topological_order_cycle () =
+  check_true "cycle has no topological order"
+    (Algo.topological_order (cycle3 ()) = None);
+  check_false "cycle not acyclic" (Algo.is_acyclic (cycle3 ()));
+  check_true "diamond acyclic" (Algo.is_acyclic (diamond ()))
+
+let test_generated_topologies_acyclic () =
+  List.iter
+    (fun (st : Gen.st) -> check_true "generator acyclic" (Algo.is_acyclic st.Gen.graph))
+    [
+      Gen.parallel_links 4;
+      Gen.braess ();
+      Gen.grid ~width:4 ~height:3;
+      Gen.ladder 4;
+      Gen.layered ~rng:(rng ()) ~layers:3 ~width:3 ~edge_prob:0.5;
+    ]
+
+let test_scc_acyclic_graph () =
+  let comps = Algo.strongly_connected_components (diamond ()) in
+  check_int "one singleton per node" 4 (List.length comps);
+  List.iter (fun c -> check_int "singleton" 1 (List.length c)) comps
+
+let test_scc_cycle () =
+  let comps = Algo.strongly_connected_components (cycle3 ()) in
+  check_int "single component" 1 (List.length comps);
+  check_int "contains every node" 3 (List.length (List.hd comps))
+
+let test_scc_mixed () =
+  (* 0 <-> 1 cycle feeding an acyclic tail 2 -> 3. *)
+  let g =
+    Digraph.create ~nodes:4 ~edges:[ (0, 1); (1, 0); (1, 2); (2, 3) ]
+  in
+  let comps = Algo.strongly_connected_components g in
+  check_int "three components" 3 (List.length comps);
+  let sizes = List.sort compare (List.map List.length comps) in
+  check_true "one 2-cycle and two singletons" (sizes = [ 1; 1; 2 ]);
+  (* Reverse topological order of the condensation: callees first. *)
+  let index_of v =
+    let rec scan i = function
+      | [] -> -1
+      | c :: rest -> if List.mem v c then i else scan (i + 1) rest
+    in
+    scan 0 comps
+  in
+  check_true "sink component first" (index_of 3 < index_of 2);
+  check_true "cycle component last" (index_of 2 < index_of 0)
+
+let test_scc_self_contained_nodes () =
+  let g = Digraph.create ~nodes:3 ~edges:[] in
+  check_int "isolated nodes are singleton components" 3
+    (List.length (Algo.strongly_connected_components g))
+
+let prop_scc_partitions =
+  qcheck ~count:30 "qcheck: SCCs partition the nodes"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let r = Staleroute_util.Rng.create ~seed () in
+      let n = 2 + Staleroute_util.Rng.int r 10 in
+      let edges = ref [] in
+      for _ = 1 to 2 * n do
+        let u = Staleroute_util.Rng.int r n
+        and v = Staleroute_util.Rng.int r n in
+        if u <> v then edges := (u, v) :: !edges
+      done;
+      let g = Digraph.create ~nodes:n ~edges:!edges in
+      let comps = Algo.strongly_connected_components g in
+      let all = List.concat comps in
+      List.length all = n
+      && List.sort_uniq compare all = List.init n Fun.id)
+
+let suite =
+  [
+    case "reachable_from" test_reachable;
+    case "co_reachable_to" test_co_reachable;
+    case "on_some_path" test_on_some_path;
+    case "topological order" test_topological_order;
+    case "cycle detection" test_topological_order_cycle;
+    case "generators acyclic" test_generated_topologies_acyclic;
+    case "scc on a DAG" test_scc_acyclic_graph;
+    case "scc on a cycle" test_scc_cycle;
+    case "scc mixed" test_scc_mixed;
+    case "scc isolated nodes" test_scc_self_contained_nodes;
+    prop_scc_partitions;
+  ]

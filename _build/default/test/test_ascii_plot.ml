@@ -1,0 +1,49 @@
+open Helpers
+module Plot = Staleroute_util.Ascii_plot
+
+let test_empty () =
+  check_true "empty plot placeholder"
+    (Plot.render [] = "(empty plot)")
+
+let test_contains_labels_and_glyphs () =
+  let s =
+    Plot.render ~title:"t"
+      [
+        { Plot.label = "alpha"; points = [ (0., 0.); (1., 1.) ] };
+        { Plot.label = "beta"; points = [ (0., 1.); (1., 0.) ] };
+      ]
+  in
+  check_true "title present" (Str_contains.contains s "t");
+  check_true "first legend" (Str_contains.contains s "alpha");
+  check_true "second legend" (Str_contains.contains s "beta");
+  check_true "first glyph" (Str_contains.contains s "*");
+  check_true "second glyph" (Str_contains.contains s "+")
+
+let test_degenerate_axes () =
+  (* Single point: spans are zero; must not crash or divide by zero. *)
+  let s = Plot.render [ { Plot.label = "p"; points = [ (1., 1.) ] } ] in
+  check_true "single point renders" (String.length s > 0)
+
+let test_axis_bounds_shown () =
+  let s =
+    Plot.render [ { Plot.label = "s"; points = [ (0., -2.); (10., 7.) ] } ]
+  in
+  check_true "ymax shown" (Str_contains.contains s "7");
+  check_true "ymin shown" (Str_contains.contains s "-2")
+
+let test_custom_size () =
+  let s =
+    Plot.render ~width:10 ~height:4
+      [ { Plot.label = "s"; points = [ (0., 0.); (1., 1.) ] } ]
+  in
+  (* 4 grid rows + 2 borders + x labels + legend: small but complete. *)
+  check_true "renders at small size" (String.length s > 0)
+
+let suite =
+  [
+    case "empty" test_empty;
+    case "labels and glyphs" test_contains_labels_and_glyphs;
+    case "degenerate axes" test_degenerate_axes;
+    case "axis bounds" test_axis_bounds_shown;
+    case "custom size" test_custom_size;
+  ]

@@ -1,0 +1,130 @@
+open Helpers
+open Staleroute_dynamics
+module Common = Staleroute_experiments.Common
+
+let two_link () = Common.two_link ~beta:4.
+
+(* Hand-built snapshot sequences on the two-link instance. *)
+let converging_snapshots () =
+  Array.init 30 (fun k ->
+      let d = 0.4 *. exp (-0.5 *. float_of_int k) in
+      [| 0.5 +. d; 0.5 -. d |])
+
+let oscillating_snapshots () =
+  Array.init 30 (fun k ->
+      if k mod 2 = 0 then [| 0.8; 0.2 |] else [| 0.2; 0.8 |])
+
+let test_bad_rounds_counts () =
+  let inst = two_link () in
+  let snaps = [| [| 0.9; 0.1 |]; [| 0.6; 0.4 |]; [| 0.5; 0.5 |] |] in
+  (* latencies: (1.6, 0), (0.4, 0), (0, 0); delta = 0.5 ->
+     unsatisfied volumes: 0.9, 0, 0; eps = 0.1 -> bad rounds: 1. *)
+  check_int "one bad round" 1
+    (Convergence.bad_rounds inst Convergence.Strict ~delta:0.5 ~eps:0.1 snaps)
+
+let test_bad_rounds_weak_vs_strict () =
+  let inst = two_link () in
+  let snaps = converging_snapshots () in
+  let strict =
+    Convergence.bad_rounds inst Convergence.Strict ~delta:0.1 ~eps:0.05 snaps
+  in
+  let weak =
+    Convergence.bad_rounds inst Convergence.Weak ~delta:0.1 ~eps:0.05 snaps
+  in
+  check_true "weak counts no more rounds than strict" (weak <= strict)
+
+let test_first_good_round () =
+  let inst = two_link () in
+  let snaps = converging_snapshots () in
+  (match
+     Convergence.first_good_round inst Convergence.Strict ~delta:0.1
+       ~eps:0.05 snaps
+   with
+  | Some k -> check_true "found and positive" (k > 0)
+  | None -> Alcotest.fail "converging sequence must settle");
+  check_true "oscillation never settles at tight delta"
+    (Convergence.first_good_round inst Convergence.Strict ~delta:0.1
+       ~eps:0.05 (oscillating_snapshots ())
+    = None)
+
+let test_all_good_after () =
+  let inst = two_link () in
+  let snaps = converging_snapshots () in
+  (match
+     Convergence.all_good_after inst Convergence.Strict ~delta:0.1 ~eps:0.05
+       snaps
+   with
+  | Some k ->
+      check_true "settling index consistent with first good"
+        (k
+        >= Option.get
+             (Convergence.first_good_round inst Convergence.Strict ~delta:0.1
+                ~eps:0.05 snaps))
+  | None -> Alcotest.fail "must settle");
+  check_true "never settles on an oscillation"
+    (Convergence.all_good_after inst Convergence.Strict ~delta:0.1 ~eps:0.05
+       (oscillating_snapshots ())
+    = None)
+
+let test_all_good_after_immediately () =
+  let inst = two_link () in
+  let flat = Array.make 5 [| 0.5; 0.5 |] in
+  check_true "equilibrium throughout -> settles at 0"
+    (Convergence.all_good_after inst Convergence.Strict ~delta:0.01 ~eps:0.01
+       flat
+    = Some 0)
+
+let test_all_good_after_bad_tail () =
+  let inst = two_link () in
+  let snaps = Array.append (converging_snapshots ()) [| [| 0.95; 0.05 |] |] in
+  check_true "bad final snapshot -> None"
+    (Convergence.all_good_after inst Convergence.Strict ~delta:0.1 ~eps:0.05
+       snaps
+    = None)
+
+let test_detect_oscillation_on_cycle () =
+  let o = Convergence.detect_oscillation (oscillating_snapshots ()) in
+  check_close "period-2 recurrence exact" 0. o.Convergence.period2_distance;
+  check_close "step distance is the cycle diameter" 1.2
+    o.Convergence.step_distance;
+  check_true "classified oscillating"
+    (Convergence.is_oscillating (oscillating_snapshots ()))
+
+let test_detect_oscillation_on_convergence () =
+  check_false "converging run not oscillating"
+    (Convergence.is_oscillating (converging_snapshots ()))
+
+let test_detect_oscillation_on_constant () =
+  let flat = Array.make 30 [| 0.5; 0.5 |] in
+  check_false "constant run not oscillating"
+    (Convergence.is_oscillating flat)
+
+let test_detect_oscillation_short_input () =
+  let o = Convergence.detect_oscillation [| [| 1.; 0. |] |] in
+  check_close "degenerate input" 0. o.Convergence.period2_distance;
+  check_false "too short to oscillate"
+    (Convergence.is_oscillating [| [| 1.; 0. |]; [| 0.; 1. |] |])
+
+let test_tail_parameter () =
+  (* Oscillation only in the first half, then converged: with a short
+     tail the verdict must be "not oscillating". *)
+  let snaps =
+    Array.append (oscillating_snapshots ()) (Array.make 30 [| 0.5; 0.5 |])
+  in
+  check_false "tail sees the converged part"
+    (Convergence.is_oscillating ~tail:10 snaps)
+
+let suite =
+  [
+    case "bad rounds" test_bad_rounds_counts;
+    case "weak vs strict counting" test_bad_rounds_weak_vs_strict;
+    case "first good round" test_first_good_round;
+    case "all good after" test_all_good_after;
+    case "settles immediately" test_all_good_after_immediately;
+    case "bad tail" test_all_good_after_bad_tail;
+    case "oscillation detected" test_detect_oscillation_on_cycle;
+    case "convergence not flagged" test_detect_oscillation_on_convergence;
+    case "constant not flagged" test_detect_oscillation_on_constant;
+    case "short input" test_detect_oscillation_short_input;
+    case "tail parameter" test_tail_parameter;
+  ]

@@ -1,0 +1,78 @@
+open Helpers
+open Staleroute_wardrop
+module Common = Staleroute_experiments.Common
+module Vec = Staleroute_util.Vec
+
+let test_two_link_even_split () =
+  let st = Staleroute_graph.Gen.parallel_links 2 in
+  let inst =
+    Instance.create ~graph:st.Staleroute_graph.Gen.graph
+      ~latencies:
+        Staleroute_latency.Latency.[| linear 1.; linear 1. |]
+      ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+      ()
+  in
+  let r = Descent.equilibrium inst in
+  check_close ~eps:1e-6 "even split" 0.5 r.Descent.flow.(0);
+  check_close ~eps:1e-9 "phi*" 0.25 r.Descent.objective;
+  check_true "converged flag" r.Descent.converged
+
+let test_result_feasible () =
+  let inst = Common.grid33 () in
+  let r = Descent.equilibrium inst in
+  check_true "feasible" (Flow.is_feasible ~tol:1e-7 inst r.Descent.flow)
+
+let test_cross_validates_frank_wolfe () =
+  List.iter
+    (fun (name, inst) ->
+      let fw = Frank_wolfe.equilibrium inst in
+      let pg = Descent.equilibrium inst in
+      check_close ~eps:1e-5
+        (name ^ ": solvers agree on phi*")
+        fw.Frank_wolfe.objective pg.Descent.objective)
+    [
+      ("braess", Common.braess ());
+      ("parallel-6", Common.parallel 6);
+      ("grid", Common.grid33 ());
+      ("two-commodity", Common.two_commodity ());
+      ("poly", Common.poly_parallel ~m:4 ~degree:3);
+    ]
+
+let test_unsatisfied_volume_small () =
+  let inst = Common.parallel 8 in
+  let r = Descent.equilibrium inst in
+  check_true "near-equilibrium output"
+    (Equilibrium.unsatisfied_volume inst r.Descent.flow ~delta:0.01 < 1e-4)
+
+let test_max_iter_respected () =
+  let inst = Common.grid33 () in
+  let r = Descent.equilibrium ~max_iter:3 inst in
+  check_true "iteration cap" (r.Descent.iterations <= 3);
+  check_false "not converged in 3 iterations" r.Descent.converged
+
+let test_multicommodity_agrees () =
+  let inst = Common.two_commodity () in
+  let fw = Frank_wolfe.equilibrium inst in
+  let pg = Descent.equilibrium inst in
+  check_true "flows close in L1"
+    (Vec.dist1 fw.Frank_wolfe.flow pg.Descent.flow < 1e-2)
+
+let prop_objective_never_increases =
+  qcheck ~count:10 "qcheck: descent output never exceeds the start"
+    QCheck2.Gen.(int_range 0 1_000)
+    (fun seed ->
+      let inst = Common.layered_random ~seed in
+      let start = Potential.phi inst (Flow.uniform inst) in
+      let r = Descent.equilibrium ~max_iter:50 inst in
+      r.Descent.objective <= start +. 1e-12)
+
+let suite =
+  [
+    case "two-link even split" test_two_link_even_split;
+    case "feasible result" test_result_feasible;
+    case "cross-validates Frank-Wolfe" test_cross_validates_frank_wolfe;
+    case "unsatisfied volume small" test_unsatisfied_volume_small;
+    case "max_iter respected" test_max_iter_respected;
+    case "multicommodity agreement" test_multicommodity_agrees;
+    prop_objective_never_increases;
+  ]

@@ -1,0 +1,93 @@
+open Helpers
+open Staleroute_graph
+
+let diamond () =
+  Digraph.create ~nodes:4 ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_counts () =
+  let g = diamond () in
+  check_int "nodes" 4 (Digraph.node_count g);
+  check_int "edges" 4 (Digraph.edge_count g)
+
+let test_edge_lookup () =
+  let g = diamond () in
+  let e = Digraph.edge g 2 in
+  check_int "src" 1 e.Digraph.src;
+  check_int "dst" 3 e.Digraph.dst;
+  check_int "id" 2 e.Digraph.id
+
+let test_edge_out_of_range () =
+  let g = diamond () in
+  check_raises_invalid "negative id" (fun () -> Digraph.edge g (-1));
+  check_raises_invalid "too large id" (fun () -> Digraph.edge g 4)
+
+let test_adjacency () =
+  let g = diamond () in
+  let out0 = List.map (fun e -> e.Digraph.id) (Digraph.out_edges g 0) in
+  check_true "out edges of source" (out0 = [ 0; 1 ]);
+  let in3 = List.map (fun e -> e.Digraph.id) (Digraph.in_edges g 3) in
+  check_true "in edges of sink" (in3 = [ 2; 3 ]);
+  check_int "out degree" 2 (Digraph.out_degree g 0);
+  check_int "sink out degree" 0 (Digraph.out_degree g 3)
+
+let test_adjacency_ordering () =
+  (* Multi-edges keep id order in adjacency lists. *)
+  let g = Digraph.create ~nodes:2 ~edges:[ (0, 1); (0, 1); (0, 1) ] in
+  let ids = List.map (fun e -> e.Digraph.id) (Digraph.out_edges g 0) in
+  check_true "increasing id order" (ids = [ 0; 1; 2 ])
+
+let test_parallel_edges_allowed () =
+  let g = Digraph.create ~nodes:2 ~edges:[ (0, 1); (0, 1) ] in
+  check_int "two parallel edges" 2 (Digraph.edge_count g)
+
+let test_mem_edge () =
+  let g = diamond () in
+  check_true "existing edge" (Digraph.mem_edge g ~src:0 ~dst:1);
+  check_false "missing edge" (Digraph.mem_edge g ~src:1 ~dst:0)
+
+let test_invalid_construction () =
+  check_raises_invalid "no nodes" (fun () ->
+      Digraph.create ~nodes:0 ~edges:[]);
+  check_raises_invalid "endpoint out of range" (fun () ->
+      Digraph.create ~nodes:2 ~edges:[ (0, 2) ]);
+  check_raises_invalid "negative endpoint" (fun () ->
+      Digraph.create ~nodes:2 ~edges:[ (-1, 0) ]);
+  check_raises_invalid "self loop" (fun () ->
+      Digraph.create ~nodes:2 ~edges:[ (1, 1) ])
+
+let test_node_range_checks () =
+  let g = diamond () in
+  check_raises_invalid "out_edges range" (fun () -> Digraph.out_edges g 4);
+  check_raises_invalid "in_edges range" (fun () -> Digraph.in_edges g (-1))
+
+let test_edges_array_fresh () =
+  let g = diamond () in
+  let es = Digraph.edges g in
+  check_int "edges array length" 4 (Array.length es);
+  check_true "id order" (Array.for_all (fun e -> es.(e.Digraph.id) == e) es)
+
+let test_fold_edges () =
+  let g = diamond () in
+  let total = Digraph.fold_edges (fun _ n -> n + 1) g 0 in
+  check_int "fold visits all edges" 4 total
+
+let test_empty_graph_ok () =
+  let g = Digraph.create ~nodes:3 ~edges:[] in
+  check_int "no edges" 0 (Digraph.edge_count g);
+  check_true "no out edges" (Digraph.out_edges g 0 = [])
+
+let suite =
+  [
+    case "counts" test_counts;
+    case "edge lookup" test_edge_lookup;
+    case "edge range check" test_edge_out_of_range;
+    case "adjacency" test_adjacency;
+    case "adjacency ordering" test_adjacency_ordering;
+    case "parallel edges" test_parallel_edges_allowed;
+    case "mem_edge" test_mem_edge;
+    case "invalid construction" test_invalid_construction;
+    case "node range checks" test_node_range_checks;
+    case "edges array" test_edges_array_fresh;
+    case "fold_edges" test_fold_edges;
+    case "edgeless graph" test_empty_graph_ok;
+  ]

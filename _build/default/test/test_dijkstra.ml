@@ -1,0 +1,107 @@
+open Helpers
+open Staleroute_graph
+
+let diamond_weights = [| 1.; 4.; 1.; 1.; 0.5 |]
+(* Braess layout: 0:(0,1) 1:(0,2) 2:(1,3) 3:(2,3) 4:(1,2). *)
+
+let test_distances () =
+  let g = (Gen.braess ()).Gen.graph in
+  let r = Dijkstra.run g ~weights:diamond_weights ~src:0 in
+  check_close "distance to source" 0. (Dijkstra.distance r 0);
+  check_close "distance to 1" 1. (Dijkstra.distance r 1);
+  check_close "distance to 2 via bridge" 1.5 (Dijkstra.distance r 2);
+  check_close "distance to sink" 2. (Dijkstra.distance r 3)
+
+let test_path_extraction () =
+  let g = (Gen.braess ()).Gen.graph in
+  let r = Dijkstra.run g ~weights:diamond_weights ~src:0 in
+  match Dijkstra.path_to r 3 with
+  | None -> Alcotest.fail "sink should be reachable"
+  | Some p ->
+      check_true "shortest path uses direct top route"
+        (Path.edge_ids p = [ 0; 2 ])
+
+let test_path_to_source () =
+  let g = (Gen.braess ()).Gen.graph in
+  let r = Dijkstra.run g ~weights:diamond_weights ~src:0 in
+  check_true "no path to the source itself" (Dijkstra.path_to r 0 = None)
+
+let test_unreachable () =
+  let g = Digraph.create ~nodes:3 ~edges:[ (0, 1) ] in
+  let r = Dijkstra.run g ~weights:[| 1. |] ~src:0 in
+  check_true "unreachable distance" (Dijkstra.distance r 2 = infinity);
+  check_true "unreachable path" (Dijkstra.path_to r 2 = None)
+
+let test_zero_weights () =
+  let g = (Gen.parallel_links 3).Gen.graph in
+  let r = Dijkstra.run g ~weights:[| 0.; 0.; 0. |] ~src:0 in
+  check_close "zero-weight distance" 0. (Dijkstra.distance r 1)
+
+let test_validation () =
+  let g = (Gen.parallel_links 2).Gen.graph in
+  check_raises_invalid "negative weight" (fun () ->
+      Dijkstra.run g ~weights:[| 1.; -1. |] ~src:0);
+  check_raises_invalid "weight length" (fun () ->
+      Dijkstra.run g ~weights:[| 1. |] ~src:0);
+  check_raises_invalid "bad source" (fun () ->
+      Dijkstra.run g ~weights:[| 1.; 1. |] ~src:5)
+
+let test_shortest_path_wrapper () =
+  let g = (Gen.braess ()).Gen.graph in
+  match Dijkstra.shortest_path g ~weights:diamond_weights ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "reachable"
+  | Some (p, d) ->
+      check_close "wrapper distance" 2. d;
+      check_int "wrapper path length" 2 (Path.length p)
+
+let test_multigraph_picks_cheapest_parallel () =
+  let g = Digraph.create ~nodes:2 ~edges:[ (0, 1); (0, 1); (0, 1) ] in
+  let r = Dijkstra.run g ~weights:[| 3.; 1.; 2. |] ~src:0 in
+  check_close "cheapest parallel edge" 1. (Dijkstra.distance r 1);
+  match Dijkstra.path_to r 1 with
+  | Some p -> check_true "uses edge 1" (Path.edge_ids p = [ 1 ])
+  | None -> Alcotest.fail "reachable"
+
+(* Brute-force reference: minimum over all enumerated simple paths.
+   With non-negative weights, some shortest walk is a simple path, so
+   Dijkstra and the brute force agree. *)
+let brute_force_distance g ~weights ~src ~dst =
+  Path_enum.all_simple_paths g ~src ~dst
+  |> List.fold_left
+       (fun best p ->
+         let len =
+           List.fold_left (fun acc e -> acc +. weights.(e)) 0.
+             (Path.edge_ids p)
+         in
+         Float.min best len)
+       infinity
+
+let prop_matches_brute_force =
+  qcheck ~count:50 "qcheck: Dijkstra = brute force on random layered DAGs"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Staleroute_util.Rng.create ~seed () in
+      let st = Gen.layered ~rng ~layers:3 ~width:3 ~edge_prob:0.5 in
+      let g = st.Gen.graph in
+      let weights =
+        Array.init (Digraph.edge_count g) (fun _ ->
+            Staleroute_util.Rng.float rng 10.)
+      in
+      let d = Dijkstra.run g ~weights ~src:st.Gen.src in
+      let exact =
+        brute_force_distance g ~weights ~src:st.Gen.src ~dst:st.Gen.dst
+      in
+      Float.abs (Dijkstra.distance d st.Gen.dst -. exact) < 1e-9)
+
+let suite =
+  [
+    case "distances" test_distances;
+    case "path extraction" test_path_extraction;
+    case "path to source" test_path_to_source;
+    case "unreachable" test_unreachable;
+    case "zero weights" test_zero_weights;
+    case "validation" test_validation;
+    case "shortest_path wrapper" test_shortest_path_wrapper;
+    case "parallel edges" test_multigraph_picks_cheapest_parallel;
+    prop_matches_brute_force;
+  ]

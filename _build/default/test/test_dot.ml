@@ -1,0 +1,25 @@
+open Helpers
+open Staleroute_graph
+
+let test_contains_structure () =
+  let st = Gen.braess () in
+  let dot = Dot.to_dot ~name:"braess" st.Gen.graph in
+  check_true "digraph header" (Str_contains.contains dot "digraph braess");
+  check_true "a node" (Str_contains.contains dot "n0;");
+  check_true "an edge" (Str_contains.contains dot "n0 -> n1");
+  check_true "bridge edge" (Str_contains.contains dot "n1 -> n2");
+  check_true "closing brace" (Str_contains.contains dot "}")
+
+let test_custom_labels () =
+  let st = Gen.parallel_links 2 in
+  let dot =
+    Dot.to_dot ~edge_label:(fun e -> Printf.sprintf "w%d" e.Digraph.id)
+      st.Gen.graph
+  in
+  check_true "custom label" (Str_contains.contains dot "label=\"w1\"")
+
+let suite =
+  [
+    case "structure" test_contains_structure;
+    case "custom labels" test_custom_labels;
+  ]

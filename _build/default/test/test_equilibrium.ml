@@ -1,0 +1,109 @@
+open Helpers
+open Staleroute_wardrop
+module Common = Staleroute_experiments.Common
+module L = Staleroute_latency.Latency
+
+let two_link_linear () =
+  let st = Staleroute_graph.Gen.parallel_links 2 in
+  Instance.create ~graph:st.Staleroute_graph.Gen.graph
+    ~latencies:[| L.linear 1.; L.linear 1. |]
+    ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+    ()
+
+let test_gap_zero_at_equilibrium () =
+  let inst = two_link_linear () in
+  check_close "even split gap" 0. (Equilibrium.wardrop_gap inst [| 0.5; 0.5 |]);
+  check_true "is wardrop" (Equilibrium.is_wardrop inst [| 0.5; 0.5 |])
+
+let test_gap_positive_off_equilibrium () =
+  let inst = two_link_linear () in
+  let gap = Equilibrium.wardrop_gap inst [| 0.8; 0.2 |] in
+  check_close "gap is latency spread" 0.6 gap;
+  check_false "not wardrop" (Equilibrium.is_wardrop inst [| 0.8; 0.2 |])
+
+let test_gap_ignores_unused_paths () =
+  (* The expensive path carries no flow: Definition 1 only constrains
+     used paths. *)
+  let st = Staleroute_graph.Gen.parallel_links 2 in
+  let inst =
+    Instance.create ~graph:st.Staleroute_graph.Gen.graph
+      ~latencies:[| L.linear 1.; L.const 5. |]
+      ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+      ()
+  in
+  check_close "unused expensive path ok" 0.
+    (Equilibrium.wardrop_gap inst [| 1.; 0. |]);
+  check_true "equilibrium with idle path"
+    (Equilibrium.is_wardrop inst [| 1.; 0. |])
+
+let test_braess_equilibrium_flow () =
+  let inst = Common.braess () in
+  (* All flow on the zigzag path (index 1) is the Braess equilibrium. *)
+  check_true "braess eq" (Equilibrium.is_wardrop inst [| 0.; 1.; 0. |]);
+  check_false "uniform is not eq"
+    (Equilibrium.is_wardrop inst (Flow.uniform inst))
+
+let test_unsatisfied_volume () =
+  let inst = two_link_linear () in
+  let f = [| 0.8; 0.2 |] in
+  (* latencies 0.8 vs 0.2; min = 0.2. *)
+  check_close "volume above min+0.5" 0.8
+    (Equilibrium.unsatisfied_volume inst f ~delta:0.5);
+  check_close "volume above min+0.7" 0.
+    (Equilibrium.unsatisfied_volume inst f ~delta:0.7)
+
+let test_weakly_unsatisfied_volume () =
+  let inst = two_link_linear () in
+  let f = [| 0.8; 0.2 |] in
+  (* avg = 0.8*0.8 + 0.2*0.2 = 0.68. *)
+  check_close "volume above avg+0.1" 0.8
+    (Equilibrium.weakly_unsatisfied_volume inst f ~delta:0.1);
+  check_close "volume above avg+0.2" 0.
+    (Equilibrium.weakly_unsatisfied_volume inst f ~delta:0.2)
+
+let test_delta_eps_predicates () =
+  let inst = two_link_linear () in
+  let f = [| 0.8; 0.2 |] in
+  check_false "not a (0.5, 0.1)-eq"
+    (Equilibrium.is_delta_eps_equilibrium inst f ~delta:0.5 ~eps:0.1);
+  check_true "is a (0.5, 0.9)-eq"
+    (Equilibrium.is_delta_eps_equilibrium inst f ~delta:0.5 ~eps:0.9);
+  check_true "is a (0.7, 0.0)-eq"
+    (Equilibrium.is_delta_eps_equilibrium inst f ~delta:0.7 ~eps:0.);
+  check_true "strict implies weak"
+    (Equilibrium.is_weak_delta_eps_equilibrium inst f ~delta:0.7 ~eps:0.)
+
+let test_weak_is_weaker () =
+  (* Every (delta, eps)-eq is a weak (delta, eps)-eq (min <= avg). *)
+  let inst = Common.parallel 5 in
+  let r = rng () in
+  for _ = 1 to 30 do
+    let f = Flow.random inst r in
+    let delta = 0.2 and eps = 0.3 in
+    if Equilibrium.is_delta_eps_equilibrium inst f ~delta ~eps then
+      check_true "strict implies weak"
+        (Equilibrium.is_weak_delta_eps_equilibrium inst f ~delta ~eps)
+  done
+
+let prop_weak_volume_le_strict =
+  qcheck ~count:100 "qcheck: weakly unsatisfied <= unsatisfied volume"
+    QCheck2.Gen.(pair (int_range 0 100_000) (float_range 0.01 1.))
+    (fun (seed, delta) ->
+      let inst = Common.parallel 4 in
+      let r = Staleroute_util.Rng.create ~seed () in
+      let f = Flow.random inst r in
+      Equilibrium.weakly_unsatisfied_volume inst f ~delta
+      <= Equilibrium.unsatisfied_volume inst f ~delta +. 1e-12)
+
+let suite =
+  [
+    case "gap zero at equilibrium" test_gap_zero_at_equilibrium;
+    case "gap positive off equilibrium" test_gap_positive_off_equilibrium;
+    case "gap ignores unused paths" test_gap_ignores_unused_paths;
+    case "braess equilibrium" test_braess_equilibrium_flow;
+    case "unsatisfied volume" test_unsatisfied_volume;
+    case "weakly unsatisfied volume" test_weakly_unsatisfied_volume;
+    case "delta-eps predicates" test_delta_eps_predicates;
+    case "weak is weaker" test_weak_is_weaker;
+    prop_weak_volume_le_strict;
+  ]

@@ -1,0 +1,168 @@
+open Helpers
+open Staleroute_wardrop
+module Common = Staleroute_experiments.Common
+module Vec = Staleroute_util.Vec
+
+let test_uniform_feasible () =
+  let inst = Common.braess () in
+  let f = Flow.uniform inst in
+  check_true "uniform feasible" (Flow.is_feasible inst f);
+  Array.iter (fun x -> check_close "equal shares" (1. /. 3.) x) f
+
+let test_concentrated () =
+  let inst = Common.braess () in
+  let f = Flow.concentrated inst ~on:(fun _ -> 1) in
+  check_true "concentrated feasible" (Flow.is_feasible inst f);
+  check_close "all mass on chosen path" 1. f.(1);
+  check_raises_invalid "out-of-range choice" (fun () ->
+      ignore (Flow.concentrated inst ~on:(fun _ -> 5)))
+
+let test_random_feasible () =
+  let inst = Common.parallel 6 in
+  let r = rng () in
+  for _ = 1 to 20 do
+    let f = Flow.random inst r in
+    check_true "random feasible" (Flow.is_feasible inst f);
+    check_true "interior" (Array.for_all (fun x -> x > 0.) f)
+  done
+
+let test_is_feasible_detects_violations () =
+  let inst = Common.braess () in
+  check_false "wrong length" (Flow.is_feasible inst [| 1.; 0. |]);
+  check_false "negative entry" (Flow.is_feasible inst [| -0.5; 1.0; 0.5 |]);
+  check_false "wrong total" (Flow.is_feasible inst [| 0.5; 0.5; 0.5 |])
+
+let test_project_repairs () =
+  let inst = Common.braess () in
+  let dirty = [| 0.5; -0.1; 0.7 |] in
+  let clean = Flow.project inst dirty in
+  check_true "projected feasible" (Flow.is_feasible ~tol:1e-12 inst clean);
+  check_close "negative clipped" 0. clean.(1);
+  (* Relative shares of the positive entries preserved: 0.5 : 0.7. *)
+  check_close ~eps:1e-12 "share ratio preserved" (0.5 /. 0.7)
+    (clean.(0) /. clean.(2))
+
+let test_project_identity_on_feasible () =
+  let inst = Common.braess () in
+  let f = Flow.uniform inst in
+  check_true "projection fixes feasible points"
+    (Vec.approx_equal f (Flow.project inst f))
+
+let test_project_vanished_mass () =
+  let inst = Common.braess () in
+  check_raises_invalid "all-zero commodity" (fun () ->
+      ignore (Flow.project inst [| 0.; 0.; 0. |]))
+
+let test_edge_flows_braess () =
+  let inst = Common.braess () in
+  (* Path order: [0;2] upper, [0;4;3] zigzag, [1;3] lower. *)
+  let f = [| 0.2; 0.3; 0.5 |] in
+  let fe = Flow.edge_flows inst f in
+  check_close "edge 0 (s-v)" 0.5 fe.(0);
+  check_close "edge 1 (s-w)" 0.5 fe.(1);
+  check_close "edge 2 (v-t)" 0.2 fe.(2);
+  check_close "edge 3 (w-t)" 0.8 fe.(3);
+  check_close "edge 4 (bridge)" 0.3 fe.(4)
+
+let test_edge_flow_conservation () =
+  let inst = Common.grid33 () in
+  let r = rng () in
+  let f = Flow.random inst r in
+  let fe = Flow.edge_flows inst f in
+  (* Flow out of the source equals total demand. *)
+  let g = Instance.graph inst in
+  let out_src =
+    List.fold_left
+      (fun acc e -> acc +. fe.(e.Staleroute_graph.Digraph.id))
+      0.
+      (Staleroute_graph.Digraph.out_edges g 0)
+  in
+  check_close ~eps:1e-9 "source outflow = demand" 1. out_src
+
+let test_path_latencies_additive () =
+  let inst = Common.braess () in
+  let f = [| 0.2; 0.3; 0.5 |] in
+  let pl = Flow.path_latencies inst f in
+  (* upper: l(s-v) = 0.5, l(v-t) = 1 -> 1.5
+     zigzag: 0.5 + 0 + l(w-t)=0.8 -> 1.3
+     lower: 1 + 0.8 -> 1.8 *)
+  check_close "upper" 1.5 pl.(0);
+  check_close "zigzag" 1.3 pl.(1);
+  check_close "lower" 1.8 pl.(2)
+
+let test_commodity_aggregates () =
+  let inst = Common.braess () in
+  let f = [| 0.2; 0.3; 0.5 |] in
+  let pl = Flow.path_latencies inst f in
+  check_close "min latency" 1.3
+    (Flow.commodity_min_latency inst ~path_latencies:pl 0);
+  let avg = (0.2 *. 1.5) +. (0.3 *. 1.3) +. (0.5 *. 1.8) in
+  check_close "avg latency" avg
+    (Flow.commodity_avg_latency inst f ~path_latencies:pl 0);
+  check_close "overall = single commodity avg" avg
+    (Flow.overall_avg_latency inst f ~path_latencies:pl)
+
+let test_avg_respects_demand_scaling () =
+  (* Two commodities: averages are per unit of the commodity's demand. *)
+  let graph =
+    Staleroute_graph.Digraph.create ~nodes:3 ~edges:[ (0, 1); (1, 2); (0, 2) ]
+  in
+  let inst =
+    Instance.create ~graph
+      ~latencies:
+        [|
+          Staleroute_latency.Latency.linear 1.;
+          Staleroute_latency.Latency.linear 1.;
+          Staleroute_latency.Latency.const 1.;
+        |]
+      ~commodities:
+        [
+          Commodity.make ~src:0 ~dst:2 ~demand:0.5;
+          Commodity.make ~src:1 ~dst:2 ~demand:0.5;
+        ]
+      ()
+  in
+  let f = Flow.uniform inst in
+  let pl = Flow.path_latencies inst f in
+  let avg0 = Flow.commodity_avg_latency inst f ~path_latencies:pl 0 in
+  let avg1 = Flow.commodity_avg_latency inst f ~path_latencies:pl 1 in
+  let overall = Flow.overall_avg_latency inst f ~path_latencies:pl in
+  check_close ~eps:1e-9 "overall = demand-weighted avg"
+    ((0.5 *. avg0) +. (0.5 *. avg1))
+    overall
+
+let prop_random_flows_feasible =
+  qcheck ~count:50 "qcheck: random flows are feasible"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let inst = Common.parallel 5 in
+      let r = Staleroute_util.Rng.create ~seed () in
+      Flow.is_feasible inst (Flow.random inst r))
+
+let prop_project_idempotent =
+  qcheck ~count:50 "qcheck: project is idempotent"
+    QCheck2.Gen.(
+      array_size (int_range 3 3) (float_range (-0.2) 1.))
+    (fun raw ->
+      let inst = Common.braess () in
+      match Flow.project inst raw with
+      | exception Invalid_argument _ -> true
+      | once -> Vec.approx_equal ~atol:1e-12 once (Flow.project inst once))
+
+let suite =
+  [
+    case "uniform feasible" test_uniform_feasible;
+    case "concentrated" test_concentrated;
+    case "random feasible" test_random_feasible;
+    case "feasibility detection" test_is_feasible_detects_violations;
+    case "projection repairs" test_project_repairs;
+    case "projection identity" test_project_identity_on_feasible;
+    case "projection vanish" test_project_vanished_mass;
+    case "edge flows (braess)" test_edge_flows_braess;
+    case "edge flow conservation" test_edge_flow_conservation;
+    case "path latency additivity" test_path_latencies_additive;
+    case "commodity aggregates" test_commodity_aggregates;
+    case "multi-commodity averages" test_avg_respects_demand_scaling;
+    prop_random_flows_feasible;
+    prop_project_idempotent;
+  ]

@@ -1,0 +1,120 @@
+open Helpers
+open Staleroute_wardrop
+module Common = Staleroute_experiments.Common
+module L = Staleroute_latency.Latency
+
+let test_two_link_even_split () =
+  let st = Staleroute_graph.Gen.parallel_links 2 in
+  let inst =
+    Instance.create ~graph:st.Staleroute_graph.Gen.graph
+      ~latencies:[| L.linear 1.; L.linear 1. |]
+      ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+      ()
+  in
+  let r = Frank_wolfe.equilibrium inst in
+  check_close ~eps:1e-4 "even split" 0.5 r.Frank_wolfe.flow.(0);
+  check_close ~eps:1e-6 "phi*" 0.25 r.Frank_wolfe.objective;
+  check_true "small wardrop gap"
+    (Equilibrium.wardrop_gap inst r.Frank_wolfe.flow < 1e-3)
+
+let test_asymmetric_links () =
+  (* l1 = x, l2 = x + 1/2: equilibrium at f1 = 3/4, both latencies 3/4. *)
+  let st = Staleroute_graph.Gen.parallel_links 2 in
+  let inst =
+    Instance.create ~graph:st.Staleroute_graph.Gen.graph
+      ~latencies:[| L.linear 1.; L.affine ~slope:1. ~intercept:0.5 |]
+      ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+      ()
+  in
+  let r = Frank_wolfe.equilibrium inst in
+  check_close ~eps:1e-3 "f1 = 3/4" 0.75 r.Frank_wolfe.flow.(0);
+  let pl = Flow.path_latencies inst r.Frank_wolfe.flow in
+  check_close ~eps:1e-3 "equalised latencies" pl.(0) pl.(1)
+
+let test_boundary_equilibrium () =
+  (* l1 = x, l2 = 2 + x: all flow on link 1 (latency 1 < 2). *)
+  let st = Staleroute_graph.Gen.parallel_links 2 in
+  let inst =
+    Instance.create ~graph:st.Staleroute_graph.Gen.graph
+      ~latencies:[| L.linear 1.; L.affine ~slope:1. ~intercept:2. |]
+      ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+      ()
+  in
+  let r = Frank_wolfe.equilibrium inst in
+  check_close ~eps:1e-4 "all flow on the cheap link" 1. r.Frank_wolfe.flow.(0)
+
+let test_braess_potential () =
+  let inst = Common.braess () in
+  let r = Frank_wolfe.equilibrium inst in
+  (* Equilibrium: everything on the zigzag; Phi = 1/2 + 0 + 1/2 = 1. *)
+  check_close ~eps:1e-6 "braess phi*" 1. r.Frank_wolfe.objective;
+  check_close ~eps:1e-3 "zigzag carries all" 1. r.Frank_wolfe.flow.(1)
+
+let test_result_feasible_and_gap () =
+  let inst = Common.grid33 () in
+  let r = Frank_wolfe.equilibrium ~tol:1e-6 inst in
+  check_true "flow feasible" (Flow.is_feasible inst r.Frank_wolfe.flow);
+  check_true "gap below tolerance" (r.Frank_wolfe.gap <= 1e-6);
+  check_true "converged before cap" (r.Frank_wolfe.iterations < 10_000)
+
+let test_phi_star_no_larger_than_random_points () =
+  let inst = Common.parallel 6 in
+  let phi_star = Frank_wolfe.optimum_potential inst in
+  let r = rng () in
+  for _ = 1 to 50 do
+    check_true "phi* is a lower bound"
+      (phi_star <= Potential.phi inst (Flow.random inst r) +. 1e-9)
+  done
+
+let test_max_iter_respected () =
+  let inst = Common.grid33 () in
+  let r = Frank_wolfe.equilibrium ~max_iter:3 inst in
+  check_true "iteration cap" (r.Frank_wolfe.iterations <= 3)
+
+let test_multicommodity_equilibrium () =
+  let graph =
+    Staleroute_graph.Digraph.create ~nodes:4
+      ~edges:[ (0, 2); (0, 2); (1, 2); (2, 3) ]
+  in
+  (* Commodity A: 0->2 over two parallel links; commodity B: 1->2 single
+     path; edge (2,3) unused by both. *)
+  let inst =
+    Instance.create ~graph
+      ~latencies:[| L.linear 1.; L.linear 1.; L.const 1.; L.const 1. |]
+      ~commodities:
+        [
+          Commodity.make ~src:0 ~dst:2 ~demand:0.5;
+          Commodity.make ~src:1 ~dst:2 ~demand:0.5;
+        ]
+      ()
+  in
+  let r = Frank_wolfe.equilibrium inst in
+  check_true "feasible" (Flow.is_feasible inst r.Frank_wolfe.flow);
+  check_true "wardrop for both commodities"
+    (Equilibrium.wardrop_gap inst r.Frank_wolfe.flow < 1e-3)
+
+let prop_equilibrium_gap_small_on_random_instances =
+  qcheck ~count:10 "qcheck: FW duality gap bounds the unsatisfied volume"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      (* gap = sum_P f_P (l_P - l^i_min) >= delta * vol_delta, so the
+         delta-unsatisfied volume of the solver output is certified by
+         the gap it reports - however early it stopped. *)
+      let inst = Common.layered_random ~seed in
+      let r = Frank_wolfe.equilibrium inst in
+      let delta = 0.01 in
+      Equilibrium.unsatisfied_volume inst r.Frank_wolfe.flow ~delta
+      <= (r.Frank_wolfe.gap /. delta) +. 1e-6)
+
+let suite =
+  [
+    case "two-link even split" test_two_link_even_split;
+    case "asymmetric links" test_asymmetric_links;
+    case "boundary equilibrium" test_boundary_equilibrium;
+    case "braess potential" test_braess_potential;
+    case "feasible result, small gap" test_result_feasible_and_gap;
+    case "phi* is a lower bound" test_phi_star_no_larger_than_random_points;
+    case "max_iter respected" test_max_iter_respected;
+    case "multicommodity" test_multicommodity_equilibrium;
+    prop_equilibrium_gap_small_on_random_instances;
+  ]

@@ -1,0 +1,88 @@
+open Helpers
+open Staleroute_graph
+
+let test_parallel_links () =
+  let st = Gen.parallel_links 4 in
+  check_int "nodes" 2 (Digraph.node_count st.Gen.graph);
+  check_int "edges" 4 (Digraph.edge_count st.Gen.graph);
+  check_int "src" 0 st.Gen.src;
+  check_int "dst" 1 st.Gen.dst;
+  check_raises_invalid "m >= 1 required" (fun () ->
+      ignore (Gen.parallel_links 0))
+
+let test_braess_shape () =
+  let st = Gen.braess () in
+  check_int "nodes" 4 (Digraph.node_count st.Gen.graph);
+  check_int "edges" 5 (Digraph.edge_count st.Gen.graph);
+  (* Documented edge order. *)
+  let e = Digraph.edge st.Gen.graph 4 in
+  check_int "bridge src" 1 e.Digraph.src;
+  check_int "bridge dst" 2 e.Digraph.dst
+
+let test_grid_shape () =
+  let st = Gen.grid ~width:3 ~height:2 in
+  check_int "nodes" 6 (Digraph.node_count st.Gen.graph);
+  (* Right edges: 2 per row x 2 rows; down edges: 3. *)
+  check_int "edges" 7 (Digraph.edge_count st.Gen.graph);
+  check_int "sink is bottom-right" 5 st.Gen.dst;
+  check_raises_invalid "degenerate grid" (fun () ->
+      ignore (Gen.grid ~width:1 ~height:1))
+
+let test_grid_acyclic_reachable () =
+  let st = Gen.grid ~width:4 ~height:4 in
+  check_true "sink reachable"
+    (Path_enum.count_paths st.Gen.graph ~src:st.Gen.src ~dst:st.Gen.dst > 0)
+
+let test_ladder () =
+  let st = Gen.ladder 3 in
+  check_int "edges: 4 per diamond" 12 (Digraph.edge_count st.Gen.graph);
+  check_int "2^3 paths" 8
+    (Path_enum.count_paths st.Gen.graph ~src:st.Gen.src ~dst:st.Gen.dst);
+  check_raises_invalid "k >= 1" (fun () -> ignore (Gen.ladder 0))
+
+let test_layered_every_node_on_a_path () =
+  let rng = rng () in
+  for _ = 1 to 10 do
+    let st = Gen.layered ~rng ~layers:3 ~width:3 ~edge_prob:0.2 in
+    let g = st.Gen.graph in
+    let paths =
+      Path_enum.all_simple_paths ~max_paths:100_000 g ~src:st.Gen.src
+        ~dst:st.Gen.dst
+    in
+    check_true "at least one path" (paths <> []);
+    (* Forced edges guarantee every non-sink node reaches the sink. *)
+    let on_path = Array.make (Digraph.node_count g) false in
+    List.iter
+      (fun p -> List.iter (fun v -> on_path.(v) <- true) (Path.nodes p))
+      paths;
+    check_true "source on a path" on_path.(st.Gen.src)
+  done
+
+let test_layered_validation () =
+  let r = rng () in
+  check_raises_invalid "bad probability" (fun () ->
+      ignore (Gen.layered ~rng:r ~layers:2 ~width:2 ~edge_prob:1.5));
+  check_raises_invalid "bad layers" (fun () ->
+      ignore (Gen.layered ~rng:r ~layers:0 ~width:2 ~edge_prob:0.5))
+
+let test_layered_deterministic_given_seed () =
+  let mk seed =
+    let rng = Staleroute_util.Rng.create ~seed () in
+    let st = Gen.layered ~rng ~layers:2 ~width:3 ~edge_prob:0.5 in
+    Array.map
+      (fun e -> (e.Digraph.src, e.Digraph.dst))
+      (Digraph.edges st.Gen.graph)
+  in
+  check_true "same seed, same graph" (mk 7 = mk 7)
+
+let suite =
+  [
+    case "parallel links" test_parallel_links;
+    case "braess shape" test_braess_shape;
+    case "grid shape" test_grid_shape;
+    case "grid reachability" test_grid_acyclic_reachable;
+    case "ladder" test_ladder;
+    case "layered connectivity" test_layered_every_node_on_a_path;
+    case "layered validation" test_layered_validation;
+    case "layered determinism" test_layered_deterministic_given_seed;
+  ]

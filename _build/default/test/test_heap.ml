@@ -1,0 +1,88 @@
+open Helpers
+module Heap = Staleroute_util.Heap
+
+let test_empty () =
+  let h = Heap.create () in
+  check_true "fresh heap empty" (Heap.is_empty h);
+  check_int "size 0" 0 (Heap.size h);
+  check_true "pop empty" (Heap.pop h = None);
+  check_true "peek empty" (Heap.peek h = None)
+
+let test_push_pop_order () =
+  let h = Heap.create () in
+  List.iter
+    (fun p -> Heap.push h ~priority:p p)
+    [ 5.; 1.; 4.; 2.; 3. ];
+  let order = List.init 5 (fun _ -> Heap.pop h) in
+  check_true "min-first order"
+    (order = [ Some (1., 1.); Some (2., 2.); Some (3., 3.);
+               Some (4., 4.); Some (5., 5.) ])
+
+let test_peek_does_not_remove () =
+  let h = Heap.create () in
+  Heap.push h ~priority:1. "a";
+  check_true "peek" (Heap.peek h = Some (1., "a"));
+  check_int "size unchanged" 1 (Heap.size h)
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h ~priority:1. "first";
+  Heap.push h ~priority:1. "second";
+  Heap.push h ~priority:1. "third";
+  check_true "ties resolve FIFO"
+    (Heap.pop h = Some (1., "first")
+    && Heap.pop h = Some (1., "second")
+    && Heap.pop h = Some (1., "third"))
+
+let test_interleaved () =
+  let h = Heap.create () in
+  Heap.push h ~priority:3. 3;
+  Heap.push h ~priority:1. 1;
+  check_true "pop 1" (Heap.pop h = Some (1., 1));
+  Heap.push h ~priority:2. 2;
+  check_true "pop 2" (Heap.pop h = Some (2., 2));
+  check_true "pop 3" (Heap.pop h = Some (3., 3));
+  check_true "drained" (Heap.is_empty h)
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.push h ~priority:1. ();
+  Heap.clear h;
+  check_true "cleared" (Heap.is_empty h)
+
+let test_grows () =
+  let h = Heap.create () in
+  for i = 999 downto 0 do
+    Heap.push h ~priority:(float_of_int i) i
+  done;
+  check_int "size" 1000 (Heap.size h);
+  for i = 0 to 999 do
+    match Heap.pop h with
+    | Some (_, v) -> check_int "sorted drain" i v
+    | None -> Alcotest.fail "heap drained early"
+  done
+
+let prop_heap_sorts =
+  qcheck "qcheck: heap drains in sorted order"
+    QCheck2.Gen.(list_size (int_range 0 200) (float_range (-1e3) 1e3))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~priority:p ()) priorities;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (p, ()) -> p >= last && drain p
+      in
+      drain neg_infinity)
+
+let suite =
+  [
+    case "empty heap" test_empty;
+    case "push/pop order" test_push_pop_order;
+    case "peek" test_peek_does_not_remove;
+    case "FIFO tie-breaking" test_fifo_ties;
+    case "interleaved operations" test_interleaved;
+    case "clear" test_clear;
+    case "growth" test_grows;
+    prop_heap_sorts;
+  ]

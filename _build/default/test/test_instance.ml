@@ -1,0 +1,125 @@
+open Helpers
+open Staleroute_graph
+open Staleroute_wardrop
+module L = Staleroute_latency.Latency
+
+let braess_inst () = Staleroute_experiments.Common.braess ()
+
+let test_commodity_validation () =
+  check_raises_invalid "zero demand" (fun () ->
+      ignore (Commodity.make ~src:0 ~dst:1 ~demand:0.));
+  check_raises_invalid "src = dst" (fun () ->
+      ignore (Commodity.make ~src:1 ~dst:1 ~demand:1.));
+  let c = Commodity.single ~src:0 ~dst:1 in
+  check_close "single demand" 1. c.Commodity.demand
+
+let test_braess_structure () =
+  let inst = braess_inst () in
+  check_int "paths" 3 (Instance.path_count inst);
+  check_int "commodities" 1 (Instance.commodity_count inst);
+  check_int "D" 3 (Instance.max_path_length inst);
+  check_close "beta" 1. (Instance.beta inst);
+  (* lmax: worst path is s-v-w-t with l(1)=1, 0, 1 -> 2; top route
+     1 + 1 = 2 as well. *)
+  check_close "lmax" 2. (Instance.ell_max inst);
+  check_int "max paths in a commodity" 3 (Instance.max_paths_in_commodity inst)
+
+let test_path_commodity_maps () =
+  let inst = braess_inst () in
+  for p = 0 to Instance.path_count inst - 1 do
+    check_int "single commodity" 0 (Instance.commodity_of_path inst p)
+  done;
+  let ps = Instance.paths_of_commodity inst 0 in
+  check_int "all paths belong to commodity 0" 3 (Array.length ps);
+  Array.iteri (fun i p -> check_int "identity layout" i p) ps
+
+let test_demand_normalisation_enforced () =
+  let st = Gen.parallel_links 2 in
+  check_raises_invalid "unnormalised demand" (fun () ->
+      ignore
+        (Instance.create ~graph:st.Gen.graph
+           ~latencies:[| L.const 1.; L.const 1. |]
+           ~commodities:[ Commodity.make ~src:0 ~dst:1 ~demand:2. ]
+           ()))
+
+let test_multicommodity () =
+  (* Two commodities sharing the middle edge of a 3-node line plus a
+     bypass edge. *)
+  let graph =
+    Digraph.create ~nodes:3 ~edges:[ (0, 1); (1, 2); (0, 2) ]
+  in
+  let inst =
+    Instance.create ~graph
+      ~latencies:[| L.linear 1.; L.linear 1.; L.const 1. |]
+      ~commodities:
+        [
+          Commodity.make ~src:0 ~dst:2 ~demand:0.6;
+          Commodity.make ~src:1 ~dst:2 ~demand:0.4;
+        ]
+      ()
+  in
+  check_int "commodities" 2 (Instance.commodity_count inst);
+  (* Commodity 0 has two paths (0-1-2 and 0-2), commodity 1 one. *)
+  check_int "total paths" 3 (Instance.path_count inst);
+  check_int "c0 paths" 2 (Array.length (Instance.paths_of_commodity inst 0));
+  check_int "c1 paths" 1 (Array.length (Instance.paths_of_commodity inst 1));
+  check_close "demand 0" 0.6 (Instance.demand inst 0);
+  check_close "demand 1" 0.4 (Instance.demand inst 1);
+  let p = (Instance.paths_of_commodity inst 1).(0) in
+  check_int "c1's path belongs to c1" 1 (Instance.commodity_of_path inst p)
+
+let test_latency_array_length_checked () =
+  let st = Gen.parallel_links 2 in
+  check_raises_invalid "latency arity" (fun () ->
+      ignore
+        (Instance.create ~graph:st.Gen.graph ~latencies:[| L.const 1. |]
+           ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+           ()))
+
+let test_no_path_rejected () =
+  let graph = Digraph.create ~nodes:3 ~edges:[ (0, 1) ] in
+  check_raises_invalid "unreachable commodity" (fun () ->
+      ignore
+        (Instance.create ~graph ~latencies:[| L.const 1. |]
+           ~commodities:[ Commodity.single ~src:0 ~dst:2 ]
+           ()))
+
+let test_path_cap_respected () =
+  let st = Gen.ladder 6 in
+  let m = Digraph.edge_count st.Gen.graph in
+  match
+    Instance.create ~max_paths_per_commodity:10 ~graph:st.Gen.graph
+      ~latencies:(Array.init m (fun _ -> L.const 1.))
+      ~commodities:[ Commodity.single ~src:st.Gen.src ~dst:st.Gen.dst ]
+      ()
+  with
+  | exception Path_enum.Too_many_paths _ -> ()
+  | _ -> Alcotest.fail "expected path-cap overflow"
+
+let test_accessor_bounds () =
+  let inst = braess_inst () in
+  check_raises_invalid "path index" (fun () -> ignore (Instance.path inst 3));
+  check_raises_invalid "latency index" (fun () ->
+      ignore (Instance.latency inst 9));
+  check_raises_invalid "commodity index" (fun () ->
+      ignore (Instance.commodity inst 1))
+
+let test_needle_constants () =
+  let inst = Staleroute_experiments.Common.needle 8 in
+  check_close "beta from the good link" 1. (Instance.beta inst);
+  check_close "lmax from the bad links" 2. (Instance.ell_max inst);
+  check_int "D = 1 on parallel links" 1 (Instance.max_path_length inst)
+
+let suite =
+  [
+    case "commodity validation" test_commodity_validation;
+    case "braess structure" test_braess_structure;
+    case "path/commodity maps" test_path_commodity_maps;
+    case "demand normalisation" test_demand_normalisation_enforced;
+    case "multicommodity" test_multicommodity;
+    case "latency arity" test_latency_array_length_checked;
+    case "no-path rejection" test_no_path_rejected;
+    case "path cap" test_path_cap_respected;
+    case "accessor bounds" test_accessor_bounds;
+    case "needle constants" test_needle_constants;
+  ]

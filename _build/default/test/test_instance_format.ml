@@ -1,0 +1,149 @@
+open Helpers
+open Staleroute_wardrop
+module Common = Staleroute_experiments.Common
+
+let braess_text =
+  "# Braess's network\n\
+   nodes 4\n\
+   edge 0 1\n\
+   edge 0 2\n\
+   edge 1 3\n\
+   edge 2 3\n\
+   edge 1 2\n\
+   latency 0 (linear 1)\n\
+   latency 1 (const 1)\n\
+   latency 2 (const 1)\n\
+   latency 3 (linear 1)\n\
+   latency 4 (const 0)\n\
+   commodity 0 3 1.0\n"
+
+let test_parse_braess () =
+  match Instance_format.parse braess_text with
+  | Error m -> Alcotest.fail m
+  | Ok inst ->
+      check_int "paths" 3 (Instance.path_count inst);
+      check_int "D" 3 (Instance.max_path_length inst);
+      check_close "beta" 1. (Instance.beta inst);
+      (* Behaves exactly like the built-in Braess instance. *)
+      let builtin = Common.braess () in
+      check_close "same phi*"
+        Frank_wolfe.(equilibrium builtin).objective
+        Frank_wolfe.(equilibrium inst).objective
+
+let test_comments_blank_lines_tabs () =
+  let text =
+    "\n# all comments\nnodes 2\n\n edge\t0 1  # inline comment\n\
+     edge 0 1\nlatency 0 (linear 1)\nlatency 1 (const 1)\n\
+     commodity 0 1 1\n\n"
+  in
+  match Instance_format.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok inst -> check_int "two parallel edges" 2 (Instance.path_count inst)
+
+let roundtrip inst =
+  match Instance_format.parse (Instance_format.to_string inst) with
+  | Error m -> Alcotest.fail m
+  | Ok inst' ->
+      check_int "path count preserved" (Instance.path_count inst)
+        (Instance.path_count inst');
+      check_int "commodities preserved"
+        (Instance.commodity_count inst)
+        (Instance.commodity_count inst');
+      (* Latency structure preserved: potentials agree at the uniform
+         flow. *)
+      check_close ~eps:1e-12 "potential preserved"
+        (Potential.phi inst (Flow.uniform inst))
+        (Potential.phi inst' (Flow.uniform inst'))
+
+let test_roundtrip_builtins () =
+  List.iter roundtrip
+    [
+      Common.braess ();
+      Common.two_link ~beta:4.;
+      Common.parallel 5;
+      Common.grid33 ();
+      Common.two_commodity ();
+      Common.poly_parallel ~m:3 ~degree:4;
+      Common.layered_random ~seed:5;
+    ]
+
+let expect_error fragment text =
+  match Instance_format.parse text with
+  | Ok _ -> Alcotest.failf "expected an error mentioning %S" fragment
+  | Error m ->
+      check_true
+        (Printf.sprintf "error %S mentions %S" m fragment)
+        (Str_contains.contains m fragment)
+
+let test_errors () =
+  expect_error "nodes" "edge 0 1\n";
+  expect_error "missing 'nodes'" "# empty\n";
+  expect_error "duplicate 'nodes'" "nodes 2\nnodes 3\n";
+  expect_error "node count" "nodes zero\n";
+  expect_error "usage: edge" "nodes 2\nedge 0\n";
+  expect_error "no latency"
+    "nodes 2\nedge 0 1\ncommodity 0 1 1\n";
+  expect_error "unknown edge"
+    "nodes 2\nedge 0 1\nlatency 0 (const 1)\nlatency 3 (const 1)\n\
+     commodity 0 1 1\n";
+  expect_error "duplicate latency"
+    "nodes 2\nedge 0 1\nlatency 0 (const 1)\nlatency 0 (const 2)\n\
+     commodity 0 1 1\n";
+  expect_error "no commodities"
+    "nodes 2\nedge 0 1\nlatency 0 (const 1)\n";
+  expect_error "unknown keyword" "nodes 2\nfrobnicate 1\n";
+  expect_error "latency:" "nodes 2\nedge 0 1\nlatency 0 (bogus 1)\n";
+  expect_error "demand"
+    "nodes 2\nedge 0 1\nlatency 0 (const 1)\ncommodity 0 1 0\n";
+  (* Structural validation delegated to Instance.create. *)
+  expect_error "demand"
+    "nodes 2\nedge 0 1\nlatency 0 (const 1)\ncommodity 0 1 0.5\n"
+
+let test_error_carries_line_number () =
+  expect_error "line 3" "nodes 2\nedge 0 1\nbogus\n"
+
+let test_file_io () =
+  let inst = Common.braess () in
+  let path = Filename.temp_file "staleroute" ".inst" in
+  (match Instance_format.to_file path inst with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match Instance_format.of_file path with
+  | Ok inst' ->
+      check_int "file roundtrip" (Instance.path_count inst)
+        (Instance.path_count inst')
+  | Error m -> Alcotest.fail m);
+  Sys.remove path;
+  match Instance_format.of_file "/nonexistent/definitely.inst" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an IO error"
+
+let test_path_cap_passed_through () =
+  let st = Staleroute_graph.Gen.ladder 6 in
+  let m = Staleroute_graph.Digraph.edge_count st.Staleroute_graph.Gen.graph in
+  let inst =
+    Instance.create ~graph:st.Staleroute_graph.Gen.graph
+      ~latencies:
+        (Array.init m (fun _ -> Staleroute_latency.Latency.const 1.))
+      ~commodities:
+        [
+          Commodity.single ~src:st.Staleroute_graph.Gen.src
+            ~dst:st.Staleroute_graph.Gen.dst;
+        ]
+      ()
+  in
+  let text = Instance_format.to_string inst in
+  match Instance_format.parse ~max_paths_per_commodity:10 text with
+  | Error m -> check_true "cap error" (Str_contains.contains m "paths")
+  | Ok _ -> Alcotest.fail "expected the path cap to fire"
+
+let suite =
+  [
+    case "parse braess" test_parse_braess;
+    case "comments / blanks / tabs" test_comments_blank_lines_tabs;
+    case "roundtrip builtins" test_roundtrip_builtins;
+    case "errors" test_errors;
+    case "line numbers in errors" test_error_carries_line_number;
+    case "file IO" test_file_io;
+    case "path cap" test_path_cap_passed_through;
+  ]

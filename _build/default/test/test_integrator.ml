@@ -1,0 +1,131 @@
+open Helpers
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Common = Staleroute_experiments.Common
+module Vec = Staleroute_util.Vec
+
+(* A linear autonomous ODE with a known solution on the two-path
+   simplex: f' = A f with A moving mass from path 0 to path 1 at rate 1
+   has solution f0(t) = f0(0) e^{-t}. *)
+let linear_deriv f = [| -.f.(0); f.(0) |]
+
+let two_link_inst () = Common.two_link ~beta:1.
+
+let test_scheme_parsing () =
+  check_true "euler" (Integrator.scheme_of_string "euler" = Some Integrator.Euler);
+  check_true "rk4" (Integrator.scheme_of_string "rk4" = Some Integrator.Rk4);
+  check_true "unknown" (Integrator.scheme_of_string "leapfrog" = None);
+  check_true "names roundtrip"
+    (Integrator.scheme_name Integrator.Euler = "euler"
+    && Integrator.scheme_name Integrator.Rk4 = "rk4")
+
+let test_exponential_decay_rk4 () =
+  let inst = two_link_inst () in
+  let f =
+    Integrator.integrate_phase Integrator.Rk4 inst ~deriv:linear_deriv
+      ~f0:[| 1.; 0. |] ~tau:1. ~steps:20
+  in
+  (* Global RK4 error at h = 1/20 is O(h^4) ~ 1e-6. *)
+  check_close ~eps:1e-6 "rk4 matches e^{-1}" (exp (-1.)) f.(0);
+  check_close ~eps:1e-9 "mass conserved" 1. (Vec.sum f)
+
+let test_exponential_decay_euler_converges () =
+  let inst = two_link_inst () in
+  let err steps =
+    let f =
+      Integrator.integrate_phase Integrator.Euler inst ~deriv:linear_deriv
+        ~f0:[| 1.; 0. |] ~tau:1. ~steps
+    in
+    Float.abs (f.(0) -. exp (-1.))
+  in
+  check_true "euler error shrinks ~linearly"
+    (err 80 < err 10 /. 4.)
+
+let test_rk4_more_accurate_than_euler () =
+  let inst = two_link_inst () in
+  let run scheme =
+    (Integrator.integrate_phase scheme inst ~deriv:linear_deriv
+       ~f0:[| 1.; 0. |] ~tau:1. ~steps:8).(0)
+  in
+  let exact = exp (-1.) in
+  check_true "rk4 beats euler at equal steps"
+    (Float.abs (run Integrator.Rk4 -. exact)
+    < Float.abs (run Integrator.Euler -. exact) /. 100.)
+
+let test_zero_tau_identity () =
+  let inst = two_link_inst () in
+  let f0 = [| 0.25; 0.75 |] in
+  let f =
+    Integrator.integrate_phase Integrator.Rk4 inst ~deriv:linear_deriv ~f0
+      ~tau:0. ~steps:5
+  in
+  check_true "tau = 0 returns the start" (Vec.approx_equal f0 f);
+  check_true "fresh copy" (not (f == f0))
+
+let test_validation () =
+  let inst = two_link_inst () in
+  check_raises_invalid "negative tau" (fun () ->
+      ignore
+        (Integrator.integrate_phase Integrator.Rk4 inst ~deriv:linear_deriv
+           ~f0:[| 1.; 0. |] ~tau:(-1.) ~steps:2));
+  check_raises_invalid "zero steps" (fun () ->
+      ignore
+        (Integrator.integrate_phase Integrator.Rk4 inst ~deriv:linear_deriv
+           ~f0:[| 1.; 0. |] ~tau:1. ~steps:0))
+
+let test_projection_keeps_feasible () =
+  (* A deliberately overshooting derivative: projection must keep the
+     state on the simplex at every step. *)
+  let inst = two_link_inst () in
+  let wild f = [| -10. *. f.(0); 10. *. f.(0) |] in
+  let f =
+    Integrator.integrate_phase Integrator.Euler inst ~deriv:wild
+      ~f0:[| 1.; 0. |] ~tau:1. ~steps:3
+  in
+  check_true "feasible despite overshoot" (Flow.is_feasible ~tol:1e-9 inst f);
+  check_true "no negative entries" (Array.for_all (fun x -> x >= 0.) f)
+
+let test_real_dynamics_step_feasible () =
+  let inst = Common.grid33 () in
+  let f0 = Flow.random inst (rng ()) in
+  let board = Bulletin_board.post inst ~time:0. f0 in
+  let policy = Policy.uniform_linear inst in
+  let deriv g = Rates.flow_derivative inst policy ~board g in
+  let f =
+    Integrator.integrate_phase Integrator.Rk4 inst ~deriv ~f0 ~tau:0.5
+      ~steps:10
+  in
+  check_true "dynamics keeps feasibility" (Flow.is_feasible ~tol:1e-9 inst f)
+
+let prop_steps_refinement_consistent =
+  qcheck ~count:20 "qcheck: halving the step barely moves RK4"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let inst = Common.parallel 3 in
+      let r = Staleroute_util.Rng.create ~seed () in
+      let f0 = Flow.random inst r in
+      let board = Bulletin_board.post inst ~time:0. f0 in
+      let policy = Policy.uniform_linear inst in
+      let deriv g = Rates.flow_derivative inst policy ~board g in
+      let coarse =
+        Integrator.integrate_phase Integrator.Rk4 inst ~deriv ~f0 ~tau:0.5
+          ~steps:4
+      in
+      let fine =
+        Integrator.integrate_phase Integrator.Rk4 inst ~deriv ~f0 ~tau:0.5
+          ~steps:8
+      in
+      Vec.dist1 coarse fine < 1e-7)
+
+let suite =
+  [
+    case "scheme parsing" test_scheme_parsing;
+    case "rk4 exponential decay" test_exponential_decay_rk4;
+    case "euler converges" test_exponential_decay_euler_converges;
+    case "rk4 beats euler" test_rk4_more_accurate_than_euler;
+    case "tau = 0" test_zero_tau_identity;
+    case "validation" test_validation;
+    case "projection safety" test_projection_keeps_feasible;
+    case "real dynamics feasibility" test_real_dynamics_step_feasible;
+    prop_steps_refinement_consistent;
+  ]

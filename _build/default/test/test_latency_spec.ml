@@ -1,0 +1,132 @@
+open Helpers
+module L = Staleroute_latency.Latency
+module N = Staleroute_util.Numerics
+
+let roundtrip name f =
+  match L.of_spec (L.to_spec f) with
+  | Error m -> Alcotest.failf "%s: roundtrip parse failed: %s" name m
+  | Ok g ->
+      (* Functional equality on a grid plus equal derived constants. *)
+      Array.iter
+        (fun x ->
+          check_close
+            (Printf.sprintf "%s: eval at %.3f" name x)
+            (L.eval f x) (L.eval g x);
+          check_close
+            (Printf.sprintf "%s: integral at %.3f" name x)
+            (L.integral f x) (L.integral g x))
+        (N.linspace 0. 1. 17);
+      check_close (name ^ ": slope bound") (L.slope_bound f) (L.slope_bound g)
+
+let test_roundtrip_zoo () =
+  List.iter
+    (fun (name, f) -> roundtrip name f)
+    [
+      ("const", L.const 2.);
+      ("affine", L.affine ~slope:3. ~intercept:0.5);
+      ("linear", L.linear 2.);
+      ("monomial", L.monomial ~coeff:2.5 ~degree:4);
+      ("poly", L.poly [| 1.; 0.; 3.; 0.5 |]);
+      ("relu", L.relu ~slope:4. ~knee:0.5);
+      ("pwl", L.pwl [ (0., 0.); (0.25, 0.5); (0.6, 0.5); (1., 2.) ]);
+      ("mm1", L.mm1 ~capacity:2.);
+      ("scale", L.scale 2.5 (L.linear 1.));
+      ("shift", L.shift 0.7 (L.monomial ~coeff:1. ~degree:2));
+      ("sum", L.add (L.linear 1.) (L.mm1 ~capacity:3.));
+      ( "nested",
+        L.add
+          (L.scale 0.5 (L.add (L.const 1.) (L.linear 2.)))
+          (L.shift 0.1 (L.relu ~slope:3. ~knee:0.25)) );
+    ]
+
+let test_parse_examples () =
+  List.iter
+    (fun (spec, x, expected) ->
+      match L.of_spec spec with
+      | Error m -> Alcotest.failf "%s: %s" spec m
+      | Ok f -> check_close spec expected (L.eval f x))
+    [
+      ("(const 1.5)", 0.3, 1.5);
+      ("(affine 2 0.5)", 0.25, 1.0);
+      ("(linear 3)", 0.5, 1.5);
+      ("(monomial 2 3)", 0.5, 0.25);
+      ("(poly 1 0 2)", 0.5, 1.5);
+      ("(relu 4 0.5)", 0.75, 1.0);
+      ("(mm1 2)", 1.0, 1.0);
+      ("(scale 2 (linear 1))", 0.5, 1.0);
+      ("(shift 1 (linear 1))", 0.5, 1.5);
+      ("(sum (linear 1) (const 1))", 0.5, 1.5);
+      ("(pwl 0 0  0.5 1  1 1)", 0.25, 0.5);
+    ]
+
+let test_whitespace_insensitive () =
+  match L.of_spec "  ( sum\n\t(linear 1)   (const 2) ) " with
+  | Ok f -> check_close "parsed with odd whitespace" 2.5 (L.eval f 0.5)
+  | Error m -> Alcotest.fail m
+
+let test_parse_errors () =
+  List.iter
+    (fun spec ->
+      match L.of_spec spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected a parse error for %S" spec)
+    [
+      "";
+      "(";
+      ")";
+      "(const)";
+      "(const x)";
+      "(unknown 1)";
+      "(linear 1) trailing";
+      "(sum (linear 1))";
+      "(monomial 1 1.5)";
+      "(pwl 0 0 1)";
+      "(const -1)";        (* constructor validation surfaces as Error *)
+      "(mm1 0.5)";
+      "linear 1";
+    ]
+
+let arbitrary_latency seed =
+  (* A small random generator over the algebra (depth <= 3). *)
+  let r = Staleroute_util.Rng.create ~seed () in
+  let pos () = 0.1 +. Staleroute_util.Rng.float r 3. in
+  let rec build depth =
+    let leaf () =
+      match Staleroute_util.Rng.int r 5 with
+      | 0 -> L.const (pos ())
+      | 1 -> L.affine ~slope:(pos ()) ~intercept:(pos ())
+      | 2 -> L.monomial ~coeff:(pos ()) ~degree:(1 + Staleroute_util.Rng.int r 5)
+      | 3 -> L.mm1 ~capacity:(1.5 +. Staleroute_util.Rng.float r 2.)
+      | _ -> L.relu ~slope:(pos ()) ~knee:(Staleroute_util.Rng.float r 1.)
+    in
+    if depth = 0 then leaf ()
+    else
+      match Staleroute_util.Rng.int r 4 with
+      | 0 -> L.scale (pos ()) (build (depth - 1))
+      | 1 -> L.shift (pos ()) (build (depth - 1))
+      | 2 -> L.add (build (depth - 1)) (build (depth - 1))
+      | _ -> leaf ()
+  in
+  build 3
+
+let prop_roundtrip_random =
+  qcheck ~count:100 "qcheck: spec roundtrip on random latency terms"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let f = arbitrary_latency seed in
+      match L.of_spec (L.to_spec f) with
+      | Error _ -> false
+      | Ok g ->
+          Array.for_all
+            (fun x ->
+              Staleroute_util.Numerics.approx_equal (L.eval f x) (L.eval g x))
+            (N.linspace 0. 1. 9))
+
+let suite =
+  [
+    case "roundtrip zoo" test_roundtrip_zoo;
+    case "parse examples" test_parse_examples;
+    case "whitespace insensitivity" test_whitespace_insensitive;
+    case "parse errors" test_parse_errors;
+    prop_roundtrip_random;
+  ]

@@ -1,0 +1,84 @@
+open Helpers
+open Staleroute_graph
+
+let diamond () =
+  Digraph.create ~nodes:4 ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3); (1, 2) ]
+
+let test_valid_path () =
+  let g = diamond () in
+  let p = Path.of_edges g [ 0; 2 ] in
+  check_int "src" 0 (Path.src p);
+  check_int "dst" 3 (Path.dst p);
+  check_int "length" 2 (Path.length p);
+  check_true "edge ids" (Path.edge_ids p = [ 0; 2 ]);
+  check_true "nodes" (Path.nodes p = [ 0; 1; 3 ])
+
+let test_three_edge_path () =
+  let g = diamond () in
+  let p = Path.of_edges g [ 0; 4; 3 ] in
+  check_true "bridge path nodes" (Path.nodes p = [ 0; 1; 2; 3 ]);
+  check_int "length" 3 (Path.length p)
+
+let test_empty_rejected () =
+  let g = diamond () in
+  check_raises_invalid "empty path" (fun () -> Path.of_edges g [])
+
+let test_nonchaining_rejected () =
+  let g = diamond () in
+  check_raises_invalid "edges do not chain" (fun () ->
+      Path.of_edges g [ 0; 3 ])
+
+let test_cycle_rejected () =
+  let g =
+    Digraph.create ~nodes:3 ~edges:[ (0, 1); (1, 2); (2, 0); (0, 2) ]
+  in
+  check_raises_invalid "returning to start" (fun () ->
+      Path.of_edges g [ 0; 1; 2 ])
+
+let test_bad_edge_id () =
+  let g = diamond () in
+  check_raises_invalid "unknown edge id" (fun () -> Path.of_edges g [ 9 ])
+
+let test_mem_edge () =
+  let g = diamond () in
+  let p = Path.of_edges g [ 0; 2 ] in
+  check_true "mem first" (Path.mem_edge p 0);
+  check_true "mem second" (Path.mem_edge p 2);
+  check_false "not mem" (Path.mem_edge p 1)
+
+let test_equal_compare () =
+  let g = diamond () in
+  let p1 = Path.of_edges g [ 0; 2 ] in
+  let p2 = Path.of_edges g [ 0; 2 ] in
+  let p3 = Path.of_edges g [ 1; 3 ] in
+  check_true "equal" (Path.equal p1 p2);
+  check_false "not equal" (Path.equal p1 p3);
+  check_int "compare equal" 0 (Path.compare p1 p2);
+  check_true "compare orders" (Path.compare p1 p3 <> 0)
+
+let test_single_edge () =
+  let g = Digraph.create ~nodes:2 ~edges:[ (0, 1) ] in
+  let p = Path.of_edges g [ 0 ] in
+  check_int "src" 0 (Path.src p);
+  check_int "dst" 1 (Path.dst p);
+  check_true "nodes" (Path.nodes p = [ 0; 1 ])
+
+let test_edge_id_array_matches () =
+  let g = diamond () in
+  let p = Path.of_edges g [ 0; 4; 3 ] in
+  check_true "array view agrees with list"
+    (Array.to_list (Path.edge_id_array p) = Path.edge_ids p)
+
+let suite =
+  [
+    case "valid path" test_valid_path;
+    case "three-edge path" test_three_edge_path;
+    case "empty rejected" test_empty_rejected;
+    case "non-chaining rejected" test_nonchaining_rejected;
+    case "cycle rejected" test_cycle_rejected;
+    case "bad edge id" test_bad_edge_id;
+    case "mem_edge" test_mem_edge;
+    case "equal/compare" test_equal_compare;
+    case "single edge" test_single_edge;
+    case "edge_id_array" test_edge_id_array_matches;
+  ]

@@ -1,0 +1,105 @@
+open Helpers
+open Staleroute_graph
+
+let braess_graph () = (Gen.braess ()).Gen.graph
+
+let test_braess_paths () =
+  let g = braess_graph () in
+  let paths = Path_enum.all_simple_paths g ~src:0 ~dst:3 in
+  check_int "three braess paths" 3 (List.length paths);
+  let ids = List.map Path.edge_ids paths in
+  check_true "exact path set (lexicographic)"
+    (ids = [ [ 0; 2 ]; [ 0; 4; 3 ]; [ 1; 3 ] ])
+
+let test_parallel_links () =
+  let g = (Gen.parallel_links 5).Gen.graph in
+  let paths = Path_enum.all_simple_paths g ~src:0 ~dst:1 in
+  check_int "five single-edge paths" 5 (List.length paths);
+  check_true "all length one" (List.for_all (fun p -> Path.length p = 1) paths)
+
+let test_unreachable () =
+  let g = Digraph.create ~nodes:3 ~edges:[ (0, 1) ] in
+  check_true "no path to isolated node"
+    (Path_enum.all_simple_paths g ~src:0 ~dst:2 = [])
+
+let test_src_eq_dst_rejected () =
+  let g = braess_graph () in
+  check_raises_invalid "src = dst" (fun () ->
+      Path_enum.all_simple_paths g ~src:0 ~dst:0)
+
+let test_simplicity () =
+  (* A graph with a cycle: enumeration must terminate and every returned
+     path must be simple. *)
+  let g =
+    Digraph.create ~nodes:4
+      ~edges:[ (0, 1); (1, 2); (2, 1); (1, 3); (2, 3) ]
+  in
+  (* Simple 0->3 paths: 0-1-3 and 0-1-2-3; the 2->1 back edge creates a
+     cycle but no new simple path. *)
+  let paths = Path_enum.all_simple_paths g ~src:0 ~dst:3 in
+  check_int "two simple paths" 2 (List.length paths);
+  List.iter
+    (fun p ->
+      let nodes = Path.nodes p in
+      check_int "no repeated node"
+        (List.length nodes)
+        (List.length (List.sort_uniq compare nodes)))
+    paths
+
+let test_cap_enforced () =
+  let g = (Gen.ladder 6).Gen.graph in
+  (* 2^6 = 64 paths. *)
+  match Path_enum.all_simple_paths ~max_paths:10 g ~src:0 ~dst:6 with
+  | exception Path_enum.Too_many_paths 10 -> ()
+  | _ -> Alcotest.fail "expected Too_many_paths"
+
+let test_count_matches_enumeration () =
+  List.iter
+    (fun (st : Gen.st) ->
+      let counted =
+        Path_enum.count_paths st.Gen.graph ~src:st.Gen.src ~dst:st.Gen.dst
+      in
+      let enumerated =
+        List.length
+          (Path_enum.all_simple_paths st.Gen.graph ~src:st.Gen.src
+             ~dst:st.Gen.dst)
+      in
+      check_int "count = |enumeration|" enumerated counted)
+    [ Gen.braess (); Gen.parallel_links 7; Gen.grid ~width:3 ~height:3;
+      Gen.ladder 4 ]
+
+let test_grid_path_count () =
+  (* Monotone lattice paths: C(4, 2) = 6 for a 3x3 grid. *)
+  let st = Gen.grid ~width:3 ~height:3 in
+  check_int "3x3 grid has 6 paths" 6
+    (Path_enum.count_paths st.Gen.graph ~src:st.Gen.src ~dst:st.Gen.dst)
+
+let test_ladder_path_count () =
+  let st = Gen.ladder 5 in
+  check_int "ladder 5 has 2^5 paths" 32
+    (Path_enum.count_paths st.Gen.graph ~src:st.Gen.src ~dst:st.Gen.dst)
+
+let prop_layered_counts_agree =
+  qcheck ~count:20 "qcheck: count = enumeration on random layered DAGs"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Staleroute_util.Rng.create ~seed () in
+      let st = Gen.layered ~rng ~layers:3 ~width:3 ~edge_prob:0.4 in
+      Path_enum.count_paths st.Gen.graph ~src:st.Gen.src ~dst:st.Gen.dst
+      = List.length
+          (Path_enum.all_simple_paths st.Gen.graph ~src:st.Gen.src
+             ~dst:st.Gen.dst))
+
+let suite =
+  [
+    case "braess paths" test_braess_paths;
+    case "parallel links" test_parallel_links;
+    case "unreachable" test_unreachable;
+    case "src=dst rejected" test_src_eq_dst_rejected;
+    case "simplicity under cycles" test_simplicity;
+    case "cap enforced" test_cap_enforced;
+    case "count matches enumeration" test_count_matches_enumeration;
+    case "grid path count" test_grid_path_count;
+    case "ladder path count" test_ladder_path_count;
+    prop_layered_counts_agree;
+  ]

@@ -1,0 +1,128 @@
+open Helpers
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Common = Staleroute_experiments.Common
+
+let test_replicator_components () =
+  let inst = Common.braess () in
+  let p = Policy.replicator inst in
+  check_true "proportional sampling" (p.Policy.sampling = Sampling.Proportional);
+  check_true "linear migration with instance lmax"
+    (Migration.alpha p.Policy.migration = Some (1. /. Instance.ell_max inst))
+
+let test_uniform_linear_components () =
+  let inst = Common.braess () in
+  let p = Policy.uniform_linear inst in
+  check_true "uniform sampling" (p.Policy.sampling = Sampling.Uniform)
+
+let test_safe_period_formula () =
+  let inst = Common.braess () in
+  (* D = 3, beta = 1, alpha = 1/2 -> T* = 1/(4*3*0.5*1) = 1/6. *)
+  let p = Policy.uniform_linear inst in
+  match Policy.safe_update_period inst p with
+  | Some t -> check_close "T* = 1/(4 D alpha beta)" (1. /. 6.) t
+  | None -> Alcotest.fail "smooth policy must have a safe period"
+
+let test_safe_period_two_link () =
+  let inst = Common.two_link ~beta:4. in
+  (* D = 1, beta = 4, lmax = 2 -> alpha = 1/2, T* = 1/8. *)
+  match Policy.safe_update_period inst (Policy.replicator inst) with
+  | Some t -> check_close "two-link T*" 0.125 t
+  | None -> Alcotest.fail "expected a safe period"
+
+let test_best_response_has_no_safe_period () =
+  let inst = Common.braess () in
+  let p = Policy.better_response ~sampling:Sampling.Uniform in
+  check_true "no T* for better response"
+    (Policy.safe_update_period inst p = None)
+
+let test_constant_latencies_safe_at_any_period () =
+  let st = Staleroute_graph.Gen.parallel_links 2 in
+  let inst =
+    Instance.create ~graph:st.Staleroute_graph.Gen.graph
+      ~latencies:
+        [| Staleroute_latency.Latency.const 1.;
+           Staleroute_latency.Latency.const 1. |]
+      ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+      ()
+  in
+  match Policy.safe_update_period inst (Policy.uniform_linear inst) with
+  | Some t -> check_true "beta = 0: any period is safe" (t = infinity)
+  | None -> Alcotest.fail "smooth policy"
+
+let test_safe_period_scales_inversely () =
+  (* At a fixed migration constant alpha, doubling the slope halves T*.
+     (The replicator's alpha = 1/lmax itself depends on beta, so the
+     fixed-alpha policy isolates the 1/beta factor.) *)
+  let fixed_alpha =
+    Policy.make ~sampling:Sampling.Uniform
+      ~migration:(Migration.Scaled_linear { alpha = 0.5 })
+  in
+  let t_of beta =
+    let inst = Common.two_link ~beta in
+    Option.get (Policy.safe_update_period inst fixed_alpha)
+  in
+  check_close ~eps:1e-9 "T*(2 beta) = T*(beta)/2" (t_of 2. /. 2.) (t_of 4.);
+  (* The replicator on the two-link family: alpha = 2/beta cancels beta,
+     so T* = 1/8 independent of beta. *)
+  let t_repl beta =
+    let inst = Common.two_link ~beta in
+    Option.get (Policy.safe_update_period inst (Policy.replicator inst))
+  in
+  check_close ~eps:1e-9 "replicator T* is beta-free here" (t_repl 2.)
+    (t_repl 4.)
+
+let test_frv_policy () =
+  let p = Policy.frv () in
+  check_true "mixed sampling" (p.Policy.sampling = Sampling.Mixed 0.25);
+  check_true "relative migration"
+    (p.Policy.migration = Migration.Relative { scale = 0.5 });
+  check_true "frv is not alpha-smooth" (Policy.alpha p = None);
+  let inst = Common.braess () in
+  check_true "hence no slope-based safe period"
+    (Policy.safe_update_period inst p = None)
+
+let test_elastic_update_period () =
+  (* poly_parallel of degree d: elasticity bound is d (the intercept
+     only lowers it), D = 1 -> T_e = 1/(4 d). *)
+  let t_of d =
+    Policy.elastic_update_period (Common.poly_parallel ~m:4 ~degree:d)
+  in
+  check_close "degree 2" (1. /. 8.) (t_of 2);
+  check_close "degree 8" (1. /. 32.) (t_of 8);
+  (* Constant latencies: infinite elastic period. *)
+  let st = Staleroute_graph.Gen.parallel_links 2 in
+  let inst =
+    Instance.create ~graph:st.Staleroute_graph.Gen.graph
+      ~latencies:
+        [| Staleroute_latency.Latency.const 1.;
+           Staleroute_latency.Latency.const 2. |]
+      ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+      ()
+  in
+  check_true "constant latencies: infinity"
+    (Policy.elastic_update_period inst = infinity)
+
+let test_names () =
+  let inst = Common.braess () in
+  check_true "replicator name mentions proportional"
+    (Str_contains.contains (Policy.name (Policy.replicator inst)) "proportional");
+  check_true "logit name mentions logit"
+    (Str_contains.contains
+       (Policy.name (Policy.best_response_approx inst ~c:3.))
+       "logit")
+
+let suite =
+  [
+    case "replicator components" test_replicator_components;
+    case "uniform/linear components" test_uniform_linear_components;
+    case "safe period formula" test_safe_period_formula;
+    case "safe period (two-link)" test_safe_period_two_link;
+    case "no safe period for better response"
+      test_best_response_has_no_safe_period;
+    case "constant latencies" test_constant_latencies_safe_at_any_period;
+    case "safe period scaling" test_safe_period_scales_inversely;
+    case "frv policy" test_frv_policy;
+    case "elastic update period" test_elastic_update_period;
+    case "names" test_names;
+  ]

@@ -1,0 +1,98 @@
+open Helpers
+open Staleroute_wardrop
+module Common = Staleroute_experiments.Common
+module L = Staleroute_latency.Latency
+
+let test_braess_uniform () =
+  let inst = Common.braess () in
+  let f = Flow.uniform inst in
+  (* Edge flows: 2/3, 1/3, 1/3, 2/3, 1/3.
+     Phi = (2/3)^2/2 + 1/3 + 1/3 + (2/3)^2/2 + 0. *)
+  let expected = (2. /. 9.) +. (2. /. 3.) +. (2. /. 9.) in
+  check_close "phi at uniform" expected (Potential.phi inst f)
+
+let test_linear_two_link () =
+  (* Two links l(x) = x: Phi(f) = (f1^2 + f2^2)/2, minimised at the even
+     split. *)
+  let st = Staleroute_graph.Gen.parallel_links 2 in
+  let inst =
+    Instance.create ~graph:st.Staleroute_graph.Gen.graph
+      ~latencies:[| L.linear 1.; L.linear 1. |]
+      ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+      ()
+  in
+  check_close "phi of (1,0)" 0.5 (Potential.phi inst [| 1.; 0. |]);
+  check_close "phi of even split" 0.25 (Potential.phi inst [| 0.5; 0.5 |]);
+  check_true "even split is the minimum"
+    (Potential.phi inst [| 0.5; 0.5 |] < Potential.phi inst [| 0.6; 0.4 |])
+
+let test_phi_of_edge_flows_agrees () =
+  let inst = Common.grid33 () in
+  let f = Flow.random inst (rng ()) in
+  check_close "phi via edge flows"
+    (Potential.phi inst f)
+    (Potential.phi_of_edge_flows inst (Flow.edge_flows inst f))
+
+let test_upper_bound_holds () =
+  let inst = Common.parallel 8 in
+  let bound = Potential.upper_bound inst in
+  let r = rng () in
+  for _ = 1 to 50 do
+    check_true "phi <= lmax" (Potential.phi inst (Flow.random inst r) <= bound)
+  done
+
+let test_zero_latency_zero_potential () =
+  let st = Staleroute_graph.Gen.parallel_links 2 in
+  let inst =
+    Instance.create ~graph:st.Staleroute_graph.Gen.graph
+      ~latencies:[| L.const 0.; L.const 0. |]
+      ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
+      ()
+  in
+  check_close "zero everywhere" 0. (Potential.phi inst [| 0.3; 0.7 |])
+
+(* The defining property: Phi's directional derivative along a shift of
+   mass from P to Q is l_Q - l_P. *)
+let test_phi_gradient_is_latency () =
+  let inst = Common.braess () in
+  let f = Flow.uniform inst in
+  let pl = Flow.path_latencies inst f in
+  let h = 1e-7 in
+  for p = 0 to 2 do
+    for q = 0 to 2 do
+      if p <> q then begin
+        let g = Array.copy f in
+        g.(p) <- g.(p) -. h;
+        g.(q) <- g.(q) +. h;
+        let dphi = (Potential.phi inst g -. Potential.phi inst f) /. h in
+        check_close ~eps:1e-5
+          (Printf.sprintf "dPhi/d(%d->%d) = lQ - lP" p q)
+          (pl.(q) -. pl.(p))
+          dphi
+      end
+    done
+  done
+
+let prop_phi_convex_along_segments =
+  qcheck ~count:50 "qcheck: phi is convex along segments"
+    QCheck2.Gen.(pair (int_range 0 10_000) (float_range 0. 1.))
+    (fun (seed, s) ->
+      let inst = Common.parallel 5 in
+      let r = Staleroute_util.Rng.create ~seed () in
+      let a = Flow.random inst r and b = Flow.random inst r in
+      let mid = Staleroute_util.Vec.lerp s a b in
+      Potential.phi inst mid
+      <= ((1. -. s) *. Potential.phi inst a)
+         +. (s *. Potential.phi inst b)
+         +. 1e-9)
+
+let suite =
+  [
+    case "braess uniform" test_braess_uniform;
+    case "linear two-link" test_linear_two_link;
+    case "phi via edge flows" test_phi_of_edge_flows_agrees;
+    case "upper bound" test_upper_bound_holds;
+    case "zero latencies" test_zero_latency_zero_potential;
+    case "gradient is latency difference" test_phi_gradient_is_latency;
+    prop_phi_convex_along_segments;
+  ]

@@ -1,0 +1,197 @@
+open Helpers
+module Rng = Staleroute_util.Rng
+module Stats = Staleroute_util.Stats
+
+let test_determinism () =
+  let a = Rng.create ~seed:42 () and b = Rng.create ~seed:42 () in
+  for _ = 1 to 100 do
+    check_true "same seed, same stream" (Rng.bits32 a = Rng.bits32 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 () and b = Rng.create ~seed:2 () in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits32 a = Rng.bits32 b then incr same
+  done;
+  check_true "different seeds diverge" (!same < 4)
+
+let test_stream_sensitivity () =
+  let a = Rng.create ~seed:1 ~stream:1 ()
+  and b = Rng.create ~seed:1 ~stream:2 () in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits32 a = Rng.bits32 b then incr same
+  done;
+  check_true "different streams diverge" (!same < 4)
+
+let test_copy_independent () =
+  let a = rng () in
+  let b = Rng.copy a in
+  let x = Rng.bits32 a in
+  let y = Rng.bits32 b in
+  check_true "copy resumes at the same point" (x = y);
+  ignore (Rng.bits32 a);
+  (* a advanced twice, b once; diverged state but same algorithm *)
+  check_true "copies are independent"
+    (Rng.bits32 a <> Rng.bits32 b || Rng.bits32 a <> Rng.bits32 b)
+
+let test_split_independent () =
+  let a = rng () in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits32 a = Rng.bits32 b then incr same
+  done;
+  check_true "split streams diverge" (!same < 4)
+
+let test_int_bounds () =
+  let r = rng () in
+  for bound = 1 to 50 do
+    for _ = 1 to 100 do
+      let v = Rng.int r bound in
+      check_true "int in [0, bound)" (v >= 0 && v < bound)
+    done
+  done
+
+let test_int_rejects_bad_bounds () =
+  let r = rng () in
+  check_raises_invalid "zero bound" (fun () -> Rng.int r 0);
+  check_raises_invalid "negative bound" (fun () -> Rng.int r (-3))
+
+let test_int_covers_support () =
+  let r = rng () in
+  let seen = Array.make 10 false in
+  for _ = 1 to 2000 do
+    seen.(Rng.int r 10) <- true
+  done;
+  check_true "all residues reachable" (Array.for_all Fun.id seen)
+
+let test_uniform_range () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform r in
+    check_true "uniform in [0,1)" (v >= 0. && v < 1.)
+  done
+
+let test_uniform_mean () =
+  let r = rng () in
+  let xs = Array.init 20_000 (fun _ -> Rng.uniform r) in
+  check_close ~eps:0.02 "uniform mean is 1/2" 0.5 (Stats.mean xs)
+
+let test_float_range () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 7.5 in
+    check_true "float in [0, bound)" (v >= 0. && v < 7.5)
+  done
+
+let test_exponential_mean () =
+  let r = rng () in
+  let xs = Array.init 20_000 (fun _ -> Rng.exponential r ~rate:2.) in
+  check_close ~eps:0.02 "exp(2) mean is 1/2" 0.5 (Stats.mean xs);
+  check_true "exponential is positive" (Array.for_all (fun x -> x >= 0.) xs)
+
+let test_exponential_rejects_bad_rate () =
+  let r = rng () in
+  check_raises_invalid "zero rate" (fun () -> Rng.exponential r ~rate:0.);
+  check_raises_invalid "negative rate" (fun () ->
+      Rng.exponential r ~rate:(-1.))
+
+let test_gaussian_moments () =
+  let r = rng () in
+  let xs = Array.init 40_000 (fun _ -> Rng.gaussian r) in
+  check_close ~eps:0.03 "gaussian mean 0" 0. (Stats.mean xs);
+  check_close ~eps:0.03 "gaussian std 1" 1. (Stats.std xs)
+
+let test_bool_balance () =
+  let r = rng () in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r then incr trues
+  done;
+  check_true "bool is roughly fair"
+    (!trues > 4500 && !trues < 5500)
+
+let test_shuffle_permutes () =
+  let r = rng () in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_true "shuffle preserves elements" (sorted = Array.init 100 Fun.id);
+  check_true "shuffle moved something" (a <> Array.init 100 Fun.id)
+
+let test_shuffle_empty_and_singleton () =
+  let r = rng () in
+  let empty = [||] in
+  Rng.shuffle r empty;
+  check_true "empty shuffle ok" (empty = [||]);
+  let one = [| 42 |] in
+  Rng.shuffle r one;
+  check_true "singleton shuffle ok" (one = [| 42 |])
+
+let test_choose_weighted_support () =
+  let r = rng () in
+  for _ = 1 to 500 do
+    let i = Rng.choose_weighted r [| 0.; 1.; 0.; 2. |] in
+    check_true "only positive-weight indices" (i = 1 || i = 3)
+  done
+
+let test_choose_weighted_proportions () =
+  let r = rng () in
+  let counts = Array.make 3 0 in
+  let w = [| 1.; 2.; 1. |] in
+  for _ = 1 to 20_000 do
+    let i = Rng.choose_weighted r w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_close ~eps:0.02 "middle weight gets half"
+    0.5
+    (float_of_int counts.(1) /. 20_000.)
+
+let test_choose_weighted_rejects () =
+  let r = rng () in
+  check_raises_invalid "empty weights" (fun () -> Rng.choose_weighted r [||]);
+  check_raises_invalid "negative weight" (fun () ->
+      Rng.choose_weighted r [| 1.; -1. |]);
+  check_raises_invalid "zero total" (fun () ->
+      Rng.choose_weighted r [| 0.; 0. |])
+
+let test_choose_weighted_single () =
+  let r = rng () in
+  check_int "single element" 0 (Rng.choose_weighted r [| 5. |])
+
+let prop_int_in_bounds =
+  qcheck "qcheck: Rng.int stays in bounds"
+    QCheck2.Gen.(pair (int_range 1 1000) int)
+    (fun (bound, seed) ->
+      let r = Rng.create ~seed ()  in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    case "determinism" test_determinism;
+    case "seed sensitivity" test_seed_sensitivity;
+    case "stream sensitivity" test_stream_sensitivity;
+    case "copy independence" test_copy_independent;
+    case "split independence" test_split_independent;
+    case "int bounds" test_int_bounds;
+    case "int rejects bad bounds" test_int_rejects_bad_bounds;
+    case "int covers support" test_int_covers_support;
+    case "uniform range" test_uniform_range;
+    case "uniform mean" test_uniform_mean;
+    case "float range" test_float_range;
+    case "exponential mean" test_exponential_mean;
+    case "exponential rejects bad rate" test_exponential_rejects_bad_rate;
+    case "gaussian moments" test_gaussian_moments;
+    case "bool balance" test_bool_balance;
+    case "shuffle permutes" test_shuffle_permutes;
+    case "shuffle edge cases" test_shuffle_empty_and_singleton;
+    case "choose_weighted support" test_choose_weighted_support;
+    case "choose_weighted proportions" test_choose_weighted_proportions;
+    case "choose_weighted rejects" test_choose_weighted_rejects;
+    case "choose_weighted single" test_choose_weighted_single;
+    prop_int_in_bounds;
+  ]

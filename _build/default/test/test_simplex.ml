@@ -1,0 +1,86 @@
+open Helpers
+module Simplex = Staleroute_util.Simplex
+
+let feasible ~total x =
+  Array.for_all (fun v -> v >= 0.) x
+  && Float.abs (Array.fold_left ( +. ) 0. x -. total) < 1e-9
+
+let test_already_on_simplex () =
+  let x = Simplex.project ~total:1. [| 0.2; 0.3; 0.5 |] in
+  check_true "fixed point" (Staleroute_util.Vec.approx_equal x [| 0.2; 0.3; 0.5 |])
+
+let test_uniform_pull () =
+  (* Projecting the origin gives the uniform point. *)
+  let x = Simplex.project ~total:1. [| 0.; 0.; 0.; 0. |] in
+  Array.iter (fun v -> check_close "uniform" 0.25 v) x
+
+let test_negative_coordinates_zeroed () =
+  let x = Simplex.project ~total:1. [| 2.; -5. |] in
+  check_close "dominant coordinate" 1. x.(0);
+  check_close "negative zeroed" 0. x.(1)
+
+let test_known_projection () =
+  (* Project (1, 0.5) onto the unit simplex: theta = 0.25, x = (0.75,
+     0.25). *)
+  let x = Simplex.project ~total:1. [| 1.; 0.5 |] in
+  check_close "x0" 0.75 x.(0);
+  check_close "x1" 0.25 x.(1)
+
+let test_scaled_total () =
+  let x = Simplex.project ~total:3. [| 1.; 1.; 1. |] in
+  Array.iter (fun v -> check_close "scaled simplex" 1. v) x
+
+let test_singleton () =
+  let x = Simplex.project ~total:0.7 [| -2. |] in
+  check_close "single coordinate takes all" 0.7 x.(0)
+
+let test_validation () =
+  check_raises_invalid "zero total" (fun () ->
+      ignore (Simplex.project ~total:0. [| 1. |]));
+  check_raises_invalid "empty" (fun () ->
+      ignore (Simplex.project ~total:1. [||]))
+
+let gen_vec =
+  QCheck2.Gen.(array_size (int_range 1 12) (float_range (-10.) 10.))
+
+let prop_feasible = qcheck "qcheck: projection lands on the simplex" gen_vec
+    (fun v -> feasible ~total:1. (Simplex.project ~total:1. v))
+
+let prop_idempotent =
+  qcheck "qcheck: projection is idempotent" gen_vec (fun v ->
+      let once = Simplex.project ~total:1. v in
+      let twice = Simplex.project ~total:1. once in
+      Staleroute_util.Vec.approx_equal ~atol:1e-9 once twice)
+
+let prop_closest_point =
+  (* The projection is no farther from v than any random feasible
+     point. *)
+  qcheck "qcheck: projection minimises the distance"
+    QCheck2.Gen.(pair gen_vec (int_range 0 10_000))
+    (fun (v, seed) ->
+      let n = Array.length v in
+      let p = Simplex.project ~total:1. v in
+      let r = Staleroute_util.Rng.create ~seed () in
+      let other =
+        let w = Array.init n (fun _ -> Staleroute_util.Rng.exponential r ~rate:1.) in
+        let s = Array.fold_left ( +. ) 0. w in
+        Array.map (fun x -> x /. s) w
+      in
+      Staleroute_util.Vec.dist_inf p v <= 1e9
+      && Staleroute_util.Vec.norm2 (Staleroute_util.Vec.sub p v)
+         <= Staleroute_util.Vec.norm2 (Staleroute_util.Vec.sub other v)
+            +. 1e-9)
+
+let suite =
+  [
+    case "fixed point" test_already_on_simplex;
+    case "uniform pull" test_uniform_pull;
+    case "negatives zeroed" test_negative_coordinates_zeroed;
+    case "known projection" test_known_projection;
+    case "scaled total" test_scaled_total;
+    case "singleton" test_singleton;
+    case "validation" test_validation;
+    prop_feasible;
+    prop_idempotent;
+    prop_closest_point;
+  ]

@@ -1,0 +1,230 @@
+open Helpers
+open Staleroute_wardrop
+open Staleroute_dynamics
+open Staleroute_sim
+module Common = Staleroute_experiments.Common
+module Vec = Staleroute_util.Vec
+
+let braess_cfg _inst policy =
+  {
+    Simulator.agents = 500;
+    update_period = 0.25;
+    horizon = 5.;
+    policy;
+    record_every = 0.5;
+    info_mode = Simulator.Synchronized;
+  }
+
+let test_snapshots_grid () =
+  let inst = Common.braess () in
+  let sim =
+    Simulator.run inst
+      (braess_cfg inst (Policy.uniform_linear inst))
+      ~rng:(rng ()) ~init:(Flow.uniform inst)
+  in
+  (* t = 0, 0.5, ..., 5.0 -> 11 snapshots. *)
+  check_int "snapshot count" 11 (Array.length sim.Simulator.snapshots);
+  Array.iteri
+    (fun k snap ->
+      check_close "snapshot time grid"
+        (0.5 *. float_of_int k)
+        snap.Simulator.time)
+    sim.Simulator.snapshots
+
+let test_empirical_flows_feasible () =
+  let inst = Common.braess () in
+  let sim =
+    Simulator.run inst
+      (braess_cfg inst (Policy.replicator inst))
+      ~rng:(rng ()) ~init:(Flow.uniform inst)
+  in
+  Array.iter
+    (fun snap ->
+      check_true "snapshot feasible"
+        (Flow.is_feasible ~tol:1e-9 inst snap.Simulator.flow))
+    sim.Simulator.snapshots;
+  check_true "final feasible"
+    (Flow.is_feasible ~tol:1e-9 inst sim.Simulator.final_flow)
+
+let test_initial_apportionment_matches_init () =
+  let inst = Common.parallel 4 in
+  let init = [| 0.4; 0.3; 0.2; 0.1 |] in
+  let sim =
+    Simulator.run inst
+      {
+        Simulator.agents = 1000;
+        update_period = 1.;
+        horizon = 0.001;  (* essentially no activity *)
+        policy = Policy.uniform_linear inst;
+        record_every = 1.;
+        info_mode = Simulator.Synchronized;
+      }
+      ~rng:(rng ()) ~init
+  in
+  check_true "t=0 snapshot within 1/N of init"
+    (Vec.dist_inf sim.Simulator.snapshots.(0).Simulator.flow init <= 0.001 +. 1e-9)
+
+let test_activation_rate () =
+  (* N agents at Poisson rate 1 over horizon H -> about N*H wake-ups. *)
+  let inst = Common.braess () in
+  let sim =
+    Simulator.run inst
+      (braess_cfg inst (Policy.uniform_linear inst))
+      ~rng:(rng ()) ~init:(Flow.uniform inst)
+  in
+  let expected = 500. *. 5. in
+  check_true "activation count near N*H"
+    (Float.abs (float_of_int sim.Simulator.activations -. expected)
+    < 5. *. sqrt expected);
+  check_true "migrations cannot exceed activations"
+    (sim.Simulator.migrations <= sim.Simulator.activations)
+
+let test_better_response_migrates_more () =
+  let inst = Common.parallel 4 in
+  let cfg policy =
+    {
+      Simulator.agents = 400;
+      update_period = 0.5;
+      horizon = 10.;
+      policy;
+      record_every = 1.;
+      info_mode = Simulator.Synchronized;
+    }
+  in
+  let greedy =
+    Simulator.run inst
+      (cfg (Policy.better_response ~sampling:Sampling.Uniform))
+      ~rng:(rng ~seed:1 ()) ~init:(Flow.uniform inst)
+  in
+  let smooth =
+    Simulator.run inst
+      (cfg (Policy.uniform_linear inst))
+      ~rng:(rng ~seed:1 ()) ~init:(Flow.uniform inst)
+  in
+  check_true "greedy churns more"
+    (greedy.Simulator.migrations > smooth.Simulator.migrations)
+
+let test_determinism_given_seed () =
+  let inst = Common.braess () in
+  let run () =
+    (Simulator.run inst
+       (braess_cfg inst (Policy.replicator inst))
+       ~rng:(rng ~seed:99 ()) ~init:(Flow.uniform inst))
+      .Simulator.final_flow
+  in
+  check_true "same seed, same trajectory" (run () = run ())
+
+let test_stationary_at_equilibrium () =
+  (* At the even split of two identical links no one has an incentive:
+     migrations should be zero for a selfish policy. *)
+  let inst = Common.two_link ~beta:4. in
+  let sim =
+    Simulator.run inst
+      {
+        Simulator.agents = 100;
+        update_period = 0.5;
+        horizon = 5.;
+        policy = Policy.uniform_linear inst;
+        record_every = 1.;
+        info_mode = Simulator.Synchronized;
+      }
+      ~rng:(rng ()) ~init:[| 0.5; 0.5 |]
+  in
+  check_int "no migrations at exact equilibrium" 0 sim.Simulator.migrations
+
+let test_converges_towards_fluid_equilibrium () =
+  let inst = Common.two_link ~beta:4. in
+  let sim =
+    Simulator.run inst
+      {
+        Simulator.agents = 2000;
+        update_period = 0.125;
+        horizon = 40.;
+        policy = Policy.uniform_linear inst;
+        record_every = 5.;
+        info_mode = Simulator.Synchronized;
+      }
+      ~rng:(rng ()) ~init:[| 0.9; 0.1 |]
+  in
+  check_true "finite population near even split"
+    (Float.abs (sim.Simulator.final_flow.(0) -. 0.5) < 0.05)
+
+let test_polled_mode_runs () =
+  let inst = Common.two_link ~beta:4. in
+  let cfg =
+    {
+      Simulator.agents = 300;
+      update_period = 0.5;
+      horizon = 10.;
+      policy = Policy.uniform_linear inst;
+      record_every = 1.;
+      info_mode = Simulator.Polled;
+    }
+  in
+  let sim = Simulator.run inst cfg ~rng:(rng ()) ~init:[| 0.9; 0.1 |] in
+  Array.iter
+    (fun snap ->
+      check_true "polled snapshots feasible"
+        (Flow.is_feasible ~tol:1e-9 inst snap.Simulator.flow))
+    sim.Simulator.snapshots;
+  (* The smooth policy still converges with polled information. *)
+  check_true "still converges"
+    (Float.abs (sim.Simulator.final_flow.(0) -. 0.5) < 0.15)
+
+let test_polled_equals_sync_in_first_phase () =
+  (* Before the first board refresh there is only one posting, so the
+     two modes behave identically under the same seed. *)
+  let inst = Common.parallel 4 in
+  let cfg mode =
+    {
+      Simulator.agents = 200;
+      update_period = 100.;  (* never refreshed within the horizon *)
+      horizon = 5.;
+      policy = Policy.uniform_linear inst;
+      record_every = 5.;
+      info_mode = mode;
+    }
+  in
+  let final mode =
+    (Simulator.run inst (cfg mode) ~rng:(rng ~seed:5 ())
+       ~init:(Flow.uniform inst))
+      .Simulator.final_flow
+  in
+  (* Note: Polled consumes one extra random draw per wake-up, so the
+     trajectories need not match event-by-event; both must stay
+     feasible and close in distribution. We only check feasibility and
+     rough agreement. *)
+  check_true "one-board runs close"
+    (Vec.dist1 (final Simulator.Synchronized) (final Simulator.Polled) < 0.2)
+
+let test_validation () =
+  let inst = Common.braess () in
+  let base = braess_cfg inst (Policy.uniform_linear inst) in
+  let attempt cfg = ignore (Simulator.run inst cfg ~rng:(rng ()) ~init:(Flow.uniform inst)) in
+  check_raises_invalid "agents" (fun () ->
+      attempt { base with Simulator.agents = 0 });
+  check_raises_invalid "period" (fun () ->
+      attempt { base with Simulator.update_period = 0. });
+  check_raises_invalid "horizon" (fun () ->
+      attempt { base with Simulator.horizon = -1. });
+  check_raises_invalid "record_every" (fun () ->
+      attempt { base with Simulator.record_every = 0. });
+  check_raises_invalid "infeasible init" (fun () ->
+      ignore
+        (Simulator.run inst base ~rng:(rng ()) ~init:[| 2.; 0.; 0. |]))
+
+let suite =
+  [
+    case "snapshot grid" test_snapshots_grid;
+    case "empirical feasibility" test_empirical_flows_feasible;
+    case "initial apportionment" test_initial_apportionment_matches_init;
+    case "activation rate" test_activation_rate;
+    case "greedy churns more" test_better_response_migrates_more;
+    case "determinism" test_determinism_given_seed;
+    case "stationary at equilibrium" test_stationary_at_equilibrium;
+    case "polled mode" test_polled_mode_runs;
+    case "polled vs sync, single board" test_polled_equals_sync_in_first_phase;
+    slow_case "approaches fluid equilibrium"
+      test_converges_towards_fluid_equilibrium;
+    case "validation" test_validation;
+  ]

@@ -1,0 +1,107 @@
+open Helpers
+module Stats = Staleroute_util.Stats
+
+let test_mean_simple () =
+  check_close "mean of 1..5" 3. (Stats.mean [| 1.; 2.; 3.; 4.; 5. |])
+
+let test_mean_empty () =
+  check_true "mean of empty is nan" (Float.is_nan (Stats.mean [||]))
+
+let test_mean_single () = check_close "singleton mean" 7. (Stats.mean [| 7. |])
+
+let test_variance_known () =
+  (* Sample variance of 2,4,4,4,5,5,7,9 is 32/7. *)
+  check_close "known variance" (32. /. 7.)
+    (Stats.variance [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_variance_constant () =
+  check_close "variance of constants" 0. (Stats.variance [| 3.; 3.; 3. |])
+
+let test_variance_short () =
+  check_close "variance of single sample" 0. (Stats.variance [| 42. |]);
+  check_close "variance of empty" 0. (Stats.variance [||])
+
+let test_variance_shift_invariance () =
+  (* Welford must be stable under a large common offset. *)
+  let base = [| 1.; 2.; 3.; 4. |] in
+  let shifted = Array.map (fun x -> x +. 1e9) base in
+  check_close ~eps:1e-6 "variance shift invariant" (Stats.variance base)
+    (Stats.variance shifted)
+
+let test_std () =
+  check_close "std is sqrt of variance" (sqrt (32. /. 7.))
+    (Stats.std [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_quantile_extremes () =
+  let xs = [| 5.; 1.; 3. |] in
+  check_close "q0 is min" 1. (Stats.quantile xs 0.);
+  check_close "q1 is max" 5. (Stats.quantile xs 1.)
+
+let test_quantile_interpolation () =
+  check_close "q0.25 of 0..3" 0.75 (Stats.quantile [| 0.; 1.; 2.; 3. |] 0.25)
+
+let test_quantile_rejects () =
+  check_raises_invalid "empty" (fun () -> Stats.quantile [||] 0.5);
+  check_raises_invalid "q > 1" (fun () -> Stats.quantile [| 1. |] 1.5);
+  check_raises_invalid "q < 0" (fun () -> Stats.quantile [| 1. |] (-0.5))
+
+let test_median_odd_even () =
+  check_close "odd median" 3. (Stats.median [| 5.; 3.; 1. |]);
+  check_close "even median" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_summarize () =
+  let s = Stats.summarize [| 1.; 2.; 3.; 4. |] in
+  check_int "n" 4 s.Stats.n;
+  check_close "mean" 2.5 s.Stats.mean;
+  check_close "min" 1. s.Stats.min;
+  check_close "max" 4. s.Stats.max;
+  check_close "median" 2.5 s.Stats.median
+
+let test_summarize_empty () =
+  check_raises_invalid "summarize empty" (fun () -> Stats.summarize [||])
+
+let test_confidence95 () =
+  check_close "ci of constant sample" 0. (Stats.confidence95 [| 2.; 2.; 2. |]);
+  check_close "ci of single sample" 0. (Stats.confidence95 [| 2. |]);
+  let xs = Array.init 100 (fun i -> float_of_int (i mod 2)) in
+  let ci = Stats.confidence95 xs in
+  check_true "ci positive for varying sample" (ci > 0.09 && ci < 0.11)
+
+let prop_quantile_monotone =
+  qcheck "qcheck: quantile is monotone in q"
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 1 50) (float_range (-100.) 100.))
+        (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (xs, (q1, q2)) ->
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.quantile xs lo <= Stats.quantile xs hi +. 1e-9)
+
+let prop_mean_between_min_max =
+  qcheck "qcheck: mean lies within [min, max]"
+    QCheck2.Gen.(array_size (int_range 1 50) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.mean +. 1e-6
+      && s.Stats.mean <= s.Stats.max +. 1e-6)
+
+let suite =
+  [
+    case "mean simple" test_mean_simple;
+    case "mean empty" test_mean_empty;
+    case "mean single" test_mean_single;
+    case "variance known" test_variance_known;
+    case "variance constant" test_variance_constant;
+    case "variance short samples" test_variance_short;
+    case "variance shift invariance" test_variance_shift_invariance;
+    case "std" test_std;
+    case "quantile extremes" test_quantile_extremes;
+    case "quantile interpolation" test_quantile_interpolation;
+    case "quantile rejects" test_quantile_rejects;
+    case "median odd/even" test_median_odd_even;
+    case "summarize" test_summarize;
+    case "summarize empty" test_summarize_empty;
+    case "confidence95" test_confidence95;
+    prop_quantile_monotone;
+    prop_mean_between_min_max;
+  ]

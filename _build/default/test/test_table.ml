@@ -1,0 +1,62 @@
+open Helpers
+module Table = Staleroute_util.Table
+
+let sample () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "x" ];
+  Table.add_row t [ "22"; "yy" ];
+  t
+
+let test_rows_in_order () =
+  let t = sample () in
+  check_int "row count" 2 (Table.row_count t);
+  check_true "order preserved" (Table.rows t = [ [ "1"; "x" ]; [ "22"; "yy" ] ])
+
+let test_arity_check () =
+  let t = sample () in
+  check_raises_invalid "short row" (fun () -> Table.add_row t [ "only-one" ]);
+  check_raises_invalid "long row" (fun () ->
+      Table.add_row t [ "1"; "2"; "3" ])
+
+let test_to_string_contains_everything () =
+  let s = Table.to_string (sample ()) in
+  List.iter
+    (fun needle ->
+      check_true
+        (Printf.sprintf "rendering contains %S" needle)
+        (let re = Str_contains.contains s needle in
+         re))
+    [ "demo"; "a"; "b"; "22"; "yy" ]
+
+let test_csv () =
+  let t = sample () in
+  check_true "csv lines"
+    (Table.to_csv t = "a,b\n1,x\n22,yy")
+
+let test_csv_quoting () =
+  let t = Table.create ~title:"q" ~columns:[ "c" ] in
+  Table.add_row t [ "has,comma" ];
+  Table.add_row t [ "has\"quote" ];
+  check_true "quoted csv"
+    (Table.to_csv t = "c\n\"has,comma\"\n\"has\"\"quote\"")
+
+let test_cells () =
+  check_true "float cell" (Table.cell_float ~decimals:2 3.14159 = "3.14");
+  check_true "int cell" (Table.cell_int 42 = "42");
+  check_true "sci cell" (Table.cell_sci 0.000123 = "0.000123")
+
+let test_accessors () =
+  let t = sample () in
+  check_true "title" (Table.title t = "demo");
+  check_true "columns" (Table.columns t = [ "a"; "b" ])
+
+let suite =
+  [
+    case "rows in order" test_rows_in_order;
+    case "arity check" test_arity_check;
+    case "rendering completeness" test_to_string_contains_everything;
+    case "csv" test_csv;
+    case "csv quoting" test_csv_quoting;
+    case "cell formatting" test_cells;
+    case "accessors" test_accessors;
+  ]

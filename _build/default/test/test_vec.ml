@@ -1,0 +1,102 @@
+open Helpers
+module Vec = Staleroute_util.Vec
+
+let v123 = [| 1.; 2.; 3. |]
+let v456 = [| 4.; 5.; 6. |]
+
+let test_create () =
+  let v = Vec.create 3 1.5 in
+  check_int "dim" 3 (Vec.dim v);
+  check_close "fill" 1.5 v.(1)
+
+let test_add_sub () =
+  check_true "add" (Vec.add v123 v456 = [| 5.; 7.; 9. |]);
+  check_true "sub" (Vec.sub v456 v123 = [| 3.; 3.; 3. |])
+
+let test_dimension_mismatch () =
+  check_raises_invalid "add mismatch" (fun () -> Vec.add v123 [| 1. |]);
+  check_raises_invalid "dot mismatch" (fun () -> Vec.dot v123 [| 1. |]);
+  check_raises_invalid "axpy mismatch" (fun () ->
+      Vec.axpy ~alpha:1. ~x:v123 ~y:[| 1. |])
+
+let test_scale () = check_true "scale" (Vec.scale 2. v123 = [| 2.; 4.; 6. |])
+
+let test_axpy () =
+  let y = Array.copy v456 in
+  Vec.axpy ~alpha:2. ~x:v123 ~y;
+  check_true "axpy in place" (y = [| 6.; 9.; 12. |])
+
+let test_dot () = check_close "dot" 32. (Vec.dot v123 v456)
+
+let test_lerp () =
+  check_true "lerp 0 is first" (Vec.lerp 0. v123 v456 = v123);
+  check_true "lerp 1 is second" (Vec.lerp 1. v123 v456 = v456);
+  check_close "lerp midpoint" 2.5 (Vec.lerp 0.5 v123 v456).(0)
+
+let test_norms () =
+  let v = [| 3.; -4. |] in
+  check_close "norm1" 7. (Vec.norm1 v);
+  check_close "norm2" 5. (Vec.norm2 v);
+  check_close "norm_inf" 4. (Vec.norm_inf v)
+
+let test_distances () =
+  check_close "dist1" 9. (Vec.dist1 v123 v456);
+  check_close "dist_inf" 3. (Vec.dist_inf v123 v456)
+
+let test_sum () = check_close "sum" 6. (Vec.sum v123)
+
+let test_approx_equal () =
+  check_true "equal to itself" (Vec.approx_equal v123 v123);
+  check_true "tiny perturbation"
+    (Vec.approx_equal v123 [| 1. +. 1e-13; 2.; 3. |]);
+  check_false "different" (Vec.approx_equal v123 v456);
+  check_false "different dims" (Vec.approx_equal v123 [| 1. |])
+
+let test_copy_fresh () =
+  let c = Vec.copy v123 in
+  c.(0) <- 99.;
+  check_close "copy does not alias" 1. v123.(0)
+
+let gen_vec =
+  QCheck2.Gen.(array_size (int_range 1 20) (float_range (-100.) 100.))
+
+let prop_triangle =
+  qcheck "qcheck: triangle inequality for norm1"
+    QCheck2.Gen.(pair gen_vec gen_vec)
+    (fun (a, b) ->
+      Vec.dim a <> Vec.dim b
+      || Vec.norm1 (Vec.add a b) <= Vec.norm1 a +. Vec.norm1 b +. 1e-6)
+
+let prop_cauchy_schwarz =
+  qcheck "qcheck: Cauchy-Schwarz"
+    QCheck2.Gen.(pair gen_vec gen_vec)
+    (fun (a, b) ->
+      Vec.dim a <> Vec.dim b
+      || Float.abs (Vec.dot a b) <= (Vec.norm2 a *. Vec.norm2 b) +. 1e-6)
+
+let prop_lerp_between =
+  qcheck "qcheck: lerp endpoint recovery"
+    QCheck2.Gen.(pair gen_vec (float_range 0. 1.))
+    (fun (a, s) ->
+      let b = Vec.scale 2. a in
+      let l = Vec.lerp s a b in
+      Vec.dim l = Vec.dim a)
+
+let suite =
+  [
+    case "create" test_create;
+    case "add/sub" test_add_sub;
+    case "dimension mismatch" test_dimension_mismatch;
+    case "scale" test_scale;
+    case "axpy" test_axpy;
+    case "dot" test_dot;
+    case "lerp" test_lerp;
+    case "norms" test_norms;
+    case "distances" test_distances;
+    case "sum" test_sum;
+    case "approx_equal" test_approx_equal;
+    case "copy freshness" test_copy_fresh;
+    prop_triangle;
+    prop_cauchy_schwarz;
+    prop_lerp_between;
+  ]

@@ -1,0 +1,77 @@
+open Helpers
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Common = Staleroute_experiments.Common
+
+let test_virtual_gain_formula_two_link () =
+  (* V = sum_e l_e(fhat) (f_e - fhat_e) on two linear links. *)
+  let inst = Common.two_link ~beta:1. in
+  (* l(x) = max(0, x - 1/2); fhat = (0.75, 0.25) -> l = (0.25, 0). *)
+  let fhat = [| 0.75; 0.25 |] and f = [| 0.5; 0.5 |] in
+  check_close "virtual gain" (0.25 *. (0.5 -. 0.75))
+    (Virtual_gain.virtual_gain inst ~phase_start:fhat ~phase_end:f)
+
+let test_zero_when_no_movement () =
+  let inst = Common.braess () in
+  let f = Flow.uniform inst in
+  check_close "V(f, f) = 0" 0.
+    (Virtual_gain.virtual_gain inst ~phase_start:f ~phase_end:f);
+  check_close "U(f, f) = 0" 0.
+    (Virtual_gain.error_terms inst ~phase_start:f ~phase_end:f)
+
+let lemma3_check inst fhat f =
+  let v = Virtual_gain.virtual_gain inst ~phase_start:fhat ~phase_end:f in
+  let u = Virtual_gain.error_terms inst ~phase_start:fhat ~phase_end:f in
+  let dphi = Virtual_gain.true_gain inst ~phase_start:fhat ~phase_end:f in
+  check_close ~eps:1e-10 "Lemma 3: dPhi = U + V" dphi (u +. v)
+
+let test_lemma3_identity_handpicked () =
+  let inst = Common.braess () in
+  lemma3_check inst (Flow.uniform inst) [| 0.1; 0.8; 0.1 |];
+  lemma3_check inst [| 1.; 0.; 0. |] [| 0.; 0.; 1. |];
+  lemma3_check inst [| 0.2; 0.3; 0.5 |] [| 0.5; 0.3; 0.2 |]
+
+let test_error_terms_nonnegative_for_monotone_latencies () =
+  (* U_e = int (l(u) - l(fhat_e)) du over [fhat_e, f_e]: for
+     non-decreasing l each term is >= 0 regardless of direction. *)
+  let inst = Common.parallel 5 in
+  let r = rng () in
+  for _ = 1 to 30 do
+    let a = Flow.random inst r and b = Flow.random inst r in
+    check_true "U >= 0"
+      (Virtual_gain.error_terms inst ~phase_start:a ~phase_end:b >= -1e-12)
+  done
+
+let prop_lemma3_random =
+  qcheck ~count:100 "qcheck: Lemma 3 on random flow pairs (grid)"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let inst = Common.grid33 () in
+      let r = Staleroute_util.Rng.create ~seed () in
+      let a = Flow.random inst r and b = Flow.random inst r in
+      let v = Virtual_gain.virtual_gain inst ~phase_start:a ~phase_end:b in
+      let u = Virtual_gain.error_terms inst ~phase_start:a ~phase_end:b in
+      let dphi = Virtual_gain.true_gain inst ~phase_start:a ~phase_end:b in
+      Float.abs (dphi -. (u +. v)) < 1e-9)
+
+let prop_gain_antisymmetry_of_potential =
+  qcheck ~count:50 "qcheck: true gain is antisymmetric"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let inst = Common.parallel 4 in
+      let r = Staleroute_util.Rng.create ~seed () in
+      let a = Flow.random inst r and b = Flow.random inst r in
+      Float.abs
+        (Virtual_gain.true_gain inst ~phase_start:a ~phase_end:b
+        +. Virtual_gain.true_gain inst ~phase_start:b ~phase_end:a)
+      < 1e-10)
+
+let suite =
+  [
+    case "virtual gain formula" test_virtual_gain_formula_two_link;
+    case "zero at rest" test_zero_when_no_movement;
+    case "Lemma 3 identity (hand-picked)" test_lemma3_identity_handpicked;
+    case "error terms nonnegative" test_error_terms_nonnegative_for_monotone_latencies;
+    prop_lemma3_random;
+    prop_gain_antisymmetry_of_potential;
+  ]
