@@ -3,9 +3,14 @@
    Usage:
      main.exe              run every experiment (full size) and print tables
      main.exe e1 .. e9     run a single experiment
-     main.exe micro        run the Bechamel microbenchmarks
+     main.exe micro        run the Bechamel microbenchmarks (also writes
+                           the BENCH_rates.json perf trajectory)
+     main.exe bench-smoke  tiny-quota kernel-vs-reference comparison only;
+                           writes BENCH_rates.json (also `dune build
+                           @bench-smoke`)
      main.exe all          experiments + microbenchmarks
-   Add "quick" anywhere to use the reduced parameter sets. *)
+   Add "quick" anywhere to use the reduced parameter sets;
+   "json=FILE" redirects the perf trajectory. *)
 
 open Staleroute_experiments
 module Table = Staleroute_util.Table
@@ -91,6 +96,139 @@ let experiments =
 
 (* --- Bechamel microbenchmarks of the hot paths --- *)
 
+(* A multi-commodity load-balancing workload for the rate benchmarks:
+   two commodities splitting the unit demand over [m] parallel links
+   each, i.e. [2 m] paths in the global index. *)
+let multicommodity_parallel m =
+  let open Staleroute_wardrop in
+  let st = Staleroute_graph.Gen.parallel_links m in
+  let latencies =
+    Array.init m (fun j ->
+        Staleroute_latency.Latency.affine
+          ~slope:(float_of_int (1 + (j mod 3)))
+          ~intercept:(0.3 *. float_of_int j /. float_of_int m))
+  in
+  Instance.create ~graph:st.Staleroute_graph.Gen.graph ~latencies
+    ~commodities:
+      [
+        Commodity.make ~src:st.Staleroute_graph.Gen.src
+          ~dst:st.Staleroute_graph.Gen.dst ~demand:0.5;
+        Commodity.make ~src:st.Staleroute_graph.Gen.src
+          ~dst:st.Staleroute_graph.Gen.dst ~demand:0.5;
+      ]
+    ()
+
+let ols_estimate results name =
+  let found = ref None in
+  Hashtbl.iter
+    (fun key ols ->
+      if key = name then
+        match Bechamel.Analyze.OLS.estimates ols with
+        | Some (x :: _) -> found := Some x
+        | _ -> ())
+    results;
+  !found
+
+(* Words allocated on the minor heap per in-place Euler step, measured
+   by differencing two step counts so per-call setup cancels out. *)
+let euler_words_per_step inst kernel =
+  let open Staleroute_wardrop in
+  let open Staleroute_dynamics in
+  let pool =
+    Staleroute_util.Vec.Pool.create ~dim:(Instance.path_count inst)
+  in
+  let measure steps =
+    let f = Flow.uniform inst in
+    Integrator.integrate_phase_into Integrator.Euler inst ~pool
+      ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
+      ~f ~tau:0.001 ~steps:1;
+    let before = Gc.minor_words () in
+    Integrator.integrate_phase_into Integrator.Euler inst ~pool
+      ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
+      ~f ~tau:0.001 ~steps;
+    Gc.minor_words () -. before
+  in
+  (measure 1001 -. measure 1) /. 1000.
+
+(* The perf-trajectory benchmark: reference vs compiled rate kernel on
+   the multi-commodity workload.  Prints a table and exports
+   BENCH_rates.json so later PRs can track regressions. *)
+let bench_rates ~quota_s ~json_path () =
+  let open Bechamel in
+  let open Staleroute_wardrop in
+  let open Staleroute_dynamics in
+  let m = 20 in
+  let inst = multicommodity_parallel m in
+  let policy = Policy.uniform_linear inst in
+  let flow = Flow.uniform inst in
+  let board = Bulletin_board.post inst ~time:0. flow in
+  let kernel = Rate_kernel.build inst policy ~board in
+  let dst = Array.make (Instance.path_count inst) 0. in
+  let tests =
+    [
+      Test.make ~name:"reference"
+        (Staged.stage (fun () ->
+             ignore (Rates.flow_derivative inst policy ~board flow)));
+      Test.make ~name:"kernel"
+        (Staged.stage (fun () ->
+             Rate_kernel.flow_derivative_into kernel flow ~dst));
+      Test.make ~name:"kernel-build"
+        (Staged.stage (fun () ->
+             ignore (Rate_kernel.build inst policy ~board)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let raw =
+    Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"rates" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let get name =
+    match ols_estimate results ("rates " ^ name) with
+    | Some ns -> ns
+    | None -> nan
+  in
+  let ref_ns = get "reference" in
+  let kern_ns = get "kernel" in
+  let build_ns = get "kernel-build" in
+  let words = euler_words_per_step inst kernel in
+  let paths = Instance.path_count inst in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Rate kernel vs reference (%d paths, 2 commodities)" paths)
+      ~columns:[ "path"; "ns/op" ]
+  in
+  Table.add_row table [ "reference flow_derivative"; Printf.sprintf "%.1f" ref_ns ];
+  Table.add_row table [ "kernel flow_derivative"; Printf.sprintf "%.1f" kern_ns ];
+  Table.add_row table [ "kernel build (per board post)"; Printf.sprintf "%.1f" build_ns ];
+  Table.add_row table [ "speedup"; Printf.sprintf "%.1fx" (ref_ns /. kern_ns) ];
+  Table.add_row table
+    [ "euler step minor words"; Printf.sprintf "%.2f" words ];
+  Table.print table;
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"flow_derivative_rates\",\n\
+    \  \"instance\": { \"paths\": %d, \"commodities\": %d },\n\
+    \  \"ns_per_op\": {\n\
+    \    \"reference\": %.2f,\n\
+    \    \"kernel\": %.2f,\n\
+    \    \"kernel_build\": %.2f\n\
+    \  },\n\
+    \  \"speedup_kernel_vs_reference\": %.2f,\n\
+    \  \"euler_minor_words_per_step\": %.2f\n\
+     }\n"
+    paths
+    (Instance.commodity_count inst)
+    ref_ns kern_ns build_ns (ref_ns /. kern_ns) words;
+  close_out oc;
+  Printf.printf "(perf trajectory written to %s)\n%!" json_path
+
 let micro () =
   let open Bechamel in
   let open Staleroute_wardrop in
@@ -106,19 +244,34 @@ let micro () =
       (Staleroute_graph.Digraph.edge_count grid.Staleroute_graph.Gen.graph)
       (fun e -> 1. +. float_of_int (e mod 7))
   in
+  let kernel = Rate_kernel.build inst policy ~board in
+  let dst = Array.make (Instance.path_count inst) 0. in
+  let pool = Staleroute_util.Vec.Pool.create ~dim:(Instance.path_count inst) in
   let tests =
     [
-      Test.make ~name:"flow-derivative (16 paths)"
+      Test.make ~name:"flow-derivative reference (16 paths)"
         (Staged.stage (fun () ->
              ignore (Rates.flow_derivative inst policy ~board flow)));
+      Test.make ~name:"flow-derivative kernel (16 paths)"
+        (Staged.stage (fun () ->
+             Rate_kernel.flow_derivative_into kernel flow ~dst));
+      Test.make ~name:"rate-kernel build (16 paths)"
+        (Staged.stage (fun () ->
+             ignore (Rate_kernel.build inst policy ~board)));
       Test.make ~name:"potential (16 paths)"
         (Staged.stage (fun () -> ignore (Potential.phi inst flow)));
-      Test.make ~name:"rk4 phase step (16 paths)"
+      Test.make ~name:"rk4 phase step reference (16 paths)"
         (Staged.stage (fun () ->
              let deriv g = Rates.flow_derivative inst policy ~board g in
              ignore
                (Integrator.integrate_phase Integrator.Rk4 inst ~deriv
                   ~f0:flow ~tau:0.1 ~steps:1)));
+      Test.make ~name:"rk4 phase step kernel in-place (16 paths)"
+        (Staged.stage (fun () ->
+             let f = Staleroute_util.Vec.copy flow in
+             Integrator.integrate_phase_into Integrator.Rk4 inst ~pool
+               ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
+               ~f ~tau:0.1 ~steps:1));
       Test.make ~name:"dijkstra (6x6 grid)"
         (Staged.stage (fun () ->
              ignore
@@ -162,6 +315,8 @@ let micro () =
     (List.sort compare !rows);
   Table.print table
 
+let json_path = ref "BENCH_rates.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
@@ -174,6 +329,9 @@ let () =
             let dir = String.sub a (i + 1) (String.length a - i - 1) in
             if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
             csv_dir := Some dir;
+            false
+        | Some i when String.sub a 0 i = "json" ->
+            json_path := String.sub a (i + 1) (String.length a - i - 1);
             false
         | _ -> true)
       args
@@ -189,8 +347,16 @@ let () =
   in
   match args with
   | [] -> List.iter (fun (name, _) -> run_experiment name) experiments
-  | [ "micro" ] -> micro ()
+  | [ "micro" ] ->
+      micro ();
+      bench_rates ~quota_s:(if quick then 0.05 else 0.5)
+        ~json_path:!json_path ()
+  | [ "bench-smoke" ] ->
+      (* Tiny-quota comparison for CI: seconds, not minutes. *)
+      bench_rates ~quota_s:0.05 ~json_path:!json_path ()
   | [ "all" ] ->
       List.iter (fun (name, _) -> run_experiment name) experiments;
-      micro ()
+      micro ();
+      bench_rates ~quota_s:(if quick then 0.05 else 0.5)
+        ~json_path:!json_path ()
   | names -> List.iter run_experiment names

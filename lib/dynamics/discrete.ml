@@ -19,11 +19,14 @@ type result = {
   final_potential : float;
 }
 
-let step inst policy ~board f =
-  let d = Rates.flow_derivative inst policy ~board f in
+let step_kernel inst kernel f =
+  let d = Rate_kernel.flow_derivative kernel f in
   let g = Vec.copy f in
   Vec.axpy ~alpha:1. ~x:d ~y:g;
   Flow.project inst g
+
+let step inst policy ~board f =
+  step_kernel inst (Rate_kernel.build inst policy ~board) f
 
 let run inst config ~init =
   if config.rounds < 0 then invalid_arg "Discrete.run: negative rounds";
@@ -32,11 +35,16 @@ let run inst config ~init =
   if not (Flow.is_feasible inst init) then
     invalid_arg "Discrete.run: infeasible initial flow";
   let f = ref (Flow.project inst init) in
-  let board = ref (Bulletin_board.post inst ~time:0. !f) in
+  let post time =
+    Rate_kernel.build inst config.policy
+      ~board:(Bulletin_board.post inst ~time !f)
+  in
+  (* The compiled kernel lives exactly as long as its board post. *)
+  let kernel = ref (post 0.) in
   let records = ref [] in
   for k = 0 to config.rounds - 1 do
     if k mod config.rounds_per_update = 0 then
-      board := Bulletin_board.post inst ~time:(float_of_int k) !f;
+      kernel := post (float_of_int k);
     records :=
       {
         index = k;
@@ -44,7 +52,7 @@ let run inst config ~init =
         start_potential = Potential.phi inst !f;
       }
       :: !records;
-    f := step inst config.policy ~board:!board !f
+    f := step_kernel inst !kernel !f
   done;
   {
     records = Array.of_list (List.rev !records);

@@ -43,29 +43,38 @@ let phase_length config =
       if t <= 0. then invalid_arg "Driver: update period must be positive";
       t
 
-let advance_one_phase inst config ~time f =
+(* The driver always runs on the compiled kernel path: a board is
+   compiled to a [Rate_kernel.t] once per post and the phase is
+   integrated in place against it.  [Rates.flow_derivative] remains as
+   the reference implementation (tests and the microbenchmarks compare
+   the two). *)
+let advance_one_phase inst config ~pool ~time f =
   let tau = phase_length config in
   match config.staleness with
   | Stale _ ->
       let board = Bulletin_board.post inst ~time f in
-      let deriv g = Rates.flow_derivative inst config.policy ~board g in
-      Integrator.integrate_phase config.scheme inst ~deriv ~f0:f ~tau
-        ~steps:config.steps_per_phase
+      let kernel = Rate_kernel.build inst config.policy ~board in
+      let g = Vec.copy f in
+      Integrator.integrate_phase_into config.scheme inst ~pool
+        ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
+        ~f:g ~tau ~steps:config.steps_per_phase;
+      g
   | Fresh ->
       (* Re-post before every internal step: zero information age up to
-         the step size. *)
+         the step size.  The kernel only survives one step here — it
+         must be rebuilt for every re-posted board. *)
       let h = tau /. float_of_int config.steps_per_phase in
-      let g = ref (Vec.copy f) in
+      let g = Vec.copy f in
       for k = 0 to config.steps_per_phase - 1 do
         let board =
-          Bulletin_board.post inst ~time:(time +. (float_of_int k *. h)) !g
+          Bulletin_board.post inst ~time:(time +. (float_of_int k *. h)) g
         in
-        let deriv g' = Rates.flow_derivative inst config.policy ~board g' in
-        g :=
-          Integrator.integrate_phase config.scheme inst ~deriv ~f0:!g ~tau:h
-            ~steps:1
+        let kernel = Rate_kernel.build inst config.policy ~board in
+        Integrator.integrate_phase_into config.scheme inst ~pool
+          ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
+          ~f:g ~tau:h ~steps:1
       done;
-      !g
+      g
 
 let run inst config ~init =
   if config.phases < 0 then invalid_arg "Driver.run: negative phase count";
@@ -74,6 +83,7 @@ let run inst config ~init =
   if not (Flow.is_feasible inst init) then
     invalid_arg "Driver.run: infeasible initial flow";
   let tau = phase_length config in
+  let pool = Vec.Pool.create ~dim:(Instance.path_count inst) in
   let records = ref [] in
   let f = ref (Flow.project inst init) in
   let phi = ref (Potential.phi inst !f) in
@@ -81,7 +91,7 @@ let run inst config ~init =
     let start_time = float_of_int k *. tau in
     let start_flow = Vec.copy !f in
     let start_potential = !phi in
-    let next = advance_one_phase inst config ~time:start_time !f in
+    let next = advance_one_phase inst config ~pool ~time:start_time !f in
     let next_phi = Potential.phi inst next in
     records :=
       {

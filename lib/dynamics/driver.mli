@@ -5,7 +5,12 @@
     At the start of each phase the board is re-posted; within the phase
     the fluid ODE is integrated with the board frozen (Eq. 3).  Setting
     [update_period] to [`Fresh] re-posts the board at {e every} internal
-    step, modelling up-to-date information (Eq. 1). *)
+    step, modelling up-to-date information (Eq. 1).
+
+    Each posted board is compiled to a {!Rate_kernel} and the phase is
+    integrated allocation-free against it ({!Integrator.integrate_phase_into});
+    the naive {!Rates.flow_derivative} stays available as the reference
+    implementation. *)
 
 open Staleroute_wardrop
 

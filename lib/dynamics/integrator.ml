@@ -10,42 +10,63 @@ let scheme_of_string = function
 
 let scheme_name = function Euler -> "euler" | Rk4 -> "rk4"
 
-let euler_step ~deriv ~h f =
-  let d = deriv f in
-  let g = Vec.copy f in
-  Vec.axpy ~alpha:h ~x:d ~y:g;
-  g
+let scratch_vectors = function Euler -> 1 | Rk4 -> 5
 
-let rk4_step ~deriv ~h f =
-  let k1 = deriv f in
-  let mid1 = Vec.copy f in
-  Vec.axpy ~alpha:(h /. 2.) ~x:k1 ~y:mid1;
-  let k2 = deriv mid1 in
-  let mid2 = Vec.copy f in
-  Vec.axpy ~alpha:(h /. 2.) ~x:k2 ~y:mid2;
-  let k3 = deriv mid2 in
-  let last = Vec.copy f in
-  Vec.axpy ~alpha:h ~x:k3 ~y:last;
-  let k4 = deriv last in
-  let g = Vec.copy f in
-  Vec.axpy ~alpha:(h /. 6.) ~x:k1 ~y:g;
-  Vec.axpy ~alpha:(h /. 3.) ~x:k2 ~y:g;
-  Vec.axpy ~alpha:(h /. 3.) ~x:k3 ~y:g;
-  Vec.axpy ~alpha:(h /. 6.) ~x:k4 ~y:g;
-  g
-
-let integrate_phase scheme inst ~deriv ~f0 ~tau ~steps =
+let integrate_phase_into scheme inst ~pool ~deriv_into ~f ~tau ~steps =
   if tau < 0. then invalid_arg "Integrator.integrate_phase: negative tau";
   if steps < 1 then invalid_arg "Integrator.integrate_phase: steps < 1";
-  if tau = 0. then Vec.copy f0
-  else begin
+  if tau > 0. then begin
     let h = tau /. float_of_int steps in
-    let step =
-      match scheme with Euler -> euler_step | Rk4 -> rk4_step
-    in
-    let f = ref (Vec.copy f0) in
-    for _ = 1 to steps do
-      f := Flow.project inst (step ~deriv ~h !f)
-    done;
-    !f
+    match scheme with
+    | Euler ->
+        Vec.Pool.with_vec pool (fun k ->
+            for _ = 1 to steps do
+              deriv_into f ~dst:k;
+              Vec.axpy ~alpha:h ~x:k ~y:f;
+              Flow.project_ inst f
+            done)
+    | Rk4 ->
+        let k1 = Vec.Pool.acquire pool in
+        let k2 = Vec.Pool.acquire pool in
+        let k3 = Vec.Pool.acquire pool in
+        let k4 = Vec.Pool.acquire pool in
+        let tmp = Vec.Pool.acquire pool in
+        (* Stage weights are bound outside the loop so each float is
+           boxed once per phase, not once per step. *)
+        let h2 = h /. 2. and h3 = h /. 3. and h6 = h /. 6. in
+        Fun.protect
+          ~finally:(fun () ->
+            Vec.Pool.release pool k1;
+            Vec.Pool.release pool k2;
+            Vec.Pool.release pool k3;
+            Vec.Pool.release pool k4;
+            Vec.Pool.release pool tmp)
+          (fun () ->
+            for _ = 1 to steps do
+              deriv_into f ~dst:k1;
+              Vec.blit ~src:f ~dst:tmp;
+              Vec.axpy ~alpha:h2 ~x:k1 ~y:tmp;
+              deriv_into tmp ~dst:k2;
+              Vec.blit ~src:f ~dst:tmp;
+              Vec.axpy ~alpha:h2 ~x:k2 ~y:tmp;
+              deriv_into tmp ~dst:k3;
+              Vec.blit ~src:f ~dst:tmp;
+              Vec.axpy ~alpha:h ~x:k3 ~y:tmp;
+              deriv_into tmp ~dst:k4;
+              Vec.axpy ~alpha:h6 ~x:k1 ~y:f;
+              Vec.axpy ~alpha:h3 ~x:k2 ~y:f;
+              Vec.axpy ~alpha:h3 ~x:k3 ~y:f;
+              Vec.axpy ~alpha:h6 ~x:k4 ~y:f;
+              Flow.project_ inst f
+            done)
   end
+
+let integrate_phase scheme inst ~deriv ~f0 ~tau ~steps =
+  let f = Vec.copy f0 in
+  let pool = Vec.Pool.create ~dim:(Vec.dim f0) in
+  let deriv_into g ~dst =
+    let d = deriv g in
+    Vec.blit ~src:d ~dst
+  in
+  integrate_phase_into scheme inst ~pool ~deriv_into ~f ~tau ~steps;
+  f

@@ -14,6 +14,27 @@ type scheme = Euler | Rk4
 val scheme_of_string : string -> scheme option
 val scheme_name : scheme -> string
 
+val scratch_vectors : scheme -> int
+(** How many pool buffers {!integrate_phase_into} acquires for the
+    duration of a phase (1 for Euler, 5 for RK4). *)
+
+val integrate_phase_into :
+  scheme ->
+  Instance.t ->
+  pool:Staleroute_util.Vec.Pool.t ->
+  deriv_into:(Flow.t -> dst:Staleroute_util.Vec.t -> unit) ->
+  f:Flow.t ->
+  tau:float ->
+  steps:int ->
+  unit
+(** The allocation-free hot path: advance [f] {e in place} by time
+    [tau >= 0] in [steps >= 1] equal steps of the autonomous ODE
+    [ḟ = deriv f].  Stage buffers are acquired from [pool] once per
+    call, so with an allocation-free [deriv_into] (e.g.
+    {!Rate_kernel.flow_derivative_into}) the integration allocates
+    nothing per step.  Arithmetic is identical to {!integrate_phase} —
+    the two produce bit-equal trajectories for the same derivative. *)
+
 val integrate_phase :
   scheme ->
   Instance.t ->
@@ -23,4 +44,6 @@ val integrate_phase :
   steps:int ->
   Flow.t
 (** Advance [f0] by time [tau >= 0] in [steps >= 1] equal steps of the
-    autonomous ODE [ḟ = deriv f].  Returns a fresh feasible flow. *)
+    autonomous ODE [ḟ = deriv f].  Returns a fresh feasible flow.
+    Convenience wrapper over {!integrate_phase_into} for an allocating
+    derivative. *)

@@ -1,0 +1,104 @@
+open Staleroute_wardrop
+
+type t = {
+  inst : Instance.t;
+  n : int;
+  commodities : int;
+  paths_of : int array array;  (* shared with the instance - not mutated *)
+  mat_off : int array;  (* commodity ci's m*m block starts at mat_off.(ci) *)
+  mat : float array;  (* row-major dense blocks, R_PP = 0 *)
+  row_sum : float array;  (* total outflow rate per unit mass, global index *)
+}
+
+let build inst policy ~board =
+  let n = Instance.path_count inst in
+  let nc = Instance.commodity_count inst in
+  let mat_off = Array.make (nc + 1) 0 in
+  for ci = 0 to nc - 1 do
+    let m = Array.length (Instance.paths_of_commodity inst ci) in
+    mat_off.(ci + 1) <- mat_off.(ci) + (m * m)
+  done;
+  let mat = Array.make (max 1 mat_off.(nc)) 0. in
+  let row_sum = Array.make n 0. in
+  let lat = board.Bulletin_board.path_latencies in
+  let bflow = board.Bulletin_board.flow in
+  let sampling = policy.Policy.sampling in
+  let migration = policy.Policy.migration in
+  let origin_indep = Sampling.origin_independent sampling in
+  let sigma = Array.make (max 1 (Instance.max_paths_in_commodity inst)) 0. in
+  let paths_of = Array.init nc (Instance.paths_of_commodity inst) in
+  for ci = 0 to nc - 1 do
+    let ps = paths_of.(ci) in
+    let m = Array.length ps in
+    let off = mat_off.(ci) in
+    if origin_indep then
+      Sampling.distribution_into sampling inst ~commodity:ci ~flow:bflow
+        ~latencies:lat ~from_:ps.(0) ~dst:sigma;
+    for a = 0 to m - 1 do
+      let p = ps.(a) in
+      if not origin_indep then
+        Sampling.distribution_into sampling inst ~commodity:ci ~flow:bflow
+          ~latencies:lat ~from_:p ~dst:sigma;
+      let base = off + (a * m) in
+      let sum = ref 0. in
+      for b = 0 to m - 1 do
+        if b <> a then begin
+          let q = ps.(b) in
+          let r =
+            sigma.(b)
+            *. Migration.prob migration ~ell_p:lat.(p) ~ell_q:lat.(q)
+          in
+          mat.(base + b) <- r;
+          sum := !sum +. r
+        end
+      done;
+      row_sum.(p) <- !sum
+    done
+  done;
+  { inst; n; commodities = nc; paths_of; mat_off; mat; row_sum }
+
+let dim t = t.n
+
+let rate t ~from_ q =
+  if from_ < 0 || from_ >= t.n || q < 0 || q >= t.n then
+    invalid_arg "Rate_kernel.rate: path index out of range";
+  let ci = Instance.commodity_of_path t.inst from_ in
+  if ci <> Instance.commodity_of_path t.inst q then 0.
+  else begin
+    let m = Array.length t.paths_of.(ci) in
+    let a = Instance.local_index_of_path t.inst from_ in
+    let b = Instance.local_index_of_path t.inst q in
+    t.mat.(t.mat_off.(ci) + (a * m) + b)
+  end
+
+let flow_derivative_into t f ~dst =
+  if Array.length f <> t.n || Array.length dst <> t.n then
+    invalid_arg "Rate_kernel.flow_derivative_into: dimension mismatch";
+  if f == dst then
+    invalid_arg "Rate_kernel.flow_derivative_into: dst aliases the flow";
+  for ci = 0 to t.commodities - 1 do
+    let ps = t.paths_of.(ci) in
+    let m = Array.length ps in
+    let off = t.mat_off.(ci) in
+    (* Outflow first: ḟ_P starts at -f_P Σ_Q R_PQ ... *)
+    for b = 0 to m - 1 do
+      let p = ps.(b) in
+      dst.(p) <- -.(f.(p) *. t.row_sum.(p))
+    done;
+    (* ... then each origin row scatters its inflow f_Q R_QP. *)
+    for a = 0 to m - 1 do
+      let fa = f.(ps.(a)) in
+      if fa <> 0. then begin
+        let base = off + (a * m) in
+        for b = 0 to m - 1 do
+          let p = ps.(b) in
+          dst.(p) <- dst.(p) +. (fa *. t.mat.(base + b))
+        done
+      end
+    done
+  done
+
+let flow_derivative t f =
+  let dst = Array.make t.n 0. in
+  flow_derivative_into t f ~dst;
+  dst

@@ -1,0 +1,47 @@
+(** Compiled transition-rate kernels: the per-phase fixed point of the
+    bulletin-board dynamics, factored out of the inner integration loop.
+
+    Under stale information (Eq. 3) every decision inside a phase reads
+    the {e posted} snapshot, so the sampling probabilities
+    [σ_PQ(f(t̂))] and migration probabilities [µ(ℓ_P(t̂), ℓ_Q(t̂))] are
+    constant until the next board post.  Compiling a board therefore
+    yields, per commodity, a dense matrix of per-unit migration rates
+
+    [R_PQ = σ_PQ(f(t̂)) · µ(ℓ_P(t̂), ℓ_Q(t̂))]   (P ≠ Q, [R_PP = 0])
+
+    against which the fluid ODE collapses to a linear matvec in the live
+    flow: [ḟ_P = Σ_Q f_Q R_QP − f_P Σ_Q R_PQ].  Evaluating it allocates
+    nothing and dispatches no closures — the policy is consulted only at
+    {!build} time.
+
+    A kernel is only valid for the board it was built from: whenever the
+    board is re-posted (every phase under [Stale], every step under
+    [Fresh]) the kernel must be rebuilt. *)
+
+open Staleroute_wardrop
+
+type t
+
+val build : Instance.t -> Policy.t -> board:Bulletin_board.t -> t
+(** Compile the policy against a posted board.  Cost is one σ/µ
+    evaluation per ordered path pair — the same work a single reference
+    {!Rates.flow_derivative} call performs every integrator sub-step. *)
+
+val dim : t -> int
+(** Size of the global path index the kernel was built over. *)
+
+val rate : t -> from_:int -> int -> float
+(** [R_PQ] for global path indices (0 when [P = Q] or the paths belong
+    to different commodities).  The per-unit rate: multiply by the live
+    [f_P] to recover {!Rates.migration_rate}. *)
+
+val flow_derivative_into :
+  t -> Flow.t -> dst:Staleroute_util.Vec.t -> unit
+(** [ḟ] at the live flow, written into [dst] (fully overwritten).
+    Allocation-free.  [dst] must not alias the flow argument.  Raises
+    [Invalid_argument] on dimension mismatch. *)
+
+val flow_derivative : t -> Flow.t -> Staleroute_util.Vec.t
+(** Allocating convenience wrapper around {!flow_derivative_into};
+    agrees with the reference [Rates.flow_derivative] on the same board
+    up to float rounding (different summation order). *)

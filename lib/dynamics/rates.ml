@@ -10,16 +10,13 @@ let migration_rate inst policy ~board ~flow ~from_ q =
         ~flow:board.Bulletin_board.flow
         ~latencies:board.Bulletin_board.path_latencies ~from_
     in
-    let ps = Instance.paths_of_commodity inst ci in
-    let local_q = ref (-1) in
-    Array.iteri (fun j p -> if p = q then local_q := j) ps;
-    assert (!local_q >= 0);
+    let local_q = Instance.local_index_of_path inst q in
     let mu =
       Migration.prob policy.Policy.migration
         ~ell_p:board.Bulletin_board.path_latencies.(from_)
         ~ell_q:board.Bulletin_board.path_latencies.(q)
     in
-    flow.(from_) *. dist.(!local_q) *. mu
+    flow.(from_) *. dist.(local_q) *. mu
   end
 
 let flow_derivative inst policy ~board flow =

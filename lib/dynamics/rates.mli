@@ -19,4 +19,10 @@ val flow_derivative :
   Staleroute_util.Vec.t
 (** [ḟ] at the current flow, with decisions read from [board].  The sum
     of the derivative entries of each commodity is zero (total demand is
-    conserved) up to float rounding. *)
+    conserved) up to float rounding.
+
+    This is the {e reference} implementation: it re-evaluates σ and µ
+    from the board on every call.  The production hot path is
+    {!Rate_kernel}, which compiles the board once per post and must
+    agree with this function to float rounding — a property the test
+    suite checks for every policy combination. *)

@@ -43,6 +43,56 @@ let distribution rule inst ~commodity ~flow ~latencies ~from_ =
   | Custom { prob; _ } ->
       Array.map (fun q -> prob inst ~commodity ~flow ~latencies ~from_ q) ps
 
+let distribution_into rule inst ~commodity ~flow ~latencies ~from_ ~dst =
+  let ps = Instance.paths_of_commodity inst commodity in
+  let m = Array.length ps in
+  if Array.length dst < m then
+    invalid_arg "Sampling.distribution_into: buffer too small";
+  (match rule with
+  | Uniform ->
+      let u = 1. /. float_of_int m in
+      Array.fill dst 0 m u
+  | Proportional ->
+      let r = Instance.demand inst commodity in
+      for j = 0 to m - 1 do
+        dst.(j) <- flow.(ps.(j)) /. r
+      done
+  | Logit c ->
+      let top = ref neg_infinity in
+      for j = 0 to m - 1 do
+        let s = -.c *. latencies.(ps.(j)) in
+        dst.(j) <- s;
+        if s > !top then top := s
+      done;
+      let top = !top in
+      (* Same compensated sum as [Numerics.kahan_sum] so both entry
+         points normalise by the identical total. *)
+      let sum = ref 0. and c = ref 0. in
+      for j = 0 to m - 1 do
+        let w = exp (dst.(j) -. top) in
+        dst.(j) <- w;
+        let t = !sum +. w in
+        if Float.abs !sum >= Float.abs w then c := !c +. (!sum -. t +. w)
+        else c := !c +. (w -. t +. !sum);
+        sum := t
+      done;
+      let total = !sum +. !c in
+      for j = 0 to m - 1 do
+        dst.(j) <- dst.(j) /. total
+      done
+  | Mixed gamma ->
+      if gamma < 0. || gamma > 1. then
+        invalid_arg "Sampling.Mixed: gamma outside [0,1]";
+      let r = Instance.demand inst commodity in
+      let unif = gamma /. float_of_int m in
+      for j = 0 to m - 1 do
+        dst.(j) <- unif +. ((1. -. gamma) *. flow.(ps.(j)) /. r)
+      done
+  | Custom { prob; _ } ->
+      for j = 0 to m - 1 do
+        dst.(j) <- prob inst ~commodity ~flow ~latencies ~from_ ps.(j)
+      done)
+
 let origin_independent = function
   | Uniform | Proportional | Logit _ | Mixed _ -> true
   | Custom _ -> false

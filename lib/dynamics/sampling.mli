@@ -54,6 +54,20 @@ val distribution :
     [Instance.paths_of_commodity]), from the agent's current path
     [from_].  Sums to 1 up to rounding for the built-in rules. *)
 
+val distribution_into :
+  t ->
+  Instance.t ->
+  commodity:int ->
+  flow:Flow.t ->
+  latencies:float array ->
+  from_:int ->
+  dst:float array ->
+  unit
+(** {!distribution} written into the first [|P_i|] cells of [dst]
+    (which must be at least that long) — lets {!Rate_kernel} reuse one
+    buffer across origins when compiling a board.  Raises
+    [Invalid_argument] when the buffer is too small. *)
+
 val origin_independent : t -> bool
 (** True when [σ_PQ] does not depend on [P] (all built-in rules); rate
     computation exploits this. *)

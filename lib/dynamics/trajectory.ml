@@ -15,6 +15,7 @@ let record inst (config : Driver.config) ~init ~samples_per_phase =
     max 1 (config.Driver.steps_per_phase / samples_per_phase)
   in
   let chunk = tau /. float_of_int samples_per_phase in
+  let pool = Vec.Pool.create ~dim:(Instance.path_count inst) in
   let samples = ref [] in
   let f = ref (Flow.project inst init) in
   let push time flow = samples := { time; flow = Vec.copy flow } :: !samples in
@@ -22,17 +23,24 @@ let record inst (config : Driver.config) ~init ~samples_per_phase =
   for k = 0 to config.Driver.phases - 1 do
     let phase_start = float_of_int k *. tau in
     let phase_board = Bulletin_board.post inst ~time:phase_start !f in
+    let phase_kernel =
+      lazy (Rate_kernel.build inst config.Driver.policy ~board:phase_board)
+    in
     for j = 0 to samples_per_phase - 1 do
       let time = phase_start +. (float_of_int j *. chunk) in
-      let board =
+      let kernel =
         match config.Driver.staleness with
-        | Driver.Stale _ -> phase_board
-        | Driver.Fresh -> Bulletin_board.post inst ~time !f
+        | Driver.Stale _ -> Lazy.force phase_kernel
+        | Driver.Fresh ->
+            (* Every re-post invalidates the compiled kernel. *)
+            Rate_kernel.build inst config.Driver.policy
+              ~board:(Bulletin_board.post inst ~time !f)
       in
-      let deriv g = Rates.flow_derivative inst config.Driver.policy ~board g in
-      f :=
-        Integrator.integrate_phase config.Driver.scheme inst ~deriv ~f0:!f
-          ~tau:chunk ~steps:steps_per_chunk;
+      let g = Vec.copy !f in
+      Integrator.integrate_phase_into config.Driver.scheme inst ~pool
+        ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
+        ~f:g ~tau:chunk ~steps:steps_per_chunk;
+      f := g;
       push (time +. chunk) !f
     done
   done;

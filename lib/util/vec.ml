@@ -16,6 +16,23 @@ let add a b = map2 ( +. ) a b
 let sub a b = map2 ( -. ) a b
 let scale s a = Array.map (fun x -> s *. x) a
 
+let fill a x = Array.fill a 0 (Array.length a) x
+
+let blit ~src ~dst =
+  check_dim src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let add_ ~x ~y =
+  check_dim x y;
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) +. x.(i)
+  done
+
+let scale_ s a =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- s *. a.(i)
+  done
+
 let axpy ~alpha ~x ~y =
   check_dim x y;
   for i = 0 to Array.length y - 1 do
@@ -41,6 +58,33 @@ let dist_inf a b = norm_inf (sub a b)
 let approx_equal ?rtol ?atol a b =
   dim a = dim b
   && Array.for_all2 (fun x y -> Numerics.approx_equal ?rtol ?atol x y) a b
+
+module Pool = struct
+  type vec = t
+  type t = { dim : int; mutable free : vec list }
+
+  let create ~dim =
+    if dim < 0 then invalid_arg "Vec.Pool.create: negative dimension";
+    { dim; free = [] }
+
+  let dim p = p.dim
+
+  let acquire p =
+    match p.free with
+    | [] -> Array.make p.dim 0.
+    | v :: rest ->
+        p.free <- rest;
+        v
+
+  let release p v =
+    if Array.length v <> p.dim then
+      invalid_arg "Vec.Pool.release: dimension mismatch";
+    p.free <- v :: p.free
+
+  let with_vec p f =
+    let v = acquire p in
+    Fun.protect ~finally:(fun () -> release p v) (fun () -> f v)
+end
 
 let pp ppf a =
   Format.fprintf ppf "[@[%a@]]"

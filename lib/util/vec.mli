@@ -15,6 +15,22 @@ val add : t -> t -> t
 val sub : t -> t -> t
 val scale : float -> t -> t
 
+(** {1 In-place operations}
+
+    Mutating variants used on the ODE hot path; none of them allocates. *)
+
+val fill : t -> float -> unit
+(** Set every entry. *)
+
+val blit : src:t -> dst:t -> unit
+(** [dst <- src]; raises [Invalid_argument] on dimension mismatch. *)
+
+val add_ : x:t -> y:t -> unit
+(** In-place [y <- y + x]. *)
+
+val scale_ : float -> t -> unit
+(** In-place [a <- s * a]. *)
+
 val axpy : alpha:float -> x:t -> y:t -> unit
 (** In-place [y <- alpha * x + y]. *)
 
@@ -32,3 +48,31 @@ val sum : t -> float
 val map2 : (float -> float -> float) -> t -> t -> t
 val approx_equal : ?rtol:float -> ?atol:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** Reusable scratch buffers of a fixed dimension.
+
+    Integrators acquire their stage buffers once per phase instead of
+    allocating fresh vectors every step.  Buffers come back with
+    arbitrary contents — callers must overwrite before reading. *)
+module Pool : sig
+  type vec = t
+  type t
+
+  val create : dim:int -> t
+  (** An empty pool handing out vectors of the given dimension. *)
+
+  val dim : t -> int
+
+  val acquire : t -> vec
+  (** Pop a free buffer (allocating only when the pool is empty).
+      Contents are unspecified. *)
+
+  val release : t -> vec -> unit
+  (** Return a buffer to the pool.  Raises [Invalid_argument] on
+      dimension mismatch.  Releasing a buffer twice is an error the pool
+      cannot detect — the same buffer would be handed out twice. *)
+
+  val with_vec : t -> (vec -> 'a) -> 'a
+  (** [with_vec p f] acquires a buffer for the duration of [f] and
+      releases it afterwards, also on exceptions. *)
+end

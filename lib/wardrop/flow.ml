@@ -51,24 +51,47 @@ let is_feasible ?(tol = 1e-7) inst f =
   done;
   !ok
 
-let project inst f =
-  let g = Array.map (fun x -> Float.max 0. x) f in
+let project_ inst f =
   for ci = 0 to Instance.commodity_count inst - 1 do
     let ps = Instance.paths_of_commodity inst ci in
-    let mass = Array.fold_left (fun acc p -> acc +. g.(p)) 0. ps in
-    if mass <= 0. then
+    let n = Array.length ps in
+    for j = 0 to n - 1 do
+      let p = ps.(j) in
+      f.(p) <- Float.max 0. f.(p)
+    done;
+    (* Accumulate with a local float ref, not [Array.fold_left] (whose
+       closure boxes the accumulator) and not a recursive helper (float
+       arguments are boxed across calls on non-flambda compilers): this
+       form stays unboxed, keeping the hot path allocation-free. *)
+    let acc = ref 0. in
+    for j = 0 to n - 1 do
+      acc := !acc +. f.(ps.(j))
+    done;
+    let m = !acc in
+    if m <= 0. then
       invalid_arg "Flow.project: commodity mass vanished entirely";
-    let scale = Instance.demand inst ci /. mass in
-    Array.iter (fun p -> g.(p) <- g.(p) *. scale) ps
-  done;
+    let scale = Instance.demand inst ci /. m in
+    for j = 0 to n - 1 do
+      let p = ps.(j) in
+      f.(p) <- f.(p) *. scale
+    done
+  done
+
+let project inst f =
+  let g = Array.copy f in
+  project_ inst g;
   g
 
 let edge_flows inst f =
   let fe = Array.make (Staleroute_graph.Digraph.edge_count (Instance.graph inst)) 0. in
+  let offsets = Instance.csr_offsets inst and edges = Instance.csr_edges inst in
   Array.iteri
     (fun p fp ->
       if fp <> 0. then
-        Array.iter (fun e -> fe.(e) <- fe.(e) +. fp) (Instance.path_edges inst p))
+        for k = offsets.(p) to offsets.(p + 1) - 1 do
+          let e = edges.(k) in
+          fe.(e) <- fe.(e) +. fp
+        done)
     f;
   fe
 
@@ -76,10 +99,12 @@ let edge_latencies inst fe =
   Array.mapi (fun e load -> Latency.eval (Instance.latency inst e) load) fe
 
 let path_latency inst ~edge_latencies p =
-  Array.fold_left
-    (fun acc e -> acc +. edge_latencies.(e))
-    0.
-    (Instance.path_edges inst p)
+  let offsets = Instance.csr_offsets inst and edges = Instance.csr_edges inst in
+  let acc = ref 0. in
+  for k = offsets.(p) to offsets.(p + 1) - 1 do
+    acc := !acc +. edge_latencies.(edges.(k))
+  done;
+  !acc
 
 let path_latencies inst f =
   let el = edge_latencies inst (edge_flows inst f) in

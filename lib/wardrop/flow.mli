@@ -31,6 +31,10 @@ val project : Instance.t -> t -> t
     — repairs the O(h^5) drift of a numerical integrator step.  Raises
     [Invalid_argument] if a commodity's mass has entirely vanished. *)
 
+val project_ : Instance.t -> t -> unit
+(** In-place {!project}: same arithmetic, zero allocation — the variant
+    the integrator hot path uses. *)
+
 (** {1 Observations} *)
 
 val edge_flows : Instance.t -> t -> float array

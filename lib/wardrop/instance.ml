@@ -9,6 +9,9 @@ type t = {
   path_edges : int array array;
   commodity_of_path : int array;
   paths_of_commodity : int array array;
+  local_index_of_path : int array;
+  csr_offsets : int array;
+  csr_edges : int array;
   max_path_length : int;
   beta : float;
   ell_max : float;
@@ -55,6 +58,23 @@ let create ?(max_paths_per_commodity = 10_000) ~graph ~latencies ~commodities
         ps)
     per_commodity;
   let path_edges = Array.map Path.edge_id_array paths in
+  let local_index_of_path = Array.make path_count 0 in
+  Array.iter
+    (fun ps -> Array.iteri (fun j p -> local_index_of_path.(p) <- j) ps)
+    paths_of_commodity;
+  (* CSR form of the path -> edge incidence: edges of path [p] are
+     [csr_edges.(csr_offsets.(p)) .. csr_edges.(csr_offsets.(p+1) - 1)].
+     One flat array keeps edge-flow and path-latency evaluation on a
+     contiguous scan instead of chasing per-path arrays. *)
+  let csr_offsets = Array.make (path_count + 1) 0 in
+  Array.iteri
+    (fun p edges -> csr_offsets.(p + 1) <- csr_offsets.(p) + Array.length edges)
+    path_edges;
+  let csr_edges = Array.make (max 1 csr_offsets.(path_count)) 0 in
+  Array.iteri
+    (fun p edges ->
+      Array.iteri (fun k e -> csr_edges.(csr_offsets.(p) + k) <- e) edges)
+    path_edges;
   let max_path_length =
     Array.fold_left (fun m p -> max m (Path.length p)) 0 paths
   in
@@ -81,6 +101,9 @@ let create ?(max_paths_per_commodity = 10_000) ~graph ~latencies ~commodities
     path_edges;
     commodity_of_path;
     paths_of_commodity;
+    local_index_of_path;
+    csr_offsets;
+    csr_edges;
     max_path_length;
     beta;
     ell_max;
@@ -121,6 +144,14 @@ let paths_of_commodity t i =
   if i < 0 || i >= Array.length t.paths_of_commodity then
     invalid_arg "Instance.paths_of_commodity: index out of range";
   t.paths_of_commodity.(i)
+
+let local_index_of_path t p =
+  if p < 0 || p >= Array.length t.local_index_of_path then
+    invalid_arg "Instance.local_index_of_path: index out of range";
+  t.local_index_of_path.(p)
+
+let csr_offsets t = t.csr_offsets
+let csr_edges t = t.csr_edges
 
 let demand t i = (commodity t i).Commodity.demand
 let max_path_length t = t.max_path_length

@@ -49,6 +49,20 @@ val paths_of_commodity : t -> int -> int array
 (** Global indices of the commodity's paths (shared array — do not
     mutate). *)
 
+val local_index_of_path : t -> int -> int
+(** Position of a global path index within its commodity's
+    [paths_of_commodity] array — the precomputed inverse of that table,
+    so rate computations never scan for it. *)
+
+val csr_offsets : t -> int array
+(** CSR path→edge incidence, offsets: the edges of path [p] occupy
+    [csr_edges.(csr_offsets.(p)) .. csr_edges.(csr_offsets.(p+1) - 1)].
+    Length [path_count + 1]; shared array — do not mutate. *)
+
+val csr_edges : t -> int array
+(** CSR path→edge incidence, concatenated edge ids (shared array — do
+    not mutate). *)
+
 val demand : t -> int -> float
 (** Demand of a commodity. *)
 

@@ -53,6 +53,17 @@ let test_project_vanished_mass () =
   check_raises_invalid "all-zero commodity" (fun () ->
       ignore (Flow.project inst [| 0.; 0.; 0. |]))
 
+let test_project_in_place_matches () =
+  let inst = Common.two_commodity () in
+  let dirty =
+    Array.map (fun x -> x -. 0.05) (Flow.random inst (rng ()))
+  in
+  let by_copy = Flow.project inst dirty in
+  Flow.project_ inst dirty;
+  check_true "project_ = project, bitwise" (by_copy = dirty);
+  check_raises_invalid "project_ vanish" (fun () ->
+      Flow.project_ inst (Array.make (Instance.path_count inst) 0.))
+
 let test_edge_flows_braess () =
   let inst = Common.braess () in
   (* Path order: [0;2] upper, [0;4;3] zigzag, [1;3] lower. *)
@@ -158,6 +169,7 @@ let suite =
     case "projection repairs" test_project_repairs;
     case "projection identity" test_project_identity_on_feasible;
     case "projection vanish" test_project_vanished_mass;
+    case "projection in place" test_project_in_place_matches;
     case "edge flows (braess)" test_edge_flows_braess;
     case "edge flow conservation" test_edge_flow_conservation;
     case "path latency additivity" test_path_latencies_additive;

@@ -104,6 +104,35 @@ let test_accessor_bounds () =
   check_raises_invalid "commodity index" (fun () ->
       ignore (Instance.commodity inst 1))
 
+let test_local_index_inverts_paths_of_commodity () =
+  let inst = Staleroute_experiments.Common.two_commodity () in
+  for ci = 0 to Instance.commodity_count inst - 1 do
+    Array.iteri
+      (fun j p ->
+        check_int
+          (Printf.sprintf "local index of path %d" p)
+          j
+          (Instance.local_index_of_path inst p))
+      (Instance.paths_of_commodity inst ci)
+  done;
+  check_raises_invalid "local index bounds" (fun () ->
+      ignore (Instance.local_index_of_path inst (Instance.path_count inst)))
+
+let test_csr_incidence_matches_path_edges () =
+  let inst = Staleroute_experiments.Common.grid33 () in
+  let offsets = Instance.csr_offsets inst in
+  let edges = Instance.csr_edges inst in
+  check_int "offset table length" (Instance.path_count inst + 1)
+    (Array.length offsets);
+  for p = 0 to Instance.path_count inst - 1 do
+    let expected = Instance.path_edges inst p in
+    check_int "edge count" (Array.length expected)
+      (offsets.(p + 1) - offsets.(p));
+    Array.iteri
+      (fun k e -> check_int "edge id" e edges.(offsets.(p) + k))
+      expected
+  done
+
 let test_needle_constants () =
   let inst = Staleroute_experiments.Common.needle 8 in
   check_close "beta from the good link" 1. (Instance.beta inst);
@@ -121,5 +150,7 @@ let suite =
     case "no-path rejection" test_no_path_rejected;
     case "path cap" test_path_cap_respected;
     case "accessor bounds" test_accessor_bounds;
+    case "local index table" test_local_index_inverts_paths_of_commodity;
+    case "csr incidence" test_csr_incidence_matches_path_edges;
     case "needle constants" test_needle_constants;
   ]

@@ -177,6 +177,42 @@ let prop_distributions_are_distributions =
       Array.for_all (fun p -> p >= -1e-12) d
       && Float.abs (Staleroute_util.Numerics.kahan_sum d -. 1.) < 1e-9)
 
+let test_distribution_into_matches () =
+  let inst, flow, latencies = setup () in
+  let custom =
+    Sampling.Custom
+      {
+        Sampling.name = "inverse-latency";
+        prob =
+          (fun _ ~commodity:_ ~flow:_ ~latencies ~from_:_ q ->
+            1. /. (1. +. latencies.(q)));
+      }
+  in
+  List.iter
+    (fun rule ->
+      let expected =
+        Sampling.distribution rule inst ~commodity:0 ~flow ~latencies ~from_:0
+      in
+      (* Oversized buffer: only the first |P_i| cells are written. *)
+      let dst = Array.make 6 nan in
+      Sampling.distribution_into rule inst ~commodity:0 ~flow ~latencies
+        ~from_:0 ~dst;
+      Array.iteri
+        (fun j x ->
+          check_close ~eps:0. (Sampling.name rule ^ " into, bitwise") x dst.(j))
+        expected;
+      check_true "cells past |P_i| untouched" (Float.is_nan dst.(4));
+      check_raises_invalid "buffer too small" (fun () ->
+          Sampling.distribution_into rule inst ~commodity:0 ~flow ~latencies
+            ~from_:0 ~dst:(Array.make 2 0.)))
+    [
+      Sampling.Uniform;
+      Sampling.Proportional;
+      Sampling.Logit 2.;
+      Sampling.Mixed 0.5;
+      custom;
+    ]
+
 let suite =
   [
     case "uniform" test_uniform;
@@ -190,5 +226,6 @@ let suite =
     case "mixed validation" test_mixed_validation;
     case "custom rule" test_custom_rule;
     case "metadata" test_metadata;
+    case "distribution_into" test_distribution_into_matches;
     prop_distributions_are_distributions;
   ]

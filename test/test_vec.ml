@@ -28,6 +28,35 @@ let test_axpy () =
 
 let test_dot () = check_close "dot" 32. (Vec.dot v123 v456)
 
+let test_in_place_ops () =
+  let y = Array.copy v456 in
+  Vec.add_ ~x:v123 ~y;
+  check_true "add_" (y = [| 5.; 7.; 9. |]);
+  Vec.scale_ 2. y;
+  check_true "scale_" (y = [| 10.; 14.; 18. |]);
+  Vec.fill y 0.5;
+  check_true "fill" (y = [| 0.5; 0.5; 0.5 |]);
+  Vec.blit ~src:v123 ~dst:y;
+  check_true "blit" (y = v123 && not (y == v123));
+  check_raises_invalid "add_ mismatch" (fun () ->
+      Vec.add_ ~x:v123 ~y:[| 1. |]);
+  check_raises_invalid "blit mismatch" (fun () ->
+      Vec.blit ~src:v123 ~dst:[| 1. |])
+
+let test_pool_reuses_buffers () =
+  let pool = Vec.Pool.create ~dim:4 in
+  check_int "pool dim" 4 (Vec.Pool.dim pool);
+  let a = Vec.Pool.acquire pool in
+  check_int "buffer dim" 4 (Vec.dim a);
+  Vec.Pool.release pool a;
+  let b = Vec.Pool.acquire pool in
+  check_true "released buffer is reused" (a == b);
+  Vec.Pool.release pool b;
+  let c = Vec.Pool.with_vec pool (fun v -> v) in
+  check_true "with_vec releases" (c == Vec.Pool.acquire pool);
+  check_raises_invalid "release mismatch" (fun () ->
+      Vec.Pool.release pool [| 1. |])
+
 let test_lerp () =
   check_true "lerp 0 is first" (Vec.lerp 0. v123 v456 = v123);
   check_true "lerp 1 is second" (Vec.lerp 1. v123 v456 = v456);
@@ -90,6 +119,8 @@ let suite =
     case "scale" test_scale;
     case "axpy" test_axpy;
     case "dot" test_dot;
+    case "in-place ops" test_in_place_ops;
+    case "scratch pool" test_pool_reuses_buffers;
     case "lerp" test_lerp;
     case "norms" test_norms;
     case "distances" test_distances;
