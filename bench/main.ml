@@ -8,12 +8,20 @@
      main.exe bench-smoke  tiny-quota kernel-vs-reference comparison only;
                            writes BENCH_rates.json (also `dune build
                            @bench-smoke`)
+     main.exe trace-smoke  instrumented mini-runs checking probe event
+                           counts and the allocation-free disabled path;
+                           writes BENCH_trace.json (also `dune build
+                           @trace-smoke`)
      main.exe all          experiments + microbenchmarks
    Add "quick" anywhere to use the reduced parameter sets;
-   "json=FILE" redirects the perf trajectory. *)
+   "metrics" instruments every experiment and prints its metric
+   snapshot; "json=FILE" redirects the perf trajectory. *)
 
 open Staleroute_experiments
 module Table = Staleroute_util.Table
+module Probe = Staleroute_obs.Probe
+module Metrics = Staleroute_obs.Metrics
+module Trace_export = Staleroute_obs.Trace_export
 
 (* When [csv_dir] is set ("csv=DIR" argument), every printed table is
    also written to DIR/<slug>.csv. *)
@@ -315,12 +323,139 @@ let micro () =
     (List.sort compare !rows);
   Table.print table
 
+(* --- Instrumented smoke runs: probe/metric ground truth --- *)
+
+(* Tiny instrumented runs asserting the telemetry contract: event
+   counts match the board-posting cadence (once per phase under Stale,
+   once per integrator step under Fresh), the per-phase potentials in
+   the event stream equal the driver's records, same-config traces are
+   byte-identical, and the disabled-probe Euler hot path still
+   allocates nothing.  Writes BENCH_trace.json; exits non-zero on any
+   failure. *)
+let trace_smoke ~json_path () =
+  let open Staleroute_wardrop in
+  let open Staleroute_dynamics in
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "  %-48s %s\n%!" name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  (* Stale information on the E1 oscillation workload. *)
+  let inst = Common.two_link ~beta:4. in
+  let policy = Policy.uniform_linear inst in
+  let phases = 6 and steps = 8 in
+  let config =
+    {
+      Driver.policy;
+      staleness = Driver.Stale 0.1;
+      phases;
+      steps_per_phase = steps;
+      scheme = Integrator.Rk4;
+    }
+  in
+  let init = Common.biased_start inst in
+  let capture () =
+    let buf = Probe.Memory.create () in
+    let metrics = Metrics.create () in
+    let result =
+      Driver.run ~probe:(Probe.Memory.probe buf) ~metrics inst config ~init
+    in
+    (buf, metrics, result)
+  in
+  let buf, metrics, result = capture () in
+  let count buf p = Probe.Memory.count buf p in
+  let stale_reposts =
+    count buf (function Probe.Board_repost _ -> true | _ -> false)
+  in
+  let stale_rebuilds =
+    count buf (function Probe.Kernel_rebuild _ -> true | _ -> false)
+  in
+  check "stale: board reposts = phases" (stale_reposts = phases);
+  check "stale: kernel rebuilds = phases" (stale_rebuilds = phases);
+  check "stale: rebuild counter agrees with events"
+    (Metrics.count (Metrics.counter metrics "kernel_rebuilds")
+    = stale_rebuilds);
+  let phis =
+    Array.of_list
+      (List.filter_map
+         (function
+           | Probe.Phase_start { potential; _ } -> Some potential | _ -> None)
+         (Array.to_list (Probe.Memory.events buf)))
+  in
+  let phi_agree = ref (Array.length phis = Array.length result.Driver.records) in
+  Array.iteri
+    (fun i (r : Driver.phase_record) ->
+      if
+        !phi_agree
+        && Float.abs (phis.(i) -. r.Driver.start_potential) > 1e-12
+      then phi_agree := false)
+    result.Driver.records;
+  check "stale: phase_start phi = driver records (1e-12)" !phi_agree;
+  let buf2, _, _ = capture () in
+  let s1 = Trace_export.events_to_string (Probe.Memory.events buf) in
+  let s2 = Trace_export.events_to_string (Probe.Memory.events buf2) in
+  let identical = String.equal s1 s2 in
+  check "stale: same-config trace byte-identical" identical;
+  (* Fresh information re-posts every integrator step. *)
+  let binst = Common.braess () in
+  let fphases = 3 and fsteps = 5 in
+  let fconfig =
+    {
+      Driver.policy = Policy.uniform_linear binst;
+      staleness = Driver.Fresh;
+      phases = fphases;
+      steps_per_phase = fsteps;
+      scheme = Integrator.Euler;
+    }
+  in
+  let fbuf = Probe.Memory.create () in
+  ignore
+    (Driver.run ~probe:(Probe.Memory.probe fbuf) binst fconfig
+       ~init:(Flow.uniform binst));
+  let fresh_rebuilds =
+    count fbuf (function Probe.Kernel_rebuild _ -> true | _ -> false)
+  in
+  check "fresh: kernel rebuilds = phases * steps"
+    (fresh_rebuilds = fphases * fsteps);
+  (* The disabled-probe hot path must stay allocation-free (the
+     measurement is only meaningful under the native compiler). *)
+  let words =
+    let board = Bulletin_board.post inst ~time:0. (Flow.uniform inst) in
+    euler_words_per_step inst (Rate_kernel.build inst policy ~board)
+  in
+  let native =
+    match Sys.backend_type with Sys.Native -> true | _ -> false
+  in
+  check "probes off: euler step minor words = 0"
+    ((not native) || words = 0.);
+  let pass = !failures = 0 in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"trace_smoke\",\n\
+    \  \"stale\": { \"phases\": %d, \"board_reposts\": %d, \
+     \"kernel_rebuilds\": %d },\n\
+    \  \"fresh\": { \"phases\": %d, \"steps_per_phase\": %d, \
+     \"kernel_rebuilds\": %d },\n\
+    \  \"trace_byte_identical\": %b,\n\
+    \  \"euler_minor_words_per_step_probes_off\": %.2f,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    phases stale_reposts stale_rebuilds fphases fsteps fresh_rebuilds
+    identical words pass;
+  close_out oc;
+  Printf.printf "(trace smoke written to %s)\n%!" json_path;
+  if not pass then exit 1
+
 let json_path = ref "BENCH_rates.json"
+let with_metrics = ref false
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
   let args = List.filter (fun a -> a <> "quick") args in
+  if List.mem "metrics" args then with_metrics := true;
+  let args = List.filter (fun a -> a <> "metrics") args in
   let args =
     List.filter
       (fun a ->
@@ -340,7 +475,19 @@ let () =
     match List.assoc_opt name experiments with
     | Some f ->
         Printf.printf "\n### Experiment %s ###\n%!" (String.uppercase_ascii name);
-        f ~quick
+        if !with_metrics then begin
+          (* Ambient instrumentation: every Common.run inside the
+             experiment reports into this registry. *)
+          let metrics = Metrics.create () in
+          Common.set_instrumentation ~probe:Probe.null ~metrics;
+          Fun.protect
+            ~finally:(fun () -> Common.clear_instrumentation ())
+            (fun () -> f ~quick);
+          print_tables
+            [ Metrics.to_table ~title:(name ^ " metrics")
+                (Metrics.snapshot metrics) ]
+        end
+        else f ~quick
     | None ->
         Printf.eprintf "unknown experiment %S\n" name;
         exit 2
@@ -354,6 +501,12 @@ let () =
   | [ "bench-smoke" ] ->
       (* Tiny-quota comparison for CI: seconds, not minutes. *)
       bench_rates ~quota_s:0.05 ~json_path:!json_path ()
+  | [ "trace-smoke" ] ->
+      trace_smoke
+        ~json_path:
+          (if !json_path = "BENCH_rates.json" then "BENCH_trace.json"
+           else !json_path)
+        ()
   | [ "all" ] ->
       List.iter (fun (name, _) -> run_experiment name) experiments;
       micro ();

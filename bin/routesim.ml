@@ -6,6 +6,10 @@ open Staleroute_wardrop
 open Staleroute_dynamics
 open Staleroute_experiments
 module Table = Staleroute_util.Table
+module Probe = Staleroute_obs.Probe
+module Metrics = Staleroute_obs.Metrics
+module Trace_export = Staleroute_obs.Trace_export
+module Report = Staleroute_obs.Report
 
 type policy_spec =
   | Smooth of (Instance.t -> Policy.t)
@@ -36,7 +40,51 @@ let parse_init inst = function
   | "biased" -> Ok (Common.biased_start inst)
   | s -> Error (Printf.sprintf "unknown initial flow %S" s)
 
-let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~trace =
+(* Observability plumbing shared by both run modes: a memory buffer
+   backs --trace/--summary, a live registry backs --metrics/--summary. *)
+type obs = {
+  trace_file : string option;
+  show_metrics : bool;
+  show_summary : bool;
+  buffer : Probe.Memory.buffer option;
+  probe : Probe.t;
+  registry : Metrics.t;
+}
+
+let make_obs ~trace_file ~show_metrics ~show_summary =
+  let buffer =
+    if trace_file <> None || show_summary then Some (Probe.Memory.create ())
+    else None
+  in
+  let probe =
+    match buffer with Some b -> Probe.Memory.probe b | None -> Probe.null
+  in
+  let registry =
+    if show_metrics || show_summary then Metrics.create () else Metrics.null
+  in
+  { trace_file; show_metrics; show_summary; buffer; probe; registry }
+
+let finish_obs obs =
+  (match (obs.buffer, obs.trace_file) with
+  | Some b, Some file ->
+      let oc = open_out file in
+      Trace_export.write_events oc (Probe.Memory.events b);
+      close_out oc;
+      Printf.printf "trace written    : %s (%d events)\n" file
+        (Probe.Memory.length b)
+  | _ -> ());
+  if obs.show_metrics then
+    Table.print (Metrics.to_table (Metrics.snapshot obs.registry));
+  match obs.buffer with
+  | Some b when obs.show_summary ->
+      Report.print
+        (Report.of_events
+           ~snapshot:(Metrics.snapshot obs.registry)
+           (Probe.Memory.events b))
+  | _ -> ()
+
+let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
+    ~obs =
   let policy = policy_of inst in
   let staleness, t_label =
     match period with
@@ -54,7 +102,8 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~trace =
     | `Fixed t -> (Driver.Stale t, Printf.sprintf "%.6g" t)
   in
   let result =
-    Common.run inst policy staleness ~phases ~steps_per_phase:steps ~init ()
+    Common.run ~probe:obs.probe ~metrics:obs.registry inst policy staleness
+      ~phases ~steps_per_phase:steps ~init ()
   in
   let snapshots = Common.phase_start_flows result in
   let eq = Frank_wolfe.equilibrium inst in
@@ -75,7 +124,7 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~trace =
     delta eps;
   Printf.printf "oscillating      : %b\n"
     (Convergence.is_oscillating snapshots);
-  if trace then begin
+  if csv then begin
     print_endline "phase,time,potential,virtual_gain,delta_phi";
     Array.iter
       (fun r ->
@@ -83,9 +132,10 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~trace =
           r.Driver.start_time r.Driver.start_potential r.Driver.virtual_gain
           r.Driver.delta_phi)
       result.Driver.records
-  end
+  end;
+  finish_obs obs
 
-let run_best_response inst ~period ~phases ~delta ~eps ~trace =
+let run_best_response inst ~period ~phases ~delta ~eps ~csv ~obs =
   let t =
     match period with
     | `Fixed t -> t
@@ -95,35 +145,60 @@ let run_best_response inst ~period ~phases ~delta ~eps ~trace =
         exit 2
   in
   let init = Common.biased_start inst in
-  let run = Best_response.run inst ~update_period:t ~phases ~init in
-  let last = run.Best_response.phase_starts.(phases) in
+  let orbit = Best_response.run inst ~update_period:t ~phases ~init in
+  (* The exact orbit bypasses Driver; synthesise the equivalent phase
+     events so --trace/--summary cover this mode too.  The virtual gain
+     is not defined for the closed-form orbit: recorded as nan. *)
+  if Probe.enabled obs.probe then
+    for k = 0 to phases - 1 do
+      let time = float_of_int k *. t in
+      Probe.emit obs.probe (Probe.Board_repost { time });
+      Probe.emit obs.probe
+        (Probe.Phase_start
+           { index = k; time; potential = orbit.Best_response.potentials.(k) });
+      Probe.emit obs.probe
+        (Probe.Phase_end
+           {
+             index = k;
+             time = time +. t;
+             potential = orbit.Best_response.potentials.(k + 1);
+             virtual_gain = Float.nan;
+             delta_phi =
+               orbit.Best_response.potentials.(k + 1)
+               -. orbit.Best_response.potentials.(k);
+           })
+    done;
+  let last = orbit.Best_response.phase_starts.(phases) in
   Printf.printf "policy           : best-response (exact per-phase orbit)\n";
   Printf.printf "update period    : %.6g\n" t;
   Printf.printf "phases           : %d\n" phases;
-  Printf.printf "potential  start : %.6g\n" run.Best_response.potentials.(0);
+  Printf.printf "potential  start : %.6g\n" orbit.Best_response.potentials.(0);
   Printf.printf "potential  final : %.6g\n"
-    run.Best_response.potentials.(phases);
+    orbit.Best_response.potentials.(phases);
   Printf.printf "wardrop gap      : %.6g\n" (Equilibrium.wardrop_gap inst last);
   Printf.printf "bad rounds       : %d (delta=%g, eps=%g)\n"
     (Convergence.bad_rounds inst Convergence.Strict ~delta ~eps
-       run.Best_response.phase_starts)
+       orbit.Best_response.phase_starts)
     delta eps;
   Printf.printf "oscillating      : %b\n"
-    (Convergence.is_oscillating run.Best_response.phase_starts);
-  if trace then begin
+    (Convergence.is_oscillating orbit.Best_response.phase_starts);
+  if csv then begin
     print_endline "phase,time,potential";
     Array.iteri
       (fun k phi -> Printf.printf "%d,%.6g,%.8g\n" k (float_of_int k *. t) phi)
-      run.Best_response.potentials
-  end
+      orbit.Best_response.potentials
+  end;
+  finish_obs obs
 
-let main topology policy period phases steps init delta eps trace =
+let main topology policy period phases steps init delta eps csv trace_file
+    show_metrics show_summary =
   match Topologies.parse topology with
   | Error e ->
       prerr_endline e;
       exit 2
   | Ok inst -> (
       Format.printf "instance         : %a@." Instance.pp inst;
+      let obs = make_obs ~trace_file ~show_metrics ~show_summary in
       match parse_policy policy with
       | Error e ->
           prerr_endline e;
@@ -135,9 +210,9 @@ let main topology policy period phases steps init delta eps trace =
               exit 2
           | Ok init ->
               run_smooth inst policy_of ~period ~phases ~steps ~init ~delta
-                ~eps ~trace)
+                ~eps ~csv ~obs)
       | Ok Best_response_exact ->
-          run_best_response inst ~period ~phases ~delta ~eps ~trace)
+          run_best_response inst ~period ~phases ~delta ~eps ~csv ~obs)
 
 let period_conv =
   let parse = function
@@ -197,14 +272,39 @@ let cmd =
     Arg.(value & opt float 0.1 & info [ "eps" ] ~docv:"E"
          ~doc:"Volume slack of the approximate equilibrium report.")
   in
-  let trace =
-    Arg.(value & flag & info [ "trace" ]
+  let csv =
+    Arg.(value & flag & info [ "csv" ]
          ~doc:"Print a per-phase CSV trace after the summary.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Record structured probe events (phase starts/ends, board \
+             re-posts, kernel rebuilds, step batches) and write them as \
+             JSONL to $(docv).  Same-seed runs produce byte-identical \
+             files.")
+  in
+  let show_metrics =
+    Arg.(value & flag & info [ "metrics" ]
+         ~doc:
+           "Collect run metrics (board re-posts, kernel rebuilds, \
+            derivative evaluations, per-phase potential statistics) and \
+            print them as a table.")
+  in
+  let show_summary =
+    Arg.(value & flag & info [ "summary" ]
+         ~doc:
+           "Print an end-of-run report: event counts, per-phase \
+            potential-change distribution and an ASCII sparkline of the \
+            potential gap.")
   in
   let term =
     Term.(
       const main $ topology $ policy $ period $ phases $ steps $ init $ delta
-      $ eps $ trace)
+      $ eps $ csv $ trace_file $ show_metrics $ show_summary)
   in
   Cmd.v
     (Cmd.info "routesim" ~version:"1.0.0"

@@ -1,0 +1,69 @@
+(* Watching a run live through the observability layer.
+
+   A custom probe sink prints each phase of the stale two-link
+   oscillation workload as it happens — the same structured events that
+   `routesim --trace` writes as JSONL — while a tee'd Memory buffer
+   collects everything for the end-of-run report.
+
+     dune exec examples/tracing.exe *)
+
+open Staleroute_graph
+open Staleroute_wardrop
+open Staleroute_dynamics
+open Staleroute_obs
+module Latency = Staleroute_latency.Latency
+
+let beta = 4.
+let phases = 12
+
+(* The E1 workload: two identical links, latency max{0, beta (x - 1/2)}. *)
+let instance () =
+  let net = Gen.parallel_links 2 in
+  let l = Latency.relu ~slope:beta ~knee:0.5 in
+  Instance.create ~graph:net.Gen.graph ~latencies:[| l; l |]
+    ~commodities:[ Commodity.single ~src:net.Gen.src ~dst:net.Gen.dst ]
+    ()
+
+(* A live sink: narrate the phases, ignore the finer-grained events.
+   A bar of '#' per phase makes the potential decay visible as it
+   happens. *)
+let live_sink event =
+  match event with
+  | Probe.Phase_end { index; potential; delta_phi; _ } ->
+      let bar = String.make (int_of_float (80. *. potential)) '#' in
+      Printf.printf "phase %2d  phi %.6f  dphi %+.6f  %s\n%!" index potential
+        delta_phi bar
+  | Probe.Board_repost { time } ->
+      Printf.printf "          board re-posted at t = %g\n%!" time
+  | _ -> ()
+
+let () =
+  let inst = instance () in
+  let policy = Policy.uniform_linear inst in
+  let t =
+    match Policy.safe_update_period inst policy with
+    | Some t_star -> Float.min t_star 1.
+    | None -> 0.25
+  in
+  Printf.printf "uniform/linear on the two-link workload, T = %g\n\n" t;
+  let config =
+    {
+      Driver.policy;
+      staleness = Driver.Stale t;
+      phases;
+      steps_per_phase = 20;
+      scheme = Integrator.Rk4;
+    }
+  in
+  (* Worst-case start: nearly everything on link 0. *)
+  let init = [| 0.95; 0.05 |] in
+  (* Tee the live narration with a buffer that remembers everything. *)
+  let buffer = Probe.Memory.create () in
+  let probe = Probe.tee (Probe.make live_sink) (Probe.Memory.probe buffer) in
+  let metrics = Metrics.create () in
+  ignore (Driver.run ~probe ~metrics inst config ~init);
+  print_newline ();
+  Report.print
+    (Report.of_events
+       ~snapshot:(Metrics.snapshot metrics)
+       (Probe.Memory.events buffer))

@@ -5,7 +5,15 @@ type t = {
   flow : Flow.t;
   path_latencies : float array;
   edge_latencies : float array;
+  revision : int;
 }
+
+(* Process-wide post counter: every snapshot gets a strictly increasing
+   revision, so a compiled kernel can prove it was built against the
+   latest posting (Rate_kernel.is_current). *)
+let posts_counter = ref 0
+
+let posts () = !posts_counter
 
 let post inst ~time flow =
   let edge_latencies = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
@@ -13,6 +21,15 @@ let post inst ~time flow =
     Array.init (Instance.path_count inst) (fun p ->
         Flow.path_latency inst ~edge_latencies p)
   in
-  { posted_at = time; flow = Array.copy flow; path_latencies; edge_latencies }
+  incr posts_counter;
+  {
+    posted_at = time;
+    flow = Array.copy flow;
+    path_latencies;
+    edge_latencies;
+    revision = !posts_counter;
+  }
+
+let revision b = b.revision
 
 let fresh inst flow = post inst ~time:0. flow

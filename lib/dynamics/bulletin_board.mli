@@ -11,10 +11,22 @@ type t = private {
   flow : Flow.t;              (** [f(t̂)] *)
   path_latencies : float array;  (** [ℓ_P(f(t̂))] by global path index *)
   edge_latencies : float array;  (** [ℓ_e(f(t̂))] by edge id *)
+  revision : int;             (** process-wide post ordinal, see {!revision} *)
 }
 
 val post : Instance.t -> time:float -> Flow.t -> t
-(** Snapshot the given flow at the given time.  The flow is copied. *)
+(** Snapshot the given flow at the given time.  The flow is copied and
+    the process-wide {!posts} counter advances — the new board carries a
+    strictly larger revision than every earlier one. *)
+
+val revision : t -> int
+(** The value of the post counter when this board was posted.  A
+    {!Rate_kernel} remembers the revision it was compiled at; comparing
+    the two ({!Rate_kernel.is_current}) turns the "rebuild the kernel on
+    every re-post" convention into a checked invariant. *)
+
+val posts : unit -> int
+(** Total number of boards posted by this process so far. *)
 
 val fresh : Instance.t -> Flow.t -> t
 (** A board that is always exactly current ([posted_at = 0.]); used to

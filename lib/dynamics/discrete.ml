@@ -1,5 +1,7 @@
 open Staleroute_wardrop
 module Vec = Staleroute_util.Vec
+module Probe = Staleroute_obs.Probe
+module Metrics = Staleroute_obs.Metrics
 
 type config = {
   policy : Policy.t;
@@ -28,31 +30,42 @@ let step_kernel inst kernel f =
 let step inst policy ~board f =
   step_kernel inst (Rate_kernel.build inst policy ~board) f
 
-let run inst config ~init =
+let run ?(probe = Probe.null) ?(metrics = Metrics.null) inst config ~init =
   if config.rounds < 0 then invalid_arg "Discrete.run: negative rounds";
   if config.rounds_per_update < 1 then
     invalid_arg "Discrete.run: rounds_per_update < 1";
   if not (Flow.is_feasible inst init) then
     invalid_arg "Discrete.run: infeasible initial flow";
+  let reposts = Metrics.counter metrics "board_reposts" in
+  let rebuilds = Metrics.counter metrics "kernel_rebuilds" in
+  let m_rounds = Metrics.counter metrics "rounds" in
   let f = ref (Flow.project inst init) in
   let post time =
-    Rate_kernel.build inst config.policy
-      ~board:(Bulletin_board.post inst ~time !f)
+    let board = Bulletin_board.post inst ~time !f in
+    if Probe.enabled probe then Probe.emit probe (Probe.Board_repost { time });
+    Metrics.incr reposts;
+    let kernel = Rate_kernel.build inst config.policy ~board in
+    if Probe.enabled probe then
+      Probe.emit probe (Probe.Kernel_rebuild { time });
+    Metrics.incr rebuilds;
+    (board, kernel)
   in
   (* The compiled kernel lives exactly as long as its board post. *)
-  let kernel = ref (post 0.) in
+  let posted = ref (post 0.) in
   let records = ref [] in
   for k = 0 to config.rounds - 1 do
     if k mod config.rounds_per_update = 0 then
-      kernel := post (float_of_int k);
+      posted := post (float_of_int k);
+    let board, kernel = !posted in
+    assert (Rate_kernel.is_current kernel ~board);
+    ignore board;
+    let start_potential = Potential.phi inst !f in
+    if Probe.enabled probe then
+      Probe.emit probe (Probe.Round { index = k; potential = start_potential });
+    Metrics.incr m_rounds;
     records :=
-      {
-        index = k;
-        start_flow = Vec.copy !f;
-        start_potential = Potential.phi inst !f;
-      }
-      :: !records;
-    f := step_kernel inst !kernel !f
+      { index = k; start_flow = Vec.copy !f; start_potential } :: !records;
+    f := step_kernel inst kernel !f
   done;
   {
     records = Array.of_list (List.rev !records);

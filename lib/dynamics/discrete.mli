@@ -35,6 +35,18 @@ val step : Instance.t -> Policy.t -> board:Bulletin_board.t -> Flow.t -> Flow.t
 (** One synchronous round under the given posted information; the
     result is projected back to feasibility. *)
 
-val run : Instance.t -> config -> init:Flow.t -> result
+val run :
+  ?probe:Staleroute_obs.Probe.t ->
+  ?metrics:Staleroute_obs.Metrics.t ->
+  Instance.t ->
+  config ->
+  init:Flow.t ->
+  result
 (** Iterate [rounds] rounds, re-posting the board every
-    [rounds_per_update] rounds (the board time unit is one round). *)
+    [rounds_per_update] rounds (the board time unit is one round).
+
+    An enabled [probe] receives one [Round] event per round (carrying
+    the start-of-round potential) and [Board_repost] /
+    [Kernel_rebuild] events at every board refresh; a live [metrics]
+    registry maintains the [rounds], [board_reposts] and
+    [kernel_rebuilds] counters.  Both default to disabled. *)

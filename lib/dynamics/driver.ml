@@ -1,5 +1,7 @@
 open Staleroute_wardrop
 module Vec = Staleroute_util.Vec
+module Probe = Staleroute_obs.Probe
+module Metrics = Staleroute_obs.Metrics
 
 type staleness = Fresh | Stale of float
 
@@ -43,40 +45,87 @@ let phase_length config =
       if t <= 0. then invalid_arg "Driver: update period must be positive";
       t
 
+(* Instrument handles, resolved once per run so the per-phase cost of
+   disabled metrics is a liveness branch. *)
+type instruments = {
+  probe : Probe.t;
+  reposts : Metrics.counter;
+  rebuilds : Metrics.counter;
+  derivs : Metrics.counter;
+  build_ns : Metrics.histogram;
+}
+
+let instruments probe metrics =
+  {
+    probe;
+    reposts = Metrics.counter metrics "board_reposts";
+    rebuilds = Metrics.counter metrics "kernel_rebuilds";
+    derivs = Metrics.counter metrics "derivative_evals";
+    build_ns = Metrics.histogram metrics "kernel_build_ns";
+  }
+
+(* Post the board and compile its kernel, emitting the matching probe
+   events and metric updates.  [Sys.time] is CPU time — coarse for a
+   single build but meaningful accumulated over a run — and is consulted
+   only when the histogram is live, keeping uninstrumented runs free of
+   clock reads. *)
+let post_and_compile inst policy ~ins ~time f =
+  let board = Bulletin_board.post inst ~time f in
+  if Probe.enabled ins.probe then
+    Probe.emit ins.probe (Probe.Board_repost { time });
+  Metrics.incr ins.reposts;
+  let timed = Metrics.enabled_histogram ins.build_ns in
+  let t0 = if timed then Sys.time () else 0. in
+  let kernel = Rate_kernel.build inst policy ~board in
+  if timed then Metrics.observe ins.build_ns ((Sys.time () -. t0) *. 1e9);
+  if Probe.enabled ins.probe then
+    Probe.emit ins.probe (Probe.Kernel_rebuild { time });
+  Metrics.incr ins.rebuilds;
+  (board, kernel)
+
 (* The driver always runs on the compiled kernel path: a board is
    compiled to a [Rate_kernel.t] once per post and the phase is
    integrated in place against it.  [Rates.flow_derivative] remains as
    the reference implementation (tests and the microbenchmarks compare
    the two). *)
-let advance_one_phase inst config ~pool ~time f =
+let advance_one_phase inst config ~ins ~pool ~time f =
   let tau = phase_length config in
+  let steps = config.steps_per_phase in
+  let stage = Integrator.stage_evals config.scheme in
   match config.staleness with
   | Stale _ ->
-      let board = Bulletin_board.post inst ~time f in
-      let kernel = Rate_kernel.build inst config.policy ~board in
+      let board, kernel =
+        post_and_compile inst config.policy ~ins ~time f
+      in
+      assert (Rate_kernel.is_current kernel ~board);
       let g = Vec.copy f in
-      Integrator.integrate_phase_into config.scheme inst ~pool
+      Integrator.integrate_phase_into ~probe:ins.probe ~t0:time config.scheme
+        inst ~pool
         ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
-        ~f:g ~tau ~steps:config.steps_per_phase;
+        ~f:g ~tau ~steps;
+      Metrics.incr ~by:(stage * steps) ins.derivs;
       g
   | Fresh ->
       (* Re-post before every internal step: zero information age up to
          the step size.  The kernel only survives one step here — it
          must be rebuilt for every re-posted board. *)
-      let h = tau /. float_of_int config.steps_per_phase in
+      let h = tau /. float_of_int steps in
       let g = Vec.copy f in
-      for k = 0 to config.steps_per_phase - 1 do
-        let board =
-          Bulletin_board.post inst ~time:(time +. (float_of_int k *. h)) g
+      for k = 0 to steps - 1 do
+        let step_time = time +. (float_of_int k *. h) in
+        let board, kernel =
+          post_and_compile inst config.policy ~ins ~time:step_time g
         in
-        let kernel = Rate_kernel.build inst config.policy ~board in
-        Integrator.integrate_phase_into config.scheme inst ~pool
+        assert (Rate_kernel.is_current kernel ~board);
+        Integrator.integrate_phase_into ~probe:ins.probe ~t0:step_time
+          config.scheme inst ~pool
           ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
-          ~f:g ~tau:h ~steps:1
+          ~f:g ~tau:h ~steps:1;
+        Metrics.incr ~by:stage ins.derivs
       done;
       g
 
-let run inst config ~init =
+let run ?(probe = Probe.null) ?(metrics = Metrics.null) inst config ~init =
   if config.phases < 0 then invalid_arg "Driver.run: negative phase count";
   if config.steps_per_phase < 1 then
     invalid_arg "Driver.run: steps_per_phase < 1";
@@ -84,6 +133,12 @@ let run inst config ~init =
     invalid_arg "Driver.run: infeasible initial flow";
   let tau = phase_length config in
   let pool = Vec.Pool.create ~dim:(Instance.path_count inst) in
+  let ins = instruments probe metrics in
+  let h_phi = Metrics.histogram metrics "phase_potential" in
+  let h_dphi = Metrics.histogram metrics "phase_delta_phi" in
+  let h_vgain = Metrics.histogram metrics "phase_virtual_gain" in
+  let h_gc = Metrics.histogram metrics "phase_minor_words" in
+  let g_final = Metrics.gauge metrics "final_potential" in
   let records = ref [] in
   let f = ref (Flow.project inst init) in
   let phi = ref (Potential.phi inst !f) in
@@ -91,23 +146,47 @@ let run inst config ~init =
     let start_time = float_of_int k *. tau in
     let start_flow = Vec.copy !f in
     let start_potential = !phi in
-    let next = advance_one_phase inst config ~pool ~time:start_time !f in
+    let gc0 = if Metrics.enabled metrics then Gc.minor_words () else 0. in
+    if Probe.enabled probe then
+      Probe.emit probe
+        (Probe.Phase_start
+           { index = k; time = start_time; potential = start_potential });
+    let next = advance_one_phase inst config ~ins ~pool ~time:start_time !f in
     let next_phi = Potential.phi inst next in
+    let virtual_gain =
+      Virtual_gain.virtual_gain inst ~phase_start:start_flow ~phase_end:next
+    in
+    let delta_phi = next_phi -. start_potential in
+    if Probe.enabled probe then
+      Probe.emit probe
+        (Probe.Phase_end
+           {
+             index = k;
+             time = start_time +. tau;
+             potential = next_phi;
+             virtual_gain;
+             delta_phi;
+           });
+    if Metrics.enabled metrics then begin
+      Metrics.observe h_phi start_potential;
+      Metrics.observe h_dphi delta_phi;
+      Metrics.observe h_vgain virtual_gain;
+      Metrics.observe h_gc (Gc.minor_words () -. gc0)
+    end;
     records :=
       {
         index = k;
         start_time;
         start_flow;
         start_potential;
-        virtual_gain =
-          Virtual_gain.virtual_gain inst ~phase_start:start_flow
-            ~phase_end:next;
-        delta_phi = next_phi -. start_potential;
+        virtual_gain;
+        delta_phi;
       }
       :: !records;
     f := next;
     phi := next_phi
   done;
+  Metrics.set g_final !phi;
   {
     config;
     records = Array.of_list (List.rev !records);

@@ -48,10 +48,28 @@ type result = {
   final_potential : float;
 }
 
-val run : Instance.t -> config -> init:Flow.t -> result
+val run :
+  ?probe:Staleroute_obs.Probe.t ->
+  ?metrics:Staleroute_obs.Metrics.t ->
+  Instance.t ->
+  config ->
+  init:Flow.t ->
+  result
 (** Simulate.  For [Stale t] the phase length is [t]; for [Fresh] the
     phase length defaults to 1 time unit (it only controls recording
-    granularity, not information age). *)
+    granularity, not information age).
+
+    When [probe] is enabled the run emits, per phase: [Phase_start],
+    one [Board_repost] + [Kernel_rebuild] + [Step_batch] per board post
+    (once per phase under [Stale], once per integrator step under
+    [Fresh]), then [Phase_end] carrying [Φ], the virtual gain and
+    [ΔΦ].  When [metrics] is live the run maintains the
+    [board_reposts] / [kernel_rebuilds] / [derivative_evals] counters,
+    [kernel_build_ns] / [phase_potential] / [phase_delta_phi] /
+    [phase_virtual_gain] / [phase_minor_words] histograms and the
+    [final_potential] gauge.  Both default to disabled, which costs a
+    branch per phase and keeps the integration hot path
+    allocation-free. *)
 
 val phase_length : config -> float
 (** The duration of one recorded phase under the given configuration. *)

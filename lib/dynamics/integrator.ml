@@ -1,5 +1,6 @@
 open Staleroute_wardrop
 module Vec = Staleroute_util.Vec
+module Probe = Staleroute_obs.Probe
 
 type scheme = Euler | Rk4
 
@@ -11,10 +12,17 @@ let scheme_of_string = function
 let scheme_name = function Euler -> "euler" | Rk4 -> "rk4"
 
 let scratch_vectors = function Euler -> 1 | Rk4 -> 5
+let stage_evals = function Euler -> 1 | Rk4 -> 4
 
-let integrate_phase_into scheme inst ~pool ~deriv_into ~f ~tau ~steps =
+let integrate_phase_into ?(probe = Probe.null) ?(t0 = 0.) scheme inst ~pool
+    ~deriv_into ~f ~tau ~steps =
   if tau < 0. then invalid_arg "Integrator.integrate_phase: negative tau";
   if steps < 1 then invalid_arg "Integrator.integrate_phase: steps < 1";
+  (* One event per batch, never per step: the per-step loop below stays
+     allocation-free whether or not the probe is enabled. *)
+  if Probe.enabled probe then
+    Probe.emit probe
+      (Probe.Step_batch { time = t0; scheme = scheme_name scheme; steps; tau });
   if tau > 0. then begin
     let h = tau /. float_of_int steps in
     match scheme with

@@ -18,7 +18,13 @@ val scratch_vectors : scheme -> int
 (** How many pool buffers {!integrate_phase_into} acquires for the
     duration of a phase (1 for Euler, 5 for RK4). *)
 
+val stage_evals : scheme -> int
+(** Derivative evaluations per step (1 for Euler, 4 for RK4) — used by
+    instrumented callers to account derivative work. *)
+
 val integrate_phase_into :
+  ?probe:Staleroute_obs.Probe.t ->
+  ?t0:float ->
   scheme ->
   Instance.t ->
   pool:Staleroute_util.Vec.Pool.t ->
@@ -33,7 +39,12 @@ val integrate_phase_into :
     call, so with an allocation-free [deriv_into] (e.g.
     {!Rate_kernel.flow_derivative_into}) the integration allocates
     nothing per step.  Arithmetic is identical to {!integrate_phase} —
-    the two produce bit-equal trajectories for the same derivative. *)
+    the two produce bit-equal trajectories for the same derivative.
+
+    When [probe] is enabled, one [Step_batch] event is emitted per call
+    (stamped [t0], default [0.]) — never per step, so enabling probes
+    does not touch the inner loop and a disabled probe costs one
+    branch. *)
 
 val integrate_phase :
   scheme ->

@@ -8,6 +8,7 @@ type t = {
   mat_off : int array;  (* commodity ci's m*m block starts at mat_off.(ci) *)
   mat : float array;  (* row-major dense blocks, R_PP = 0 *)
   row_sum : float array;  (* total outflow rate per unit mass, global index *)
+  revision : int;  (* board revision the kernel was compiled at *)
 }
 
 let build inst policy ~board =
@@ -55,9 +56,20 @@ let build inst policy ~board =
       row_sum.(p) <- !sum
     done
   done;
-  { inst; n; commodities = nc; paths_of; mat_off; mat; row_sum }
+  {
+    inst;
+    n;
+    commodities = nc;
+    paths_of;
+    mat_off;
+    mat;
+    row_sum;
+    revision = Bulletin_board.revision board;
+  }
 
 let dim t = t.n
+let revision t = t.revision
+let is_current t ~board = t.revision = Bulletin_board.revision board
 
 let rate t ~from_ q =
   if from_ < 0 || from_ >= t.n || q < 0 || q >= t.n then

@@ -30,6 +30,16 @@ val build : Instance.t -> Policy.t -> board:Bulletin_board.t -> t
 val dim : t -> int
 (** Size of the global path index the kernel was built over. *)
 
+val revision : t -> int
+(** The {!Bulletin_board.revision} of the board the kernel was compiled
+    against. *)
+
+val is_current : t -> board:Bulletin_board.t -> bool
+(** Whether this kernel was compiled against exactly the given board
+    posting.  The driver paths assert this before every integration —
+    using a kernel across a re-post is the staleness bug the
+    revision counter exists to catch. *)
+
 val rate : t -> from_:int -> int -> float
 (** [R_PQ] for global path indices (0 when [P = Q] or the paths belong
     to different commodities).  The per-unit rate: multiply by the live

@@ -1,11 +1,14 @@
 open Staleroute_wardrop
 module Vec = Staleroute_util.Vec
+module Probe = Staleroute_obs.Probe
+module Metrics = Staleroute_obs.Metrics
 
 type sample = { time : float; flow : Flow.t }
 
 type t = sample array
 
-let record inst (config : Driver.config) ~init ~samples_per_phase =
+let record ?(probe = Probe.null) ?(metrics = Metrics.null) inst
+    (config : Driver.config) ~init ~samples_per_phase =
   if samples_per_phase < 1 then
     invalid_arg "Trajectory.record: samples_per_phase < 1";
   let tau = Driver.phase_length config in
@@ -16,28 +19,45 @@ let record inst (config : Driver.config) ~init ~samples_per_phase =
   in
   let chunk = tau /. float_of_int samples_per_phase in
   let pool = Vec.Pool.create ~dim:(Instance.path_count inst) in
+  let reposts = Metrics.counter metrics "board_reposts" in
+  let rebuilds = Metrics.counter metrics "kernel_rebuilds" in
+  let post_and_compile ~time flow =
+    let board = Bulletin_board.post inst ~time flow in
+    if Probe.enabled probe then Probe.emit probe (Probe.Board_repost { time });
+    Metrics.incr reposts;
+    let kernel = Rate_kernel.build inst config.Driver.policy ~board in
+    if Probe.enabled probe then
+      Probe.emit probe (Probe.Kernel_rebuild { time });
+    Metrics.incr rebuilds;
+    (board, kernel)
+  in
   let samples = ref [] in
   let f = ref (Flow.project inst init) in
   let push time flow = samples := { time; flow = Vec.copy flow } :: !samples in
   push 0. !f;
   for k = 0 to config.Driver.phases - 1 do
     let phase_start = float_of_int k *. tau in
-    let phase_board = Bulletin_board.post inst ~time:phase_start !f in
-    let phase_kernel =
-      lazy (Rate_kernel.build inst config.Driver.policy ~board:phase_board)
+    let phase_post =
+      (* Under stale information the board lives for the whole phase;
+         its kernel must too (re-posting would invalidate it). *)
+      match config.Driver.staleness with
+      | Driver.Stale _ -> Some (post_and_compile ~time:phase_start !f)
+      | Driver.Fresh -> None
     in
     for j = 0 to samples_per_phase - 1 do
       let time = phase_start +. (float_of_int j *. chunk) in
-      let kernel =
-        match config.Driver.staleness with
-        | Driver.Stale _ -> Lazy.force phase_kernel
-        | Driver.Fresh ->
+      let board, kernel =
+        match phase_post with
+        | Some bk -> bk
+        | None ->
             (* Every re-post invalidates the compiled kernel. *)
-            Rate_kernel.build inst config.Driver.policy
-              ~board:(Bulletin_board.post inst ~time !f)
+            post_and_compile ~time !f
       in
+      assert (Rate_kernel.is_current kernel ~board);
+      ignore board;
       let g = Vec.copy !f in
-      Integrator.integrate_phase_into config.Driver.scheme inst ~pool
+      Integrator.integrate_phase_into ~probe ~t0:time config.Driver.scheme
+        inst ~pool
         ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
         ~f:g ~tau:chunk ~steps:steps_per_chunk;
       f := g;

@@ -14,6 +14,8 @@ type t = sample array
 (** Samples in increasing time order, starting at [t = 0]. *)
 
 val record :
+  ?probe:Staleroute_obs.Probe.t ->
+  ?metrics:Staleroute_obs.Metrics.t ->
   Instance.t ->
   Driver.config ->
   init:Flow.t ->
@@ -21,7 +23,12 @@ val record :
   t
 (** Integrate exactly like {!Driver.run} (same staleness semantics,
     scheme and steps per phase) but keep [samples_per_phase >= 1]
-    evenly spaced snapshots inside every phase, plus the final state. *)
+    evenly spaced snapshots inside every phase, plus the final state.
+
+    An enabled [probe] receives [Board_repost] / [Kernel_rebuild] /
+    [Step_batch] events; a live [metrics] registry maintains the
+    [board_reposts] and [kernel_rebuilds] counters.  Both default to
+    disabled. *)
 
 val potential_gap : Instance.t -> ?phi_star:float -> t -> (float * float) array
 (** Series of [(time, Φ(f(t)) - Φ_star)]; [phi_star] defaults to the

@@ -112,7 +112,18 @@ let two_commodity () =
       ]
     ()
 
-let run inst policy staleness ~phases ?(steps_per_phase = 20) ?init () =
+(* Ambient instrumentation: a harness (bench, CLI) can route every
+   [run] call through its own probe/metrics without threading arguments
+   into each experiment module. *)
+let ambient :
+    (Staleroute_obs.Probe.t * Staleroute_obs.Metrics.t) option ref =
+  ref None
+
+let set_instrumentation ~probe ~metrics = ambient := Some (probe, metrics)
+let clear_instrumentation () = ambient := None
+
+let run ?probe ?metrics inst policy staleness ~phases ?(steps_per_phase = 20)
+    ?init () =
   let config =
     {
       Driver.policy;
@@ -125,7 +136,14 @@ let run inst policy staleness ~phases ?(steps_per_phase = 20) ?init () =
   let init =
     match init with Some f -> f | None -> Flow.concentrated inst ~on:(fun _ -> 0)
   in
-  Driver.run inst config ~init
+  let ambient_probe, ambient_metrics =
+    match !ambient with
+    | Some (p, m) -> (p, m)
+    | None -> (Staleroute_obs.Probe.null, Staleroute_obs.Metrics.null)
+  in
+  let probe = Option.value probe ~default:ambient_probe in
+  let metrics = Option.value metrics ~default:ambient_metrics in
+  Driver.run ~probe ~metrics inst config ~init
 
 let worst_start inst =
   let pl = Flow.path_latencies inst (Flow.uniform inst) in

@@ -54,6 +54,8 @@ val two_commodity : unit -> Instance.t
 (** {1 Run helpers} *)
 
 val run :
+  ?probe:Staleroute_obs.Probe.t ->
+  ?metrics:Staleroute_obs.Metrics.t ->
   Instance.t ->
   Policy.t ->
   Driver.staleness ->
@@ -64,7 +66,20 @@ val run :
   Driver.result
 (** Drive the fluid dynamics (RK4).  [init] defaults to the flow
     concentrated on each commodity's first path — deliberately far from
-    equilibrium. *)
+    equilibrium.  [probe] / [metrics] default to the ambient
+    instrumentation (see {!set_instrumentation}), which itself defaults
+    to disabled. *)
+
+val set_instrumentation :
+  probe:Staleroute_obs.Probe.t -> metrics:Staleroute_obs.Metrics.t -> unit
+(** Install ambient instrumentation: until {!clear_instrumentation},
+    every {!run} call that does not pass its own [?probe] / [?metrics]
+    uses these instead.  Lets a harness (the bench runner, a CLI)
+    instrument whole experiment modules without changing their code. *)
+
+val clear_instrumentation : unit -> unit
+(** Remove the ambient instrumentation installed by
+    {!set_instrumentation}. *)
 
 val worst_start : Instance.t -> Flow.t
 (** All demand of each commodity on its path of maximal fresh latency

@@ -1,0 +1,170 @@
+module Stats = Staleroute_util.Stats
+module Table = Staleroute_util.Table
+
+type counter = { mutable c : int; c_live : bool }
+type gauge = { mutable g : float; g_live : bool }
+
+type histogram = {
+  mutable data : float array;
+  mutable len : int;
+  h_live : bool;
+}
+
+type t = {
+  live : bool;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    live = true;
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let null =
+  {
+    live = false;
+    counters = Hashtbl.create 1;
+    gauges = Hashtbl.create 1;
+    histograms = Hashtbl.create 1;
+  }
+
+let enabled t = t.live
+
+(* Shared inert instruments handed out by the null registry: updates
+   check the liveness flag, so these never accumulate anything. *)
+let dead_counter = { c = 0; c_live = false }
+let dead_gauge = { g = 0.; g_live = false }
+let dead_histogram = { data = [||]; len = 0; h_live = false }
+
+let find_or_add tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some x -> x
+  | None ->
+      let x = make () in
+      Hashtbl.add tbl name x;
+      x
+
+let counter t name =
+  if not t.live then dead_counter
+  else find_or_add t.counters name (fun () -> { c = 0; c_live = true })
+
+let incr ?(by = 1) cnt = if cnt.c_live then cnt.c <- cnt.c + by
+let count cnt = cnt.c
+
+let gauge t name =
+  if not t.live then dead_gauge
+  else find_or_add t.gauges name (fun () -> { g = 0.; g_live = true })
+
+let set gg x = if gg.g_live then gg.g <- x
+let value gg = gg.g
+
+let histogram t name =
+  if not t.live then dead_histogram
+  else
+    find_or_add t.histograms name (fun () ->
+        { data = Array.make 16 0.; len = 0; h_live = true })
+
+let observe h x =
+  if h.h_live then begin
+    if h.len = Array.length h.data then begin
+      let grown = Array.make (2 * max 1 (Array.length h.data)) 0. in
+      Array.blit h.data 0 grown 0 h.len;
+      h.data <- grown
+    end;
+    h.data.(h.len) <- x;
+    h.len <- h.len + 1
+  end
+
+let samples h = Array.sub h.data 0 h.len
+let enabled_histogram h = h.h_live
+
+type dist = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type entry = Counter_v of int | Gauge_v of float | Dist_v of dist
+
+type snapshot = (string * entry) list
+
+let dist_of_samples xs =
+  let n = Array.length xs in
+  if n = 0 then
+    { n = 0; mean = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+  else begin
+    let qs = Stats.quantiles xs [| 0.5; 0.9; 0.99 |] in
+    {
+      n;
+      mean = Stats.mean xs;
+      min = Array.fold_left Float.min xs.(0) xs;
+      max = Array.fold_left Float.max xs.(0) xs;
+      p50 = qs.(0);
+      p90 = qs.(1);
+      p99 = qs.(2);
+    }
+  end
+
+let kind_rank = function Counter_v _ -> 0 | Gauge_v _ -> 1 | Dist_v _ -> 2
+
+let snapshot t =
+  let out = ref [] in
+  Hashtbl.iter (fun name cnt -> out := (name, Counter_v cnt.c) :: !out) t.counters;
+  Hashtbl.iter (fun name gg -> out := (name, Gauge_v gg.g) :: !out) t.gauges;
+  Hashtbl.iter
+    (fun name h -> out := (name, Dist_v (dist_of_samples (samples h))) :: !out)
+    t.histograms;
+  List.sort
+    (fun (a, ea) (b, eb) ->
+      match compare (a : string) b with
+      | 0 -> compare (kind_rank ea) (kind_rank eb)
+      | c -> c)
+    !out
+
+let diff ~before ~after =
+  List.map
+    (fun (name, entry) ->
+      match entry with
+      | Counter_v n ->
+          let prior =
+            List.fold_left
+              (fun acc (bn, be) ->
+                match be with
+                | Counter_v m when bn = name -> acc + m
+                | _ -> acc)
+              0 before
+          in
+          (name, Counter_v (n - prior))
+      | (Gauge_v _ | Dist_v _) as e -> (name, e))
+    after
+
+let cell = Printf.sprintf "%.6g"
+
+let to_table ?(title = "metrics") snap =
+  let table = Table.create ~title ~columns:[ "metric"; "kind"; "value" ] in
+  List.iter
+    (fun (name, entry) ->
+      let kind, value =
+        match entry with
+        | Counter_v n -> ("counter", string_of_int n)
+        | Gauge_v x -> ("gauge", cell x)
+        | Dist_v d ->
+            ( "dist",
+              if d.n = 0 then "n=0"
+              else
+                Printf.sprintf "n=%d mean=%s min=%s p50=%s p90=%s p99=%s max=%s"
+                  d.n (cell d.mean) (cell d.min) (cell d.p50) (cell d.p90)
+                  (cell d.p99) (cell d.max) )
+      in
+      Table.add_row table [ name; kind; value ])
+    snap;
+  table

@@ -1,0 +1,86 @@
+(** A registry of named run metrics: counters, gauges and value
+    distributions.
+
+    Instruments are resolved by name {e once} (at run setup) and then
+    updated through their handle, so the per-update cost is a mutation
+    plus a liveness branch — no hashing, no allocation.  The {!null}
+    registry hands out inert instruments whose updates are no-ops,
+    mirroring {!Probe.null}.
+
+    {!snapshot} freezes the registry into an immutable, name-sorted
+    view that can be diffed against an earlier snapshot, rendered as a
+    table, or exported (see {!Trace_export}). *)
+
+type t
+(** A metrics registry ([null] or live). *)
+
+type counter
+(** Monotonic integer count (events, rebuilds, evaluations...). *)
+
+type gauge
+(** Last-written float value (final potential, acceptance rate...). *)
+
+type histogram
+(** All observed float samples, summarised at snapshot time. *)
+
+val create : unit -> t
+val null : t
+(** The disabled registry: instruments it returns ignore updates. *)
+
+val enabled : t -> bool
+
+(** {1 Instruments} *)
+
+val counter : t -> string -> counter
+(** Register (or retrieve) the named counter. *)
+
+val incr : ?by:int -> counter -> unit
+val count : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val value : gauge -> float
+(** Last value set; [0.] before the first {!set}. *)
+
+val histogram : t -> string -> histogram
+val observe : histogram -> float -> unit
+val samples : histogram -> float array
+(** Copy of the observations so far, in observation order. *)
+
+val enabled_histogram : histogram -> bool
+(** Whether observations on this handle are recorded ([false] exactly
+    for instruments handed out by {!null}) — guard expensive
+    measurements (clock reads, GC stats) behind this. *)
+
+(** {1 Snapshots} *)
+
+type dist = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** Summary of a histogram; all stats are [0.] when [n = 0]. *)
+
+type entry =
+  | Counter_v of int
+  | Gauge_v of float
+  | Dist_v of dist
+
+type snapshot = (string * entry) list
+(** Sorted by name (then by kind for the unusual case of a name shared
+    across kinds) — iteration order, and hence every export, is
+    deterministic. *)
+
+val snapshot : t -> snapshot
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Counters subtract ([after - before], missing-in-before counts as 0);
+    gauges and distributions are taken from [after].  Entries only in
+    [before] are dropped. *)
+
+val to_table : ?title:string -> snapshot -> Staleroute_util.Table.t
+(** Three columns: metric, kind, value (distributions render their
+    summary inline). *)

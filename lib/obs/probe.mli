@@ -1,0 +1,91 @@
+(** Structured probes: a zero-cost-when-disabled event stream out of the
+    dynamics stack.
+
+    A probe either is {!null} (disabled — emitting is a no-op) or wraps
+    a {!sink} callback.  Instrumented code guards event {e construction}
+    behind {!enabled}, so a disabled probe costs one immediate-value
+    branch and allocates nothing:
+
+    {[
+      if Probe.enabled probe then
+        Probe.emit probe (Probe.Board_repost { time })
+    ]}
+
+    Events are stamped with {e simulated} time (the driver's monotonic
+    clock), never wall-clock time, so event streams are reproducible
+    from seeds and byte-stable across runs. *)
+
+type event =
+  | Phase_start of { index : int; time : float; potential : float }
+      (** a bulletin-board phase begins; [potential] is [Φ] at its
+          starting flow. *)
+  | Phase_end of {
+      index : int;
+      time : float;  (** end of the phase (start + phase length) *)
+      potential : float;  (** [Φ] at the phase-end flow *)
+      virtual_gain : float;  (** [V(f̂, f_end)] over the phase (Eq. 8) *)
+      delta_phi : float;  (** true potential change over the phase *)
+    }
+  | Board_repost of { time : float }
+      (** a fresh snapshot was posted to the bulletin board. *)
+  | Kernel_rebuild of { time : float }
+      (** a {!Rate_kernel} was compiled against the latest board. *)
+  | Step_batch of {
+      time : float;  (** sim time at the start of the batch *)
+      scheme : string;  (** integrator scheme name *)
+      steps : int;
+      tau : float;  (** total simulated time the batch advances *)
+    }  (** one [integrate_phase_into] call (a batch of ODE steps). *)
+  | Round of { index : int; potential : float }
+      (** one synchronous round of the discrete dynamics. *)
+  | Agent_wake of {
+      time : float;
+      agent : int;
+      from_path : int;
+      to_path : int;  (** equals [from_path] when the agent stayed *)
+      migrated : bool;
+    }  (** one Poisson activation in the finite-population simulator. *)
+  | Note of { time : float; name : string; value : float }
+      (** free-form scalar observation for custom instrumentation. *)
+
+type sink = event -> unit
+
+type t
+(** A probe: [null] or an active sink. *)
+
+val null : t
+(** The disabled probe; {!emit} on it is a no-op. *)
+
+val make : sink -> t
+(** An enabled probe forwarding every event to the sink. *)
+
+val enabled : t -> bool
+(** Guard event construction behind this to keep disabled call sites
+    allocation-free. *)
+
+val emit : t -> event -> unit
+(** Forward to the sink ([null]: do nothing).  Safe to call without the
+    {!enabled} guard — the guard only avoids allocating the event. *)
+
+val tee : t -> t -> t
+(** Forward every event to both probes; collapses to the enabled one
+    (or {!null}) when either side is disabled. *)
+
+(** In-memory collecting sink, the building block for end-of-run export
+    and reports. *)
+module Memory : sig
+  type buffer
+
+  val create : unit -> buffer
+  val probe : buffer -> t
+  (** An enabled probe appending every event to the buffer. *)
+
+  val events : buffer -> event array
+  (** Collected events in emission order. *)
+
+  val length : buffer -> int
+  val clear : buffer -> unit
+
+  val count : buffer -> (event -> bool) -> int
+  (** Number of collected events satisfying the predicate. *)
+end

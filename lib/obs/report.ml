@@ -1,0 +1,134 @@
+module Table = Staleroute_util.Table
+module Stats = Staleroute_util.Stats
+module Ascii_plot = Staleroute_util.Ascii_plot
+
+type t = { events : Probe.event array; snapshot : Metrics.snapshot option }
+
+let of_events ?snapshot events = { events; snapshot }
+
+let count t pred = Array.fold_left (fun n e -> if pred e then n + 1 else n) 0 t.events
+
+let phases t = count t (function Probe.Phase_start _ -> true | _ -> false)
+let rounds t = count t (function Probe.Round _ -> true | _ -> false)
+
+let board_reposts t =
+  count t (function Probe.Board_repost _ -> true | _ -> false)
+
+let kernel_rebuilds t =
+  count t (function Probe.Kernel_rebuild _ -> true | _ -> false)
+
+let step_batches t = count t (function Probe.Step_batch _ -> true | _ -> false)
+let agent_wakes t = count t (function Probe.Agent_wake _ -> true | _ -> false)
+
+let migrations t =
+  count t (function Probe.Agent_wake { migrated; _ } -> migrated | _ -> false)
+
+let potential_series t =
+  let starts = ref [] in
+  let last_end = ref None in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Probe.Phase_start { time; potential; _ } ->
+          starts := (time, potential) :: !starts
+      | Probe.Phase_end { time; potential; _ } ->
+          last_end := Some (time, potential)
+      | _ -> ())
+    t.events;
+  match (!starts, !last_end) with
+  | [], None ->
+      (* Discrete-dynamics traces carry Round events instead. *)
+      let out = ref [] in
+      Array.iter
+        (fun ev ->
+          match ev with
+          | Probe.Round { index; potential } ->
+              out := (float_of_int index, potential) :: !out
+          | _ -> ())
+        t.events;
+      Array.of_list (List.rev !out)
+  | starts, last_end ->
+      let tail = match last_end with None -> [] | Some p -> [ p ] in
+      Array.of_list (List.rev_append starts tail)
+
+let delta_phi_series t =
+  let out = ref [] in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Probe.Phase_end { delta_phi; _ } -> out := delta_phi :: !out
+      | _ -> ())
+    t.events;
+  Array.of_list (List.rev !out)
+
+let virtual_gain_series t =
+  let out = ref [] in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Probe.Phase_end { virtual_gain; _ } -> out := virtual_gain :: !out
+      | _ -> ())
+    t.events;
+  Array.of_list (List.rev !out)
+
+let dist_row table name xs =
+  if Array.length xs > 0 then begin
+    let s = Stats.summarize xs in
+    Table.add_row table
+      [
+        name;
+        Printf.sprintf "mean=%.4g min=%.4g max=%.4g" s.Stats.mean s.Stats.min
+          s.Stats.max;
+      ]
+  end
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let summary =
+    Table.create ~title:"run summary" ~columns:[ "quantity"; "value" ]
+  in
+  let add name n = if n > 0 then Table.add_row summary [ name; string_of_int n ] in
+  add "phases" (phases t);
+  add "rounds" (rounds t);
+  add "board reposts" (board_reposts t);
+  add "kernel rebuilds" (kernel_rebuilds t);
+  add "integrator step batches" (step_batches t);
+  add "agent wake-ups" (agent_wakes t);
+  add "agent migrations" (migrations t);
+  let series = potential_series t in
+  if Array.length series > 0 then begin
+    let phis = Array.map snd series in
+    Table.add_row summary
+      [ "potential start"; Printf.sprintf "%.6g" phis.(0) ];
+    Table.add_row summary
+      [
+        "potential final";
+        Printf.sprintf "%.6g" phis.(Array.length phis - 1);
+      ]
+  end;
+  dist_row summary "per-phase delta phi" (delta_phi_series t);
+  dist_row summary "per-phase virtual gain" (virtual_gain_series t);
+  Buffer.add_string buf (Table.to_string summary);
+  Buffer.add_char buf '\n';
+  (match t.snapshot with
+  | None -> ()
+  | Some snap ->
+      Buffer.add_string buf (Table.to_string (Metrics.to_table snap));
+      Buffer.add_char buf '\n');
+  if Array.length series >= 2 then begin
+    let phi_min = Array.fold_left (fun m (_, y) -> Float.min m y) infinity series in
+    let gap = Array.map (fun (x, y) -> (x, y -. phi_min)) series in
+    Buffer.add_string buf
+      (Ascii_plot.render ~height:12
+         ~title:"potential gap phi(t) - min phi (phase starts)"
+         [
+           {
+             Ascii_plot.label = "phi gap";
+             points = Array.to_list gap;
+           };
+         ]);
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

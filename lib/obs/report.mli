@@ -1,0 +1,45 @@
+(** End-of-run human summary over a captured event stream.
+
+    Built from the events a {!Probe.Memory} buffer collected (plus an
+    optional metrics snapshot), a report answers the questions the
+    paper's measurements ask — how did [Φ] move phase by phase, how
+    often was information re-posted, how much work did the run do —
+    and renders them as ASCII tables plus a potential-gap sparkline. *)
+
+type t
+
+val of_events : ?snapshot:Metrics.snapshot -> Probe.event array -> t
+
+(** {1 Derived counts} *)
+
+val phases : t -> int
+(** Number of [Phase_start] events. *)
+
+val rounds : t -> int
+val board_reposts : t -> int
+val kernel_rebuilds : t -> int
+val step_batches : t -> int
+val agent_wakes : t -> int
+val migrations : t -> int
+(** [Agent_wake] events with [migrated = true]. *)
+
+(** {1 Derived series} *)
+
+val potential_series : t -> (float * float) array
+(** [(time, Φ)] at every phase start plus the final phase end — exactly
+    the sampling grid of {!Staleroute_dynamics.Trajectory.record} with
+    one sample per phase.  Falls back to [Round] events (round index as
+    time) for discrete-dynamics traces. *)
+
+val delta_phi_series : t -> float array
+(** Per-phase [ΔΦ] in phase order (from [Phase_end] events). *)
+
+val virtual_gain_series : t -> float array
+
+val to_string : t -> string
+(** The rendered report: a run-summary table, a per-phase [ΔΦ]
+    distribution, the metrics snapshot table when one was supplied, and
+    an ASCII sparkline of the potential gap [Φ(t) − min Φ]. *)
+
+val print : t -> unit
+(** [to_string] to stdout. *)

@@ -1,0 +1,172 @@
+module Table = Staleroute_util.Table
+
+let event_to_json = function
+  | Probe.Phase_start { index; time; potential } ->
+      Json.Obj
+        [
+          ("ev", Json.String "phase_start");
+          ("index", Json.Int index);
+          ("time", Json.Float time);
+          ("phi", Json.Float potential);
+        ]
+  | Probe.Phase_end { index; time; potential; virtual_gain; delta_phi } ->
+      Json.Obj
+        [
+          ("ev", Json.String "phase_end");
+          ("index", Json.Int index);
+          ("time", Json.Float time);
+          ("phi", Json.Float potential);
+          ("vgain", Json.Float virtual_gain);
+          ("dphi", Json.Float delta_phi);
+        ]
+  | Probe.Board_repost { time } ->
+      Json.Obj [ ("ev", Json.String "board_repost"); ("time", Json.Float time) ]
+  | Probe.Kernel_rebuild { time } ->
+      Json.Obj
+        [ ("ev", Json.String "kernel_rebuild"); ("time", Json.Float time) ]
+  | Probe.Step_batch { time; scheme; steps; tau } ->
+      Json.Obj
+        [
+          ("ev", Json.String "step_batch");
+          ("time", Json.Float time);
+          ("scheme", Json.String scheme);
+          ("steps", Json.Int steps);
+          ("tau", Json.Float tau);
+        ]
+  | Probe.Round { index; potential } ->
+      Json.Obj
+        [
+          ("ev", Json.String "round");
+          ("index", Json.Int index);
+          ("phi", Json.Float potential);
+        ]
+  | Probe.Agent_wake { time; agent; from_path; to_path; migrated } ->
+      Json.Obj
+        [
+          ("ev", Json.String "agent_wake");
+          ("time", Json.Float time);
+          ("agent", Json.Int agent);
+          ("from", Json.Int from_path);
+          ("to", Json.Int to_path);
+          ("migrated", Json.Bool migrated);
+        ]
+  | Probe.Note { time; name; value } ->
+      Json.Obj
+        [
+          ("ev", Json.String "note");
+          ("time", Json.Float time);
+          ("name", Json.String name);
+          ("value", Json.Float value);
+        ]
+
+let field name conv json =
+  match Option.bind (Json.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let ( let* ) = Result.bind
+
+let event_of_json json =
+  let* kind = field "ev" Json.to_str json in
+  match kind with
+  | "phase_start" ->
+      let* index = field "index" Json.to_int json in
+      let* time = field "time" Json.to_float json in
+      let* potential = field "phi" Json.to_float json in
+      Ok (Probe.Phase_start { index; time; potential })
+  | "phase_end" ->
+      let* index = field "index" Json.to_int json in
+      let* time = field "time" Json.to_float json in
+      let* potential = field "phi" Json.to_float json in
+      let* virtual_gain = field "vgain" Json.to_float json in
+      let* delta_phi = field "dphi" Json.to_float json in
+      Ok (Probe.Phase_end { index; time; potential; virtual_gain; delta_phi })
+  | "board_repost" ->
+      let* time = field "time" Json.to_float json in
+      Ok (Probe.Board_repost { time })
+  | "kernel_rebuild" ->
+      let* time = field "time" Json.to_float json in
+      Ok (Probe.Kernel_rebuild { time })
+  | "step_batch" ->
+      let* time = field "time" Json.to_float json in
+      let* scheme = field "scheme" Json.to_str json in
+      let* steps = field "steps" Json.to_int json in
+      let* tau = field "tau" Json.to_float json in
+      Ok (Probe.Step_batch { time; scheme; steps; tau })
+  | "round" ->
+      let* index = field "index" Json.to_int json in
+      let* potential = field "phi" Json.to_float json in
+      Ok (Probe.Round { index; potential })
+  | "agent_wake" ->
+      let* time = field "time" Json.to_float json in
+      let* agent = field "agent" Json.to_int json in
+      let* from_path = field "from" Json.to_int json in
+      let* to_path = field "to" Json.to_int json in
+      let* migrated = field "migrated" Json.to_bool json in
+      Ok (Probe.Agent_wake { time; agent; from_path; to_path; migrated })
+  | "note" ->
+      let* time = field "time" Json.to_float json in
+      let* name = field "name" Json.to_str json in
+      let* value = field "value" Json.to_float json in
+      Ok (Probe.Note { time; name; value })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let events_to_string events =
+  let buf = Buffer.create (64 * Array.length events) in
+  Array.iter
+    (fun ev ->
+      Buffer.add_string buf (Json.to_string (event_to_json ev));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let events_of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else begin
+          match Json.of_string line with
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+          | Ok json -> (
+              match event_of_json json with
+              | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+              | Ok ev -> go (lineno + 1) (ev :: acc) rest)
+        end
+  in
+  go 1 [] lines
+
+let write_events oc events = output_string oc (events_to_string events)
+
+let jsonl_sink oc ev =
+  output_string oc (Json.to_string (event_to_json ev));
+  output_char oc '\n';
+  flush oc
+
+let dist_to_json (d : Metrics.dist) =
+  Json.Obj
+    [
+      ("n", Json.Int d.Metrics.n);
+      ("mean", Json.Float d.Metrics.mean);
+      ("min", Json.Float d.Metrics.min);
+      ("p50", Json.Float d.Metrics.p50);
+      ("p90", Json.Float d.Metrics.p90);
+      ("p99", Json.Float d.Metrics.p99);
+      ("max", Json.Float d.Metrics.max);
+    ]
+
+let snapshot_to_json snap =
+  Json.Obj
+    (List.map
+       (fun (name, entry) ->
+         ( name,
+           match entry with
+           | Metrics.Counter_v n -> Json.Int n
+           | Metrics.Gauge_v x -> Json.Float x
+           | Metrics.Dist_v d -> dist_to_json d ))
+       snap)
+
+let snapshot_to_string snap = Json.to_string (snapshot_to_json snap)
+
+let snapshot_csv snap = Table.to_csv (Metrics.to_table snap)

@@ -2,6 +2,8 @@ open Staleroute_wardrop
 open Staleroute_dynamics
 module Rng = Staleroute_util.Rng
 module Heap = Staleroute_util.Heap
+module Probe = Staleroute_obs.Probe
+module Metrics = Staleroute_obs.Metrics
 
 type info_mode = Synchronized | Polled
 
@@ -49,6 +51,8 @@ type state = {
   mutable board_phase : int;   (* index of the posted phase *)
   mutable activations : int;
   mutable migrations : int;
+  probe : Probe.t;
+  reposts : Metrics.counter;
 }
 
 let empirical_flow st =
@@ -68,11 +72,12 @@ let refresh_board_if_due st ~time =
          Bulletin_board.post st.inst
            ~time:(float_of_int (phase - 1) *. st.config.update_period)
            (empirical_flow st));
-    st.board <-
-      Bulletin_board.post st.inst
-        ~time:(float_of_int phase *. st.config.update_period)
-        (empirical_flow st);
-    st.board_phase <- phase
+    let post_time = float_of_int phase *. st.config.update_period in
+    st.board <- Bulletin_board.post st.inst ~time:post_time (empirical_flow st);
+    st.board_phase <- phase;
+    if Probe.enabled st.probe then
+      Probe.emit st.probe (Probe.Board_repost { time = post_time });
+    Metrics.incr st.reposts
   end
 
 (* The board this particular wake-up reads: the latest posting, or -
@@ -97,19 +102,26 @@ let activate st rng ~time agent =
   in
   let local = Rng.choose_weighted rng dist in
   let q = (Instance.paths_of_commodity st.inst ci).(local) in
-  if q <> p then begin
-    let mu =
-      Migration.prob st.config.policy.Policy.migration
-        ~ell_p:board.Bulletin_board.path_latencies.(p)
-        ~ell_q:board.Bulletin_board.path_latencies.(q)
-    in
-    if mu > 0. && Rng.uniform rng < mu then begin
-      st.counts.(p) <- st.counts.(p) - 1;
-      st.counts.(q) <- st.counts.(q) + 1;
-      st.agent_path.(agent) <- q;
-      st.migrations <- st.migrations + 1
-    end
-  end
+  let migrated =
+    q <> p
+    && begin
+         let mu =
+           Migration.prob st.config.policy.Policy.migration
+             ~ell_p:board.Bulletin_board.path_latencies.(p)
+             ~ell_q:board.Bulletin_board.path_latencies.(q)
+         in
+         mu > 0. && Rng.uniform rng < mu
+       end
+  in
+  if migrated then begin
+    st.counts.(p) <- st.counts.(p) - 1;
+    st.counts.(q) <- st.counts.(q) + 1;
+    st.agent_path.(agent) <- q;
+    st.migrations <- st.migrations + 1
+  end;
+  if Probe.enabled st.probe then
+    Probe.emit st.probe
+      (Probe.Agent_wake { time; agent; from_path = p; to_path = q; migrated })
 
 let initial_paths inst init n_of_commodity =
   (* Apportion each commodity's agents over its paths to match [init]. *)
@@ -131,7 +143,7 @@ let initial_paths inst init n_of_commodity =
   done;
   Array.of_list !agent_path
 
-let run inst config ~rng ~init =
+let run ?(probe = Probe.null) ?(metrics = Metrics.null) inst config ~rng ~init =
   if config.agents < 1 then invalid_arg "Simulator.run: agents < 1";
   if config.update_period <= 0. then
     invalid_arg "Simulator.run: update_period <= 0";
@@ -171,6 +183,8 @@ let run inst config ~rng ~init =
       board_phase = 0;
       activations = 0;
       migrations = 0;
+      probe;
+      reposts = Metrics.counter metrics "board_reposts";
     }
   in
   let queue = Heap.create () in
@@ -202,6 +216,14 @@ let run inst config ~rng ~init =
     snapshots := { time = !next_record; flow = empirical_flow st } :: !snapshots;
     next_record := !next_record +. config.record_every
   done;
+  if Metrics.enabled metrics then begin
+    Metrics.incr ~by:st.activations (Metrics.counter metrics "activations");
+    Metrics.incr ~by:st.migrations (Metrics.counter metrics "migrations");
+    Metrics.set
+      (Metrics.gauge metrics "migration_acceptance")
+      (if st.activations = 0 then 0.
+       else float_of_int st.migrations /. float_of_int st.activations)
+  end;
   {
     snapshots = Array.of_list (List.rev !snapshots);
     final_flow = empirical_flow st;

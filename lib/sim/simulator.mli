@@ -46,8 +46,22 @@ type result = {
 }
 
 val run :
-  Instance.t -> config -> rng:Staleroute_util.Rng.t -> init:Flow.t -> result
+  ?probe:Staleroute_obs.Probe.t ->
+  ?metrics:Staleroute_obs.Metrics.t ->
+  Instance.t ->
+  config ->
+  rng:Staleroute_util.Rng.t ->
+  init:Flow.t ->
+  result
 (** Simulate from an initial fluid flow: agents are apportioned to
     commodities by demand and to paths by largest remainder of [init].
     Raises [Invalid_argument] on a non-positive configuration field or
-    an infeasible [init]. *)
+    an infeasible [init].
+
+    An enabled [probe] receives one [Agent_wake] event per activation
+    (the sampled target path and whether the migration was accepted)
+    and a [Board_repost] event per board refresh; a live [metrics]
+    registry gets the [activations] / [migrations] / [board_reposts]
+    counters and the [migration_acceptance] gauge.  Probe event counts
+    therefore reconcile exactly with [result.activations] and
+    [result.migrations].  Both default to disabled. *)

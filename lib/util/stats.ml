@@ -28,19 +28,66 @@ let variance xs =
 
 let std xs = sqrt (variance xs)
 
-let quantile xs q =
-  let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.quantile: empty sample";
-  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
+let quantile_sorted sorted q =
+  let n = Array.length sorted in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in
   let hi = int_of_float (Float.ceil pos) in
   let frac = pos -. float_of_int lo in
   ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
 
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty sample";
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  quantile_sorted sorted q
+
+let quantiles xs qs =
+  if Array.length xs = 0 then invalid_arg "Stats.quantiles: empty sample";
+  Array.iter
+    (fun q ->
+      if q < 0. || q > 1. then invalid_arg "Stats.quantiles: q outside [0,1]")
+    qs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  Array.map (quantile_sorted sorted) qs
+
 let median xs = quantile xs 0.5
+
+type bin = { lo : float; hi : float; count : int }
+
+let histogram ?(bins = 10) xs =
+  if bins < 1 then invalid_arg "Stats.histogram: bins < 1";
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let min = Array.fold_left Float.min xs.(0) xs in
+    let max = Array.fold_left Float.max xs.(0) xs in
+    if min = max then
+      (* Degenerate range (includes the single-sample case): one bin
+         holding everything. *)
+      [| { lo = min; hi = max; count = n } |]
+    else begin
+      let width = (max -. min) /. float_of_int bins in
+      let counts = Array.make bins 0 in
+      Array.iter
+        (fun x ->
+          let b =
+            Stdlib.min (bins - 1) (int_of_float ((x -. min) /. width))
+          in
+          counts.(b) <- counts.(b) + 1)
+        xs;
+      Array.mapi
+        (fun b count ->
+          {
+            lo = min +. (float_of_int b *. width);
+            hi = (if b = bins - 1 then max else min +. (float_of_int (b + 1) *. width));
+            count;
+          })
+        counts
+    end
+  end
 
 let summarize xs =
   let n = Array.length xs in

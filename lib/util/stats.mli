@@ -23,7 +23,23 @@ val quantile : float array -> float -> float
     order statistics.  Raises [Invalid_argument] on empty input or [q]
     outside [\[0,1\]]. *)
 
+val quantiles : float array -> float array -> float array
+(** [quantiles xs qs]: every requested quantile with a single sort of
+    the sample (same interpolation as {!quantile}).  Raises
+    [Invalid_argument] on empty input or any [q] outside [\[0,1\]]. *)
+
 val median : float array -> float
+
+type bin = { lo : float; hi : float; count : int }
+(** Half-open bin [\[lo, hi)]; the last bin is closed at the sample
+    maximum. *)
+
+val histogram : ?bins:int -> float array -> bin array
+(** Equal-width histogram over [\[min xs, max xs\]] with [bins] (default
+    10) bins.  Counts sum to the sample size.  The empty sample yields
+    [[||]]; a degenerate range (all samples equal, including the
+    single-sample case) yields one bin containing everything.  Raises
+    [Invalid_argument] when [bins < 1]. *)
 
 val summarize : float array -> summary
 (** Full summary; raises [Invalid_argument] on empty input. *)

@@ -67,6 +67,70 @@ let test_confidence95 () =
   let ci = Stats.confidence95 xs in
   check_true "ci positive for varying sample" (ci > 0.09 && ci < 0.11)
 
+let test_quantiles_match_quantile () =
+  let xs = [| 9.; 2.; 7.; 4.; 0.; 5. |] in
+  let qs = [| 0.; 0.25; 0.5; 0.9; 1. |] in
+  let batch = Stats.quantiles xs qs in
+  Array.iteri
+    (fun i q ->
+      check_close
+        (Printf.sprintf "quantiles.(%d) = quantile q=%g" i q)
+        (Stats.quantile xs q) batch.(i))
+    qs
+
+let test_quantiles_rejects () =
+  check_raises_invalid "quantiles of empty" (fun () ->
+      Stats.quantiles [||] [| 0.5 |]);
+  check_raises_invalid "quantiles q out of range" (fun () ->
+      Stats.quantiles [| 1. |] [| 0.5; 1.5 |])
+
+let test_histogram_empty () =
+  check_int "empty sample has no bins" 0
+    (Array.length (Stats.histogram [||]))
+
+let test_histogram_single () =
+  match Stats.histogram [| 3.5 |] with
+  | [| b |] ->
+      check_close "lo" 3.5 b.Stats.lo;
+      check_close "hi" 3.5 b.Stats.hi;
+      check_int "count" 1 b.Stats.count
+  | bins -> Alcotest.failf "expected 1 bin, got %d" (Array.length bins)
+
+let test_histogram_constant () =
+  (* Degenerate range: everything collapses into one bin regardless of
+     the requested bin count. *)
+  match Stats.histogram ~bins:7 [| 2.; 2.; 2.; 2. |] with
+  | [| b |] -> check_int "all samples in the one bin" 4 b.Stats.count
+  | bins -> Alcotest.failf "expected 1 bin, got %d" (Array.length bins)
+
+let test_histogram_counts_and_edges () =
+  let bins = Stats.histogram ~bins:4 [| 0.; 1.; 2.; 3.; 4. |] in
+  check_int "bin count" 4 (Array.length bins);
+  check_close "first lo" 0. bins.(0).Stats.lo;
+  check_close "last hi" 4. bins.(3).Stats.hi;
+  (* The maximum lands in the last (closed) bin. *)
+  check_int "last bin holds 3 and 4" 2 bins.(3).Stats.count;
+  check_int "counts sum to n" 5
+    (Array.fold_left (fun acc b -> acc + b.Stats.count) 0 bins)
+
+let test_histogram_rejects () =
+  check_raises_invalid "bins < 1" (fun () ->
+      Stats.histogram ~bins:0 [| 1.; 2. |])
+
+let prop_histogram_preserves_count =
+  qcheck "qcheck: histogram counts sum to the sample size"
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 0 60) (float_range (-50.) 50.))
+        (int_range 1 12))
+    (fun (xs, bins) ->
+      let total =
+        Array.fold_left
+          (fun acc b -> acc + b.Stats.count)
+          0 (Stats.histogram ~bins xs)
+      in
+      total = Array.length xs)
+
 let prop_quantile_monotone =
   qcheck "qcheck: quantile is monotone in q"
     QCheck2.Gen.(
@@ -102,6 +166,14 @@ let suite =
     case "summarize" test_summarize;
     case "summarize empty" test_summarize_empty;
     case "confidence95" test_confidence95;
+    case "quantiles match quantile" test_quantiles_match_quantile;
+    case "quantiles rejects" test_quantiles_rejects;
+    case "histogram empty" test_histogram_empty;
+    case "histogram single sample" test_histogram_single;
+    case "histogram constant sample" test_histogram_constant;
+    case "histogram counts and edges" test_histogram_counts_and_edges;
+    case "histogram rejects" test_histogram_rejects;
+    prop_histogram_preserves_count;
     prop_quantile_monotone;
     prop_mean_between_min_max;
   ]
