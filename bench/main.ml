@@ -2,7 +2,7 @@
 
    Usage:
      main.exe              run every experiment (full size) and print tables
-     main.exe e1 .. e9     run a single experiment
+     main.exe e1 .. e16    run a single experiment
      main.exe micro        run the Bechamel microbenchmarks (also writes
                            the BENCH_rates.json perf trajectory)
      main.exe bench-smoke  tiny-quota kernel-vs-reference comparison only;
@@ -12,13 +12,24 @@
                            counts and the allocation-free disabled path;
                            writes BENCH_trace.json (also `dune build
                            @trace-smoke`)
+     main.exe parallel-smoke
+                           determinism checks for the domain pool (pooled
+                           output and traces must be byte-identical to
+                           sequential) plus pooled-vs-sequential timings;
+                           writes BENCH_parallel.json (also `dune build
+                           @parallel-smoke`); add "full" to also time the
+                           full E1-E16 suite at -j 1 vs -j N
      main.exe all          experiments + microbenchmarks
-   Add "quick" anywhere to use the reduced parameter sets;
-   "metrics" instruments every experiment and prints its metric
-   snapshot; "json=FILE" redirects the perf trajectory. *)
+   Options: "quick" uses the reduced parameter sets; "-j N" runs
+   experiments across N domains (default
+   Domain.recommended_domain_count; output stays byte-identical to
+   -j 1); "metrics" instruments every experiment and prints its metric
+   snapshot; "csv=DIR" exports tables; "json=FILE" redirects the perf
+   trajectory. *)
 
 open Staleroute_experiments
 module Table = Staleroute_util.Table
+module Pool = Staleroute_util.Pool
 module Probe = Staleroute_obs.Probe
 module Metrics = Staleroute_obs.Metrics
 module Trace_export = Staleroute_obs.Trace_export
@@ -52,10 +63,15 @@ let slug_of_title title =
   let s = Buffer.contents buf in
   if String.length s > 60 then String.sub s 0 60 else s
 
-let print_tables tables =
+(* Experiments render into per-experiment buffers (not straight to
+   stdout) so a pooled run can emit them in canonical order — stdout is
+   byte-identical at any -j.  CSV files are still written from inside
+   the task: paths are distinct per table, contents deterministic. *)
+let buffer_tables out tables =
   List.iter
     (fun table ->
-      Table.print table;
+      Buffer.add_string out (Table.to_string table);
+      Buffer.add_char out '\n';
       match !csv_dir with
       | None -> ()
       | Some dir ->
@@ -66,48 +82,154 @@ let print_tables tables =
           output_string oc (Table.to_csv table);
           output_char oc '\n';
           close_out oc;
-          Printf.printf "(csv written to %s)\n%!" path)
+          Buffer.add_string out (Printf.sprintf "(csv written to %s)\n" path))
     tables
 
-let print_figures figures = List.iter print_endline figures
+let buffer_figures out figures =
+  List.iter
+    (fun fig ->
+      Buffer.add_string out fig;
+      Buffer.add_char out '\n')
+    figures
 
+(* Sweep experiments accept the pool and fan their grid points out; the
+   rest run sequentially inside their task. *)
 let experiments =
   [
     ( "e1",
-      fun ~quick ->
-        print_tables (E1_oscillation.tables ~quick ());
-        print_figures (E1_oscillation.figures ~quick ()) );
-    ("e2", fun ~quick -> print_tables (E2_fresh_convergence.tables ~quick ()));
-    ("e3", fun ~quick -> print_tables (E3_stale_convergence.tables ~quick ()));
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E1_oscillation.tables ~quick ());
+        buffer_figures out (E1_oscillation.figures ~quick ()) );
+    ( "e2",
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E2_fresh_convergence.tables ~quick ()) );
+    ( "e3",
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E3_stale_convergence.tables ~quick ()) );
     ( "e4",
-      fun ~quick -> print_tables (E4_potential_inequality.tables ~quick ()) );
-    ("e5", fun ~quick -> print_tables (E5_uniform_scaling.tables ~quick ()));
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E4_potential_inequality.tables ~quick ()) );
+    ( "e5",
+      fun ~quick ~pool ~out ->
+        buffer_tables out (E5_uniform_scaling.tables ?pool ~quick ()) );
     ( "e6",
-      fun ~quick -> print_tables (E6_proportional_scaling.tables ~quick ()) );
-    ("e7", fun ~quick -> print_tables (E7_delta_eps_scaling.tables ~quick ()));
-    ("e8", fun ~quick -> print_tables (E8_finite_population.tables ~quick ()));
-    ("e9", fun ~quick -> print_tables (E9_ablation.tables ~quick ()));
-    ("e10", fun ~quick -> print_tables (E10_elastic_policy.tables ~quick ()));
-    ("e11", fun ~quick -> print_tables (E11_stale_vs_random.tables ~quick ()));
-    ("e12", fun ~quick -> print_tables (E12_multicommodity.tables ~quick ()));
+      fun ~quick ~pool ~out ->
+        buffer_tables out (E6_proportional_scaling.tables ?pool ~quick ()) );
+    ( "e7",
+      fun ~quick ~pool ~out ->
+        buffer_tables out (E7_delta_eps_scaling.tables ?pool ~quick ()) );
+    ( "e8",
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E8_finite_population.tables ~quick ()) );
+    ( "e9",
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E9_ablation.tables ~quick ()) );
+    ( "e10",
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E10_elastic_policy.tables ~quick ()) );
+    ( "e11",
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E11_stale_vs_random.tables ~quick ()) );
+    ( "e12",
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E12_multicommodity.tables ~quick ()) );
     ( "e13",
-      fun ~quick -> print_tables (E13_convergence_rate.tables ~quick ()) );
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E13_convergence_rate.tables ~quick ()) );
     ( "e14",
-      fun ~quick -> print_tables (E14_synchronous_rounds.tables ~quick ()) );
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E14_synchronous_rounds.tables ~quick ()) );
     ( "e15",
-      fun ~quick -> print_tables (E15_polled_information.tables ~quick ()) );
+      fun ~quick ~pool:_ ~out ->
+        buffer_tables out (E15_polled_information.tables ~quick ()) );
     ( "e16",
-      fun ~quick ->
-        print_tables (E16_phase_diagram.tables ~quick ());
-        print_figures (E16_phase_diagram.figures ~quick ()) );
+      fun ~quick ~pool ~out ->
+        buffer_tables out (E16_phase_diagram.tables ?pool ~quick ());
+        buffer_figures out (E16_phase_diagram.figures ?pool ~quick ()) );
   ]
+
+let with_metrics = ref false
+
+(* The one wall-clock-derived metric ("kernel_build_ns") is dropped
+   from the bench snapshot: everything the bench prints is then a pure
+   function of simulated state, so metrics-mode output is byte-stable
+   across runs and across -j. *)
+let deterministic_snapshot snapshot =
+  List.filter
+    (fun (name, _) ->
+      not
+        (String.length name >= 3
+        && String.sub name (String.length name - 3) 3 = "_ns"))
+    snapshot
+
+(* Render one experiment to a string.  Runs entirely inside the calling
+   domain; ambient instrumentation is domain-local, so concurrent
+   experiments on other domains keep their own registries. *)
+let run_experiment ~quick ~pool name =
+  match List.assoc_opt name experiments with
+  | Some f ->
+      let out = Buffer.create 4096 in
+      Buffer.add_string out
+        (Printf.sprintf "\n### Experiment %s ###\n"
+           (String.uppercase_ascii name));
+      if !with_metrics then begin
+        (* Ambient instrumentation: every Common.run inside the
+           experiment reports into this registry. *)
+        let metrics = Metrics.create () in
+        Common.set_instrumentation ~probe:Probe.null ~metrics;
+        Fun.protect
+          ~finally:(fun () -> Common.clear_instrumentation ())
+          (fun () -> f ~quick ~pool ~out);
+        buffer_tables out
+          [
+            Metrics.to_table ~title:(name ^ " metrics")
+              (deterministic_snapshot (Metrics.snapshot metrics));
+          ]
+      end
+      else f ~quick ~pool ~out;
+      Buffer.contents out
+  | None ->
+      Printf.eprintf "unknown experiment %S\n" name;
+      exit 2
+
+(* Run a list of experiments at parallelism [jobs] and print their
+   outputs in list order.  A single experiment gets the pool itself
+   (its sweep fans out); several experiments fan out across the pool,
+   each sequential inside its task — the pool rejects nesting, and this
+   split keeps every domain busy in both shapes. *)
+let run_experiments ~quick ~jobs names =
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name experiments) then begin
+        Printf.eprintf "unknown experiment %S\n" name;
+        exit 2
+      end)
+    names;
+  match names with
+  | [ name ] when jobs > 1 ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          print_string (run_experiment ~quick ~pool name));
+      flush stdout
+  | _ when jobs > 1 ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          Pool.parallel_map ~pool
+            (fun name -> run_experiment ~quick ~pool:None name)
+            (Array.of_list names))
+      |> Array.iter print_string;
+      flush stdout
+  | _ ->
+      List.iter
+        (fun name ->
+          print_string (run_experiment ~quick ~pool:None name);
+          flush stdout)
+        names
 
 (* --- Bechamel microbenchmarks of the hot paths --- *)
 
 (* A multi-commodity load-balancing workload for the rate benchmarks:
-   two commodities splitting the unit demand over [m] parallel links
-   each, i.e. [2 m] paths in the global index. *)
-let multicommodity_parallel m =
+   [commodities] commodities splitting the unit demand over [m] parallel
+   links each, i.e. [commodities * m] paths in the global index. *)
+let multicommodity_parallel ?(commodities = 2) m =
   let open Staleroute_wardrop in
   let st = Staleroute_graph.Gen.parallel_links m in
   let latencies =
@@ -118,12 +240,10 @@ let multicommodity_parallel m =
   in
   Instance.create ~graph:st.Staleroute_graph.Gen.graph ~latencies
     ~commodities:
-      [
-        Commodity.make ~src:st.Staleroute_graph.Gen.src
-          ~dst:st.Staleroute_graph.Gen.dst ~demand:0.5;
-        Commodity.make ~src:st.Staleroute_graph.Gen.src
-          ~dst:st.Staleroute_graph.Gen.dst ~demand:0.5;
-      ]
+      (List.init commodities (fun _ ->
+           Commodity.make ~src:st.Staleroute_graph.Gen.src
+             ~dst:st.Staleroute_graph.Gen.dst
+             ~demand:(1. /. float_of_int commodities)))
     ()
 
 let ols_estimate results name =
@@ -447,8 +567,197 @@ let trace_smoke ~json_path () =
   Printf.printf "(trace smoke written to %s)\n%!" json_path;
   if not pass then exit 1
 
+(* --- Parallel smoke: pool determinism ground truth + timings --- *)
+
+let wall_time f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+(* Determinism checks for the domain-pool plumbing, each comparing a
+   pooled run byte-for-byte against its sequential twin, plus the two
+   headline timings (pooled vs sequential E16-quick; sharded vs whole
+   kernel build).  With [full], additionally times the full E1-E16
+   suite at -j 1 vs -j [jobs].  Writes BENCH_parallel.json; exits
+   non-zero on any determinism failure. *)
+let parallel_smoke ~jobs ~full ~json_path () =
+  let open Staleroute_wardrop in
+  let open Staleroute_dynamics in
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "  %-56s %s\n%!" name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  let width = max 2 jobs in
+  (* 1. Sharded kernel build is bit-identical to the whole build. *)
+  let kinst = multicommodity_parallel ~commodities:8 24 in
+  let kpolicy = Policy.replicator kinst in
+  let kboard = Bulletin_board.post kinst ~time:0. (Flow.uniform kinst) in
+  let whole = Rate_kernel.build kinst kpolicy ~board:kboard in
+  let sharded =
+    Pool.with_pool ~domains:width (fun pool ->
+        Rate_kernel.build ?pool kinst kpolicy ~board:kboard)
+  in
+  let n = Instance.path_count kinst in
+  let rates_equal = ref true in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if
+        not
+          (Float.equal
+             (Rate_kernel.rate whole ~from_:p q)
+             (Rate_kernel.rate sharded ~from_:p q))
+      then rates_equal := false
+    done
+  done;
+  let f = Flow.random kinst (Staleroute_util.Rng.create ~seed:7 ()) in
+  let d_whole = Rate_kernel.flow_derivative whole f in
+  let d_sharded = Rate_kernel.flow_derivative sharded f in
+  check
+    (Printf.sprintf "sharded build = whole build (%d commodities)"
+       (Instance.commodity_count kinst))
+    (!rates_equal && d_whole = d_sharded);
+  (* 2. E16-quick: pooled output is byte-identical to sequential, and
+     the wall-time comparison is the committed headline number. *)
+  let render_e16 pool =
+    let out = Buffer.create 4096 in
+    buffer_tables out (E16_phase_diagram.tables ?pool ~quick:true ());
+    buffer_figures out (E16_phase_diagram.figures ?pool ~quick:true ());
+    Buffer.contents out
+  in
+  let e16_seq, e16_seq_s = wall_time (fun () -> render_e16 None) in
+  let e16_pooled, e16_pooled_s =
+    wall_time (fun () ->
+        Pool.with_pool ~domains:width (fun pool -> render_e16 pool))
+  in
+  check
+    (Printf.sprintf "e16-quick output byte-identical at -j %d" width)
+    (String.equal e16_seq e16_pooled);
+  (* 3. The multi-experiment fan-out (with metrics, exercising the
+     domain-local ambient registries) is byte-identical to -j 1. *)
+  let metric_pair pool_width =
+    with_metrics := true;
+    Fun.protect
+      ~finally:(fun () -> with_metrics := false)
+      (fun () ->
+        let names = [| "e1"; "e16" |] in
+        if pool_width <= 1 then
+          Array.to_list
+            (Array.map
+               (fun nm -> run_experiment ~quick:true ~pool:None nm)
+               names)
+        else
+          Pool.with_pool ~domains:pool_width (fun pool ->
+              Array.to_list
+                (Pool.parallel_map ~pool
+                   (fun nm -> run_experiment ~quick:true ~pool:None nm)
+                   names)))
+  in
+  check
+    (Printf.sprintf "e1+e16 metrics snapshots byte-identical at -j %d" width)
+    (metric_pair 1 = metric_pair width);
+  (* 4. Traced driver runs fanned across the pool produce the same
+     JSONL bytes as the sequential loop. *)
+  let trace_configs =
+    [| (4., 6); (2., 9); (8., 5); (3., 7) |]
+    (* (beta, phases) per run *)
+  in
+  let trace_one (beta, phases) =
+    let inst = Common.two_link ~beta in
+    let config =
+      {
+        Driver.policy = Policy.uniform_linear inst;
+        staleness = Driver.Stale 0.1;
+        phases;
+        steps_per_phase = 6;
+        scheme = Integrator.Rk4;
+      }
+    in
+    let buf = Probe.Memory.create () in
+    ignore
+      (Driver.run ~probe:(Probe.Memory.probe buf) inst config
+         ~init:(Common.biased_start inst));
+    Trace_export.events_to_string (Probe.Memory.events buf)
+  in
+  let seq_traces = Array.map trace_one trace_configs in
+  let pooled_traces =
+    Pool.with_pool ~domains:width (fun pool ->
+        Pool.parallel_map ~pool trace_one trace_configs)
+  in
+  check
+    (Printf.sprintf "trace JSONL byte-identical at -j 1 vs -j %d" width)
+    (seq_traces = pooled_traces);
+  (* 5. Sharded vs whole kernel build time. *)
+  let build_reps = 400 in
+  let (), whole_build_s =
+    wall_time (fun () ->
+        for _ = 1 to build_reps do
+          ignore (Rate_kernel.build kinst kpolicy ~board:kboard)
+        done)
+  in
+  let (), sharded_build_s =
+    Pool.with_pool ~domains:width (fun pool ->
+        wall_time (fun () ->
+            for _ = 1 to build_reps do
+              ignore (Rate_kernel.build ?pool kinst kpolicy ~board:kboard)
+            done))
+  in
+  let per_build s = s /. float_of_int build_reps *. 1e9 in
+  (* 6. Optionally: the full E1-E16 suite, -j 1 vs -j [jobs]. *)
+  let suite_timing =
+    if not full then None
+    else begin
+      let names = List.map fst experiments in
+      let render pool =
+        List.iter (fun nm -> ignore (run_experiment ~quick:false ~pool nm))
+      in
+      Printf.printf "  timing full suite at -j 1 ...\n%!";
+      let (), seq_s = wall_time (fun () -> render None names) in
+      Printf.printf "  timing full suite at -j %d ...\n%!" width;
+      let (), par_s =
+        wall_time (fun () ->
+            Pool.with_pool ~domains:width (fun pool ->
+                ignore
+                  (Pool.parallel_map ~pool
+                     (fun nm -> run_experiment ~quick:false ~pool:None nm)
+                     (Array.of_list names))))
+      in
+      Some (seq_s, par_s)
+    end
+  in
+  let pass = !failures = 0 in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"parallel_smoke\",\n\
+    \  \"cores_available\": %d,\n\
+    \  \"pool_width\": %d,\n\
+    \  \"e16_quick_wall_s\": { \"sequential\": %.4f, \"pooled\": %.4f, \
+     \"speedup\": %.2f },\n\
+    \  \"kernel_build_ns\": { \"whole\": %.0f, \"sharded\": %.0f, \
+     \"commodities\": %d, \"paths\": %d },\n"
+    (Domain.recommended_domain_count ())
+    width e16_seq_s e16_pooled_s
+    (e16_seq_s /. e16_pooled_s)
+    (per_build whole_build_s)
+    (per_build sharded_build_s)
+    (Instance.commodity_count kinst)
+    n;
+  (match suite_timing with
+  | Some (seq_s, par_s) ->
+      Printf.fprintf oc
+        "  \"full_suite_wall_s\": { \"j1\": %.2f, \"j%d\": %.2f, \
+         \"speedup\": %.2f },\n"
+        seq_s width par_s (seq_s /. par_s)
+  | None -> ());
+  Printf.fprintf oc
+    "  \"output_byte_identical\": %b,\n  \"pass\": %b\n}\n"
+    (!failures = 0) pass;
+  close_out oc;
+  Printf.printf "(parallel smoke written to %s)\n%!" json_path;
+  if not pass then exit 1
+
 let json_path = ref "BENCH_rates.json"
-let with_metrics = ref false
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -456,6 +765,24 @@ let () =
   let args = List.filter (fun a -> a <> "quick") args in
   if List.mem "metrics" args then with_metrics := true;
   let args = List.filter (fun a -> a <> "metrics") args in
+  (* "-j N": experiments fan out across N domains.  Output is
+     byte-identical at any N; the default follows the hardware. *)
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let rec strip_jobs = function
+    | "-j" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := j
+        | _ ->
+            Printf.eprintf "-j expects a positive integer, got %S\n" n;
+            exit 2);
+        strip_jobs rest
+    | "-j" :: [] ->
+        Printf.eprintf "-j expects a positive integer\n";
+        exit 2
+    | a :: rest -> a :: strip_jobs rest
+    | [] -> []
+  in
+  let args = strip_jobs args in
   let args =
     List.filter
       (fun a ->
@@ -471,29 +798,9 @@ let () =
         | _ -> true)
       args
   in
-  let run_experiment name =
-    match List.assoc_opt name experiments with
-    | Some f ->
-        Printf.printf "\n### Experiment %s ###\n%!" (String.uppercase_ascii name);
-        if !with_metrics then begin
-          (* Ambient instrumentation: every Common.run inside the
-             experiment reports into this registry. *)
-          let metrics = Metrics.create () in
-          Common.set_instrumentation ~probe:Probe.null ~metrics;
-          Fun.protect
-            ~finally:(fun () -> Common.clear_instrumentation ())
-            (fun () -> f ~quick);
-          print_tables
-            [ Metrics.to_table ~title:(name ^ " metrics")
-                (Metrics.snapshot metrics) ]
-        end
-        else f ~quick
-    | None ->
-        Printf.eprintf "unknown experiment %S\n" name;
-        exit 2
-  in
+  let all_names = List.map fst experiments in
   match args with
-  | [] -> List.iter (fun (name, _) -> run_experiment name) experiments
+  | [] -> run_experiments ~quick ~jobs:!jobs all_names
   | [ "micro" ] ->
       micro ();
       bench_rates ~quota_s:(if quick then 0.05 else 0.5)
@@ -507,9 +814,16 @@ let () =
           (if !json_path = "BENCH_rates.json" then "BENCH_trace.json"
            else !json_path)
         ()
+  | "parallel-smoke" :: rest
+    when rest = [] || rest = [ "full" ] ->
+      parallel_smoke ~jobs:!jobs ~full:(rest = [ "full" ])
+        ~json_path:
+          (if !json_path = "BENCH_rates.json" then "BENCH_parallel.json"
+           else !json_path)
+        ()
   | [ "all" ] ->
-      List.iter (fun (name, _) -> run_experiment name) experiments;
+      run_experiments ~quick ~jobs:!jobs all_names;
       micro ();
       bench_rates ~quota_s:(if quick then 0.05 else 0.5)
         ~json_path:!json_path ()
-  | names -> List.iter run_experiment names
+  | names -> run_experiments ~quick ~jobs:!jobs names

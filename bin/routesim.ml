@@ -6,6 +6,8 @@ open Staleroute_wardrop
 open Staleroute_dynamics
 open Staleroute_experiments
 module Table = Staleroute_util.Table
+module Pool = Staleroute_util.Pool
+module Rng = Staleroute_util.Rng
 module Probe = Staleroute_obs.Probe
 module Metrics = Staleroute_obs.Metrics
 module Trace_export = Staleroute_obs.Trace_export
@@ -34,14 +36,25 @@ let policy_doc =
   "Policy: uniform-linear, replicator, logit:C, better-response, frv, \
    best-response."
 
-let parse_init inst = function
-  | "uniform" -> Ok (Flow.uniform inst)
-  | "worst" -> Ok (Common.worst_start inst)
-  | "biased" -> Ok (Common.biased_start inst)
+(* The init spec is validated once; the flow is materialised per run so
+   "random" can draw from the run's own pre-split seed. *)
+let parse_init = function
+  | "uniform" -> Ok `Uniform
+  | "worst" -> Ok `Worst
+  | "biased" -> Ok `Biased
+  | "random" -> Ok `Random
   | s -> Error (Printf.sprintf "unknown initial flow %S" s)
 
+let init_flow inst ~seed = function
+  | `Uniform -> Flow.uniform inst
+  | `Worst -> Common.worst_start inst
+  | `Biased -> Common.biased_start inst
+  | `Random -> Flow.random inst (Rng.create ~seed ())
+
 (* Observability plumbing shared by both run modes: a memory buffer
-   backs --trace/--summary, a live registry backs --metrics/--summary. *)
+   backs --trace/--summary, a live registry backs --metrics/--summary.
+   Each run owns its buffer and registry, so concurrent runs never
+   share a sink. *)
 type obs = {
   trace_file : string option;
   show_metrics : bool;
@@ -64,27 +77,31 @@ let make_obs ~trace_file ~show_metrics ~show_summary =
   in
   { trace_file; show_metrics; show_summary; buffer; probe; registry }
 
-let finish_obs obs =
+let finish_obs ~out obs =
   (match (obs.buffer, obs.trace_file) with
   | Some b, Some file ->
       let oc = open_out file in
       Trace_export.write_events oc (Probe.Memory.events b);
       close_out oc;
-      Printf.printf "trace written    : %s (%d events)\n" file
+      Printf.bprintf out "trace written    : %s (%d events)\n" file
         (Probe.Memory.length b)
   | _ -> ());
-  if obs.show_metrics then
-    Table.print (Metrics.to_table (Metrics.snapshot obs.registry));
+  if obs.show_metrics then begin
+    Buffer.add_string out
+      (Table.to_string (Metrics.to_table (Metrics.snapshot obs.registry)));
+    Buffer.add_char out '\n'
+  end;
   match obs.buffer with
   | Some b when obs.show_summary ->
-      Report.print
-        (Report.of_events
-           ~snapshot:(Metrics.snapshot obs.registry)
-           (Probe.Memory.events b))
+      Buffer.add_string out
+        (Report.to_string
+           (Report.of_events
+              ~snapshot:(Metrics.snapshot obs.registry)
+              (Probe.Memory.events b)))
   | _ -> ()
 
 let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
-    ~obs =
+    ~obs ~out =
   let policy = policy_of inst in
   let staleness, t_label =
     match period with
@@ -107,43 +124,35 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
   in
   let snapshots = Common.phase_start_flows result in
   let eq = Frank_wolfe.equilibrium inst in
-  Printf.printf "policy           : %s\n" (Policy.name policy);
-  Printf.printf "update period    : %s\n" t_label;
+  Printf.bprintf out "policy           : %s\n" (Policy.name policy);
+  Printf.bprintf out "update period    : %s\n" t_label;
   (match Policy.safe_update_period inst policy with
-  | Some t_star -> Printf.printf "safe period T*   : %.6g\n" t_star
-  | None -> Printf.printf "safe period T*   : none (policy not smooth)\n");
-  Printf.printf "phases           : %d\n" phases;
-  Printf.printf "potential  start : %.6g\n"
+  | Some t_star -> Printf.bprintf out "safe period T*   : %.6g\n" t_star
+  | None -> Printf.bprintf out "safe period T*   : none (policy not smooth)\n");
+  Printf.bprintf out "phases           : %d\n" phases;
+  Printf.bprintf out "potential  start : %.6g\n"
     result.Driver.records.(0).Driver.start_potential;
-  Printf.printf "potential  final : %.6g\n" result.Driver.final_potential;
-  Printf.printf "potential  PHI*  : %.6g\n" eq.Frank_wolfe.objective;
-  Printf.printf "wardrop gap      : %.6g\n"
+  Printf.bprintf out "potential  final : %.6g\n" result.Driver.final_potential;
+  Printf.bprintf out "potential  PHI*  : %.6g\n" eq.Frank_wolfe.objective;
+  Printf.bprintf out "wardrop gap      : %.6g\n"
     (Equilibrium.wardrop_gap inst result.Driver.final_flow);
-  Printf.printf "bad rounds       : %d (delta=%g, eps=%g)\n"
+  Printf.bprintf out "bad rounds       : %d (delta=%g, eps=%g)\n"
     (Convergence.bad_rounds inst Convergence.Strict ~delta ~eps snapshots)
     delta eps;
-  Printf.printf "oscillating      : %b\n"
+  Printf.bprintf out "oscillating      : %b\n"
     (Convergence.is_oscillating snapshots);
   if csv then begin
-    print_endline "phase,time,potential,virtual_gain,delta_phi";
+    Buffer.add_string out "phase,time,potential,virtual_gain,delta_phi\n";
     Array.iter
       (fun r ->
-        Printf.printf "%d,%.6g,%.8g,%.8g,%.8g\n" r.Driver.index
+        Printf.bprintf out "%d,%.6g,%.8g,%.8g,%.8g\n" r.Driver.index
           r.Driver.start_time r.Driver.start_potential r.Driver.virtual_gain
           r.Driver.delta_phi)
       result.Driver.records
   end;
-  finish_obs obs
+  finish_obs ~out obs
 
-let run_best_response inst ~period ~phases ~delta ~eps ~csv ~obs =
-  let t =
-    match period with
-    | `Fixed t -> t
-    | `Auto -> 1.
-    | `Fresh ->
-        prerr_endline "best-response requires a positive update period";
-        exit 2
-  in
+let run_best_response inst ~t ~phases ~delta ~eps ~csv ~obs ~out =
   let init = Common.biased_start inst in
   let orbit = Best_response.run inst ~update_period:t ~phases ~init in
   (* The exact orbit bypasses Driver; synthesise the equivalent phase
@@ -169,50 +178,105 @@ let run_best_response inst ~period ~phases ~delta ~eps ~csv ~obs =
            })
     done;
   let last = orbit.Best_response.phase_starts.(phases) in
-  Printf.printf "policy           : best-response (exact per-phase orbit)\n";
-  Printf.printf "update period    : %.6g\n" t;
-  Printf.printf "phases           : %d\n" phases;
-  Printf.printf "potential  start : %.6g\n" orbit.Best_response.potentials.(0);
-  Printf.printf "potential  final : %.6g\n"
+  Printf.bprintf out "policy           : best-response (exact per-phase orbit)\n";
+  Printf.bprintf out "update period    : %.6g\n" t;
+  Printf.bprintf out "phases           : %d\n" phases;
+  Printf.bprintf out "potential  start : %.6g\n"
+    orbit.Best_response.potentials.(0);
+  Printf.bprintf out "potential  final : %.6g\n"
     orbit.Best_response.potentials.(phases);
-  Printf.printf "wardrop gap      : %.6g\n" (Equilibrium.wardrop_gap inst last);
-  Printf.printf "bad rounds       : %d (delta=%g, eps=%g)\n"
+  Printf.bprintf out "wardrop gap      : %.6g\n"
+    (Equilibrium.wardrop_gap inst last);
+  Printf.bprintf out "bad rounds       : %d (delta=%g, eps=%g)\n"
     (Convergence.bad_rounds inst Convergence.Strict ~delta ~eps
        orbit.Best_response.phase_starts)
     delta eps;
-  Printf.printf "oscillating      : %b\n"
+  Printf.bprintf out "oscillating      : %b\n"
     (Convergence.is_oscillating orbit.Best_response.phase_starts);
   if csv then begin
-    print_endline "phase,time,potential";
+    Buffer.add_string out "phase,time,potential\n";
     Array.iteri
-      (fun k phi -> Printf.printf "%d,%.6g,%.8g\n" k (float_of_int k *. t) phi)
+      (fun k phi ->
+        Printf.bprintf out "%d,%.6g,%.8g\n" k (float_of_int k *. t) phi)
       orbit.Best_response.potentials
   end;
-  finish_obs obs
+  finish_obs ~out obs
 
 let main topology policy period phases steps init delta eps csv trace_file
-    show_metrics show_summary =
+    show_metrics show_summary runs jobs seed =
+  if runs < 1 then begin
+    prerr_endline "--runs expects a positive integer";
+    exit 2
+  end;
+  if jobs < 1 then begin
+    prerr_endline "-j expects a positive integer";
+    exit 2
+  end;
   match Topologies.parse topology with
   | Error e ->
       prerr_endline e;
       exit 2
   | Ok inst -> (
-      Format.printf "instance         : %a@." Instance.pp inst;
-      let obs = make_obs ~trace_file ~show_metrics ~show_summary in
-      match parse_policy policy with
-      | Error e ->
+      match (parse_policy policy, parse_init init) with
+      | Error e, _ | _, Error e ->
           prerr_endline e;
           exit 2
-      | Ok (Smooth policy_of) -> (
-          match parse_init inst init with
-          | Error e ->
-              prerr_endline e;
-              exit 2
-          | Ok init ->
-              run_smooth inst policy_of ~period ~phases ~steps ~init ~delta
-                ~eps ~csv ~obs)
-      | Ok Best_response_exact ->
-          run_best_response inst ~period ~phases ~delta ~eps ~csv ~obs)
+      | Ok policy, Ok init_spec ->
+          let t_best_response =
+            (* Validate before fanning out: nothing may exit inside a
+               pool task. *)
+            match (policy, period) with
+            | Best_response_exact, `Fixed t -> Some t
+            | Best_response_exact, `Auto -> Some 1.
+            | Best_response_exact, `Fresh ->
+                prerr_endline
+                  "best-response requires a positive update period";
+                exit 2
+            | Smooth _, _ -> None
+          in
+          Format.printf "instance         : %a@." Instance.pp inst;
+          (* Per-run trace sinks: a single live --trace file cannot be
+             shared by concurrent runs, so with --runs N each run
+             buffers its events and writes FILE.runK. *)
+          let per_run_trace k =
+            match trace_file with
+            | None -> None
+            | Some f when runs = 1 -> Some f
+            | Some f -> Some (Printf.sprintf "%s.run%d" f k)
+          in
+          if jobs > 1 && trace_file <> None then
+            prerr_endline
+              "routesim: warning: --trace with -j > 1: runs record into \
+               per-run buffers and write one file per run (FILE.runK).";
+          (* Seeds are split before any task is submitted, so the flow
+             each run draws is independent of pool width. *)
+          let seeds = Rng.split_seeds (Rng.create ~seed ()) runs in
+          let run_one k =
+            let out = Buffer.create 1024 in
+            if runs > 1 then
+              Printf.bprintf out "\n--- run %d/%d (seed %d) ---\n" (k + 1)
+                runs seeds.(k);
+            let obs =
+              make_obs ~trace_file:(per_run_trace k) ~show_metrics
+                ~show_summary
+            in
+            (match (policy, t_best_response) with
+            | Smooth policy_of, _ ->
+                run_smooth inst policy_of ~period ~phases ~steps
+                  ~init:(init_flow inst ~seed:seeds.(k) init_spec)
+                  ~delta ~eps ~csv ~obs ~out
+            | Best_response_exact, Some t ->
+                run_best_response inst ~t ~phases ~delta ~eps ~csv ~obs ~out
+            | Best_response_exact, None -> assert false);
+            Buffer.contents out
+          in
+          let outputs =
+            if jobs > 1 && runs > 1 then
+              Pool.with_pool ~domains:(min jobs runs) (fun pool ->
+                  Pool.parallel_map ~pool run_one (Array.init runs Fun.id))
+            else Array.init runs run_one
+          in
+          Array.iter print_string outputs)
 
 let period_conv =
   let parse = function
@@ -262,7 +326,9 @@ let cmd =
   in
   let init =
     Arg.(value & opt string "biased" & info [ "init" ] ~docv:"INIT"
-         ~doc:"Initial flow: uniform, worst or biased.")
+         ~doc:
+           "Initial flow: uniform, worst, biased or random (random draws \
+            per run from --seed).")
   in
   let delta =
     Arg.(value & opt float 0.1 & info [ "delta" ] ~docv:"D"
@@ -285,7 +351,7 @@ let cmd =
             "Record structured probe events (phase starts/ends, board \
              re-posts, kernel rebuilds, step batches) and write them as \
              JSONL to $(docv).  Same-seed runs produce byte-identical \
-             files.")
+             files.  With --runs N each run writes $(docv).runK.")
   in
   let show_metrics =
     Arg.(value & flag & info [ "metrics" ]
@@ -301,10 +367,29 @@ let cmd =
             potential-change distribution and an ASCII sparkline of the \
             potential gap.")
   in
+  let runs =
+    Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N"
+         ~doc:
+           "Repeat the simulation $(docv) times (reports printed in run \
+            order).  Per-run seeds are split from --seed up front, so \
+            results are independent of -j.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"J"
+         ~doc:
+           "Run up to $(docv) runs concurrently (domains).  Output is \
+            byte-identical to -j 1, except the wall-clock timing \
+            distributions under --metrics.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
+         ~doc:"Base RNG seed for --init random (split across --runs).")
+  in
   let term =
     Term.(
       const main $ topology $ policy $ period $ phases $ steps $ init $ delta
-      $ eps $ csv $ trace_file $ show_metrics $ show_summary)
+      $ eps $ csv $ trace_file $ show_metrics $ show_summary $ runs $ jobs
+      $ seed)
   in
   Cmd.v
     (Cmd.info "routesim" ~version:"1.0.0"

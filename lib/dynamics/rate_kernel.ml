@@ -11,7 +11,7 @@ type t = {
   revision : int;  (* board revision the kernel was compiled at *)
 }
 
-let build inst policy ~board =
+let build ?pool inst policy ~board =
   let n = Instance.path_count inst in
   let nc = Instance.commodity_count inst in
   let mat_off = Array.make (nc + 1) 0 in
@@ -26,9 +26,12 @@ let build inst policy ~board =
   let sampling = policy.Policy.sampling in
   let migration = policy.Policy.migration in
   let origin_indep = Sampling.origin_independent sampling in
-  let sigma = Array.make (max 1 (Instance.max_paths_in_commodity inst)) 0. in
   let paths_of = Array.init nc (Instance.paths_of_commodity inst) in
-  for ci = 0 to nc - 1 do
+  (* One commodity's sigma·mu block: writes only mat rows inside the
+     commodity's [mat_off] slice and row_sum entries of its own paths,
+     so distinct commodities touch disjoint indices and can compile
+     concurrently.  [sigma] is per-call scratch. *)
+  let compile_commodity ~sigma ci =
     let ps = paths_of.(ci) in
     let m = Array.length ps in
     let off = mat_off.(ci) in
@@ -55,7 +58,18 @@ let build inst policy ~board =
       done;
       row_sum.(p) <- !sum
     done
-  done;
+  in
+  let scratch_dim = max 1 (Instance.max_paths_in_commodity inst) in
+  (match pool with
+  | None ->
+      let sigma = Array.make scratch_dim 0. in
+      for ci = 0 to nc - 1 do
+        compile_commodity ~sigma ci
+      done
+  | Some _ ->
+      Staleroute_util.Pool.parallel_iter ~pool
+        (fun ci -> compile_commodity ~sigma:(Array.make scratch_dim 0.) ci)
+        (Array.init nc Fun.id));
   {
     inst;
     n;

@@ -22,10 +22,22 @@ open Staleroute_wardrop
 
 type t
 
-val build : Instance.t -> Policy.t -> board:Bulletin_board.t -> t
+val build :
+  ?pool:Staleroute_util.Pool.t ->
+  Instance.t ->
+  Policy.t ->
+  board:Bulletin_board.t ->
+  t
 (** Compile the policy against a posted board.  Cost is one σ/µ
     evaluation per ordered path pair — the same work a single reference
-    {!Rates.flow_derivative} call performs every integrator sub-step. *)
+    {!Rates.flow_derivative} call performs every integrator sub-step.
+
+    With [?pool], multi-commodity instances compile their per-commodity
+    σ·µ blocks in parallel (the blocks occupy disjoint slices of the
+    kernel, so the sharded build is bit-identical to the sequential
+    one).  Do not pass a pool from inside a pool task — builds on the
+    driver paths run within experiment tasks and must stay sequential
+    there (the default). *)
 
 val dim : t -> int
 (** Size of the global path index the kernel was built over. *)

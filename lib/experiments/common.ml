@@ -114,13 +114,18 @@ let two_commodity () =
 
 (* Ambient instrumentation: a harness (bench, CLI) can route every
    [run] call through its own probe/metrics without threading arguments
-   into each experiment module. *)
+   into each experiment module.  Domain-local, not global: when a pool
+   fans experiments out across domains, each task installs its own
+   registry without stomping its siblings'. *)
 let ambient :
-    (Staleroute_obs.Probe.t * Staleroute_obs.Metrics.t) option ref =
-  ref None
+    (Staleroute_obs.Probe.t * Staleroute_obs.Metrics.t) option Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> None)
 
-let set_instrumentation ~probe ~metrics = ambient := Some (probe, metrics)
-let clear_instrumentation () = ambient := None
+let set_instrumentation ~probe ~metrics =
+  Domain.DLS.set ambient (Some (probe, metrics))
+
+let clear_instrumentation () = Domain.DLS.set ambient None
 
 let run ?probe ?metrics inst policy staleness ~phases ?(steps_per_phase = 20)
     ?init () =
@@ -137,7 +142,7 @@ let run ?probe ?metrics inst policy staleness ~phases ?(steps_per_phase = 20)
     match init with Some f -> f | None -> Flow.concentrated inst ~on:(fun _ -> 0)
   in
   let ambient_probe, ambient_metrics =
-    match !ambient with
+    match Domain.DLS.get ambient with
     | Some (p, m) -> (p, m)
     | None -> (Staleroute_obs.Probe.null, Staleroute_obs.Metrics.null)
   in

@@ -75,7 +75,9 @@ val set_instrumentation :
 (** Install ambient instrumentation: until {!clear_instrumentation},
     every {!run} call that does not pass its own [?probe] / [?metrics]
     uses these instead.  Lets a harness (the bench runner, a CLI)
-    instrument whole experiment modules without changing their code. *)
+    instrument whole experiment modules without changing their code.
+    The binding is domain-local ([Domain.DLS]): a pool task installing
+    its own registry does not affect tasks running on other domains. *)
 
 val clear_instrumentation : unit -> unit
 (** Remove the ambient instrumentation installed by

@@ -1,6 +1,7 @@
 open Staleroute_wardrop
 open Staleroute_dynamics
 module Table = Staleroute_util.Table
+module Pool = Staleroute_util.Pool
 
 (* Grid axes: multiples of the critical values.  alpha0 * t0 sits
    exactly on the hyperbola alpha T = 1/(4 D beta). *)
@@ -27,8 +28,9 @@ let classify inst ~alpha ~t ~phases =
   then Converged
   else Drifting
 
-let grid ~quick inst =
+let grid ?pool ~quick inst =
   let ms = multiples ~quick in
+  let n = Array.length ms in
   let d = float_of_int (Instance.max_path_length inst) in
   let beta = Instance.beta inst in
   let critical = 1. /. (4. *. d *. beta) in
@@ -36,21 +38,23 @@ let grid ~quick inst =
      critical product. *)
   let alpha0 = 1. /. Instance.ell_max inst in
   let t0 = critical /. alpha0 in
-  let cells =
-    Array.map
-      (fun ka ->
-        Array.map
-          (fun kt ->
-            let phases = if quick then 120 else 400 in
-            classify inst ~alpha:(ka *. alpha0) ~t:(kt *. t0) ~phases)
-          ms)
-      ms
+  let phases = if quick then 120 else 400 in
+  (* Every grid point is an independent run: fan the flattened (i, j)
+     cells out and refold them row-major, so the diagram is identical
+     at any pool width. *)
+  let flat =
+    Pool.parallel_map ~pool
+      (fun idx ->
+        let ka = ms.(idx / n) and kt = ms.(idx mod n) in
+        classify inst ~alpha:(ka *. alpha0) ~t:(kt *. t0) ~phases)
+      (Array.init (n * n) Fun.id)
   in
+  let cells = Array.init n (fun i -> Array.sub flat (i * n) n) in
   (ms, alpha0, t0, cells)
 
-let tables ?(quick = false) () =
+let tables ?pool ?(quick = false) () =
   let inst = Common.two_link ~beta:4. in
-  let ms, alpha0, t0, cells = grid ~quick inst in
+  let ms, alpha0, t0, cells = grid ?pool ~quick inst in
   let table =
     Table.create
       ~title:
@@ -77,9 +81,9 @@ let tables ?(quick = false) () =
     ms;
   [ table ]
 
-let figures ?(quick = false) () =
+let figures ?pool ?(quick = false) () =
   let inst = Common.two_link ~beta:4. in
-  let ms, _, _, cells = grid ~quick inst in
+  let ms, _, _, cells = grid ?pool ~quick inst in
   let n = Array.length ms in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

@@ -12,7 +12,15 @@
     (the guarantee), the empirical boundary is a parallel hyperbola a
     constant factor above it (the condition's slack, cf. E9b). *)
 
-val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list
+val tables :
+  ?pool:Staleroute_util.Pool.t ->
+  ?quick:bool ->
+  unit ->
+  Staleroute_util.Table.t list
+(** [?pool] fans the (T, α) grid points out as independent runs;
+    cells refold row-major, so the diagram is identical at any pool
+    width. *)
 
-val figures : ?quick:bool -> unit -> string list
+val figures :
+  ?pool:Staleroute_util.Pool.t -> ?quick:bool -> unit -> string list
 (** The ASCII phase diagram. *)

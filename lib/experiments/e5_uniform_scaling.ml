@@ -1,5 +1,6 @@
 open Staleroute_dynamics
 module Table = Staleroute_util.Table
+module Pool = Staleroute_util.Pool
 
 let delta = 0.3
 let eps = 0.1
@@ -29,9 +30,9 @@ let run_width ~phases ~policy_of ~kind m =
   let settled = Convergence.all_good_after inst kind ~delta ~eps snapshots in
   (t, bad, settled)
 
-let tables ?(quick = false) () =
+let tables ?pool ?(quick = false) () =
   let phases = if quick then 400 else 3000 in
-  let widths = if quick then [ 2; 8 ] else [ 2; 4; 8; 16; 32; 64 ] in
+  let widths = if quick then [| 2; 8 |] else [| 2; 4; 8; 16; 32; 64 |] in
   let table =
     Table.create
       ~title:
@@ -45,14 +46,16 @@ let tables ?(quick = false) () =
           "settled at"; "horizon";
         ]
   in
-  List.iter
-    (fun m ->
-      let inst = Common.needle m in
-      let t, bad, settled =
-        run_width ~phases ~policy_of:Policy.uniform_linear
-          ~kind:Convergence.Strict m
-      in
-      Table.add_row table
+  (* Each width is an independent deterministic run: fan them out and
+     collect the rendered rows in width order. *)
+  let rows =
+    Pool.parallel_map ~pool
+      (fun m ->
+        let inst = Common.needle m in
+        let t, bad, settled =
+          run_width ~phases ~policy_of:Policy.uniform_linear
+            ~kind:Convergence.Strict m
+        in
         [
           Table.cell_int m;
           Table.cell_float ~decimals:4 t;
@@ -66,5 +69,7 @@ let tables ?(quick = false) () =
           (match settled with Some k -> Table.cell_int k | None -> "never");
           Table.cell_int phases;
         ])
-    widths;
+      widths
+  in
+  Array.iter (Table.add_row table) rows;
   [ table ]

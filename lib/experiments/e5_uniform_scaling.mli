@@ -4,4 +4,10 @@
     (roughly linearly) with the number of paths.  Measured on parallel-
     link networks of increasing width. *)
 
-val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list
+val tables :
+  ?pool:Staleroute_util.Pool.t ->
+  ?quick:bool ->
+  unit ->
+  Staleroute_util.Table.t list
+(** [?pool] fans the width sweep out as independent runs; rows are
+    collected in width order, so the table is identical at any width. *)

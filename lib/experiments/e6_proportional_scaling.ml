@@ -1,5 +1,6 @@
 open Staleroute_dynamics
 module Table = Staleroute_util.Table
+module Pool = Staleroute_util.Pool
 
 let delta = 0.3
 let eps = 0.1
@@ -9,9 +10,23 @@ let eps = 0.1
 let theorem7_bound ~t ~ell_max =
   2. *. Float.exp 1. *. ell_max *. ell_max /. (t *. eps *. delta *. delta)
 
-let tables ?(quick = false) () =
+(* One (width, policy) cell of the sweep. *)
+let run_cell ~phases ~policy_of ~kind m =
+  let inst = Common.needle m in
+  let policy = policy_of inst in
+  let t = Common.safe_period inst policy in
+  let result =
+    Common.run inst policy (Driver.Stale t) ~phases
+      ~init:(Staleroute_wardrop.Flow.uniform inst) ()
+  in
+  ( Convergence.bad_rounds inst kind ~delta ~eps
+      (Common.phase_start_flows result),
+    t,
+    Staleroute_wardrop.Instance.ell_max inst )
+
+let tables ?pool ?(quick = false) () =
   let phases = if quick then 400 else 3000 in
-  let widths = if quick then [ 2; 8 ] else [ 2; 4; 8; 16; 32; 64 ] in
+  let widths = if quick then [| 2; 8 |] else [| 2; 4; 8; 16; 32; 64 |] in
   let table =
     Table.create
       ~title:
@@ -25,23 +40,35 @@ let tables ?(quick = false) () =
           "Thm 7 bound"; "unif bad (weak)"; "ratio unif/repl";
         ]
   in
-  List.iter
-    (fun m ->
-      let run policy_of kind =
-        let inst = Common.needle m in
-        let policy = policy_of inst in
-        let t = Common.safe_period inst policy in
-        let result =
-          Common.run inst policy (Driver.Stale t) ~phases
-            ~init:(Staleroute_wardrop.Flow.uniform inst) ()
-        in
-        ( Convergence.bad_rounds inst kind ~delta ~eps
-            (Common.phase_start_flows result),
-          t,
-          Staleroute_wardrop.Instance.ell_max inst )
-      in
-      let bad_repl, t_repl, ell_max = run Policy.replicator Convergence.Weak in
-      let bad_unif, _, _ = run Policy.uniform_linear Convergence.Weak in
+  (* Fan out every (width, policy) pair; the two policies of one width
+     recombine into a row by index after the join. *)
+  let cells =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun m ->
+              [|
+                (m, `Replicator);
+                (m, `Uniform);
+              |])
+            widths))
+  in
+  let results =
+    Pool.parallel_map ~pool
+      (fun (m, which) ->
+        match which with
+        | `Replicator ->
+            run_cell ~phases ~policy_of:Policy.replicator
+              ~kind:Convergence.Weak m
+        | `Uniform ->
+            run_cell ~phases ~policy_of:Policy.uniform_linear
+              ~kind:Convergence.Weak m)
+      cells
+  in
+  Array.iteri
+    (fun i m ->
+      let bad_repl, t_repl, ell_max = results.(2 * i) in
+      let bad_unif, _, _ = results.((2 * i) + 1) in
       Table.add_row table
         [
           Table.cell_int m;

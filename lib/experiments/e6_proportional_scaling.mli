@@ -3,4 +3,11 @@
     (δ,ε)-equilibrium is [O(1/(ε T) · (ℓ_max/δ)²)], independent of the
     number of paths.  Same sweep as E5 for a side-by-side comparison. *)
 
-val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list
+val tables :
+  ?pool:Staleroute_util.Pool.t ->
+  ?quick:bool ->
+  unit ->
+  Staleroute_util.Table.t list
+(** [?pool] fans every (width, policy) pair out as an independent run;
+    pairs recombine into rows by index, keeping the table identical at
+    any pool width. *)

@@ -1,5 +1,6 @@
 open Staleroute_dynamics
 module Table = Staleroute_util.Table
+module Pool = Staleroute_util.Pool
 
 let count_bad ~snapshots ~inst ~kind ~delta ~eps =
   Convergence.bad_rounds inst kind ~delta ~eps snapshots
@@ -78,13 +79,19 @@ let eps_table ~snapshots_u ~snapshots_r ~inst ~epss =
     epss;
   table
 
-let tables ?(quick = false) () =
+let tables ?pool ?(quick = false) () =
   let phases = if quick then 300 else 4000 in
   let inst = Common.parallel 8 in
-  (* One long run per policy; the (delta, eps) grid is evaluated on the
-     recorded snapshots. *)
-  let snapshots_u = run_once ~phases ~policy_of:Policy.uniform_linear inst in
-  let snapshots_r = run_once ~phases ~policy_of:Policy.replicator inst in
+  (* One long run per policy — the two runs are independent, so they
+     fan out; the (delta, eps) grid is then evaluated on the recorded
+     snapshots. *)
+  let snapshots =
+    Pool.parallel_map ~pool
+      (fun policy_of -> run_once ~phases ~policy_of inst)
+      [| Policy.uniform_linear; Policy.replicator |]
+  in
+  let snapshots_u = snapshots.(0) in
+  let snapshots_r = snapshots.(1) in
   let deltas = if quick then [ 0.4; 0.1 ] else [ 0.4; 0.2; 0.1; 0.05 ] in
   let epss = if quick then [ 0.4; 0.1 ] else [ 0.4; 0.2; 0.1; 0.05 ] in
   [

@@ -4,4 +4,10 @@
     policies; the theorems give upper bounds, so the measured growth
     should be no faster than predicted. *)
 
-val tables : ?quick:bool -> unit -> Staleroute_util.Table.t list
+val tables :
+  ?pool:Staleroute_util.Pool.t ->
+  ?quick:bool ->
+  unit ->
+  Staleroute_util.Table.t list
+(** [?pool] runs the two long policy trajectories concurrently; the
+    (δ, ε) grid is evaluated on the recorded snapshots afterwards. *)

@@ -1,0 +1,175 @@
+(* A fixed-size domain pool with index-ordered collection.
+
+   Concurrency structure: one mutex guards the whole pool; [work]
+   signals workers (new batch, or shutdown), [finished] signals the
+   submitter (batch completion).  A batch is a bare task counter —
+   domains (workers and the submitting caller alike) claim the next
+   index under the mutex, run it unlocked, and report back.  Tasks are
+   wrapped so they never raise across the pool machinery: failures are
+   recorded (lowest index wins) and re-raised after the join, which
+   keeps the counters consistent and the pool reusable after an
+   exception. *)
+
+type batch = {
+  total : int;
+  mutable next : int;  (* next unclaimed task index *)
+  mutable completed : int;
+  run : int -> unit;  (* must not raise (wrapped by the submitter) *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* workers: a batch arrived / shutdown *)
+  finished : Condition.t;  (* submitter: the batch completed *)
+  mutable batch : batch option;
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+  width : int;
+}
+
+(* True while the current domain is executing a pool task: submitting a
+   batch would deadlock a fixed-size pool, so it is rejected.  The flag
+   is domain-local — the submitting caller also runs tasks. *)
+let in_task = Domain.DLS.new_key (fun () -> false)
+
+(* Claim and run tasks of [b] until none are left unclaimed.  Called
+   with [t.mutex] held; returns with it held. *)
+let drain t b =
+  while b.next < b.total do
+    let i = b.next in
+    b.next <- b.next + 1;
+    Mutex.unlock t.mutex;
+    b.run i;
+    Mutex.lock t.mutex;
+    b.completed <- b.completed + 1;
+    if b.completed = b.total then Condition.broadcast t.finished
+  done
+
+let worker_loop t =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if not t.live then Mutex.unlock t.mutex
+    else begin
+      (match t.batch with
+      | Some b when b.next < b.total -> drain t b
+      | _ -> Condition.wait t.work t.mutex);
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let width =
+    match domains with
+    | None -> Domain.recommended_domain_count ()
+    | Some d -> d
+  in
+  if width < 1 then invalid_arg "Pool.create: need at least one domain";
+  let t =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      live = true;
+      workers = [];
+      width;
+    }
+  in
+  t.workers <- List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let width t = t.width
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.live then begin
+    t.live <- false;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+  else Mutex.unlock t.mutex
+
+let with_pool ?domains f =
+  let width =
+    match domains with
+    | None -> Domain.recommended_domain_count ()
+    | Some d -> d
+  in
+  if width <= 1 then f None
+  else begin
+    let t = create ~domains:width () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f (Some t))
+  end
+
+(* Submit [total] wrapped tasks and participate until all complete.
+   [run] must not raise. *)
+let run_batch t ~total ~run =
+  if Domain.DLS.get in_task then
+    invalid_arg "Pool: nested submission from inside a pool task";
+  Mutex.lock t.mutex;
+  if not t.live then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: submission to a shut-down pool"
+  end;
+  if t.batch <> None then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: a batch is already in flight"
+  end;
+  let b = { total; next = 0; completed = 0; run } in
+  t.batch <- Some b;
+  Condition.broadcast t.work;
+  drain t b;
+  while b.completed < b.total do
+    Condition.wait t.finished t.mutex
+  done;
+  t.batch <- None;
+  Mutex.unlock t.mutex
+
+(* First failure by task index: a CAS loop keeps the lowest index so the
+   surfaced exception is the one a sequential left-to-right run would
+   have raised first. *)
+let record_failure failure i exn bt =
+  let rec cas () =
+    let prev = Atomic.get failure in
+    let keep =
+      match prev with Some (j, _, _) -> j <= i | None -> false
+    in
+    if not keep then
+      if not (Atomic.compare_and_set failure prev (Some (i, exn, bt))) then
+        cas ()
+  in
+  cas ()
+
+let parallel_map ~pool f xs =
+  let n = Array.length xs in
+  match pool with
+  | None -> Array.init n (fun i -> f xs.(i))
+  | Some t ->
+      if n = 0 then [||]
+      else begin
+        let results = Array.make n None in
+        let failure = Atomic.make None in
+        let run i =
+          Domain.DLS.set in_task true;
+          (match f xs.(i) with
+          | y -> results.(i) <- Some y
+          | exception exn ->
+              record_failure failure i exn (Printexc.get_raw_backtrace ()));
+          Domain.DLS.set in_task false
+        in
+        run_batch t ~total:n ~run;
+        match Atomic.get failure with
+        | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+        | None ->
+            Array.map
+              (function
+                | Some y -> y
+                | None -> assert false (* every task stored or failed *))
+              results
+      end
+
+let parallel_iter ~pool f xs =
+  ignore (parallel_map ~pool (fun x -> f x) xs)

@@ -1,0 +1,71 @@
+(** A fixed-size domain pool for deterministic data parallelism.
+
+    The pool fans independent tasks out across OCaml 5 domains (stdlib
+    [Domain] / [Mutex] / [Condition] only — no external scheduler) while
+    keeping every observable output identical to a sequential run:
+
+    - {b Index-ordered collection.}  {!parallel_map} returns
+      [result.(i) = f xs.(i)] regardless of which domain ran which task
+      or in which order tasks finished.  Callers that print or
+      accumulate in index order therefore produce byte-identical output
+      at any pool width.
+    - {b Seeds split before submission.}  The pool never touches RNG
+      state.  A caller whose tasks need randomness must derive one seed
+      (or one {!Rng.t} via {!Rng.split_seeds}) per task {e before}
+      submitting, so the stream a task consumes is a function of its
+      index alone, never of scheduling.
+    - {b Per-task sinks.}  Tasks must not share mutable sinks (probe
+      buffers, metric registries, [Buffer.t]s): give each task its own
+      and merge in index order after the join.  Ambient state consulted
+      by tasks must be domain-local ([Domain.DLS]), not global.
+
+    The submitting domain participates in task execution, so a pool of
+    width [n] applies [n]-way parallelism with [n - 1] spawned domains
+    (and width 1 spawns nothing).  Tasks must not submit further batches
+    to any pool — nested submission deadlocks a fixed-size pool and is
+    rejected with [Invalid_argument]; inner code should take
+    [~pool:None] (the sequential fallback) instead, which is also what
+    keeps every call site testable single-threaded. *)
+
+type t
+(** A pool of worker domains.  Values of this type are only handed to
+    {!parallel_map} / {!parallel_iter} as [Some pool]; [None] selects
+    the sequential fallback with identical semantics. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of total width [domains >= 1]
+    ([domains - 1] worker domains plus the submitting caller).  Default:
+    [Domain.recommended_domain_count ()].  Raises [Invalid_argument] on
+    a non-positive width. *)
+
+val width : t -> int
+(** Total parallelism of the pool (spawned workers + the caller). *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  Subsequent submissions raise
+    [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t option -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f (Some pool)] with a freshly created
+    pool and guarantees {!shutdown} on exit — except when
+    [domains <= 1], where it runs [f None] without spawning anything
+    (the sequential path).  Default width as in {!create}. *)
+
+val parallel_map : pool:t option -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ~pool f xs] is [Array.init (length xs) (fun i -> f
+    xs.(i))], evaluated across the pool's domains when [pool] is
+    [Some _] and sequentially (in index order) when [None].  Results are
+    collected by index, so the two modes are observationally identical
+    for pure (or per-task-isolated) [f].
+
+    If one or more tasks raise, the exception of the lowest-indexed
+    failing task is re-raised (with its backtrace) after all tasks of
+    the batch have finished — the pool is left reusable.
+
+    Raises [Invalid_argument] when called from inside a pool task
+    (nested submission), when another batch is in flight on the same
+    pool from a different domain, or after {!shutdown}. *)
+
+val parallel_iter : pool:t option -> ('a -> unit) -> 'a array -> unit
+(** {!parallel_map} for effectful tasks with no result.  Same ordering,
+    exception and rejection contract. *)

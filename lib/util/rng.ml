@@ -42,6 +42,10 @@ let split t =
   let stream = (2 * bits30 t) + 1 in
   create ~seed ~stream ()
 
+let split_seeds t n =
+  if n < 0 then invalid_arg "Rng.split_seeds: negative count";
+  Array.init n (fun _ -> bits30 t)
+
 let int t bound =
   if bound <= 0 || bound > mask30 then
     invalid_arg "Rng.int: bound must be in [1, 2^30)";

@@ -19,6 +19,11 @@ val split : t -> t
 (** [split t] advances [t] and returns a fresh generator seeded from it,
     on a distinct stream.  Used to give subsystems independent RNGs. *)
 
+val split_seeds : t -> int -> int array
+(** [split_seeds t n] draws [n] independent seeds from [t] — one per
+    task, drawn {e before} submitting work to a {!Pool}, so each task's
+    stream depends only on its index and never on scheduling order. *)
+
 val bits32 : t -> int32
 (** Next raw 32-bit output. *)
 

@@ -98,27 +98,42 @@ let test_real_dynamics_step_feasible () =
   check_true "dynamics keeps feasibility" (Flow.is_feasible ~tol:1e-9 inst f)
 
 let prop_steps_refinement_consistent =
-  qcheck ~count:20 "qcheck: halving the step barely moves RK4"
-    QCheck2.Gen.(int_range 0 10_000)
+  qcheck ~count:100 "qcheck: RK4 refinement within the truncation bound"
+    QCheck2.Gen.(int_range 0 1_000_000)
     (fun seed ->
       let inst = Common.parallel 3 in
+      let n = Instance.path_count inst in
       let r = Staleroute_util.Rng.create ~seed () in
       let f0 = Flow.random inst r in
       let board = Bulletin_board.post inst ~time:0. f0 in
       let policy = Policy.uniform_linear inst in
       let deriv g = Rates.flow_derivative inst policy ~board g in
-      let coarse =
-        Integrator.integrate_phase Integrator.Rk4 inst ~deriv ~f0 ~tau:0.5
-          ~steps:4
+      let tau = 0.5 in
+      (* Within a phase the board is fixed and this policy's rates do
+         not depend on the live flow, so the ODE is linear: f' = A f
+         with the columns of A given by deriv on the basis vectors.
+         That gives an explicit per-instance truncation bound — RK4's
+         local error on exp(h A) is at most (||A|| h)^5 / 120 per step,
+         amplified by at most exp(||A|| tau) — instead of a magic
+         constant that a skewed board (large ||A||) would overrun.  The
+         1e-13 term absorbs accumulated float rounding, which dominates
+         once ||A||^5 is negligible. *)
+      let norm_a = ref 0. in
+      for j = 0 to n - 1 do
+        let e = Array.make n 0. in
+        e.(j) <- 1.;
+        let col = deriv e in
+        let s = Array.fold_left (fun a x -> a +. Float.abs x) 0. col in
+        if s > !norm_a then norm_a := s
+      done;
+      let err steps =
+        let x = !norm_a *. tau /. float_of_int steps in
+        float_of_int steps *. (x ** 5.) /. 120. *. exp (!norm_a *. tau)
       in
-      let fine =
-        Integrator.integrate_phase Integrator.Rk4 inst ~deriv ~f0 ~tau:0.5
-          ~steps:8
+      let integrate steps =
+        Integrator.integrate_phase Integrator.Rk4 inst ~deriv ~f0 ~tau ~steps
       in
-      (* The simplex projection after each step is only piecewise
-         smooth, so the worst random starts land near 1e-7 instead of
-         the clean 16x RK4 refinement factor. *)
-      Vec.dist1 coarse fine < 1e-6)
+      Vec.dist1 (integrate 4) (integrate 8) <= err 4 +. err 8 +. 1e-13)
 
 let suite =
   [

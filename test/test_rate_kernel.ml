@@ -103,6 +103,46 @@ let prop_kernel_matches_reference =
             (flows inst r))
         (flows inst r))
 
+(* Sharding the build across a domain pool compiles each commodity's
+   block into its own slice of the kernel: the result must be
+   bit-identical to the sequential build, for every policy pair and any
+   pool width. *)
+let prop_sharded_build_bit_identical =
+  qcheck ~count:30 "qcheck: sharded build = whole build (bitwise)"
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 0 1_000_000))
+    (fun (width, seed) ->
+      let r = Rng.create ~seed () in
+      let insts = instances () in
+      let inst = List.nth insts (Rng.int r (List.length insts)) in
+      let board = Bulletin_board.post inst ~time:0. (Flow.random inst r) in
+      let flow = Flow.random inst r in
+      Staleroute_util.Pool.with_pool ~domains:width (fun pool ->
+          List.for_all
+            (fun sampling ->
+              List.for_all
+                (fun migration ->
+                  let policy = Policy.make ~sampling ~migration in
+                  let whole = Rate_kernel.build inst policy ~board in
+                  let sharded = Rate_kernel.build ?pool inst policy ~board in
+                  Rate_kernel.flow_derivative whole flow
+                  = Rate_kernel.flow_derivative sharded flow
+                  &&
+                  let n = Instance.path_count inst in
+                  let ok = ref true in
+                  for p = 0 to n - 1 do
+                    for q = 0 to n - 1 do
+                      if
+                        not
+                          (Float.equal
+                             (Rate_kernel.rate whole ~from_:p q)
+                             (Rate_kernel.rate sharded ~from_:p q))
+                      then ok := false
+                    done
+                  done;
+                  !ok)
+                (migrations inst))
+            samplings))
+
 let test_rate_accessor_matches_migration_rate () =
   let inst = Common.two_commodity () in
   let f = Flow.random inst (rng ()) in
@@ -242,6 +282,7 @@ let test_euler_path_allocation_free () =
 let suite =
   [
     prop_kernel_matches_reference;
+    prop_sharded_build_bit_identical;
     case "rate accessor = migration_rate" test_rate_accessor_matches_migration_rate;
     case "cross-commodity rate" test_cross_commodity_rate_is_zero;
     case "validation" test_kernel_validation;
