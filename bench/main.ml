@@ -24,8 +24,10 @@
    experiments across N domains (default
    Domain.recommended_domain_count; output stays byte-identical to
    -j 1); "metrics" instruments every experiment and prints its metric
-   snapshot; "csv=DIR" exports tables; "json=FILE" redirects the perf
-   trajectory. *)
+   snapshot (a single-name metrics run ignores -j: the ambient
+   registry is domain-local, so the instrumented experiment runs on
+   one domain); "csv=DIR" exports tables; "json=FILE" redirects the
+   perf trajectory. *)
 
 open Staleroute_experiments
 module Table = Staleroute_util.Table
@@ -192,6 +194,21 @@ let run_experiment ~quick ~pool name =
       Printf.eprintf "unknown experiment %S\n" name;
       exit 2
 
+(* Render the single-name invocation at parallelism [jobs]: the one
+   experiment gets the pool itself so its sweep fans out.  Exception:
+   metrics mode.  The ambient registry installed by
+   Common.set_instrumentation is domain-local (Domain.DLS), so sweep
+   cells executed on worker domains would report into Metrics.null and
+   the snapshot would silently depend on scheduling.  An instrumented
+   experiment therefore runs entirely on the domain holding the
+   registry — sequential, but correct and byte-identical to -j 1
+   (parallel-smoke check 4 pins this down). *)
+let run_single_experiment ~quick ~jobs name =
+  if jobs > 1 && not !with_metrics then
+    Pool.with_pool ~domains:jobs (fun pool ->
+        run_experiment ~quick ~pool name)
+  else run_experiment ~quick ~pool:None name
+
 (* Run a list of experiments at parallelism [jobs] and print their
    outputs in list order.  A single experiment gets the pool itself
    (its sweep fans out); several experiments fan out across the pool,
@@ -206,9 +223,8 @@ let run_experiments ~quick ~jobs names =
       end)
     names;
   match names with
-  | [ name ] when jobs > 1 ->
-      Pool.with_pool ~domains:jobs (fun pool ->
-          print_string (run_experiment ~quick ~pool name));
+  | [ name ] ->
+      print_string (run_single_experiment ~quick ~jobs name);
       flush stdout
   | _ when jobs > 1 ->
       Pool.with_pool ~domains:jobs (fun pool ->
@@ -656,7 +672,22 @@ let parallel_smoke ~jobs ~full ~json_path () =
   check
     (Printf.sprintf "e1+e16 metrics snapshots byte-identical at -j %d" width)
     (metric_pair 1 = metric_pair width);
-  (* 4. Traced driver runs fanned across the pool produce the same
+  (* 4. A single experiment in metrics mode through the top-level
+     dispatch (`bench e16 metrics -j N`): the ambient registry is
+     domain-local, so this path must not fan sweep cells out to worker
+     domains — run_single_experiment forces ~pool:None under metrics,
+     and the snapshot must match -j 1 byte for byte. *)
+  let single_metric jobs =
+    with_metrics := true;
+    Fun.protect
+      ~finally:(fun () -> with_metrics := false)
+      (fun () -> run_single_experiment ~quick:true ~jobs "e16")
+  in
+  check
+    (Printf.sprintf
+       "single e16 metrics snapshot byte-identical at -j %d" width)
+    (String.equal (single_metric 1) (single_metric width));
+  (* 5. Traced driver runs fanned across the pool produce the same
      JSONL bytes as the sequential loop. *)
   let trace_configs =
     [| (4., 6); (2., 9); (8., 5); (3., 7) |]
@@ -687,7 +718,7 @@ let parallel_smoke ~jobs ~full ~json_path () =
   check
     (Printf.sprintf "trace JSONL byte-identical at -j 1 vs -j %d" width)
     (seq_traces = pooled_traces);
-  (* 5. Sharded vs whole kernel build time. *)
+  (* 6. Sharded vs whole kernel build time. *)
   let build_reps = 400 in
   let (), whole_build_s =
     wall_time (fun () ->
@@ -703,7 +734,7 @@ let parallel_smoke ~jobs ~full ~json_path () =
             done))
   in
   let per_build s = s /. float_of_int build_reps *. 1e9 in
-  (* 6. Optionally: the full E1-E16 suite, -j 1 vs -j [jobs]. *)
+  (* 7. Optionally: the full E1-E16 suite, -j 1 vs -j [jobs]. *)
   let suite_timing =
     if not full then None
     else begin

@@ -146,7 +146,19 @@ let record_failure failure i exn bt =
 let parallel_map ~pool f xs =
   let n = Array.length xs in
   match pool with
-  | None -> Array.init n (fun i -> f xs.(i))
+  | None ->
+      (* Explicit index-order loop, not [Array.init]: the stdlib leaves
+         [Array.init]'s application order unspecified, and the .mli
+         promises sequential left-to-right application on this path
+         (effectful [parallel_iter] callers rely on it). *)
+      if n = 0 then [||]
+      else begin
+        let results = Array.make n (f xs.(0)) in
+        for i = 1 to n - 1 do
+          results.(i) <- f xs.(i)
+        done;
+        results
+      end
   | Some t ->
       if n = 0 then [||]
       else begin
