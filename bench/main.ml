@@ -2,7 +2,7 @@
 
    Usage:
      main.exe              run every experiment (full size) and print tables
-     main.exe e1 .. e16    run a single experiment
+     main.exe e1 .. e17    run a single experiment
      main.exe micro        run the Bechamel microbenchmarks (also writes
                            the BENCH_rates.json perf trajectory)
      main.exe bench-smoke  tiny-quota kernel-vs-reference comparison only;
@@ -12,13 +12,19 @@
                            counts and the allocation-free disabled path;
                            writes BENCH_trace.json (also `dune build
                            @trace-smoke`)
+     main.exe fault-smoke  robustness contract: fault-plan purity, faulted
+                           trace determinism, guard policies on a NaN
+                           workload, checkpoint/resume byte-identity and
+                           the T/(1-p) period inflation; writes
+                           BENCH_faults.json (also `dune build
+                           @fault-smoke`)
      main.exe parallel-smoke
                            determinism checks for the domain pool (pooled
                            output and traces must be byte-identical to
                            sequential) plus pooled-vs-sequential timings;
                            writes BENCH_parallel.json (also `dune build
                            @parallel-smoke`); add "full" to also time the
-                           full E1-E16 suite at -j 1 vs -j N
+                           full E1-E17 suite at -j 1 vs -j N
      main.exe all          experiments + microbenchmarks
    Options: "quick" uses the reduced parameter sets; "-j N" runs
    experiments across N domains (default
@@ -148,6 +154,9 @@ let experiments =
       fun ~quick ~pool ~out ->
         buffer_tables out (E16_phase_diagram.tables ?pool ~quick ());
         buffer_figures out (E16_phase_diagram.figures ?pool ~quick ()) );
+    ( "e17",
+      fun ~quick ~pool ~out ->
+        buffer_tables out (E17_unreliable_board.tables ?pool ~quick ()) );
   ]
 
 let with_metrics = ref false
@@ -583,6 +592,189 @@ let trace_smoke ~json_path () =
   Printf.printf "(trace smoke written to %s)\n%!" json_path;
   if not pass then exit 1
 
+(* --- Fault smoke: fault plans, guardrails, checkpoint/resume --- *)
+
+(* Ground truth for the robustness layer: fault draws are pure in
+   (seed, index); faulted traces are seed-deterministic; a NaN-producing
+   policy trips the guard (raise under fail-fast, finite flow under
+   repair); a run resumed from a mid-run snapshot replays the identical
+   trace; and dropped re-posts inflate the effective update period by
+   about 1/(1-p).  Writes BENCH_faults.json; exits non-zero on any
+   failure. *)
+let fault_smoke ~json_path () =
+  let open Staleroute_dynamics in
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "  %-48s %s\n%!" name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  (* 1. Fault plans are pure functions of (seed, index). *)
+  let spec =
+    Faults.make ~drop:0.25 ~delay:0.15 ~partial:0.15 ~noise:0.15 ~seed:42 ()
+  in
+  let draws plan = Array.init 1000 (fun i -> Faults.fault_at plan ~index:i) in
+  let d1 = draws (Faults.plan spec) and d2 = draws (Faults.plan spec) in
+  check "fault_at: pure in (seed, index)" (d1 = d2);
+  let kind_count p =
+    Array.to_list d1 |> List.filter (fun f -> Option.is_some f && p f)
+    |> List.length
+  in
+  let drops = kind_count (fun f -> f = Some Faults.Drop) in
+  let delays =
+    kind_count (function Some (Faults.Delay _) -> true | _ -> false)
+  in
+  let partials =
+    kind_count (function Some (Faults.Partial _) -> true | _ -> false)
+  in
+  let noises =
+    kind_count (function Some (Faults.Noise _) -> true | _ -> false)
+  in
+  check "fault_at: every kind fires on 1000 draws"
+    (drops > 0 && delays > 0 && partials > 0 && noises > 0);
+  check "fault_at: null plan never fires"
+    (Array.for_all Option.is_none (draws (Faults.plan Faults.none)));
+  (* 2. Faulted same-seed runs produce byte-identical traces. *)
+  let inst = Common.two_link ~beta:4. in
+  let policy = Policy.uniform_linear inst in
+  let config =
+    {
+      Driver.policy;
+      staleness = Driver.Stale 0.25;
+      phases = 12;
+      steps_per_phase = 8;
+      scheme = Integrator.Rk4;
+    }
+  in
+  let init = Common.biased_start inst in
+  let faulted ?from ?checkpoint_every ?on_checkpoint () =
+    let buf = Probe.Memory.create () in
+    let result =
+      Driver.run
+        ~probe:(Probe.Memory.probe buf)
+        ~faults:(Faults.plan spec) ?from ?checkpoint_every ?on_checkpoint
+        inst config ~init
+    in
+    (buf, result)
+  in
+  let buf_a, result_a = faulted () in
+  let buf_b, _ = faulted () in
+  let to_string buf = Trace_export.events_to_string (Probe.Memory.events buf) in
+  check "faulted trace: same seed byte-identical"
+    (String.equal (to_string buf_a) (to_string buf_b));
+  let injected =
+    Probe.Memory.count buf_a (function
+      | Probe.Fault_injected _ -> true
+      | _ -> false)
+  in
+  check "faulted trace: faults actually injected" (injected > 0);
+  (* 3. Checkpoint/resume replays the identical trace. *)
+  let saved = ref None in
+  let _, _ =
+    faulted
+      ~checkpoint_every:5
+      ~on_checkpoint:(fun snap ->
+        if !saved = None then
+          saved := Some (snap, Array.copy (Probe.Memory.events buf_a)))
+      ()
+  in
+  let resume_identical, resume_flow_identical =
+    match !saved with
+    | None -> (false, false)
+    | Some (snap, _) ->
+        (* The prefix comes from the uninterrupted run: events of the
+           first [next_phase] phases are exactly those emitted before
+           the checkpoint fired (same seed, same plan). *)
+        let buf_c, result_c = faulted ~from:snap () in
+        let full = Probe.Memory.events buf_a in
+        let tail = Probe.Memory.events buf_c in
+        let prefix_len = Array.length full - Array.length tail in
+        let stitched =
+          Array.append (Array.sub full 0 prefix_len) tail
+        in
+        ( prefix_len >= 0
+          && String.equal (to_string buf_a)
+               (Trace_export.events_to_string stitched),
+          Array.for_all2
+            (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+            (result_a.Driver.final_flow :> float array)
+            (result_c.Driver.final_flow :> float array) )
+  in
+  check "resume: stitched trace byte-identical" resume_identical;
+  check "resume: final flow bit-identical" resume_flow_identical;
+  (* 4. Numeric guardrails against a NaN-producing custom policy. *)
+  let nan_policy =
+    Policy.make ~sampling:Sampling.Uniform
+      ~migration:
+        (Migration.Custom
+           {
+             name = "nan-after-start";
+             prob = (fun ~ell_p:_ ~ell_q:_ -> Float.nan);
+             alpha = None;
+           })
+  in
+  let nan_config = { config with Driver.policy = nan_policy; phases = 3 } in
+  let fail_fast_raised =
+    match Driver.run ~guard:Guard.fail_fast inst nan_config ~init with
+    | exception Guard.Unhealthy d -> d.Guard.index = 0
+    | _ -> false
+  in
+  check "guard fail-fast: raises Unhealthy at first boundary"
+    fail_fast_raised;
+  let repair_metrics = Metrics.create () in
+  let repaired =
+    Driver.run ~metrics:repair_metrics ~guard:Guard.repair inst nan_config
+      ~init
+  in
+  let repairs =
+    Metrics.count (Metrics.counter repair_metrics "guard_repairs")
+  in
+  let final_finite =
+    Array.for_all Float.is_finite
+      (repaired.Driver.final_flow :> float array)
+  in
+  check "guard repair: run completes with finite flow"
+    (final_finite && repairs > 0);
+  (* 5. Dropped re-posts inflate the effective period by ~1/(1-p). *)
+  let drop_metrics = Metrics.create () in
+  let drop_phases = 400 in
+  ignore
+    (Driver.run ~metrics:drop_metrics
+       ~faults:(Faults.plan (Faults.make ~drop:0.5 ~seed:42 ()))
+       inst
+       { config with Driver.phases = drop_phases }
+       ~init);
+  let posts =
+    Metrics.count (Metrics.counter drop_metrics "board_reposts")
+  in
+  let rebuilds =
+    Metrics.count (Metrics.counter drop_metrics "kernel_rebuilds")
+  in
+  let eff = float_of_int drop_phases /. float_of_int posts in
+  check "drop 0.5: effective period in [1.6, 2.4] x T"
+    (eff >= 1.6 && eff <= 2.4);
+  check "drop: kernel rebuilt only on successful posts" (rebuilds = posts);
+  let pass = !failures = 0 in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"fault_smoke\",\n\
+    \  \"plan_draws\": { \"drop\": %d, \"delay\": %d, \"partial\": %d, \
+     \"noise\": %d },\n\
+    \  \"faulted_events\": %d,\n\
+    \  \"resume_trace_byte_identical\": %b,\n\
+    \  \"resume_flow_bit_identical\": %b,\n\
+    \  \"guard\": { \"fail_fast_raised\": %b, \"repairs\": %d },\n\
+    \  \"drop_half\": { \"phases\": %d, \"posts\": %d, \
+     \"effective_period\": %.3f },\n\
+    \  \"pass\": %b\n\
+     }\n"
+    drops delays partials noises injected resume_identical
+    resume_flow_identical fail_fast_raised repairs drop_phases posts eff
+    pass;
+  close_out oc;
+  Printf.printf "(fault smoke written to %s)\n%!" json_path;
+  if not pass then exit 1
+
 (* --- Parallel smoke: pool determinism ground truth + timings --- *)
 
 let wall_time f =
@@ -593,7 +785,7 @@ let wall_time f =
 (* Determinism checks for the domain-pool plumbing, each comparing a
    pooled run byte-for-byte against its sequential twin, plus the two
    headline timings (pooled vs sequential E16-quick; sharded vs whole
-   kernel build).  With [full], additionally times the full E1-E16
+   kernel build).  With [full], additionally times the full E1-E17
    suite at -j 1 vs -j [jobs].  Writes BENCH_parallel.json; exits
    non-zero on any determinism failure. *)
 let parallel_smoke ~jobs ~full ~json_path () =
@@ -734,7 +926,7 @@ let parallel_smoke ~jobs ~full ~json_path () =
             done))
   in
   let per_build s = s /. float_of_int build_reps *. 1e9 in
-  (* 7. Optionally: the full E1-E16 suite, -j 1 vs -j [jobs]. *)
+  (* 7. Optionally: the full E1-E17 suite, -j 1 vs -j [jobs]. *)
   let suite_timing =
     if not full then None
     else begin
@@ -843,6 +1035,12 @@ let () =
       trace_smoke
         ~json_path:
           (if !json_path = "BENCH_rates.json" then "BENCH_trace.json"
+           else !json_path)
+        ()
+  | [ "fault-smoke" ] ->
+      fault_smoke
+        ~json_path:
+          (if !json_path = "BENCH_rates.json" then "BENCH_faults.json"
            else !json_path)
         ()
   | "parallel-smoke" :: rest

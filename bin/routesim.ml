@@ -101,7 +101,7 @@ let finish_obs ~out obs =
   | _ -> ()
 
 let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
-    ~obs ~out =
+    ~faults ~guard ~resume ~checkpoint ~fingerprint ~obs ~out =
   let policy = policy_of inst in
   let staleness, t_label =
     match period with
@@ -118,14 +118,45 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
             (Driver.Stale t, Printf.sprintf "%.6g (auto = min(T_e,1))" t))
     | `Fixed t -> (Driver.Stale t, Printf.sprintf "%.6g" t)
   in
+  (* Resuming: replay the checkpoint's trace prefix into this run's
+     buffer, so the finished trace is byte-identical to an
+     uninterrupted run's. *)
+  (match resume with
+  | Some c -> Array.iter (Probe.emit obs.probe) c.Checkpoint.events
+  | None -> ());
+  let checkpoint_every, on_checkpoint =
+    match checkpoint with
+    | None -> (0, None)
+    | Some (path, every) ->
+        ( every,
+          Some
+            (fun snapshot ->
+              Checkpoint.save ~path
+                {
+                  Checkpoint.fingerprint;
+                  snapshot;
+                  events =
+                    (match obs.buffer with
+                    | Some b -> Probe.Memory.events b
+                    | None -> [||]);
+                }) )
+  in
   let result =
-    Common.run ~probe:obs.probe ~metrics:obs.registry inst policy staleness
-      ~phases ~steps_per_phase:steps ~init ()
+    Common.run ~probe:obs.probe ~metrics:obs.registry ~faults ?guard
+      ?from:(Option.map (fun c -> c.Checkpoint.snapshot) resume)
+      ~checkpoint_every ?on_checkpoint inst policy staleness ~phases
+      ~steps_per_phase:steps ~init ()
   in
   let snapshots = Common.phase_start_flows result in
   let eq = Frank_wolfe.equilibrium inst in
   Printf.bprintf out "policy           : %s\n" (Policy.name policy);
   Printf.bprintf out "update period    : %s\n" t_label;
+  if not (Faults.is_null faults) then
+    Printf.bprintf out "faults           : %s\n"
+      (Faults.to_string (Faults.spec faults));
+  (match guard with
+  | Some g -> Printf.bprintf out "guard            : %s\n" (Guard.to_string g)
+  | None -> ());
   (match Policy.safe_update_period inst policy with
   | Some t_star -> Printf.bprintf out "safe period T*   : %.6g\n" t_star
   | None -> Printf.bprintf out "safe period T*   : none (policy not smooth)\n");
@@ -203,15 +234,32 @@ let run_best_response inst ~t ~phases ~delta ~eps ~csv ~obs ~out =
   finish_obs ~out obs
 
 let main topology policy period phases steps init delta eps csv trace_file
-    show_metrics show_summary runs jobs seed =
-  if runs < 1 then begin
-    prerr_endline "--runs expects a positive integer";
+    show_metrics show_summary runs jobs seed faults_str guard_str
+    checkpoint_file checkpoint_every resume_file =
+  let reject msg =
+    prerr_endline msg;
     exit 2
+  in
+  if runs < 1 then reject "--runs expects a positive integer";
+  if jobs < 1 then reject "-j expects a positive integer";
+  let faults_spec =
+    match Faults.of_string faults_str with
+    | Ok s -> s
+    | Error e -> reject e
+  in
+  let guard =
+    match guard_str with
+    | None -> None
+    | Some s -> (
+        match Guard.of_string s with
+        | Ok g -> Some g
+        | Error e -> reject e)
+  in
+  if checkpoint_every < 1 then reject "--checkpoint-every expects K >= 1";
+  if checkpoint_file <> None || resume_file <> None then begin
+    if runs > 1 then reject "--checkpoint/--resume require --runs 1"
   end;
-  if jobs < 1 then begin
-    prerr_endline "-j expects a positive integer";
-    exit 2
-  end;
+  let policy_str = String.lowercase_ascii policy in
   match Topologies.parse topology with
   | Error e ->
       prerr_endline e;
@@ -233,6 +281,54 @@ let main topology policy period phases steps init delta eps csv trace_file
                   "best-response requires a positive update period";
                 exit 2
             | Smooth _, _ -> None
+          in
+          let faults = Faults.plan faults_spec in
+          (match policy with
+          | Best_response_exact ->
+              (* The exact orbit bypasses Driver entirely. *)
+              if not (Faults.is_null faults) then
+                reject "best-response: --faults is not supported";
+              if guard <> None then
+                reject "best-response: --guard is not supported";
+              if checkpoint_file <> None || resume_file <> None then
+                reject "best-response: --checkpoint/--resume are not supported"
+          | Smooth _ -> ());
+          (* The fingerprint pins everything that shapes the trajectory;
+             a checkpoint resumed under a different configuration would
+             silently diverge, so --resume refuses on mismatch. *)
+          let fingerprint =
+            let period_str =
+              match period with
+              | `Auto -> "auto"
+              | `Fresh -> "fresh"
+              | `Fixed t -> Printf.sprintf "%.17g" t
+            in
+            Printf.sprintf
+              "routesim/1 topology=%s policy=%s period=%s phases=%d steps=%d \
+               init=%s seed=%d faults=%s guard=%s"
+              topology policy_str period_str phases steps init seed
+              (Faults.to_string faults_spec)
+              (match guard with Some g -> Guard.to_string g | None -> "off")
+          in
+          let resume =
+            match resume_file with
+            | None -> None
+            | Some path -> (
+                match Checkpoint.load ~path with
+                | Error e -> reject ("routesim: cannot resume: " ^ e)
+                | Ok c ->
+                    if not (String.equal c.Checkpoint.fingerprint fingerprint)
+                    then
+                      reject
+                        (Printf.sprintf
+                           "routesim: checkpoint fingerprint mismatch:\n\
+                           \  checkpoint: %s\n\
+                           \  current   : %s" c.Checkpoint.fingerprint
+                           fingerprint)
+                    else Some c)
+          in
+          let checkpoint =
+            Option.map (fun f -> (f, checkpoint_every)) checkpoint_file
           in
           Format.printf "instance         : %a@." Instance.pp inst;
           (* Per-run trace sinks: a single live --trace file cannot be
@@ -264,7 +360,8 @@ let main topology policy period phases steps init delta eps csv trace_file
             | Smooth policy_of, _ ->
                 run_smooth inst policy_of ~period ~phases ~steps
                   ~init:(init_flow inst ~seed:seeds.(k) init_spec)
-                  ~delta ~eps ~csv ~obs ~out
+                  ~delta ~eps ~csv ~faults ~guard ~resume ~checkpoint
+                  ~fingerprint ~obs ~out
             | Best_response_exact, Some t ->
                 run_best_response inst ~t ~phases ~delta ~eps ~csv ~obs ~out
             | Best_response_exact, None -> assert false);
@@ -385,11 +482,59 @@ let cmd =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
          ~doc:"Base RNG seed for --init random (split across --runs).")
   in
+  let faults =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject seeded bulletin-board faults: comma-separated drop=P, \
+             delay=P:F, partial=P:F, noise=P:SIGMA, seed=N (e.g. \
+             'drop=0.3,noise=0.2:0.05,seed=7').  Faulted runs stay \
+             deterministic per seed.")
+  in
+  let guard =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "guard" ] ~docv:"POLICY"
+          ~doc:
+            "Check numeric health at phase boundaries: 'fail-fast', \
+             'repair' or 'ignore', optionally with a tolerance suffix \
+             (e.g. 'repair:1e-9').")
+  in
+  let checkpoint_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a resumable checkpoint (JSON) to $(docv) every \
+             --checkpoint-every phases.  Requires --runs 1.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 25
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:"Checkpoint cadence in phases (default 25).")
+  in
+  let resume_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by --checkpoint.  The run \
+             configuration must match the checkpoint's fingerprint; the \
+             resumed trace and report are byte-identical to an \
+             uninterrupted run's.  Requires --runs 1.")
+  in
   let term =
     Term.(
       const main $ topology $ policy $ period $ phases $ steps $ init $ delta
       $ eps $ csv $ trace_file $ show_metrics $ show_summary $ runs $ jobs
-      $ seed)
+      $ seed $ faults $ guard $ checkpoint_file $ checkpoint_every
+      $ resume_file)
   in
   Cmd.v
     (Cmd.info "routesim" ~version:"1.0.0"

@@ -10,25 +10,37 @@ type t = {
 
 (* Process-wide post counter: every snapshot gets a strictly increasing
    revision, so a compiled kernel can prove it was built against the
-   latest posting (Rate_kernel.is_current). *)
-let posts_counter = ref 0
+   latest posting (Rate_kernel.is_current).  Atomic, not a plain ref:
+   since the domain pool landed, boards are posted concurrently from
+   pooled experiment runs, and a torn [incr] could hand two boards the
+   same revision — letting [is_current] accept a kernel built against a
+   different posting. *)
+let posts_counter = Atomic.make 0
 
-let posts () = !posts_counter
+let posts () = Atomic.get posts_counter
 
-let post inst ~time flow =
-  let edge_latencies = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
+let next_revision () = 1 + Atomic.fetch_and_add posts_counter 1
+
+let post_with inst ~time ~flow ~edge_latencies =
+  if Array.length edge_latencies
+     <> Staleroute_graph.Digraph.edge_count (Instance.graph inst)
+  then invalid_arg "Bulletin_board.post_with: one latency per edge required";
+  let edge_latencies = Array.copy edge_latencies in
   let path_latencies =
     Array.init (Instance.path_count inst) (fun p ->
         Flow.path_latency inst ~edge_latencies p)
   in
-  incr posts_counter;
   {
     posted_at = time;
     flow = Array.copy flow;
     path_latencies;
     edge_latencies;
-    revision = !posts_counter;
+    revision = next_revision ();
   }
+
+let post inst ~time flow =
+  let edge_latencies = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
+  post_with inst ~time ~flow ~edge_latencies
 
 let revision b = b.revision
 

@@ -17,7 +17,21 @@ type t = private {
 val post : Instance.t -> time:float -> Flow.t -> t
 (** Snapshot the given flow at the given time.  The flow is copied and
     the process-wide {!posts} counter advances — the new board carries a
-    strictly larger revision than every earlier one. *)
+    strictly larger revision than every earlier one.  The counter is
+    atomic: boards posted concurrently from pooled domains still get
+    distinct, strictly increasing revisions. *)
+
+val post_with :
+  Instance.t -> time:float -> flow:Flow.t -> edge_latencies:float array -> t
+(** Post a board whose {e edge latencies are supplied by the caller}
+    instead of evaluated at the flow — the constructor behind fault
+    injection ({!Faults}: noisy or partially refreshed boards) and
+    checkpoint restore.  Path latencies are recomputed from the given
+    edge latencies (same summation as {!post}, so a restored board is
+    bit-identical to the original).  Both arrays are copied; the
+    revision counter advances as for {!post}.  Raises
+    [Invalid_argument] if [edge_latencies] does not have one entry per
+    edge. *)
 
 val revision : t -> int
 (** The value of the post counter when this board was posted.  A

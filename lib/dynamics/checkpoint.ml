@@ -1,0 +1,150 @@
+module Json = Staleroute_obs.Json
+module Probe = Staleroute_obs.Probe
+module Trace_export = Staleroute_obs.Trace_export
+
+type t = {
+  fingerprint : string;
+  snapshot : Driver.snapshot;
+  events : Probe.event array;
+}
+
+let version = 1
+
+let floats xs = Json.List (Array.to_list (Array.map (fun x -> Json.Float x) xs))
+
+let record_to_json (r : Driver.phase_record) =
+  Json.Obj
+    [
+      ("index", Json.Int r.index);
+      ("start_time", Json.Float r.start_time);
+      ("start_flow", floats r.start_flow);
+      ("start_potential", Json.Float r.start_potential);
+      ("virtual_gain", Json.Float r.virtual_gain);
+      ("delta_phi", Json.Float r.delta_phi);
+    ]
+
+let board_to_json (b : Driver.board_state) =
+  Json.Obj
+    [
+      ("posted_at", Json.Float b.posted_at);
+      ("flow", floats b.board_flow);
+      ("edge_latencies", floats b.board_latencies);
+    ]
+
+let to_json t =
+  let s = t.snapshot in
+  Json.Obj
+    [
+      ("staleroute_checkpoint", Json.Int version);
+      ("fingerprint", Json.String t.fingerprint);
+      ("next_phase", Json.Int s.next_phase);
+      ("flow", floats s.flow);
+      ( "board",
+        match s.board with None -> Json.Null | Some b -> board_to_json b );
+      ("records", Json.List (List.map record_to_json s.records_so_far));
+      ( "events",
+        Json.List
+          (Array.to_list (Array.map Trace_export.event_to_json t.events)) );
+    ]
+
+(* --- decoding --- *)
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "checkpoint: bad or missing field %S" name)
+
+let float_array name j =
+  match Json.member name j with
+  | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | x :: rest -> (
+            match Json.to_float x with
+            | Some v -> go (v :: acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf "checkpoint: non-number in field %S" name))
+      in
+      go [] items
+  | _ -> Error (Printf.sprintf "checkpoint: bad or missing field %S" name)
+
+let record_of_json j =
+  let* index = field "index" Json.to_int j in
+  let* start_time = field "start_time" Json.to_float j in
+  let* start_flow = float_array "start_flow" j in
+  let* start_potential = field "start_potential" Json.to_float j in
+  let* virtual_gain = field "virtual_gain" Json.to_float j in
+  let* delta_phi = field "delta_phi" Json.to_float j in
+  Ok
+    {
+      Driver.index;
+      start_time;
+      start_flow;
+      start_potential;
+      virtual_gain;
+      delta_phi;
+    }
+
+let board_of_json j =
+  let* posted_at = field "posted_at" Json.to_float j in
+  let* board_flow = float_array "flow" j in
+  let* board_latencies = float_array "edge_latencies" j in
+  Ok { Driver.posted_at; board_flow; board_latencies }
+
+let list_field name of_item j =
+  match Json.member name j with
+  | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest ->
+            let* v = of_item x in
+            go (v :: acc) rest
+      in
+      go [] items
+  | _ -> Error (Printf.sprintf "checkpoint: bad or missing field %S" name)
+
+let of_json j =
+  let* v = field "staleroute_checkpoint" Json.to_int j in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "checkpoint: unsupported version %d" v)
+  in
+  let* fingerprint = field "fingerprint" Json.to_str j in
+  let* next_phase = field "next_phase" Json.to_int j in
+  let* flow = float_array "flow" j in
+  let* board =
+    match Json.member "board" j with
+    | Some Json.Null -> Ok None
+    | Some b ->
+        let* b = board_of_json b in
+        Ok (Some b)
+    | None -> Error "checkpoint: bad or missing field \"board\""
+  in
+  let* records_so_far = list_field "records" record_of_json j in
+  let* events = list_field "events" Trace_export.event_of_json j in
+  Ok
+    {
+      fingerprint;
+      snapshot = { Driver.next_phase; flow; board; records_so_far };
+      events = Array.of_list events;
+    }
+
+let save ~path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let* j = Json.of_string (String.trim contents) in
+      of_json j

@@ -1,0 +1,35 @@
+(** Serialised driver checkpoints: pause a run at a phase boundary and
+    resume it later, bit for bit.
+
+    A checkpoint bundles a {!Driver.snapshot} with a caller-supplied
+    {e fingerprint} (a string identifying the run configuration —
+    topology, policy, period, seed, fault spec…) and the probe-event
+    prefix emitted before the boundary.  Everything is encoded with
+    {!Staleroute_obs.Json}, whose float representation round-trips
+    exactly: a resumed run continues from bit-identical state, so its
+    trace and final report match the uninterrupted run byte for byte.
+
+    The fault plan needs no state here — fault draws are pure functions
+    of [(seed, index)] (see {!Faults}) — and the board's revision stamp
+    is re-allocated on restore (it never appears in traces). *)
+
+type t = {
+  fingerprint : string;
+      (** opaque run-configuration stamp; {!load} callers compare it
+          against the current configuration before resuming *)
+  snapshot : Driver.snapshot;
+  events : Staleroute_obs.Probe.event array;
+      (** trace prefix emitted before the checkpoint boundary; resuming
+          writers re-emit it so the final trace is seamless *)
+}
+
+val to_json : t -> Staleroute_obs.Json.t
+val of_json : Staleroute_obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}; errors name the offending field. *)
+
+val save : path:string -> t -> unit
+(** Write the checkpoint as one compact JSON document (atomic enough
+    for our purposes: written to [path ^ ".tmp"], then renamed). *)
+
+val load : path:string -> (t, string) result
+(** Read a checkpoint written by {!save}. *)

@@ -21,16 +21,22 @@ type result = {
   final_potential : float;
 }
 
+(* The projection here is the raw in-place one, not the validating
+   [Flow.project]: a NaN produced by a pathological policy must reach
+   the next round boundary (where a [Guard] can see it) instead of
+   raising from deep inside the step. *)
 let step_kernel inst kernel f =
   let d = Rate_kernel.flow_derivative kernel f in
   let g = Vec.copy f in
   Vec.axpy ~alpha:1. ~x:d ~y:g;
-  Flow.project inst g
+  Flow.project_ inst g;
+  g
 
 let step inst policy ~board f =
   step_kernel inst (Rate_kernel.build inst policy ~board) f
 
-let run ?(probe = Probe.null) ?(metrics = Metrics.null) inst config ~init =
+let run ?(probe = Probe.null) ?(metrics = Metrics.null)
+    ?(faults = Faults.plan Faults.none) ?guard inst config ~init =
   if config.rounds < 0 then invalid_arg "Discrete.run: negative rounds";
   if config.rounds_per_update < 1 then
     invalid_arg "Discrete.run: rounds_per_update < 1";
@@ -39,9 +45,28 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) inst config ~init =
   let reposts = Metrics.counter metrics "board_reposts" in
   let rebuilds = Metrics.counter metrics "kernel_rebuilds" in
   let m_rounds = Metrics.counter metrics "rounds" in
+  let faults_c =
+    Metrics.counter
+      (if Faults.is_null faults then Metrics.null else metrics)
+      "faults_injected"
+  in
+  let guard_repairs =
+    Option.map (fun _ -> Metrics.counter metrics "guard_repairs") guard
+  in
   let f = ref (Flow.project inst init) in
-  let post time =
-    let board = Bulletin_board.post inst ~time !f in
+  let emit_fault ~time ~index fault =
+    let kind, arg =
+      match fault with
+      | Faults.Drop -> ("drop", 0.)
+      | Faults.Delay f -> ("delay", f)
+      | Faults.Partial p -> ("partial", p)
+      | Faults.Noise s -> ("noise", s)
+    in
+    if Probe.enabled probe then
+      Probe.emit probe (Probe.Fault_injected { time; index; kind; arg });
+    Metrics.incr faults_c
+  in
+  let announce_and_compile ~time board =
     if Probe.enabled probe then Probe.emit probe (Probe.Board_repost { time });
     Metrics.incr reposts;
     let kernel = Rate_kernel.build inst config.policy ~board in
@@ -50,12 +75,48 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) inst config ~init =
     Metrics.incr rebuilds;
     (board, kernel)
   in
-  (* The compiled kernel lives exactly as long as its board post. *)
+  let post time = announce_and_compile ~time (Bulletin_board.post inst ~time !f) in
+  (* The compiled kernel lives as long as its board post — which under
+     fault injection can span several update periods (dropped re-posts
+     keep the old board, and its kernel stays legitimately current). *)
   let posted = ref (post 0.) in
+  (* Round index where a delayed re-post lands. *)
+  let pending = ref None in
   let records = ref [] in
   for k = 0 to config.rounds - 1 do
-    if k mod config.rounds_per_update = 0 then
-      posted := post (float_of_int k);
+    let time = float_of_int k in
+    if k mod config.rounds_per_update = 0 then begin
+      (* Update attempt [u]; faults are keyed by it, so the plan is
+         independent of [rounds_per_update] granularity. *)
+      let u = k / config.rounds_per_update in
+      let fault = Faults.fault_at faults ~index:u in
+      match fault with
+      | Some Faults.Drop -> emit_fault ~time ~index:u Faults.Drop
+      | Some (Faults.Delay fraction as fault) ->
+          (* Lands on the round grid, a fraction of the update period
+             late; with one round per update there is no interior round
+             and the delay collapses to a drop. *)
+          emit_fault ~time ~index:u fault;
+          if config.rounds_per_update >= 2 then begin
+            let rpu = config.rounds_per_update in
+            let ideal =
+              int_of_float (Float.round (fraction *. float_of_int rpu))
+            in
+            pending := Some (k + max 1 (min (rpu - 1) ideal))
+          end
+      | fault ->
+          let prev = Some (fst !posted) in
+          (match fault with
+          | Some fault -> emit_fault ~time ~index:u fault
+          | None -> ());
+          posted :=
+            announce_and_compile ~time
+              (Faults.board faults ~index:u fault inst ~time ~prev !f)
+    end;
+    if !pending = Some k then begin
+      pending := None;
+      posted := post time
+    end;
     let board, kernel = !posted in
     assert (Rate_kernel.is_current kernel ~board);
     ignore board;
@@ -65,7 +126,13 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) inst config ~init =
     Metrics.incr m_rounds;
     records :=
       { index = k; start_flow = Vec.copy !f; start_potential } :: !records;
-    f := step_kernel inst kernel !f
+    f := step_kernel inst kernel !f;
+    match guard with
+    | Some gd ->
+        Guard.check gd ~probe ?repairs:guard_repairs inst ~index:k
+          ~time:(float_of_int (k + 1))
+          !f
+    | None -> ()
   done;
   {
     records = Array.of_list (List.rev !records);

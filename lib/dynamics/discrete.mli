@@ -38,6 +38,8 @@ val step : Instance.t -> Policy.t -> board:Bulletin_board.t -> Flow.t -> Flow.t
 val run :
   ?probe:Staleroute_obs.Probe.t ->
   ?metrics:Staleroute_obs.Metrics.t ->
+  ?faults:Faults.t ->
+  ?guard:Guard.t ->
   Instance.t ->
   config ->
   init:Flow.t ->
@@ -49,4 +51,12 @@ val run :
     the start-of-round potential) and [Board_repost] /
     [Kernel_rebuild] events at every board refresh; a live [metrics]
     registry maintains the [rounds], [board_reposts] and
-    [kernel_rebuilds] counters.  Both default to disabled. *)
+    [kernel_rebuilds] counters.  Both default to disabled.
+
+    [faults] are keyed by the update-attempt index (round ÷
+    [rounds_per_update]), so the plan is independent of the refresh
+    cadence: a dropped re-post keeps the previous board and its
+    still-current kernel across the update boundary; a delayed one
+    lands on the round grid a fraction of the update period late
+    (collapsing to a drop when [rounds_per_update = 1]).  [guard]
+    checks the flow after every round. *)

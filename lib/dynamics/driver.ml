@@ -38,6 +38,19 @@ type result = {
   final_potential : float;
 }
 
+type board_state = {
+  posted_at : float;
+  board_flow : Flow.t;
+  board_latencies : float array;
+}
+
+type snapshot = {
+  next_phase : int;
+  flow : Flow.t;
+  board : board_state option;
+  records_so_far : phase_record list;
+}
+
 let phase_length config =
   match config.staleness with
   | Fresh -> 1.
@@ -53,24 +66,55 @@ type instruments = {
   rebuilds : Metrics.counter;
   derivs : Metrics.counter;
   build_ns : Metrics.histogram;
+  faults_c : Metrics.counter;
 }
 
-let instruments probe metrics =
+let instruments probe metrics ~faults =
   {
     probe;
     reposts = Metrics.counter metrics "board_reposts";
     rebuilds = Metrics.counter metrics "kernel_rebuilds";
     derivs = Metrics.counter metrics "derivative_evals";
     build_ns = Metrics.histogram metrics "kernel_build_ns";
+    (* Fault-free runs keep their metric snapshot exactly as before the
+       fault layer existed. *)
+    faults_c =
+      Metrics.counter
+        (if Faults.is_null faults then Metrics.null else metrics)
+        "faults_injected";
   }
 
-(* Post the board and compile its kernel, emitting the matching probe
-   events and metric updates.  [Sys.time] is CPU time — coarse for a
-   single build but meaningful accumulated over a run — and is consulted
-   only when the histogram is live, keeping uninstrumented runs free of
-   clock reads. *)
-let post_and_compile inst policy ~ins ~time f =
-  let board = Bulletin_board.post inst ~time f in
+(* The live posting: a board and the kernel compiled against it.  With
+   fault injection a posting can outlive its phase (a dropped re-post
+   keeps the old board — and its kernel stays legitimately current,
+   because the board did not change). *)
+type live = { board : Bulletin_board.t; kernel : Rate_kernel.t }
+
+let board_state l =
+  {
+    posted_at = l.board.Bulletin_board.posted_at;
+    board_flow = Vec.copy l.board.Bulletin_board.flow;
+    board_latencies = Array.copy l.board.Bulletin_board.edge_latencies;
+  }
+
+let fault_parts = function
+  | Faults.Drop -> ("drop", 0.)
+  | Faults.Delay f -> ("delay", f)
+  | Faults.Partial p -> ("partial", p)
+  | Faults.Noise s -> ("noise", s)
+
+let emit_fault ins ~time ~index fault =
+  let kind, arg = fault_parts fault in
+  if Probe.enabled ins.probe then
+    Probe.emit ins.probe (Probe.Fault_injected { time; index; kind; arg });
+  Metrics.incr ins.faults_c
+
+(* Announce a freshly posted board and compile its kernel, emitting the
+   matching probe events and metric updates.  [Sys.time] is CPU time —
+   coarse for a single build but meaningful accumulated over a run — and
+   is consulted only when the histogram is live, keeping uninstrumented
+   runs free of clock reads. *)
+let announce_and_compile inst policy ~ins ~time board =
   if Probe.enabled ins.probe then
     Probe.emit ins.probe (Probe.Board_repost { time });
   Metrics.incr ins.reposts;
@@ -81,68 +125,174 @@ let post_and_compile inst policy ~ins ~time f =
   if Probe.enabled ins.probe then
     Probe.emit ins.probe (Probe.Kernel_rebuild { time });
   Metrics.incr ins.rebuilds;
-  (board, kernel)
+  assert (Rate_kernel.is_current kernel ~board);
+  { board; kernel }
+
+let post_and_compile inst policy ~ins ~time f =
+  announce_and_compile inst policy ~ins ~time (Bulletin_board.post inst ~time f)
+
+(* The "a re-post lands now" path: build the (possibly Partial/Noise
+   faulted) board for update [index] and compile it.  Drop/Delay/Partial
+   faults with no previous board to lean on degrade to a clean post —
+   nothing was actually injected, so no fault event is emitted. *)
+let post_faulted inst policy ~ins ~faults ~index fault ~time ~prev f =
+  let fault =
+    match (fault, prev) with
+    | Some (Faults.Drop | Faults.Delay _ | Faults.Partial _), None -> None
+    | f, _ -> f
+  in
+  (match fault with
+  | Some fault -> emit_fault ins ~time ~index fault
+  | None -> ());
+  announce_and_compile inst policy ~ins ~time
+    (Faults.board faults ~index fault inst ~time ~prev f)
 
 (* The driver always runs on the compiled kernel path: a board is
    compiled to a [Rate_kernel.t] once per post and the phase is
    integrated in place against it.  [Rates.flow_derivative] remains as
    the reference implementation (tests and the microbenchmarks compare
    the two). *)
-let advance_one_phase inst config ~ins ~pool ~time f =
+let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
   let tau = phase_length config in
   let steps = config.steps_per_phase in
   let stage = Integrator.stage_evals config.scheme in
+  let integrate ~kernel ~t0 ~tau ~steps g =
+    Integrator.integrate_phase_into ~probe:ins.probe ~t0 config.scheme inst
+      ~pool
+      ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
+      ~f:g ~tau ~steps;
+    Metrics.incr ~by:(stage * steps) ins.derivs
+  in
   match config.staleness with
-  | Stale _ ->
-      let board, kernel =
-        post_and_compile inst config.policy ~ins ~time f
-      in
-      assert (Rate_kernel.is_current kernel ~board);
+  | Stale _ -> (
       let g = Vec.copy f in
-      Integrator.integrate_phase_into ~probe:ins.probe ~t0:time config.scheme
-        inst ~pool
-        ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
-        ~f:g ~tau ~steps;
-      Metrics.incr ~by:(stage * steps) ins.derivs;
-      g
+      let fault = Faults.fault_at faults ~index:k in
+      match (fault, live) with
+      | Some Faults.Drop, Some l ->
+          (* The re-post was lost: the previous board survives the phase
+             boundary and its kernel is legitimately not rebuilt. *)
+          emit_fault ins ~time ~index:k Faults.Drop;
+          assert (Rate_kernel.is_current l.kernel ~board:l.board);
+          integrate ~kernel:l.kernel ~t0:time ~tau ~steps g;
+          (g, Some l)
+      | Some (Faults.Delay fraction as fault), Some l ->
+          (* The re-post lands mid-phase, snapped to the integrator-step
+             grid: the head of the phase still runs on the old board.
+             With a single step per phase there is no interior grid point
+             and the landing collapses to the next phase boundary — i.e.
+             the post is effectively lost, like a drop. *)
+          emit_fault ins ~time ~index:k fault;
+          if steps < 2 then begin
+            assert (Rate_kernel.is_current l.kernel ~board:l.board);
+            integrate ~kernel:l.kernel ~t0:time ~tau ~steps g;
+            (g, Some l)
+          end
+          else begin
+            let h = tau /. float_of_int steps in
+            let s1 =
+              let ideal =
+                int_of_float (Float.round (fraction *. float_of_int steps))
+              in
+              max 1 (min (steps - 1) ideal)
+            in
+            assert (Rate_kernel.is_current l.kernel ~board:l.board);
+            integrate ~kernel:l.kernel ~t0:time
+              ~tau:(h *. float_of_int s1)
+              ~steps:s1 g;
+            let post_time = time +. (h *. float_of_int s1) in
+            let l' = post_and_compile inst config.policy ~ins ~time:post_time g in
+            integrate ~kernel:l'.kernel ~t0:post_time
+              ~tau:(h *. float_of_int (steps - s1))
+              ~steps:(steps - s1) g;
+            (g, Some l')
+          end
+      | fault, live ->
+          let prev = Option.map (fun l -> l.board) live in
+          let l =
+            post_faulted inst config.policy ~ins ~faults ~index:k fault ~time
+              ~prev f
+          in
+          integrate ~kernel:l.kernel ~t0:time ~tau ~steps g;
+          (g, Some l))
   | Fresh ->
       (* Re-post before every internal step: zero information age up to
          the step size.  The kernel only survives one step here — it
-         must be rebuilt for every re-posted board. *)
+         must be rebuilt for every re-posted board.  Faults are keyed by
+         the global update index (one update per step); a delayed post
+         is equivalent to a dropped one, because the next step re-posts
+         anyway. *)
       let h = tau /. float_of_int steps in
       let g = Vec.copy f in
-      for k = 0 to steps - 1 do
-        let step_time = time +. (float_of_int k *. h) in
-        let board, kernel =
-          post_and_compile inst config.policy ~ins ~time:step_time g
-        in
-        assert (Rate_kernel.is_current kernel ~board);
-        Integrator.integrate_phase_into ~probe:ins.probe ~t0:step_time
-          config.scheme inst ~pool
-          ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
-          ~f:g ~tau:h ~steps:1;
-        Metrics.incr ~by:stage ins.derivs
+      let live = ref live in
+      for j = 0 to steps - 1 do
+        let step_time = time +. (float_of_int j *. h) in
+        let u = (k * steps) + j in
+        let fault = Faults.fault_at faults ~index:u in
+        (match (fault, !live) with
+        | Some ((Faults.Drop | Faults.Delay _) as fault), Some _ ->
+            emit_fault ins ~time:step_time ~index:u fault
+        | fault, lv ->
+            let prev = Option.map (fun l -> l.board) lv in
+            live :=
+              Some
+                (post_faulted inst config.policy ~ins ~faults ~index:u fault
+                   ~time:step_time ~prev g));
+        let l = Option.get !live in
+        assert (Rate_kernel.is_current l.kernel ~board:l.board);
+        integrate ~kernel:l.kernel ~t0:step_time ~tau:h ~steps:1 g
       done;
-      g
+      (g, !live)
 
-let run ?(probe = Probe.null) ?(metrics = Metrics.null) inst config ~init =
+let restore_live inst policy b =
+  let board =
+    Bulletin_board.post_with inst ~time:b.posted_at ~flow:b.board_flow
+      ~edge_latencies:b.board_latencies
+  in
+  { board; kernel = Rate_kernel.build inst policy ~board }
+
+let run ?(probe = Probe.null) ?(metrics = Metrics.null)
+    ?(faults = Faults.plan Faults.none) ?guard ?from ?(checkpoint_every = 0)
+    ?on_checkpoint inst config ~init =
   if config.phases < 0 then invalid_arg "Driver.run: negative phase count";
   if config.steps_per_phase < 1 then
     invalid_arg "Driver.run: steps_per_phase < 1";
-  if not (Flow.is_feasible inst init) then
-    invalid_arg "Driver.run: infeasible initial flow";
   let tau = phase_length config in
   let pool = Vec.Pool.create ~dim:(Instance.path_count inst) in
-  let ins = instruments probe metrics in
+  let ins = instruments probe metrics ~faults in
   let h_phi = Metrics.histogram metrics "phase_potential" in
   let h_dphi = Metrics.histogram metrics "phase_delta_phi" in
   let h_vgain = Metrics.histogram metrics "phase_virtual_gain" in
   let h_gc = Metrics.histogram metrics "phase_minor_words" in
   let g_final = Metrics.gauge metrics "final_potential" in
-  let records = ref [] in
-  let f = ref (Flow.project inst init) in
+  let guard_repairs =
+    Option.map (fun _ -> Metrics.counter metrics "guard_repairs") guard
+  in
+  let start_phase, f, live, records =
+    match from with
+    | None ->
+        if not (Flow.is_feasible inst init) then
+          invalid_arg "Driver.run: infeasible initial flow";
+        (0, ref (Flow.project inst init), ref None, ref [])
+    | Some s ->
+        (* Resuming: the snapshot flow is bit-exact driver output — it is
+           deliberately NOT re-projected (an uninterrupted run does not
+           re-project between phases either). *)
+        if s.next_phase < 0 || s.next_phase > config.phases then
+          invalid_arg "Driver.run: snapshot phase outside configured range";
+        if List.length s.records_so_far <> s.next_phase then
+          invalid_arg "Driver.run: snapshot records inconsistent with phase";
+        if Array.length s.flow <> Instance.path_count inst then
+          invalid_arg "Driver.run: snapshot flow has wrong dimension";
+        let live =
+          Option.map (restore_live inst config.policy) s.board
+        in
+        ( s.next_phase,
+          ref (Vec.copy s.flow),
+          ref live,
+          ref (List.rev s.records_so_far) )
+  in
   let phi = ref (Potential.phi inst !f) in
-  for k = 0 to config.phases - 1 do
+  for k = start_phase to config.phases - 1 do
     let start_time = float_of_int k *. tau in
     let start_flow = Vec.copy !f in
     let start_potential = !phi in
@@ -151,7 +301,16 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) inst config ~init =
       Probe.emit probe
         (Probe.Phase_start
            { index = k; time = start_time; potential = start_potential });
-    let next = advance_one_phase inst config ~ins ~pool ~time:start_time !f in
+    let next, live' =
+      advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live:!live
+        ~time:start_time !f
+    in
+    live := live';
+    (match guard with
+    | Some gd ->
+        Guard.check gd ~probe ?repairs:guard_repairs inst ~index:k
+          ~time:(start_time +. tau) next
+    | None -> ());
     let next_phi = Potential.phi inst next in
     let virtual_gain =
       Virtual_gain.virtual_gain inst ~phase_start:start_flow ~phase_end:next
@@ -184,7 +343,18 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) inst config ~init =
       }
       :: !records;
     f := next;
-    phi := next_phi
+    phi := next_phi;
+    match on_checkpoint with
+    | Some save when checkpoint_every > 0 && (k + 1) mod checkpoint_every = 0
+      ->
+        save
+          {
+            next_phase = k + 1;
+            flow = Vec.copy !f;
+            board = Option.map board_state !live;
+            records_so_far = List.rev !records;
+          }
+    | _ -> ()
   done;
   Metrics.set g_final !phi;
   {

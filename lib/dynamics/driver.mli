@@ -48,9 +48,35 @@ type result = {
   final_potential : float;
 }
 
+type board_state = {
+  posted_at : float;
+  board_flow : Flow.t;  (** the flow snapshot the board was posted from *)
+  board_latencies : float array;  (** posted per-edge latencies *)
+}
+(** The serialisable content of the live bulletin-board posting.  Path
+    latencies and the kernel are recomputed on restore (deterministic
+    functions of the fields here), and the revision stamp is
+    re-allocated — it never appears in traces. *)
+
+type snapshot = {
+  next_phase : int;  (** first phase the resumed run will execute *)
+  flow : Flow.t;  (** bit-exact flow at that phase boundary *)
+  board : board_state option;  (** the posting live at the boundary *)
+  records_so_far : phase_record list;  (** completed phases, in order *)
+}
+(** Everything [run] needs to continue at a phase boundary.  Fault
+    draws are pure functions of [(seed, index)] (see {!Faults}), so no
+    fault RNG state is part of a snapshot.  [Checkpoint] serialises
+    snapshots to JSON. *)
+
 val run :
   ?probe:Staleroute_obs.Probe.t ->
   ?metrics:Staleroute_obs.Metrics.t ->
+  ?faults:Faults.t ->
+  ?guard:Guard.t ->
+  ?from:snapshot ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(snapshot -> unit) ->
   Instance.t ->
   config ->
   init:Flow.t ->
@@ -69,7 +95,28 @@ val run :
     [phase_virtual_gain] / [phase_minor_words] histograms and the
     [final_potential] gauge.  Both default to disabled, which costs a
     branch per phase and keeps the integration hot path
-    allocation-free. *)
+    allocation-free.
+
+    [faults] (default: the null plan) injects seeded bulletin-board
+    faults, keyed by phase index under [Stale] and by the global update
+    index (phase × steps + step) under [Fresh]; each injected fault
+    emits a [Fault_injected] event and bumps a [faults_injected]
+    counter (created only for non-null plans, so fault-free metric
+    snapshots are unchanged).  A dropped re-post keeps the previous
+    board {e and its kernel} — the board did not change, so the kernel
+    is legitimately current.  Under [Fresh] a delayed post behaves as a
+    drop (the next step re-posts anyway).  Drop/Delay/Partial faults at
+    the very first update degrade to a clean post and emit nothing.
+
+    [guard] checks the flow's numeric health at every phase boundary
+    (see {!Guard}); repairs bump a [guard_repairs] counter.
+
+    [from] resumes a run from a {!snapshot} at a phase boundary: the
+    probe sees exactly the events of phases [next_phase ..], and the
+    result (records, final flow, potential) is bit-identical to the
+    uninterrupted run's.  The snapshot flow is deliberately not
+    re-projected.  When [checkpoint_every = k > 0], [on_checkpoint]
+    receives a snapshot after every [k]-th completed phase. *)
 
 val phase_length : config -> float
 (** The duration of one recorded phase under the given configuration. *)

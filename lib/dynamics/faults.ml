@@ -1,0 +1,213 @@
+open Staleroute_wardrop
+module Rng = Staleroute_util.Rng
+
+type fault =
+  | Drop
+  | Delay of float
+  | Partial of float
+  | Noise of float
+
+type spec = {
+  drop : float;
+  delay : float;
+  delay_fraction : float;
+  partial : float;
+  partial_fraction : float;
+  noise : float;
+  noise_sigma : float;
+  seed : int;
+}
+
+let none =
+  {
+    drop = 0.;
+    delay = 0.;
+    delay_fraction = 0.5;
+    partial = 0.;
+    partial_fraction = 0.5;
+    noise = 0.;
+    noise_sigma = 0.1;
+    seed = 0;
+  }
+
+let check_prob name p =
+  if not (Float.is_finite p) || p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Faults.make: %s must be in [0, 1]" name)
+
+let make ?(drop = 0.) ?(delay = 0.) ?(delay_fraction = 0.5) ?(partial = 0.)
+    ?(partial_fraction = 0.5) ?(noise = 0.) ?(noise_sigma = 0.1) ?(seed = 0)
+    () =
+  check_prob "drop" drop;
+  check_prob "delay" delay;
+  check_prob "partial" partial;
+  check_prob "noise" noise;
+  if drop +. delay +. partial +. noise > 1. +. 1e-12 then
+    invalid_arg "Faults.make: fault probabilities must sum to at most 1";
+  if not (Float.is_finite delay_fraction)
+     || delay_fraction <= 0.
+     || delay_fraction >= 1.
+  then invalid_arg "Faults.make: delay_fraction must be in (0, 1)";
+  if not (Float.is_finite partial_fraction)
+     || partial_fraction <= 0.
+     || partial_fraction > 1.
+  then invalid_arg "Faults.make: partial_fraction must be in (0, 1]";
+  if not (Float.is_finite noise_sigma) || noise_sigma <= 0. then
+    invalid_arg "Faults.make: noise_sigma must be positive";
+  {
+    drop;
+    delay;
+    delay_fraction;
+    partial;
+    partial_fraction;
+    noise;
+    noise_sigma;
+    seed;
+  }
+
+(* --- CLI syntax --- *)
+
+let float_field name s =
+  match float_of_string_opt s with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "faults: bad number %S in %s" s name)
+
+let ( let* ) = Result.bind
+
+let of_string s =
+  let s = String.trim s in
+  if s = "none" || s = "" then Ok none
+  else begin
+    let parse_field acc item =
+      let* acc = acc in
+      match String.index_opt item '=' with
+      | None -> Error (Printf.sprintf "faults: expected key=value, got %S" item)
+      | Some i -> (
+          let key = String.sub item 0 i in
+          let value = String.sub item (i + 1) (String.length item - i - 1) in
+          let prob_and_param name =
+            match String.index_opt value ':' with
+            | None ->
+                let* p = float_field name value in
+                Ok (p, None)
+            | Some j ->
+                let* p = float_field name (String.sub value 0 j) in
+                let* a =
+                  float_field name
+                    (String.sub value (j + 1) (String.length value - j - 1))
+                in
+                Ok (p, Some a)
+          in
+          match key with
+          | "drop" ->
+              let* p = float_field "drop" value in
+              Ok { acc with drop = p }
+          | "delay" ->
+              let* p, f = prob_and_param "delay" in
+              Ok
+                {
+                  acc with
+                  delay = p;
+                  delay_fraction =
+                    Option.value f ~default:acc.delay_fraction;
+                }
+          | "partial" ->
+              let* p, f = prob_and_param "partial" in
+              Ok
+                {
+                  acc with
+                  partial = p;
+                  partial_fraction =
+                    Option.value f ~default:acc.partial_fraction;
+                }
+          | "noise" ->
+              let* p, sg = prob_and_param "noise" in
+              Ok
+                {
+                  acc with
+                  noise = p;
+                  noise_sigma = Option.value sg ~default:acc.noise_sigma;
+                }
+          | "seed" -> (
+              match int_of_string_opt value with
+              | Some n -> Ok { acc with seed = n }
+              | None -> Error (Printf.sprintf "faults: bad seed %S" value))
+          | other -> Error (Printf.sprintf "faults: unknown field %S" other))
+    in
+    let* spec =
+      List.fold_left parse_field (Ok none) (String.split_on_char ',' s)
+    in
+    match
+      make ~drop:spec.drop ~delay:spec.delay
+        ~delay_fraction:spec.delay_fraction ~partial:spec.partial
+        ~partial_fraction:spec.partial_fraction ~noise:spec.noise
+        ~noise_sigma:spec.noise_sigma ~seed:spec.seed ()
+    with
+    | spec -> Ok spec
+    | exception Invalid_argument msg -> Error msg
+  end
+
+let null_probabilities s =
+  s.drop = 0. && s.delay = 0. && s.partial = 0. && s.noise = 0.
+
+let to_string s =
+  if null_probabilities s then "none"
+  else begin
+    let fields = ref [] in
+    let addf fmt = Printf.ksprintf (fun x -> fields := x :: !fields) fmt in
+    if s.seed <> 0 then addf "seed=%d" s.seed;
+    if s.noise > 0. then addf "noise=%g:%g" s.noise s.noise_sigma;
+    if s.partial > 0. then addf "partial=%g:%g" s.partial s.partial_fraction;
+    if s.delay > 0. then addf "delay=%g:%g" s.delay s.delay_fraction;
+    if s.drop > 0. then addf "drop=%g" s.drop;
+    String.concat "," !fields
+  end
+
+(* --- the compiled plan --- *)
+
+type t = { spec : spec; null : bool }
+
+let plan spec = { spec; null = null_probabilities spec }
+let spec t = t.spec
+let is_null t = t.null
+
+(* Three independent streams per phase index, so the decision draw, the
+   partial-refresh subset and the noise draws never share state: each is
+   a pure function of (seed, index) no matter which faults fired
+   before. *)
+let rng_for t ~index ~stream = Rng.create ~seed:t.spec.seed ~stream:((3 * index) + stream) ()
+
+let fault_at t ~index =
+  if t.null then None
+  else begin
+    let s = t.spec in
+    let u = Rng.uniform (rng_for t ~index ~stream:0) in
+    if u < s.drop then Some Drop
+    else if u < s.drop +. s.delay then Some (Delay s.delay_fraction)
+    else if u < s.drop +. s.delay +. s.partial then
+      Some (Partial s.partial_fraction)
+    else if u < s.drop +. s.delay +. s.partial +. s.noise then
+      Some (Noise s.noise_sigma)
+    else None
+  end
+
+let board t ~index fault inst ~time ~prev flow =
+  match (fault, prev) with
+  | Some (Partial fraction), Some old ->
+      let fresh = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
+      let stale = old.Bulletin_board.edge_latencies in
+      let rng = rng_for t ~index ~stream:1 in
+      let mixed =
+        Array.mapi
+          (fun e fresh_e ->
+            if Rng.uniform rng < fraction then fresh_e else stale.(e))
+          fresh
+      in
+      Bulletin_board.post_with inst ~time ~flow ~edge_latencies:mixed
+  | Some (Noise sigma), _ ->
+      let fresh = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
+      let rng = rng_for t ~index ~stream:2 in
+      let noisy =
+        Array.map (fun l -> l *. exp (sigma *. Rng.gaussian rng)) fresh
+      in
+      Bulletin_board.post_with inst ~time ~flow ~edge_latencies:noisy
+  | _ -> Bulletin_board.post inst ~time flow

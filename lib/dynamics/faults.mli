@@ -1,0 +1,117 @@
+(** Seeded fault injection for the bulletin board.
+
+    The paper studies boards that are merely {e stale}; real bulletin
+    boards are also {e unreliable}: a re-post can be lost, land late,
+    refresh only part of the network, or carry measurement noise.  This
+    module draws a deterministic per-phase fault plan from an explicit
+    seed, so faulted runs are exactly as reproducible as clean ones —
+    the fault at phase [k] is a pure function of [(seed, k)],
+    independent of pool width, scheduling, or how many draws earlier
+    phases made.
+
+    Fault semantics (applied by [Driver] / [Trajectory] / [Discrete]):
+
+    - {b Drop}: the re-post is lost; the previous board survives the
+      phase boundary, agents act on doubly-stale information, and the
+      compiled {!Rate_kernel} is {e legitimately not rebuilt} — the
+      board did not change, so [Rate_kernel.is_current] still holds.
+      With drop probability [p] the expected interval between
+      successful posts inflates from [T] to [T / (1 - p)] (experiment
+      E17 measures exactly this).
+    - {b Delay}: the post lands a fraction [f] into the phase — the
+      first [f·τ] of the phase integrates against the old board, the
+      rest against the fresh one.
+    - {b Partial}: only a seeded Bernoulli subset of edges refreshes;
+      the posted board mixes fresh and stale edge latencies
+      (a mixed-age board).
+    - {b Noise}: the posted edge latencies are perturbed
+      multiplicatively by [exp (sigma · N(0,1))] (lognormal, so they
+      stay positive).
+
+    Every injected fault is announced through a typed
+    [Probe.Fault_injected] event by the driver paths — zero-cost when
+    the probe is disabled, stamped with sim time only, so same-seed
+    faulted traces stay byte-identical. *)
+
+open Staleroute_wardrop
+
+type fault =
+  | Drop
+  | Delay of float  (** landing fraction in (0, 1) *)
+  | Partial of float  (** per-edge refresh probability in (0, 1] *)
+  | Noise of float  (** lognormal sigma > 0 *)
+
+type spec = {
+  drop : float;  (** probability a re-post is lost *)
+  delay : float;  (** probability a re-post lands mid-phase *)
+  delay_fraction : float;  (** where a delayed post lands, in (0, 1) *)
+  partial : float;  (** probability of a partial refresh *)
+  partial_fraction : float;  (** per-edge refresh probability, in (0, 1] *)
+  noise : float;  (** probability of a noisy post *)
+  noise_sigma : float;  (** lognormal sigma of a noisy post, > 0 *)
+  seed : int;  (** fault-plan seed *)
+}
+
+val none : spec
+(** All fault probabilities zero — the plan that never fires. *)
+
+val make :
+  ?drop:float ->
+  ?delay:float ->
+  ?delay_fraction:float ->
+  ?partial:float ->
+  ?partial_fraction:float ->
+  ?noise:float ->
+  ?noise_sigma:float ->
+  ?seed:int ->
+  unit ->
+  spec
+(** Build a validated spec.  Probabilities default to 0 and must lie in
+    [\[0, 1\]] with sum at most 1; [delay_fraction] (default 0.5) must
+    be in (0, 1); [partial_fraction] (default 0.5) in (0, 1];
+    [noise_sigma] (default 0.1) positive; [seed] defaults to 0.  Raises
+    [Invalid_argument] otherwise. *)
+
+val of_string : string -> (spec, string) result
+(** Parse the CLI syntax: ["none"], or comma-separated fields
+    [drop=P], [delay=P] or [delay=P:F], [partial=P] or [partial=P:F],
+    [noise=P] or [noise=P:SIGMA], [seed=N] — e.g.
+    ["drop=0.3,noise=0.2:0.05,seed=7"]. *)
+
+val to_string : spec -> string
+(** Canonical rendering; [of_string (to_string s)] recovers a spec with
+    identical fault behaviour (parameters of zero-probability faults,
+    and the seed of an all-zero spec, are not printed).  ["none"] for
+    specs that never fire. *)
+
+type t
+(** A compiled fault plan. *)
+
+val plan : spec -> t
+val spec : t -> spec
+
+val is_null : t -> bool
+(** Whether the plan can never fire (all probabilities zero) — callers
+    use this to keep the fault-free fast path branchless. *)
+
+val fault_at : t -> index:int -> fault option
+(** The fault injected at phase (or update round) [index] — a pure
+    function of the spec's seed and [index].  Always [None] for null
+    plans. *)
+
+val board :
+  t ->
+  index:int ->
+  fault option ->
+  Instance.t ->
+  time:float ->
+  prev:Bulletin_board.t option ->
+  Flow.t ->
+  Bulletin_board.t
+(** Post the board for a re-post that {e does land} at phase [index]:
+    clean for [None] / [Drop] / [Delay] faults, mixed-age for
+    [Partial] (stale latencies come from [prev]; a clean post when
+    [prev] is [None]), perturbed for [Noise].  The seeded draws (edge
+    subset, noise) are pure functions of [(seed, index)].  Drops and
+    delays are the {e caller's} responsibility — this function is the
+    "what lands" half of the fault model. *)

@@ -1,0 +1,172 @@
+open Staleroute_wardrop
+module Probe = Staleroute_obs.Probe
+module Metrics = Staleroute_obs.Metrics
+
+type policy = Fail_fast | Repair | Ignore
+
+type t = { policy : policy; tol : float }
+
+let make ?(tol = 1e-6) policy =
+  if not (Float.is_finite tol) || tol <= 0. then
+    invalid_arg "Guard.make: tol must be finite and positive";
+  { policy; tol }
+
+let fail_fast = make Fail_fast
+let repair = make Repair
+let ignore_ = make Ignore
+
+let policy_name = function
+  | Fail_fast -> "fail-fast"
+  | Repair -> "repair"
+  | Ignore -> "ignore"
+
+let of_string s =
+  let name, tol =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+        ( String.sub s 0 i,
+          float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        )
+  in
+  let with_policy p =
+    match (String.contains s ':', tol) with
+    | true, None -> Error (Printf.sprintf "guard: bad tolerance in %S" s)
+    | false, _ -> Ok (make p)
+    | true, Some tol -> (
+        match make ~tol p with
+        | g -> Ok g
+        | exception Invalid_argument msg -> Error msg)
+  in
+  match name with
+  | "fail-fast" -> with_policy Fail_fast
+  | "repair" -> with_policy Repair
+  | "ignore" -> with_policy Ignore
+  | other -> Error (Printf.sprintf "guard: unknown policy %S" other)
+
+let to_string t =
+  if t.tol = 1e-6 then policy_name t.policy
+  else Printf.sprintf "%s:%g" (policy_name t.policy) t.tol
+
+type diagnostic = {
+  index : int;
+  time : float;
+  commodity : int;
+  paths : int list;
+  detail : string;
+}
+
+exception Unhealthy of diagnostic
+
+let () =
+  Printexc.register_printer (function
+    | Unhealthy d ->
+        Some
+          (Printf.sprintf
+             "Guard.Unhealthy: %s (phase %d, t=%g, commodity %d, paths [%s])"
+             d.detail d.index d.time d.commodity
+             (String.concat "; " (List.map string_of_int d.paths)))
+    | _ -> None)
+
+(* One commodity's verdict: the offending paths (non-finite or negative
+   beyond tol) and the demand error.  [worst] aggregates the largest
+   feasibility violation; a non-finite entry makes it nan. *)
+type verdict = {
+  bad_paths : int list;  (* reversed accumulation order *)
+  non_finite : bool;
+  mass_error : float;
+}
+
+let inspect_commodity inst ~tol f ci =
+  let ps = Instance.paths_of_commodity inst ci in
+  let bad = ref [] in
+  let non_finite = ref false in
+  let mass = ref 0. in
+  Array.iter
+    (fun p ->
+      let x = f.(p) in
+      if not (Float.is_finite x) then begin
+        non_finite := true;
+        bad := p :: !bad
+      end
+      else if x < -.tol then bad := p :: !bad;
+      mass := !mass +. x)
+    ps;
+  let mass_error = Float.abs (!mass -. Instance.demand inst ci) in
+  { bad_paths = !bad; non_finite = !non_finite; mass_error }
+
+let healthy ~tol v =
+  (not v.non_finite) && v.bad_paths = [] && v.mass_error <= tol
+
+(* Repair one commodity in place: non-finite and negative entries are
+   clipped to 0, then the demand is restored by rescaling — or spread
+   uniformly when the commodity's mass vanished entirely (the case
+   Flow.project refuses). *)
+let repair_commodity inst f ci =
+  let ps = Instance.paths_of_commodity inst ci in
+  let mass = ref 0. in
+  Array.iter
+    (fun p ->
+      let x = f.(p) in
+      let x = if Float.is_finite x then Float.max 0. x else 0. in
+      f.(p) <- x;
+      mass := !mass +. x)
+    ps;
+  let r = Instance.demand inst ci in
+  if !mass > 0. then begin
+    let scale = r /. !mass in
+    Array.iter (fun p -> f.(p) <- f.(p) *. scale) ps
+  end
+  else begin
+    let share = r /. float_of_int (Array.length ps) in
+    Array.iter (fun p -> f.(p) <- share) ps
+  end
+
+let check t ?(probe = Probe.null) ?repairs inst ~index ~time f =
+  let nc = Instance.commodity_count inst in
+  let first_bad = ref None in
+  let worst = ref 0. in
+  for ci = 0 to nc - 1 do
+    let v = inspect_commodity inst ~tol:t.tol f ci in
+    if not (healthy ~tol:t.tol v) then begin
+      if !first_bad = None then first_bad := Some (ci, v);
+      if v.non_finite then worst := Float.nan
+      else if not (Float.is_nan !worst) then
+        worst := Float.max !worst v.mass_error
+    end
+  done;
+  match !first_bad with
+  | None -> ()
+  | Some (ci, v) -> (
+      let detail =
+        if v.non_finite then "non-finite flow entries"
+        else if v.bad_paths <> [] then
+          Printf.sprintf "negative flow entries beyond tol=%g" t.tol
+        else
+          Printf.sprintf "demand error %g beyond tol=%g" v.mass_error t.tol
+      in
+      match t.policy with
+      | Fail_fast ->
+          raise
+            (Unhealthy
+               {
+                 index;
+                 time;
+                 commodity = ci;
+                 paths = List.rev v.bad_paths;
+                 detail;
+               })
+      | Repair ->
+          for cj = 0 to nc - 1 do
+            repair_commodity inst f cj
+          done;
+          (match repairs with Some c -> Metrics.incr c | None -> ());
+          if Probe.enabled probe then
+            Probe.emit probe
+              (Probe.Guard_trip
+                 { time; index; action = "repair"; worst = !worst })
+      | Ignore ->
+          if Probe.enabled probe then
+            Probe.emit probe
+              (Probe.Guard_trip
+                 { time; index; action = "ignore"; worst = !worst }))

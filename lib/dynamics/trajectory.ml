@@ -7,8 +7,9 @@ type sample = { time : float; flow : Flow.t }
 
 type t = sample array
 
-let record ?(probe = Probe.null) ?(metrics = Metrics.null) inst
-    (config : Driver.config) ~init ~samples_per_phase =
+let record ?(probe = Probe.null) ?(metrics = Metrics.null)
+    ?(faults = Faults.plan Faults.none) ?guard inst (config : Driver.config)
+    ~init ~samples_per_phase =
   if samples_per_phase < 1 then
     invalid_arg "Trajectory.record: samples_per_phase < 1";
   let tau = Driver.phase_length config in
@@ -21,8 +22,27 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null) inst
   let pool = Vec.Pool.create ~dim:(Instance.path_count inst) in
   let reposts = Metrics.counter metrics "board_reposts" in
   let rebuilds = Metrics.counter metrics "kernel_rebuilds" in
-  let post_and_compile ~time flow =
-    let board = Bulletin_board.post inst ~time flow in
+  let faults_c =
+    Metrics.counter
+      (if Faults.is_null faults then Metrics.null else metrics)
+      "faults_injected"
+  in
+  let guard_repairs =
+    Option.map (fun _ -> Metrics.counter metrics "guard_repairs") guard
+  in
+  let emit_fault ~time ~index fault =
+    let kind, arg =
+      match fault with
+      | Faults.Drop -> ("drop", 0.)
+      | Faults.Delay f -> ("delay", f)
+      | Faults.Partial p -> ("partial", p)
+      | Faults.Noise s -> ("noise", s)
+    in
+    if Probe.enabled probe then
+      Probe.emit probe (Probe.Fault_injected { time; index; kind; arg });
+    Metrics.incr faults_c
+  in
+  let announce_and_compile ~time board =
     if Probe.enabled probe then Probe.emit probe (Probe.Board_repost { time });
     Metrics.incr reposts;
     let kernel = Rate_kernel.build inst config.Driver.policy ~board in
@@ -31,28 +51,78 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null) inst
     Metrics.incr rebuilds;
     (board, kernel)
   in
+  let post_and_compile ~time flow =
+    announce_and_compile ~time (Bulletin_board.post inst ~time flow)
+  in
+  (* A faulted re-post that lands now; Drop/Delay/Partial with no
+     previous board degrade to a clean post with no event (nothing was
+     actually injected). *)
+  let post_faulted ~index fault ~time ~prev flow =
+    let fault =
+      match (fault, prev) with
+      | Some (Faults.Drop | Faults.Delay _ | Faults.Partial _), None -> None
+      | f, _ -> f
+    in
+    (match fault with
+    | Some fault -> emit_fault ~time ~index fault
+    | None -> ());
+    announce_and_compile ~time (Faults.board faults ~index fault inst ~time ~prev flow)
+  in
   let samples = ref [] in
   let f = ref (Flow.project inst init) in
+  (* The live posting survives dropped re-posts — under faults a board
+     (and its still-current kernel) can outlive the phase it was posted
+     in, exactly as in [Driver]. *)
+  let live = ref None in
   let push time flow = samples := { time; flow = Vec.copy flow } :: !samples in
   push 0. !f;
   for k = 0 to config.Driver.phases - 1 do
     let phase_start = float_of_int k *. tau in
-    let phase_post =
-      (* Under stale information the board lives for the whole phase;
-         its kernel must too (re-posting would invalidate it). *)
-      match config.Driver.staleness with
-      | Driver.Stale _ -> Some (post_and_compile ~time:phase_start !f)
-      | Driver.Fresh -> None
-    in
+    (* Chunk index (within this phase) where a delayed post lands. *)
+    let pending = ref None in
+    (match config.Driver.staleness with
+    | Driver.Fresh -> ()
+    | Driver.Stale _ -> (
+        let fault = Faults.fault_at faults ~index:k in
+        match (fault, !live) with
+        | Some Faults.Drop, Some _ ->
+            emit_fault ~time:phase_start ~index:k Faults.Drop
+        | Some (Faults.Delay fraction as fault), Some _ ->
+            (* Lands on the chunk grid; with a single chunk per phase
+               there is no interior grid point and the delay collapses
+               to a drop. *)
+            emit_fault ~time:phase_start ~index:k fault;
+            if samples_per_phase >= 2 then begin
+              let ideal =
+                int_of_float
+                  (Float.round (fraction *. float_of_int samples_per_phase))
+              in
+              pending := Some (max 1 (min (samples_per_phase - 1) ideal))
+            end
+        | fault, lv ->
+            let prev = Option.map fst lv in
+            live := Some (post_faulted ~index:k fault ~time:phase_start ~prev !f)
+        ));
     for j = 0 to samples_per_phase - 1 do
       let time = phase_start +. (float_of_int j *. chunk) in
-      let board, kernel =
-        match phase_post with
-        | Some bk -> bk
-        | None ->
-            (* Every re-post invalidates the compiled kernel. *)
-            post_and_compile ~time !f
-      in
+      (match config.Driver.staleness with
+      | Driver.Stale _ ->
+          if !pending = Some j then
+            (* The delayed post lands now, as a clean snapshot. *)
+            live := Some (post_and_compile ~time !f)
+      | Driver.Fresh -> (
+          (* Every chunk is an update; faults are keyed by the global
+             update index.  A delayed post behaves as a dropped one —
+             the next chunk re-posts anyway. *)
+          let u = (k * samples_per_phase) + j in
+          let fault = Faults.fault_at faults ~index:u in
+          match (fault, !live) with
+          | Some ((Faults.Drop | Faults.Delay _) as fault), Some _ ->
+              emit_fault ~time ~index:u fault
+          | fault, lv ->
+              let prev = Option.map fst lv in
+              live := Some (post_faulted ~index:u fault ~time ~prev !f)));
+      let board, kernel = Option.get !live in
       assert (Rate_kernel.is_current kernel ~board);
       ignore board;
       let g = Vec.copy !f in
@@ -62,7 +132,12 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null) inst
         ~f:g ~tau:chunk ~steps:steps_per_chunk;
       f := g;
       push (time +. chunk) !f
-    done
+    done;
+    match guard with
+    | Some gd ->
+        Guard.check gd ~probe ?repairs:guard_repairs inst ~index:k
+          ~time:(phase_start +. tau) !f
+    | None -> ()
   done;
   Array.of_list (List.rev !samples)
 

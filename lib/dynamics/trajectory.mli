@@ -16,6 +16,8 @@ type t = sample array
 val record :
   ?probe:Staleroute_obs.Probe.t ->
   ?metrics:Staleroute_obs.Metrics.t ->
+  ?faults:Faults.t ->
+  ?guard:Guard.t ->
   Instance.t ->
   Driver.config ->
   init:Flow.t ->
@@ -28,7 +30,13 @@ val record :
     An enabled [probe] receives [Board_repost] / [Kernel_rebuild] /
     [Step_batch] events; a live [metrics] registry maintains the
     [board_reposts] and [kernel_rebuilds] counters.  Both default to
-    disabled. *)
+    disabled.
+
+    [faults] and [guard] mirror {!Driver.run}: faults are keyed by
+    phase index under [Stale] (a delayed post lands on the {e chunk}
+    grid here, collapsing to a drop when [samples_per_phase = 1]) and
+    by the global chunk index under [Fresh]; the guard checks every
+    phase boundary. *)
 
 val potential_gap : Instance.t -> ?phi_star:float -> t -> (float * float) array
 (** Series of [(time, Φ(f(t)) - Φ_star)]; [phi_star] defaults to the

@@ -56,6 +56,11 @@ val two_commodity : unit -> Instance.t
 val run :
   ?probe:Staleroute_obs.Probe.t ->
   ?metrics:Staleroute_obs.Metrics.t ->
+  ?faults:Faults.t ->
+  ?guard:Guard.t ->
+  ?from:Driver.snapshot ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Driver.snapshot -> unit) ->
   Instance.t ->
   Policy.t ->
   Driver.staleness ->
@@ -68,7 +73,8 @@ val run :
     concentrated on each commodity's first path — deliberately far from
     equilibrium.  [probe] / [metrics] default to the ambient
     instrumentation (see {!set_instrumentation}), which itself defaults
-    to disabled. *)
+    to disabled.  [faults] / [guard] / [from] / [checkpoint_every] /
+    [on_checkpoint] are forwarded to {!Driver.run} verbatim. *)
 
 val set_instrumentation :
   probe:Staleroute_obs.Probe.t -> metrics:Staleroute_obs.Metrics.t -> unit

@@ -1,0 +1,176 @@
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+module Pool = Staleroute_util.Pool
+module Metrics = Staleroute_obs.Metrics
+
+(* One shared fault seed: every cell's fault plan is a pure function of
+   (seed, phase index), so sweeps are deterministic at any pool width. *)
+let fault_seed = 17
+
+type verdict = Converged | Oscillating | Drifting
+
+let classify inst result =
+  let snapshots = Common.phase_start_flows result in
+  if Convergence.is_oscillating snapshots then Oscillating
+  else if
+    Equilibrium.unsatisfied_volume inst result.Driver.final_flow ~delta:0.05
+    <= 0.05
+  then Converged
+  else Drifting
+
+let verdict_cell = function
+  | Converged -> "conv"
+  | Oscillating -> "OSC"
+  | Drifting -> "slow"
+
+(* --- Sweep 1: effective update period inflation under drops --- *)
+
+let drop_probs ~quick =
+  if quick then [| 0.; 0.3; 0.6 |] else [| 0.; 0.2; 0.4; 0.6; 0.8 |]
+
+let period_table ?pool ~quick inst =
+  let policy = Policy.uniform_linear inst in
+  let t =
+    match Policy.safe_update_period inst policy with
+    | Some t_star -> Float.min t_star 1.
+    | None -> 1.
+  in
+  let phases = if quick then 150 else 400 in
+  let ps = drop_probs ~quick in
+  let rows =
+    Pool.parallel_map ~pool
+      (fun i ->
+        let p = ps.(i) in
+        let metrics = Metrics.create () in
+        let faults = Faults.plan (Faults.make ~drop:p ~seed:fault_seed ()) in
+        let result =
+          Common.run ~metrics ~faults inst policy (Driver.Stale t) ~phases
+            ~steps_per_phase:12 ~init:(Common.biased_start inst) ()
+        in
+        let posts = Metrics.count (Metrics.counter metrics "board_reposts") in
+        let eff = float_of_int phases /. float_of_int posts in
+        let predicted = 1. /. (1. -. p) in
+        (p, posts, eff, predicted, classify inst result))
+      (Array.init (Array.length ps) Fun.id)
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E17  Effective update period under dropped re-posts (two-link, \
+            uniform-linear, T=%.3g, %d phases; geometric retry predicts \
+            T/(1-p))"
+           t phases)
+      ~columns:
+        [ "drop p"; "posts"; "eff. period/T"; "predicted 1/(1-p)"; "verdict" ]
+  in
+  Array.iter
+    (fun (p, posts, eff, predicted, verdict) ->
+      Table.add_row table
+        [
+          Printf.sprintf "%g" p;
+          string_of_int posts;
+          Printf.sprintf "%.3f" eff;
+          Printf.sprintf "%.3f" predicted;
+          verdict_cell verdict;
+        ])
+    rows;
+  table
+
+(* --- Sweep 2: the E16 stability boundary with unreliable posts --- *)
+
+(* The two-link workload's empirical boundary sits well above the
+   worst-case guarantee (E16 finds oscillation only near product ~64 of
+   the critical alpha.T); sweep alpha through that region so a shifted
+   onset is visible in-grid. *)
+let alpha_multiples ~quick =
+  if quick then [| 4.; 8.; 16.; 32. |] else [| 2.; 4.; 8.; 16.; 32.; 64. |]
+
+let boundary_cell inst ~alpha ~t ~phases spec =
+  let policy =
+    Policy.make ~sampling:Sampling.Uniform
+      ~migration:(Migration.Scaled_linear { alpha })
+  in
+  let faults = Faults.plan spec in
+  let result =
+    Common.run ~faults inst policy (Driver.Stale t) ~phases
+      ~steps_per_phase:12 ~init:(Common.biased_start inst) ()
+  in
+  classify inst result
+
+let boundary_table ?pool ~quick ~title ~col_label specs inst =
+  let kas = alpha_multiples ~quick in
+  let n_spec = Array.length specs in
+  let d = float_of_int (Instance.max_path_length inst) in
+  let beta = Instance.beta inst in
+  let critical = 1. /. (4. *. d *. beta) in
+  let alpha0 = 1. /. Instance.ell_max inst in
+  (* Anchor the period at 4.t0 so the fault-free oscillation onset lies
+     inside the alpha sweep; faults should shift it downward. *)
+  let t0 = 4. *. critical /. alpha0 in
+  let phases = if quick then 120 else 400 in
+  let flat =
+    Pool.parallel_map ~pool
+      (fun idx ->
+        let ka = kas.(idx / n_spec) and spec = snd specs.(idx mod n_spec) in
+        boundary_cell inst ~alpha:(ka *. alpha0) ~t:t0 ~phases spec)
+      (Array.init (Array.length kas * n_spec) Fun.id)
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s (two-link, T=4.t0, alpha0=%.3g)" title alpha0)
+      ~columns:
+        (col_label :: Array.to_list (Array.map (fun (label, _) -> label) specs))
+  in
+  Array.iteri
+    (fun i ka ->
+      Table.add_row table
+        (Printf.sprintf "%g x a0" ka
+        :: Array.to_list
+             (Array.init n_spec (fun j -> verdict_cell flat.((i * n_spec) + j)))
+        ))
+    kas;
+  table
+
+let drop_boundary ?pool ~quick inst =
+  let ps = drop_probs ~quick in
+  let specs =
+    Array.map
+      (fun p ->
+        ( Printf.sprintf "drop %g" p,
+          Faults.make ~drop:p ~seed:fault_seed () ))
+      ps
+  in
+  boundary_table ?pool ~quick
+    ~title:
+      "E17  Oscillation onset (alpha sweep, multiples of the critical \
+       product) under dropped re-posts: drops inflate the effective period \
+       by 1/(1-p), so the safe alpha range shrinks"
+    ~col_label:"alpha\\drop p" specs inst
+
+let noise_sigmas ~quick = if quick then [| 0.05; 0.3 |] else [| 0.02; 0.1; 0.3; 0.6 |]
+
+let noise_boundary ?pool ~quick inst =
+  let sigmas = noise_sigmas ~quick in
+  let specs =
+    Array.map
+      (fun sigma ->
+        ( Printf.sprintf "sigma %g" sigma,
+          Faults.make ~noise:1. ~noise_sigma:sigma ~seed:fault_seed () ))
+      sigmas
+  in
+  boundary_table ?pool ~quick
+    ~title:
+      "E17  Oscillation onset (alpha sweep) under lognormal measurement \
+       noise on every post"
+    ~col_label:"alpha\\noise" specs inst
+
+let tables ?pool ?(quick = false) () =
+  let inst = Common.two_link ~beta:4. in
+  [
+    period_table ?pool ~quick inst;
+    drop_boundary ?pool ~quick inst;
+    noise_boundary ?pool ~quick inst;
+  ]

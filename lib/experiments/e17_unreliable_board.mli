@@ -1,0 +1,29 @@
+(** E17 (extension) — routing when the bulletin board is unreliable.
+
+    The paper's board is stale but dependable: every [T] time units a
+    re-post lands, intact.  This experiment injects seeded faults
+    (see [Staleroute_dynamics.Faults]) and measures two things:
+
+    - {b Effective period inflation}: with drop probability [p] the
+      interval between successful posts is geometric with mean
+      [T/(1-p)] — the measured effective period matches, and an
+      α-smooth policy run at a safe period keeps converging, merely on
+      staler information, because dropped posts only stretch the
+      information age.
+    - {b Stability under drops and noise}: sweeping α through the E16
+      oscillation onset (at a fixed period above critical) with drops
+      and with lognormal measurement noise.  Smooth rows converge under
+      every fault rate.  Above the onset, drops randomise the effective
+      period, which destroys the synchronized period-2 oscillation:
+      aggressive rows land in non-convergent drift instead (and the
+      marginal row is occasionally re-stabilised outright — oscillation
+      is a synchronisation artifact, as the paper argues).  Noise
+      behaves similarly only at large σ. *)
+
+val tables :
+  ?pool:Staleroute_util.Pool.t ->
+  ?quick:bool ->
+  unit ->
+  Staleroute_util.Table.t list
+(** [?pool] fans the sweep cells out as independent runs; results
+    refold in index order, so output is identical at any pool width. *)

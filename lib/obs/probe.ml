@@ -18,6 +18,13 @@ type event =
       to_path : int;
       migrated : bool;
     }
+  | Fault_injected of { time : float; index : int; kind : string; arg : float }
+  | Guard_trip of {
+      time : float;
+      index : int;
+      action : string;
+      worst : float;
+    }
   | Note of { time : float; name : string; value : float }
 
 type sink = event -> unit

@@ -45,6 +45,21 @@ type event =
       to_path : int;  (** equals [from_path] when the agent stayed *)
       migrated : bool;
     }  (** one Poisson activation in the finite-population simulator. *)
+  | Fault_injected of { time : float; index : int; kind : string; arg : float }
+      (** a bulletin-board fault fired at phase (or update round)
+          [index]: [kind] is ["drop"], ["delay"], ["partial"] or
+          ["noise"], [arg] the fault parameter (delay fraction, refresh
+          fraction, noise sigma; [0.] for drops).  Stamped with sim
+          time like every other event. *)
+  | Guard_trip of {
+      time : float;
+      index : int;  (** phase or round index of the boundary check *)
+      action : string;  (** ["repair"] or ["ignore"] *)
+      worst : float;  (** largest observed feasibility error; [nan]
+                          when a non-finite entry tripped the guard *)
+    }  (** a numeric guardrail found an unhealthy flow at a phase
+          boundary (see [Guard]).  [Fail_fast] guards raise instead of
+          emitting. *)
   | Note of { time : float; name : string; value : float }
       (** free-form scalar observation for custom instrumentation. *)
 

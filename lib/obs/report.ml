@@ -20,6 +20,11 @@ let kernel_rebuilds t =
 let step_batches t = count t (function Probe.Step_batch _ -> true | _ -> false)
 let agent_wakes t = count t (function Probe.Agent_wake _ -> true | _ -> false)
 
+let faults_injected t =
+  count t (function Probe.Fault_injected _ -> true | _ -> false)
+
+let guard_trips t = count t (function Probe.Guard_trip _ -> true | _ -> false)
+
 let migrations t =
   count t (function Probe.Agent_wake { migrated; _ } -> migrated | _ -> false)
 
@@ -95,6 +100,8 @@ let to_string t =
   add "integrator step batches" (step_batches t);
   add "agent wake-ups" (agent_wakes t);
   add "agent migrations" (migrations t);
+  add "faults injected" (faults_injected t);
+  add "guard trips" (guard_trips t);
   let series = potential_series t in
   if Array.length series > 0 then begin
     let phis = Array.map snd series in

@@ -23,6 +23,12 @@ val agent_wakes : t -> int
 val migrations : t -> int
 (** [Agent_wake] events with [migrated = true]. *)
 
+val faults_injected : t -> int
+(** Number of [Fault_injected] events. *)
+
+val guard_trips : t -> int
+(** Number of [Guard_trip] events. *)
+
 (** {1 Derived series} *)
 
 val potential_series : t -> (float * float) array

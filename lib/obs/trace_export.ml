@@ -50,6 +50,24 @@ let event_to_json = function
           ("to", Json.Int to_path);
           ("migrated", Json.Bool migrated);
         ]
+  | Probe.Fault_injected { time; index; kind; arg } ->
+      Json.Obj
+        [
+          ("ev", Json.String "fault");
+          ("time", Json.Float time);
+          ("index", Json.Int index);
+          ("kind", Json.String kind);
+          ("arg", Json.Float arg);
+        ]
+  | Probe.Guard_trip { time; index; action; worst } ->
+      Json.Obj
+        [
+          ("ev", Json.String "guard_trip");
+          ("time", Json.Float time);
+          ("index", Json.Int index);
+          ("action", Json.String action);
+          ("worst", Json.Float worst);
+        ]
   | Probe.Note { time; name; value } ->
       Json.Obj
         [
@@ -104,6 +122,18 @@ let event_of_json json =
       let* to_path = field "to" Json.to_int json in
       let* migrated = field "migrated" Json.to_bool json in
       Ok (Probe.Agent_wake { time; agent; from_path; to_path; migrated })
+  | "fault" ->
+      let* time = field "time" Json.to_float json in
+      let* index = field "index" Json.to_int json in
+      let* kind = field "kind" Json.to_str json in
+      let* arg = field "arg" Json.to_float json in
+      Ok (Probe.Fault_injected { time; index; kind; arg })
+  | "guard_trip" ->
+      let* time = field "time" Json.to_float json in
+      let* index = field "index" Json.to_int json in
+      let* action = field "action" Json.to_str json in
+      let* worst = field "worst" Json.to_float json in
+      Ok (Probe.Guard_trip { time; index; action; worst })
   | "note" ->
       let* time = field "time" Json.to_float json in
       let* name = field "name" Json.to_str json in

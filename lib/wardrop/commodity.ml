@@ -3,8 +3,8 @@ type t = { src : Staleroute_graph.Digraph.node;
            demand : float }
 
 let make ~src ~dst ~demand =
-  if demand <= 0. || Float.is_nan demand then
-    invalid_arg "Commodity.make: demand must be positive";
+  if not (Float.is_finite demand) || demand <= 0. then
+    invalid_arg "Commodity.make: demand must be finite and positive";
   if src = dst then invalid_arg "Commodity.make: src = dst";
   { src; dst; demand }
 

@@ -77,7 +77,18 @@ let project_ inst f =
     done
   done
 
+(* The API-boundary variant validates: raw vectors handed in from
+   outside must be finite, or NaN silently poisons every later
+   projection (NaN survives [Float.max] and the rescale).  The in-place
+   [project_] above stays unchecked — it is the integrator hot path and
+   must not branch per entry. *)
 let project inst f =
+  Array.iteri
+    (fun p x ->
+      if not (Float.is_finite x) then
+        invalid_arg
+          (Printf.sprintf "Flow.project: non-finite entry %g on path %d" x p))
+    f;
   let g = Array.copy f in
   project_ inst g;
   g

@@ -29,11 +29,15 @@ val is_feasible : ?tol:float -> Instance.t -> t -> bool
 val project : Instance.t -> t -> t
 (** Clip negative entries to 0 and rescale each commodity to its demand
     — repairs the O(h^5) drift of a numerical integrator step.  Raises
-    [Invalid_argument] if a commodity's mass has entirely vanished. *)
+    [Invalid_argument] if any entry is non-finite (this is the API
+    boundary: NaN must not silently poison later projections) or if a
+    commodity's mass has entirely vanished. *)
 
 val project_ : Instance.t -> t -> unit
-(** In-place {!project}: same arithmetic, zero allocation — the variant
-    the integrator hot path uses. *)
+(** In-place {!project} {e without} the non-finite validation: same
+    arithmetic, zero allocation, no per-entry branch — the variant the
+    integrator hot path uses.  Numeric health of internal state is the
+    job of [Staleroute_dynamics.Guard], not of this function. *)
 
 (** {1 Observations} *)
 

@@ -93,6 +93,13 @@ let create ?(max_paths_per_commodity = 10_000) ~graph ~latencies ~commodities
         Float.max m total)
       0. path_edges
   in
+  (* The stability analysis (and every step-size heuristic built on it)
+     divides by these; an unbounded latency must be rejected here, not
+     surface later as a NaN period. *)
+  if not (Float.is_finite beta) then
+    invalid_arg "Instance.create: latency slope bound is not finite";
+  if not (Float.is_finite ell_max) then
+    invalid_arg "Instance.create: maximum path latency is not finite";
   {
     graph;
     latencies;

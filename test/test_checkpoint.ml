@@ -1,0 +1,181 @@
+(* Checkpoint serialisation and driver resume: JSON round-trips must be
+   bit-exact and a resumed run must replay the uninterrupted one. *)
+
+open Helpers
+open Staleroute_dynamics
+module Common = Staleroute_experiments.Common
+module Probe = Staleroute_obs.Probe
+module Json = Staleroute_obs.Json
+module Trace_export = Staleroute_obs.Trace_export
+
+let inst () = Common.two_link ~beta:4.
+
+let config phases =
+  {
+    Driver.policy = Policy.uniform_linear (inst ());
+    staleness = Driver.Stale 0.25;
+    phases;
+    steps_per_phase = 6;
+    scheme = Integrator.Rk4;
+  }
+
+(* Capture the first checkpoint a run emits, plus its event prefix. *)
+let capture_checkpoint ?faults ~every phases =
+  let inst = inst () in
+  let buf = Probe.Memory.create () in
+  let saved = ref None in
+  let result =
+    Driver.run
+      ~probe:(Probe.Memory.probe buf)
+      ?faults ~checkpoint_every:every
+      ~on_checkpoint:(fun snap ->
+        if !saved = None then
+          saved :=
+            Some
+              {
+                Checkpoint.fingerprint = "test/1";
+                snapshot = snap;
+                events = Array.copy (Probe.Memory.events buf);
+              })
+      inst (config phases)
+      ~init:(Common.biased_start inst)
+  in
+  match !saved with
+  | None -> Alcotest.fail "no checkpoint captured"
+  | Some c -> (c, buf, result)
+
+let test_json_round_trip () =
+  let c, _, _ = capture_checkpoint ~every:3 8 in
+  match Checkpoint.of_json (Checkpoint.to_json c) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok c' ->
+      check_true "fingerprint" (c'.Checkpoint.fingerprint = c.Checkpoint.fingerprint);
+      check_int "next_phase" c.Checkpoint.snapshot.Driver.next_phase
+        c'.Checkpoint.snapshot.Driver.next_phase;
+      check_true "flow bit-exact"
+        (Array.for_all2
+           (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+           c.Checkpoint.snapshot.Driver.flow c'.Checkpoint.snapshot.Driver.flow);
+      check_int "records preserved"
+        (List.length c.Checkpoint.snapshot.Driver.records_so_far)
+        (List.length c'.Checkpoint.snapshot.Driver.records_so_far);
+      check_true "events preserved"
+        (String.equal
+           (Trace_export.events_to_string c.Checkpoint.events)
+           (Trace_export.events_to_string c'.Checkpoint.events))
+
+let test_json_round_trip_nan_flow () =
+  (* A Repair-less crashed run can checkpoint a NaN flow; the encoding
+     must still round-trip bit for bit. *)
+  let c, _, _ = capture_checkpoint ~every:2 4 in
+  let snap = c.Checkpoint.snapshot in
+  let flow = Array.copy snap.Driver.flow in
+  flow.(0) <- Float.nan;
+  flow.(1) <- Float.neg_infinity;
+  let c = { c with Checkpoint.snapshot = { snap with Driver.flow } } in
+  match Checkpoint.of_json (Checkpoint.to_json c) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok c' ->
+      check_true "non-finite entries survive"
+        (Array.for_all2
+           (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+           flow c'.Checkpoint.snapshot.Driver.flow)
+
+let test_of_json_rejects_garbage () =
+  List.iter
+    (fun j ->
+      match Checkpoint.of_json j with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "garbage accepted")
+    [
+      Json.Null;
+      Json.Obj [ ("staleroute_checkpoint", Json.Int 999) ];
+      Json.Obj [ ("fingerprint", Json.String "x") ];
+    ]
+
+let test_save_load () =
+  let c, _, _ = capture_checkpoint ~every:3 8 in
+  let path = Filename.temp_file "staleroute_ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Checkpoint.save ~path c;
+      match Checkpoint.load ~path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok c' ->
+          check_true "save/load round trip"
+            (String.equal
+               (Json.to_string (Checkpoint.to_json c))
+               (Json.to_string (Checkpoint.to_json c'))))
+
+let test_load_missing () =
+  match Checkpoint.load ~path:"/nonexistent/ckpt.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing file should fail"
+
+let resume_replays ?faults () =
+  let inst = inst () in
+  let phases = 10 in
+  let c, full_buf, full_result = capture_checkpoint ?faults ~every:4 phases in
+  (* Resume from the serialised snapshot (through JSON, as routesim
+     does), with the stored prefix re-emitted first. *)
+  let snap =
+    match Checkpoint.of_json (Checkpoint.to_json c) with
+    | Ok c' -> c'.Checkpoint.snapshot
+    | Error e -> Alcotest.failf "decode failed: %s" e
+  in
+  let buf = Probe.Memory.create () in
+  let probe = Probe.Memory.probe buf in
+  Array.iter (fun e -> Probe.emit probe e) c.Checkpoint.events;
+  let resumed =
+    Driver.run ~probe ?faults ~from:snap inst (config phases)
+      ~init:(Common.biased_start inst)
+  in
+  check_true "trace byte-identical to uninterrupted run"
+    (String.equal
+       (Trace_export.events_to_string (Probe.Memory.events full_buf))
+       (Trace_export.events_to_string (Probe.Memory.events buf)));
+  check_true "final flow bit-identical"
+    (Array.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       full_result.Driver.final_flow resumed.Driver.final_flow);
+  check_int "all phase records present" phases
+    (Array.length resumed.Driver.records)
+
+let test_resume_replays () = resume_replays ()
+
+let test_resume_replays_faulted () =
+  resume_replays
+    ~faults:
+      (Faults.plan
+         (Faults.make ~drop:0.3 ~partial:0.2 ~noise:0.2 ~seed:11 ()))
+    ()
+
+let test_resume_validates () =
+  let inst = inst () in
+  let c, _, _ = capture_checkpoint ~every:3 8 in
+  let snap = c.Checkpoint.snapshot in
+  check_raises_invalid "next_phase out of range" (fun () ->
+      ignore
+        (Driver.run
+           ~from:{ snap with Driver.next_phase = 99 }
+           inst (config 8)
+           ~init:(Common.biased_start inst)));
+  check_raises_invalid "records/next_phase mismatch" (fun () ->
+      ignore
+        (Driver.run
+           ~from:{ snap with Driver.records_so_far = [] }
+           inst (config 8)
+           ~init:(Common.biased_start inst)))
+
+let suite =
+  [
+    case "json round trip" test_json_round_trip;
+    case "json round trip with NaN" test_json_round_trip_nan_flow;
+    case "of_json rejects garbage" test_of_json_rejects_garbage;
+    case "save/load" test_save_load;
+    case "load missing file" test_load_missing;
+    case "resume replays the run" test_resume_replays;
+    case "resume replays a faulted run" test_resume_replays_faulted;
+    case "resume validates the snapshot" test_resume_validates;
+  ]

@@ -101,6 +101,67 @@ let test_validation () =
   check_raises_invalid "infeasible init" (fun () ->
       ignore (Discrete.run inst config ~init:[| 3.; 0.; 0. |]))
 
+(* Faulted synchronous runs: the per-update fault plan is pure, so
+   same-seed runs agree bit for bit, dropped re-posts keep the previous
+   board (and its still-current kernel) across the update boundary, and
+   delayed posts land on the round grid. *)
+let faulted_run ?metrics ?probe spec =
+  let inst = Common.two_link ~beta:4. in
+  let config =
+    { Discrete.policy = smooth_policy inst; rounds = 24;
+      rounds_per_update = 3 }
+  in
+  Discrete.run ?probe ?metrics ~faults:(Faults.plan spec) inst config
+    ~init:(Common.biased_start inst)
+
+let test_faulted_run_deterministic () =
+  let spec = Faults.make ~drop:0.3 ~delay:0.2 ~partial:0.2 ~seed:6 () in
+  let a = faulted_run spec and b = faulted_run spec in
+  check_true "same-seed faulted runs bit-identical"
+    (Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a.Discrete.final_flow b.Discrete.final_flow);
+  Array.iter2
+    (fun (ra : Discrete.round_record) rb ->
+      check_close "round potentials agree" ra.Discrete.start_potential
+        rb.Discrete.start_potential)
+    a.Discrete.records b.Discrete.records
+
+let test_drops_skip_rebuilds () =
+  let module Metrics = Staleroute_obs.Metrics in
+  let metrics = Metrics.create () in
+  (* Every update attempt after the first drops; the run must still pass
+     the kernel-revision asserts (the surviving kernel *is* current). *)
+  let r = faulted_run ~metrics (Faults.make ~drop:1. ~seed:1 ()) in
+  let posts = Metrics.count (Metrics.counter metrics "board_reposts") in
+  let rebuilds = Metrics.count (Metrics.counter metrics "kernel_rebuilds") in
+  check_int "only the degraded first post lands" 1 posts;
+  check_int "kernel rebuilt once per landed post" posts rebuilds;
+  check_true "run still completes feasibly"
+    (Flow.is_feasible ~tol:1e-9 (Common.two_link ~beta:4.)
+       r.Discrete.final_flow)
+
+let test_delay_lands_on_round_grid () =
+  let module Probe = Staleroute_obs.Probe in
+  let buf = Probe.Memory.create () in
+  ignore
+    (faulted_run ~probe:(Probe.Memory.probe buf)
+       (Faults.make ~delay:1. ~delay_fraction:0.4 ~seed:2 ()));
+  let delays =
+    Probe.Memory.count buf (function
+      | Probe.Fault_injected { kind = "delay"; _ } -> true
+      | _ -> false)
+  in
+  check_true "delays injected" (delays > 0);
+  (* Every repost time is a whole round boundary: delayed posts land on
+     the grid, never between rounds. *)
+  Array.iter
+    (function
+      | Probe.Board_repost { time } ->
+          check_close "repost on the round grid" (Float.round time) time
+      | _ -> ())
+    (Probe.Memory.events buf)
+
 let suite =
   [
     case "mass conservation" test_step_conserves_mass;

@@ -313,6 +313,42 @@ let test_e16_shape () =
         | _ -> false)
   | _ -> Alcotest.fail "e16 must produce one table"
 
+let test_e17_shape () =
+  match E17_unreliable_board.tables ~quick:true () with
+  | [ period; drops; noise ] ->
+      (* Regime-independent facts only: the drop-free row has exactly
+         one post per phase, dropping posts strictly reduces them, and
+         the measured effective period grows with p. *)
+      let rows = rows_of period in
+      check_int "one period row per drop probability" 3 (List.length rows);
+      let posts = List.map (fun row -> float_cell row 1) rows in
+      let effs = List.map (fun row -> float_cell row 2) rows in
+      (match (posts, effs) with
+      | p0 :: rest_posts, e0 :: rest_effs ->
+          check_close "p=0: a post lands every phase" 1. e0;
+          List.iter
+            (fun p -> check_true "drops lose posts" (p < p0))
+            rest_posts;
+          List.iter
+            (fun e -> check_true "drops inflate the period" (e > 1.))
+            rest_effs
+      | _ -> Alcotest.fail "empty period table");
+      (* Boundary sweeps: a verdict cell for every (alpha, spec) pair,
+         and the smallest-alpha row converges in every column. *)
+      List.iter
+        (fun t ->
+          match rows_of t with
+          | first :: _ as rs ->
+              check_true "alpha sweep has rows" (List.length rs >= 2);
+              List.iter
+                (fun cell ->
+                  check_true "smooth alpha converges under faults"
+                    (cell = "conv"))
+                (List.tl first)
+          | [] -> Alcotest.fail "empty boundary table")
+        [ drops; noise ]
+  | _ -> Alcotest.fail "e17 must produce three tables"
+
 let suite =
   [
     case "instances well-formed" test_common_instances_well_formed;
@@ -336,4 +372,5 @@ let suite =
     slow_case "E14 end-to-end" test_e14_shape;
     slow_case "E15 end-to-end" test_e15_shape;
     slow_case "E16 end-to-end" test_e16_shape;
+    slow_case "E17 end-to-end" test_e17_shape;
   ]

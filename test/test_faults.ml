@@ -1,0 +1,172 @@
+(* Fault plans for the bulletin board: spec validation, CLI parsing,
+   pure seeded draws and the faulted board constructors. *)
+
+open Helpers
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Common = Staleroute_experiments.Common
+
+let mixed_spec ?(seed = 9) () =
+  Faults.make ~drop:0.2 ~delay:0.2 ~partial:0.2 ~noise:0.2 ~seed ()
+
+let test_make_validates () =
+  check_raises_invalid "negative probability" (fun () ->
+      ignore (Faults.make ~drop:(-0.1) ()));
+  check_raises_invalid "probability above one" (fun () ->
+      ignore (Faults.make ~noise:1.5 ()));
+  check_raises_invalid "probabilities sum above one" (fun () ->
+      ignore (Faults.make ~drop:0.6 ~partial:0.6 ()));
+  check_raises_invalid "delay fraction at boundary" (fun () ->
+      ignore (Faults.make ~delay:0.5 ~delay_fraction:1. ()));
+  check_raises_invalid "partial fraction zero" (fun () ->
+      ignore (Faults.make ~partial:0.5 ~partial_fraction:0. ()));
+  check_raises_invalid "noise sigma non-positive" (fun () ->
+      ignore (Faults.make ~noise:0.5 ~noise_sigma:0. ()));
+  check_raises_invalid "non-finite probability" (fun () ->
+      ignore (Faults.make ~drop:Float.nan ()))
+
+let test_of_string_round_trip () =
+  let cases =
+    [
+      "none";
+      "drop=0.3";
+      "drop=0.2,seed=7";
+      "delay=0.25:0.75";
+      "partial=0.4:0.2,noise=0.1:0.5";
+      "drop=0.1,delay=0.1,partial=0.1,noise=0.1,seed=42";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Faults.of_string s with
+      | Error e -> Alcotest.failf "%S should parse, got %s" s e
+      | Ok spec -> (
+          (* to_string re-parses to the same spec. *)
+          match Faults.of_string (Faults.to_string spec) with
+          | Error e -> Alcotest.failf "round trip of %S failed: %s" s e
+          | Ok spec' ->
+              check_true (Printf.sprintf "round trip of %S" s) (spec = spec')))
+    cases
+
+let test_of_string_rejects () =
+  List.iter
+    (fun s ->
+      match Faults.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should be rejected" s)
+    [ "drop"; "drop=2"; "drop=0.6,noise=0.6"; "bogus=1"; "drop=0.1:" ]
+
+let test_fault_at_is_pure () =
+  let p1 = Faults.plan (mixed_spec ()) in
+  let p2 = Faults.plan (mixed_spec ()) in
+  for i = 0 to 499 do
+    check_true "same (seed, index) gives the same draw"
+      (Faults.fault_at p1 ~index:i = Faults.fault_at p2 ~index:i)
+  done;
+  (* Out-of-order queries agree with in-order ones: no hidden state. *)
+  let expected = Faults.fault_at p1 ~index:250 in
+  check_true "out-of-order query agrees"
+    (Faults.fault_at p2 ~index:250 = expected)
+
+let test_seed_changes_draws () =
+  let p1 = Faults.plan (mixed_spec ~seed:1 ()) in
+  let p2 = Faults.plan (mixed_spec ~seed:2 ()) in
+  let differs = ref false in
+  for i = 0 to 199 do
+    if Faults.fault_at p1 ~index:i <> Faults.fault_at p2 ~index:i then
+      differs := true
+  done;
+  check_true "different seeds give different plans" !differs
+
+let test_null_plan () =
+  let plan = Faults.plan Faults.none in
+  check_true "null plan is null" (Faults.is_null plan);
+  for i = 0 to 99 do
+    check_true "null plan never fires" (Faults.fault_at plan ~index:i = None)
+  done;
+  check_false "mixed plan is not null" (Faults.is_null (Faults.plan (mixed_spec ())))
+
+let board_pair inst =
+  let f0 = Common.biased_start inst in
+  let prev = Bulletin_board.post inst ~time:0. f0 in
+  let f1 = Flow.uniform inst in
+  (prev, f1)
+
+let test_board_partial_mixes_ages () =
+  let inst = Common.braess () in
+  let prev, f1 = board_pair inst in
+  let plan = Faults.plan (Faults.make ~partial:1. ~partial_fraction:0.5 ~seed:3 ()) in
+  let fault = Faults.fault_at plan ~index:0 in
+  check_true "partial plan fires"
+    (match fault with Some (Faults.Partial _) -> true | _ -> false);
+  let board =
+    Faults.board plan ~index:0 fault inst ~time:1. ~prev:(Some prev) f1
+  in
+  let fresh = Bulletin_board.post inst ~time:1. f1 in
+  let stale = prev.Bulletin_board.edge_latencies in
+  let new_ = fresh.Bulletin_board.edge_latencies in
+  let got = board.Bulletin_board.edge_latencies in
+  Array.iteri
+    (fun e v ->
+      check_true "each edge latency is either the stale or the fresh one"
+        (v = stale.(e) || v = new_.(e)))
+    got;
+  (* Path latencies are recomputed from the mixed edge values. *)
+  let expect =
+    Bulletin_board.post_with inst ~time:1. ~flow:f1 ~edge_latencies:got
+  in
+  Alcotest.(check (array (float 1e-12)))
+    "path latencies consistent with mixed edges"
+    expect.Bulletin_board.path_latencies
+    board.Bulletin_board.path_latencies
+
+let test_board_noise_perturbs () =
+  let inst = Common.braess () in
+  let prev, f1 = board_pair inst in
+  let plan = Faults.plan (Faults.make ~noise:1. ~noise_sigma:0.2 ~seed:5 ()) in
+  let fault = Faults.fault_at plan ~index:0 in
+  let board =
+    Faults.board plan ~index:0 fault inst ~time:1. ~prev:(Some prev) f1
+  in
+  let clean =
+    (Bulletin_board.post inst ~time:1. f1).Bulletin_board.edge_latencies
+  in
+  let noisy = board.Bulletin_board.edge_latencies in
+  let perturbed = ref false in
+  Array.iteri
+    (fun e v ->
+      check_true "noise keeps latencies finite and non-negative"
+        (Float.is_finite v && v >= 0.);
+      if clean.(e) > 0. && v <> clean.(e) then perturbed := true)
+    noisy;
+  check_true "at least one positive latency perturbed" !perturbed;
+  (* Multiplicative: zero latencies stay exactly zero. *)
+  Array.iteri
+    (fun e v -> if clean.(e) = 0. then check_close "zeros preserved" 0. v)
+    noisy
+
+let test_board_deterministic () =
+  let inst = Common.braess () in
+  let prev, f1 = board_pair inst in
+  let plan = Faults.plan (mixed_spec ()) in
+  let latencies index =
+    let fault = Faults.fault_at plan ~index in
+    (Faults.board plan ~index fault inst ~time:1. ~prev:(Some prev) f1)
+      .Bulletin_board.edge_latencies
+  in
+  Alcotest.(check (array (float 0.)))
+    "faulted board is a pure function of (seed, index)" (latencies 7)
+    (latencies 7)
+
+let suite =
+  [
+    case "spec validation" test_make_validates;
+    case "of_string round trip" test_of_string_round_trip;
+    case "of_string rejects" test_of_string_rejects;
+    case "fault_at is pure" test_fault_at_is_pure;
+    case "seed changes draws" test_seed_changes_draws;
+    case "null plan" test_null_plan;
+    case "partial board mixes ages" test_board_partial_mixes_ages;
+    case "noise board perturbs" test_board_noise_perturbs;
+    case "faulted board deterministic" test_board_deterministic;
+  ]

@@ -160,6 +160,45 @@ let prop_project_idempotent =
       | exception Invalid_argument _ -> true
       | once -> Vec.approx_equal ~atol:1e-12 once (Flow.project inst once))
 
+let prop_project_finite_feasible =
+  qcheck ~count:100 "qcheck: projection of finite input is feasible"
+    QCheck2.Gen.(
+      array_size (int_range 3 3) (float_range (-5.) 5.))
+    (fun raw ->
+      let inst = Common.braess () in
+      match Flow.project inst raw with
+      (* All-nonpositive input has no mass to rescale — that raise is
+         part of the contract, not an infeasibility. *)
+      | exception Invalid_argument _ -> Array.for_all (fun x -> x <= 0.) raw
+      | f -> Flow.is_feasible ~tol:1e-9 inst f)
+
+let test_project_rejects_non_finite () =
+  let inst = Common.braess () in
+  List.iter
+    (fun bad ->
+      check_raises_invalid "non-finite entry rejected" (fun () ->
+          ignore (Flow.project inst bad)))
+    [
+      [| Float.nan; 0.5; 0.5 |];
+      [| 0.5; Float.infinity; 0.5 |];
+      [| 0.5; 0.5; Float.neg_infinity |];
+    ]
+
+let prop_project_rejects_any_non_finite =
+  qcheck ~count:100 "qcheck: any non-finite entry raises"
+    QCheck2.Gen.(pair (int_range 0 2) (int_range 0 2))
+    (fun (pos, which) ->
+      let inst = Common.braess () in
+      let raw = [| 0.4; 0.3; 0.3 |] in
+      raw.(pos) <-
+        (match which with
+        | 0 -> Float.nan
+        | 1 -> Float.infinity
+        | _ -> Float.neg_infinity);
+      match Flow.project inst raw with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+
 let suite =
   [
     case "uniform feasible" test_uniform_feasible;
@@ -177,4 +216,7 @@ let suite =
     case "multi-commodity averages" test_avg_respects_demand_scaling;
     prop_random_flows_feasible;
     prop_project_idempotent;
+    prop_project_finite_feasible;
+    case "project rejects non-finite" test_project_rejects_non_finite;
+    prop_project_rejects_any_non_finite;
   ]

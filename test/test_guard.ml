@@ -1,0 +1,172 @@
+(* Numeric guardrails: parsing, the three policies at an unhealthy
+   boundary, and the end-to-end driver behaviour on a NaN-producing
+   custom policy. *)
+
+open Helpers
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Common = Staleroute_experiments.Common
+module Probe = Staleroute_obs.Probe
+module Metrics = Staleroute_obs.Metrics
+
+let test_of_string () =
+  List.iter
+    (fun (s, expect) ->
+      match Guard.of_string s with
+      | Error e -> Alcotest.failf "%S should parse, got %s" s e
+      | Ok g ->
+          check_true
+            (Printf.sprintf "%S parses to %s" s expect)
+            (Guard.to_string g = expect))
+    [
+      ("fail-fast", "fail-fast");
+      ("repair", "repair");
+      ("ignore", "ignore");
+      ("repair:1e-9", "repair:1e-09");
+    ];
+  List.iter
+    (fun s ->
+      match Guard.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should be rejected" s)
+    [ "bogus"; "repair:"; "repair:nan"; "repair:-1"; "fail-fast:0" ]
+
+let test_make_validates () =
+  check_raises_invalid "tol must be positive" (fun () ->
+      ignore (Guard.make ~tol:0. Guard.Repair));
+  check_raises_invalid "tol must be finite" (fun () ->
+      ignore (Guard.make ~tol:Float.infinity Guard.Repair))
+
+let test_healthy_flow_passes () =
+  let inst = Common.braess () in
+  let f = Flow.uniform inst in
+  let buf = Probe.Memory.create () in
+  Guard.check Guard.fail_fast ~probe:(Probe.Memory.probe buf) inst ~index:0
+    ~time:0. f;
+  check_int "no events for a healthy flow" 0 (Probe.Memory.length buf);
+  Alcotest.(check (array (float 0.)))
+    "flow untouched"
+    (Flow.uniform inst :> float array)
+    (f :> float array)
+
+let dirty_flow inst =
+  let f = Flow.uniform inst in
+  f.(0) <- Float.nan;
+  f
+
+let test_fail_fast_diagnostic () =
+  let inst = Common.braess () in
+  match
+    Guard.check Guard.fail_fast inst ~index:3 ~time:1.5 (dirty_flow inst)
+  with
+  | exception Guard.Unhealthy d ->
+      check_int "index recorded" 3 d.Guard.index;
+      check_close "time recorded" 1.5 d.Guard.time;
+      check_int "commodity recorded" 0 d.Guard.commodity;
+      check_true "offending path listed" (List.mem 0 d.Guard.paths)
+  | () -> Alcotest.fail "expected Guard.Unhealthy"
+
+let test_repair_restores_feasibility () =
+  let inst = Common.two_commodity () in
+  let f = Flow.uniform inst in
+  f.(0) <- Float.neg_infinity;
+  f.(2) <- -0.4;
+  let metrics = Metrics.create () in
+  let repairs = Metrics.counter metrics "guard_repairs" in
+  let buf = Probe.Memory.create () in
+  Guard.check Guard.repair ~probe:(Probe.Memory.probe buf) ~repairs inst
+    ~index:1 ~time:0.5 f;
+  check_true "repaired flow feasible" (Flow.is_feasible ~tol:1e-9 inst f);
+  check_int "one repair counted" 1 (Metrics.count repairs);
+  check_int "one Guard_trip emitted" 1
+    (Probe.Memory.count buf (function
+      | Probe.Guard_trip { action = "repair"; _ } -> true
+      | _ -> false))
+
+let test_repair_spreads_vanished_mass () =
+  let inst = Common.braess () in
+  let f = Flow.uniform inst in
+  Array.fill (f :> float array) 0 (Array.length f) Float.nan;
+  Guard.check Guard.repair inst ~index:0 ~time:0. f;
+  check_true "all-NaN commodity repaired to uniform"
+    (Flow.is_feasible ~tol:1e-9 inst f);
+  Array.iter (fun x -> check_close "uniform spread" (1. /. 3.) x) f
+
+let test_ignore_observes_only () =
+  let inst = Common.braess () in
+  let f = dirty_flow inst in
+  let buf = Probe.Memory.create () in
+  Guard.check Guard.ignore_ ~probe:(Probe.Memory.probe buf) inst ~index:2
+    ~time:1. f;
+  check_true "flow left dirty" (Float.is_nan f.(0));
+  check_int "Guard_trip emitted" 1
+    (Probe.Memory.count buf (function
+      | Probe.Guard_trip { action = "ignore"; _ } -> true
+      | _ -> false))
+
+(* End to end: a custom migration rule that emits NaN probabilities. *)
+let nan_policy =
+  Policy.make ~sampling:Sampling.Uniform
+    ~migration:
+      (Migration.Custom
+         {
+           name = "nan";
+           prob = (fun ~ell_p:_ ~ell_q:_ -> Float.nan);
+           alpha = None;
+         })
+
+let nan_config phases =
+  {
+    Driver.policy = nan_policy;
+    staleness = Driver.Stale 0.25;
+    phases;
+    steps_per_phase = 4;
+    scheme = Integrator.Rk4;
+  }
+
+let test_driver_fail_fast () =
+  let inst = Common.two_link ~beta:4. in
+  match
+    Driver.run ~guard:Guard.fail_fast inst (nan_config 3)
+      ~init:(Common.biased_start inst)
+  with
+  | exception Guard.Unhealthy d -> check_int "trips at phase 0" 0 d.Guard.index
+  | _ -> Alcotest.fail "expected Guard.Unhealthy from the driver"
+
+let test_driver_repair_keeps_finite () =
+  let inst = Common.two_link ~beta:4. in
+  let metrics = Metrics.create () in
+  let result =
+    Driver.run ~metrics ~guard:Guard.repair inst (nan_config 4)
+      ~init:(Common.biased_start inst)
+  in
+  check_true "final flow finite"
+    (Array.for_all Float.is_finite (result.Driver.final_flow :> float array));
+  check_true "repairs counted"
+    (Metrics.count (Metrics.counter metrics "guard_repairs") > 0)
+
+let test_driver_unguarded_nan_propagates () =
+  (* Without a guard the NaN silently poisons the run — the behaviour
+     the guard exists to surface. *)
+  let inst = Common.two_link ~beta:4. in
+  let result =
+    Driver.run inst (nan_config 2) ~init:(Common.biased_start inst)
+  in
+  check_true "unguarded run ends non-finite"
+    (Array.exists
+       (fun x -> not (Float.is_finite x))
+       (result.Driver.final_flow :> float array))
+
+let suite =
+  [
+    case "of_string" test_of_string;
+    case "make validates tol" test_make_validates;
+    case "healthy flow passes" test_healthy_flow_passes;
+    case "fail-fast diagnostic" test_fail_fast_diagnostic;
+    case "repair restores feasibility" test_repair_restores_feasibility;
+    case "repair spreads vanished mass" test_repair_spreads_vanished_mass;
+    case "ignore observes only" test_ignore_observes_only;
+    case "driver fail-fast" test_driver_fail_fast;
+    case "driver repair keeps finite" test_driver_repair_keeps_finite;
+    case "unguarded NaN propagates" test_driver_unguarded_nan_propagates;
+  ]

@@ -10,8 +10,26 @@ let test_commodity_validation () =
       ignore (Commodity.make ~src:0 ~dst:1 ~demand:0.));
   check_raises_invalid "src = dst" (fun () ->
       ignore (Commodity.make ~src:1 ~dst:1 ~demand:1.));
+  check_raises_invalid "NaN demand" (fun () ->
+      ignore (Commodity.make ~src:0 ~dst:1 ~demand:Float.nan));
+  check_raises_invalid "infinite demand" (fun () ->
+      ignore (Commodity.make ~src:0 ~dst:1 ~demand:Float.infinity));
   let c = Commodity.single ~src:0 ~dst:1 in
   check_close "single demand" 1. c.Commodity.demand
+
+let test_non_finite_latency_rejected () =
+  (* A latency whose slope bound is non-finite poisons beta / ell_max;
+     Instance.create must reject it up front (NaN coefficients are
+     already rejected by the Latency constructors themselves). *)
+  let st = Gen.parallel_links 2 in
+  check_raises_invalid "infinite slope" (fun () ->
+      ignore
+        (Instance.create ~graph:st.Gen.graph
+           ~latencies:[| L.linear Float.infinity; L.linear 1. |]
+           ~commodities:[ Commodity.single ~src:st.Gen.src ~dst:st.Gen.dst ]
+           ()));
+  check_raises_invalid "NaN latency coefficient" (fun () ->
+      ignore (L.const Float.nan))
 
 let test_braess_structure () =
   let inst = braess_inst () in
@@ -142,6 +160,7 @@ let test_needle_constants () =
 let suite =
   [
     case "commodity validation" test_commodity_validation;
+    case "non-finite latency rejected" test_non_finite_latency_rejected;
     case "braess structure" test_braess_structure;
     case "path/commodity maps" test_path_commodity_maps;
     case "demand normalisation" test_demand_normalisation_enforced;

@@ -150,6 +150,73 @@ let test_trace_bytes_identical () =
         (String.equal s pooled.(i)))
     sequential
 
+(* The board's post counter is atomic: boards posted concurrently from
+   pooled domains must still get pairwise-distinct revisions, or
+   Rate_kernel.is_current could be fooled by a torn increment. *)
+let test_pooled_revisions_distinct () =
+  let open Staleroute_dynamics in
+  let module Common = Staleroute_experiments.Common in
+  let inst = Common.braess () in
+  let f = Staleroute_wardrop.Flow.uniform inst in
+  let revisions =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Pool.parallel_map ~pool
+          (fun t ->
+            Array.init 25 (fun _ ->
+                Bulletin_board.revision
+                  (Bulletin_board.post inst ~time:(float_of_int t) f)))
+          (Array.init 4 Fun.id))
+  in
+  let all = Array.concat (Array.to_list revisions) in
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  let distinct = ref true in
+  Array.iteri
+    (fun i r -> if i > 0 && sorted.(i - 1) = r then distinct := false)
+    sorted;
+  check_int "every post got a revision" 100 (Array.length all);
+  check_true "revisions posted from 4 domains all distinct" !distinct
+
+(* Faulted runs keep the byte-identity contract: the fault plan is a
+   pure function of (seed, index), so pooled fan-out cannot reorder or
+   re-draw faults. *)
+let test_faulted_trace_bytes_identical () =
+  let open Staleroute_dynamics in
+  let module Probe = Staleroute_obs.Probe in
+  let module Common = Staleroute_experiments.Common in
+  let trace_one seed =
+    let inst = Common.two_link ~beta:4. in
+    let config =
+      {
+        Driver.policy = Policy.uniform_linear inst;
+        staleness = Driver.Stale 0.1;
+        phases = 8;
+        steps_per_phase = 5;
+        scheme = Integrator.Rk4;
+      }
+    in
+    let faults =
+      Faults.plan (Faults.make ~drop:0.3 ~partial:0.2 ~noise:0.2 ~seed ())
+    in
+    let buf = Probe.Memory.create () in
+    ignore
+      (Driver.run ~probe:(Probe.Memory.probe buf) ~faults inst config
+         ~init:(Common.biased_start inst));
+    Staleroute_obs.Trace_export.events_to_string (Probe.Memory.events buf)
+  in
+  let seeds = Rng.split_seeds (rng ()) 4 in
+  let sequential = Array.map trace_one seeds in
+  let pooled =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Pool.parallel_map ~pool trace_one seeds)
+  in
+  Array.iteri
+    (fun i s ->
+      check_true
+        (Printf.sprintf "faulted run %d trace bytes identical at -j 4" i)
+        (String.equal s pooled.(i)))
+    sequential
+
 let suite =
   [
     case "parallel_map matches Array.map" test_map_matches_sequential;
@@ -165,4 +232,7 @@ let suite =
     case "Rng.split_seeds" test_split_seeds;
     case "pooled traces byte-identical to sequential"
       test_trace_bytes_identical;
+    case "pooled board revisions distinct" test_pooled_revisions_distinct;
+    case "pooled faulted traces byte-identical"
+      test_faulted_trace_bytes_identical;
   ]

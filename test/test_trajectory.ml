@@ -112,6 +112,42 @@ let test_time_to_threshold () =
   check_true "dip ignored"
     (Trajectory.time_to_threshold bumpy ~threshold:1. = Some 3.)
 
+let test_faulted_record_matches_driver () =
+  (* The trajectory recorder and the driver must stay in lockstep under
+     the same fault plan: phase-start flows agree to integrator
+     tolerance and the recorder's samples stay feasible. *)
+  let inst = Common.two_link ~beta:4. in
+  let c = config inst (Driver.Stale 0.25) in
+  let init = Common.biased_start inst in
+  let faults =
+    Faults.plan
+      (Faults.make ~drop:0.25 ~delay:0.25 ~partial:0.2 ~noise:0.2 ~seed:13 ())
+  in
+  let spp = 8 in
+  let traj = Trajectory.record inst c ~faults ~init ~samples_per_phase:spp in
+  let run = Driver.run inst c ~faults ~init in
+  Array.iteri
+    (fun k (r : Driver.phase_record) ->
+      check_true
+        (Printf.sprintf "faulted phase %d start flow agrees" k)
+        (Staleroute_util.Vec.approx_equal ~atol:1e-9 r.Driver.start_flow
+           traj.(k * spp).Trajectory.flow))
+    run.Driver.records;
+  Array.iter
+    (fun s ->
+      check_true "faulted samples stay feasible"
+        (Flow.is_feasible ~tol:1e-8 inst s.Trajectory.flow))
+    traj;
+  (* Determinism: a second recording is identical. *)
+  let traj2 = Trajectory.record inst c ~faults ~init ~samples_per_phase:spp in
+  Array.iteri
+    (fun i s ->
+      check_true "faulted recording deterministic"
+        (Array.for_all2
+           (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+           s.Trajectory.flow traj2.(i).Trajectory.flow))
+    traj
+
 let suite =
   [
     case "record shape" test_record_shape;
@@ -123,4 +159,5 @@ let suite =
     case "fit ignores nonpositive" test_fit_handles_nonpositive_points;
     case "fit degenerate input" test_fit_degenerate;
     case "time to threshold" test_time_to_threshold;
+    case "faulted record matches driver" test_faulted_record_matches_driver;
   ]
