@@ -282,6 +282,19 @@ let ols_estimate results name =
     results;
   !found
 
+(* A feasible flow whose {e shares} differ from [flow] on every path —
+   the board delta the kernel-update benchmarks alternate against.  A
+   uniform rescale would be useless here: projection would normalise it
+   straight back to [flow] and the "update" under test would detect
+   zero dirty entries and do nothing. *)
+let perturb_shares inst flow =
+  Staleroute_wardrop.Flow.project inst
+    (Staleroute_util.Vec.init
+       (Staleroute_wardrop.Instance.path_count inst)
+       (fun i ->
+         Staleroute_util.Vec.get flow i
+         *. (1. +. (0.01 *. float_of_int (1 + (i mod 3))))))
+
 (* Words allocated on the minor heap per in-place Euler step, measured
    by differencing two step counts so per-call setup cancels out. *)
 let euler_words_per_step inst kernel =
@@ -316,7 +329,15 @@ let bench_rates ~quota_s ~json_path () =
   let flow = Flow.uniform inst in
   let board = Bulletin_board.post inst ~time:0. flow in
   let kernel = Rate_kernel.build inst policy ~board in
-  let dst = Array.make (Instance.path_count inst) 0. in
+  let dst = Staleroute_util.Vec.create (Instance.path_count inst) 0. in
+  (* The update benchmark alternates between two posted boards whose
+     flows differ everywhere — the fresh-mode worst case, where every
+     latency moves each step and the incremental path degenerates to a
+     full (but specialized, allocation-free) refresh. *)
+  let flow2 = perturb_shares inst flow in
+  let board2 = Bulletin_board.post inst ~time:1e-3 flow2 in
+  let upd_kernel = Rate_kernel.build inst policy ~board in
+  let flip = ref false in
   let tests =
     [
       Test.make ~name:"reference"
@@ -328,6 +349,12 @@ let bench_rates ~quota_s ~json_path () =
       Test.make ~name:"kernel-build"
         (Staged.stage (fun () ->
              ignore (Rate_kernel.build inst policy ~board)));
+      Test.make ~name:"kernel-update"
+        (Staged.stage (fun () ->
+             flip := not !flip;
+             ignore
+               (Rate_kernel.update upd_kernel
+                  ~board:(if !flip then board2 else board))));
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) () in
@@ -347,6 +374,14 @@ let bench_rates ~quota_s ~json_path () =
   let ref_ns = get "reference" in
   let kern_ns = get "kernel" in
   let build_ns = get "kernel-build" in
+  let update_ns = get "kernel-update" in
+  (* Fresh information re-posts (and recompiles) every integrator step,
+     so a fresh-mode step costs one kernel compile plus one evaluation.
+     The acceptance bar for the incremental path: amortized
+     update + eval at least 2x cheaper than rebuild + eval. *)
+  let fresh_sps = 1e9 /. (update_ns +. kern_ns) in
+  let rebuild_sps = 1e9 /. (build_ns +. kern_ns) in
+  let fresh_speedup = (build_ns +. kern_ns) /. (update_ns +. kern_ns) in
   let words = euler_words_per_step inst kernel in
   let paths = Instance.path_count inst in
   let table =
@@ -359,7 +394,13 @@ let bench_rates ~quota_s ~json_path () =
   Table.add_row table [ "reference flow_derivative"; Printf.sprintf "%.1f" ref_ns ];
   Table.add_row table [ "kernel flow_derivative"; Printf.sprintf "%.1f" kern_ns ];
   Table.add_row table [ "kernel build (per board post)"; Printf.sprintf "%.1f" build_ns ];
+  Table.add_row table
+    [ "kernel update (incremental)"; Printf.sprintf "%.1f" update_ns ];
   Table.add_row table [ "speedup"; Printf.sprintf "%.1fx" (ref_ns /. kern_ns) ];
+  Table.add_row table
+    [ "fresh-mode steps/s (update+eval)"; Printf.sprintf "%.0f" fresh_sps ];
+  Table.add_row table
+    [ "fresh-mode amortized speedup"; Printf.sprintf "%.1fx" fresh_speedup ];
   Table.add_row table
     [ "euler step minor words"; Printf.sprintf "%.2f" words ];
   Table.print table;
@@ -367,18 +408,24 @@ let bench_rates ~quota_s ~json_path () =
   Printf.fprintf oc
     "{\n\
     \  \"benchmark\": \"flow_derivative_rates\",\n\
+    \  \"cores_available\": %d,\n\
     \  \"instance\": { \"paths\": %d, \"commodities\": %d },\n\
     \  \"ns_per_op\": {\n\
     \    \"reference\": %.2f,\n\
     \    \"kernel\": %.2f,\n\
-    \    \"kernel_build\": %.2f\n\
+    \    \"kernel_build\": %.2f,\n\
+    \    \"kernel_update\": %.2f\n\
     \  },\n\
     \  \"speedup_kernel_vs_reference\": %.2f,\n\
+    \  \"fresh_mode\": { \"steps_per_sec\": %.0f, \
+     \"rebuild_steps_per_sec\": %.0f, \"amortized_speedup\": %.2f },\n\
     \  \"euler_minor_words_per_step\": %.2f\n\
      }\n"
+    (Domain.recommended_domain_count ())
     paths
     (Instance.commodity_count inst)
-    ref_ns kern_ns build_ns (ref_ns /. kern_ns) words;
+    ref_ns kern_ns build_ns update_ns (ref_ns /. kern_ns) fresh_sps
+    rebuild_sps fresh_speedup words;
   close_out oc;
   Printf.printf "(perf trajectory written to %s)\n%!" json_path
 
@@ -398,7 +445,7 @@ let micro () =
       (fun e -> 1. +. float_of_int (e mod 7))
   in
   let kernel = Rate_kernel.build inst policy ~board in
-  let dst = Array.make (Instance.path_count inst) 0. in
+  let dst = Staleroute_util.Vec.create (Instance.path_count inst) 0. in
   let pool = Staleroute_util.Vec.Pool.create ~dim:(Instance.path_count inst) in
   let tests =
     [
@@ -411,6 +458,25 @@ let micro () =
       Test.make ~name:"rate-kernel build (16 paths)"
         (Staged.stage (fun () ->
              ignore (Rate_kernel.build inst policy ~board)));
+      (let flow2 = perturb_shares inst flow in
+       let board2 = Bulletin_board.post inst ~time:1e-3 flow2 in
+       let uk = Rate_kernel.build inst policy ~board in
+       let flip = ref false in
+       Test.make ~name:"rate-kernel update (16 paths)"
+         (Staged.stage (fun () ->
+              flip := not !flip;
+              ignore
+                (Rate_kernel.update uk
+                   ~board:(if !flip then board2 else board)))));
+      (let x = Staleroute_util.Vec.create 256 1.5 in
+       let y = Staleroute_util.Vec.create 256 0.5 in
+       Test.make ~name:"vec axpy (256)"
+         (Staged.stage (fun () ->
+              Staleroute_util.Vec.axpy ~alpha:1e-9 ~x ~y)));
+      (let x = Staleroute_util.Vec.create 256 1.5 in
+       let y = Staleroute_util.Vec.create 256 0.5 in
+       Test.make ~name:"vec dot (256)"
+         (Staged.stage (fun () -> ignore (Staleroute_util.Vec.dot x y))));
       Test.make ~name:"potential (16 paths)"
         (Staged.stage (fun () -> ignore (Potential.phi inst flow)));
       Test.make ~name:"rk4 phase step reference (16 paths)"
@@ -578,6 +644,7 @@ let trace_smoke ~json_path () =
   Printf.fprintf oc
     "{\n\
     \  \"benchmark\": \"trace_smoke\",\n\
+    \  \"cores_available\": %d,\n\
     \  \"stale\": { \"phases\": %d, \"board_reposts\": %d, \
      \"kernel_rebuilds\": %d },\n\
     \  \"fresh\": { \"phases\": %d, \"steps_per_phase\": %d, \
@@ -586,6 +653,7 @@ let trace_smoke ~json_path () =
     \  \"euler_minor_words_per_step_probes_off\": %.2f,\n\
     \  \"pass\": %b\n\
      }\n"
+    (Domain.recommended_domain_count ())
     phases stale_reposts stale_rebuilds fphases fsteps fresh_rebuilds
     identical words pass;
   close_out oc;
@@ -696,8 +764,8 @@ let fault_smoke ~json_path () =
                (Trace_export.events_to_string stitched),
           Array.for_all2
             (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
-            (result_a.Driver.final_flow :> float array)
-            (result_c.Driver.final_flow :> float array) )
+            (Staleroute_util.Vec.to_array result_a.Driver.final_flow)
+            (Staleroute_util.Vec.to_array result_c.Driver.final_flow) )
   in
   check "resume: stitched trace byte-identical" resume_identical;
   check "resume: final flow bit-identical" resume_flow_identical;
@@ -729,8 +797,8 @@ let fault_smoke ~json_path () =
     Metrics.count (Metrics.counter repair_metrics "guard_repairs")
   in
   let final_finite =
-    Array.for_all Float.is_finite
-      (repaired.Driver.final_flow :> float array)
+    Staleroute_util.Vec.for_all Float.is_finite
+      repaired.Driver.final_flow
   in
   check "guard repair: run completes with finite flow"
     (final_finite && repairs > 0);
@@ -758,6 +826,7 @@ let fault_smoke ~json_path () =
   Printf.fprintf oc
     "{\n\
     \  \"benchmark\": \"fault_smoke\",\n\
+    \  \"cores_available\": %d,\n\
     \  \"plan_draws\": { \"drop\": %d, \"delay\": %d, \"partial\": %d, \
      \"noise\": %d },\n\
     \  \"faulted_events\": %d,\n\
@@ -768,6 +837,7 @@ let fault_smoke ~json_path () =
      \"effective_period\": %.3f },\n\
     \  \"pass\": %b\n\
      }\n"
+    (Domain.recommended_domain_count ())
     drops delays partials noises injected resume_identical
     resume_flow_identical fail_fast_raised repairs drop_phases posts eff
     pass;
@@ -797,14 +867,17 @@ let parallel_smoke ~jobs ~full ~json_path () =
     if not ok then incr failures
   in
   let width = max 2 jobs in
-  (* 1. Sharded kernel build is bit-identical to the whole build. *)
+  (* 1. Sharded kernel build is bit-identical to the whole build.  The
+     bench instance sits below the auto-threshold (where sharding is a
+     net loss), so the identity check forces the sharded path. *)
   let kinst = multicommodity_parallel ~commodities:8 24 in
   let kpolicy = Policy.replicator kinst in
   let kboard = Bulletin_board.post kinst ~time:0. (Flow.uniform kinst) in
   let whole = Rate_kernel.build kinst kpolicy ~board:kboard in
   let sharded =
     Pool.with_pool ~domains:width (fun pool ->
-        Rate_kernel.build ?pool kinst kpolicy ~board:kboard)
+        Rate_kernel.build ?pool ~shard_min_entries:0 kinst kpolicy
+          ~board:kboard)
   in
   let n = Instance.path_count kinst in
   let rates_equal = ref true in
@@ -910,7 +983,12 @@ let parallel_smoke ~jobs ~full ~json_path () =
   check
     (Printf.sprintf "trace JSONL byte-identical at -j 1 vs -j %d" width)
     (seq_traces = pooled_traces);
-  (* 6. Sharded vs whole kernel build time. *)
+  (* 6. Kernel build timings: whole (no pool), auto-thresholded pooled
+     (this instance is below the threshold, so the pool must be
+     ignored), and forced sharding (the old always-shard behaviour,
+     recorded so the handoff cost stays visible).  The guard is the
+     auto path: handing build a pool must never cost more than building
+     whole, beyond timer noise. *)
   let build_reps = 400 in
   let (), whole_build_s =
     wall_time (fun () ->
@@ -918,14 +996,48 @@ let parallel_smoke ~jobs ~full ~json_path () =
           ignore (Rate_kernel.build kinst kpolicy ~board:kboard)
         done)
   in
-  let (), sharded_build_s =
+  (* The guard compares like-for-like {e inside} the pool scope: merely
+     having idle worker domains alive taxes every minor GC with a
+     stop-the-world rendezvous (several-fold on a single core), so a
+     no-domains baseline would blame sharding for the domain tax.
+     [whole_in_pool] isolates the decision the threshold actually
+     makes: given a pool, ignore it below the cutoff. *)
+  let whole_in_pool_s, auto_build_s, forced_build_s =
     Pool.with_pool ~domains:width (fun pool ->
-        wall_time (fun () ->
-            for _ = 1 to build_reps do
-              ignore (Rate_kernel.build ?pool kinst kpolicy ~board:kboard)
-            done))
+        let time f =
+          snd
+            (wall_time (fun () ->
+                 for _ = 1 to build_reps do
+                   ignore (f ())
+                 done))
+        in
+        let whole_s =
+          time (fun () -> Rate_kernel.build kinst kpolicy ~board:kboard)
+        in
+        let auto_s =
+          time (fun () -> Rate_kernel.build ?pool kinst kpolicy ~board:kboard)
+        in
+        let forced_s =
+          time (fun () ->
+              Rate_kernel.build ?pool ~shard_min_entries:0 kinst kpolicy
+                ~board:kboard)
+        in
+        (whole_s, auto_s, forced_s))
   in
   let per_build s = s /. float_of_int build_reps *. 1e9 in
+  check
+    (Printf.sprintf
+       "auto-thresholded pooled build not slower than whole (%.0f vs %.0f \
+        ns)"
+       (per_build auto_build_s) (per_build whole_in_pool_s))
+    (auto_build_s <= 1.5 *. whole_in_pool_s);
+  (* 6b. The sweep fan-out gate: per-task work below the threshold
+     strips the pool, at-or-above keeps it, and None passes through. *)
+  check "fan-out gate strips small work, keeps large"
+    (Pool.with_pool ~domains:width (fun pool ->
+         Pool.gate ~work:(Pool.min_fanout_work - 1) pool = None
+         && Pool.gate ~work:Pool.min_fanout_work pool == pool
+         && Pool.gate ~work:0 None = None));
   (* 7. Optionally: the full E1-E17 suite, -j 1 vs -j [jobs]. *)
   let suite_timing =
     if not full then None
@@ -957,15 +1069,19 @@ let parallel_smoke ~jobs ~full ~json_path () =
     \  \"pool_width\": %d,\n\
     \  \"e16_quick_wall_s\": { \"sequential\": %.4f, \"pooled\": %.4f, \
      \"speedup\": %.2f },\n\
-    \  \"kernel_build_ns\": { \"whole\": %.0f, \"sharded\": %.0f, \
-     \"commodities\": %d, \"paths\": %d },\n"
+    \  \"kernel_build_ns\": { \"whole\": %.0f, \"whole_in_pool\": %.0f, \
+     \"auto_pool\": %.0f, \"forced_shard\": %.0f, \"commodities\": %d, \
+     \"paths\": %d, \"entries\": %d },\n"
     (Domain.recommended_domain_count ())
     width e16_seq_s e16_pooled_s
     (e16_seq_s /. e16_pooled_s)
     (per_build whole_build_s)
-    (per_build sharded_build_s)
+    (per_build whole_in_pool_s)
+    (per_build auto_build_s)
+    (per_build forced_build_s)
     (Instance.commodity_count kinst)
-    n;
+    n
+    (Rate_kernel.entry_count kinst);
   (match suite_timing with
   | Some (seq_s, par_s) ->
       Printf.fprintf oc
@@ -978,6 +1094,106 @@ let parallel_smoke ~jobs ~full ~json_path () =
     (!failures = 0) pass;
   close_out oc;
   Printf.printf "(parallel smoke written to %s)\n%!" json_path;
+  if not pass then exit 1
+
+(* --- Perf smoke: allocation contracts of the numeric hot path --- *)
+
+(* Minor words per call of [f], measured by differencing two batch
+   sizes so per-measurement setup (including the boxed float
+   [Gc.minor_words] itself returns) cancels out. *)
+let words_per_call f =
+  let measure n =
+    f ();
+    let before = Gc.minor_words () in
+    for _ = 1 to n do
+      f ()
+    done;
+    Gc.minor_words () -. before
+  in
+  let reps = 1000 in
+  (measure (reps + 1) -. measure 1) /. float_of_int reps
+
+(* The allocation contracts the Bigarray switch must preserve: the
+   disabled-probe Euler step and every in-place [Vec] operation stay at
+   0 minor words, and an incremental kernel update allocates at most a
+   small constant (its per-call bookkeeping), never per matrix entry.
+   Only meaningful under the native compiler — bytecode boxes
+   everything, so the checks auto-pass there.  Writes BENCH_perf.json;
+   exits non-zero on any violation. *)
+let perf_smoke ~json_path () =
+  let open Staleroute_wardrop in
+  let open Staleroute_dynamics in
+  let failures = ref 0 in
+  let native =
+    match Sys.backend_type with Sys.Native -> true | _ -> false
+  in
+  let check name ok =
+    Printf.printf "  %-48s %s\n%!" name
+      (if ok || not native then "ok" else "FAIL");
+    if (not ok) && native then incr failures
+  in
+  let inst = multicommodity_parallel 20 in
+  let policy = Policy.uniform_linear inst in
+  let flow = Flow.uniform inst in
+  let board = Bulletin_board.post inst ~time:0. flow in
+  let kernel = Rate_kernel.build inst policy ~board in
+  let euler_words = euler_words_per_step inst kernel in
+  check "probes off: euler step minor words = 0" (euler_words = 0.);
+  let n = Instance.path_count inst in
+  let x = Staleroute_util.Vec.create n 1.5 in
+  let y = Staleroute_util.Vec.create n 0.5 in
+  let vec_ops =
+    [
+      ("fill", fun () -> Staleroute_util.Vec.fill y 0.5);
+      ("blit", fun () -> Staleroute_util.Vec.blit ~src:x ~dst:y);
+      ("add_", fun () -> Staleroute_util.Vec.add_ ~x ~y);
+      ("scale_", fun () -> Staleroute_util.Vec.scale_ 1.0000001 y);
+      ("axpy", fun () -> Staleroute_util.Vec.axpy ~alpha:1e-9 ~x ~y);
+    ]
+  in
+  let vec_words =
+    List.map (fun (name, f) -> (name, words_per_call f)) vec_ops
+  in
+  List.iter
+    (fun (name, w) ->
+      check (Printf.sprintf "vec %s minor words = 0" name) (w = 0.))
+    vec_words;
+  (* Update between two genuinely different boards, so the refresh
+     actually runs.  The bound is a small constant: a per-entry
+     allocation on this instance would cost hundreds of words. *)
+  let flow2 = perturb_shares inst flow in
+  let board2 = Bulletin_board.post inst ~time:1e-3 flow2 in
+  let uk = Rate_kernel.build inst policy ~board in
+  let flip = ref false in
+  let update_words =
+    words_per_call (fun () ->
+        flip := not !flip;
+        ignore
+          (Rate_kernel.update uk ~board:(if !flip then board2 else board)))
+  in
+  check "kernel update minor words <= 64 (no per-entry alloc)"
+    (update_words <= 64.);
+  let pass = !failures = 0 in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"perf_smoke\",\n\
+    \  \"cores_available\": %d,\n\
+    \  \"native\": %b,\n\
+    \  \"euler_minor_words_per_step\": %.2f,\n\
+    \  \"vec_minor_words_per_call\": { %s },\n\
+    \  \"kernel_update_minor_words_per_call\": %.2f,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    native euler_words
+    (String.concat ", "
+       (List.map
+          (fun (name, w) -> Printf.sprintf "\"%s\": %.2f" name w)
+          vec_words))
+    update_words pass;
+  close_out oc;
+  Printf.printf "(perf smoke written to %s)\n%!" json_path;
   if not pass then exit 1
 
 let json_path = ref "BENCH_rates.json"
@@ -1041,6 +1257,12 @@ let () =
       fault_smoke
         ~json_path:
           (if !json_path = "BENCH_rates.json" then "BENCH_faults.json"
+           else !json_path)
+        ()
+  | [ "perf-smoke" ] ->
+      perf_smoke
+        ~json_path:
+          (if !json_path = "BENCH_rates.json" then "BENCH_perf.json"
            else !json_path)
         ()
   | "parallel-smoke" :: rest

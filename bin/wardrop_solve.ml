@@ -14,7 +14,7 @@ let flow_table inst title flow =
     Table.add_row table
       [
         Format.asprintf "%a" Staleroute_graph.Path.pp (Instance.path inst p);
-        Table.cell_float ~decimals:6 flow.(p);
+        Table.cell_float ~decimals:6 (Staleroute_util.Vec.get flow p);
         Table.cell_float ~decimals:6 pl.(p);
       ]
   done;

@@ -74,7 +74,7 @@ let () =
   in
   (* Path order in the instance: 0-[0,2]->3 upper, 0-[0,4,3]->3 bridge,
      0-[1,3]->3 lower; identify by inspection of edge ids. *)
-  let share_of_path flow p = flow.(p) in
+  let share_of_path flow p = Staleroute_util.Vec.get flow p in
   let upper, bridge, lower =
     let find pred =
       let found = ref (-1) in

@@ -42,7 +42,7 @@ let () =
   for p = 0 to Instance.path_count inst - 1 do
     Format.printf "  %a  flow %.4f  latency %.4f@." Staleroute_graph.Path.pp
       (Instance.path inst p)
-      eq.Frank_wolfe.flow.(p) pl.(p)
+      (Staleroute_util.Vec.get eq.Frank_wolfe.flow p) pl.(p)
   done;
 
   (* Adaptive clients on a stale dashboard. *)

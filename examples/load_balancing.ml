@@ -103,7 +103,7 @@ let () =
   let sim = run_policy "smooth (alpha-linear):" inst smooth ~rng:(Rng.split rng) in
   let final_pl = Flow.path_latencies inst sim.Simulator.final_flow in
   Format.printf "@.final smooth assignment (server: share, response):@.";
-  Array.iteri
+  Staleroute_util.Vec.iteri
     (fun p share ->
       Format.printf "  server %d: %.3f of clients, response %.4f@." p share
         final_pl.(p))

@@ -10,6 +10,7 @@
 open Staleroute_graph
 open Staleroute_wardrop
 open Staleroute_dynamics
+module Vec = Staleroute_util.Vec
 module Latency = Staleroute_latency.Latency
 module Plot = Staleroute_util.Ascii_plot
 
@@ -26,22 +27,22 @@ let instance () =
 
 (* The paper's adversarial initial condition f1(0) = 1/(e^-T + 1). *)
 let paper_init inst =
-  let f = Array.make (Instance.path_count inst) 0. in
-  f.(0) <- 1. /. (exp (-.t) +. 1.);
-  f.(1) <- 1. -. f.(0);
+  let f = Vec.create (Instance.path_count inst) 0. in
+  Vec.set f 0 (1. /. (exp (-.t) +. 1.));
+  Vec.set f 1 (1. -. Vec.get f 0);
   f
 
 let best_response_series inst init =
   (* Sample the exact within-phase orbit f(t) = d + (f0 - d) e^-tau. *)
   let samples = ref [] in
-  let f = ref (Array.copy init) in
+  let f = ref (Vec.copy init) in
   for k = 0 to phases - 1 do
     let t0 = float_of_int k *. t in
     let board = Bulletin_board.post inst ~time:t0 !f in
     for j = 0 to 19 do
       let tau = t *. float_of_int j /. 20. in
       let g = Best_response.step_phase inst ~board ~f0:!f ~tau in
-      samples := (t0 +. tau, g.(0)) :: !samples
+      samples := (t0 +. tau, Vec.get g 0) :: !samples
     done;
     f := Best_response.step_phase inst ~board ~f0:!f ~tau:t
   done;
@@ -63,7 +64,7 @@ let smooth_series inst init =
   ( t_star,
     Array.to_list
       (Array.map
-         (fun r -> (r.Driver.start_time, r.Driver.start_flow.(0)))
+         (fun r -> (r.Driver.start_time, Vec.get r.Driver.start_flow 0))
          result.Driver.records) )
 
 let () =

@@ -44,7 +44,7 @@ let () =
   let init =
     let f = Flow.uniform inst in
     let skew = [| 0.05; 0.05; 0.9 |] in
-    Array.iteri (fun p _ -> f.(p) <- skew.(p)) f;
+    Array.iteri (fun p x -> Staleroute_util.Vec.set f p x) skew;
     f
   in
   let config =

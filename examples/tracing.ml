@@ -56,7 +56,7 @@ let () =
     }
   in
   (* Worst-case start: nearly everything on link 0. *)
-  let init = [| 0.95; 0.05 |] in
+  let init = Staleroute_util.Vec.of_array [| 0.95; 0.05 |] in
   (* Tee the live narration with a buffer that remembers everything. *)
   let buffer = Probe.Memory.create () in
   let probe = Probe.tee (Probe.make live_sink) (Probe.Memory.probe buffer) in

@@ -3,12 +3,12 @@ module Vec = Staleroute_util.Vec
 
 let best_reply inst ~board =
   let lat = board.Bulletin_board.path_latencies in
-  let d = Array.make (Instance.path_count inst) 0. in
+  let d = Vec.create (Instance.path_count inst) 0. in
   for ci = 0 to Instance.commodity_count inst - 1 do
     let ps = Instance.paths_of_commodity inst ci in
     let best = ref ps.(0) in
     Array.iter (fun p -> if lat.(p) < lat.(!best) then best := p) ps;
-    d.(!best) <- Instance.demand inst ci
+    Vec.set d !best (Instance.demand inst ci)
   done;
   d
 
@@ -17,8 +17,8 @@ let step_phase inst ~board ~f0 ~tau =
   let d = best_reply inst ~board in
   let decay = exp (-.tau) in
   (* f(τ) = d + (f0 - d)·e^{-τ}, the exact solution of ḟ = d - f. *)
-  Array.init (Array.length f0) (fun p ->
-      d.(p) +. ((f0.(p) -. d.(p)) *. decay))
+  Vec.init (Vec.dim f0) (fun p ->
+      Vec.get d p +. ((Vec.get f0 p -. Vec.get d p) *. decay))
 
 type run = { phase_starts : Flow.t array; potentials : float array }
 

@@ -32,7 +32,7 @@ let post_with inst ~time ~flow ~edge_latencies =
   in
   {
     posted_at = time;
-    flow = Array.copy flow;
+    flow = Staleroute_util.Vec.copy flow;
     path_latencies;
     edge_latencies;
     revision = next_revision ();

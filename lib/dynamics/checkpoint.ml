@@ -1,4 +1,5 @@
 module Json = Staleroute_obs.Json
+module Vec = Staleroute_util.Vec
 module Probe = Staleroute_obs.Probe
 module Trace_export = Staleroute_obs.Trace_export
 
@@ -17,7 +18,7 @@ let record_to_json (r : Driver.phase_record) =
     [
       ("index", Json.Int r.index);
       ("start_time", Json.Float r.start_time);
-      ("start_flow", floats r.start_flow);
+      ("start_flow", floats (Vec.to_array r.start_flow));
       ("start_potential", Json.Float r.start_potential);
       ("virtual_gain", Json.Float r.virtual_gain);
       ("delta_phi", Json.Float r.delta_phi);
@@ -27,7 +28,7 @@ let board_to_json (b : Driver.board_state) =
   Json.Obj
     [
       ("posted_at", Json.Float b.posted_at);
-      ("flow", floats b.board_flow);
+      ("flow", floats (Vec.to_array b.board_flow));
       ("edge_latencies", floats b.board_latencies);
     ]
 
@@ -38,7 +39,7 @@ let to_json t =
       ("staleroute_checkpoint", Json.Int version);
       ("fingerprint", Json.String t.fingerprint);
       ("next_phase", Json.Int s.next_phase);
-      ("flow", floats s.flow);
+      ("flow", floats (Vec.to_array s.flow));
       ( "board",
         match s.board with None -> Json.Null | Some b -> board_to_json b );
       ("records", Json.List (List.map record_to_json s.records_so_far));
@@ -75,6 +76,7 @@ let record_of_json j =
   let* index = field "index" Json.to_int j in
   let* start_time = field "start_time" Json.to_float j in
   let* start_flow = float_array "start_flow" j in
+  let start_flow = Vec.of_array start_flow in
   let* start_potential = field "start_potential" Json.to_float j in
   let* virtual_gain = field "virtual_gain" Json.to_float j in
   let* delta_phi = field "delta_phi" Json.to_float j in
@@ -91,6 +93,7 @@ let record_of_json j =
 let board_of_json j =
   let* posted_at = field "posted_at" Json.to_float j in
   let* board_flow = float_array "flow" j in
+  let board_flow = Vec.of_array board_flow in
   let* board_latencies = float_array "edge_latencies" j in
   Ok { Driver.posted_at; board_flow; board_latencies }
 
@@ -115,6 +118,7 @@ let of_json j =
   let* fingerprint = field "fingerprint" Json.to_str j in
   let* next_phase = field "next_phase" Json.to_int j in
   let* flow = float_array "flow" j in
+  let flow = Vec.of_array flow in
   let* board =
     match Json.member "board" j with
     | Some Json.Null -> Ok None

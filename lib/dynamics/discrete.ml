@@ -66,16 +66,24 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
       Probe.emit probe (Probe.Fault_injected { time; index; kind; arg });
     Metrics.incr faults_c
   in
-  let announce_and_compile ~time board =
+  let announce_and_compile ?prev ~time board =
     if Probe.enabled probe then Probe.emit probe (Probe.Board_repost { time });
     Metrics.incr reposts;
-    let kernel = Rate_kernel.build inst config.policy ~board in
+    let kernel =
+      (* Incremental recompile when a previous kernel is live — bitwise
+         identical to a fresh [build] (see {!Rate_kernel.update}). *)
+      match prev with
+      | Some k -> Rate_kernel.update k ~board
+      | None -> Rate_kernel.build inst config.policy ~board
+    in
     if Probe.enabled probe then
       Probe.emit probe (Probe.Kernel_rebuild { time });
     Metrics.incr rebuilds;
     (board, kernel)
   in
-  let post time = announce_and_compile ~time (Bulletin_board.post inst ~time !f) in
+  let post ?prev time =
+    announce_and_compile ?prev ~time (Bulletin_board.post inst ~time !f)
+  in
   (* The compiled kernel lives as long as its board post — which under
      fault injection can span several update periods (dropped re-posts
      keep the old board, and its kernel stays legitimately current). *)
@@ -110,12 +118,12 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
           | Some fault -> emit_fault ~time ~index:u fault
           | None -> ());
           posted :=
-            announce_and_compile ~time
+            announce_and_compile ~prev:(snd !posted) ~time
               (Faults.board faults ~index:u fault inst ~time ~prev !f)
     end;
     if !pending = Some k then begin
       pending := None;
-      posted := post time
+      posted := post ~prev:(snd !posted) time
     end;
     let board, kernel = !posted in
     assert (Rate_kernel.is_current kernel ~board);

@@ -110,17 +110,24 @@ let emit_fault ins ~time ~index fault =
   Metrics.incr ins.faults_c
 
 (* Announce a freshly posted board and compile its kernel, emitting the
-   matching probe events and metric updates.  [Sys.time] is CPU time —
-   coarse for a single build but meaningful accumulated over a run — and
-   is consulted only when the histogram is live, keeping uninstrumented
-   runs free of clock reads. *)
-let announce_and_compile inst policy ~ins ~time board =
+   matching probe events and metric updates.  With [?prev] the previous
+   posting's kernel is refreshed in place ([Rate_kernel.update] —
+   bitwise identical to a fresh build, so traces and results cannot
+   tell the difference); without it a kernel is built from scratch.
+   [Sys.time] is CPU time — coarse for a single build but meaningful
+   accumulated over a run — and is consulted only when the histogram is
+   live, keeping uninstrumented runs free of clock reads. *)
+let announce_and_compile ?prev inst policy ~ins ~time board =
   if Probe.enabled ins.probe then
     Probe.emit ins.probe (Probe.Board_repost { time });
   Metrics.incr ins.reposts;
   let timed = Metrics.enabled_histogram ins.build_ns in
   let t0 = if timed then Sys.time () else 0. in
-  let kernel = Rate_kernel.build inst policy ~board in
+  let kernel =
+    match prev with
+    | Some l -> Rate_kernel.update l.kernel ~board
+    | None -> Rate_kernel.build inst policy ~board
+  in
   if timed then Metrics.observe ins.build_ns ((Sys.time () -. t0) *. 1e9);
   if Probe.enabled ins.probe then
     Probe.emit ins.probe (Probe.Kernel_rebuild { time });
@@ -128,8 +135,9 @@ let announce_and_compile inst policy ~ins ~time board =
   assert (Rate_kernel.is_current kernel ~board);
   { board; kernel }
 
-let post_and_compile inst policy ~ins ~time f =
-  announce_and_compile inst policy ~ins ~time (Bulletin_board.post inst ~time f)
+let post_and_compile ?prev inst policy ~ins ~time f =
+  announce_and_compile ?prev inst policy ~ins ~time
+    (Bulletin_board.post inst ~time f)
 
 (* The "a re-post lands now" path: build the (possibly Partial/Noise
    faulted) board for update [index] and compile it.  Drop/Delay/Partial
@@ -137,15 +145,18 @@ let post_and_compile inst policy ~ins ~time f =
    nothing was actually injected, so no fault event is emitted. *)
 let post_faulted inst policy ~ins ~faults ~index fault ~time ~prev f =
   let fault =
-    match (fault, prev) with
+    match
+      (fault, (prev : live option))
+    with
     | Some (Faults.Drop | Faults.Delay _ | Faults.Partial _), None -> None
     | f, _ -> f
   in
   (match fault with
   | Some fault -> emit_fault ins ~time ~index fault
   | None -> ());
-  announce_and_compile inst policy ~ins ~time
-    (Faults.board faults ~index fault inst ~time ~prev f)
+  let prev_board = Option.map (fun l -> l.board) prev in
+  announce_and_compile ?prev inst policy ~ins ~time
+    (Faults.board faults ~index fault inst ~time ~prev:prev_board f)
 
 (* The driver always runs on the compiled kernel path: a board is
    compiled to a [Rate_kernel.t] once per post and the phase is
@@ -200,17 +211,19 @@ let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
               ~tau:(h *. float_of_int s1)
               ~steps:s1 g;
             let post_time = time +. (h *. float_of_int s1) in
-            let l' = post_and_compile inst config.policy ~ins ~time:post_time g in
+            let l' =
+              post_and_compile ~prev:l inst config.policy ~ins ~time:post_time
+                g
+            in
             integrate ~kernel:l'.kernel ~t0:post_time
               ~tau:(h *. float_of_int (steps - s1))
               ~steps:(steps - s1) g;
             (g, Some l')
           end
       | fault, live ->
-          let prev = Option.map (fun l -> l.board) live in
           let l =
             post_faulted inst config.policy ~ins ~faults ~index:k fault ~time
-              ~prev f
+              ~prev:live f
           in
           integrate ~kernel:l.kernel ~t0:time ~tau ~steps g;
           (g, Some l))
@@ -232,11 +245,10 @@ let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
         | Some ((Faults.Drop | Faults.Delay _) as fault), Some _ ->
             emit_fault ins ~time:step_time ~index:u fault
         | fault, lv ->
-            let prev = Option.map (fun l -> l.board) lv in
             live :=
               Some
                 (post_faulted inst config.policy ~ins ~faults ~index:u fault
-                   ~time:step_time ~prev g));
+                   ~time:step_time ~prev:lv g));
         let l = Option.get !live in
         assert (Rate_kernel.is_current l.kernel ~board:l.board);
         integrate ~kernel:l.kernel ~t0:step_time ~tau:h ~steps:1 g
@@ -281,7 +293,7 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
           invalid_arg "Driver.run: snapshot phase outside configured range";
         if List.length s.records_so_far <> s.next_phase then
           invalid_arg "Driver.run: snapshot records inconsistent with phase";
-        if Array.length s.flow <> Instance.path_count inst then
+        if Vec.dim s.flow <> Instance.path_count inst then
           invalid_arg "Driver.run: snapshot flow has wrong dimension";
         let live =
           Option.map (restore_live inst config.policy) s.board

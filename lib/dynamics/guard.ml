@@ -1,4 +1,5 @@
 open Staleroute_wardrop
+module Vec = Staleroute_util.Vec
 module Probe = Staleroute_obs.Probe
 module Metrics = Staleroute_obs.Metrics
 
@@ -84,7 +85,7 @@ let inspect_commodity inst ~tol f ci =
   let mass = ref 0. in
   Array.iter
     (fun p ->
-      let x = f.(p) in
+      let x = Vec.get f p in
       if not (Float.is_finite x) then begin
         non_finite := true;
         bad := p :: !bad
@@ -107,19 +108,19 @@ let repair_commodity inst f ci =
   let mass = ref 0. in
   Array.iter
     (fun p ->
-      let x = f.(p) in
+      let x = Vec.get f p in
       let x = if Float.is_finite x then Float.max 0. x else 0. in
-      f.(p) <- x;
+      Vec.set f p x;
       mass := !mass +. x)
     ps;
   let r = Instance.demand inst ci in
   if !mass > 0. then begin
     let scale = r /. !mass in
-    Array.iter (fun p -> f.(p) <- f.(p) *. scale) ps
+    Array.iter (fun p -> Vec.set f p (Vec.get f p *. scale)) ps
   end
   else begin
     let share = r /. float_of_int (Array.length ps) in
-    Array.iter (fun p -> f.(p) <- share) ps
+    Array.iter (fun p -> Vec.set f p share) ps
   end
 
 let check t ?(probe = Probe.null) ?repairs inst ~index ~time f =

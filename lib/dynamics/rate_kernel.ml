@@ -1,17 +1,109 @@
 open Staleroute_wardrop
+module Vec = Staleroute_util.Vec
 
 type t = {
   inst : Instance.t;
+  policy : Policy.t;
   n : int;
   commodities : int;
   paths_of : int array array;  (* shared with the instance - not mutated *)
   mat_off : int array;  (* commodity ci's m*m block starts at mat_off.(ci) *)
   mat : float array;  (* row-major dense blocks, R_PP = 0 *)
   row_sum : float array;  (* total outflow rate per unit mass, global index *)
-  revision : int;  (* board revision the kernel was compiled at *)
+  mutable board : Bulletin_board.t;  (* the posting the entries encode *)
+  (* Scratch for [update], allocated once at build time so the
+     per-repost refresh stays allocation-free.  All three are sized to
+     the largest commodity and only meaningful inside one commodity's
+     refresh. *)
+  sigma : float array;
+  lat_dirty : bool array;  (* local index: posted latency bits changed *)
+  col_dirty : bool array;  (* local index: sigma_b or ell_Q changed *)
 }
 
-let build ?pool inst policy ~board =
+(* [update] must be bitwise identical to a fresh [build] against the
+   same board: checkpoint/resume reconstructs kernels with [build]
+   while the uninterrupted run reaches the same posting through a chain
+   of updates, and the byte-identity contract of resumed traces rides
+   on the two producing the very same rates.  Everything below is
+   therefore organised around recomputing entries with exactly the
+   expressions (and accumulation order) of the build path, and reusing
+   stored entries only when their inputs are bit-unchanged. *)
+
+(* Migration probabilities, decoded once per [update] so the m*m
+   refresh loops dispatch on an immediate int instead of calling
+   [Migration.prob] per pair (a cross-module call that boxes all three
+   floats).  The inline arms in [refresh_row]/[refresh_row_cols]
+   replicate [Migration.prob] (including [Numerics.clamp] =
+   [Float.min hi (Float.max lo x)]) expression for expression — any
+   drift breaks the update/build bit-identity the qcheck suite pins
+   down.  [build] itself keeps the generic per-pair call: it is the
+   semantic anchor the identity tests compare the inline arms
+   against. *)
+let mig_better_response = 0
+let mig_linear = 1
+let mig_scaled = 2
+let mig_relative = 3
+let mig_custom = 4
+
+let decode_migration = function
+  | Migration.Better_response -> (mig_better_response, 0.)
+  | Migration.Linear { ell_max } -> (mig_linear, ell_max)
+  | Migration.Scaled_linear { alpha } -> (mig_scaled, alpha)
+  | Migration.Relative { scale } -> (mig_relative, scale)
+  | Migration.Custom _ -> (mig_custom, 0.)
+
+(* One commodity's sigma·mu block: writes only mat rows inside the
+   commodity's [mat_off] slice and row_sum entries of its own paths, so
+   distinct commodities touch disjoint indices and can compile
+   concurrently.  [sigma] is per-call scratch. *)
+let compile_commodity inst sampling migration ~origin_indep ~paths_of ~mat_off
+    ~mat ~row_sum ~lat ~bflow ~sigma ci =
+  let ps = paths_of.(ci) in
+  let m = Array.length ps in
+  let off = mat_off.(ci) in
+  if origin_indep then
+    Sampling.distribution_into sampling inst ~commodity:ci ~flow:bflow
+      ~latencies:lat ~from_:ps.(0) ~dst:sigma;
+  for a = 0 to m - 1 do
+    let p = ps.(a) in
+    if not origin_indep then
+      Sampling.distribution_into sampling inst ~commodity:ci ~flow:bflow
+        ~latencies:lat ~from_:p ~dst:sigma;
+    let base = off + (a * m) in
+    let sum = ref 0. in
+    for b = 0 to m - 1 do
+      if b <> a then begin
+        let q = ps.(b) in
+        let r =
+          sigma.(b)
+          *. Migration.prob migration ~ell_p:lat.(p) ~ell_q:lat.(q)
+        in
+        mat.(base + b) <- r;
+        sum := !sum +. r
+      end
+    done;
+    row_sum.(p) <- !sum
+  done
+
+let entry_count inst =
+  let nc = Instance.commodity_count inst in
+  let total = ref 0 in
+  for ci = 0 to nc - 1 do
+    let m = Array.length (Instance.paths_of_commodity inst ci) in
+    total := !total + (m * m)
+  done;
+  !total
+
+(* Sharding a build across domains only pays once a kernel is large:
+   below roughly this many matrix entries the per-commodity task
+   handoff costs more than the whole sequential compile (the bench
+   instance, ~4.6k entries, built 6x slower sharded than whole).  Pass
+   [~shard_min_entries:0] to force sharding regardless — the
+   bit-identity tests do. *)
+let default_shard_min_entries = 65536
+
+let build ?pool ?(shard_min_entries = default_shard_min_entries) inst policy
+    ~board =
   let n = Instance.path_count inst in
   let nc = Instance.commodity_count inst in
   let mat_off = Array.make (nc + 1) 0 in
@@ -27,63 +119,197 @@ let build ?pool inst policy ~board =
   let migration = policy.Policy.migration in
   let origin_indep = Sampling.origin_independent sampling in
   let paths_of = Array.init nc (Instance.paths_of_commodity inst) in
-  (* One commodity's sigma·mu block: writes only mat rows inside the
-     commodity's [mat_off] slice and row_sum entries of its own paths,
-     so distinct commodities touch disjoint indices and can compile
-     concurrently.  [sigma] is per-call scratch. *)
-  let compile_commodity ~sigma ci =
-    let ps = paths_of.(ci) in
-    let m = Array.length ps in
-    let off = mat_off.(ci) in
-    if origin_indep then
-      Sampling.distribution_into sampling inst ~commodity:ci ~flow:bflow
-        ~latencies:lat ~from_:ps.(0) ~dst:sigma;
-    for a = 0 to m - 1 do
-      let p = ps.(a) in
-      if not origin_indep then
-        Sampling.distribution_into sampling inst ~commodity:ci ~flow:bflow
-          ~latencies:lat ~from_:p ~dst:sigma;
-      let base = off + (a * m) in
-      let sum = ref 0. in
-      for b = 0 to m - 1 do
-        if b <> a then begin
-          let q = ps.(b) in
-          let r =
-            sigma.(b)
-            *. Migration.prob migration ~ell_p:lat.(p) ~ell_q:lat.(q)
-          in
-          mat.(base + b) <- r;
-          sum := !sum +. r
-        end
-      done;
-      row_sum.(p) <- !sum
-    done
+  let compile ~sigma ci =
+    compile_commodity inst sampling migration ~origin_indep ~paths_of ~mat_off
+      ~mat ~row_sum ~lat ~bflow ~sigma ci
   in
   let scratch_dim = max 1 (Instance.max_paths_in_commodity inst) in
   (match pool with
-  | None ->
+  | Some _ when mat_off.(nc) >= shard_min_entries ->
+      Staleroute_util.Pool.parallel_iter ~pool
+        (fun ci -> compile ~sigma:(Array.make scratch_dim 0.) ci)
+        (Array.init nc Fun.id)
+  | _ ->
       let sigma = Array.make scratch_dim 0. in
       for ci = 0 to nc - 1 do
-        compile_commodity ~sigma ci
-      done
-  | Some _ ->
-      Staleroute_util.Pool.parallel_iter ~pool
-        (fun ci -> compile_commodity ~sigma:(Array.make scratch_dim 0.) ci)
-        (Array.init nc Fun.id));
+        compile ~sigma ci
+      done);
   {
     inst;
+    policy;
     n;
     commodities = nc;
     paths_of;
     mat_off;
     mat;
     row_sum;
-    revision = Bulletin_board.revision board;
+    board;
+    sigma = Array.make scratch_dim 0.;
+    lat_dirty = Array.make scratch_dim false;
+    col_dirty = Array.make scratch_dim false;
   }
 
+(* Recompute row [a] of commodity [ci] in full, assuming [t.sigma]
+   already holds the commodity's fresh sampling distribution.  Entry
+   expressions and the accumulation order match [compile_commodity]
+   exactly. *)
+let refresh_row t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a =
+  let p = Array.unsafe_get ps a in
+  let lp = Array.unsafe_get lat p in
+  let base = off + (a * m) in
+  let sigma = t.sigma and mat = t.mat in
+  let sum = ref 0. in
+  for b = 0 to m - 1 do
+    if b <> a then begin
+      let q = Array.unsafe_get ps b in
+      let lq = Array.unsafe_get lat q in
+      let mu =
+        if mig_kind = mig_better_response then if lp > lq then 1. else 0.
+        else if mig_kind = mig_linear then
+          if lp > lq then Float.min 1. (Float.max 0. ((lp -. lq) /. mig_prm))
+          else 0.
+        else if mig_kind = mig_scaled then
+          if lp > lq then Float.min 1. (Float.max 0. (mig_prm *. (lp -. lq)))
+          else 0.
+        else if lp > lq && lp > 0. then
+          Float.min 1. (Float.max 0. (mig_prm *. (lp -. lq) /. lp))
+        else 0.
+      in
+      let r = Array.unsafe_get sigma b *. mu in
+      Array.unsafe_set mat (base + b) r;
+      sum := !sum +. r
+    end
+  done;
+  t.row_sum.(p) <- !sum
+
+(* Recompute only the dirty columns of row [a], then re-accumulate the
+   row sum over all of it.  Untouched entries are bit-identical to what
+   a fresh build would compute (same inputs, same expression), and the
+   re-accumulation walks the row in the same b-order as the build, so
+   the sum comes out bit-identical too. *)
+let refresh_row_cols t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a =
+  let p = Array.unsafe_get ps a in
+  let lp = Array.unsafe_get lat p in
+  let base = off + (a * m) in
+  let sigma = t.sigma and mat = t.mat and col_dirty = t.col_dirty in
+  for b = 0 to m - 1 do
+    if b <> a && Array.unsafe_get col_dirty b then begin
+      let q = Array.unsafe_get ps b in
+      let lq = Array.unsafe_get lat q in
+      let mu =
+        if mig_kind = mig_better_response then if lp > lq then 1. else 0.
+        else if mig_kind = mig_linear then
+          if lp > lq then Float.min 1. (Float.max 0. ((lp -. lq) /. mig_prm))
+          else 0.
+        else if mig_kind = mig_scaled then
+          if lp > lq then Float.min 1. (Float.max 0. (mig_prm *. (lp -. lq)))
+          else 0.
+        else if lp > lq && lp > 0. then
+          Float.min 1. (Float.max 0. (mig_prm *. (lp -. lq) /. lp))
+        else 0.
+      in
+      Array.unsafe_set mat (base + b) (Array.unsafe_get sigma b *. mu)
+    end
+  done;
+  let sum = ref 0. in
+  for b = 0 to m - 1 do
+    if b <> a then sum := !sum +. Array.unsafe_get mat (base + b)
+  done;
+  t.row_sum.(p) <- !sum
+
+let[@inline] bits_differ a b = Int64.bits_of_float a <> Int64.bits_of_float b
+
+let update t ~board =
+  let old = t.board in
+  let lat = board.Bulletin_board.path_latencies in
+  let olat = old.Bulletin_board.path_latencies in
+  let bflow = board.Bulletin_board.flow in
+  let obflow = old.Bulletin_board.flow in
+  let sampling = t.policy.Policy.sampling in
+  let migration = t.policy.Policy.migration in
+  let mig_kind, mig_prm = decode_migration migration in
+  let incremental =
+    Sampling.origin_independent sampling && mig_kind <> mig_custom
+  in
+  if not incremental then
+    (* Custom sampling or migration: the closures may not be pure
+       functions of the posted data, and a fresh build would re-invoke
+       them — so must we.  Still an in-place recompile: no arrays are
+       reallocated. *)
+    for ci = 0 to t.commodities - 1 do
+      compile_commodity t.inst sampling migration
+        ~origin_indep:(Sampling.origin_independent sampling)
+        ~paths_of:t.paths_of ~mat_off:t.mat_off ~mat:t.mat
+        ~row_sum:t.row_sum ~lat ~bflow ~sigma:t.sigma ci
+    done
+  else
+    for ci = 0 to t.commodities - 1 do
+      let ps = t.paths_of.(ci) in
+      let m = Array.length ps in
+      let off = t.mat_off.(ci) in
+      let lat_dirty = t.lat_dirty and col_dirty = t.col_dirty in
+      let any_lat = ref false in
+      for j = 0 to m - 1 do
+        let q = Array.unsafe_get ps j in
+        let ch =
+          bits_differ (Array.unsafe_get lat q) (Array.unsafe_get olat q)
+        in
+        Array.unsafe_set lat_dirty j ch;
+        if ch then any_lat := true
+      done;
+      match sampling with
+      | Sampling.Logit _ ->
+          (* Softmax normalisation couples every sigma entry to every
+             latency in the commodity; the whole block refreshes or
+             none of it does (sigma and mu both read latencies only). *)
+          if !any_lat then begin
+            Sampling.distribution_into sampling t.inst ~commodity:ci
+              ~flow:bflow ~latencies:lat ~from_:ps.(0) ~dst:t.sigma;
+            for a = 0 to m - 1 do
+              refresh_row t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a
+            done
+          end
+      | Sampling.Uniform | Sampling.Proportional | Sampling.Mixed _ ->
+          (* sigma_b depends on nothing (Uniform) or only on the posted
+             flow of path b (Proportional/Mixed), so entry (a,b) is
+             stale exactly when ell_a, ell_b or sigma_b moved. *)
+          let any_col = ref false in
+          (match sampling with
+          | Sampling.Uniform ->
+              for j = 0 to m - 1 do
+                let d = Array.unsafe_get lat_dirty j in
+                Array.unsafe_set col_dirty j d;
+                if d then any_col := true
+              done
+          | _ ->
+              for j = 0 to m - 1 do
+                let q = Array.unsafe_get ps j in
+                let d =
+                  Array.unsafe_get lat_dirty j
+                  || bits_differ (Vec.unsafe_get bflow q)
+                       (Vec.unsafe_get obflow q)
+                in
+                Array.unsafe_set col_dirty j d;
+                if d then any_col := true
+              done);
+          if !any_lat || !any_col then begin
+            Sampling.distribution_into sampling t.inst ~commodity:ci
+              ~flow:bflow ~latencies:lat ~from_:ps.(0) ~dst:t.sigma;
+            for a = 0 to m - 1 do
+              if Array.unsafe_get t.lat_dirty a then
+                refresh_row t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a
+              else
+                refresh_row_cols t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a
+            done
+          end
+      | Sampling.Custom _ -> assert false (* not incremental *)
+    done;
+  t.board <- board;
+  t
+
 let dim t = t.n
-let revision t = t.revision
-let is_current t ~board = t.revision = Bulletin_board.revision board
+let revision t = Bulletin_board.revision t.board
+let is_current t ~board = revision t = Bulletin_board.revision board
 
 let rate t ~from_ q =
   if from_ < 0 || from_ >= t.n || q < 0 || q >= t.n then
@@ -98,7 +324,7 @@ let rate t ~from_ q =
   end
 
 let flow_derivative_into t f ~dst =
-  if Array.length f <> t.n || Array.length dst <> t.n then
+  if Vec.dim f <> t.n || Vec.dim dst <> t.n then
     invalid_arg "Rate_kernel.flow_derivative_into: dimension mismatch";
   if f == dst then
     invalid_arg "Rate_kernel.flow_derivative_into: dst aliases the flow";
@@ -108,23 +334,25 @@ let flow_derivative_into t f ~dst =
     let off = t.mat_off.(ci) in
     (* Outflow first: ḟ_P starts at -f_P Σ_Q R_PQ ... *)
     for b = 0 to m - 1 do
-      let p = ps.(b) in
-      dst.(p) <- -.(f.(p) *. t.row_sum.(p))
+      let p = Array.unsafe_get ps b in
+      Vec.unsafe_set dst p
+        (-.(Vec.unsafe_get f p *. Array.unsafe_get t.row_sum p))
     done;
     (* ... then each origin row scatters its inflow f_Q R_QP. *)
     for a = 0 to m - 1 do
-      let fa = f.(ps.(a)) in
+      let fa = Vec.unsafe_get f (Array.unsafe_get ps a) in
       if fa <> 0. then begin
         let base = off + (a * m) in
         for b = 0 to m - 1 do
-          let p = ps.(b) in
-          dst.(p) <- dst.(p) +. (fa *. t.mat.(base + b))
+          let p = Array.unsafe_get ps b in
+          Vec.unsafe_set dst p
+            (Vec.unsafe_get dst p +. (fa *. Array.unsafe_get t.mat (base + b)))
         done
       end
     done
   done
 
 let flow_derivative t f =
-  let dst = Array.make t.n 0. in
+  let dst = Vec.create t.n 0. in
   flow_derivative_into t f ~dst;
   dst

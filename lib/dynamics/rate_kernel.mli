@@ -16,14 +16,23 @@
 
     A kernel is only valid for the board it was built from: whenever the
     board is re-posted (every phase under [Stale], every step under
-    [Fresh]) the kernel must be rebuilt. *)
+    [Fresh]) the kernel must be rebuilt — either from scratch with
+    {!build} or, when the previous kernel is at hand, incrementally
+    with {!update}. *)
 
 open Staleroute_wardrop
 
 type t
 
+val entry_count : Instance.t -> int
+(** Number of σ·µ matrix entries a kernel over this instance holds
+    (sum over commodities of local-path-count squared) — the work unit
+    of one compile, and the currency of {!build}'s sharding threshold
+    and {!Staleroute_util.Pool.gate}'s fan-out estimates. *)
+
 val build :
   ?pool:Staleroute_util.Pool.t ->
+  ?shard_min_entries:int ->
   Instance.t ->
   Policy.t ->
   board:Bulletin_board.t ->
@@ -35,9 +44,30 @@ val build :
     With [?pool], multi-commodity instances compile their per-commodity
     σ·µ blocks in parallel (the blocks occupy disjoint slices of the
     kernel, so the sharded build is bit-identical to the sequential
-    one).  Do not pass a pool from inside a pool task — builds on the
-    driver paths run within experiment tasks and must stay sequential
-    there (the default). *)
+    one).  Sharding only engages once the kernel holds at least
+    [shard_min_entries] matrix entries (default 65536): below that the
+    domain handoff costs more than the whole sequential compile, so
+    small builds ignore the pool.  Pass [~shard_min_entries:0] to force
+    sharding whenever a pool is supplied.  Do not pass a pool from
+    inside a pool task — builds on the driver paths run within
+    experiment tasks and must stay sequential there (the default). *)
+
+val update : t -> board:Bulletin_board.t -> t
+(** [update t ~board] recompiles [t] {e in place} against a newly
+    posted board and returns it: only σ·µ entries whose inputs (posted
+    path latencies, and for flow-dependent samplings the posted flow)
+    changed bits since the board [t] was compiled against are
+    recomputed, and nothing is allocated.  The result is {b bitwise
+    identical} to [build inst policy ~board] — checkpoint/resume
+    reconstructs kernels with {!build} mid-chain and the byte-identity
+    of resumed traces rides on the equivalence (qcheck pins it down).
+
+    The previous kernel value is destroyed: callers must not hold on to
+    [t] as a kernel for the old board.  Policies with [Custom] sampling
+    or migration fall back to a full (still allocation-free) in-place
+    recompile — the closures are re-invoked exactly as a fresh build
+    would.  {!revision} advances to the new board's revision, exactly
+    as a rebuild. *)
 
 val dim : t -> int
 (** Size of the global path index the kernel was built over. *)

@@ -1,4 +1,5 @@
 open Staleroute_wardrop
+module Vec = Staleroute_util.Vec
 
 let migration_rate inst policy ~board ~flow ~from_ q =
   if Instance.commodity_of_path inst from_ <> Instance.commodity_of_path inst q
@@ -16,12 +17,12 @@ let migration_rate inst policy ~board ~flow ~from_ q =
         ~ell_p:board.Bulletin_board.path_latencies.(from_)
         ~ell_q:board.Bulletin_board.path_latencies.(q)
     in
-    flow.(from_) *. dist.(local_q) *. mu
+    Vec.get flow from_ *. dist.(local_q) *. mu
   end
 
 let flow_derivative inst policy ~board flow =
   let n = Instance.path_count inst in
-  let deriv = Array.make n 0. in
+  let deriv = Vec.create n 0. in
   let lat = board.Bulletin_board.path_latencies in
   let bflow = board.Bulletin_board.flow in
   let mu = Migration.prob policy.Policy.migration in
@@ -41,9 +42,9 @@ let flow_derivative inst policy ~board flow =
           if a <> b then begin
             let q = ps.(b) in
             (* Outflow P -> Q and inflow Q -> P for this ordered pair. *)
-            let out = flow.(p) *. sigma.(b) *. mu ~ell_p:lat.(p) ~ell_q:lat.(q) in
-            let inc = flow.(q) *. sigma.(a) *. mu ~ell_p:lat.(q) ~ell_q:lat.(p) in
-            deriv.(p) <- deriv.(p) +. inc -. out
+            let out = Vec.get flow p *. sigma.(b) *. mu ~ell_p:lat.(p) ~ell_q:lat.(q) in
+            let inc = Vec.get flow q *. sigma.(a) *. mu ~ell_p:lat.(q) ~ell_q:lat.(p) in
+            Vec.set deriv p (Vec.get deriv p +. inc -. out)
           end
         done
       done
@@ -63,12 +64,14 @@ let flow_derivative inst policy ~board flow =
                 ~flow:bflow ~latencies:lat ~from_:q
             in
             let out =
-              flow.(p) *. sigma_from_p.(b) *. mu ~ell_p:lat.(p) ~ell_q:lat.(q)
+              Vec.get flow p *. sigma_from_p.(b)
+              *. mu ~ell_p:lat.(p) ~ell_q:lat.(q)
             in
             let inc =
-              flow.(q) *. sigma_from_q.(a) *. mu ~ell_p:lat.(q) ~ell_q:lat.(p)
+              Vec.get flow q *. sigma_from_q.(a)
+              *. mu ~ell_p:lat.(q) ~ell_q:lat.(p)
             in
-            deriv.(p) <- deriv.(p) +. inc -. out
+            Vec.set deriv p (Vec.get deriv p +. inc -. out)
           end
         done
       done

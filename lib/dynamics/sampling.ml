@@ -1,4 +1,5 @@
 open Staleroute_wardrop
+module Vec = Staleroute_util.Vec
 
 type t =
   | Uniform
@@ -26,7 +27,7 @@ let distribution rule inst ~commodity ~flow ~latencies ~from_ =
   | Uniform -> Array.make m (1. /. float_of_int m)
   | Proportional ->
       let r = Instance.demand inst commodity in
-      Array.map (fun q -> flow.(q) /. r) ps
+      Array.map (fun q -> Vec.get flow q /. r) ps
   | Logit c ->
       (* Softmax with the max subtracted for numerical stability. *)
       let scores = Array.map (fun q -> -.c *. latencies.(q)) ps in
@@ -39,7 +40,7 @@ let distribution rule inst ~commodity ~flow ~latencies ~from_ =
         invalid_arg "Sampling.Mixed: gamma outside [0,1]";
       let r = Instance.demand inst commodity in
       let unif = gamma /. float_of_int m in
-      Array.map (fun q -> unif +. ((1. -. gamma) *. flow.(q) /. r)) ps
+      Array.map (fun q -> unif +. ((1. -. gamma) *. Vec.get flow q /. r)) ps
   | Custom { prob; _ } ->
       Array.map (fun q -> prob inst ~commodity ~flow ~latencies ~from_ q) ps
 
@@ -55,7 +56,7 @@ let distribution_into rule inst ~commodity ~flow ~latencies ~from_ ~dst =
   | Proportional ->
       let r = Instance.demand inst commodity in
       for j = 0 to m - 1 do
-        dst.(j) <- flow.(ps.(j)) /. r
+        dst.(j) <- Vec.unsafe_get flow (Array.unsafe_get ps j) /. r
       done
   | Logit c ->
       let top = ref neg_infinity in
@@ -86,7 +87,7 @@ let distribution_into rule inst ~commodity ~flow ~latencies ~from_ ~dst =
       let r = Instance.demand inst commodity in
       let unif = gamma /. float_of_int m in
       for j = 0 to m - 1 do
-        dst.(j) <- unif +. ((1. -. gamma) *. flow.(ps.(j)) /. r)
+        dst.(j) <- unif +. ((1. -. gamma) *. Vec.unsafe_get flow (Array.unsafe_get ps j) /. r)
       done
   | Custom { prob; _ } ->
       for j = 0 to m - 1 do

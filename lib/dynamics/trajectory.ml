@@ -42,17 +42,24 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
       Probe.emit probe (Probe.Fault_injected { time; index; kind; arg });
     Metrics.incr faults_c
   in
-  let announce_and_compile ~time board =
+  let announce_and_compile ?prev ~time board =
     if Probe.enabled probe then Probe.emit probe (Probe.Board_repost { time });
     Metrics.incr reposts;
-    let kernel = Rate_kernel.build inst config.Driver.policy ~board in
+    let kernel =
+      (* Incremental recompile against the previous kernel when one is
+         live — bitwise identical to a fresh [build] (see
+         {!Rate_kernel.update}). *)
+      match prev with
+      | Some k -> Rate_kernel.update k ~board
+      | None -> Rate_kernel.build inst config.Driver.policy ~board
+    in
     if Probe.enabled probe then
       Probe.emit probe (Probe.Kernel_rebuild { time });
     Metrics.incr rebuilds;
     (board, kernel)
   in
-  let post_and_compile ~time flow =
-    announce_and_compile ~time (Bulletin_board.post inst ~time flow)
+  let post_and_compile ?prev ~time flow =
+    announce_and_compile ?prev ~time (Bulletin_board.post inst ~time flow)
   in
   (* A faulted re-post that lands now; Drop/Delay/Partial with no
      previous board degrade to a clean post with no event (nothing was
@@ -66,7 +73,11 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
     (match fault with
     | Some fault -> emit_fault ~time ~index fault
     | None -> ());
-    announce_and_compile ~time (Faults.board faults ~index fault inst ~time ~prev flow)
+    let prev_board = Option.map fst prev in
+    announce_and_compile
+      ?prev:(Option.map snd prev)
+      ~time
+      (Faults.board faults ~index fault inst ~time ~prev:prev_board flow)
   in
   let samples = ref [] in
   let f = ref (Flow.project inst init) in
@@ -100,8 +111,8 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
               pending := Some (max 1 (min (samples_per_phase - 1) ideal))
             end
         | fault, lv ->
-            let prev = Option.map fst lv in
-            live := Some (post_faulted ~index:k fault ~time:phase_start ~prev !f)
+            live :=
+              Some (post_faulted ~index:k fault ~time:phase_start ~prev:lv !f)
         ));
     for j = 0 to samples_per_phase - 1 do
       let time = phase_start +. (float_of_int j *. chunk) in
@@ -109,7 +120,8 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
       | Driver.Stale _ ->
           if !pending = Some j then
             (* The delayed post lands now, as a clean snapshot. *)
-            live := Some (post_and_compile ~time !f)
+            live :=
+              Some (post_and_compile ?prev:(Option.map snd !live) ~time !f)
       | Driver.Fresh -> (
           (* Every chunk is an update; faults are keyed by the global
              update index.  A delayed post behaves as a dropped one —
@@ -120,8 +132,7 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
           | Some ((Faults.Drop | Faults.Delay _) as fault), Some _ ->
               emit_fault ~time ~index:u fault
           | fault, lv ->
-              let prev = Option.map fst lv in
-              live := Some (post_faulted ~index:u fault ~time ~prev !f)));
+              live := Some (post_faulted ~index:u fault ~time ~prev:lv !f)));
       let board, kernel = Option.get !live in
       assert (Rate_kernel.is_current kernel ~board);
       ignore board;

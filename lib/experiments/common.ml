@@ -171,3 +171,7 @@ let safe_period inst policy =
   match Policy.safe_update_period inst policy with
   | None -> invalid_arg "Common.safe_period: policy is not smooth"
   | Some t -> Float.min t 1.
+
+let sweep_pool ?(steps_per_phase = 20) ~phases inst pool =
+  Staleroute_util.Pool.gate pool
+    ~work:(phases * steps_per_phase * Rate_kernel.entry_count inst)

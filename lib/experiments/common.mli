@@ -105,3 +105,17 @@ val safe_period : Instance.t -> Policy.t -> float
 (** [min T* 1] where [T* = 1/(4DαΒ)], the period used throughout the
     experiments (Theorems 6/7 additionally require [T <= 1]).  Raises
     [Invalid_argument] for non-smooth policies. *)
+
+val sweep_pool :
+  ?steps_per_phase:int ->
+  phases:int ->
+  Instance.t ->
+  Staleroute_util.Pool.t option ->
+  Staleroute_util.Pool.t option
+(** [sweep_pool ~phases inst pool] gates a sweep's fan-out by the
+    estimated per-cell work [phases * steps_per_phase *
+    Rate_kernel.entry_count inst] (steps default 20, {!run}'s default):
+    cells too small to pay domain handoff run sequentially instead
+    (see {!Staleroute_util.Pool.gate}).  Pass the smallest instance of
+    a heterogeneous sweep.  Never changes output — pooled and
+    sequential runs are byte-identical. *)

@@ -11,7 +11,7 @@ let avg_latency inst f =
 let best_response_tail_latency inst ~t ~phases ~tail_from =
   let init = Common.biased_start inst in
   let samples = ref [] in
-  let f = ref (Array.copy init) in
+  let f = ref (Staleroute_util.Vec.copy init) in
   for k = 0 to phases - 1 do
     let board = Bulletin_board.post inst ~time:(float_of_int k *. t) !f in
     if k >= tail_from then

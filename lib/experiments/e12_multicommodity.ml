@@ -35,7 +35,7 @@ let tables ?(quick = false) () =
         (* Latency spread over the commodity's used paths. *)
         let ps = Instance.paths_of_commodity inst ci in
         let used =
-          Array.to_list ps |> List.filter (fun p -> f.(p) > 1e-6)
+          Array.to_list ps |> List.filter (fun p -> Staleroute_util.Vec.get f p > 1e-6)
         in
         match used with
         | [] -> 0.

@@ -20,10 +20,10 @@ let run_mode inst policy ~agents ~t ~mode ~seed =
   let sim =
     Simulator.run inst config
       ~rng:(Rng.create ~seed ())
-      ~init:[| 0.8; 0.2 |]
+      ~init:(Staleroute_util.Vec.of_array [| 0.8; 0.2 |])
   in
   let shares =
-    Array.map (fun s -> s.Simulator.flow.(0)) sim.Simulator.snapshots
+    Array.map (fun s -> Staleroute_util.Vec.get s.Simulator.flow 0) sim.Simulator.snapshots
   in
   let n = Array.length shares in
   let tail = Array.sub shares (n / 2) (n - (n / 2)) in

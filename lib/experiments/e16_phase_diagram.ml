@@ -42,6 +42,7 @@ let grid ?pool ~quick inst =
   (* Every grid point is an independent run: fan the flattened (i, j)
      cells out and refold them row-major, so the diagram is identical
      at any pool width. *)
+  let pool = Common.sweep_pool ~steps_per_phase:12 ~phases inst pool in
   let flat =
     Pool.parallel_map ~pool
       (fun idx ->

@@ -38,6 +38,7 @@ let period_table ?pool ~quick inst =
   in
   let phases = if quick then 150 else 400 in
   let ps = drop_probs ~quick in
+  let pool = Common.sweep_pool ~steps_per_phase:12 ~phases inst pool in
   let rows =
     Pool.parallel_map ~pool
       (fun i ->
@@ -110,6 +111,7 @@ let boundary_table ?pool ~quick ~title ~col_label specs inst =
      inside the alpha sweep; faults should shift it downward. *)
   let t0 = 4. *. critical /. alpha0 in
   let phases = if quick then 120 else 400 in
+  let pool = Common.sweep_pool ~steps_per_phase:12 ~phases inst pool in
   let flat =
     Pool.parallel_map ~pool
       (fun idx ->

@@ -5,9 +5,9 @@ module Vec = Staleroute_util.Vec
 
 let initial_flow inst ~t =
   let f1 = 1. /. (exp (-.t) +. 1.) in
-  let f = Array.make (Instance.path_count inst) 0. in
-  f.(0) <- f1;
-  f.(1) <- 1. -. f1;
+  let f = Vec.create (Instance.path_count inst) 0. in
+  Vec.set f 0 f1;
+  Vec.set f 1 (1. -. f1);
   f
 
 let x_analytic ~beta ~t =
@@ -113,7 +113,7 @@ let figures ?(quick = false) () =
       for j = 0 to per_phase - 1 do
         let tau = t *. float_of_int j /. float_of_int per_phase in
         let g = Best_response.step_phase inst ~board ~f0:!f ~tau in
-        samples := ((float_of_int k *. t) +. tau, g.(0)) :: !samples
+        samples := ((float_of_int k *. t) +. tau, Vec.get g 0) :: !samples
       done;
       f := Best_response.step_phase inst ~board ~f0:!f ~tau:t
     done;

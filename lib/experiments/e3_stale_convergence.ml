@@ -71,9 +71,9 @@ let better_response_table ~quick =
   (* Best response: the paper's closed-form run. *)
   List.iter
     (fun t ->
-      let init = Array.make (Instance.path_count inst) 0. in
-      init.(0) <- 1. /. (exp (-.t) +. 1.);
-      init.(1) <- 1. -. init.(0);
+      let init = Staleroute_util.Vec.create (Instance.path_count inst) 0. in
+      Staleroute_util.Vec.set init 0 (1. /. (exp (-.t) +. 1.));
+      Staleroute_util.Vec.set init 1 (1. -. Staleroute_util.Vec.get init 0);
       let run = Best_response.run inst ~update_period:t ~phases ~init in
       let last = run.Best_response.phase_starts.(phases) in
       Table.add_row table

@@ -46,8 +46,10 @@ let tables ?pool ?(quick = false) () =
           "settled at"; "horizon";
         ]
   in
-  (* Each width is an independent deterministic run: fan them out and
+  (* Each width is an independent deterministic run: fan them out (the
+     gate sizes the handoff against the smallest width's work) and
      collect the rendered rows in width order. *)
+  let pool = Common.sweep_pool ~phases (Common.needle widths.(0)) pool in
   let rows =
     Pool.parallel_map ~pool
       (fun m ->

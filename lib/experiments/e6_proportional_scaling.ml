@@ -53,6 +53,7 @@ let tables ?pool ?(quick = false) () =
               |])
             widths))
   in
+  let pool = Common.sweep_pool ~phases (Common.needle widths.(0)) pool in
   let results =
     Pool.parallel_map ~pool
       (fun (m, which) ->

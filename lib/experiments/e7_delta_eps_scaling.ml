@@ -86,7 +86,8 @@ let tables ?pool ?(quick = false) () =
      fan out; the (delta, eps) grid is then evaluated on the recorded
      snapshots. *)
   let snapshots =
-    Pool.parallel_map ~pool
+    Pool.parallel_map
+      ~pool:(Common.sweep_pool ~phases inst pool)
       (fun policy_of -> run_once ~phases ~policy_of inst)
       [| Policy.uniform_linear; Policy.replicator |]
   in

@@ -56,10 +56,9 @@ type state = {
 }
 
 let empirical_flow st =
-  Array.mapi
-    (fun p c ->
-      float_of_int c *. st.weight.(Instance.commodity_of_path st.inst p))
-    st.counts
+  Staleroute_util.Vec.init (Array.length st.counts) (fun p ->
+      float_of_int st.counts.(p)
+      *. st.weight.(Instance.commodity_of_path st.inst p))
 
 let refresh_board_if_due st ~time =
   let phase = int_of_float (Float.floor (time /. st.config.update_period)) in
@@ -128,7 +127,7 @@ let initial_paths inst init n_of_commodity =
   let agent_path = ref [] in
   for ci = Instance.commodity_count inst - 1 downto 0 do
     let ps = Instance.paths_of_commodity inst ci in
-    let weights = Array.map (fun p -> Float.max 0. init.(p)) ps in
+    let weights = Array.map (fun p -> Float.max 0. (Staleroute_util.Vec.get init p)) ps in
     let total = Array.fold_left ( +. ) 0. weights in
     let weights =
       if total > 0. then weights else Array.map (fun _ -> 1.) ps

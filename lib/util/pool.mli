@@ -69,3 +69,18 @@ val parallel_map : pool:t option -> ('a -> 'b) -> 'a array -> 'b array
 val parallel_iter : pool:t option -> ('a -> unit) -> 'a array -> unit
 (** {!parallel_map} for effectful tasks with no result.  Same ordering,
     exception and rejection contract. *)
+
+val min_fanout_work : int
+(** Default per-task work threshold (in compiled sigma/mu
+    entry-evaluations, the currency of
+    {!Staleroute_dynamics.Rate_kernel}) below which handing a task to a
+    worker domain costs more than running it inline. *)
+
+val gate : ?min_work:int -> work:int -> t option -> t option
+(** [gate ~work pool] is [pool] when the estimated per-task [work] (in
+    entry-evaluations — e.g. [phases * steps * Rate_kernel.entry_count])
+    reaches [min_work] (default {!min_fanout_work}), and [None]
+    otherwise: small fan-outs fall back to the sequential path rather
+    than pay domain handoff.  Because pooled and sequential runs are
+    observationally identical, gating never changes output — only
+    wall-clock.  [gate ~work None = None]. *)

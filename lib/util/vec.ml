@@ -1,63 +1,151 @@
-type t = float array
+module A = Bigarray.Array1
 
-let create n x = Array.make n x
-let copy = Array.copy
-let dim = Array.length
+(* [type t], [bounds_checked] and the element accessors come from the
+   generated [Vec_prims] (see lib/util/dune): the unsafe pair must be
+   [external] primitives all the way through the interface, or every
+   hot-loop access boxes a float on non-flambda compilers. *)
+include Vec_prims
 
-let check_dim a b =
-  if Array.length a <> Array.length b then
-    invalid_arg "Vec: dimension mismatch"
+let create n x =
+  let a : t = A.create Bigarray.float64 Bigarray.c_layout n in
+  A.fill a x;
+  a
 
-let map2 f a b =
+let init n f =
+  let a : t = A.create Bigarray.float64 Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    A.unsafe_set a i (f i)
+  done;
+  a
+
+let of_array xs =
+  let n = Array.length xs in
+  let a : t = A.create Bigarray.float64 Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    A.unsafe_set a i (Array.unsafe_get xs i)
+  done;
+  a
+
+let to_array (a : t) = Array.init (A.dim a) (fun i -> A.unsafe_get a i)
+
+let copy (a : t) =
+  let b : t = A.create Bigarray.float64 Bigarray.c_layout (A.dim a) in
+  A.blit a b;
+  b
+
+let check_dim (a : t) (b : t) =
+  if A.dim a <> A.dim b then invalid_arg "Vec: dimension mismatch"
+
+let map2 f (a : t) (b : t) =
   check_dim a b;
-  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+  init (A.dim a) (fun i -> f (A.unsafe_get a i) (A.unsafe_get b i))
 
 let add a b = map2 ( +. ) a b
 let sub a b = map2 ( -. ) a b
-let scale s a = Array.map (fun x -> s *. x) a
 
-let fill a x = Array.fill a 0 (Array.length a) x
+let map f (a : t) = init (A.dim a) (fun i -> f (A.unsafe_get a i))
+let scale s a = map (fun x -> s *. x) a
+
+let fill (a : t) x = A.fill a x
 
 let blit ~src ~dst =
   check_dim src dst;
-  Array.blit src 0 dst 0 (Array.length src)
+  A.blit src dst
 
 let add_ ~x ~y =
   check_dim x y;
-  for i = 0 to Array.length y - 1 do
-    y.(i) <- y.(i) +. x.(i)
+  for i = 0 to A.dim y - 1 do
+    A.unsafe_set y i (A.unsafe_get y i +. A.unsafe_get x i)
   done
 
-let scale_ s a =
-  for i = 0 to Array.length a - 1 do
-    a.(i) <- s *. a.(i)
+let scale_ s (a : t) =
+  for i = 0 to A.dim a - 1 do
+    A.unsafe_set a i (s *. A.unsafe_get a i)
   done
 
 let axpy ~alpha ~x ~y =
   check_dim x y;
-  for i = 0 to Array.length y - 1 do
-    y.(i) <- y.(i) +. (alpha *. x.(i))
+  for i = 0 to A.dim y - 1 do
+    A.unsafe_set y i (A.unsafe_get y i +. (alpha *. A.unsafe_get x i))
   done
 
-let dot a b =
+let dot (a : t) (b : t) =
   check_dim a b;
   let acc = ref 0. in
-  for i = 0 to Array.length a - 1 do
-    acc := !acc +. (a.(i) *. b.(i))
+  for i = 0 to A.dim a - 1 do
+    acc := !acc +. (A.unsafe_get a i *. A.unsafe_get b i)
   done;
   !acc
 
 let lerp s a b = map2 (fun x y -> ((1. -. s) *. x) +. (s *. y)) a b
-let sum a = Numerics.kahan_sum a
-let norm1 a = Numerics.sum_by Float.abs a
+
+(* Same compensated accumulation as [Numerics.kahan_sum], so switching
+   the backing store does not move a single bit of any reported sum. *)
+let sum (a : t) =
+  let sum = ref 0. and c = ref 0. in
+  for i = 0 to A.dim a - 1 do
+    let x = A.unsafe_get a i in
+    let t = !sum +. x in
+    if Float.abs !sum >= Float.abs x then c := !c +. (!sum -. t +. x)
+    else c := !c +. (x -. t +. !sum);
+    sum := t
+  done;
+  !sum +. !c
+
+let norm1 (a : t) =
+  let sum = ref 0. and c = ref 0. in
+  for i = 0 to A.dim a - 1 do
+    let x = Float.abs (A.unsafe_get a i) in
+    let t = !sum +. x in
+    if Float.abs !sum >= Float.abs x then c := !c +. (!sum -. t +. x)
+    else c := !c +. (x -. t +. !sum);
+    sum := t
+  done;
+  !sum +. !c
+
 let norm2 a = sqrt (dot a a)
-let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. a
+
+let norm_inf (a : t) =
+  let m = ref 0. in
+  for i = 0 to A.dim a - 1 do
+    m := Float.max !m (Float.abs (A.unsafe_get a i))
+  done;
+  !m
+
 let dist1 a b = norm1 (sub a b)
 let dist_inf a b = norm_inf (sub a b)
 
-let approx_equal ?rtol ?atol a b =
+let iteri f (a : t) =
+  for i = 0 to A.dim a - 1 do
+    f i (A.unsafe_get a i)
+  done
+
+let fold_left f acc (a : t) =
+  let acc = ref acc in
+  for i = 0 to A.dim a - 1 do
+    acc := f !acc (A.unsafe_get a i)
+  done;
+  !acc
+
+let for_all p (a : t) =
+  let n = A.dim a in
+  let rec go i = i >= n || (p (A.unsafe_get a i) && go (i + 1)) in
+  go 0
+
+let approx_equal ?rtol ?atol (a : t) (b : t) =
   dim a = dim b
-  && Array.for_all2 (fun x y -> Numerics.approx_equal ?rtol ?atol x y) a b
+  &&
+  let ok = ref true in
+  for i = 0 to A.dim a - 1 do
+    if
+      not
+        (Numerics.approx_equal ?rtol ?atol (A.unsafe_get a i)
+           (A.unsafe_get b i))
+    then ok := false
+  done;
+  !ok
+
+let vec_create = create
 
 module Pool = struct
   type vec = t
@@ -71,13 +159,13 @@ module Pool = struct
 
   let acquire p =
     match p.free with
-    | [] -> Array.make p.dim 0.
+    | [] -> vec_create p.dim 0.
     | v :: rest ->
         p.free <- rest;
         v
 
   let release p v =
-    if Array.length v <> p.dim then
+    if A.dim v <> p.dim then
       invalid_arg "Vec.Pool.release: dimension mismatch";
     p.free <- v :: p.free
 
@@ -86,9 +174,10 @@ module Pool = struct
     Fun.protect ~finally:(fun () -> release p v) (fun () -> f v)
 end
 
-let pp ppf a =
-  Format.fprintf ppf "[@[%a@]]"
-    (Format.pp_print_array
-       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
-       (fun ppf x -> Format.fprintf ppf "%.6g" x))
-    a
+let pp ppf (a : t) =
+  Format.fprintf ppf "[@[";
+  for i = 0 to A.dim a - 1 do
+    if i > 0 then Format.fprintf ppf ";@ ";
+    Format.fprintf ppf "%.6g" (A.unsafe_get a i)
+  done;
+  Format.fprintf ppf "@]]"

@@ -1,13 +1,37 @@
-(** Dense float vectors (thin wrappers over [float array]) used for flow
-    vectors and ODE states. *)
+(** Dense float vectors for flow vectors and ODE states.
 
-type t = float array
+    Backed by C-layout [float64] {!Bigarray.Array1} buffers: entries are
+    unboxed, contiguous and word-aligned, and the in-place operations
+    compile to tight loads/stores with no write barrier.  The hot-path
+    accessors {!unsafe_get}/{!unsafe_set} skip bounds checks unless the
+    [STALEROUTE_VEC_BOUNDS] environment variable is set (to [1], [true],
+    [yes] or [on]) in the build environment, which re-arms full bounds
+    checking for debugging: dune tracks the variable, so
+    [STALEROUTE_VEC_BOUNDS=1 dune runtest] rebuilds exactly what the
+    switch affects.  The accessors are [external] bigarray primitives —
+    a plain [val] wrapper would box every float it returns or receives
+    on non-flambda compilers, breaking the zero-allocation contract of
+    the ODE hot path. *)
+
+include module type of Vec_prims
+(** @inline *)
 
 val create : int -> float -> t
 (** [create n x] is the length-[n] vector with all entries [x]. *)
 
+val init : int -> (int -> float) -> t
+(** [init n f] is the vector with entry [i] equal to [f i], evaluated in
+    index order. *)
+
+val of_array : float array -> t
+(** Fresh vector with the same entries. *)
+
+val to_array : t -> float array
+(** Fresh [float array] with the same entries. *)
+
 val copy : t -> t
-val dim : t -> int
+
+(** {1 Allocating operations} *)
 
 val add : t -> t -> t
 (** Elementwise sum; raises [Invalid_argument] on dimension mismatch. *)
@@ -44,7 +68,15 @@ val norm_inf : t -> float
 val dist1 : t -> t -> float
 val dist_inf : t -> t -> float
 val sum : t -> float
+(** Compensated (Kahan) sum, same rounding as
+    [Numerics.kahan_sum] on the corresponding [float array]. *)
 
+(** {1 Iteration} *)
+
+val iteri : (int -> float -> unit) -> t -> unit
+val fold_left : ('a -> float -> 'a) -> 'a -> t -> 'a
+val for_all : (float -> bool) -> t -> bool
+val map : (float -> float) -> t -> t
 val map2 : (float -> float -> float) -> t -> t -> t
 val approx_equal : ?rtol:float -> ?atol:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -9,12 +9,12 @@ type result = {
 }
 
 let project_product inst v =
-  let x = Array.copy v in
+  let x = Vec.copy v in
   for ci = 0 to Instance.commodity_count inst - 1 do
     let ps = Instance.paths_of_commodity inst ci in
-    let sub = Array.map (fun p -> v.(p)) ps in
+    let sub = Array.map (fun p -> Vec.get v p) ps in
     let proj = Simplex.project ~total:(Instance.demand inst ci) sub in
-    Array.iteri (fun j p -> x.(p) <- proj.(j)) ps
+    Array.iteri (fun j p -> Vec.set x p proj.(j)) ps
   done;
   x
 
@@ -27,7 +27,7 @@ let minimize ?(max_iter = 5000) ?(tol = 1e-10) ?(step0 = 1.) ~objective
   (try
      while !iterations < max_iter do
        incr iterations;
-       let grad = gradient !f in
+       let grad = Vec.of_array (gradient !f) in
        (* Backtracking: shrink the step until the Armijo condition
           holds for the projected move. *)
        let rec attempt eta tries =

@@ -1,3 +1,5 @@
+module Vec = Staleroute_util.Vec
+
 let wardrop_gap ?(used_threshold = 1e-9) inst f =
   let pl = Flow.path_latencies inst f in
   let gap = ref 0. in
@@ -5,7 +7,7 @@ let wardrop_gap ?(used_threshold = 1e-9) inst f =
     let lmin = Flow.commodity_min_latency inst ~path_latencies:pl ci in
     Array.iter
       (fun p ->
-        if f.(p) > used_threshold then
+        if Vec.get f p > used_threshold then
           gap := Float.max !gap (pl.(p) -. lmin))
       (Instance.paths_of_commodity inst ci)
   done;
@@ -20,7 +22,7 @@ let volume_above inst f ~threshold_of_commodity =
   for ci = 0 to Instance.commodity_count inst - 1 do
     let bar = threshold_of_commodity pl ci in
     Array.iter
-      (fun p -> if pl.(p) > bar then vol := !vol +. f.(p))
+      (fun p -> if pl.(p) > bar then vol := !vol +. Vec.get f p)
       (Instance.paths_of_commodity inst ci)
   done;
   !vol

@@ -5,45 +5,45 @@ module Latency = Staleroute_latency.Latency
 type t = Vec.t
 
 let uniform inst =
-  let f = Array.make (Instance.path_count inst) 0. in
+  let f = Vec.create (Instance.path_count inst) 0. in
   for ci = 0 to Instance.commodity_count inst - 1 do
     let ps = Instance.paths_of_commodity inst ci in
     let share = Instance.demand inst ci /. float_of_int (Array.length ps) in
-    Array.iter (fun p -> f.(p) <- share) ps
+    Array.iter (fun p -> Vec.set f p share) ps
   done;
   f
 
 let concentrated inst ~on =
-  let f = Array.make (Instance.path_count inst) 0. in
+  let f = Vec.create (Instance.path_count inst) 0. in
   for ci = 0 to Instance.commodity_count inst - 1 do
     let ps = Instance.paths_of_commodity inst ci in
     let j = on ci in
     if j < 0 || j >= Array.length ps then
       invalid_arg "Flow.concentrated: path choice out of range";
-    f.(ps.(j)) <- Instance.demand inst ci
+    Vec.set f ps.(j) (Instance.demand inst ci)
   done;
   f
 
 let random inst rng =
-  let f = Array.make (Instance.path_count inst) 0. in
+  let f = Vec.create (Instance.path_count inst) 0. in
   for ci = 0 to Instance.commodity_count inst - 1 do
     let ps = Instance.paths_of_commodity inst ci in
     let weights = Array.map (fun _ -> Rng.exponential rng ~rate:1.) ps in
     let total = Staleroute_util.Numerics.kahan_sum weights in
     let r = Instance.demand inst ci in
-    Array.iteri (fun j p -> f.(p) <- r *. weights.(j) /. total) ps
+    Array.iteri (fun j p -> Vec.set f p (r *. weights.(j) /. total)) ps
   done;
   f
 
 let is_feasible ?(tol = 1e-7) inst f =
-  Array.length f = Instance.path_count inst
-  && Array.for_all (fun x -> x >= -.tol) f
+  Vec.dim f = Instance.path_count inst
+  && Vec.for_all (fun x -> x >= -.tol) f
   &&
   let ok = ref true in
   for ci = 0 to Instance.commodity_count inst - 1 do
     let mass =
       Array.fold_left
-        (fun acc p -> acc +. f.(p))
+        (fun acc p -> acc +. Vec.get f p)
         0.
         (Instance.paths_of_commodity inst ci)
     in
@@ -56,24 +56,24 @@ let project_ inst f =
     let ps = Instance.paths_of_commodity inst ci in
     let n = Array.length ps in
     for j = 0 to n - 1 do
-      let p = ps.(j) in
-      f.(p) <- Float.max 0. f.(p)
+      let p = Array.unsafe_get ps j in
+      Vec.unsafe_set f p (Float.max 0. (Vec.unsafe_get f p))
     done;
-    (* Accumulate with a local float ref, not [Array.fold_left] (whose
-       closure boxes the accumulator) and not a recursive helper (float
+    (* Accumulate with a local float ref, not a fold (whose closure
+       boxes the accumulator) and not a recursive helper (float
        arguments are boxed across calls on non-flambda compilers): this
        form stays unboxed, keeping the hot path allocation-free. *)
     let acc = ref 0. in
     for j = 0 to n - 1 do
-      acc := !acc +. f.(ps.(j))
+      acc := !acc +. Vec.unsafe_get f (Array.unsafe_get ps j)
     done;
     let m = !acc in
     if m <= 0. then
       invalid_arg "Flow.project: commodity mass vanished entirely";
     let scale = Instance.demand inst ci /. m in
     for j = 0 to n - 1 do
-      let p = ps.(j) in
-      f.(p) <- f.(p) *. scale
+      let p = Array.unsafe_get ps j in
+      Vec.unsafe_set f p (Vec.unsafe_get f p *. scale)
     done
   done
 
@@ -83,20 +83,20 @@ let project_ inst f =
    [project_] above stays unchecked — it is the integrator hot path and
    must not branch per entry. *)
 let project inst f =
-  Array.iteri
+  Vec.iteri
     (fun p x ->
       if not (Float.is_finite x) then
         invalid_arg
           (Printf.sprintf "Flow.project: non-finite entry %g on path %d" x p))
     f;
-  let g = Array.copy f in
+  let g = Vec.copy f in
   project_ inst g;
   g
 
 let edge_flows inst f =
   let fe = Array.make (Staleroute_graph.Digraph.edge_count (Instance.graph inst)) 0. in
   let offsets = Instance.csr_offsets inst and edges = Instance.csr_edges inst in
-  Array.iteri
+  Vec.iteri
     (fun p fp ->
       if fp <> 0. then
         for k = offsets.(p) to offsets.(p + 1) - 1 do
@@ -131,14 +131,14 @@ let commodity_min_latency inst ~path_latencies ci =
 let commodity_avg_latency inst f ~path_latencies ci =
   let r = Instance.demand inst ci in
   Array.fold_left
-    (fun acc p -> acc +. (f.(p) /. r *. path_latencies.(p)))
+    (fun acc p -> acc +. (Vec.get f p /. r *. path_latencies.(p)))
     0.
     (Instance.paths_of_commodity inst ci)
 
 let overall_avg_latency inst f ~path_latencies =
   let acc = ref 0. in
   for p = 0 to Instance.path_count inst - 1 do
-    acc := !acc +. (f.(p) *. path_latencies.(p))
+    acc := !acc +. (Vec.get f p *. path_latencies.(p))
   done;
   !acc
 
@@ -146,6 +146,6 @@ let pp inst ppf f =
   Format.fprintf ppf "@[<v>";
   for p = 0 to Instance.path_count inst - 1 do
     Format.fprintf ppf "%a: %.6g@," Staleroute_graph.Path.pp
-      (Instance.path inst p) f.(p)
+      (Instance.path inst p) (Vec.get f p)
   done;
   Format.fprintf ppf "@]"

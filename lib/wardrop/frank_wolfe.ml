@@ -9,12 +9,12 @@ type result = {
 }
 
 let best_response_direction inst grad =
-  let d = Array.make (Instance.path_count inst) 0. in
+  let d = Vec.create (Instance.path_count inst) 0. in
   for ci = 0 to Instance.commodity_count inst - 1 do
     let ps = Instance.paths_of_commodity inst ci in
     let best = ref ps.(0) in
     Array.iter (fun p -> if grad.(p) < grad.(!best) then best := p) ps;
-    d.(!best) <- Instance.demand inst ci
+    Vec.set d !best (Instance.demand inst ci)
   done;
   d
 
@@ -23,19 +23,19 @@ let best_response_direction inst grad =
    all-or-nothing step this does not zigzag, giving linear convergence
    on products of simplices. *)
 let pairwise_direction inst grad f =
-  let d = Array.make (Instance.path_count inst) 0. in
+  let d = Vec.create (Instance.path_count inst) 0. in
   for ci = 0 to Instance.commodity_count inst - 1 do
     let ps = Instance.paths_of_commodity inst ci in
     let best = ref ps.(0) and worst = ref (-1) in
     Array.iter
       (fun p ->
         if grad.(p) < grad.(!best) then best := p;
-        if f.(p) > 0. && (!worst < 0 || grad.(p) > grad.(!worst)) then
+        if Vec.get f p > 0. && (!worst < 0 || grad.(p) > grad.(!worst)) then
           worst := p)
       ps;
     if !worst >= 0 && !worst <> !best then begin
-      d.(!best) <- d.(!best) +. f.(!worst);
-      d.(!worst) <- d.(!worst) -. f.(!worst)
+      Vec.set d !best (Vec.get d !best +. Vec.get f !worst);
+      Vec.set d !worst (Vec.get d !worst -. Vec.get f !worst)
     end
   done;
   d
@@ -46,7 +46,7 @@ let minimize ?(max_iter = 10_000) ?(tol = 1e-8) ~objective ~gradient inst =
     let grad = gradient !f in
     let br = best_response_direction inst grad in
     (* Duality gap <∇, f - br> bounds the suboptimality from above. *)
-    let gap = Vec.dot grad (Vec.sub !f br) in
+    let gap = Vec.dot (Vec.of_array grad) (Vec.sub !f br) in
     if gap <= tol || iter >= max_iter then
       { flow = !f; objective = objective !f; gap; iterations = iter }
     else begin
@@ -76,7 +76,7 @@ let minimize ?(max_iter = 10_000) ?(tol = 1e-8) ~objective ~gradient inst =
           let g = Vec.copy !f in
           Vec.axpy ~alpha:gamma_pair ~x:d ~y:g;
           (* Clip the tiny negatives produced by gamma ~ 1 rounding. *)
-          f := Array.map (fun x -> Float.max 0. x) g
+          f := Vec.map (fun x -> Float.max 0. x) g
         end
         else f := Vec.lerp gamma_classic !f br
       end;

@@ -23,3 +23,6 @@ let qcheck ?(count = 200) name gen prop =
 
 (* A deterministic RNG for tests that need randomness. *)
 let rng ?(seed = 12345) () = Staleroute_util.Rng.create ~seed ()
+
+(* Flow/vector literals for tests: a [Vec.t] from a float-array literal. *)
+let vec = Staleroute_util.Vec.of_array

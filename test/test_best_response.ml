@@ -6,62 +6,60 @@ module Vec = Staleroute_util.Vec
 
 let test_best_reply_two_link () =
   let inst = Common.two_link ~beta:4. in
-  let board = Bulletin_board.post inst ~time:0. [| 0.8; 0.2 |] in
+  let board = Bulletin_board.post inst ~time:0. (vec [| 0.8; 0.2 |]) in
   let d = Best_response.best_reply inst ~board in
-  check_close "all mass on the cheap link" 1. d.(1);
-  check_close "none on the expensive one" 0. d.(0)
+  check_close "all mass on the cheap link" 1. (Vec.get d 1);
+  check_close "none on the expensive one" 0. (Vec.get d 0)
 
 let test_best_reply_tie_breaks_low_index () =
   let inst = Common.two_link ~beta:4. in
-  let board = Bulletin_board.post inst ~time:0. [| 0.5; 0.5 |] in
+  let board = Bulletin_board.post inst ~time:0. (vec [| 0.5; 0.5 |]) in
   let d = Best_response.best_reply inst ~board in
-  check_close "tie -> lowest index" 1. d.(0)
+  check_close "tie -> lowest index" 1. (Vec.get d 0)
 
 let test_step_phase_closed_form () =
   let inst = Common.two_link ~beta:4. in
-  let f0 = [| 0.8; 0.2 |] in
+  let f0 = vec [| 0.8; 0.2 |] in
   let board = Bulletin_board.post inst ~time:0. f0 in
   let f = Best_response.step_phase inst ~board ~f0 ~tau:1. in
   (* f1(t) = f1(0) e^{-t} towards best reply (0, 1). *)
-  check_close "exact decay" (0.8 *. exp (-1.)) f.(0);
+  check_close "exact decay" (0.8 *. exp (-1.)) (Vec.get f 0);
   check_close "mass conserved" 1. (Vec.sum f)
 
 let test_step_phase_zero_tau () =
   let inst = Common.two_link ~beta:4. in
-  let f0 = [| 0.8; 0.2 |] in
+  let f0 = vec [| 0.8; 0.2 |] in
   let board = Bulletin_board.post inst ~time:0. f0 in
   check_true "tau = 0 identity"
     (Vec.approx_equal f0 (Best_response.step_phase inst ~board ~f0 ~tau:0.))
 
 let test_step_phase_infinite_horizon () =
   let inst = Common.two_link ~beta:4. in
-  let f0 = [| 0.8; 0.2 |] in
+  let f0 = vec [| 0.8; 0.2 |] in
   let board = Bulletin_board.post inst ~time:0. f0 in
   let f = Best_response.step_phase inst ~board ~f0 ~tau:50. in
-  check_close ~eps:1e-12 "converges to the best reply" 1. f.(1)
+  check_close ~eps:1e-12 "converges to the best reply" 1. (Vec.get f 1)
 
 let test_paper_oscillation_orbit () =
   (* Section 3.2: from f1(0) = 1/(e^-T + 1) the orbit is 2-periodic. *)
   let inst = Common.two_link ~beta:2. in
   let t = 0.7 in
-  let init = Array.make 2 0. in
-  init.(0) <- 1. /. (exp (-.t) +. 1.);
-  init.(1) <- 1. -. init.(0);
+  let f1 = 1. /. (exp (-.t) +. 1.) in
+  let init = vec [| f1; 1. -. f1 |] in
   let run = Best_response.run inst ~update_period:t ~phases:8 ~init in
   let s = run.Best_response.phase_starts in
-  check_close ~eps:1e-12 "f(2T) = f(0)" s.(0).(0) s.(2).(0);
-  check_close ~eps:1e-12 "f(3T) = f(T)" s.(1).(0) s.(3).(0);
-  check_true "f(T) differs from f(0)"
-    (Float.abs (s.(0).(0) -. s.(1).(0)) > 0.01);
+  let at k = Vec.get s.(k) 0 in
+  check_close ~eps:1e-12 "f(2T) = f(0)" (at 0) (at 2);
+  check_close ~eps:1e-12 "f(3T) = f(T)" (at 1) (at 3);
+  check_true "f(T) differs from f(0)" (Float.abs (at 0 -. at 1) > 0.01);
   (* The mirrored point: f1(T) = 1 - f1(0). *)
-  check_close ~eps:1e-12 "mirror symmetry" (1. -. s.(0).(0)) s.(1).(0)
+  check_close ~eps:1e-12 "mirror symmetry" (1. -. at 0) (at 1)
 
 let test_paper_deviation_formula () =
   let beta = 3. and t = 0.4 in
   let inst = Common.two_link ~beta in
-  let init = Array.make 2 0. in
-  init.(0) <- 1. /. (exp (-.t) +. 1.);
-  init.(1) <- 1. -. init.(0);
+  let f1 = 1. /. (exp (-.t) +. 1.) in
+  let init = vec [| f1; 1. -. f1 |] in
   let run = Best_response.run inst ~update_period:t ~phases:4 ~init in
   let pl = Flow.path_latencies inst run.Best_response.phase_starts.(0) in
   let x = Array.fold_left Float.max neg_infinity pl in
@@ -71,7 +69,7 @@ let test_paper_deviation_formula () =
 
 let test_run_lengths_and_potentials () =
   let inst = Common.two_link ~beta:2. in
-  let init = [| 0.9; 0.1 |] in
+  let init = vec [| 0.9; 0.1 |] in
   let run = Best_response.run inst ~update_period:0.5 ~phases:6 ~init in
   check_int "phases + 1 snapshots" 7
     (Array.length run.Best_response.phase_starts);
@@ -101,7 +99,7 @@ let test_braess_best_response () =
       ~init:(Flow.uniform inst)
   in
   let final = run.Best_response.phase_starts.(40) in
-  check_close ~eps:1e-6 "bridge absorbs all flow" 1. final.(1)
+  check_close ~eps:1e-6 "bridge absorbs all flow" 1. (Vec.get final 1)
 
 let suite =
   [

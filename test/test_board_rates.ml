@@ -6,21 +6,21 @@ module Vec = Staleroute_util.Vec
 
 let test_board_snapshots () =
   let inst = Common.braess () in
-  let f = [| 0.2; 0.3; 0.5 |] in
+  let f = vec [| 0.2; 0.3; 0.5 |] in
   let board = Bulletin_board.post inst ~time:7. f in
   check_close "posted_at" 7. board.Bulletin_board.posted_at;
   check_true "flow copied" (board.Bulletin_board.flow = f);
   let pl = Flow.path_latencies inst f in
   check_true "path latencies match"
-    (Vec.approx_equal pl board.Bulletin_board.path_latencies)
+    (Vec.approx_equal (vec pl) (vec board.Bulletin_board.path_latencies))
 
 let test_board_is_a_copy () =
   let inst = Common.braess () in
   let f = Flow.uniform inst in
   let board = Bulletin_board.post inst ~time:0. f in
-  f.(0) <- 99.;
+  Vec.set f 0 99.;
   check_close "board immune to later mutation" (1. /. 3.)
-    board.Bulletin_board.flow.(0)
+    (Vec.get board.Bulletin_board.flow 0)
 
 let test_derivative_conserves_mass () =
   let inst = Common.grid33 () in
@@ -48,19 +48,19 @@ let test_derivative_zero_at_equilibrium () =
 let test_derivative_direction_two_link () =
   (* Overloaded link must lose flow, underloaded must gain. *)
   let inst = Common.two_link ~beta:4. in
-  let f = [| 0.9; 0.1 |] in
+  let f = vec [| 0.9; 0.1 |] in
   let board = Bulletin_board.post inst ~time:0. f in
   let d = Rates.flow_derivative inst (Policy.uniform_linear inst) ~board f in
-  check_true "overloaded loses" (d.(0) < 0.);
-  check_true "underloaded gains" (d.(1) > 0.)
+  check_true "overloaded loses" (Vec.get d 0 < 0.);
+  check_true "underloaded gains" (Vec.get d 1 > 0.)
 
 let test_derivative_uses_board_not_live_flow () =
   (* With a board frozen at the balanced point, latencies are equal and
      no one migrates - regardless of the live flow. *)
   let inst = Common.two_link ~beta:4. in
-  let balanced = [| 0.5; 0.5 |] in
+  let balanced = vec [| 0.5; 0.5 |] in
   let board = Bulletin_board.post inst ~time:0. balanced in
-  let live = [| 0.9; 0.1 |] in
+  let live = vec [| 0.9; 0.1 |] in
   let d = Rates.flow_derivative inst (Policy.uniform_linear inst) ~board live in
   check_close "stale balance freezes migration" 0. (Vec.norm_inf d)
 
@@ -68,14 +68,14 @@ let test_replicator_boundary_invariant () =
   (* Proportional sampling never revives a path with zero posted and
      zero live flow. *)
   let inst = Common.braess () in
-  let f = [| 0.5; 0.5; 0. |] in
+  let f = vec [| 0.5; 0.5; 0. |] in
   let board = Bulletin_board.post inst ~time:0. f in
   let d = Rates.flow_derivative inst (Policy.replicator inst) ~board f in
-  check_close "dead path stays dead" 0. d.(2)
+  check_close "dead path stays dead" 0. (Vec.get d 2)
 
 let test_migration_rate_single_pair () =
   let inst = Common.two_link ~beta:4. in
-  let f = [| 0.9; 0.1 |] in
+  let f = vec [| 0.9; 0.1 |] in
   let board = Bulletin_board.post inst ~time:0. f in
   let policy = Policy.uniform_linear inst in
   (* l1 = 4*(0.9-0.5) = 1.6, l2 = 0; sigma = 1/2; mu = 1.6/2 = 0.8. *)
@@ -101,7 +101,7 @@ let test_derivative_matches_pairwise_rates () =
     done;
     check_close ~eps:1e-12
       (Printf.sprintf "derivative entry %d" p)
-      !manual d.(p)
+      !manual (Vec.get d p)
   done
 
 let test_custom_sampling_used_by_rates () =
@@ -120,10 +120,10 @@ let test_custom_sampling_used_by_rates () =
     Policy.make ~sampling:rule
       ~migration:(Migration.Scaled_linear { alpha = 1. })
   in
-  let f = [| 0.8; 0.1; 0.1 |] in
+  let f = vec [| 0.8; 0.1; 0.1 |] in
   let board = Bulletin_board.post inst ~time:0. f in
   let d = Rates.flow_derivative inst policy ~board f in
-  check_close "path 2 untouched by custom rule" 0. d.(2);
+  check_close "path 2 untouched by custom rule" 0. (Vec.get d 2);
   check_close "conservation" 0. (Vec.sum d)
 
 let suite =

@@ -55,7 +55,8 @@ let test_json_round_trip () =
       check_true "flow bit-exact"
         (Array.for_all2
            (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
-           c.Checkpoint.snapshot.Driver.flow c'.Checkpoint.snapshot.Driver.flow);
+           (Staleroute_util.Vec.to_array c.Checkpoint.snapshot.Driver.flow)
+           (Staleroute_util.Vec.to_array c'.Checkpoint.snapshot.Driver.flow));
       check_int "records preserved"
         (List.length c.Checkpoint.snapshot.Driver.records_so_far)
         (List.length c'.Checkpoint.snapshot.Driver.records_so_far);
@@ -69,9 +70,9 @@ let test_json_round_trip_nan_flow () =
      must still round-trip bit for bit. *)
   let c, _, _ = capture_checkpoint ~every:2 4 in
   let snap = c.Checkpoint.snapshot in
-  let flow = Array.copy snap.Driver.flow in
-  flow.(0) <- Float.nan;
-  flow.(1) <- Float.neg_infinity;
+  let flow = Staleroute_util.Vec.copy snap.Driver.flow in
+  Staleroute_util.Vec.set flow 0 Float.nan;
+  Staleroute_util.Vec.set flow 1 Float.neg_infinity;
   let c = { c with Checkpoint.snapshot = { snap with Driver.flow } } in
   match Checkpoint.of_json (Checkpoint.to_json c) with
   | Error e -> Alcotest.failf "round trip failed: %s" e
@@ -79,7 +80,8 @@ let test_json_round_trip_nan_flow () =
       check_true "non-finite entries survive"
         (Array.for_all2
            (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
-           flow c'.Checkpoint.snapshot.Driver.flow)
+           (Staleroute_util.Vec.to_array flow)
+           (Staleroute_util.Vec.to_array c'.Checkpoint.snapshot.Driver.flow))
 
 let test_of_json_rejects_garbage () =
   List.iter
@@ -138,7 +140,8 @@ let resume_replays ?faults () =
   check_true "final flow bit-identical"
     (Array.for_all2
        (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
-       full_result.Driver.final_flow resumed.Driver.final_flow);
+       (Staleroute_util.Vec.to_array full_result.Driver.final_flow)
+       (Staleroute_util.Vec.to_array resumed.Driver.final_flow));
   check_int "all phase records present" phases
     (Array.length resumed.Driver.records)
 

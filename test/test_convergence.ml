@@ -1,5 +1,6 @@
 open Helpers
 open Staleroute_dynamics
+module Vec = Staleroute_util.Vec
 module Common = Staleroute_experiments.Common
 
 let two_link () = Common.two_link ~beta:4.
@@ -8,15 +9,21 @@ let two_link () = Common.two_link ~beta:4.
 let converging_snapshots () =
   Array.init 30 (fun k ->
       let d = 0.4 *. exp (-0.5 *. float_of_int k) in
-      [| 0.5 +. d; 0.5 -. d |])
+      Vec.of_array [| 0.5 +. d; 0.5 -. d |])
 
 let oscillating_snapshots () =
   Array.init 30 (fun k ->
-      if k mod 2 = 0 then [| 0.8; 0.2 |] else [| 0.2; 0.8 |])
+      if k mod 2 = 0 then Vec.of_array [| 0.8; 0.2 |]
+      else Vec.of_array [| 0.2; 0.8 |])
 
 let test_bad_rounds_counts () =
   let inst = two_link () in
-  let snaps = [| [| 0.9; 0.1 |]; [| 0.6; 0.4 |]; [| 0.5; 0.5 |] |] in
+  let snaps =
+    [|
+      Vec.of_array [| 0.9; 0.1 |]; Vec.of_array [| 0.6; 0.4 |];
+      Vec.of_array [| 0.5; 0.5 |];
+    |]
+  in
   (* latencies: (1.6, 0), (0.4, 0), (0, 0); delta = 0.5 ->
      unsatisfied volumes: 0.9, 0, 0; eps = 0.1 -> bad rounds: 1. *)
   check_int "one bad round" 1
@@ -68,7 +75,7 @@ let test_all_good_after () =
 
 let test_all_good_after_immediately () =
   let inst = two_link () in
-  let flat = Array.make 5 [| 0.5; 0.5 |] in
+  let flat = Array.make 5 (Vec.of_array [| 0.5; 0.5 |]) in
   check_true "equilibrium throughout -> settles at 0"
     (Convergence.all_good_after inst Convergence.Strict ~delta:0.01 ~eps:0.01
        flat
@@ -76,7 +83,9 @@ let test_all_good_after_immediately () =
 
 let test_all_good_after_bad_tail () =
   let inst = two_link () in
-  let snaps = Array.append (converging_snapshots ()) [| [| 0.95; 0.05 |] |] in
+  let snaps =
+    Array.append (converging_snapshots ()) [| Vec.of_array [| 0.95; 0.05 |] |]
+  in
   check_true "bad final snapshot -> None"
     (Convergence.all_good_after inst Convergence.Strict ~delta:0.1 ~eps:0.05
        snaps
@@ -95,21 +104,23 @@ let test_detect_oscillation_on_convergence () =
     (Convergence.is_oscillating (converging_snapshots ()))
 
 let test_detect_oscillation_on_constant () =
-  let flat = Array.make 30 [| 0.5; 0.5 |] in
+  let flat = Array.make 30 (Vec.of_array [| 0.5; 0.5 |]) in
   check_false "constant run not oscillating"
     (Convergence.is_oscillating flat)
 
 let test_detect_oscillation_short_input () =
-  let o = Convergence.detect_oscillation [| [| 1.; 0. |] |] in
+  let o = Convergence.detect_oscillation [| Vec.of_array [| 1.; 0. |] |] in
   check_close "degenerate input" 0. o.Convergence.period2_distance;
   check_false "too short to oscillate"
-    (Convergence.is_oscillating [| [| 1.; 0. |]; [| 0.; 1. |] |])
+    (Convergence.is_oscillating
+       [| Vec.of_array [| 1.; 0. |]; Vec.of_array [| 0.; 1. |] |])
 
 let test_tail_parameter () =
   (* Oscillation only in the first half, then converged: with a short
      tail the verdict must be "not oscillating". *)
   let snaps =
-    Array.append (oscillating_snapshots ()) (Array.make 30 [| 0.5; 0.5 |])
+    Array.append (oscillating_snapshots ())
+      (Array.make 30 (Vec.of_array [| 0.5; 0.5 |]))
   in
   check_false "tail sees the converged part"
     (Convergence.is_oscillating ~tail:10 snaps)

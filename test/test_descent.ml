@@ -13,7 +13,7 @@ let test_two_link_even_split () =
       ()
   in
   let r = Descent.equilibrium inst in
-  check_close ~eps:1e-6 "even split" 0.5 r.Descent.flow.(0);
+  check_close ~eps:1e-6 "even split" 0.5 (Vec.get r.Descent.flow 0);
   check_close ~eps:1e-9 "phi*" 0.25 r.Descent.objective;
   check_true "converged flag" r.Descent.converged
 

@@ -61,7 +61,7 @@ let test_converges_with_gentle_migration () =
   let config =
     { Discrete.policy; rounds = 2000; rounds_per_update = 1 }
   in
-  let r = Discrete.run inst config ~init:[| 0.9; 0.1 |] in
+  let r = Discrete.run inst config ~init:(vec [| 0.9; 0.1 |]) in
   check_true "synchronous rounds converge when gentle"
     (Equilibrium.unsatisfied_volume inst r.Discrete.final_flow ~delta:0.05
     < 1e-3)
@@ -74,7 +74,7 @@ let test_overshoots_where_continuous_would_not () =
   (* Enough rounds that the detection tail sits inside the settled
      1/3 <-> 2/3 cycle. *)
   let config = { Discrete.policy; rounds = 100; rounds_per_update = 1 } in
-  let r = Discrete.run inst config ~init:[| 0.9; 0.1 |] in
+  let r = Discrete.run inst config ~init:(vec [| 0.9; 0.1 |]) in
   let snapshots =
     Array.append
       (Array.map (fun rec_ -> rec_.Discrete.start_flow) r.Discrete.records)
@@ -99,7 +99,7 @@ let test_validation () =
            { config with Discrete.rounds_per_update = 0 }
            ~init:(Flow.uniform inst)));
   check_raises_invalid "infeasible init" (fun () ->
-      ignore (Discrete.run inst config ~init:[| 3.; 0.; 0. |]))
+      ignore (Discrete.run inst config ~init:(vec [| 3.; 0.; 0. |])))
 
 (* Faulted synchronous runs: the per-update fault plan is pure, so
    same-seed runs agree bit for bit, dropped re-posts keep the previous
@@ -120,7 +120,8 @@ let test_faulted_run_deterministic () =
   check_true "same-seed faulted runs bit-identical"
     (Array.for_all2
        (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
-       a.Discrete.final_flow b.Discrete.final_flow);
+       (Staleroute_util.Vec.to_array a.Discrete.final_flow)
+       (Staleroute_util.Vec.to_array b.Discrete.final_flow));
   Array.iter2
     (fun (ra : Discrete.round_record) rb ->
       check_close "round potentials agree" ra.Discrete.start_potential

@@ -70,7 +70,7 @@ let test_stale_at_safe_period_converges () =
   let policy = Policy.uniform_linear inst in
   let t = Common.safe_period inst policy in
   let c = config ~phases:400 policy (Driver.Stale t) in
-  let r = Driver.run inst c ~init:[| 0.95; 0.05 |] in
+  let r = Driver.run inst c ~init:(vec [| 0.95; 0.05 |]) in
   check_true "two-link converges under staleness"
     (Equilibrium.wardrop_gap inst r.Driver.final_flow < 1e-3)
 
@@ -99,7 +99,7 @@ let test_validation () =
       ignore
         (Driver.run inst
            (config policy (Driver.Stale 0.1))
-           ~init:[| 1.; 1.; 1. |]));
+           ~init:(vec [| 1.; 1.; 1. |])));
   check_raises_invalid "non-positive period" (fun () ->
       ignore
         (Driver.run inst

@@ -12,14 +12,14 @@ let two_link_linear () =
 
 let test_gap_zero_at_equilibrium () =
   let inst = two_link_linear () in
-  check_close "even split gap" 0. (Equilibrium.wardrop_gap inst [| 0.5; 0.5 |]);
-  check_true "is wardrop" (Equilibrium.is_wardrop inst [| 0.5; 0.5 |])
+  check_close "even split gap" 0. (Equilibrium.wardrop_gap inst (vec [| 0.5; 0.5 |]));
+  check_true "is wardrop" (Equilibrium.is_wardrop inst (vec [| 0.5; 0.5 |]))
 
 let test_gap_positive_off_equilibrium () =
   let inst = two_link_linear () in
-  let gap = Equilibrium.wardrop_gap inst [| 0.8; 0.2 |] in
+  let gap = Equilibrium.wardrop_gap inst (vec [| 0.8; 0.2 |]) in
   check_close "gap is latency spread" 0.6 gap;
-  check_false "not wardrop" (Equilibrium.is_wardrop inst [| 0.8; 0.2 |])
+  check_false "not wardrop" (Equilibrium.is_wardrop inst (vec [| 0.8; 0.2 |]))
 
 let test_gap_ignores_unused_paths () =
   (* The expensive path carries no flow: Definition 1 only constrains
@@ -32,20 +32,20 @@ let test_gap_ignores_unused_paths () =
       ()
   in
   check_close "unused expensive path ok" 0.
-    (Equilibrium.wardrop_gap inst [| 1.; 0. |]);
+    (Equilibrium.wardrop_gap inst (vec [| 1.; 0. |]));
   check_true "equilibrium with idle path"
-    (Equilibrium.is_wardrop inst [| 1.; 0. |])
+    (Equilibrium.is_wardrop inst (vec [| 1.; 0. |]))
 
 let test_braess_equilibrium_flow () =
   let inst = Common.braess () in
   (* All flow on the zigzag path (index 1) is the Braess equilibrium. *)
-  check_true "braess eq" (Equilibrium.is_wardrop inst [| 0.; 1.; 0. |]);
+  check_true "braess eq" (Equilibrium.is_wardrop inst (vec [| 0.; 1.; 0. |]));
   check_false "uniform is not eq"
     (Equilibrium.is_wardrop inst (Flow.uniform inst))
 
 let test_unsatisfied_volume () =
   let inst = two_link_linear () in
-  let f = [| 0.8; 0.2 |] in
+  let f = vec [| 0.8; 0.2 |] in
   (* latencies 0.8 vs 0.2; min = 0.2. *)
   check_close "volume above min+0.5" 0.8
     (Equilibrium.unsatisfied_volume inst f ~delta:0.5);
@@ -54,7 +54,7 @@ let test_unsatisfied_volume () =
 
 let test_weakly_unsatisfied_volume () =
   let inst = two_link_linear () in
-  let f = [| 0.8; 0.2 |] in
+  let f = vec [| 0.8; 0.2 |] in
   (* avg = 0.8*0.8 + 0.2*0.2 = 0.68. *)
   check_close "volume above avg+0.1" 0.8
     (Equilibrium.weakly_unsatisfied_volume inst f ~delta:0.1);
@@ -63,7 +63,7 @@ let test_weakly_unsatisfied_volume () =
 
 let test_delta_eps_predicates () =
   let inst = two_link_linear () in
-  let f = [| 0.8; 0.2 |] in
+  let f = vec [| 0.8; 0.2 |] in
   check_false "not a (0.5, 0.1)-eq"
     (Equilibrium.is_delta_eps_equilibrium inst f ~delta:0.5 ~eps:0.1);
   check_true "is a (0.5, 0.9)-eq"

@@ -38,7 +38,7 @@ let test_starts () =
   check_true "biased start feasible"
     (Staleroute_wardrop.Flow.is_feasible inst biased);
   check_true "biased start interior"
-    (Array.for_all (fun x -> x > 0.) biased)
+    (Staleroute_util.Vec.for_all (fun x -> x > 0.) biased)
 
 let test_safe_period_capped_at_one () =
   (* An instance with tiny beta would have a huge T*; Theorems 6/7 also

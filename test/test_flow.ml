@@ -7,13 +7,13 @@ let test_uniform_feasible () =
   let inst = Common.braess () in
   let f = Flow.uniform inst in
   check_true "uniform feasible" (Flow.is_feasible inst f);
-  Array.iter (fun x -> check_close "equal shares" (1. /. 3.) x) f
+  Vec.iteri (fun _ x -> check_close "equal shares" (1. /. 3.) x) f
 
 let test_concentrated () =
   let inst = Common.braess () in
   let f = Flow.concentrated inst ~on:(fun _ -> 1) in
   check_true "concentrated feasible" (Flow.is_feasible inst f);
-  check_close "all mass on chosen path" 1. f.(1);
+  check_close "all mass on chosen path" 1. (Vec.get f 1);
   check_raises_invalid "out-of-range choice" (fun () ->
       ignore (Flow.concentrated inst ~on:(fun _ -> 5)))
 
@@ -23,24 +23,25 @@ let test_random_feasible () =
   for _ = 1 to 20 do
     let f = Flow.random inst r in
     check_true "random feasible" (Flow.is_feasible inst f);
-    check_true "interior" (Array.for_all (fun x -> x > 0.) f)
+    check_true "interior" (Vec.for_all (fun x -> x > 0.) f)
   done
 
 let test_is_feasible_detects_violations () =
   let inst = Common.braess () in
-  check_false "wrong length" (Flow.is_feasible inst [| 1.; 0. |]);
-  check_false "negative entry" (Flow.is_feasible inst [| -0.5; 1.0; 0.5 |]);
-  check_false "wrong total" (Flow.is_feasible inst [| 0.5; 0.5; 0.5 |])
+  check_false "wrong length" (Flow.is_feasible inst (vec [| 1.; 0. |]));
+  check_false "negative entry"
+    (Flow.is_feasible inst (vec [| -0.5; 1.0; 0.5 |]));
+  check_false "wrong total" (Flow.is_feasible inst (vec [| 0.5; 0.5; 0.5 |]))
 
 let test_project_repairs () =
   let inst = Common.braess () in
-  let dirty = [| 0.5; -0.1; 0.7 |] in
+  let dirty = vec [| 0.5; -0.1; 0.7 |] in
   let clean = Flow.project inst dirty in
   check_true "projected feasible" (Flow.is_feasible ~tol:1e-12 inst clean);
-  check_close "negative clipped" 0. clean.(1);
+  check_close "negative clipped" 0. (Vec.get clean 1);
   (* Relative shares of the positive entries preserved: 0.5 : 0.7. *)
   check_close ~eps:1e-12 "share ratio preserved" (0.5 /. 0.7)
-    (clean.(0) /. clean.(2))
+    (Vec.get clean 0 /. Vec.get clean 2)
 
 let test_project_identity_on_feasible () =
   let inst = Common.braess () in
@@ -51,23 +52,21 @@ let test_project_identity_on_feasible () =
 let test_project_vanished_mass () =
   let inst = Common.braess () in
   check_raises_invalid "all-zero commodity" (fun () ->
-      ignore (Flow.project inst [| 0.; 0.; 0. |]))
+      ignore (Flow.project inst (vec [| 0.; 0.; 0. |])))
 
 let test_project_in_place_matches () =
   let inst = Common.two_commodity () in
-  let dirty =
-    Array.map (fun x -> x -. 0.05) (Flow.random inst (rng ()))
-  in
+  let dirty = Vec.map (fun x -> x -. 0.05) (Flow.random inst (rng ())) in
   let by_copy = Flow.project inst dirty in
   Flow.project_ inst dirty;
   check_true "project_ = project, bitwise" (by_copy = dirty);
   check_raises_invalid "project_ vanish" (fun () ->
-      Flow.project_ inst (Array.make (Instance.path_count inst) 0.))
+      Flow.project_ inst (Vec.create (Instance.path_count inst) 0.))
 
 let test_edge_flows_braess () =
   let inst = Common.braess () in
   (* Path order: [0;2] upper, [0;4;3] zigzag, [1;3] lower. *)
-  let f = [| 0.2; 0.3; 0.5 |] in
+  let f = vec [| 0.2; 0.3; 0.5 |] in
   let fe = Flow.edge_flows inst f in
   check_close "edge 0 (s-v)" 0.5 fe.(0);
   check_close "edge 1 (s-w)" 0.5 fe.(1);
@@ -92,7 +91,7 @@ let test_edge_flow_conservation () =
 
 let test_path_latencies_additive () =
   let inst = Common.braess () in
-  let f = [| 0.2; 0.3; 0.5 |] in
+  let f = vec [| 0.2; 0.3; 0.5 |] in
   let pl = Flow.path_latencies inst f in
   (* upper: l(s-v) = 0.5, l(v-t) = 1 -> 1.5
      zigzag: 0.5 + 0 + l(w-t)=0.8 -> 1.3
@@ -103,7 +102,7 @@ let test_path_latencies_additive () =
 
 let test_commodity_aggregates () =
   let inst = Common.braess () in
-  let f = [| 0.2; 0.3; 0.5 |] in
+  let f = vec [| 0.2; 0.3; 0.5 |] in
   let pl = Flow.path_latencies inst f in
   check_close "min latency" 1.3
     (Flow.commodity_min_latency inst ~path_latencies:pl 0);
@@ -156,7 +155,7 @@ let prop_project_idempotent =
       array_size (int_range 3 3) (float_range (-0.2) 1.))
     (fun raw ->
       let inst = Common.braess () in
-      match Flow.project inst raw with
+      match Flow.project inst (vec raw) with
       | exception Invalid_argument _ -> true
       | once -> Vec.approx_equal ~atol:1e-12 once (Flow.project inst once))
 
@@ -166,7 +165,7 @@ let prop_project_finite_feasible =
       array_size (int_range 3 3) (float_range (-5.) 5.))
     (fun raw ->
       let inst = Common.braess () in
-      match Flow.project inst raw with
+      match Flow.project inst (vec raw) with
       (* All-nonpositive input has no mass to rescale — that raise is
          part of the contract, not an infeasibility. *)
       | exception Invalid_argument _ -> Array.for_all (fun x -> x <= 0.) raw
@@ -179,9 +178,9 @@ let test_project_rejects_non_finite () =
       check_raises_invalid "non-finite entry rejected" (fun () ->
           ignore (Flow.project inst bad)))
     [
-      [| Float.nan; 0.5; 0.5 |];
-      [| 0.5; Float.infinity; 0.5 |];
-      [| 0.5; 0.5; Float.neg_infinity |];
+      vec [| Float.nan; 0.5; 0.5 |];
+      vec [| 0.5; Float.infinity; 0.5 |];
+      vec [| 0.5; 0.5; Float.neg_infinity |];
     ]
 
 let prop_project_rejects_any_non_finite =
@@ -195,9 +194,25 @@ let prop_project_rejects_any_non_finite =
         | 0 -> Float.nan
         | 1 -> Float.infinity
         | _ -> Float.neg_infinity);
-      match Flow.project inst raw with
+      match Flow.project inst (vec raw) with
       | exception Invalid_argument _ -> true
       | _ -> false)
+
+(* The raw in-place projection is branch-free on purpose: a NaN
+   injected anywhere must survive to the output (where a round-boundary
+   [Guard] can see it), never be silently clipped away or raise from
+   inside the hot loop.  This is the Vec-semantics contract the guard
+   layer rides on — the Bigarray backing store must not change it. *)
+let prop_project_in_place_propagates_nan =
+  qcheck ~count:100 "qcheck: project_ propagates NaN to the boundary"
+    QCheck2.Gen.(pair (int_range 0 4) (int_range 0 10_000))
+    (fun (pos, seed) ->
+      let inst = Common.parallel 5 in
+      let r = Staleroute_util.Rng.create ~seed () in
+      let f = Flow.random inst r in
+      Vec.set f pos Float.nan;
+      Flow.project_ inst f;
+      not (Vec.for_all Float.is_finite f))
 
 let suite =
   [
@@ -219,4 +234,5 @@ let suite =
     prop_project_finite_feasible;
     case "project rejects non-finite" test_project_rejects_non_finite;
     prop_project_rejects_any_non_finite;
+    prop_project_in_place_propagates_nan;
   ]

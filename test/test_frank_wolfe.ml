@@ -2,6 +2,7 @@ open Helpers
 open Staleroute_wardrop
 module Common = Staleroute_experiments.Common
 module L = Staleroute_latency.Latency
+module Vec = Staleroute_util.Vec
 
 let test_two_link_even_split () =
   let st = Staleroute_graph.Gen.parallel_links 2 in
@@ -12,7 +13,7 @@ let test_two_link_even_split () =
       ()
   in
   let r = Frank_wolfe.equilibrium inst in
-  check_close ~eps:1e-4 "even split" 0.5 r.Frank_wolfe.flow.(0);
+  check_close ~eps:1e-4 "even split" 0.5 (Vec.get r.Frank_wolfe.flow 0);
   check_close ~eps:1e-6 "phi*" 0.25 r.Frank_wolfe.objective;
   check_true "small wardrop gap"
     (Equilibrium.wardrop_gap inst r.Frank_wolfe.flow < 1e-3)
@@ -27,7 +28,7 @@ let test_asymmetric_links () =
       ()
   in
   let r = Frank_wolfe.equilibrium inst in
-  check_close ~eps:1e-3 "f1 = 3/4" 0.75 r.Frank_wolfe.flow.(0);
+  check_close ~eps:1e-3 "f1 = 3/4" 0.75 (Vec.get r.Frank_wolfe.flow 0);
   let pl = Flow.path_latencies inst r.Frank_wolfe.flow in
   check_close ~eps:1e-3 "equalised latencies" pl.(0) pl.(1)
 
@@ -41,14 +42,15 @@ let test_boundary_equilibrium () =
       ()
   in
   let r = Frank_wolfe.equilibrium inst in
-  check_close ~eps:1e-4 "all flow on the cheap link" 1. r.Frank_wolfe.flow.(0)
+  check_close ~eps:1e-4 "all flow on the cheap link" 1.
+    (Vec.get r.Frank_wolfe.flow 0)
 
 let test_braess_potential () =
   let inst = Common.braess () in
   let r = Frank_wolfe.equilibrium inst in
   (* Equilibrium: everything on the zigzag; Phi = 1/2 + 0 + 1/2 = 1. *)
   check_close ~eps:1e-6 "braess phi*" 1. r.Frank_wolfe.objective;
-  check_close ~eps:1e-3 "zigzag carries all" 1. r.Frank_wolfe.flow.(1)
+  check_close ~eps:1e-3 "zigzag carries all" 1. (Vec.get r.Frank_wolfe.flow 1)
 
 let test_result_feasible_and_gap () =
   let inst = Common.grid33 () in

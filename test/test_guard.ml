@@ -46,12 +46,12 @@ let test_healthy_flow_passes () =
   check_int "no events for a healthy flow" 0 (Probe.Memory.length buf);
   Alcotest.(check (array (float 0.)))
     "flow untouched"
-    (Flow.uniform inst :> float array)
-    (f :> float array)
+    (Staleroute_util.Vec.to_array (Flow.uniform inst))
+    (Staleroute_util.Vec.to_array f)
 
 let dirty_flow inst =
   let f = Flow.uniform inst in
-  f.(0) <- Float.nan;
+  Staleroute_util.Vec.set f 0 Float.nan;
   f
 
 let test_fail_fast_diagnostic () =
@@ -69,8 +69,8 @@ let test_fail_fast_diagnostic () =
 let test_repair_restores_feasibility () =
   let inst = Common.two_commodity () in
   let f = Flow.uniform inst in
-  f.(0) <- Float.neg_infinity;
-  f.(2) <- -0.4;
+  Staleroute_util.Vec.set f 0 Float.neg_infinity;
+  Staleroute_util.Vec.set f 2 (-0.4);
   let metrics = Metrics.create () in
   let repairs = Metrics.counter metrics "guard_repairs" in
   let buf = Probe.Memory.create () in
@@ -86,11 +86,11 @@ let test_repair_restores_feasibility () =
 let test_repair_spreads_vanished_mass () =
   let inst = Common.braess () in
   let f = Flow.uniform inst in
-  Array.fill (f :> float array) 0 (Array.length f) Float.nan;
+  Staleroute_util.Vec.fill f Float.nan;
   Guard.check Guard.repair inst ~index:0 ~time:0. f;
   check_true "all-NaN commodity repaired to uniform"
     (Flow.is_feasible ~tol:1e-9 inst f);
-  Array.iter (fun x -> check_close "uniform spread" (1. /. 3.) x) f
+  Staleroute_util.Vec.iteri (fun _ x -> check_close "uniform spread" (1. /. 3.) x) f
 
 let test_ignore_observes_only () =
   let inst = Common.braess () in
@@ -98,7 +98,7 @@ let test_ignore_observes_only () =
   let buf = Probe.Memory.create () in
   Guard.check Guard.ignore_ ~probe:(Probe.Memory.probe buf) inst ~index:2
     ~time:1. f;
-  check_true "flow left dirty" (Float.is_nan f.(0));
+  check_true "flow left dirty" (Float.is_nan (Staleroute_util.Vec.get f 0));
   check_int "Guard_trip emitted" 1
     (Probe.Memory.count buf (function
       | Probe.Guard_trip { action = "ignore"; _ } -> true
@@ -141,7 +141,7 @@ let test_driver_repair_keeps_finite () =
       ~init:(Common.biased_start inst)
   in
   check_true "final flow finite"
-    (Array.for_all Float.is_finite (result.Driver.final_flow :> float array));
+    (Staleroute_util.Vec.for_all Float.is_finite result.Driver.final_flow);
   check_true "repairs counted"
     (Metrics.count (Metrics.counter metrics "guard_repairs") > 0)
 
@@ -153,9 +153,8 @@ let test_driver_unguarded_nan_propagates () =
     Driver.run inst (nan_config 2) ~init:(Common.biased_start inst)
   in
   check_true "unguarded run ends non-finite"
-    (Array.exists
-       (fun x -> not (Float.is_finite x))
-       (result.Driver.final_flow :> float array))
+    (not
+       (Staleroute_util.Vec.for_all Float.is_finite result.Driver.final_flow))
 
 let suite =
   [

@@ -7,7 +7,7 @@ module Vec = Staleroute_util.Vec
 (* A linear autonomous ODE with a known solution on the two-path
    simplex: f' = A f with A moving mass from path 0 to path 1 at rate 1
    has solution f0(t) = f0(0) e^{-t}. *)
-let linear_deriv f = [| -.f.(0); f.(0) |]
+let linear_deriv f = vec [| -.Vec.get f 0; Vec.get f 0 |]
 
 let two_link_inst () = Common.two_link ~beta:1.
 
@@ -23,10 +23,10 @@ let test_exponential_decay_rk4 () =
   let inst = two_link_inst () in
   let f =
     Integrator.integrate_phase Integrator.Rk4 inst ~deriv:linear_deriv
-      ~f0:[| 1.; 0. |] ~tau:1. ~steps:20
+      ~f0:(vec [| 1.; 0. |]) ~tau:1. ~steps:20
   in
   (* Global RK4 error at h = 1/20 is O(h^4) ~ 1e-6. *)
-  check_close ~eps:1e-6 "rk4 matches e^{-1}" (exp (-1.)) f.(0);
+  check_close ~eps:1e-6 "rk4 matches e^{-1}" (exp (-1.)) (Vec.get f 0);
   check_close ~eps:1e-9 "mass conserved" 1. (Vec.sum f)
 
 let test_exponential_decay_euler_converges () =
@@ -34,9 +34,9 @@ let test_exponential_decay_euler_converges () =
   let err steps =
     let f =
       Integrator.integrate_phase Integrator.Euler inst ~deriv:linear_deriv
-        ~f0:[| 1.; 0. |] ~tau:1. ~steps
+        ~f0:(vec [| 1.; 0. |]) ~tau:1. ~steps
     in
-    Float.abs (f.(0) -. exp (-1.))
+    Float.abs (Vec.get f 0 -. exp (-1.))
   in
   check_true "euler error shrinks ~linearly"
     (err 80 < err 10 /. 4.)
@@ -44,8 +44,10 @@ let test_exponential_decay_euler_converges () =
 let test_rk4_more_accurate_than_euler () =
   let inst = two_link_inst () in
   let run scheme =
-    (Integrator.integrate_phase scheme inst ~deriv:linear_deriv
-       ~f0:[| 1.; 0. |] ~tau:1. ~steps:8).(0)
+    Vec.get
+      (Integrator.integrate_phase scheme inst ~deriv:linear_deriv
+         ~f0:(vec [| 1.; 0. |]) ~tau:1. ~steps:8)
+      0
   in
   let exact = exp (-1.) in
   check_true "rk4 beats euler at equal steps"
@@ -54,7 +56,7 @@ let test_rk4_more_accurate_than_euler () =
 
 let test_zero_tau_identity () =
   let inst = two_link_inst () in
-  let f0 = [| 0.25; 0.75 |] in
+  let f0 = vec [| 0.25; 0.75 |] in
   let f =
     Integrator.integrate_phase Integrator.Rk4 inst ~deriv:linear_deriv ~f0
       ~tau:0. ~steps:5
@@ -67,23 +69,23 @@ let test_validation () =
   check_raises_invalid "negative tau" (fun () ->
       ignore
         (Integrator.integrate_phase Integrator.Rk4 inst ~deriv:linear_deriv
-           ~f0:[| 1.; 0. |] ~tau:(-1.) ~steps:2));
+           ~f0:(vec [| 1.; 0. |]) ~tau:(-1.) ~steps:2));
   check_raises_invalid "zero steps" (fun () ->
       ignore
         (Integrator.integrate_phase Integrator.Rk4 inst ~deriv:linear_deriv
-           ~f0:[| 1.; 0. |] ~tau:1. ~steps:0))
+           ~f0:(vec [| 1.; 0. |]) ~tau:1. ~steps:0))
 
 let test_projection_keeps_feasible () =
   (* A deliberately overshooting derivative: projection must keep the
      state on the simplex at every step. *)
   let inst = two_link_inst () in
-  let wild f = [| -10. *. f.(0); 10. *. f.(0) |] in
+  let wild f = vec [| -10. *. Vec.get f 0; 10. *. Vec.get f 0 |] in
   let f =
     Integrator.integrate_phase Integrator.Euler inst ~deriv:wild
-      ~f0:[| 1.; 0. |] ~tau:1. ~steps:3
+      ~f0:(vec [| 1.; 0. |]) ~tau:1. ~steps:3
   in
   check_true "feasible despite overshoot" (Flow.is_feasible ~tol:1e-9 inst f);
-  check_true "no negative entries" (Array.for_all (fun x -> x >= 0.) f)
+  check_true "no negative entries" (Vec.for_all (fun x -> x >= 0.) f)
 
 let test_real_dynamics_step_feasible () =
   let inst = Common.grid33 () in
@@ -120,10 +122,10 @@ let prop_steps_refinement_consistent =
          once ||A||^5 is negligible. *)
       let norm_a = ref 0. in
       for j = 0 to n - 1 do
-        let e = Array.make n 0. in
-        e.(j) <- 1.;
+        let e = Vec.create n 0. in
+        Vec.set e j 1.;
         let col = deriv e in
-        let s = Array.fold_left (fun a x -> a +. Float.abs x) 0. col in
+        let s = Vec.fold_left (fun a x -> a +. Float.abs x) 0. col in
         if s > !norm_a then norm_a := s
       done;
       let err steps =

@@ -21,10 +21,11 @@ let test_linear_two_link () =
       ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
       ()
   in
-  check_close "phi of (1,0)" 0.5 (Potential.phi inst [| 1.; 0. |]);
-  check_close "phi of even split" 0.25 (Potential.phi inst [| 0.5; 0.5 |]);
+  check_close "phi of (1,0)" 0.5 (Potential.phi inst (vec [| 1.; 0. |]));
+  check_close "phi of even split" 0.25 (Potential.phi inst (vec [| 0.5; 0.5 |]));
   check_true "even split is the minimum"
-    (Potential.phi inst [| 0.5; 0.5 |] < Potential.phi inst [| 0.6; 0.4 |])
+    (Potential.phi inst (vec [| 0.5; 0.5 |])
+    < Potential.phi inst (vec [| 0.6; 0.4 |]))
 
 let test_phi_of_edge_flows_agrees () =
   let inst = Common.grid33 () in
@@ -49,7 +50,7 @@ let test_zero_latency_zero_potential () =
       ~commodities:[ Commodity.single ~src:0 ~dst:1 ]
       ()
   in
-  check_close "zero everywhere" 0. (Potential.phi inst [| 0.3; 0.7 |])
+  check_close "zero everywhere" 0. (Potential.phi inst (vec [| 0.3; 0.7 |]))
 
 (* The defining property: Phi's directional derivative along a shift of
    mass from P to Q is l_Q - l_P. *)
@@ -61,9 +62,9 @@ let test_phi_gradient_is_latency () =
   for p = 0 to 2 do
     for q = 0 to 2 do
       if p <> q then begin
-        let g = Array.copy f in
-        g.(p) <- g.(p) -. h;
-        g.(q) <- g.(q) +. h;
+        let g = Staleroute_util.Vec.copy f in
+        Staleroute_util.Vec.set g p (Staleroute_util.Vec.get g p -. h);
+        Staleroute_util.Vec.set g q (Staleroute_util.Vec.get g q +. h);
         let dphi = (Potential.phi inst g -. Potential.phi inst f) /. h in
         check_close ~eps:1e-5
           (Printf.sprintf "dPhi/d(%d->%d) = lQ - lP" p q)

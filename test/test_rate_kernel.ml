@@ -33,7 +33,8 @@ let custom_sampling =
       Sampling.name = "origin-parity";
       prob =
         (fun _ ~commodity:_ ~flow ~latencies ~from_ q ->
-          if from_ mod 2 = 0 then (1. +. flow.(q)) /. 10.
+          if from_ mod 2 = 0 then
+            (1. +. Staleroute_util.Vec.get flow q) /. 10.
           else 1. /. (2. +. latencies.(q)));
     }
 
@@ -123,7 +124,12 @@ let prop_sharded_build_bit_identical =
                 (fun migration ->
                   let policy = Policy.make ~sampling ~migration in
                   let whole = Rate_kernel.build inst policy ~board in
-                  let sharded = Rate_kernel.build ?pool inst policy ~board in
+                  (* The test instances sit below the auto-threshold,
+                     so force sharding to exercise the pooled path. *)
+                  let sharded =
+                    Rate_kernel.build ?pool ~shard_min_entries:0 inst policy
+                      ~board
+                  in
                   Rate_kernel.flow_derivative whole flow
                   = Rate_kernel.flow_derivative sharded flow
                   &&
@@ -143,6 +149,86 @@ let prop_sharded_build_bit_identical =
                 (migrations inst))
             samplings))
 
+let kernels_bitwise_equal inst a b flow =
+  let n = Instance.path_count inst in
+  let ok = ref true in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if
+        Int64.bits_of_float (Rate_kernel.rate a ~from_:p q)
+        <> Int64.bits_of_float (Rate_kernel.rate b ~from_:p q)
+      then ok := false
+    done
+  done;
+  !ok
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       (Vec.to_array (Rate_kernel.flow_derivative a flow))
+       (Vec.to_array (Rate_kernel.flow_derivative b flow))
+
+(* The incremental-rebuild contract: a chain of [update]s is bitwise
+   identical to rebuilding from scratch at every post — including
+   faulted posts (Partial mixes stale and fresh latencies, Noise
+   perturbs them) and dropped re-posts (no update at all: the old
+   kernel stays current and must still match a build against the old
+   board).  Checkpoint/resume byte-identity rides on this equivalence,
+   because resume reconstructs kernels with [build] mid-chain. *)
+let prop_update_matches_build =
+  qcheck ~count:25 "qcheck: incremental update = fresh build (bitwise)"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let r = Rng.create ~seed () in
+      let insts = instances () in
+      let inst = List.nth insts (Rng.int r (List.length insts)) in
+      let faults =
+        Faults.plan
+          (Faults.make ~drop:0.2 ~partial:0.25 ~partial_fraction:0.4
+             ~noise:0.25 ~noise_sigma:0.3
+             ~seed:(Rng.int r 1_000_000) ())
+      in
+      List.for_all
+        (fun sampling ->
+          List.for_all
+            (fun migration ->
+              let policy = Policy.make ~sampling ~migration in
+              let board0 =
+                Bulletin_board.post inst ~time:0. (Flow.random inst r)
+              in
+              let k = ref (Rate_kernel.build inst policy ~board:board0) in
+              let prev = ref board0 in
+              let ok = ref true in
+              for i = 1 to 5 do
+                let flow = Flow.random inst r in
+                let probe_flow = Flow.random inst r in
+                let time = float_of_int i in
+                match Faults.fault_at faults ~index:i with
+                | Some Faults.Drop ->
+                    if
+                      not
+                        (Rate_kernel.is_current !k ~board:!prev
+                        && kernels_bitwise_equal inst !k
+                             (Rate_kernel.build inst policy ~board:!prev)
+                             probe_flow)
+                    then ok := false
+                | fault ->
+                    let board =
+                      Faults.board faults ~index:i fault inst ~time
+                        ~prev:(Some !prev) flow
+                    in
+                    k := Rate_kernel.update !k ~board;
+                    if
+                      not
+                        (Rate_kernel.is_current !k ~board
+                        && kernels_bitwise_equal inst !k
+                             (Rate_kernel.build inst policy ~board)
+                             probe_flow)
+                    then ok := false;
+                    prev := board
+              done;
+              !ok)
+            (migrations inst))
+        samplings)
+
 let test_rate_accessor_matches_migration_rate () =
   let inst = Common.two_commodity () in
   let f = Flow.random inst (rng ()) in
@@ -159,7 +245,7 @@ let test_rate_accessor_matches_migration_rate () =
       check_close ~eps:1e-12
         (Printf.sprintf "f_P * R_%d,%d = rho_%d,%d" p q p q)
         expected
-        (live.(p) *. Rate_kernel.rate kernel ~from_:p q)
+        (Staleroute_util.Vec.get live p *. Rate_kernel.rate kernel ~from_:p q)
     done
   done
 
@@ -178,8 +264,8 @@ let test_kernel_validation () =
   let kernel = Rate_kernel.build inst (Policy.uniform_linear inst) ~board in
   check_int "dim" (Instance.path_count inst) (Rate_kernel.dim kernel);
   check_raises_invalid "dimension mismatch" (fun () ->
-      Rate_kernel.flow_derivative_into kernel [| 0.5; 0.5 |]
-        ~dst:(Array.make 3 0.));
+      Rate_kernel.flow_derivative_into kernel (vec [| 0.5; 0.5 |])
+        ~dst:(Staleroute_util.Vec.create 3 0.));
   check_raises_invalid "aliasing" (fun () ->
       let f = Flow.uniform inst in
       Rate_kernel.flow_derivative_into kernel f ~dst:f)
@@ -188,8 +274,8 @@ let test_kernel_is_stale () =
   (* The kernel freezes the board: rebuilding after a re-post is what
      changes the rates, not the live flow. *)
   let inst = Common.two_link ~beta:4. in
-  let balanced = [| 0.5; 0.5 |] in
-  let skewed = [| 0.9; 0.1 |] in
+  let balanced = vec [| 0.5; 0.5 |] in
+  let skewed = vec [| 0.9; 0.1 |] in
   let board = Bulletin_board.post inst ~time:0. balanced in
   let kernel = Rate_kernel.build inst (Policy.uniform_linear inst) ~board in
   let d = Rate_kernel.flow_derivative kernel skewed in
@@ -283,6 +369,7 @@ let suite =
   [
     prop_kernel_matches_reference;
     prop_sharded_build_bit_identical;
+    prop_update_matches_build;
     case "rate accessor = migration_rate" test_rate_accessor_matches_migration_rate;
     case "cross-commodity rate" test_cross_commodity_rate_is_zero;
     case "validation" test_kernel_validation;

@@ -5,7 +5,7 @@ module Common = Staleroute_experiments.Common
 
 let setup () =
   let inst = Common.parallel 4 in
-  let flow = [| 0.4; 0.3; 0.2; 0.1 |] in
+  let flow = vec [| 0.4; 0.3; 0.2; 0.1 |] in
   let latencies = Flow.path_latencies inst flow in
   (inst, flow, latencies)
 
@@ -30,7 +30,7 @@ let test_proportional () =
 
 let test_proportional_zero_flow_path () =
   let inst, _, latencies = setup () in
-  let flow = [| 1.; 0.; 0.; 0. |] in
+  let flow = vec [| 1.; 0.; 0.; 0. |] in
   let d =
     Sampling.distribution Sampling.Proportional inst ~commodity:0 ~flow
       ~latencies ~from_:0
@@ -112,7 +112,7 @@ let test_mixed_escapes_boundary () =
   (* Unlike pure proportional sampling, the mixture gives dead paths a
      chance. *)
   let inst, _, latencies = setup () in
-  let flow = [| 1.; 0.; 0.; 0. |] in
+  let flow = vec [| 1.; 0.; 0.; 0. |] in
   let d =
     Sampling.distribution (Sampling.Mixed 0.2) inst ~commodity:0 ~flow
       ~latencies ~from_:0

@@ -7,7 +7,8 @@ let feasible ~total x =
 
 let test_already_on_simplex () =
   let x = Simplex.project ~total:1. [| 0.2; 0.3; 0.5 |] in
-  check_true "fixed point" (Staleroute_util.Vec.approx_equal x [| 0.2; 0.3; 0.5 |])
+  check_true "fixed point"
+    (Staleroute_util.Vec.approx_equal (vec x) (vec [| 0.2; 0.3; 0.5 |]))
 
 let test_uniform_pull () =
   (* Projecting the origin gives the uniform point. *)
@@ -50,7 +51,7 @@ let prop_idempotent =
   qcheck "qcheck: projection is idempotent" gen_vec (fun v ->
       let once = Simplex.project ~total:1. v in
       let twice = Simplex.project ~total:1. once in
-      Staleroute_util.Vec.approx_equal ~atol:1e-9 once twice)
+      Staleroute_util.Vec.approx_equal ~atol:1e-9 (vec once) (vec twice))
 
 let prop_closest_point =
   (* The projection is no farther from v than any random feasible
@@ -66,9 +67,10 @@ let prop_closest_point =
         let s = Array.fold_left ( +. ) 0. w in
         Array.map (fun x -> x /. s) w
       in
-      Staleroute_util.Vec.dist_inf p v <= 1e9
-      && Staleroute_util.Vec.norm2 (Staleroute_util.Vec.sub p v)
-         <= Staleroute_util.Vec.norm2 (Staleroute_util.Vec.sub other v)
+      Staleroute_util.Vec.dist_inf (vec p) (vec v) <= 1e9
+      && Staleroute_util.Vec.norm2 (Staleroute_util.Vec.sub (vec p) (vec v))
+         <= Staleroute_util.Vec.norm2
+              (Staleroute_util.Vec.sub (vec other) (vec v))
             +. 1e-9)
 
 let suite =

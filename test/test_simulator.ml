@@ -48,7 +48,7 @@ let test_empirical_flows_feasible () =
 
 let test_initial_apportionment_matches_init () =
   let inst = Common.parallel 4 in
-  let init = [| 0.4; 0.3; 0.2; 0.1 |] in
+  let init = vec [| 0.4; 0.3; 0.2; 0.1 |] in
   let sim =
     Simulator.run inst
       {
@@ -128,7 +128,7 @@ let test_stationary_at_equilibrium () =
         record_every = 1.;
         info_mode = Simulator.Synchronized;
       }
-      ~rng:(rng ()) ~init:[| 0.5; 0.5 |]
+      ~rng:(rng ()) ~init:(vec [| 0.5; 0.5 |])
   in
   check_int "no migrations at exact equilibrium" 0 sim.Simulator.migrations
 
@@ -144,10 +144,10 @@ let test_converges_towards_fluid_equilibrium () =
         record_every = 5.;
         info_mode = Simulator.Synchronized;
       }
-      ~rng:(rng ()) ~init:[| 0.9; 0.1 |]
+      ~rng:(rng ()) ~init:(vec [| 0.9; 0.1 |])
   in
   check_true "finite population near even split"
-    (Float.abs (sim.Simulator.final_flow.(0) -. 0.5) < 0.05)
+    (Float.abs (Staleroute_util.Vec.get sim.Simulator.final_flow 0 -. 0.5) < 0.05)
 
 let test_polled_mode_runs () =
   let inst = Common.two_link ~beta:4. in
@@ -161,7 +161,7 @@ let test_polled_mode_runs () =
       info_mode = Simulator.Polled;
     }
   in
-  let sim = Simulator.run inst cfg ~rng:(rng ()) ~init:[| 0.9; 0.1 |] in
+  let sim = Simulator.run inst cfg ~rng:(rng ()) ~init:(vec [| 0.9; 0.1 |]) in
   Array.iter
     (fun snap ->
       check_true "polled snapshots feasible"
@@ -169,7 +169,7 @@ let test_polled_mode_runs () =
     sim.Simulator.snapshots;
   (* The smooth policy still converges with polled information. *)
   check_true "still converges"
-    (Float.abs (sim.Simulator.final_flow.(0) -. 0.5) < 0.15)
+    (Float.abs (Staleroute_util.Vec.get sim.Simulator.final_flow 0 -. 0.5) < 0.15)
 
 let test_polled_equals_sync_in_first_phase () =
   (* Before the first board refresh there is only one posting, so the
@@ -211,7 +211,7 @@ let test_validation () =
       attempt { base with Simulator.record_every = 0. });
   check_raises_invalid "infeasible init" (fun () ->
       ignore
-        (Simulator.run inst base ~rng:(rng ()) ~init:[| 2.; 0.; 0. |]))
+        (Simulator.run inst base ~rng:(rng ()) ~init:(vec [| 2.; 0.; 0. |])))
 
 let suite =
   [

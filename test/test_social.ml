@@ -23,7 +23,8 @@ let test_cost_formula () =
 let test_pigou_optimum () =
   let inst = pigou () in
   let opt = Social.optimum inst in
-  check_close ~eps:1e-3 "optimal split" 0.5 opt.Frank_wolfe.flow.(0);
+  check_close ~eps:1e-3 "optimal split" 0.5
+    (Staleroute_util.Vec.get opt.Frank_wolfe.flow 0);
   check_close ~eps:1e-4 "optimal cost 3/4" 0.75 opt.Frank_wolfe.objective
 
 let test_pigou_poa () =

@@ -145,7 +145,8 @@ let test_faulted_record_matches_driver () =
       check_true "faulted recording deterministic"
         (Array.for_all2
            (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
-           s.Trajectory.flow traj2.(i).Trajectory.flow))
+           (Staleroute_util.Vec.to_array s.Trajectory.flow)
+           (Staleroute_util.Vec.to_array traj2.(i).Trajectory.flow)))
     traj
 
 let suite =

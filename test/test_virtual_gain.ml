@@ -7,7 +7,7 @@ let test_virtual_gain_formula_two_link () =
   (* V = sum_e l_e(fhat) (f_e - fhat_e) on two linear links. *)
   let inst = Common.two_link ~beta:1. in
   (* l(x) = max(0, x - 1/2); fhat = (0.75, 0.25) -> l = (0.25, 0). *)
-  let fhat = [| 0.75; 0.25 |] and f = [| 0.5; 0.5 |] in
+  let fhat = vec [| 0.75; 0.25 |] and f = vec [| 0.5; 0.5 |] in
   check_close "virtual gain" (0.25 *. (0.5 -. 0.75))
     (Virtual_gain.virtual_gain inst ~phase_start:fhat ~phase_end:f)
 
@@ -27,9 +27,9 @@ let lemma3_check inst fhat f =
 
 let test_lemma3_identity_handpicked () =
   let inst = Common.braess () in
-  lemma3_check inst (Flow.uniform inst) [| 0.1; 0.8; 0.1 |];
-  lemma3_check inst [| 1.; 0.; 0. |] [| 0.; 0.; 1. |];
-  lemma3_check inst [| 0.2; 0.3; 0.5 |] [| 0.5; 0.3; 0.2 |]
+  lemma3_check inst (Flow.uniform inst) (vec [| 0.1; 0.8; 0.1 |]);
+  lemma3_check inst (vec [| 1.; 0.; 0. |]) (vec [| 0.; 0.; 1. |]);
+  lemma3_check inst (vec [| 0.2; 0.3; 0.5 |]) (vec [| 0.5; 0.3; 0.2 |])
 
 let test_error_terms_nonnegative_for_monotone_latencies () =
   (* U_e = int (l(u) - l(fhat_e)) du over [fhat_e, f_e]: for
