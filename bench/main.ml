@@ -18,6 +18,13 @@
                            the T/(1-p) period inflation; writes
                            BENCH_faults.json (also `dune build
                            @fault-smoke`)
+     main.exe colgen-smoke
+                           column-generation ground truth: small-instance
+                           differential vs the enumerating core, full-seed
+                           bitwise trajectory identity, a 10^4+-edge
+                           layered-DAG growth run, and checkpoint/resume
+                           with mid-run growth; writes BENCH_colgen.json
+                           (also `dune build @colgen-smoke`)
      main.exe parallel-smoke
                            determinism checks for the domain pool (pooled
                            output and traces must be byte-identical to
@@ -157,6 +164,9 @@ let experiments =
     ( "e17",
       fun ~quick ~pool ~out ->
         buffer_tables out (E17_unreliable_board.tables ?pool ~quick ()) );
+    ( "e18",
+      fun ~quick ~pool ~out ->
+        buffer_tables out (E18_colgen_scaling.tables ?pool ~quick ()) );
   ]
 
 let with_metrics = ref false
@@ -845,6 +855,321 @@ let fault_smoke ~json_path () =
   Printf.printf "(fault smoke written to %s)\n%!" json_path;
   if not pass then exit 1
 
+(* --- Colgen smoke: column-generation ground truth --- *)
+
+(* Ground truth for the column-generation core (DESIGN.md §11): on a
+   small enumerable instance the lazily-grown run reaches the same
+   equilibrium as the enumerating core (judged by unsatisfied volume
+   and the Beckmann potential); a pool seeded with the Full path set
+   produces a byte-identical trace and bit-identical flow to a plain
+   run (growth never fires); a 10^4+-edge layered DAG runs a full
+   stale-information trajectory through growth with an active set a
+   vanishing fraction of the enumerable one; and checkpoint/resume
+   replays mid-run growth byte-for-byte while a tampered grown-path
+   record is refused.  Writes BENCH_colgen.json; exits non-zero on any
+   failure. *)
+let colgen_smoke ~json_path () =
+  let open Staleroute_wardrop in
+  let open Staleroute_dynamics in
+  let module Gen = Staleroute_graph.Gen in
+  let module Digraph = Staleroute_graph.Digraph in
+  let module Path_enum = Staleroute_graph.Path_enum in
+  let module Latency = Staleroute_latency.Latency in
+  let module Rng = Staleroute_util.Rng in
+  let module Vec = Staleroute_util.Vec in
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "  %-56s %s\n%!" name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  (* The E18 recipe: seeded layered DAG, affine latencies, one unit
+     commodity source->sink. *)
+  let workload ~seed ~layers ~width ~edge_prob ~skip_prob =
+    let rng = Rng.create ~seed () in
+    let st = Gen.layered_skips ~skip_prob ~rng ~layers ~width ~edge_prob in
+    let m = Digraph.edge_count st.Gen.graph in
+    let latencies =
+      Array.init m (fun _ ->
+          Latency.affine
+            ~slope:(0.25 +. Rng.float rng 1.5)
+            ~intercept:(Rng.float rng 0.3))
+    in
+    (st, latencies)
+  in
+  (* Uniform sampling (proportional sampling cannot discover zero-flow
+     grown columns) with ell_max bounded over the whole implicit path
+     set, and the safe update period computed from it. *)
+  let colgen_policy ~layers latencies =
+    let worst =
+      Array.fold_left
+        (fun acc l -> Float.max acc (Latency.eval l 1.))
+        0. latencies
+    in
+    Policy.make ~sampling:Sampling.Uniform
+      ~migration:
+        (Migration.Linear { ell_max = float_of_int (layers + 1) *. worst })
+  in
+  let period ~layers policy inst =
+    let d = float_of_int (layers + 1) in
+    let beta = Instance.beta inst in
+    let alpha = Option.get (Policy.alpha policy) in
+    if beta = 0. || alpha = 0. then 1.
+    else Float.min 1. (1. /. (4. *. d *. alpha *. beta))
+  in
+  let config ~policy ~t ~phases ~steps =
+    {
+      Driver.policy;
+      staleness = Driver.Stale t;
+      phases;
+      steps_per_phase = steps;
+      scheme = Integrator.Rk4;
+    }
+  in
+  (* 1. Small-instance differential: colgen equilibrium = enumerated
+     equilibrium, judged by unsatisfied volume and the potential. *)
+  let st, latencies =
+    workload ~seed:5 ~layers:3 ~width:3 ~edge_prob:0.7 ~skip_prob:0.
+  in
+  let commodities =
+    [ Commodity.single ~src:st.Gen.src ~dst:st.Gen.dst ]
+  in
+  let policy = colgen_policy ~layers:3 latencies in
+  let full_pool =
+    Path_pool.create ~seed:Path_pool.Full ~graph:st.Gen.graph ~latencies
+      ~commodities ()
+  in
+  let full_inst = Path_pool.instance full_pool in
+  let t = period ~layers:3 policy full_inst in
+  let cfg = config ~policy ~t ~phases:400 ~steps:12 in
+  let grow_pool =
+    Path_pool.create ~graph:st.Gen.graph ~latencies ~commodities ()
+  in
+  let seed_inst = Path_pool.instance grow_pool in
+  let colgen_result =
+    Driver.run ~colgen:grow_pool seed_inst cfg
+      ~init:(Flow.concentrated seed_inst ~on:(fun _ -> 0))
+  in
+  let enum_result =
+    Driver.run full_inst cfg
+      ~init:(Flow.concentrated full_inst ~on:(fun _ -> 0))
+  in
+  let delta = 0.25 in
+  let colgen_unsat =
+    Path_pool.unsatisfied_volume grow_pool
+      colgen_result.Driver.final_instance colgen_result.Driver.final_flow
+      ~delta
+  in
+  let enum_unsat =
+    Equilibrium.unsatisfied_volume full_inst enum_result.Driver.final_flow
+      ~delta
+  in
+  let phi_colgen =
+    Potential.phi colgen_result.Driver.final_instance
+      colgen_result.Driver.final_flow
+  in
+  let phi_enum = Potential.phi full_inst enum_result.Driver.final_flow in
+  let phi_rel_diff =
+    Float.abs (phi_colgen -. phi_enum) /. Float.max 1e-9 (Float.abs phi_enum)
+  in
+  let active_small =
+    Instance.path_count colgen_result.Driver.final_instance
+  in
+  check "differential: colgen run delta-satisfied" (colgen_unsat <= 1e-3);
+  check "differential: enumerated run delta-satisfied" (enum_unsat <= 1e-3);
+  check "differential: potentials agree (rel <= 1e-2)"
+    (phi_rel_diff <= 1e-2);
+  check "differential: active set within enumerated"
+    (active_small >= 1 && active_small <= Instance.path_count full_inst);
+  (* 2. Full seed: colgen run is byte- and bit-identical to a plain
+     run — every column is already active, so growth never fires. *)
+  let run_full ?colgen () =
+    let buf = Probe.Memory.create () in
+    let result =
+      Driver.run
+        ~probe:(Probe.Memory.probe buf)
+        ?colgen full_inst cfg ~init:(Flow.uniform full_inst)
+    in
+    (buf, result)
+  in
+  let buf_plain, result_plain = run_full () in
+  let buf_colgen, result_colgen = run_full ~colgen:full_pool () in
+  let to_string buf =
+    Trace_export.events_to_string (Probe.Memory.events buf)
+  in
+  let growth_events buf =
+    Probe.Memory.count buf (function
+      | Probe.Path_growth _ -> true
+      | _ -> false)
+  in
+  let full_seed_trace =
+    String.equal (to_string buf_plain) (to_string buf_colgen)
+  in
+  let full_seed_flow =
+    Array.for_all2
+      (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+      (Vec.to_array result_plain.Driver.final_flow)
+      (Vec.to_array result_colgen.Driver.final_flow)
+  in
+  check "full seed: trace byte-identical to plain run" full_seed_trace;
+  check "full seed: final flow bit-identical" full_seed_flow;
+  check "full seed: growth never fires" (growth_events buf_colgen = 0);
+  (* 3. A layered DAG the enumerating core cannot represent: >= 10^4
+     edges, astronomically many simple paths, and the active set stays
+     a vanishing fraction of them while the run converges. *)
+  let lst, llat =
+    workload ~seed:22 ~layers:66 ~width:16 ~edge_prob:0.6 ~skip_prob:0.05
+  in
+  let lpool =
+    Path_pool.create ~graph:lst.Gen.graph ~latencies:llat
+      ~commodities:[ Commodity.single ~src:lst.Gen.src ~dst:lst.Gen.dst ]
+      ()
+  in
+  let lpolicy = colgen_policy ~layers:66 llat in
+  let lseed = Path_pool.instance lpool in
+  let lt = period ~layers:66 lpolicy lseed in
+  let lphases = 800 in
+  let lmetrics = Metrics.create () in
+  let lresult =
+    Driver.run ~metrics:lmetrics ~colgen:lpool lseed
+      (config ~policy:lpolicy ~t:lt ~phases:lphases ~steps:12)
+      ~init:(Flow.concentrated lseed ~on:(fun _ -> 0))
+  in
+  let ledges = Digraph.edge_count lst.Gen.graph in
+  let lenumerable =
+    match
+      Path_enum.count_paths_dag lst.Gen.graph ~src:lst.Gen.src
+        ~dst:lst.Gen.dst
+    with
+    | Some n -> n
+    | None -> Float.nan
+  in
+  let lactive = Instance.path_count lresult.Driver.final_instance in
+  let lgrown = Metrics.count (Metrics.counter lmetrics "paths_grown") in
+  let lunsat =
+    Path_pool.unsatisfied_volume lpool lresult.Driver.final_instance
+      lresult.Driver.final_flow ~delta:0.5
+  in
+  check "large DAG: >= 10^4 edges" (ledges >= 10_000);
+  check "large DAG: enumerable set beyond 10^30" (lenumerable >= 1e30);
+  check "large DAG: growth fired (active = 1 + grown)"
+    (lgrown > 0 && lactive = 1 + lgrown);
+  check "large DAG: active set vanishing fraction"
+    (float_of_int lactive < 1e-3 *. lenumerable && lactive < 10_000);
+  check "large DAG: run delta-satisfied (delta = 0.5)" (lunsat <= 1e-3);
+  check "large DAG: final flow finite"
+    (Vec.for_all Float.is_finite lresult.Driver.final_flow);
+  (* 4. Checkpoint/resume with mid-run growth: the stitched trace is
+     byte-identical (including Path_growth events), the final flow
+     bit-identical, and a hand-edited grown-path record is refused. *)
+  let rst, rlat =
+    workload ~seed:19 ~layers:6 ~width:6 ~edge_prob:0.5 ~skip_prob:0.15
+  in
+  let rcommodities =
+    [ Commodity.single ~src:rst.Gen.src ~dst:rst.Gen.dst ]
+  in
+  let rpolicy = colgen_policy ~layers:6 rlat in
+  let make_rpool () =
+    Path_pool.create ~graph:rst.Gen.graph ~latencies:rlat
+      ~commodities:rcommodities ()
+  in
+  let rpool = make_rpool () in
+  let rseed = Path_pool.instance rpool in
+  let rt = period ~layers:6 rpolicy rseed in
+  let rcfg = config ~policy:rpolicy ~t:rt ~phases:40 ~steps:8 in
+  let rinit = Flow.concentrated rseed ~on:(fun _ -> 0) in
+  let saved = ref None in
+  let run_r ?from ?checkpoint_every ?on_checkpoint pool =
+    let buf = Probe.Memory.create () in
+    let result =
+      Driver.run
+        ~probe:(Probe.Memory.probe buf)
+        ~colgen:pool ?from ?checkpoint_every ?on_checkpoint
+        (Path_pool.instance pool) rcfg ~init:rinit
+    in
+    (buf, result)
+  in
+  let buf_r, result_r =
+    run_r
+      ~checkpoint_every:10
+      ~on_checkpoint:(fun snap -> if !saved = None then saved := Some snap)
+      rpool
+  in
+  check "resume: mid-run growth happened" (growth_events buf_r > 0);
+  let resume_trace, resume_flow, snap_grown, tamper_refused =
+    match !saved with
+    | None -> (false, false, false, false)
+    | Some snap ->
+        let pool' = make_rpool () in
+        let buf_c, result_c = run_r ~from:snap pool' in
+        let full = Probe.Memory.events buf_r in
+        let tail = Probe.Memory.events buf_c in
+        let prefix_len = Array.length full - Array.length tail in
+        let stitched = Array.append (Array.sub full 0 prefix_len) tail in
+        let trace_ok =
+          prefix_len >= 0
+          && String.equal (to_string buf_r)
+               (Trace_export.events_to_string stitched)
+        in
+        let flow_ok =
+          Array.for_all2
+            (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+            (Vec.to_array result_r.Driver.final_flow)
+            (Vec.to_array result_c.Driver.final_flow)
+        in
+        let m = Digraph.edge_count rst.Gen.graph in
+        let tampered =
+          {
+            snap with
+            Driver.grown_paths =
+              List.map
+                (fun (c, edges) ->
+                  (c, Array.map (fun e -> (e + 1) mod m) edges))
+                snap.Driver.grown_paths;
+          }
+        in
+        let refused =
+          snap.Driver.grown_paths <> []
+          &&
+          match run_r ~from:tampered (make_rpool ()) with
+          | exception Invalid_argument _ -> true
+          | _ -> false
+        in
+        (trace_ok, flow_ok, snap.Driver.grown_paths <> [], refused)
+  in
+  check "resume: snapshot records grown paths" snap_grown;
+  check "resume: stitched trace byte-identical" resume_trace;
+  check "resume: final flow bit-identical" resume_flow;
+  check "resume: tampered grown paths refused" tamper_refused;
+  let pass = !failures = 0 in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"colgen_smoke\",\n\
+    \  \"cores_available\": %d,\n\
+    \  \"differential\": { \"colgen_unsat\": %s, \"enum_unsat\": %s, \
+     \"phi_rel_diff\": %s, \"active\": %d, \"enumerated\": %d },\n\
+    \  \"full_seed\": { \"trace_byte_identical\": %b, \
+     \"flow_bit_identical\": %b },\n\
+    \  \"large_dag\": { \"edges\": %d, \"enumerable\": %.3e, \
+     \"active\": %d, \"grown\": %d, \"unsat\": %s, \"phases\": %d },\n\
+    \  \"resume\": { \"growth_events\": %d, \"trace_byte_identical\": \
+     %b, \"flow_bit_identical\": %b, \"tamper_refused\": %b },\n\
+    \  \"pass\": %b\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    (Staleroute_obs.Json.float_repr colgen_unsat)
+    (Staleroute_obs.Json.float_repr enum_unsat)
+    (Staleroute_obs.Json.float_repr phi_rel_diff)
+    active_small
+    (Instance.path_count full_inst)
+    full_seed_trace full_seed_flow ledges lenumerable lactive lgrown
+    (Staleroute_obs.Json.float_repr lunsat)
+    lphases (growth_events buf_r) resume_trace resume_flow tamper_refused
+    pass;
+  close_out oc;
+  Printf.printf "(colgen smoke written to %s)\n%!" json_path;
+  if not pass then exit 1
+
 (* --- Parallel smoke: pool determinism ground truth + timings --- *)
 
 let wall_time f =
@@ -1263,6 +1588,12 @@ let () =
       perf_smoke
         ~json_path:
           (if !json_path = "BENCH_rates.json" then "BENCH_perf.json"
+           else !json_path)
+        ()
+  | [ "colgen-smoke" ] ->
+      colgen_smoke
+        ~json_path:
+          (if !json_path = "BENCH_rates.json" then "BENCH_colgen.json"
            else !json_path)
         ()
   | "parallel-smoke" :: rest

@@ -101,7 +101,7 @@ let finish_obs ~out obs =
   | _ -> ()
 
 let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
-    ~faults ~guard ~resume ~checkpoint ~fingerprint ~obs ~out =
+    ~faults ~guard ~colgen ~resume ~checkpoint ~fingerprint ~obs ~out =
   let policy = policy_of inst in
   let staleness, t_label =
     match period with
@@ -142,13 +142,17 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
                 }) )
   in
   let result =
-    Common.run ~probe:obs.probe ~metrics:obs.registry ~faults ?guard
+    Common.run ~probe:obs.probe ~metrics:obs.registry ~faults ?guard ?colgen
       ?from:(Option.map (fun c -> c.Checkpoint.snapshot) resume)
       ~checkpoint_every ?on_checkpoint inst policy staleness ~phases
       ~steps_per_phase:steps ~init ()
   in
+  (* All post-run analysis runs over the *final* instance: without
+     column generation it is the input instance; with it the records
+     are normalized to the grown dimension. *)
+  let finst = result.Driver.final_instance in
   let snapshots = Common.phase_start_flows result in
-  let eq = Frank_wolfe.equilibrium inst in
+  let eq = Frank_wolfe.equilibrium finst in
   Printf.bprintf out "policy           : %s\n" (Policy.name policy);
   Printf.bprintf out "update period    : %s\n" t_label;
   if not (Faults.is_null faults) then
@@ -156,6 +160,12 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
       (Faults.to_string (Faults.spec faults));
   (match guard with
   | Some g -> Printf.bprintf out "guard            : %s\n" (Guard.to_string g)
+  | None -> ());
+  (match colgen with
+  | Some cg ->
+      Printf.bprintf out "colgen           : tol=%g, active paths %d -> %d\n"
+        (Path_pool.tolerance cg) (Instance.path_count inst)
+        (Instance.path_count finst)
   | None -> ());
   (match Policy.safe_update_period inst policy with
   | Some t_star -> Printf.bprintf out "safe period T*   : %.6g\n" t_star
@@ -166,9 +176,9 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
   Printf.bprintf out "potential  final : %.6g\n" result.Driver.final_potential;
   Printf.bprintf out "potential  PHI*  : %.6g\n" eq.Frank_wolfe.objective;
   Printf.bprintf out "wardrop gap      : %.6g\n"
-    (Equilibrium.wardrop_gap inst result.Driver.final_flow);
+    (Equilibrium.wardrop_gap finst result.Driver.final_flow);
   Printf.bprintf out "bad rounds       : %d (delta=%g, eps=%g)\n"
-    (Convergence.bad_rounds inst Convergence.Strict ~delta ~eps snapshots)
+    (Convergence.bad_rounds finst Convergence.Strict ~delta ~eps snapshots)
     delta eps;
   Printf.bprintf out "oscillating      : %b\n"
     (Convergence.is_oscillating snapshots);
@@ -235,7 +245,7 @@ let run_best_response inst ~t ~phases ~delta ~eps ~csv ~obs ~out =
 
 let main topology policy period phases steps init delta eps csv trace_file
     show_metrics show_summary runs jobs seed faults_str guard_str
-    checkpoint_file checkpoint_every resume_file =
+    checkpoint_file checkpoint_every resume_file colgen_tol =
   let reject msg =
     prerr_endline msg;
     exit 2
@@ -264,7 +274,37 @@ let main topology policy period phases steps init delta eps csv trace_file
   | Error e ->
       prerr_endline e;
       exit 2
-  | Ok inst -> (
+  | Ok full_inst -> (
+      (* With --colgen the run starts from the pool's shortest-path seed
+         instance instead of the enumerated one; the enumerated
+         instance only supplied the graph, latencies and commodities. *)
+      let colgen =
+        match colgen_tol with
+        | None -> None
+        | Some tol -> (
+            let graph = Instance.graph full_inst in
+            let latencies =
+              Array.init
+                (Staleroute_graph.Digraph.edge_count graph)
+                (Instance.latency full_inst)
+            in
+            let commodities =
+              List.init
+                (Instance.commodity_count full_inst)
+                (Instance.commodity full_inst)
+            in
+            match
+              Path_pool.create ~tolerance:tol ~graph ~latencies ~commodities
+                ()
+            with
+            | pool -> Some pool
+            | exception Invalid_argument m -> reject ("--colgen: " ^ m))
+      in
+      let inst =
+        match colgen with
+        | Some cg -> Path_pool.instance cg
+        | None -> full_inst
+      in
       match (parse_policy policy, parse_init init) with
       | Error e, _ | _, Error e ->
           prerr_endline e;
@@ -291,7 +331,9 @@ let main topology policy period phases steps init delta eps csv trace_file
               if guard <> None then
                 reject "best-response: --guard is not supported";
               if checkpoint_file <> None || resume_file <> None then
-                reject "best-response: --checkpoint/--resume are not supported"
+                reject "best-response: --checkpoint/--resume are not supported";
+              if colgen <> None then
+                reject "best-response: --colgen is not supported"
           | Smooth _ -> ());
           (* The fingerprint pins everything that shapes the trajectory;
              a checkpoint resumed under a different configuration would
@@ -305,10 +347,13 @@ let main topology policy period phases steps init delta eps csv trace_file
             in
             Printf.sprintf
               "routesim/1 topology=%s policy=%s period=%s phases=%d steps=%d \
-               init=%s seed=%d faults=%s guard=%s"
+               init=%s seed=%d faults=%s guard=%s colgen=%s"
               topology policy_str period_str phases steps init seed
               (Faults.to_string faults_spec)
               (match guard with Some g -> Guard.to_string g | None -> "off")
+              (match colgen_tol with
+              | Some tol -> Printf.sprintf "%.17g" tol
+              | None -> "off")
           in
           let resume =
             match resume_file with
@@ -360,7 +405,7 @@ let main topology policy period phases steps init delta eps csv trace_file
             | Smooth policy_of, _ ->
                 run_smooth inst policy_of ~period ~phases ~steps
                   ~init:(init_flow inst ~seed:seeds.(k) init_spec)
-                  ~delta ~eps ~csv ~faults ~guard ~resume ~checkpoint
+                  ~delta ~eps ~csv ~faults ~guard ~colgen ~resume ~checkpoint
                   ~fingerprint ~obs ~out
             | Best_response_exact, Some t ->
                 run_best_response inst ~t ~phases ~delta ~eps ~csv ~obs ~out
@@ -529,12 +574,26 @@ let cmd =
              resumed trace and report are byte-identical to an \
              uninterrupted run's.  Requires --runs 1.")
   in
+  let colgen =
+    Arg.(
+      value
+      & opt ~vopt:(Some 1e-9) (some float) None
+      & info [ "colgen" ] ~docv:"TOL"
+          ~doc:
+            "Column generation: instead of enumerating the topology's path \
+             sets, seed each commodity with its shortest path and grow the \
+             active set lazily by pricing the posted (stale) boards — a \
+             column is admitted when it undercuts the cheapest active path \
+             by more than $(docv) (default 1e-9).  Growth events appear in \
+             --trace, a paths_grown counter in --metrics, and checkpoints \
+             record the grown set so --resume replays it bit-for-bit.")
+  in
   let term =
     Term.(
       const main $ topology $ policy $ period $ phases $ steps $ init $ delta
       $ eps $ csv $ trace_file $ show_metrics $ show_summary $ runs $ jobs
       $ seed $ faults $ guard $ checkpoint_file $ checkpoint_every
-      $ resume_file)
+      $ resume_file $ colgen)
   in
   Cmd.v
     (Cmd.info "routesim" ~version:"1.0.0"

@@ -32,21 +32,59 @@ let board_to_json (b : Driver.board_state) =
       ("edge_latencies", floats b.board_latencies);
     ]
 
-let to_json t =
-  let s = t.snapshot in
+(* Canonical digest of the grown-path list: resume refuses a checkpoint
+   whose recorded admissions were edited by hand (the digest covers
+   commodities, edge ids and admission order). *)
+let grown_digest grown =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (ci, edges) ->
+      Buffer.add_string buf (string_of_int ci);
+      Buffer.add_char buf ':';
+      Array.iter
+        (fun e ->
+          Buffer.add_string buf (string_of_int e);
+          Buffer.add_char buf ',')
+        edges;
+      Buffer.add_char buf ';')
+    grown;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let grown_to_json (ci, edges) =
   Json.Obj
     [
-      ("staleroute_checkpoint", Json.Int version);
-      ("fingerprint", Json.String t.fingerprint);
-      ("next_phase", Json.Int s.next_phase);
-      ("flow", floats (Vec.to_array s.flow));
-      ( "board",
-        match s.board with None -> Json.Null | Some b -> board_to_json b );
-      ("records", Json.List (List.map record_to_json s.records_so_far));
-      ( "events",
-        Json.List
-          (Array.to_list (Array.map Trace_export.event_to_json t.events)) );
+      ("commodity", Json.Int ci);
+      ( "edges",
+        Json.List (Array.to_list (Array.map (fun e -> Json.Int e) edges)) );
     ]
+
+let to_json t =
+  let s = t.snapshot in
+  let grown_fields =
+    match s.Driver.grown_paths with
+    | [] -> []
+    | grown ->
+        [
+          ("grown", Json.List (List.map grown_to_json grown));
+          ("grown_digest", Json.String (grown_digest grown));
+        ]
+  in
+  Json.Obj
+    ([
+       ("staleroute_checkpoint", Json.Int version);
+       ("fingerprint", Json.String t.fingerprint);
+       ("next_phase", Json.Int s.next_phase);
+       ("flow", floats (Vec.to_array s.flow));
+       ( "board",
+         match s.board with None -> Json.Null | Some b -> board_to_json b );
+       ("records", Json.List (List.map record_to_json s.records_so_far));
+     ]
+    @ grown_fields
+    @ [
+        ( "events",
+          Json.List
+            (Array.to_list (Array.map Trace_export.event_to_json t.events)) );
+      ])
 
 (* --- decoding --- *)
 
@@ -128,11 +166,37 @@ let of_json j =
     | None -> Error "checkpoint: bad or missing field \"board\""
   in
   let* records_so_far = list_field "records" record_of_json j in
+  let* grown_paths =
+    match Json.member "grown" j with
+    | None -> Ok []
+    | Some _ ->
+        let grown_of_json gj =
+          let* ci = field "commodity" Json.to_int gj in
+          let* edges =
+            match Json.member "edges" gj with
+            | Some (Json.List items) ->
+                let rec go acc = function
+                  | [] -> Ok (Array.of_list (List.rev acc))
+                  | x :: rest -> (
+                      match Json.to_int x with
+                      | Some e -> go (e :: acc) rest
+                      | None -> Error "checkpoint: non-integer edge id")
+                in
+                go [] items
+            | _ -> Error "checkpoint: bad or missing field \"edges\""
+          in
+          Ok (ci, edges)
+        in
+        let* grown = list_field "grown" grown_of_json j in
+        let* digest = field "grown_digest" Json.to_str j in
+        if String.equal digest (grown_digest grown) then Ok grown
+        else Error "checkpoint: grown-path digest mismatch (edited file?)"
+  in
   let* events = list_field "events" Trace_export.event_of_json j in
   Ok
     {
       fingerprint;
-      snapshot = { Driver.next_phase; flow; board; records_so_far };
+      snapshot = { Driver.next_phase; flow; board; records_so_far; grown_paths };
       events = Array.of_list events;
     }
 

@@ -19,6 +19,7 @@ type result = {
   records : round_record array;
   final_flow : Flow.t;
   final_potential : float;
+  final_instance : Instance.t;
 }
 
 (* The projection here is the raw in-place one, not the validating
@@ -36,15 +37,26 @@ let step inst policy ~board f =
   step_kernel inst (Rate_kernel.build inst policy ~board) f
 
 let run ?(probe = Probe.null) ?(metrics = Metrics.null)
-    ?(faults = Faults.plan Faults.none) ?guard inst config ~init =
+    ?(faults = Faults.plan Faults.none) ?guard ?colgen inst config ~init =
   if config.rounds < 0 then invalid_arg "Discrete.run: negative rounds";
   if config.rounds_per_update < 1 then
     invalid_arg "Discrete.run: rounds_per_update < 1";
   if not (Flow.is_feasible inst init) then
     invalid_arg "Discrete.run: infeasible initial flow";
+  (match colgen with
+  | Some cg when not (Path_pool.instance cg == inst) ->
+      invalid_arg
+        "Discrete.run: colgen pool was seeded over a different instance"
+  | _ -> ());
+  let inst_r = ref inst in
   let reposts = Metrics.counter metrics "board_reposts" in
   let rebuilds = Metrics.counter metrics "kernel_rebuilds" in
   let m_rounds = Metrics.counter metrics "rounds" in
+  let grown_c =
+    Metrics.counter
+      (match colgen with Some _ -> metrics | None -> Metrics.null)
+      "paths_grown"
+  in
   let faults_c =
     Metrics.counter
       (if Faults.is_null faults then Metrics.null else metrics)
@@ -74,7 +86,7 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
          identical to a fresh [build] (see {!Rate_kernel.update}). *)
       match prev with
       | Some k -> Rate_kernel.update k ~board
-      | None -> Rate_kernel.build inst config.policy ~board
+      | None -> Rate_kernel.build !inst_r config.policy ~board
     in
     if Probe.enabled probe then
       Probe.emit probe (Probe.Kernel_rebuild { time });
@@ -82,12 +94,63 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
     (board, kernel)
   in
   let post ?prev time =
-    announce_and_compile ?prev ~time (Bulletin_board.post inst ~time !f)
+    announce_and_compile ?prev ~time (Bulletin_board.post !inst_r ~time !f)
   in
   (* The compiled kernel lives as long as its board post — which under
      fault injection can span several update periods (dropped re-posts
      keep the old board, and its kernel stays legitimately current). *)
   let posted = ref (post 0.) in
+  (* Column-generation boundary check, mirroring [Driver]: price the
+     live posting once per update attempt (against the surviving old
+     board under a dropped/delayed re-post). *)
+  let try_grow ~index ~time =
+    match colgen with
+    | None -> ()
+    | Some cg -> (
+        let inst = !inst_r in
+        let board, kernel = !posted in
+        match
+          Path_pool.grow cg inst
+            ~edge_latencies:board.Bulletin_board.edge_latencies
+        with
+        | None -> ()
+        | Some (inst', adds) ->
+            let n0 = Instance.path_count inst in
+            let n' = Instance.path_count inst' in
+            if Probe.enabled probe then
+              List.iteri
+                (fun i (a : Path_pool.growth) ->
+                  Probe.emit probe
+                    (Probe.Path_growth
+                       {
+                         time;
+                         index;
+                         commodity = a.commodity;
+                         cost = a.cost;
+                         incumbent = a.incumbent;
+                         path_count = n0 + i + 1;
+                       }))
+                adds;
+            Metrics.incr ~by:(List.length adds) grown_c;
+            if Probe.enabled probe then
+              Probe.emit probe (Probe.Board_repost { time });
+            Metrics.incr reposts;
+            let board' =
+              Bulletin_board.post_with inst'
+                ~time:board.Bulletin_board.posted_at
+                ~flow:(Staleroute_util.Vec.extend board.Bulletin_board.flow
+                         ~dim:n')
+                ~edge_latencies:board.Bulletin_board.edge_latencies
+            in
+            let kernel' = Rate_kernel.grow kernel inst' ~board:board' in
+            if Probe.enabled probe then
+              Probe.emit probe (Probe.Kernel_rebuild { time });
+            Metrics.incr rebuilds;
+            assert (Rate_kernel.is_current kernel' ~board:board');
+            inst_r := inst';
+            posted := (board', kernel');
+            f := Vec.extend !f ~dim:n')
+  in
   (* Round index where a delayed re-post lands. *)
   let pending = ref None in
   let records = ref [] in
@@ -119,8 +182,10 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
           | None -> ());
           posted :=
             announce_and_compile ~prev:(snd !posted) ~time
-              (Faults.board faults ~index:u fault inst ~time ~prev !f)
+              (Faults.board faults ~index:u fault !inst_r ~time ~prev !f)
     end;
+    if k mod config.rounds_per_update = 0 then
+      try_grow ~index:(k / config.rounds_per_update) ~time;
     if !pending = Some k then begin
       pending := None;
       posted := post ~prev:(snd !posted) time
@@ -128,22 +193,35 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
     let board, kernel = !posted in
     assert (Rate_kernel.is_current kernel ~board);
     ignore board;
-    let start_potential = Potential.phi inst !f in
+    let start_potential = Potential.phi !inst_r !f in
     if Probe.enabled probe then
       Probe.emit probe (Probe.Round { index = k; potential = start_potential });
     Metrics.incr m_rounds;
     records :=
       { index = k; start_flow = Vec.copy !f; start_potential } :: !records;
-    f := step_kernel inst kernel !f;
+    f := step_kernel !inst_r kernel !f;
     match guard with
     | Some gd ->
-        Guard.check gd ~probe ?repairs:guard_repairs inst ~index:k
+        Guard.check gd ~probe ?repairs:guard_repairs !inst_r ~index:k
           ~time:(float_of_int (k + 1))
           !f
     | None -> ()
   done;
+  let final_instance = !inst_r in
+  let records = Array.of_list (List.rev !records) in
+  (* Normalize every record to the final active dimension (exact —
+     grown columns carried zero flow before admission), mirroring
+     [Driver.run]. *)
+  (if Option.is_some colgen then
+     let final_dim = Instance.path_count final_instance in
+     Array.iteri
+       (fun i r ->
+         if Vec.dim r.start_flow < final_dim then
+           records.(i) <- { r with start_flow = Vec.extend r.start_flow ~dim:final_dim })
+       records);
   {
-    records = Array.of_list (List.rev !records);
+    records;
     final_flow = !f;
-    final_potential = Potential.phi inst !f;
+    final_potential = Potential.phi final_instance !f;
+    final_instance;
   }

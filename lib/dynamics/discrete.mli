@@ -27,8 +27,14 @@ type round_record = {
 
 type result = {
   records : round_record array;
+      (** one per round; under [?colgen] every record's [start_flow] is
+          zero-extended to the final active dimension (exact — grown
+          columns carried zero flow before admission). *)
   final_flow : Flow.t;
   final_potential : float;
+  final_instance : Instance.t;
+      (** the active instance at the end of the run — the input
+          instance unless [?colgen] grew it. *)
 }
 
 val step : Instance.t -> Policy.t -> board:Bulletin_board.t -> Flow.t -> Flow.t
@@ -40,6 +46,7 @@ val run :
   ?metrics:Staleroute_obs.Metrics.t ->
   ?faults:Faults.t ->
   ?guard:Guard.t ->
+  ?colgen:Path_pool.t ->
   Instance.t ->
   config ->
   init:Flow.t ->
@@ -59,4 +66,9 @@ val run :
     still-current kernel across the update boundary; a delayed one
     lands on the round grid a fraction of the update period late
     (collapsing to a drop when [rounds_per_update = 1]).  [guard]
-    checks the flow after every round. *)
+    checks the flow after every round.
+
+    [colgen] mirrors {!Driver.run}: the instance must be physically the
+    pool's seed instance, and growth is priced once per update attempt
+    against the operative posting (the surviving old board under a
+    dropped/delayed re-post). *)

@@ -36,6 +36,7 @@ type result = {
   records : phase_record array;
   final_flow : Flow.t;
   final_potential : float;
+  final_instance : Instance.t;
 }
 
 type board_state = {
@@ -49,6 +50,7 @@ type snapshot = {
   flow : Flow.t;
   board : board_state option;
   records_so_far : phase_record list;
+  grown_paths : (int * int array) list;
 }
 
 let phase_length config =
@@ -163,13 +165,21 @@ let post_faulted inst policy ~ins ~faults ~index fault ~time ~prev f =
    integrated in place against it.  [Rates.flow_derivative] remains as
    the reference implementation (tests and the microbenchmarks compare
    the two). *)
-let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
+(* [grow_hook ~index ~time live g] is the column-generation boundary
+   check (identity when colgen is off): price the live posting, and on
+   admission return the grown posting, the zero-extended working vector
+   and the grown instance.  It runs once per phase, after the phase's
+   operative posting is established — under a dropped re-post that is
+   the {e old} board, which is exactly the model-consistent oracle:
+   agents can only discover routes the board actually shows. *)
+let advance_one_phase inst config ~ins ~pool ~grow_hook ~faults ~index:k ~live
+    ~time f =
   let tau = phase_length config in
   let steps = config.steps_per_phase in
   let stage = Integrator.stage_evals config.scheme in
-  let integrate ~kernel ~t0 ~tau ~steps g =
+  let integrate ~inst ~kernel ~t0 ~tau ~steps g =
     Integrator.integrate_phase_into ~probe:ins.probe ~t0 config.scheme inst
-      ~pool
+      ~pool:!pool
       ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
       ~f:g ~tau ~steps;
     Metrics.incr ~by:(stage * steps) ins.derivs
@@ -181,10 +191,14 @@ let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
       match (fault, live) with
       | Some Faults.Drop, Some l ->
           (* The re-post was lost: the previous board survives the phase
-             boundary and its kernel is legitimately not rebuilt. *)
+             boundary and its kernel is legitimately not rebuilt.  A
+             column priced in against that surviving board still counts
+             as a new revision — growth is the one event besides a
+             re-post that recompiles the kernel. *)
           emit_fault ins ~time ~index:k Faults.Drop;
           assert (Rate_kernel.is_current l.kernel ~board:l.board);
-          integrate ~kernel:l.kernel ~t0:time ~tau ~steps g;
+          let l, g, inst = grow_hook ~index:k ~time l g in
+          integrate ~inst ~kernel:l.kernel ~t0:time ~tau ~steps g;
           (g, Some l)
       | Some (Faults.Delay fraction as fault), Some l ->
           (* The re-post lands mid-phase, snapped to the integrator-step
@@ -195,7 +209,8 @@ let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
           emit_fault ins ~time ~index:k fault;
           if steps < 2 then begin
             assert (Rate_kernel.is_current l.kernel ~board:l.board);
-            integrate ~kernel:l.kernel ~t0:time ~tau ~steps g;
+            let l, g, inst = grow_hook ~index:k ~time l g in
+            integrate ~inst ~kernel:l.kernel ~t0:time ~tau ~steps g;
             (g, Some l)
           end
           else begin
@@ -207,7 +222,8 @@ let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
               max 1 (min (steps - 1) ideal)
             in
             assert (Rate_kernel.is_current l.kernel ~board:l.board);
-            integrate ~kernel:l.kernel ~t0:time
+            let l, g, inst = grow_hook ~index:k ~time l g in
+            integrate ~inst ~kernel:l.kernel ~t0:time
               ~tau:(h *. float_of_int s1)
               ~steps:s1 g;
             let post_time = time +. (h *. float_of_int s1) in
@@ -215,7 +231,7 @@ let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
               post_and_compile ~prev:l inst config.policy ~ins ~time:post_time
                 g
             in
-            integrate ~kernel:l'.kernel ~t0:post_time
+            integrate ~inst ~kernel:l'.kernel ~t0:post_time
               ~tau:(h *. float_of_int (steps - s1))
               ~steps:(steps - s1) g;
             (g, Some l')
@@ -225,7 +241,8 @@ let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
             post_faulted inst config.policy ~ins ~faults ~index:k fault ~time
               ~prev:live f
           in
-          integrate ~kernel:l.kernel ~t0:time ~tau ~steps g;
+          let l, g, inst = grow_hook ~index:k ~time l g in
+          integrate ~inst ~kernel:l.kernel ~t0:time ~tau ~steps g;
           (g, Some l))
   | Fresh ->
       (* Re-post before every internal step: zero information age up to
@@ -233,10 +250,12 @@ let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
          must be rebuilt for every re-posted board.  Faults are keyed by
          the global update index (one update per step); a delayed post
          is equivalent to a dropped one, because the next step re-posts
-         anyway. *)
+         anyway.  Column generation still prices once per phase
+         boundary (the first step's posting). *)
       let h = tau /. float_of_int steps in
-      let g = Vec.copy f in
+      let g = ref (Vec.copy f) in
       let live = ref live in
+      let inst = ref inst in
       for j = 0 to steps - 1 do
         let step_time = time +. (float_of_int j *. h) in
         let u = (k * steps) + j in
@@ -247,13 +266,21 @@ let advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live ~time f =
         | fault, lv ->
             live :=
               Some
-                (post_faulted inst config.policy ~ins ~faults ~index:u fault
-                   ~time:step_time ~prev:lv g));
+                (post_faulted !inst config.policy ~ins ~faults ~index:u fault
+                   ~time:step_time ~prev:lv !g));
+        if j = 0 then begin
+          let l', g', inst' =
+            grow_hook ~index:k ~time:step_time (Option.get !live) !g
+          in
+          live := Some l';
+          g := g';
+          inst := inst'
+        end;
         let l = Option.get !live in
         assert (Rate_kernel.is_current l.kernel ~board:l.board);
-        integrate ~kernel:l.kernel ~t0:step_time ~tau:h ~steps:1 g
+        integrate ~inst:!inst ~kernel:l.kernel ~t0:step_time ~tau:h ~steps:1 !g
       done;
-      (g, !live)
+      (!g, !live)
 
 let restore_live inst policy b =
   let board =
@@ -263,13 +290,17 @@ let restore_live inst policy b =
   { board; kernel = Rate_kernel.build inst policy ~board }
 
 let run ?(probe = Probe.null) ?(metrics = Metrics.null)
-    ?(faults = Faults.plan Faults.none) ?guard ?from ?(checkpoint_every = 0)
-    ?on_checkpoint inst config ~init =
+    ?(faults = Faults.plan Faults.none) ?guard ?colgen ?from
+    ?(checkpoint_every = 0) ?on_checkpoint inst config ~init =
   if config.phases < 0 then invalid_arg "Driver.run: negative phase count";
   if config.steps_per_phase < 1 then
     invalid_arg "Driver.run: steps_per_phase < 1";
+  (match colgen with
+  | Some cg when not (Path_pool.instance cg == inst) ->
+      invalid_arg
+        "Driver.run: colgen pool was seeded over a different instance"
+  | _ -> ());
   let tau = phase_length config in
-  let pool = Vec.Pool.create ~dim:(Instance.path_count inst) in
   let ins = instruments probe metrics ~faults in
   let h_phi = Metrics.histogram metrics "phase_potential" in
   let h_dphi = Metrics.histogram metrics "phase_delta_phi" in
@@ -279,6 +310,18 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
   let guard_repairs =
     Option.map (fun _ -> Metrics.counter metrics "guard_repairs") guard
   in
+  (* Colgen-free runs keep their metric snapshot exactly as before the
+     pool layer existed. *)
+  let grown_c =
+    Metrics.counter
+      (match colgen with Some _ -> metrics | None -> Metrics.null)
+      "paths_grown"
+  in
+  (* The growing state: the active instance, the recorded admissions
+     (newest first) and the scratch-vector pool sized to the active
+     dimension.  Without [?colgen] none of these ever move. *)
+  let inst_r = ref inst in
+  let grown = ref ([] : (int * int array) list) in
   let start_phase, f, live, records =
     match from with
     | None ->
@@ -293,17 +336,93 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
           invalid_arg "Driver.run: snapshot phase outside configured range";
         if List.length s.records_so_far <> s.next_phase then
           invalid_arg "Driver.run: snapshot records inconsistent with phase";
+        (match (s.grown_paths, colgen) with
+        | [], _ -> ()
+        | _ :: _, None ->
+            invalid_arg
+              "Driver.run: snapshot records grown paths but no colgen pool \
+               was supplied"
+        | gps, Some cg ->
+            (* Replay validates every recorded path against the pool's
+               graph and commodities — a hand-edited path set is refused
+               here, and the dimension checks below catch a snapshot
+               whose flow does not match the replayed active set. *)
+            inst_r := Path_pool.replay cg ~grown:gps;
+            grown := List.rev gps);
+        let inst = !inst_r in
         if Vec.dim s.flow <> Instance.path_count inst then
           invalid_arg "Driver.run: snapshot flow has wrong dimension";
-        let live =
-          Option.map (restore_live inst config.policy) s.board
-        in
+        let live = Option.map (restore_live inst config.policy) s.board in
         ( s.next_phase,
           ref (Vec.copy s.flow),
           ref live,
           ref (List.rev s.records_so_far) )
   in
-  let phi = ref (Potential.phi inst !f) in
+  let vpool = ref (Vec.Pool.create ~dim:(Instance.path_count !inst_r)) in
+  let grow_hook =
+    match colgen with
+    | None -> fun ~index:_ ~time:_ l g -> (l, g, !inst_r)
+    | Some cg -> (
+        fun ~index ~time l g ->
+          let inst = !inst_r in
+          match
+            Path_pool.grow cg inst
+              ~edge_latencies:l.board.Bulletin_board.edge_latencies
+          with
+          | None -> (l, g, inst)
+          | Some (inst', adds) ->
+              let n0 = Instance.path_count inst in
+              let n' = Instance.path_count inst' in
+              if Probe.enabled ins.probe then
+                List.iteri
+                  (fun i (a : Path_pool.growth) ->
+                    Probe.emit ins.probe
+                      (Probe.Path_growth
+                         {
+                           time;
+                           index;
+                           commodity = a.commodity;
+                           cost = a.cost;
+                           incumbent = a.incumbent;
+                           path_count = n0 + i + 1;
+                         }))
+                  adds;
+              Metrics.incr ~by:(List.length adds) grown_c;
+              (* A grown set is a new revision, exactly like a re-post:
+                 the board is re-posted over the grown index (same
+                 snapshot time, same edge latencies, zero posted flow on
+                 the new columns) and the kernel recompiles — block-wise
+                 incrementally, since only grown commodities changed. *)
+              if Probe.enabled ins.probe then
+                Probe.emit ins.probe (Probe.Board_repost { time });
+              Metrics.incr ins.reposts;
+              let board =
+                Bulletin_board.post_with inst'
+                  ~time:l.board.Bulletin_board.posted_at
+                  ~flow:(Vec.extend l.board.Bulletin_board.flow ~dim:n')
+                  ~edge_latencies:l.board.Bulletin_board.edge_latencies
+              in
+              let timed = Metrics.enabled_histogram ins.build_ns in
+              let t0 = if timed then Sys.time () else 0. in
+              let kernel = Rate_kernel.grow l.kernel inst' ~board in
+              if timed then
+                Metrics.observe ins.build_ns ((Sys.time () -. t0) *. 1e9);
+              if Probe.enabled ins.probe then
+                Probe.emit ins.probe (Probe.Kernel_rebuild { time });
+              Metrics.incr ins.rebuilds;
+              assert (Rate_kernel.is_current kernel ~board);
+              inst_r := inst';
+              grown :=
+                List.rev_append
+                  (List.map
+                     (fun (a : Path_pool.growth) ->
+                       (a.commodity, Staleroute_graph.Path.edge_id_array a.path))
+                     adds)
+                  !grown;
+              vpool := Vec.Pool.create ~dim:n';
+              ({ board; kernel }, Vec.extend g ~dim:n', inst'))
+  in
+  let phi = ref (Potential.phi !inst_r !f) in
   for k = start_phase to config.phases - 1 do
     let start_time = float_of_int k *. tau in
     let start_flow = Vec.copy !f in
@@ -314,10 +433,20 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
         (Probe.Phase_start
            { index = k; time = start_time; potential = start_potential });
     let next, live' =
-      advance_one_phase inst config ~ins ~pool ~faults ~index:k ~live:!live
-        ~time:start_time !f
+      advance_one_phase !inst_r config ~ins ~pool:vpool ~grow_hook ~faults
+        ~index:k ~live:!live ~time:start_time !f
     in
     live := live';
+    let inst = !inst_r in
+    (* When this phase grew the active set, embed its start flow in the
+       grown index: the new columns carried zero flow at the phase
+       start, so the zero-extension is exact (same edge flows, same
+       potential). *)
+    let start_flow =
+      if Vec.dim start_flow < Instance.path_count inst then
+        Vec.extend start_flow ~dim:(Instance.path_count inst)
+      else start_flow
+    in
     (match guard with
     | Some gd ->
         Guard.check gd ~probe ?repairs:guard_repairs inst ~index:k
@@ -365,13 +494,28 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
             flow = Vec.copy !f;
             board = Option.map board_state !live;
             records_so_far = List.rev !records;
+            grown_paths = List.rev !grown;
           }
     | _ -> ()
   done;
   Metrics.set g_final !phi;
+  let final_instance = !inst_r in
+  let records = Array.of_list (List.rev !records) in
+  (* Normalize every record to the final dimension (zero-extension is
+     exact — see above), so consumers can analyze the whole run against
+     [final_instance] and a resumed run reproduces the same records. *)
+  (if Option.is_some colgen then
+     let final_dim = Instance.path_count final_instance in
+     Array.iteri
+       (fun i r ->
+         if Vec.dim r.start_flow < final_dim then
+           records.(i) <-
+             { r with start_flow = Vec.extend r.start_flow ~dim:final_dim })
+       records);
   {
     config;
-    records = Array.of_list (List.rev !records);
+    records;
     final_flow = !f;
     final_potential = !phi;
+    final_instance;
   }

@@ -43,9 +43,16 @@ type phase_record = {
 
 type result = {
   config : config;
-  records : phase_record array;  (** one per simulated phase *)
+  records : phase_record array;
+      (** one per simulated phase.  Under [?colgen] every record's
+          [start_flow] is zero-extended to the final active dimension
+          (exact: grown columns carried zero flow before they existed),
+          so the whole run can be analyzed against [final_instance]. *)
   final_flow : Flow.t;
   final_potential : float;
+  final_instance : Instance.t;
+      (** the active instance at the end of the run — the input instance
+          unless [?colgen] grew it. *)
 }
 
 type board_state = {
@@ -63,6 +70,12 @@ type snapshot = {
   flow : Flow.t;  (** bit-exact flow at that phase boundary *)
   board : board_state option;  (** the posting live at the boundary *)
   records_so_far : phase_record list;  (** completed phases, in order *)
+  grown_paths : (int * int array) list;
+      (** columns admitted by [?colgen] so far, as [(commodity, edge
+          ids)] in admission order — [[]] without column generation.
+          Resume replays them through {!Path_pool.replay} to
+          reconstruct the grown instance (and refuses recorded paths
+          that do not validate). *)
 }
 (** Everything [run] needs to continue at a phase boundary.  Fault
     draws are pure functions of [(seed, index)] (see {!Faults}), so no
@@ -74,6 +87,7 @@ val run :
   ?metrics:Staleroute_obs.Metrics.t ->
   ?faults:Faults.t ->
   ?guard:Guard.t ->
+  ?colgen:Path_pool.t ->
   ?from:snapshot ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(snapshot -> unit) ->
@@ -110,6 +124,25 @@ val run :
 
     [guard] checks the flow's numeric health at every phase boundary
     (see {!Guard}); repairs bump a [guard_repairs] counter.
+
+    [colgen] turns on column generation over the given {!Path_pool}:
+    the supplied instance must be {e physically} the pool's seed
+    instance ([Path_pool.instance]).  Once per phase, after the phase's
+    operative posting is established (the fresh post normally; the
+    surviving old board under a dropped or delayed re-post; the first
+    step's post under [Fresh]), the pool prices the posted edge
+    latencies and, on admission, the active set grows: one
+    [Path_growth] event per column, then one [Board_repost] +
+    [Kernel_rebuild] pair (a grown set is a new revision — the board is
+    re-posted over the grown index with the same snapshot time and edge
+    latencies, and the kernel recompiles incrementally via
+    {!Rate_kernel.grow}).  A [paths_grown] counter is maintained when
+    [metrics] is live (created only when [colgen] is supplied, so
+    colgen-free metric snapshots are unchanged).  Growth is a pure
+    function of the posted board and the tolerance — same-seed runs
+    grow identically at any pool width.  Seeding the pool with the full
+    enumerated path set makes the run bit-identical to a plain
+    [run] without [colgen].
 
     [from] resumes a run from a {!snapshot} at a phase boundary: the
     probe sees exactly the events of phases [next_phase ..], and the

@@ -307,6 +307,85 @@ let update t ~board =
   t.board <- board;
   t
 
+(* Growth recompile: the active path set grew ([Instance.extend]) and
+   the grown instance's board was re-posted.  Arrays must be
+   reallocated (block sizes changed), but a commodity whose path set
+   did not grow — provable by the physical identity of its [paths_of]
+   array, which [Instance.extend] deliberately shares — and whose
+   posted inputs are bit-unchanged on those paths gets its σ·µ block
+   and row sums {e copied} instead of recompiled: the entries were
+   computed by the very expressions a fresh build would run on the very
+   same bits.  Everything else goes through [compile_commodity], the
+   build path itself, so the result is bitwise identical to
+   [build inst policy ~board] (qcheck pins it down, like [update]'s). *)
+let grow prev inst ~board =
+  let n = Instance.path_count inst in
+  let nc = Instance.commodity_count inst in
+  if nc <> prev.commodities then
+    invalid_arg "Rate_kernel.grow: commodity count changed";
+  if n < prev.n then
+    invalid_arg "Rate_kernel.grow: the path set shrank";
+  let mat_off = Array.make (nc + 1) 0 in
+  for ci = 0 to nc - 1 do
+    let m = Array.length (Instance.paths_of_commodity inst ci) in
+    mat_off.(ci + 1) <- mat_off.(ci) + (m * m)
+  done;
+  let mat = Array.make (max 1 mat_off.(nc)) 0. in
+  let row_sum = Array.make n 0. in
+  let lat = board.Bulletin_board.path_latencies in
+  let bflow = board.Bulletin_board.flow in
+  let olat = prev.board.Bulletin_board.path_latencies in
+  let obflow = prev.board.Bulletin_board.flow in
+  let sampling = prev.policy.Policy.sampling in
+  let migration = prev.policy.Policy.migration in
+  let origin_indep = Sampling.origin_independent sampling in
+  let pure_policy =
+    (match sampling with Sampling.Custom _ -> false | _ -> true)
+    && match migration with Migration.Custom _ -> false | _ -> true
+  in
+  let paths_of = Array.init nc (Instance.paths_of_commodity inst) in
+  let scratch_dim = max 1 (Instance.max_paths_in_commodity inst) in
+  let sigma = Array.make scratch_dim 0. in
+  for ci = 0 to nc - 1 do
+    let ps = paths_of.(ci) in
+    let copyable =
+      pure_policy
+      && ps == prev.paths_of.(ci)
+      &&
+      let ok = ref true in
+      Array.iter
+        (fun p ->
+          if
+            bits_differ lat.(p) olat.(p)
+            || bits_differ (Vec.unsafe_get bflow p) (Vec.unsafe_get obflow p)
+          then ok := false)
+        ps;
+      !ok
+    in
+    if copyable then begin
+      let m = Array.length ps in
+      Array.blit prev.mat prev.mat_off.(ci) mat mat_off.(ci) (m * m);
+      Array.iter (fun p -> row_sum.(p) <- prev.row_sum.(p)) ps
+    end
+    else
+      compile_commodity inst sampling migration ~origin_indep ~paths_of
+        ~mat_off ~mat ~row_sum ~lat ~bflow ~sigma ci
+  done;
+  {
+    inst;
+    policy = prev.policy;
+    n;
+    commodities = nc;
+    paths_of;
+    mat_off;
+    mat;
+    row_sum;
+    board;
+    sigma;
+    lat_dirty = Array.make scratch_dim false;
+    col_dirty = Array.make scratch_dim false;
+  }
+
 let dim t = t.n
 let revision t = Bulletin_board.revision t.board
 let is_current t ~board = revision t = Bulletin_board.revision board

@@ -69,6 +69,21 @@ val update : t -> board:Bulletin_board.t -> t
     would.  {!revision} advances to the new board's revision, exactly
     as a rebuild. *)
 
+val grow : t -> Instance.t -> board:Bulletin_board.t -> t
+(** [grow prev inst ~board] compiles a kernel for a {e grown} active
+    path set: [inst] must be an {!Instance.extend} of the instance
+    [prev] was built over, and [board] the posting over [inst].  A
+    fresh kernel is allocated (block sizes changed), but commodities
+    whose path set did not grow — proven by the physical identity of
+    their [paths_of_commodity] arrays, which [Instance.extend]
+    preserves — and whose posted latencies and flow are bit-unchanged
+    on those paths get their σ·µ blocks and row sums copied from
+    [prev]; only grown (or changed) commodities recompile.  The result
+    is {b bitwise identical} to [build inst policy ~board] (qcheck pins
+    it down); policies with [Custom] sampling or migration recompile
+    every block, exactly as {!update} falls back.  [prev] is left
+    intact and stays valid for its own board. *)
+
 val dim : t -> int
 (** Size of the global path index the kernel was built over. *)
 

@@ -8,10 +8,15 @@ type sample = { time : float; flow : Flow.t }
 type t = sample array
 
 let record ?(probe = Probe.null) ?(metrics = Metrics.null)
-    ?(faults = Faults.plan Faults.none) ?guard inst (config : Driver.config)
-    ~init ~samples_per_phase =
+    ?(faults = Faults.plan Faults.none) ?guard ?colgen inst
+    (config : Driver.config) ~init ~samples_per_phase =
   if samples_per_phase < 1 then
     invalid_arg "Trajectory.record: samples_per_phase < 1";
+  (match colgen with
+  | Some cg when not (Path_pool.instance cg == inst) ->
+      invalid_arg
+        "Trajectory.record: colgen pool was seeded over a different instance"
+  | _ -> ());
   let tau = Driver.phase_length config in
   (* Integrate in [samples_per_phase] chunks per phase, re-posting the
      board per phase (Stale) or per chunk (Fresh). *)
@@ -19,9 +24,15 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
     max 1 (config.Driver.steps_per_phase / samples_per_phase)
   in
   let chunk = tau /. float_of_int samples_per_phase in
-  let pool = Vec.Pool.create ~dim:(Instance.path_count inst) in
+  let inst_r = ref inst in
+  let pool = ref (Vec.Pool.create ~dim:(Instance.path_count inst)) in
   let reposts = Metrics.counter metrics "board_reposts" in
   let rebuilds = Metrics.counter metrics "kernel_rebuilds" in
+  let grown_c =
+    Metrics.counter
+      (match colgen with Some _ -> metrics | None -> Metrics.null)
+      "paths_grown"
+  in
   let faults_c =
     Metrics.counter
       (if Faults.is_null faults then Metrics.null else metrics)
@@ -51,7 +62,7 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
          {!Rate_kernel.update}). *)
       match prev with
       | Some k -> Rate_kernel.update k ~board
-      | None -> Rate_kernel.build inst config.Driver.policy ~board
+      | None -> Rate_kernel.build !inst_r config.Driver.policy ~board
     in
     if Probe.enabled probe then
       Probe.emit probe (Probe.Kernel_rebuild { time });
@@ -59,7 +70,7 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
     (board, kernel)
   in
   let post_and_compile ?prev ~time flow =
-    announce_and_compile ?prev ~time (Bulletin_board.post inst ~time flow)
+    announce_and_compile ?prev ~time (Bulletin_board.post !inst_r ~time flow)
   in
   (* A faulted re-post that lands now; Drop/Delay/Partial with no
      previous board degrade to a clean post with no event (nothing was
@@ -77,7 +88,7 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
     announce_and_compile
       ?prev:(Option.map snd prev)
       ~time
-      (Faults.board faults ~index fault inst ~time ~prev:prev_board flow)
+      (Faults.board faults ~index fault !inst_r ~time ~prev:prev_board flow)
   in
   let samples = ref [] in
   let f = ref (Flow.project inst init) in
@@ -85,6 +96,57 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
      (and its still-current kernel) can outlive the phase it was posted
      in, exactly as in [Driver]. *)
   let live = ref None in
+  (* Column-generation boundary check, mirroring [Driver]: price the
+     live posting once per phase (against the surviving old board under
+     a dropped/delayed re-post) and grow the active set in place. *)
+  let try_grow ~index ~time =
+    match colgen with
+    | None -> ()
+    | Some cg -> (
+        let inst = !inst_r in
+        let board, kernel = Option.get !live in
+        match
+          Path_pool.grow cg inst
+            ~edge_latencies:board.Bulletin_board.edge_latencies
+        with
+        | None -> ()
+        | Some (inst', adds) ->
+            let n0 = Instance.path_count inst in
+            let n' = Instance.path_count inst' in
+            if Probe.enabled probe then
+              List.iteri
+                (fun i (a : Path_pool.growth) ->
+                  Probe.emit probe
+                    (Probe.Path_growth
+                       {
+                         time;
+                         index;
+                         commodity = a.commodity;
+                         cost = a.cost;
+                         incumbent = a.incumbent;
+                         path_count = n0 + i + 1;
+                       }))
+                adds;
+            Metrics.incr ~by:(List.length adds) grown_c;
+            if Probe.enabled probe then
+              Probe.emit probe (Probe.Board_repost { time });
+            Metrics.incr reposts;
+            let board' =
+              Bulletin_board.post_with inst'
+                ~time:board.Bulletin_board.posted_at
+                ~flow:(Vec.extend board.Bulletin_board.flow ~dim:n')
+                ~edge_latencies:board.Bulletin_board.edge_latencies
+            in
+            let kernel' = Rate_kernel.grow kernel inst' ~board:board' in
+            if Probe.enabled probe then
+              Probe.emit probe (Probe.Kernel_rebuild { time });
+            Metrics.incr rebuilds;
+            assert (Rate_kernel.is_current kernel' ~board:board');
+            inst_r := inst';
+            live := Some (board', kernel');
+            f := Vec.extend !f ~dim:n';
+            pool := Vec.Pool.create ~dim:n')
+  in
   let push time flow = samples := { time; flow = Vec.copy flow } :: !samples in
   push 0. !f;
   for k = 0 to config.Driver.phases - 1 do
@@ -114,6 +176,9 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
             live :=
               Some (post_faulted ~index:k fault ~time:phase_start ~prev:lv !f)
         ));
+    (match config.Driver.staleness with
+    | Driver.Stale _ -> try_grow ~index:k ~time:phase_start
+    | Driver.Fresh -> ());
     for j = 0 to samples_per_phase - 1 do
       let time = phase_start +. (float_of_int j *. chunk) in
       (match config.Driver.staleness with
@@ -133,12 +198,15 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
               emit_fault ~time ~index:u fault
           | fault, lv ->
               live := Some (post_faulted ~index:u fault ~time ~prev:lv !f)));
+      (match config.Driver.staleness with
+      | Driver.Fresh when j = 0 -> try_grow ~index:k ~time
+      | _ -> ());
       let board, kernel = Option.get !live in
       assert (Rate_kernel.is_current kernel ~board);
       ignore board;
       let g = Vec.copy !f in
       Integrator.integrate_phase_into ~probe ~t0:time config.Driver.scheme
-        inst ~pool
+        !inst_r ~pool:!pool
         ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
         ~f:g ~tau:chunk ~steps:steps_per_chunk;
       f := g;
@@ -146,11 +214,22 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
     done;
     match guard with
     | Some gd ->
-        Guard.check gd ~probe ?repairs:guard_repairs inst ~index:k
+        Guard.check gd ~probe ?repairs:guard_repairs !inst_r ~index:k
           ~time:(phase_start +. tau) !f
     | None -> ()
   done;
-  Array.of_list (List.rev !samples)
+  let out = Array.of_list (List.rev !samples) in
+  (* Normalize every sample to the final active dimension (exact:
+     grown columns carried zero flow before they existed), mirroring
+     [Driver.run]'s record normalization. *)
+  (if Option.is_some colgen then
+     let final_dim = Instance.path_count !inst_r in
+     Array.iteri
+       (fun i s ->
+         if Vec.dim s.flow < final_dim then
+           out.(i) <- { s with flow = Vec.extend s.flow ~dim:final_dim })
+       out);
+  out
 
 let series observe t =
   Array.map (fun s -> (s.time, observe s.flow)) t

@@ -18,6 +18,7 @@ val record :
   ?metrics:Staleroute_obs.Metrics.t ->
   ?faults:Faults.t ->
   ?guard:Guard.t ->
+  ?colgen:Path_pool.t ->
   Instance.t ->
   Driver.config ->
   init:Flow.t ->
@@ -36,7 +37,13 @@ val record :
     phase index under [Stale] (a delayed post lands on the {e chunk}
     grid here, collapsing to a drop when [samples_per_phase = 1]) and
     by the global chunk index under [Fresh]; the guard checks every
-    phase boundary. *)
+    phase boundary.
+
+    [colgen] mirrors {!Driver.run}: the instance must be physically the
+    pool's seed instance, growth is priced once per phase against the
+    operative posting, and every sample is zero-extended to the final
+    active dimension (exact — grown columns carried zero flow before
+    admission). *)
 
 val potential_gap : Instance.t -> ?phi_star:float -> t -> (float * float) array
 (** Series of [(time, Φ(f(t)) - Φ_star)]; [phi_star] defaults to the

@@ -127,8 +127,9 @@ let set_instrumentation ~probe ~metrics =
 
 let clear_instrumentation () = Domain.DLS.set ambient None
 
-let run ?probe ?metrics ?faults ?guard ?from ?checkpoint_every ?on_checkpoint
-    inst policy staleness ~phases ?(steps_per_phase = 20) ?init () =
+let run ?probe ?metrics ?faults ?guard ?colgen ?from ?checkpoint_every
+    ?on_checkpoint inst policy staleness ~phases ?(steps_per_phase = 20) ?init
+    () =
   let config =
     {
       Driver.policy;
@@ -148,7 +149,7 @@ let run ?probe ?metrics ?faults ?guard ?from ?checkpoint_every ?on_checkpoint
   in
   let probe = Option.value probe ~default:ambient_probe in
   let metrics = Option.value metrics ~default:ambient_metrics in
-  Driver.run ~probe ~metrics ?faults ?guard ?from ?checkpoint_every
+  Driver.run ~probe ~metrics ?faults ?guard ?colgen ?from ?checkpoint_every
     ?on_checkpoint inst config ~init
 
 let worst_start inst =

@@ -58,6 +58,7 @@ val run :
   ?metrics:Staleroute_obs.Metrics.t ->
   ?faults:Faults.t ->
   ?guard:Guard.t ->
+  ?colgen:Path_pool.t ->
   ?from:Driver.snapshot ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(Driver.snapshot -> unit) ->
@@ -73,8 +74,9 @@ val run :
     concentrated on each commodity's first path — deliberately far from
     equilibrium.  [probe] / [metrics] default to the ambient
     instrumentation (see {!set_instrumentation}), which itself defaults
-    to disabled.  [faults] / [guard] / [from] / [checkpoint_every] /
-    [on_checkpoint] are forwarded to {!Driver.run} verbatim. *)
+    to disabled.  [faults] / [guard] / [colgen] / [from] /
+    [checkpoint_every] / [on_checkpoint] are forwarded to {!Driver.run}
+    verbatim. *)
 
 val set_instrumentation :
   probe:Staleroute_obs.Probe.t -> metrics:Staleroute_obs.Metrics.t -> unit

@@ -1,0 +1,133 @@
+open Staleroute_dynamics
+open Staleroute_wardrop
+module Gen = Staleroute_graph.Gen
+module Digraph = Staleroute_graph.Digraph
+module Path_enum = Staleroute_graph.Path_enum
+module Latency = Staleroute_latency.Latency
+module Rng = Staleroute_util.Rng
+module Table = Staleroute_util.Table
+
+let delta = 0.5
+
+(* Random layered workload: affine edge latencies with seeded slopes and
+   intercepts, one unit commodity source->sink.  The same recipe as
+   [Common.layered_random], at sizes where enumerating the path set is
+   impossible and only the column-generation core can run. *)
+let workload ~seed ~layers ~width ~edge_prob ~skip_prob =
+  let rng = Rng.create ~seed () in
+  let st = Gen.layered_skips ~skip_prob ~rng ~layers ~width ~edge_prob in
+  let m = Digraph.edge_count st.Gen.graph in
+  let latencies =
+    Array.init m (fun _ ->
+        Latency.affine
+          ~slope:(0.25 +. Rng.float rng 1.5)
+          ~intercept:(Rng.float rng 0.3))
+  in
+  (st, latencies)
+
+(* Uniform sampling with linear migration, but with [ell_max] bounded
+   over the *whole implicit* path set — the seed instance holds one
+   path per commodity, so its own [Instance.ell_max] underestimates the
+   latencies grown columns can post.  A longest path traverses at most
+   [layers + 1] edges (skip edges only shorten paths), each at most the
+   worst single-edge latency under the full demand. *)
+let policy_and_period ~layers (st : Gen.st) latencies pool =
+  let worst_edge =
+    Array.fold_left
+      (fun acc l -> Float.max acc (Latency.eval l 1.))
+      0. latencies
+  in
+  let d = float_of_int (layers + 1) in
+  let ell_max = d *. worst_edge in
+  let policy =
+    Policy.make ~sampling:Sampling.Uniform
+      ~migration:(Migration.Linear { ell_max })
+  in
+  ignore st;
+  let beta = Instance.beta (Path_pool.instance pool) in
+  let alpha = Option.get (Policy.alpha policy) in
+  let t =
+    if beta = 0. || alpha = 0. then 1.
+    else Float.min 1. (1. /. (4. *. d *. alpha *. beta))
+  in
+  (policy, t)
+
+let enumerable st =
+  match
+    Path_enum.count_paths_dag st.Gen.graph ~src:st.Gen.src ~dst:st.Gen.dst
+  with
+  | Some n when Float.is_integer n && n < 1e15 ->
+      Printf.sprintf "%.0f" n
+  | Some n -> Printf.sprintf "%.2e" n
+  | None -> "cyclic?"
+
+let run_size ~phases ~seed ~layers ~width ~edge_prob ~skip_prob =
+  let st, latencies =
+    workload ~seed ~layers ~width ~edge_prob ~skip_prob
+  in
+  let pool =
+    Path_pool.create ~graph:st.Gen.graph ~latencies
+      ~commodities:[ Commodity.single ~src:st.Gen.src ~dst:st.Gen.dst ]
+      ()
+  in
+  let policy, t = policy_and_period ~layers st latencies pool in
+  let inst = Path_pool.instance pool in
+  let result =
+    Common.run inst policy (Driver.Stale t) ~phases ~colgen:pool
+      ~init:(Flow.concentrated inst ~on:(fun _ -> 0))
+      ()
+  in
+  let active = Instance.path_count result.Driver.final_instance in
+  let unsat =
+    Path_pool.unsatisfied_volume pool result.Driver.final_instance
+      result.Driver.final_flow ~delta
+  in
+  (st, t, active, unsat)
+
+let tables ?pool:_ ?(quick = false) () =
+  let phases = if quick then 300 else 800 in
+  let sizes =
+    (* (layers, width, edge_prob, skip_prob, seed); the last full-size
+       row crosses 10^4 edges — far beyond anything [Instance.create]
+       could enumerate. *)
+    if quick then [ (4, 4, 0.5, 0.0, 18); (6, 6, 0.5, 0.15, 19) ]
+    else
+      [
+        (4, 4, 0.5, 0.0, 18);
+        (8, 8, 0.5, 0.15, 19);
+        (16, 10, 0.5, 0.1, 20);
+        (32, 12, 0.6, 0.1, 21);
+        (66, 16, 0.6, 0.05, 22);
+      ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E18 column generation: stale dynamics on layered DAGs the \
+            enumerating core cannot represent (delta=%g; active set grows \
+            lazily by pricing posted boards)"
+           delta)
+      ~columns:
+        [
+          "layers x width"; "edges"; "|P| enumerable"; "|P| active";
+          "T"; "phases"; "unsat volume";
+        ]
+  in
+  List.iter
+    (fun (layers, width, edge_prob, skip_prob, seed) ->
+      let st, t, active, unsat =
+        run_size ~phases ~seed ~layers ~width ~edge_prob ~skip_prob
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%d x %d" layers width;
+          Table.cell_int (Digraph.edge_count st.Gen.graph);
+          enumerable st;
+          Table.cell_int active;
+          Table.cell_float ~decimals:4 t;
+          Table.cell_int phases;
+          Table.cell_float ~decimals:4 unsat;
+        ])
+    sizes;
+  [ table ]

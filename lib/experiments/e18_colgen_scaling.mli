@@ -1,0 +1,16 @@
+(** E18 — column-generation scaling: the stale-information dynamics on
+    random layered DAGs whose simple-path sets are astronomically large
+    ([10^4+] edges, [|P|] beyond [10^30]).  The active path set starts
+    from each commodity's shortest path and grows only by pricing the
+    posted boards ({!Staleroute_wardrop.Path_pool}), so the run touches
+    a vanishing fraction of the implicit path set while still driving
+    the flow toward equilibrium — the sizes E5/E6 measure scaling laws
+    at are enumerable; these are not. *)
+
+val tables :
+  ?pool:Staleroute_util.Pool.t ->
+  ?quick:bool ->
+  unit ->
+  Staleroute_util.Table.t list
+(** Rows run sequentially ([?pool] is accepted for registry uniformity
+    and ignored — the dominant cost is the largest single run). *)

@@ -26,11 +26,13 @@ let grid ~width ~height =
     dst = id (width - 1) (height - 1);
   }
 
-let layered ~rng ~layers ~width ~edge_prob =
+let layered_skips ~skip_prob ~rng ~layers ~width ~edge_prob =
   if layers < 1 || width < 1 then
     invalid_arg "Gen.layered: need layers, width >= 1";
   if edge_prob < 0. || edge_prob > 1. then
     invalid_arg "Gen.layered: edge_prob outside [0,1]";
+  if skip_prob < 0. || skip_prob > 1. then
+    invalid_arg "Gen.layered: skip_prob outside [0,1]";
   let src = 0 in
   let node layer i = 1 + ((layer - 1) * width) + i in
   let dst = 1 + (layers * width) in
@@ -49,6 +51,20 @@ let layered ~rng ~layers ~width ~edge_prob =
       done
     done
   done;
+  (* Optional layer-skipping shortcuts (layer L -> L+2): still strictly
+     forward, so the graph stays a DAG, but path lengths become
+     heterogeneous — the regime column generation is interesting in.
+     Guarded so the default draws nothing and existing seeds reproduce
+     the exact same topology. *)
+  if skip_prob > 0. then
+    for layer = 1 to layers - 2 do
+      for i = 0 to width - 1 do
+        for j = 0 to width - 1 do
+          if Staleroute_util.Rng.uniform rng < skip_prob then
+            edges := (node layer i, node (layer + 2) j) :: !edges
+        done
+      done
+    done;
   for i = 0 to width - 1 do
     edges := (node layers i, dst) :: !edges
   done;
@@ -57,6 +73,9 @@ let layered ~rng ~layers ~width ~edge_prob =
     src;
     dst;
   }
+
+let layered ~rng ~layers ~width ~edge_prob =
+  layered_skips ~skip_prob:0. ~rng ~layers ~width ~edge_prob
 
 let ladder k =
   if k < 1 then invalid_arg "Gen.ladder: need k >= 1";

@@ -27,7 +27,24 @@ val layered :
 (** Random layered DAG: a source, [layers] layers of [width] nodes, and
     a sink.  Consecutive layers are connected independently with
     probability [edge_prob]; one edge per node in each direction is
-    forced so that every node lies on some source–sink path. *)
+    forced so that every node lies on some source–sink path.  At
+    [layers * width] in the tens this generator reaches [10^4+] edges
+    with astronomically many simple paths — the sizes the
+    column-generation core ({!Staleroute_wardrop.Path_pool}) exists
+    for.  Equal to {!layered_skips} with [skip_prob = 0.] (same RNG
+    consumption, so existing seeds reproduce their topologies
+    bit-for-bit). *)
+
+val layered_skips :
+  skip_prob:float ->
+  rng:Staleroute_util.Rng.t -> layers:int -> width:int -> edge_prob:float ->
+  st
+(** {!layered} plus layer-skipping shortcut edges ([L -> L+2]) added
+    independently with probability [skip_prob], after the consecutive
+    layers are wired.  Still strictly forward, so the graph stays a
+    DAG, but path lengths become heterogeneous — the regime where lazy
+    path generation must weigh short detours against long cheap
+    routes. *)
 
 val ladder : int -> st
 (** [ladder k] is a series chain of [k] two-link "diamonds": a network

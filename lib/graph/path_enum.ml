@@ -24,6 +24,27 @@ let all_simple_paths ?(max_paths = 10_000) g ~src ~dst =
   dfs src [];
   List.rev !found
 
+let count_paths_dag g ~src ~dst =
+  if src = dst then invalid_arg "Path_enum.count_paths_dag: src = dst";
+  match Algo.topological_order g with
+  | None -> None
+  | Some order ->
+      (* On a DAG every walk is simple, so the path count is a linear
+         DP over a topological order — float accumulation, because at
+         column-generation sizes the count dwarfs [max_int] (it
+         saturates to [infinity] instead of wrapping). *)
+      let count = Array.make (Digraph.node_count g) 0. in
+      count.(src) <- 1.;
+      List.iter
+        (fun v ->
+          if count.(v) > 0. then
+            List.iter
+              (fun e ->
+                count.(e.Digraph.dst) <- count.(e.Digraph.dst) +. count.(v))
+              (Digraph.out_edges g v))
+        order;
+      Some count.(dst)
+
 let count_paths g ~src ~dst =
   if src = dst then invalid_arg "Path_enum.count_paths: src = dst";
   let visited = Array.make (Digraph.node_count g) false in

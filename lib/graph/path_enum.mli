@@ -20,3 +20,13 @@ val count_paths : Digraph.t -> src:Digraph.node -> dst:Digraph.node -> int
 (** Number of simple [src -> dst] paths, without materialising them
     (still exponential time in the worst case, but constant space per
     recursion level). *)
+
+val count_paths_dag :
+  Digraph.t -> src:Digraph.node -> dst:Digraph.node -> float option
+(** Number of simple [src -> dst] paths on an {e acyclic} graph, by
+    linear dynamic programming over a topological order — [None] when
+    the graph has a cycle.  Returned as a float (saturating to
+    [infinity]) because at column-generation sizes the count exceeds
+    [max_int]: this is the "enumerable set" denominator experiment E18
+    reports against the active set.  Raises [Invalid_argument] when
+    [src = dst]. *)

@@ -18,6 +18,14 @@ type event =
       to_path : int;
       migrated : bool;
     }
+  | Path_growth of {
+      time : float;
+      index : int;
+      commodity : int;
+      cost : float;
+      incumbent : float;
+      path_count : int;
+    }
   | Fault_injected of { time : float; index : int; kind : string; arg : float }
   | Guard_trip of {
       time : float;

@@ -45,6 +45,21 @@ type event =
       to_path : int;  (** equals [from_path] when the agent stayed *)
       migrated : bool;
     }  (** one Poisson activation in the finite-population simulator. *)
+  | Path_growth of {
+      time : float;
+      index : int;  (** phase (or update round) whose posting priced it *)
+      commodity : int;
+      cost : float;  (** posted latency of the admitted column *)
+      incumbent : float;  (** cheapest active posted latency it undercut *)
+      path_count : int;  (** global path count {e after} this admission *)
+    }
+      (** column generation admitted a path: the pricing oracle found a
+          column strictly cheaper (beyond the pool tolerance) than every
+          active alternative under the {e posted} board.  Emitted before
+          the accompanying [Board_repost]/[Kernel_rebuild] pair (a grown
+          set is a new revision, like a re-post).  Carries the commodity
+          and costs, not the edge list — paths are recoverable from the
+          seed + admission order, which checkpoints record. *)
   | Fault_injected of { time : float; index : int; kind : string; arg : float }
       (** a bulletin-board fault fired at phase (or update round)
           [index]: [kind] is ["drop"], ["delay"], ["partial"] or

@@ -50,6 +50,18 @@ let event_to_json = function
           ("to", Json.Int to_path);
           ("migrated", Json.Bool migrated);
         ]
+  | Probe.Path_growth { time; index; commodity; cost; incumbent; path_count }
+    ->
+      Json.Obj
+        [
+          ("ev", Json.String "path_growth");
+          ("time", Json.Float time);
+          ("index", Json.Int index);
+          ("commodity", Json.Int commodity);
+          ("cost", Json.Float cost);
+          ("incumbent", Json.Float incumbent);
+          ("paths", Json.Int path_count);
+        ]
   | Probe.Fault_injected { time; index; kind; arg } ->
       Json.Obj
         [
@@ -122,6 +134,16 @@ let event_of_json json =
       let* to_path = field "to" Json.to_int json in
       let* migrated = field "migrated" Json.to_bool json in
       Ok (Probe.Agent_wake { time; agent; from_path; to_path; migrated })
+  | "path_growth" ->
+      let* time = field "time" Json.to_float json in
+      let* index = field "index" Json.to_int json in
+      let* commodity = field "commodity" Json.to_int json in
+      let* cost = field "cost" Json.to_float json in
+      let* incumbent = field "incumbent" Json.to_float json in
+      let* path_count = field "paths" Json.to_int json in
+      Ok
+        (Probe.Path_growth
+           { time; index; commodity; cost; incumbent; path_count })
   | "fault" ->
       let* time = field "time" Json.to_float json in
       let* index = field "index" Json.to_int json in

@@ -33,6 +33,14 @@ let copy (a : t) =
   A.blit a b;
   b
 
+let extend (a : t) ~dim =
+  let n = A.dim a in
+  if dim < n then invalid_arg "Vec.extend: new dimension smaller than old";
+  let b : t = A.create Bigarray.float64 Bigarray.c_layout dim in
+  A.blit a (A.sub b 0 n);
+  A.fill (A.sub b n (dim - n)) 0.;
+  b
+
 let check_dim (a : t) (b : t) =
   if A.dim a <> A.dim b then invalid_arg "Vec: dimension mismatch"
 

@@ -31,6 +31,13 @@ val to_array : t -> float array
 
 val copy : t -> t
 
+val extend : t -> dim:int -> t
+(** [extend a ~dim] is a fresh vector of the given (larger or equal)
+    dimension: a bit-exact copy of [a] followed by zeros.  The embedding
+    used when a column-generation path set grows — old entries keep
+    their bits, new paths start at zero mass.  Raises [Invalid_argument]
+    when [dim] is smaller than [a]'s. *)
+
 (** {1 Allocating operations} *)
 
 val add : t -> t -> t

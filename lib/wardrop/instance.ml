@@ -17,35 +17,36 @@ type t = {
   ell_max : float;
 }
 
-let create ?(max_paths_per_commodity = 10_000) ~graph ~latencies ~commodities
-    () =
-  if Array.length latencies <> Digraph.edge_count graph then
-    invalid_arg "Instance.create: one latency function per edge required";
-  let commodities = Array.of_list commodities in
-  if Array.length commodities = 0 then
-    invalid_arg "Instance.create: need at least one commodity";
-  let total_demand =
-    Staleroute_util.Numerics.sum_by (fun c -> c.Commodity.demand) commodities
+exception
+  Path_set_too_large of { commodity : int; cap : int }
+
+let () =
+  Printexc.register_printer (function
+    | Path_set_too_large { commodity; cap } ->
+        Some
+          (Printf.sprintf
+             "Staleroute_wardrop.Instance.Path_set_too_large: commodity %d \
+              has more than %d simple paths (raise the cap, or use the \
+              column-generation core Path_pool instead of enumerating)"
+             commodity cap)
+    | _ -> None)
+
+(* Shared table builder: everything an instance derives from an explicit
+   per-commodity path-set assignment.  [create] feeds it the full
+   enumeration; [of_paths]/[extend] feed it explicit (possibly lazily
+   grown) sets.  The global index is commodity-major over
+   [per_commodity] — append-only growth therefore reaches it through
+   [extend], which keeps old global indices stable instead of
+   re-deriving them here. *)
+let build_tables ~graph ~latencies ~commodities ~per_commodity =
+  let path_count =
+    Array.fold_left (fun n ps -> n + Array.length ps) 0 per_commodity
   in
-  if not (Staleroute_util.Numerics.approx_equal ~atol:1e-9 total_demand 1.)
-  then
-    invalid_arg "Instance.create: total demand must be normalised to 1";
-  let per_commodity =
-    Array.map
-      (fun c ->
-        let paths =
-          Path_enum.all_simple_paths ~max_paths:max_paths_per_commodity graph
-            ~src:c.Commodity.src ~dst:c.Commodity.dst
-        in
-        if paths = [] then
-          invalid_arg "Instance.create: commodity has no path";
-        Array.of_list paths)
-      commodities
-  in
-  let path_count = Array.fold_left (fun n ps -> n + Array.length ps) 0 per_commodity in
   let paths = Array.make path_count (per_commodity.(0)).(0) in
   let commodity_of_path = Array.make path_count 0 in
-  let paths_of_commodity = Array.map (fun ps -> Array.make (Array.length ps) 0) per_commodity in
+  let paths_of_commodity =
+    Array.map (fun ps -> Array.make (Array.length ps) 0) per_commodity
+  in
   let next = ref 0 in
   Array.iteri
     (fun ci ps ->
@@ -97,9 +98,9 @@ let create ?(max_paths_per_commodity = 10_000) ~graph ~latencies ~commodities
      divides by these; an unbounded latency must be rejected here, not
      surface later as a NaN period. *)
   if not (Float.is_finite beta) then
-    invalid_arg "Instance.create: latency slope bound is not finite";
+    invalid_arg "Instance: latency slope bound is not finite";
   if not (Float.is_finite ell_max) then
-    invalid_arg "Instance.create: maximum path latency is not finite";
+    invalid_arg "Instance: maximum path latency is not finite";
   {
     graph;
     latencies;
@@ -115,6 +116,186 @@ let create ?(max_paths_per_commodity = 10_000) ~graph ~latencies ~commodities
     beta;
     ell_max;
   }
+
+let check_frame ~graph ~latencies ~commodities =
+  if Array.length latencies <> Digraph.edge_count graph then
+    invalid_arg "Instance: one latency function per edge required";
+  if Array.length commodities = 0 then
+    invalid_arg "Instance: need at least one commodity";
+  let total_demand =
+    Staleroute_util.Numerics.sum_by (fun c -> c.Commodity.demand) commodities
+  in
+  if not (Staleroute_util.Numerics.approx_equal ~atol:1e-9 total_demand 1.)
+  then invalid_arg "Instance: total demand must be normalised to 1"
+
+let check_commodity_path ~graph ~commodity:c ci p =
+  if Path.src p <> c.Commodity.src || Path.dst p <> c.Commodity.dst then
+    invalid_arg
+      (Printf.sprintf
+         "Instance: path %d->%d does not connect commodity %d (%d->%d)"
+         (Path.src p) (Path.dst p) ci c.Commodity.src c.Commodity.dst);
+  Array.iter
+    (fun e ->
+      if e < 0 || e >= Digraph.edge_count graph then
+        invalid_arg "Instance: path uses an edge id outside the graph")
+    (Path.edge_id_array p)
+
+let create ?(max_paths_per_commodity = 10_000) ~graph ~latencies ~commodities
+    () =
+  let commodities = Array.of_list commodities in
+  check_frame ~graph ~latencies ~commodities;
+  let per_commodity =
+    Array.mapi
+      (fun ci c ->
+        let paths =
+          (* A path-count explosion surfaces as a typed error naming the
+             commodity, not as an escaped enumeration internal (and
+             never as silent truncation or an OOM). *)
+          try
+            Path_enum.all_simple_paths ~max_paths:max_paths_per_commodity
+              graph ~src:c.Commodity.src ~dst:c.Commodity.dst
+          with Path_enum.Too_many_paths cap ->
+            raise (Path_set_too_large { commodity = ci; cap })
+        in
+        if paths = [] then
+          invalid_arg "Instance.create: commodity has no path";
+        Array.of_list paths)
+      commodities
+  in
+  build_tables ~graph ~latencies ~commodities ~per_commodity
+
+let of_paths ~graph ~latencies ~commodities ~paths () =
+  let commodities = Array.of_list commodities in
+  check_frame ~graph ~latencies ~commodities;
+  if Array.length paths <> Array.length commodities then
+    invalid_arg "Instance.of_paths: one path list per commodity required";
+  let per_commodity =
+    Array.mapi
+      (fun ci ps ->
+        if ps = [] then
+          invalid_arg "Instance.of_paths: commodity has no path";
+        let c = commodities.(ci) in
+        List.iter (check_commodity_path ~graph ~commodity:c ci) ps;
+        let ps = Array.of_list ps in
+        Array.iteri
+          (fun j p ->
+            for j' = 0 to j - 1 do
+              if Path.equal p ps.(j') then
+                invalid_arg "Instance.of_paths: duplicate path in commodity"
+            done)
+          ps;
+        ps)
+      paths
+  in
+  build_tables ~graph ~latencies ~commodities ~per_commodity
+
+let extend t ~paths =
+  if paths = [] then t
+  else begin
+    let n = Array.length t.paths in
+    let nc = Array.length t.commodities in
+    let added = Array.of_list paths in
+    let n_add = Array.length added in
+    (* Validate before touching anything: commodity range, connectivity,
+       and no duplicate of an existing or earlier-appended path. *)
+    Array.iteri
+      (fun k (ci, p) ->
+        if ci < 0 || ci >= nc then
+          invalid_arg "Instance.extend: commodity index out of range";
+        check_commodity_path ~graph:t.graph ~commodity:t.commodities.(ci) ci p;
+        Array.iter
+          (fun q -> if Path.equal p t.paths.(q) then
+              invalid_arg "Instance.extend: path already active")
+          t.paths_of_commodity.(ci);
+        for k' = 0 to k - 1 do
+          let ci', p' = added.(k') in
+          if ci' = ci && Path.equal p p' then
+            invalid_arg "Instance.extend: duplicate path in extension"
+        done)
+      added;
+    (* New columns append at the END of the global index, in list order:
+       every old global path index is stable, so flows and boards embed
+       by zero-extension and CSR grows by appending rows. *)
+    let n' = n + n_add in
+    let paths = Array.make n' t.paths.(0) in
+    Array.blit t.paths 0 paths 0 n;
+    let commodity_of_path = Array.make n' 0 in
+    Array.blit t.commodity_of_path 0 commodity_of_path 0 n;
+    let local_index_of_path = Array.make n' 0 in
+    Array.blit t.local_index_of_path 0 local_index_of_path 0 n;
+    let added_per_ci = Array.make nc [] in
+    Array.iteri
+      (fun k (ci, p) ->
+        let g = n + k in
+        paths.(g) <- p;
+        commodity_of_path.(g) <- ci;
+        added_per_ci.(ci) <- g :: added_per_ci.(ci))
+      added;
+    (* Ungrown commodities share their paths_of array with [t] — the
+       physical identity is what lets [Rate_kernel.grow] prove a block
+       can be copied instead of recompiled. *)
+    let paths_of_commodity =
+      Array.mapi
+        (fun ci ps ->
+          match added_per_ci.(ci) with
+          | [] -> ps
+          | rev_new ->
+              Array.append ps (Array.of_list (List.rev rev_new)))
+        t.paths_of_commodity
+    in
+    Array.iteri
+      (fun ci ps ->
+        if added_per_ci.(ci) <> [] then
+          Array.iteri (fun j p -> local_index_of_path.(p) <- j) ps)
+      paths_of_commodity;
+    let path_edges = Array.make n' t.path_edges.(0) in
+    Array.blit t.path_edges 0 path_edges 0 n;
+    for k = 0 to n_add - 1 do
+      path_edges.(n + k) <- Path.edge_id_array paths.(n + k)
+    done;
+    let csr_offsets = Array.make (n' + 1) 0 in
+    Array.blit t.csr_offsets 0 csr_offsets 0 (n + 1);
+    for p = n to n' - 1 do
+      csr_offsets.(p + 1) <- csr_offsets.(p) + Array.length path_edges.(p)
+    done;
+    let csr_edges = Array.make (max 1 csr_offsets.(n')) 0 in
+    Array.blit t.csr_edges 0 csr_edges 0 t.csr_offsets.(n);
+    for p = n to n' - 1 do
+      Array.iteri
+        (fun k e -> csr_edges.(csr_offsets.(p) + k) <- e)
+        path_edges.(p)
+    done;
+    let max_path_length =
+      Array.fold_left
+        (fun m (_, p) -> max m (Path.length p))
+        t.max_path_length added
+    in
+    let ell_max =
+      Array.fold_left
+        (fun m (_, p) ->
+          let total =
+            Array.fold_left
+              (fun acc e -> acc +. Latency.max_value t.latencies.(e))
+              0. (Path.edge_id_array p)
+          in
+          Float.max m total)
+        t.ell_max added
+    in
+    if not (Float.is_finite ell_max) then
+      invalid_arg "Instance.extend: maximum path latency is not finite";
+    {
+      t with
+      paths;
+      path_edges;
+      commodity_of_path;
+      paths_of_commodity;
+      local_index_of_path;
+      csr_offsets;
+      csr_edges;
+      max_path_length;
+      ell_max;
+    }
+  end
 
 let graph t = t.graph
 

@@ -14,6 +14,12 @@ open Staleroute_graph
 
 type t
 
+exception Path_set_too_large of { commodity : int; cap : int }
+(** Raised by {!create} when a commodity's simple-path count exceeds the
+    configured cap: the typed, loud failure mode of the enumerating
+    constructor (never silent truncation, never an OOM).  At sizes where
+    this fires, build the instance through {!Path_pool} instead. *)
+
 val create :
   ?max_paths_per_commodity:int ->
   graph:Digraph.t ->
@@ -21,11 +27,43 @@ val create :
   commodities:Commodity.t list ->
   unit ->
   t
-(** Builds an instance.  Raises [Invalid_argument] when the latency
-    array length differs from the edge count, total demand is not 1
-    (tolerance 1e-9, per the paper's normalisation), a commodity has no
-    path, or path enumeration exceeds the per-commodity cap
+(** Builds an instance by enumerating every simple path of every
+    commodity.  Raises [Invalid_argument] when the latency array length
+    differs from the edge count, total demand is not 1 (tolerance 1e-9,
+    per the paper's normalisation) or a commodity has no path; raises
+    {!Path_set_too_large} when enumeration exceeds the per-commodity cap
     (default 10_000). *)
+
+val of_paths :
+  graph:Digraph.t ->
+  latencies:Staleroute_latency.Latency.t array ->
+  commodities:Commodity.t list ->
+  paths:Path.t list array ->
+  unit ->
+  t
+(** Builds an instance from an {e explicit} per-commodity path
+    assignment (one list per commodity, in commodity order) instead of
+    enumerating — the constructor behind {!Path_pool}'s seed sets.  The
+    global path index is commodity-major in the given order.  Raises
+    [Invalid_argument] on the same frame errors as {!create}, on an
+    empty list, on a path that does not connect its commodity's
+    terminals, or on a duplicate path within a commodity. *)
+
+val extend : t -> paths:(int * Path.t) list -> t
+(** [extend t ~paths] is [t] with the given [(commodity, path)] columns
+    appended — the column-generation growth step.  New paths are
+    appended at the {e end} of the global index in list order, so every
+    existing global path index is stable: flows and boards over [t]
+    embed into the grown instance by zero-extension
+    ({!Staleroute_util.Vec.extend}), and the CSR incidence grows by
+    appending rows.  Ungrown commodities share their
+    [paths_of_commodity] arrays with [t] (the physical identity
+    [Rate_kernel.grow] uses to prove a block copyable).  The structural
+    constants [max_path_length] and [ell_max] are updated; [beta] only
+    depends on the latencies and is unchanged.  Raises
+    [Invalid_argument] on a commodity index out of range, a path that
+    does not connect its commodity, or a duplicate (already active or
+    repeated in [paths]).  [extend t ~paths:[]] is [t] itself. *)
 
 (** {1 Structure} *)
 

@@ -127,10 +127,12 @@ let parse ?max_paths_per_commodity text =
                     with
                     | inst -> Ok inst
                     | exception Invalid_argument m -> Error m
-                    | exception Path_enum.Too_many_paths n ->
+                    | exception Instance.Path_set_too_large { commodity; cap }
+                      ->
                         Error
                           (Printf.sprintf
-                             "a commodity has more than %d paths" n)))))
+                             "commodity %d has more than %d paths" commodity
+                             cap)))))
 
 let of_file ?max_paths_per_commodity path =
   match In_channel.with_open_text path In_channel.input_all with

@@ -1,0 +1,135 @@
+open Staleroute_graph
+module Latency = Staleroute_latency.Latency
+module Vec = Staleroute_util.Vec
+
+type seed = Shortest | Full | Paths of Path.t list array
+
+type t = {
+  graph : Digraph.t;
+  latencies : Latency.t array;
+  commodities : Commodity.t array;
+  tolerance : float;
+  seed_instance : Instance.t;
+}
+
+type growth = {
+  commodity : int;
+  path : Path.t;
+  cost : float;
+  incumbent : float;
+}
+
+let create ?(tolerance = 1e-9) ?(seed = Shortest) ?max_paths_per_commodity
+    ~graph ~latencies ~commodities () =
+  if not (Float.is_finite tolerance) || tolerance < 0. then
+    invalid_arg "Path_pool.create: tolerance must be finite and >= 0";
+  let seed_instance =
+    match seed with
+    | Full ->
+        Instance.create ?max_paths_per_commodity ~graph ~latencies
+          ~commodities ()
+    | Paths paths -> Instance.of_paths ~graph ~latencies ~commodities ~paths ()
+    | Shortest ->
+        (* The seed column of each commodity: its best response at zero
+           flow, i.e. the shortest path under the empty-network
+           latencies. *)
+        let weights = Array.map (fun l -> Latency.eval l 0.) latencies in
+        let paths =
+          Array.map
+            (fun c ->
+              match
+                Dijkstra.shortest_path graph ~weights ~src:c.Commodity.src
+                  ~dst:c.Commodity.dst
+              with
+              | Some (p, _) -> [ p ]
+              | None -> invalid_arg "Path_pool.create: commodity has no path")
+            (Array.of_list commodities)
+        in
+        Instance.of_paths ~graph ~latencies ~commodities ~paths ()
+  in
+  {
+    graph;
+    latencies;
+    commodities = Array.of_list commodities;
+    tolerance;
+    seed_instance;
+  }
+
+let instance t = t.seed_instance
+let tolerance t = t.tolerance
+
+let check_edge_latencies t edge_latencies =
+  if Array.length edge_latencies <> Digraph.edge_count t.graph then
+    invalid_arg "Path_pool: one posted latency per edge required"
+
+(* Pricing is a pure function of (active set, posted edge latencies,
+   tolerance): no RNG, no mutable pool state, no dependence on how many
+   domains run alongside — so same-seed runs grow identically at any
+   [-j], and growth replays bit-for-bit on checkpoint resume. *)
+let price t inst ~edge_latencies =
+  check_edge_latencies t edge_latencies;
+  let out = ref [] in
+  for ci = Array.length t.commodities - 1 downto 0 do
+    let c = t.commodities.(ci) in
+    match
+      Dijkstra.shortest_path t.graph ~weights:edge_latencies
+        ~src:c.Commodity.src ~dst:c.Commodity.dst
+    with
+    | None -> ()
+    | Some (path, cost) ->
+        (* The cheapest ACTIVE alternative under the same posting.
+           Dijkstra accumulates its cost in path order, the same
+           left-to-right order [Flow.path_latency] sums in, so an
+           already-active optimum prices out bit-identically and can
+           never undercut itself. *)
+        let incumbent =
+          Array.fold_left
+            (fun acc p ->
+              Float.min acc (Flow.path_latency inst ~edge_latencies p))
+            infinity
+            (Instance.paths_of_commodity inst ci)
+        in
+        if cost < incumbent -. t.tolerance then begin
+          let duplicate =
+            Array.exists
+              (fun p -> Path.equal path (Instance.path inst p))
+              (Instance.paths_of_commodity inst ci)
+          in
+          if not duplicate then
+            out := { commodity = ci; path; cost; incumbent } :: !out
+        end
+  done;
+  !out
+
+let grow t inst ~edge_latencies =
+  match price t inst ~edge_latencies with
+  | [] -> None
+  | adds ->
+      let inst' =
+        Instance.extend inst
+          ~paths:(List.map (fun g -> (g.commodity, g.path)) adds)
+      in
+      Some (inst', adds)
+
+let replay t ~grown =
+  Instance.extend t.seed_instance
+    ~paths:
+      (List.map
+         (fun (ci, edges) ->
+           (ci, Path.of_edges t.graph (Array.to_list edges)))
+         grown)
+
+let unsatisfied_volume t inst f ~delta =
+  let edge_latencies = Flow.edge_latencies inst (Flow.edge_flows inst f) in
+  let vol = ref 0. in
+  for ci = 0 to Array.length t.commodities - 1 do
+    let c = t.commodities.(ci) in
+    let result = Dijkstra.run t.graph ~weights:edge_latencies ~src:c.Commodity.src in
+    let lmin = Dijkstra.distance result c.Commodity.dst in
+    Array.iter
+      (fun p ->
+        if Flow.path_latency inst ~edge_latencies p > lmin +. delta then
+          vol := !vol +. Vec.get f p)
+      (Instance.paths_of_commodity inst ci)
+  done;
+  !vol

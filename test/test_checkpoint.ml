@@ -171,6 +171,192 @@ let test_resume_validates () =
            inst (config 8)
            ~init:(Common.biased_start inst)))
 
+(* --- Column generation: growth in checkpoints (DESIGN.md §11) --- *)
+
+module Path_pool = Staleroute_wardrop.Path_pool
+module Gen = Staleroute_graph.Gen
+module Latency = Staleroute_latency.Latency
+
+(* A small layered workload on which the shortest-path seed grows
+   within a few phases. *)
+let colgen_workload () =
+  let rng = Staleroute_util.Rng.create ~seed:19 () in
+  let st =
+    Gen.layered_skips ~skip_prob:0.15 ~rng ~layers:6 ~width:6 ~edge_prob:0.5
+  in
+  let m = Staleroute_graph.Digraph.edge_count st.Gen.graph in
+  let latencies =
+    Array.init m (fun _ ->
+        Latency.affine
+          ~slope:(0.25 +. Staleroute_util.Rng.float rng 1.5)
+          ~intercept:(Staleroute_util.Rng.float rng 0.3))
+  in
+  let pool =
+    Path_pool.create ~graph:st.Gen.graph ~latencies
+      ~commodities:
+        [ Staleroute_wardrop.Commodity.single ~src:st.Gen.src ~dst:st.Gen.dst ]
+      ()
+  in
+  let worst =
+    Array.fold_left
+      (fun acc l -> Float.max acc (Latency.eval l 1.))
+      0. latencies
+  in
+  let policy =
+    Policy.make ~sampling:Sampling.Uniform
+      ~migration:(Migration.Linear { ell_max = 7. *. worst })
+  in
+  (pool, policy, st)
+
+let colgen_config policy phases =
+  {
+    Driver.policy;
+    staleness = Driver.Stale 0.05;
+    phases;
+    steps_per_phase = 6;
+    scheme = Integrator.Rk4;
+  }
+
+let capture_colgen_checkpoint ~every phases =
+  let pool, policy, st = colgen_workload () in
+  let inst = Path_pool.instance pool in
+  let buf = Probe.Memory.create () in
+  let saved = ref None in
+  let result =
+    Driver.run
+      ~probe:(Probe.Memory.probe buf)
+      ~colgen:pool ~checkpoint_every:every
+      ~on_checkpoint:(fun snap ->
+        if !saved = None then
+          saved :=
+            Some
+              {
+                Checkpoint.fingerprint = "test/colgen/1";
+                snapshot = snap;
+                events = Array.copy (Probe.Memory.events buf);
+              })
+      inst (colgen_config policy phases)
+      ~init:(Staleroute_wardrop.Flow.concentrated inst ~on:(fun _ -> 0))
+  in
+  match !saved with
+  | None -> Alcotest.fail "no checkpoint captured"
+  | Some c -> (c, buf, result, pool, policy, st)
+
+let test_grown_round_trip () =
+  let c, _, _, _, _, _ = capture_colgen_checkpoint ~every:8 16 in
+  let grown = c.Checkpoint.snapshot.Driver.grown_paths in
+  check_true "workload grew before the checkpoint" (grown <> []);
+  match Checkpoint.of_json (Checkpoint.to_json c) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok c' ->
+      check_true "grown paths preserved exactly"
+        (c'.Checkpoint.snapshot.Driver.grown_paths = grown)
+
+let test_grown_only_serialised_when_present () =
+  (* A colgen-free checkpoint must serialise to the pre-colgen format:
+     no "grown" keys, so existing byte-identity baselines hold. *)
+  let c, _, _ = capture_checkpoint ~every:3 8 in
+  match Checkpoint.to_json c with
+  | Json.Obj fields ->
+      check_false "no grown field" (List.mem_assoc "grown" fields);
+      check_false "no grown_digest field"
+        (List.mem_assoc "grown_digest" fields)
+  | _ -> Alcotest.fail "checkpoint encodes to an object"
+
+let test_grown_digest_tamper_refused () =
+  let c, _, _, _, _, _ = capture_colgen_checkpoint ~every:8 16 in
+  let s = Json.to_string (Checkpoint.to_json c) in
+  let key = "\"grown_digest\":\"" in
+  let pos =
+    let n = String.length key and h = String.length s in
+    let rec scan i =
+      if i + n > h then Alcotest.fail "grown_digest not serialised"
+      else if String.sub s i n = key then i + n
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let b = Bytes.of_string s in
+  Bytes.set b pos (if Bytes.get b pos = '0' then '1' else '0');
+  match Json.of_string (Bytes.to_string b) with
+  | Error e -> Alcotest.failf "tampered text no longer parses: %s" e
+  | Ok j -> (
+      match Checkpoint.of_json j with
+      | Error e ->
+          check_true "error names the digest" (Str_contains.contains e "digest")
+      | Ok _ -> Alcotest.fail "tampered digest accepted")
+
+let test_grown_edit_refused () =
+  (* Consistent digest but edited edges: the replay validation in the
+     driver is the backstop. *)
+  let c, _, _, pool, policy, st = capture_colgen_checkpoint ~every:8 16 in
+  let snap = c.Checkpoint.snapshot in
+  let m = Staleroute_graph.Digraph.edge_count st.Gen.graph in
+  let tampered =
+    {
+      snap with
+      Driver.grown_paths =
+        List.map
+          (fun (ci, es) -> (ci, Array.map (fun e -> (e + 1) mod m) es))
+          snap.Driver.grown_paths;
+    }
+  in
+  let inst = Path_pool.instance pool in
+  check_raises_invalid "edited grown paths refused" (fun () ->
+      ignore
+        (Driver.run ~colgen:pool ~from:tampered inst
+           (colgen_config policy 16)
+           ~init:(Staleroute_wardrop.Flow.concentrated inst ~on:(fun _ -> 0))));
+  (* And grown paths without a pool cannot be resumed at all. *)
+  check_raises_invalid "grown snapshot without colgen refused" (fun () ->
+      ignore
+        (Driver.run ~from:snap inst
+           (colgen_config policy 16)
+           ~init:(Staleroute_wardrop.Flow.concentrated inst ~on:(fun _ -> 0))))
+
+let test_colgen_resume_replays () =
+  let phases = 16 in
+  let c, full_buf, full_result, pool, policy, _ =
+    capture_colgen_checkpoint ~every:6 phases
+  in
+  let snap =
+    match Checkpoint.of_json (Checkpoint.to_json c) with
+    | Ok c' -> c'.Checkpoint.snapshot
+    | Error e -> Alcotest.failf "decode failed: %s" e
+  in
+  (* Resume needs a pool whose seed instance the run started from;
+     rebuilding it from the same configuration is exactly what routesim
+     does. *)
+  let buf = Probe.Memory.create () in
+  let inst = Path_pool.instance pool in
+  let resumed =
+    Driver.run
+      ~probe:(Probe.Memory.probe buf)
+      ~colgen:pool ~from:snap inst (colgen_config policy phases)
+      ~init:(Staleroute_wardrop.Flow.concentrated inst ~on:(fun _ -> 0))
+  in
+  let full = Probe.Memory.events full_buf in
+  let tail = Probe.Memory.events buf in
+  let prefix_len = Array.length full - Array.length tail in
+  check_true "tail no longer than the full trace" (prefix_len >= 0);
+  let stitched = Array.append (Array.sub full 0 prefix_len) tail in
+  check_true "stitched trace byte-identical (growth included)"
+    (String.equal
+       (Trace_export.events_to_string full)
+       (Trace_export.events_to_string stitched));
+  check_true "resumed growth events exist"
+    (Array.exists
+       (function Probe.Path_growth _ -> true | _ -> false)
+       full);
+  check_true "final flow bit-identical"
+    (Array.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       (Staleroute_util.Vec.to_array full_result.Driver.final_flow)
+       (Staleroute_util.Vec.to_array resumed.Driver.final_flow));
+  check_int "final instance dimension agrees"
+    (Staleroute_wardrop.Instance.path_count full_result.Driver.final_instance)
+    (Staleroute_wardrop.Instance.path_count resumed.Driver.final_instance)
+
 let suite =
   [
     case "json round trip" test_json_round_trip;
@@ -181,4 +367,9 @@ let suite =
     case "resume replays the run" test_resume_replays;
     case "resume replays a faulted run" test_resume_replays_faulted;
     case "resume validates the snapshot" test_resume_validates;
+    case "colgen: grown paths round trip" test_grown_round_trip;
+    case "colgen: absent without growth" test_grown_only_serialised_when_present;
+    case "colgen: tampered digest refused" test_grown_digest_tamper_refused;
+    case "colgen: edited grown paths refused" test_grown_edit_refused;
+    slow_case "colgen: resume replays growth" test_colgen_resume_replays;
   ]

@@ -349,6 +349,24 @@ let test_e17_shape () =
         [ drops; noise ]
   | _ -> Alcotest.fail "e17 must produce three tables"
 
+let test_e18_shape () =
+  match E18_colgen_scaling.tables ~quick:true () with
+  | [ t ] ->
+      let rows = rows_of t in
+      check_int "two quick rows" 2 (List.length rows);
+      List.iter
+        (fun row ->
+          (* Regime-independent facts: the active set stays within the
+             enumerable set (and well under the growth runaway regime),
+             and every quick size converges to a delta-equilibrium. *)
+          let enumerable = float_cell row 2 in
+          let active = float_cell row 3 in
+          check_true "active set within the enumerable set"
+            (active >= 1. && active <= enumerable);
+          check_true "quick sizes converge" (float_cell row 6 <= 1e-3))
+        rows
+  | _ -> Alcotest.fail "e18 must produce one table"
+
 let suite =
   [
     case "instances well-formed" test_common_instances_well_formed;
@@ -373,4 +391,5 @@ let suite =
     slow_case "E15 end-to-end" test_e15_shape;
     slow_case "E16 end-to-end" test_e16_shape;
     slow_case "E17 end-to-end" test_e17_shape;
+    slow_case "E18 end-to-end" test_e18_shape;
   ]

@@ -75,9 +75,58 @@ let test_layered_deterministic_given_seed () =
   in
   check_true "same seed, same graph" (mk 7 = mk 7)
 
+let test_layered_skips_zero_matches_layered () =
+  (* skip_prob = 0 must reproduce [layered] bit-for-bit (same RNG
+     consumption): existing seeds keep their topologies. *)
+  let mk f =
+    let rng = Staleroute_util.Rng.create ~seed:5 () in
+    let st = f rng in
+    (st.Gen.src, st.Gen.dst, Digraph.edges st.Gen.graph)
+  in
+  check_true "skip_prob = 0 is layered"
+    (mk (fun rng -> Gen.layered ~rng ~layers:3 ~width:3 ~edge_prob:0.5)
+    = mk (fun rng ->
+          Gen.layered_skips ~skip_prob:0. ~rng ~layers:3 ~width:3
+            ~edge_prob:0.5))
+
+let test_layered_skips_adds_forward_shortcuts () =
+  let build skip_prob =
+    let rng = Staleroute_util.Rng.create ~seed:11 () in
+    Gen.layered_skips ~skip_prob ~rng ~layers:4 ~width:2 ~edge_prob:0.8
+  in
+  let base = build 0. and skipped = build 1. in
+  (* Consecutive wiring consumes the same draws, so the skip edges are
+     a strict addition. *)
+  check_true "skips add edges"
+    (Digraph.edge_count skipped.Gen.graph
+    > Digraph.edge_count base.Gen.graph);
+  check_true "still a DAG"
+    (Path_enum.count_paths_dag skipped.Gen.graph ~src:skipped.Gen.src
+       ~dst:skipped.Gen.dst
+    <> None);
+  check_true "skips open shorter routes"
+    (Path_enum.count_paths skipped.Gen.graph ~src:skipped.Gen.src
+       ~dst:skipped.Gen.dst
+    > Path_enum.count_paths base.Gen.graph ~src:base.Gen.src
+        ~dst:base.Gen.dst)
+
+let test_layered_skips_validation () =
+  let r () = Staleroute_util.Rng.create ~seed:1 () in
+  check_raises_invalid "skip_prob > 1" (fun () ->
+      ignore
+        (Gen.layered_skips ~skip_prob:1.5 ~rng:(r ()) ~layers:2 ~width:2
+           ~edge_prob:0.5));
+  check_raises_invalid "skip_prob < 0" (fun () ->
+      ignore
+        (Gen.layered_skips ~skip_prob:(-0.1) ~rng:(r ()) ~layers:2 ~width:2
+           ~edge_prob:0.5))
+
 let suite =
   [
     case "parallel links" test_parallel_links;
+    case "layered skips: zero = layered" test_layered_skips_zero_matches_layered;
+    case "layered skips: shortcuts" test_layered_skips_adds_forward_shortcuts;
+    case "layered skips: validation" test_layered_skips_validation;
     case "braess shape" test_braess_shape;
     case "grid shape" test_grid_shape;
     case "grid reachability" test_grid_acyclic_reachable;

@@ -111,8 +111,73 @@ let test_path_cap_respected () =
       ~commodities:[ Commodity.single ~src:st.Gen.src ~dst:st.Gen.dst ]
       ()
   with
-  | exception Path_enum.Too_many_paths _ -> ()
+  | exception Instance.Path_set_too_large { commodity = 0; cap = 10 } -> ()
+  | exception Instance.Path_set_too_large _ ->
+      Alcotest.fail "cap error carries the wrong commodity or cap"
   | _ -> Alcotest.fail "expected path-cap overflow"
+
+let test_path_cap_boundary () =
+  (* ladder 6 has exactly 2^6 = 64 simple paths: a cap of 64 is the
+     largest admissible set, 63 is one short. *)
+  let st = Gen.ladder 6 in
+  let m = Digraph.edge_count st.Gen.graph in
+  let build cap =
+    Instance.create ~max_paths_per_commodity:cap ~graph:st.Gen.graph
+      ~latencies:(Array.init m (fun _ -> L.const 1.))
+      ~commodities:[ Commodity.single ~src:st.Gen.src ~dst:st.Gen.dst ]
+      ()
+  in
+  check_int "cap = count admits everything" 64 (Instance.path_count (build 64));
+  match build 63 with
+  | exception Instance.Path_set_too_large { commodity = 0; cap = 63 } -> ()
+  | _ -> Alcotest.fail "cap = count - 1 must overflow"
+
+(* Column-generation growth: columns append at the end of the global
+   index, existing indices stay stable, structural constants follow. *)
+let test_extend_appends_columns () =
+  let st = Gen.braess () in
+  let latencies =
+    [| L.linear 1.; L.const 1.; L.const 1.; L.linear 1.; L.const 0. |]
+  in
+  let commodities = [ Commodity.single ~src:st.Gen.src ~dst:st.Gen.dst ] in
+  let full =
+    Instance.create ~graph:st.Gen.graph ~latencies ~commodities ()
+  in
+  let seed =
+    Instance.of_paths ~graph:st.Gen.graph ~latencies ~commodities
+      ~paths:[| [ Instance.path full 0; Instance.path full 2 ] |]
+      ()
+  in
+  let grown = Instance.extend seed ~paths:[ (0, Instance.path full 1) ] in
+  check_int "one column appended" 3 (Instance.path_count grown);
+  check_true "old indices stable"
+    (Path.equal (Instance.path grown 0) (Instance.path seed 0)
+    && Path.equal (Instance.path grown 1) (Instance.path seed 1));
+  check_true "new column at the end"
+    (Path.equal (Instance.path grown 2) (Instance.path full 1));
+  check_int "commodity map extended" 0 (Instance.commodity_of_path grown 2);
+  check_int "seed untouched" 2 (Instance.path_count seed);
+  (* Structural constants now see the long bridge path. *)
+  check_int "max_path_length grows" (Instance.max_path_length full)
+    (Instance.max_path_length grown);
+  check_close "ell_max follows the grown set" (Instance.ell_max full)
+    (Instance.ell_max grown);
+  (* CSR incidence stays consistent with per-path edges. *)
+  for p = 0 to Instance.path_count grown - 1 do
+    let from_csr =
+      Array.sub (Instance.csr_edges grown)
+        (Instance.csr_offsets grown).(p)
+        ((Instance.csr_offsets grown).(p + 1)
+        - (Instance.csr_offsets grown).(p))
+    in
+    check_true "csr row = path edges" (from_csr = Instance.path_edges grown p)
+  done;
+  (* Frame errors are loud. *)
+  check_raises_invalid "commodity out of range" (fun () ->
+      Instance.extend seed ~paths:[ (1, Instance.path full 1) ]);
+  check_raises_invalid "endpoint mismatch" (fun () ->
+      let wrong = Path.of_edges st.Gen.graph [ 4 ] in
+      Instance.extend seed ~paths:[ (0, wrong) ])
 
 let test_accessor_bounds () =
   let inst = braess_inst () in
@@ -168,6 +233,8 @@ let suite =
     case "latency arity" test_latency_array_length_checked;
     case "no-path rejection" test_no_path_rejected;
     case "path cap" test_path_cap_respected;
+    case "path cap boundary" test_path_cap_boundary;
+    case "extend appends columns" test_extend_appends_columns;
     case "accessor bounds" test_accessor_bounds;
     case "local index table" test_local_index_inverts_paths_of_commodity;
     case "csr incidence" test_csr_incidence_matches_path_edges;

@@ -90,9 +90,46 @@ let prop_layered_counts_agree =
           (Path_enum.all_simple_paths st.Gen.graph ~src:st.Gen.src
              ~dst:st.Gen.dst))
 
+let test_dag_count_matches_count () =
+  List.iter
+    (fun (st : Gen.st) ->
+      match
+        Path_enum.count_paths_dag st.Gen.graph ~src:st.Gen.src
+          ~dst:st.Gen.dst
+      with
+      | Some n ->
+          check_close "float DAG count = int count"
+            (float_of_int
+               (Path_enum.count_paths st.Gen.graph ~src:st.Gen.src
+                  ~dst:st.Gen.dst))
+            n
+      | None -> Alcotest.fail "acyclic graph reported as cyclic")
+    [
+      Gen.braess (); Gen.parallel_links 7; Gen.grid ~width:3 ~height:3;
+      Gen.ladder 4;
+    ]
+
+let test_dag_count_beyond_enumeration () =
+  (* 2^60 paths: far beyond anything enumerable, exactly representable
+     as a float — the regime the colgen experiments report in. *)
+  let st = Gen.ladder 60 in
+  match
+    Path_enum.count_paths_dag st.Gen.graph ~src:st.Gen.src ~dst:st.Gen.dst
+  with
+  | Some n -> check_close "2^60 exactly" (Float.ldexp 1. 60) n
+  | None -> Alcotest.fail "ladder is a DAG"
+
+let test_dag_count_cyclic_is_none () =
+  let g = Digraph.create ~nodes:3 ~edges:[ (0, 1); (1, 0); (1, 2) ] in
+  check_true "cycle detected"
+    (Path_enum.count_paths_dag g ~src:0 ~dst:2 = None)
+
 let suite =
   [
     case "braess paths" test_braess_paths;
+    case "dag count = int count" test_dag_count_matches_count;
+    case "dag count beyond enumeration" test_dag_count_beyond_enumeration;
+    case "dag count: cyclic is None" test_dag_count_cyclic_is_none;
     case "parallel links" test_parallel_links;
     case "unreachable" test_unreachable;
     case "src=dst rejected" test_src_eq_dst_rejected;

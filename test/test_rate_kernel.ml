@@ -365,11 +365,95 @@ let test_euler_path_allocation_free () =
       check_close "0 words per euler step" 0. ((large -. small) /. 1000.)
   | _ -> ()
 
+(* The column-generation twin of the update contract: compiling a
+   kernel for a grown active set via [Rate_kernel.grow] must be bitwise
+   identical to a fresh [build] over the grown instance.  Commodity 1
+   is seeded with its full path set so it never grows — its blocks take
+   the copy path — while commodity 0 starts from its shortest path and
+   grows whenever the random posting prices a cheaper column in. *)
+let prop_grow_matches_build =
+  qcheck ~count:25 "qcheck: grown kernel = fresh build (bitwise)"
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+    (fun (seed, lseed) ->
+      let r = Rng.create ~seed () in
+      let st =
+        Gen.layered_skips ~skip_prob:0.2 ~rng:r ~layers:3 ~width:3
+          ~edge_prob:0.6
+      in
+      let graph = st.Gen.graph in
+      let m = Staleroute_graph.Digraph.edge_count graph in
+      let latencies =
+        Array.init m (fun _ ->
+            Latency.affine
+              ~slope:(0.25 +. Rng.float r 1.5)
+              ~intercept:(Rng.float r 0.3))
+      in
+      let commodities =
+        [
+          Commodity.make ~src:st.Gen.src ~dst:st.Gen.dst ~demand:0.5;
+          Commodity.make ~src:st.Gen.src ~dst:st.Gen.dst ~demand:0.5;
+        ]
+      in
+      let full =
+        Path_pool.instance
+          (Path_pool.create ~seed:Path_pool.Full ~graph ~latencies
+             ~commodities ())
+      in
+      let zero = Array.map (fun l -> Latency.eval l 0.) latencies in
+      let shortest =
+        match
+          Staleroute_graph.Dijkstra.shortest_path graph ~weights:zero
+            ~src:st.Gen.src ~dst:st.Gen.dst
+        with
+        | Some (p, _) -> p
+        | None -> assert false
+      in
+      let all_of c =
+        Instance.paths_of_commodity full c |> Array.to_list
+        |> List.map (Instance.path full)
+      in
+      let pool =
+        Path_pool.create
+          ~seed:(Path_pool.Paths [| [ shortest ]; all_of 1 |])
+          ~graph ~latencies ~commodities ()
+      in
+      let inst = Path_pool.instance pool in
+      let lr = Rng.create ~seed:lseed () in
+      let posted =
+        Array.map (fun l -> Latency.eval l (Rng.float lr 1.)) latencies
+      in
+      match Path_pool.grow pool inst ~edge_latencies:posted with
+      | None -> true (* seed already optimal under this posting *)
+      | Some (inst', _) ->
+          List.for_all
+            (fun sampling ->
+              List.for_all
+                (fun migration ->
+                  let policy = Policy.make ~sampling ~migration in
+                  let flow = Flow.random inst lr in
+                  let board = Bulletin_board.post inst ~time:0.25 flow in
+                  let board' =
+                    Bulletin_board.post_with inst'
+                      ~time:board.Bulletin_board.posted_at
+                      ~flow:
+                        (Vec.extend board.Bulletin_board.flow
+                           ~dim:(Instance.path_count inst'))
+                      ~edge_latencies:board.Bulletin_board.edge_latencies
+                  in
+                  let prev = Rate_kernel.build inst policy ~board in
+                  let grown = Rate_kernel.grow prev inst' ~board:board' in
+                  let built = Rate_kernel.build inst' policy ~board:board' in
+                  kernels_bitwise_equal inst' grown built
+                    (Flow.random inst' lr))
+                (migrations inst))
+            samplings)
+
 let suite =
   [
     prop_kernel_matches_reference;
     prop_sharded_build_bit_identical;
     prop_update_matches_build;
+    prop_grow_matches_build;
     case "rate accessor = migration_rate" test_rate_accessor_matches_migration_rate;
     case "cross-commodity rate" test_cross_commodity_rate_is_zero;
     case "validation" test_kernel_validation;

@@ -135,9 +135,27 @@ let prop_lerp_between =
       let l = Vec.lerp s a b in
       Vec.dim l = Vec.dim a)
 
+let test_extend () =
+  let v = Vec.of_array [| 1.5; -0.25; 3e-7 |] in
+  let w = Vec.extend v ~dim:5 in
+  check_int "extended dim" 5 (Vec.dim w);
+  for i = 0 to 2 do
+    check_true "prefix bit-exact"
+      (Int64.bits_of_float (Vec.get w i) = Int64.bits_of_float (Vec.get v i))
+  done;
+  check_close "new entries zero" 0. (Vec.get w 3);
+  check_close "new entries zero" 0. (Vec.get w 4);
+  (* Equal dimension is a fresh copy, not an alias. *)
+  let same = Vec.extend v ~dim:3 in
+  Vec.set same 0 99.;
+  check_close "extend copies" 1.5 (Vec.get v 0);
+  check_raises_invalid "shrinking rejected" (fun () ->
+      ignore (Vec.extend v ~dim:2))
+
 let suite =
   [
     case "create" test_create;
+    case "extend" test_extend;
     case "of_array/to_array/init" test_of_to_array;
     case "add/sub" test_add_sub;
     case "dimension mismatch" test_dimension_mismatch;
