@@ -1,0 +1,280 @@
+(* Regression gate over the committed BENCH_*.json baselines.
+
+   Every numeric leaf of a freshly written BENCH file is compared
+   against the committed baseline under a per-key tolerance class:
+
+   - contract fields (booleans, counts, strings — "pass",
+     "trace_byte_identical", event tallies, instance sizes) must match
+     exactly;
+   - deterministic floats (potentials, relative errors) must agree to a
+     tight relative tolerance (they only move when the code changes —
+     which is what the gate is for);
+   - wall-clock and machine-shape fields (anything *_ns, wall, per_sec,
+     ns_per_op, speedup, cores_available, pool_width) are advisory:
+     reported when they drift, never failing — on a 1-core CI container
+     pooled timings measure domain overhead, not speedup;
+   - provenance ("meta.*" except "meta.schema") is ignored outright.
+
+   A baseline key missing from the fresh file is a hard failure (a
+   silently vanished contract is the worst kind of regression); fresh
+   keys absent from the baseline are fine (schemas grow forward). *)
+
+module Json = Staleroute_obs.Json
+
+type cls = Exact | Tolerance | Advisory | Ignored
+
+type mismatch = {
+  key : string;
+  base : string;  (** baseline value, rendered *)
+  fresh : string;
+  cls : cls;
+}
+
+type outcome = {
+  name : string;  (** file basename, e.g. "BENCH_trace.json" *)
+  compared : int;  (** leaves checked (Ignored excluded) *)
+  missing : string list;  (** baseline keys absent from fresh — hard *)
+  extra : int;  (** fresh keys absent from baseline — fine *)
+  failures : mismatch list;  (** Exact/Tolerance mismatches — hard *)
+  advisories : mismatch list;  (** Advisory drifts — never fail *)
+}
+
+let advisory_markers =
+  [
+    "_ns";
+    "wall";
+    "ns_per_op";
+    "per_sec";
+    "speedup";
+    "cores_available";
+    "pool_width";
+  ]
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let classify key leaf =
+  if
+    String.length key >= 5
+    && String.sub key 0 5 = "meta."
+    && key <> "meta.schema"
+  then Ignored
+  else if List.exists (contains_sub key) advisory_markers then Advisory
+  else match leaf with Json.Float _ -> Tolerance | _ -> Exact
+
+(* Flatten to dotted-path leaves, preserving file order. *)
+let flatten json =
+  let rec go prefix json acc =
+    match json with
+    | Json.Obj fields ->
+        List.fold_left
+          (fun acc (k, v) ->
+            go (if prefix = "" then k else prefix ^ "." ^ k) v acc)
+          acc fields
+    | Json.List items ->
+        List.fold_left
+          (fun (i, acc) v ->
+            (i + 1, go (Printf.sprintf "%s[%d]" prefix i) v acc))
+          (0, acc) items
+        |> snd
+    | leaf -> (prefix, leaf) :: acc
+  in
+  List.rev (go "" json [])
+
+let floats_close a b =
+  a = b
+  || (Float.is_nan a && Float.is_nan b)
+  || Float.abs (a -. b) <= 1e-12
+  || Float.abs (a -. b) <= 1e-6 *. Float.max (Float.abs a) (Float.abs b)
+
+let leaves_equal cls a b =
+  match (a, b) with
+  | Json.Float x, Json.Float y -> (
+      match cls with
+      | Exact -> x = y || (Float.is_nan x && Float.is_nan y)
+      | _ -> floats_close x y)
+  | Json.Int x, Json.Float y | Json.Float y, Json.Int x -> (
+      match cls with
+      | Exact -> float_of_int x = y
+      | _ -> floats_close (float_of_int x) y)
+  | a, b -> a = b
+
+let load_json path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          Json.of_string s)
+
+let compare_files ~baseline ~fresh =
+  match (load_json baseline, load_json fresh) with
+  | Error e, _ -> Error (baseline ^ ": " ^ e)
+  | _, Error e -> Error (fresh ^ ": " ^ e)
+  | Ok bj, Ok fj ->
+      let bl = flatten bj and fl = flatten fj in
+      let ftbl = Hashtbl.create 64 in
+      List.iter (fun (k, v) -> Hashtbl.replace ftbl k v) fl;
+      let compared = ref 0 in
+      let missing = ref [] in
+      let failures = ref [] in
+      let advisories = ref [] in
+      List.iter
+        (fun (key, bleaf) ->
+          match classify key bleaf with
+          | Ignored -> ()
+          | cls -> (
+              incr compared;
+              match Hashtbl.find_opt ftbl key with
+              | None -> missing := key :: !missing
+              | Some fleaf ->
+                  if not (leaves_equal cls bleaf fleaf) then begin
+                    let m =
+                      {
+                        key;
+                        base = Json.to_string bleaf;
+                        fresh = Json.to_string fleaf;
+                        cls;
+                      }
+                    in
+                    match cls with
+                    | Advisory -> advisories := m :: !advisories
+                    | _ -> failures := m :: !failures
+                  end))
+        bl;
+      let base_keys = Hashtbl.create 64 in
+      List.iter (fun (k, _) -> Hashtbl.replace base_keys k ()) bl;
+      let extra =
+        List.length
+          (List.filter (fun (k, _) -> not (Hashtbl.mem base_keys k)) fl)
+      in
+      Ok
+        {
+          name = Filename.basename baseline;
+          compared = !compared;
+          missing = List.rev !missing;
+          extra;
+          failures = List.rev !failures;
+          advisories = List.rev !advisories;
+        }
+
+let passed o = o.missing = [] && o.failures = []
+
+let cls_label = function
+  | Exact -> "exact"
+  | Tolerance -> "tolerance"
+  | Advisory -> "advisory"
+  | Ignored -> "ignored"
+
+(* Markdown: one status table over all files, then a row per difference. *)
+let render outcomes =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "| file | keys | status |\n|---|---|---|\n";
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %d | %s |\n" o.name o.compared
+           (if not (passed o) then
+              Printf.sprintf "**FAIL** (%d mismatch%s%s)"
+                (List.length o.failures + List.length o.missing)
+                (if List.length o.failures + List.length o.missing = 1 then ""
+                 else "es")
+                (if o.advisories <> [] then
+                   Printf.sprintf ", %d advisory" (List.length o.advisories)
+                 else "")
+            else if o.advisories <> [] then
+              Printf.sprintf "pass (%d advisory drift%s)"
+                (List.length o.advisories)
+                (if List.length o.advisories = 1 then "" else "s")
+            else "pass")))
+    outcomes;
+  let any_rows =
+    List.exists
+      (fun o -> o.failures <> [] || o.advisories <> [] || o.missing <> [])
+      outcomes
+  in
+  if any_rows then begin
+    Buffer.add_string buf
+      "\n| file | key | class | baseline | fresh | verdict |\n\
+       |---|---|---|---|---|---|\n";
+    List.iter
+      (fun o ->
+        List.iter
+          (fun k ->
+            Buffer.add_string buf
+              (Printf.sprintf "| %s | %s | %s | — | missing | FAIL |\n" o.name
+                 k (cls_label Exact)))
+          o.missing;
+        List.iter
+          (fun m ->
+            Buffer.add_string buf
+              (Printf.sprintf "| %s | %s | %s | %s | %s | %s |\n" o.name m.key
+                 (cls_label m.cls) m.base m.fresh
+                 (match m.cls with Advisory -> "drift (ok)" | _ -> "FAIL")))
+          (o.failures @ o.advisories))
+      outcomes
+  end;
+  Buffer.contents buf
+
+(* Gate a baseline directory against freshly written files: every
+   BENCH_*.json committed in [baseline_dir] must have a fresh
+   counterpart in [fresh_dir] that matches under its tolerance
+   classes.  Returns the process exit code. *)
+let run ~baseline_dir ~fresh_dir =
+  match Sys.readdir baseline_dir with
+  | exception Sys_error e ->
+      prerr_endline ("bench compare: " ^ e);
+      2
+  | entries ->
+      let names =
+        Array.to_list entries
+        |> List.filter (fun f ->
+               String.length f > 6
+               && String.sub f 0 6 = "BENCH_"
+               && Filename.check_suffix f ".json")
+        |> List.sort String.compare
+      in
+      if names = [] then begin
+        Printf.eprintf "bench compare: no BENCH_*.json under %s\n"
+          baseline_dir;
+        2
+      end
+      else begin
+        let outcomes, errors =
+          List.fold_left
+            (fun (os, es) name ->
+              match
+                compare_files
+                  ~baseline:(Filename.concat baseline_dir name)
+                  ~fresh:(Filename.concat fresh_dir name)
+              with
+              | Ok o -> (o :: os, es)
+              | Error e -> (os, e :: es))
+            ([], []) names
+        in
+        let outcomes = List.rev outcomes and errors = List.rev errors in
+        print_string (render outcomes);
+        List.iter (fun e -> prerr_endline ("bench compare: " ^ e)) errors;
+        let failed =
+          errors <> [] || List.exists (fun o -> not (passed o)) outcomes
+        in
+        if failed then begin
+          prerr_endline
+            "bench compare: REGRESSION — contract fields diverged from the \
+             committed baselines (timing drifts alone never fail).";
+          1
+        end
+        else begin
+          Printf.printf
+            "bench compare: %d baseline file%s match (advisory timing \
+             drifts, if any, listed above)\n"
+            (List.length outcomes)
+            (if List.length outcomes = 1 then "" else "s");
+          0
+        end
+      end

@@ -1,0 +1,43 @@
+(** Regression gate over the committed [BENCH_*.json] baselines: compare
+    numeric leaves of fresh bench output against the committed files
+    under per-key tolerance classes — contract fields exact,
+    deterministic floats to a tight relative tolerance, wall-clock /
+    machine-shape keys advisory (reported, never failing), provenance
+    ([meta.*] except [meta.schema]) ignored.  Output is a markdown
+    table; a nonzero exit flags a real regression. *)
+
+type cls = Exact | Tolerance | Advisory | Ignored
+
+type mismatch = {
+  key : string;  (** dotted path of the leaf, e.g. ["stale.phases"] *)
+  base : string;  (** baseline value, rendered as JSON *)
+  fresh : string;
+  cls : cls;
+}
+
+type outcome = {
+  name : string;  (** file basename, e.g. ["BENCH_trace.json"] *)
+  compared : int;  (** leaves checked ([Ignored] excluded) *)
+  missing : string list;  (** baseline keys absent from fresh — hard *)
+  extra : int;  (** fresh keys absent from baseline — fine *)
+  failures : mismatch list;  (** Exact/Tolerance mismatches — hard *)
+  advisories : mismatch list;  (** Advisory drifts — never fail *)
+}
+
+val classify : string -> Staleroute_obs.Json.t -> cls
+(** Tolerance class of a leaf from its dotted key path and value. *)
+
+val compare_files : baseline:string -> fresh:string -> (outcome, string) result
+(** Compare one fresh BENCH file against its committed baseline.
+    [Error] means a file could not be read or parsed. *)
+
+val passed : outcome -> bool
+(** No missing keys and no hard mismatches (advisory drifts allowed). *)
+
+val render : outcome list -> string
+(** Markdown: a per-file status table, then one row per difference. *)
+
+val run : baseline_dir:string -> fresh_dir:string -> int
+(** Gate every [BENCH_*.json] in [baseline_dir] against its counterpart
+    in [fresh_dir]; prints the markdown report and returns the process
+    exit code (0 = pass, 1 = regression, 2 = usage/IO error). *)

@@ -1,0 +1,21 @@
+(* Standalone BENCH_*.json regression gate:
+     bench_diff BASELINE_DIR [FRESH_DIR]
+   compares every committed baseline in BASELINE_DIR against the
+   freshly written files in FRESH_DIR (default: _build/default/bench,
+   where the smoke aliases write).  Exit 0 = pass, 1 = regression,
+   2 = usage or IO error. *)
+
+let default_fresh = Filename.concat (Filename.concat "_build" "default") "bench"
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; baseline_dir ] ->
+      exit (Bench_compare.run ~baseline_dir ~fresh_dir:default_fresh)
+  | [ _; baseline_dir; fresh_dir ] ->
+      exit (Bench_compare.run ~baseline_dir ~fresh_dir)
+  | _ ->
+      prerr_endline
+        "usage: bench_diff BASELINE_DIR [FRESH_DIR]\n\
+         Compare committed BENCH_*.json baselines against freshly written \
+         bench output (default FRESH_DIR: _build/default/bench).";
+      exit 2

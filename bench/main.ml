@@ -32,15 +32,26 @@
                            writes BENCH_parallel.json (also `dune build
                            @parallel-smoke`); add "full" to also time the
                            full E1-E17 suite at -j 1 vs -j N
+     main.exe obs-smoke    observability contract: trace diff/read-back,
+                           disabled-span allocation freedom, span profile
+                           sanity and the comparator's tolerance classes;
+                           writes BENCH_obs.json (also `dune build
+                           @obs-smoke`)
+     main.exe compare BASELINE_DIR [FRESH_DIR]
+                           regression gate: compare committed BENCH_*.json
+                           baselines against freshly written bench output
+                           (default FRESH_DIR: _build/default/bench);
+                           timings advisory, contract fields exact
      main.exe all          experiments + microbenchmarks
    Options: "quick" uses the reduced parameter sets; "-j N" runs
    experiments across N domains (default
    Domain.recommended_domain_count; output stays byte-identical to
    -j 1); "metrics" instruments every experiment and prints its metric
-   snapshot (a single-name metrics run ignores -j: the ambient
-   registry is domain-local, so the instrumented experiment runs on
-   one domain); "csv=DIR" exports tables; "json=FILE" redirects the
-   perf trajectory. *)
+   snapshot (a single-name metrics or profile run ignores -j: the
+   ambient registry is domain-local, so the instrumented experiment
+   runs on one domain); "profile" records wall-clock timing spans and
+   prints the per-experiment span profile; "csv=DIR" exports tables;
+   "json=FILE" redirects the perf trajectory. *)
 
 open Staleroute_experiments
 module Table = Staleroute_util.Table
@@ -48,6 +59,40 @@ module Pool = Staleroute_util.Pool
 module Probe = Staleroute_obs.Probe
 module Metrics = Staleroute_obs.Metrics
 module Trace_export = Staleroute_obs.Trace_export
+module Trace_reader = Staleroute_obs.Trace_reader
+module Span = Staleroute_obs.Span
+
+(* Provenance block stamped into every BENCH_*.json.  utc_written and
+   git_commit are wall-clock/host facts, not measurements: the bench
+   comparator ignores every meta.* key except meta.schema, and the
+   deterministic snapshot checks never read BENCH files. *)
+let bench_schema = 1
+
+let meta_block () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  let utc =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+      (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+      t.Unix.tm_sec
+  in
+  let commit =
+    match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+    | exception _ -> None
+    | ic -> (
+        let line =
+          match input_line ic with
+          | l -> Some (String.trim l)
+          | exception End_of_file -> None
+        in
+        match (Unix.close_process_in ic, line) with
+        | Unix.WEXITED 0, Some c when c <> "" -> Some c
+        | _ -> None)
+  in
+  Printf.sprintf "  \"meta\": { \"schema\": %d, \"utc_written\": %S%s },\n"
+    bench_schema utc
+    (match commit with
+    | Some c -> Printf.sprintf ", \"git_commit\": %S" c
+    | None -> "")
 
 (* When [csv_dir] is set ("csv=DIR" argument), every printed table is
    also written to DIR/<slug>.csv. *)
@@ -171,6 +216,12 @@ let experiments =
 
 let with_metrics = ref false
 
+(* "profile": every Common.run reports wall-clock spans into an ambient
+   recorder, printed per experiment.  Span data is wall-clock only and
+   never feeds a byte-identity surface, so this flag (unlike plain runs)
+   makes no determinism promise about the profile table itself. *)
+let with_profile = ref false
+
 (* The one wall-clock-derived metric ("kernel_build_ns") is dropped
    from the bench snapshot: everything the bench prints is then a pure
    function of simulated state, so metrics-mode output is byte-stable
@@ -193,19 +244,23 @@ let run_experiment ~quick ~pool name =
       Buffer.add_string out
         (Printf.sprintf "\n### Experiment %s ###\n"
            (String.uppercase_ascii name));
-      if !with_metrics then begin
+      if !with_metrics || !with_profile then begin
         (* Ambient instrumentation: every Common.run inside the
            experiment reports into this registry. *)
         let metrics = Metrics.create () in
-        Common.set_instrumentation ~probe:Probe.null ~metrics;
+        let spans = if !with_profile then Span.create () else Span.null in
+        Common.set_instrumentation ~spans ~probe:Probe.null ~metrics ();
         Fun.protect
           ~finally:(fun () -> Common.clear_instrumentation ())
           (fun () -> f ~quick ~pool ~out);
-        buffer_tables out
-          [
-            Metrics.to_table ~title:(name ^ " metrics")
-              (deterministic_snapshot (Metrics.snapshot metrics));
-          ]
+        if !with_metrics then
+          buffer_tables out
+            [
+              Metrics.to_table ~title:(name ^ " metrics")
+                (deterministic_snapshot (Metrics.snapshot metrics));
+            ];
+        if !with_profile then
+          buffer_tables out [ Span.to_table (Span.profile spans) ]
       end
       else f ~quick ~pool ~out;
       Buffer.contents out
@@ -215,7 +270,7 @@ let run_experiment ~quick ~pool name =
 
 (* Render the single-name invocation at parallelism [jobs]: the one
    experiment gets the pool itself so its sweep fans out.  Exception:
-   metrics mode.  The ambient registry installed by
+   metrics and profile modes.  The ambient registry installed by
    Common.set_instrumentation is domain-local (Domain.DLS), so sweep
    cells executed on worker domains would report into Metrics.null and
    the snapshot would silently depend on scheduling.  An instrumented
@@ -223,7 +278,7 @@ let run_experiment ~quick ~pool name =
    registry — sequential, but correct and byte-identical to -j 1
    (parallel-smoke check 4 pins this down). *)
 let run_single_experiment ~quick ~jobs name =
-  if jobs > 1 && not !with_metrics then
+  if jobs > 1 && not (!with_metrics || !with_profile) then
     Pool.with_pool ~domains:jobs (fun pool ->
         run_experiment ~quick ~pool name)
   else run_experiment ~quick ~pool:None name
@@ -417,6 +472,7 @@ let bench_rates ~quota_s ~json_path () =
   let oc = open_out json_path in
   Printf.fprintf oc
     "{\n\
+     %s\
     \  \"benchmark\": \"flow_derivative_rates\",\n\
     \  \"cores_available\": %d,\n\
     \  \"instance\": { \"paths\": %d, \"commodities\": %d },\n\
@@ -431,6 +487,7 @@ let bench_rates ~quota_s ~json_path () =
      \"rebuild_steps_per_sec\": %.0f, \"amortized_speedup\": %.2f },\n\
     \  \"euler_minor_words_per_step\": %.2f\n\
      }\n"
+    (meta_block ())
     (Domain.recommended_domain_count ())
     paths
     (Instance.commodity_count inst)
@@ -653,6 +710,7 @@ let trace_smoke ~json_path () =
   let oc = open_out json_path in
   Printf.fprintf oc
     "{\n\
+     %s\
     \  \"benchmark\": \"trace_smoke\",\n\
     \  \"cores_available\": %d,\n\
     \  \"stale\": { \"phases\": %d, \"board_reposts\": %d, \
@@ -663,6 +721,7 @@ let trace_smoke ~json_path () =
     \  \"euler_minor_words_per_step_probes_off\": %.2f,\n\
     \  \"pass\": %b\n\
      }\n"
+    (meta_block ())
     (Domain.recommended_domain_count ())
     phases stale_reposts stale_rebuilds fphases fsteps fresh_rebuilds
     identical words pass;
@@ -835,6 +894,7 @@ let fault_smoke ~json_path () =
   let oc = open_out json_path in
   Printf.fprintf oc
     "{\n\
+     %s\
     \  \"benchmark\": \"fault_smoke\",\n\
     \  \"cores_available\": %d,\n\
     \  \"plan_draws\": { \"drop\": %d, \"delay\": %d, \"partial\": %d, \
@@ -847,6 +907,7 @@ let fault_smoke ~json_path () =
      \"effective_period\": %.3f },\n\
     \  \"pass\": %b\n\
      }\n"
+    (meta_block ())
     (Domain.recommended_domain_count ())
     drops delays partials noises injected resume_identical
     resume_flow_identical fail_fast_raised repairs drop_phases posts eff
@@ -1144,6 +1205,7 @@ let colgen_smoke ~json_path () =
   let oc = open_out json_path in
   Printf.fprintf oc
     "{\n\
+     %s\
     \  \"benchmark\": \"colgen_smoke\",\n\
     \  \"cores_available\": %d,\n\
     \  \"differential\": { \"colgen_unsat\": %s, \"enum_unsat\": %s, \
@@ -1156,6 +1218,7 @@ let colgen_smoke ~json_path () =
      %b, \"flow_bit_identical\": %b, \"tamper_refused\": %b },\n\
     \  \"pass\": %b\n\
      }\n"
+    (meta_block ())
     (Domain.recommended_domain_count ())
     (Staleroute_obs.Json.float_repr colgen_unsat)
     (Staleroute_obs.Json.float_repr enum_unsat)
@@ -1389,6 +1452,7 @@ let parallel_smoke ~jobs ~full ~json_path () =
   let oc = open_out json_path in
   Printf.fprintf oc
     "{\n\
+     %s\
     \  \"benchmark\": \"parallel_smoke\",\n\
     \  \"cores_available\": %d,\n\
     \  \"pool_width\": %d,\n\
@@ -1397,6 +1461,7 @@ let parallel_smoke ~jobs ~full ~json_path () =
     \  \"kernel_build_ns\": { \"whole\": %.0f, \"whole_in_pool\": %.0f, \
      \"auto_pool\": %.0f, \"forced_shard\": %.0f, \"commodities\": %d, \
      \"paths\": %d, \"entries\": %d },\n"
+    (meta_block ())
     (Domain.recommended_domain_count ())
     width e16_seq_s e16_pooled_s
     (e16_seq_s /. e16_pooled_s)
@@ -1502,6 +1567,7 @@ let perf_smoke ~json_path () =
   let oc = open_out json_path in
   Printf.fprintf oc
     "{\n\
+     %s\
     \  \"benchmark\": \"perf_smoke\",\n\
     \  \"cores_available\": %d,\n\
     \  \"native\": %b,\n\
@@ -1510,6 +1576,7 @@ let perf_smoke ~json_path () =
     \  \"kernel_update_minor_words_per_call\": %.2f,\n\
     \  \"pass\": %b\n\
      }\n"
+    (meta_block ())
     (Domain.recommended_domain_count ())
     native euler_words
     (String.concat ", "
@@ -1521,6 +1588,188 @@ let perf_smoke ~json_path () =
   Printf.printf "(perf smoke written to %s)\n%!" json_path;
   if not pass then exit 1
 
+(* --- Obs smoke: spans, trace read-back and the regression gate --- *)
+
+(* Ground truth for the observability layer: same-seed versioned traces
+   diff as identical while different seeds diverge at a pinpointed
+   event; Trace_reader round-trips write_trace output (and still accepts
+   legacy headerless traces); the disabled span recorder keeps the
+   0-allocation contract; an enabled recorder actually sees the driver's
+   kernel builds; and the bench comparator passes a file against itself,
+   hard-fails a tampered contract field and stays advisory on timing
+   drift.  Writes BENCH_obs.json; exits non-zero on any failure. *)
+let obs_smoke ~json_path () =
+  let open Staleroute_wardrop in
+  let open Staleroute_dynamics in
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "  %-48s %s\n%!" name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  let inst = Common.two_link ~beta:4. in
+  let policy = Policy.uniform_linear inst in
+  let config =
+    {
+      Driver.policy;
+      staleness = Driver.Stale 0.1;
+      phases = 4;
+      steps_per_phase = 6;
+      scheme = Integrator.Rk4;
+    }
+  in
+  let capture ~seed ?spans () =
+    let buf = Probe.Memory.create () in
+    let init = Flow.random inst (Staleroute_util.Rng.create ~seed ()) in
+    ignore (Driver.run ~probe:(Probe.Memory.probe buf) ?spans inst config ~init);
+    Probe.Memory.events buf
+  in
+  let write_tmp writer events =
+    let path = Filename.temp_file "obs_smoke" ".jsonl" in
+    let oc = open_out_bin path in
+    writer oc events;
+    close_out oc;
+    path
+  in
+  (* 1. Same-seed traces are identical; different seeds diverge at a
+     named event (the header line is seed-independent, so divergence
+     starts at line >= 2). *)
+  let ev42 = capture ~seed:42 () in
+  let ta = write_tmp Trace_export.write_trace ev42 in
+  let tb = write_tmp Trace_export.write_trace (capture ~seed:42 ()) in
+  let tc = write_tmp Trace_export.write_trace (capture ~seed:43 ()) in
+  let diff_identical =
+    match Trace_reader.diff_files ta tb with
+    | Ok (Trace_reader.Identical { events }) -> events = Array.length ev42
+    | _ -> false
+  in
+  check "same-seed traces diff as identical" diff_identical;
+  let diff_diverged =
+    match Trace_reader.diff_files ta tc with
+    | Ok (Trace_reader.Diverged d) ->
+        d.Trace_reader.line >= 2
+        && d.Trace_reader.left_event <> None
+        && d.Trace_reader.right_event <> None
+    | _ -> false
+  in
+  check "seed 42 vs 43 diverges at a parsed event" diff_diverged;
+  (* 2. Read-back: a versioned trace returns its schema stamp and the
+     events it was written from; a legacy headerless trace still reads
+     (meta = None).  Equality via the canonical serialisation. *)
+  let reserialize evs = Trace_export.events_to_string (Array.of_list evs) in
+  let versioned_rt =
+    match Trace_reader.read_file ta with
+    | Ok (Some { Trace_reader.schema }, evs) ->
+        schema = Trace_export.schema_version
+        && String.equal (reserialize evs) (Trace_export.events_to_string ev42)
+    | _ -> false
+  in
+  check "versioned trace round-trips with schema stamp" versioned_rt;
+  let legacy = write_tmp Trace_export.write_events ev42 in
+  let legacy_rt =
+    match Trace_reader.read_file legacy with
+    | Ok (None, evs) ->
+        String.equal (reserialize evs) (Trace_export.events_to_string ev42)
+    | _ -> false
+  in
+  check "legacy headerless trace still reads" legacy_rt;
+  List.iter Sys.remove [ ta; tb; tc; legacy ];
+  (* 3. Allocation contract: enter/exit on the null recorder is a
+     branch, nothing else (meaningful under the native compiler only). *)
+  let native =
+    match Sys.backend_type with Sys.Native -> true | _ -> false
+  in
+  let null_words =
+    words_per_call (fun () ->
+        let s = Span.enter Span.null "hot" in
+        Span.exit Span.null s)
+  in
+  check "spans off: enter/exit minor words = 0"
+    ((not native) || null_words = 0.);
+  (* 4. An enabled recorder sees the driver's work: one kernel_build,
+     a rebuild per later phase, and per-phase spans whose self time
+     excludes their children. *)
+  let spans = Span.create () in
+  ignore (capture ~seed:42 ~spans ());
+  let prof = Span.profile spans in
+  let entry name = List.find_opt (fun e -> e.Span.name = name) prof in
+  let span_counts =
+    match (entry "kernel_build", entry "phase") with
+    | Some kb, Some ph -> kb.Span.count >= 1 && ph.Span.count = config.phases
+    | _ -> false
+  in
+  check "enabled spans: kernel_build and per-phase entries" span_counts;
+  let self_bounded =
+    List.for_all (fun e -> e.Span.self_ns <= e.Span.total_ns +. 1e-6) prof
+  in
+  check "enabled spans: self time <= total time" self_bounded;
+  (* 5. The comparator: a file passes against itself; flipping a
+     contract field hard-fails; drifting a timing key is advisory. *)
+  let fake base fresh =
+    let write s =
+      let path = Filename.temp_file "obs_cmp" ".json" in
+      let oc = open_out_bin path in
+      output_string oc s;
+      close_out oc;
+      path
+    in
+    let b = write base and f = write fresh in
+    let r = Bench_compare.compare_files ~baseline:b ~fresh:f in
+    Sys.remove b;
+    Sys.remove f;
+    r
+  in
+  let base =
+    "{ \"benchmark\": \"x\", \"pass\": true, \"build_ns\": 100.0, \
+     \"count\": 7 }"
+  in
+  let cmp_self =
+    match fake base base with Ok o -> Bench_compare.passed o | Error _ -> false
+  in
+  check "comparator: file vs itself passes" cmp_self;
+  let cmp_tamper =
+    match
+      fake base
+        "{ \"benchmark\": \"x\", \"pass\": false, \"build_ns\": 100.0, \
+         \"count\": 7 }"
+    with
+    | Ok o -> not (Bench_compare.passed o)
+    | Error _ -> false
+  in
+  check "comparator: tampered contract field fails" cmp_tamper;
+  let cmp_advisory =
+    match
+      fake base
+        "{ \"benchmark\": \"x\", \"pass\": true, \"build_ns\": 900.0, \
+         \"count\": 7 }"
+    with
+    | Ok o -> Bench_compare.passed o && List.length o.Bench_compare.advisories = 1
+    | Error _ -> false
+  in
+  check "comparator: timing drift is advisory only" cmp_advisory;
+  let pass = !failures = 0 in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+     %s\
+    \  \"benchmark\": \"obs_smoke\",\n\
+    \  \"cores_available\": %d,\n\
+    \  \"trace\": { \"events\": %d, \"same_seed_identical\": %b, \
+     \"cross_seed_diverged\": %b, \"versioned_roundtrip\": %b, \
+     \"legacy_roundtrip\": %b },\n\
+    \  \"null_span_minor_words_per_call\": %.2f,\n\
+    \  \"span_profile_seen\": %b,\n\
+    \  \"comparator\": { \"self_pass\": %b, \"tamper_fails\": %b, \
+     \"timing_advisory\": %b },\n\
+    \  \"pass\": %b\n\
+     }\n"
+    (meta_block ())
+    (Domain.recommended_domain_count ())
+    (Array.length ev42) diff_identical diff_diverged versioned_rt legacy_rt
+    null_words span_counts cmp_self cmp_tamper cmp_advisory pass;
+  close_out oc;
+  Printf.printf "(obs smoke written to %s)\n%!" json_path;
+  if not pass then exit 1
+
 let json_path = ref "BENCH_rates.json"
 
 let () =
@@ -1529,6 +1778,8 @@ let () =
   let args = List.filter (fun a -> a <> "quick") args in
   if List.mem "metrics" args then with_metrics := true;
   let args = List.filter (fun a -> a <> "metrics") args in
+  if List.mem "profile" args then with_profile := true;
+  let args = List.filter (fun a -> a <> "profile") args in
   (* "-j N": experiments fan out across N domains.  Output is
      byte-identical at any N; the default follows the hardware. *)
   let jobs = ref (Domain.recommended_domain_count ()) in
@@ -1596,6 +1847,26 @@ let () =
           (if !json_path = "BENCH_rates.json" then "BENCH_colgen.json"
            else !json_path)
         ()
+  | [ "obs-smoke" ] ->
+      obs_smoke
+        ~json_path:
+          (if !json_path = "BENCH_rates.json" then "BENCH_obs.json"
+           else !json_path)
+        ()
+  | "compare" :: rest -> (
+      (* Regression gate: committed BENCH_*.json baselines vs the fresh
+         files the smoke aliases wrote (same comparator as bench_diff). *)
+      match rest with
+      | [ baseline_dir ] ->
+          exit
+            (Bench_compare.run ~baseline_dir
+               ~fresh_dir:
+                 (Filename.concat (Filename.concat "_build" "default") "bench"))
+      | [ baseline_dir; fresh_dir ] ->
+          exit (Bench_compare.run ~baseline_dir ~fresh_dir)
+      | _ ->
+          Printf.eprintf "compare expects BASELINE_DIR [FRESH_DIR]\n";
+          exit 2)
   | "parallel-smoke" :: rest
     when rest = [] || rest = [ "full" ] ->
       parallel_smoke ~jobs:!jobs ~full:(rest = [ "full" ])

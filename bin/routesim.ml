@@ -12,6 +12,7 @@ module Probe = Staleroute_obs.Probe
 module Metrics = Staleroute_obs.Metrics
 module Trace_export = Staleroute_obs.Trace_export
 module Report = Staleroute_obs.Report
+module Span = Staleroute_obs.Span
 
 type policy_spec =
   | Smooth of (Instance.t -> Policy.t)
@@ -62,9 +63,10 @@ type obs = {
   buffer : Probe.Memory.buffer option;
   probe : Probe.t;
   registry : Metrics.t;
+  spans : Span.recorder;
 }
 
-let make_obs ~trace_file ~show_metrics ~show_summary =
+let make_obs ~trace_file ~show_metrics ~show_summary ~show_profile =
   let buffer =
     if trace_file <> None || show_summary then Some (Probe.Memory.create ())
     else None
@@ -75,13 +77,14 @@ let make_obs ~trace_file ~show_metrics ~show_summary =
   let registry =
     if show_metrics || show_summary then Metrics.create () else Metrics.null
   in
-  { trace_file; show_metrics; show_summary; buffer; probe; registry }
+  let spans = if show_profile then Span.create () else Span.null in
+  { trace_file; show_metrics; show_summary; buffer; probe; registry; spans }
 
 let finish_obs ~out obs =
   (match (obs.buffer, obs.trace_file) with
   | Some b, Some file ->
       let oc = open_out file in
-      Trace_export.write_events oc (Probe.Memory.events b);
+      Trace_export.write_trace oc (Probe.Memory.events b);
       close_out oc;
       Printf.bprintf out "trace written    : %s (%d events)\n" file
         (Probe.Memory.length b)
@@ -91,14 +94,18 @@ let finish_obs ~out obs =
       (Table.to_string (Metrics.to_table (Metrics.snapshot obs.registry)));
     Buffer.add_char out '\n'
   end;
-  match obs.buffer with
+  (match obs.buffer with
   | Some b when obs.show_summary ->
       Buffer.add_string out
         (Report.to_string
            (Report.of_events
               ~snapshot:(Metrics.snapshot obs.registry)
               (Probe.Memory.events b)))
-  | _ -> ()
+  | _ -> ());
+  if Span.enabled obs.spans then begin
+    Buffer.add_string out (Table.to_string (Span.to_table (Span.profile obs.spans)));
+    Buffer.add_char out '\n'
+  end
 
 let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
     ~faults ~guard ~colgen ~resume ~checkpoint ~fingerprint ~obs ~out =
@@ -142,7 +149,8 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
                 }) )
   in
   let result =
-    Common.run ~probe:obs.probe ~metrics:obs.registry ~faults ?guard ?colgen
+    Common.run ~probe:obs.probe ~metrics:obs.registry ~spans:obs.spans ~faults
+      ?guard ?colgen
       ?from:(Option.map (fun c -> c.Checkpoint.snapshot) resume)
       ~checkpoint_every ?on_checkpoint inst policy staleness ~phases
       ~steps_per_phase:steps ~init ()
@@ -152,7 +160,7 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
      are normalized to the grown dimension. *)
   let finst = result.Driver.final_instance in
   let snapshots = Common.phase_start_flows result in
-  let eq = Frank_wolfe.equilibrium finst in
+  let eq = Frank_wolfe.equilibrium ~spans:obs.spans finst in
   Printf.bprintf out "policy           : %s\n" (Policy.name policy);
   Printf.bprintf out "update period    : %s\n" t_label;
   if not (Faults.is_null faults) then
@@ -195,7 +203,10 @@ let run_smooth inst policy_of ~period ~phases ~steps ~init ~delta ~eps ~csv
 
 let run_best_response inst ~t ~phases ~delta ~eps ~csv ~obs ~out =
   let init = Common.biased_start inst in
-  let orbit = Best_response.run inst ~update_period:t ~phases ~init in
+  let orbit =
+    Span.record obs.spans "best_response_orbit" (fun () ->
+        Best_response.run inst ~update_period:t ~phases ~init)
+  in
   (* The exact orbit bypasses Driver; synthesise the equivalent phase
      events so --trace/--summary cover this mode too.  The virtual gain
      is not defined for the closed-form orbit: recorded as nan. *)
@@ -244,7 +255,7 @@ let run_best_response inst ~t ~phases ~delta ~eps ~csv ~obs ~out =
   finish_obs ~out obs
 
 let main topology policy period phases steps init delta eps csv trace_file
-    show_metrics show_summary runs jobs seed faults_str guard_str
+    show_metrics show_summary show_profile runs jobs seed faults_str guard_str
     checkpoint_file checkpoint_every resume_file colgen_tol =
   let reject msg =
     prerr_endline msg;
@@ -399,7 +410,7 @@ let main topology policy period phases steps init delta eps csv trace_file
                 runs seeds.(k);
             let obs =
               make_obs ~trace_file:(per_run_trace k) ~show_metrics
-                ~show_summary
+                ~show_summary ~show_profile
             in
             (match (policy, t_best_response) with
             | Smooth policy_of, _ ->
@@ -509,6 +520,15 @@ let cmd =
             potential-change distribution and an ASCII sparkline of the \
             potential gap.")
   in
+  let show_profile =
+    Arg.(value & flag & info [ "profile" ]
+         ~doc:
+           "Record hierarchical wall-clock timing spans (board posts, \
+            kernel builds/updates, integration, colgen pricing, guard \
+            checks, checkpoint writes) and print the span profile.  \
+            Wall-clock only: profiles are never part of the byte-identity \
+            surfaces (--trace output is unaffected).")
+  in
   let runs =
     Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N"
          ~doc:
@@ -591,9 +611,9 @@ let cmd =
   let term =
     Term.(
       const main $ topology $ policy $ period $ phases $ steps $ init $ delta
-      $ eps $ csv $ trace_file $ show_metrics $ show_summary $ runs $ jobs
-      $ seed $ faults $ guard $ checkpoint_file $ checkpoint_every
-      $ resume_file $ colgen)
+      $ eps $ csv $ trace_file $ show_metrics $ show_summary $ show_profile
+      $ runs $ jobs $ seed $ faults $ guard $ checkpoint_file
+      $ checkpoint_every $ resume_file $ colgen)
   in
   Cmd.v
     (Cmd.info "routesim" ~version:"1.0.0"
@@ -602,4 +622,12 @@ let cmd =
           model (Fischer & Vocking, PODC 2005)")
     term
 
-let () = exit (Cmd.eval cmd)
+(* A filesystem failure anywhere (unwritable --trace/--checkpoint path,
+   a vanished working directory) is an expected operational error, not a
+   bug: report it in one line instead of a backtrace. *)
+let () =
+  match Cmd.eval ~catch:false cmd with
+  | code -> exit code
+  | exception Sys_error msg ->
+      prerr_endline ("routesim: " ^ msg);
+      exit 2

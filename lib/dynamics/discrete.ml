@@ -2,6 +2,7 @@ open Staleroute_wardrop
 module Vec = Staleroute_util.Vec
 module Probe = Staleroute_obs.Probe
 module Metrics = Staleroute_obs.Metrics
+module Span = Staleroute_obs.Span
 
 type config = {
   policy : Policy.t;
@@ -36,7 +37,7 @@ let step_kernel inst kernel f =
 let step inst policy ~board f =
   step_kernel inst (Rate_kernel.build inst policy ~board) f
 
-let run ?(probe = Probe.null) ?(metrics = Metrics.null)
+let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
     ?(faults = Faults.plan Faults.none) ?guard ?colgen inst config ~init =
   if config.rounds < 0 then invalid_arg "Discrete.run: negative rounds";
   if config.rounds_per_update < 1 then
@@ -65,7 +66,9 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
   let guard_repairs =
     Option.map (fun _ -> Metrics.counter metrics "guard_repairs") guard
   in
+  let sp0 = Span.enter spans "project" in
   let f = ref (Flow.project inst init) in
+  Span.exit spans sp0;
   let emit_fault ~time ~index fault =
     let kind, arg =
       match fault with
@@ -81,6 +84,10 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
   let announce_and_compile ?prev ~time board =
     if Probe.enabled probe then Probe.emit probe (Probe.Board_repost { time });
     Metrics.incr reposts;
+    let sp =
+      Span.enter spans
+        (match prev with Some _ -> "kernel_update" | None -> "kernel_build")
+    in
     let kernel =
       (* Incremental recompile when a previous kernel is live — bitwise
          identical to a fresh [build] (see {!Rate_kernel.update}). *)
@@ -88,13 +95,17 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
       | Some k -> Rate_kernel.update k ~board
       | None -> Rate_kernel.build !inst_r config.policy ~board
     in
+    Span.exit spans sp;
     if Probe.enabled probe then
       Probe.emit probe (Probe.Kernel_rebuild { time });
     Metrics.incr rebuilds;
     (board, kernel)
   in
   let post ?prev time =
-    announce_and_compile ?prev ~time (Bulletin_board.post !inst_r ~time !f)
+    let sp = Span.enter spans "board_post" in
+    let board = Bulletin_board.post !inst_r ~time !f in
+    Span.exit spans sp;
+    announce_and_compile ?prev ~time board
   in
   (* The compiled kernel lives as long as its board post — which under
      fault injection can span several update periods (dropped re-posts
@@ -109,10 +120,13 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
     | Some cg -> (
         let inst = !inst_r in
         let board, kernel = !posted in
-        match
+        let sp = Span.enter spans "colgen_price" in
+        let grown_set =
           Path_pool.grow cg inst
             ~edge_latencies:board.Bulletin_board.edge_latencies
-        with
+        in
+        Span.exit spans sp;
+        match grown_set with
         | None -> ()
         | Some (inst', adds) ->
             let n0 = Instance.path_count inst in
@@ -142,7 +156,9 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
                          ~dim:n')
                 ~edge_latencies:board.Bulletin_board.edge_latencies
             in
+            let sp = Span.enter spans "kernel_grow" in
             let kernel' = Rate_kernel.grow kernel inst' ~board:board' in
+            Span.exit spans sp;
             if Probe.enabled probe then
               Probe.emit probe (Probe.Kernel_rebuild { time });
             Metrics.incr rebuilds;
@@ -199,12 +215,15 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
     Metrics.incr m_rounds;
     records :=
       { index = k; start_flow = Vec.copy !f; start_potential } :: !records;
+    let sp = Span.enter spans "round_step" in
     f := step_kernel !inst_r kernel !f;
+    Span.exit spans sp;
     match guard with
     | Some gd ->
-        Guard.check gd ~probe ?repairs:guard_repairs !inst_r ~index:k
-          ~time:(float_of_int (k + 1))
-          !f
+        Span.record spans "guard_check" (fun () ->
+            Guard.check gd ~probe ?repairs:guard_repairs !inst_r ~index:k
+              ~time:(float_of_int (k + 1))
+              !f)
     | None -> ()
   done;
   let final_instance = !inst_r in

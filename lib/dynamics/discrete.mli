@@ -44,6 +44,7 @@ val step : Instance.t -> Policy.t -> board:Bulletin_board.t -> Flow.t -> Flow.t
 val run :
   ?probe:Staleroute_obs.Probe.t ->
   ?metrics:Staleroute_obs.Metrics.t ->
+  ?spans:Staleroute_obs.Span.recorder ->
   ?faults:Faults.t ->
   ?guard:Guard.t ->
   ?colgen:Path_pool.t ->
@@ -58,7 +59,9 @@ val run :
     the start-of-round potential) and [Board_repost] /
     [Kernel_rebuild] events at every board refresh; a live [metrics]
     registry maintains the [rounds], [board_reposts] and
-    [kernel_rebuilds] counters.  Both default to disabled.
+    [kernel_rebuilds] counters.  [spans] records the same wall-clock
+    timing spans as {!Driver.run} plus a ["round_step"] per round.
+    All default to disabled.
 
     [faults] are keyed by the update-attempt index (round ÷
     [rounds_per_update]), so the plan is independent of the refresh

@@ -2,6 +2,7 @@ open Staleroute_wardrop
 module Vec = Staleroute_util.Vec
 module Probe = Staleroute_obs.Probe
 module Metrics = Staleroute_obs.Metrics
+module Span = Staleroute_obs.Span
 
 type staleness = Fresh | Stale of float
 
@@ -64,6 +65,7 @@ let phase_length config =
    disabled metrics is a liveness branch. *)
 type instruments = {
   probe : Probe.t;
+  spans : Span.recorder;
   reposts : Metrics.counter;
   rebuilds : Metrics.counter;
   derivs : Metrics.counter;
@@ -71,9 +73,10 @@ type instruments = {
   faults_c : Metrics.counter;
 }
 
-let instruments probe metrics ~faults =
+let instruments probe spans metrics ~faults =
   {
     probe;
+    spans;
     reposts = Metrics.counter metrics "board_reposts";
     rebuilds = Metrics.counter metrics "kernel_rebuilds";
     derivs = Metrics.counter metrics "derivative_evals";
@@ -125,11 +128,16 @@ let announce_and_compile ?prev inst policy ~ins ~time board =
   Metrics.incr ins.reposts;
   let timed = Metrics.enabled_histogram ins.build_ns in
   let t0 = if timed then Sys.time () else 0. in
+  let sp =
+    Span.enter ins.spans
+      (match prev with Some _ -> "kernel_update" | None -> "kernel_build")
+  in
   let kernel =
     match prev with
     | Some l -> Rate_kernel.update l.kernel ~board
     | None -> Rate_kernel.build inst policy ~board
   in
+  Span.exit ins.spans sp;
   if timed then Metrics.observe ins.build_ns ((Sys.time () -. t0) *. 1e9);
   if Probe.enabled ins.probe then
     Probe.emit ins.probe (Probe.Kernel_rebuild { time });
@@ -138,8 +146,10 @@ let announce_and_compile ?prev inst policy ~ins ~time board =
   { board; kernel }
 
 let post_and_compile ?prev inst policy ~ins ~time f =
-  announce_and_compile ?prev inst policy ~ins ~time
-    (Bulletin_board.post inst ~time f)
+  let sp = Span.enter ins.spans "board_post" in
+  let board = Bulletin_board.post inst ~time f in
+  Span.exit ins.spans sp;
+  announce_and_compile ?prev inst policy ~ins ~time board
 
 (* The "a re-post lands now" path: build the (possibly Partial/Noise
    faulted) board for update [index] and compile it.  Drop/Delay/Partial
@@ -157,8 +167,10 @@ let post_faulted inst policy ~ins ~faults ~index fault ~time ~prev f =
   | Some fault -> emit_fault ins ~time ~index fault
   | None -> ());
   let prev_board = Option.map (fun l -> l.board) prev in
-  announce_and_compile ?prev inst policy ~ins ~time
-    (Faults.board faults ~index fault inst ~time ~prev:prev_board f)
+  let sp = Span.enter ins.spans "board_post" in
+  let board = Faults.board faults ~index fault inst ~time ~prev:prev_board f in
+  Span.exit ins.spans sp;
+  announce_and_compile ?prev inst policy ~ins ~time board
 
 (* The driver always runs on the compiled kernel path: a board is
    compiled to a [Rate_kernel.t] once per post and the phase is
@@ -178,10 +190,12 @@ let advance_one_phase inst config ~ins ~pool ~grow_hook ~faults ~index:k ~live
   let steps = config.steps_per_phase in
   let stage = Integrator.stage_evals config.scheme in
   let integrate ~inst ~kernel ~t0 ~tau ~steps g =
+    let sp = Span.enter ins.spans "integrate" in
     Integrator.integrate_phase_into ~probe:ins.probe ~t0 config.scheme inst
       ~pool:!pool
       ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
       ~f:g ~tau ~steps;
+    Span.exit ins.spans sp;
     Metrics.incr ~by:(stage * steps) ins.derivs
   in
   match config.staleness with
@@ -289,7 +303,7 @@ let restore_live inst policy b =
   in
   { board; kernel = Rate_kernel.build inst policy ~board }
 
-let run ?(probe = Probe.null) ?(metrics = Metrics.null)
+let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
     ?(faults = Faults.plan Faults.none) ?guard ?colgen ?from
     ?(checkpoint_every = 0) ?on_checkpoint inst config ~init =
   if config.phases < 0 then invalid_arg "Driver.run: negative phase count";
@@ -301,7 +315,7 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
         "Driver.run: colgen pool was seeded over a different instance"
   | _ -> ());
   let tau = phase_length config in
-  let ins = instruments probe metrics ~faults in
+  let ins = instruments probe spans metrics ~faults in
   let h_phi = Metrics.histogram metrics "phase_potential" in
   let h_dphi = Metrics.histogram metrics "phase_delta_phi" in
   let h_vgain = Metrics.histogram metrics "phase_virtual_gain" in
@@ -327,7 +341,10 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
     | None ->
         if not (Flow.is_feasible inst init) then
           invalid_arg "Driver.run: infeasible initial flow";
-        (0, ref (Flow.project inst init), ref None, ref [])
+        let sp = Span.enter spans "project" in
+        let f0 = Flow.project inst init in
+        Span.exit spans sp;
+        (0, ref f0, ref None, ref [])
     | Some s ->
         (* Resuming: the snapshot flow is bit-exact driver output — it is
            deliberately NOT re-projected (an uninterrupted run does not
@@ -365,10 +382,13 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
     | Some cg -> (
         fun ~index ~time l g ->
           let inst = !inst_r in
-          match
+          let sp = Span.enter spans "colgen_price" in
+          let grown_set =
             Path_pool.grow cg inst
               ~edge_latencies:l.board.Bulletin_board.edge_latencies
-          with
+          in
+          Span.exit spans sp;
+          match grown_set with
           | None -> (l, g, inst)
           | Some (inst', adds) ->
               let n0 = Instance.path_count inst in
@@ -404,7 +424,9 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
               in
               let timed = Metrics.enabled_histogram ins.build_ns in
               let t0 = if timed then Sys.time () else 0. in
+              let sp = Span.enter spans "kernel_grow" in
               let kernel = Rate_kernel.grow l.kernel inst' ~board in
+              Span.exit spans sp;
               if timed then
                 Metrics.observe ins.build_ns ((Sys.time () -. t0) *. 1e9);
               if Probe.enabled ins.probe then
@@ -424,6 +446,7 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
   in
   let phi = ref (Potential.phi !inst_r !f) in
   for k = start_phase to config.phases - 1 do
+    let sp_phase = Span.enter spans "phase" in
     let start_time = float_of_int k *. tau in
     let start_flow = Vec.copy !f in
     let start_potential = !phi in
@@ -449,8 +472,11 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
     in
     (match guard with
     | Some gd ->
-        Guard.check gd ~probe ?repairs:guard_repairs inst ~index:k
-          ~time:(start_time +. tau) next
+        (* [record], not enter/exit: a fail-fast guard raises out of the
+           phase and [record] keeps the span stack balanced on the way. *)
+        Span.record spans "guard_check" (fun () ->
+            Guard.check gd ~probe ?repairs:guard_repairs inst ~index:k
+              ~time:(start_time +. tau) next)
     | None -> ());
     let next_phi = Potential.phi inst next in
     let virtual_gain =
@@ -485,9 +511,10 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
       :: !records;
     f := next;
     phi := next_phi;
-    match on_checkpoint with
+    (match on_checkpoint with
     | Some save when checkpoint_every > 0 && (k + 1) mod checkpoint_every = 0
       ->
+        let sp = Span.enter spans "checkpoint_save" in
         save
           {
             next_phase = k + 1;
@@ -495,8 +522,10 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null)
             board = Option.map board_state !live;
             records_so_far = List.rev !records;
             grown_paths = List.rev !grown;
-          }
-    | _ -> ()
+          };
+        Span.exit spans sp
+    | _ -> ());
+    Span.exit spans sp_phase
   done;
   Metrics.set g_final !phi;
   let final_instance = !inst_r in

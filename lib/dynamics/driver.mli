@@ -85,6 +85,7 @@ type snapshot = {
 val run :
   ?probe:Staleroute_obs.Probe.t ->
   ?metrics:Staleroute_obs.Metrics.t ->
+  ?spans:Staleroute_obs.Span.recorder ->
   ?faults:Faults.t ->
   ?guard:Guard.t ->
   ?colgen:Path_pool.t ->
@@ -121,6 +122,16 @@ val run :
     is legitimately current.  Under [Fresh] a delayed post behaves as a
     drop (the next step re-posts anyway).  Drop/Delay/Partial faults at
     the very first update degrade to a clean post and emit nothing.
+
+    [spans] (default {!Staleroute_obs.Span.null}) records hierarchical
+    wall-clock timing spans: a ["phase"] span per phase with
+    ["board_post"], ["kernel_build"] / ["kernel_update"] /
+    ["kernel_grow"], ["colgen_price"], ["integrate"], ["guard_check"]
+    and ["checkpoint_save"] children (plus one ["project"] for the
+    initial projection).  Spans are wall-clock — like the [*_ns]
+    metrics they are {e never} part of a byte-identity surface — and
+    the disabled recorder costs one branch per site, no clock reads,
+    no allocation.
 
     [guard] checks the flow's numeric health at every phase boundary
     (see {!Guard}); repairs bump a [guard_repairs] counter.

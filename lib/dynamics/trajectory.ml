@@ -2,13 +2,14 @@ open Staleroute_wardrop
 module Vec = Staleroute_util.Vec
 module Probe = Staleroute_obs.Probe
 module Metrics = Staleroute_obs.Metrics
+module Span = Staleroute_obs.Span
 
 type sample = { time : float; flow : Flow.t }
 
 type t = sample array
 
 let record ?(probe = Probe.null) ?(metrics = Metrics.null)
-    ?(faults = Faults.plan Faults.none) ?guard ?colgen inst
+    ?(spans = Span.null) ?(faults = Faults.plan Faults.none) ?guard ?colgen inst
     (config : Driver.config) ~init ~samples_per_phase =
   if samples_per_phase < 1 then
     invalid_arg "Trajectory.record: samples_per_phase < 1";
@@ -56,6 +57,10 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
   let announce_and_compile ?prev ~time board =
     if Probe.enabled probe then Probe.emit probe (Probe.Board_repost { time });
     Metrics.incr reposts;
+    let sp =
+      Span.enter spans
+        (match prev with Some _ -> "kernel_update" | None -> "kernel_build")
+    in
     let kernel =
       (* Incremental recompile against the previous kernel when one is
          live — bitwise identical to a fresh [build] (see
@@ -64,13 +69,17 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
       | Some k -> Rate_kernel.update k ~board
       | None -> Rate_kernel.build !inst_r config.Driver.policy ~board
     in
+    Span.exit spans sp;
     if Probe.enabled probe then
       Probe.emit probe (Probe.Kernel_rebuild { time });
     Metrics.incr rebuilds;
     (board, kernel)
   in
   let post_and_compile ?prev ~time flow =
-    announce_and_compile ?prev ~time (Bulletin_board.post !inst_r ~time flow)
+    let sp = Span.enter spans "board_post" in
+    let board = Bulletin_board.post !inst_r ~time flow in
+    Span.exit spans sp;
+    announce_and_compile ?prev ~time board
   in
   (* A faulted re-post that lands now; Drop/Delay/Partial with no
      previous board degrade to a clean post with no event (nothing was
@@ -85,13 +94,17 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
     | Some fault -> emit_fault ~time ~index fault
     | None -> ());
     let prev_board = Option.map fst prev in
-    announce_and_compile
-      ?prev:(Option.map snd prev)
-      ~time
-      (Faults.board faults ~index fault !inst_r ~time ~prev:prev_board flow)
+    let sp = Span.enter spans "board_post" in
+    let board =
+      Faults.board faults ~index fault !inst_r ~time ~prev:prev_board flow
+    in
+    Span.exit spans sp;
+    announce_and_compile ?prev:(Option.map snd prev) ~time board
   in
   let samples = ref [] in
+  let sp0 = Span.enter spans "project" in
   let f = ref (Flow.project inst init) in
+  Span.exit spans sp0;
   (* The live posting survives dropped re-posts — under faults a board
      (and its still-current kernel) can outlive the phase it was posted
      in, exactly as in [Driver]. *)
@@ -105,10 +118,13 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
     | Some cg -> (
         let inst = !inst_r in
         let board, kernel = Option.get !live in
-        match
+        let sp = Span.enter spans "colgen_price" in
+        let grown_set =
           Path_pool.grow cg inst
             ~edge_latencies:board.Bulletin_board.edge_latencies
-        with
+        in
+        Span.exit spans sp;
+        match grown_set with
         | None -> ()
         | Some (inst', adds) ->
             let n0 = Instance.path_count inst in
@@ -137,7 +153,9 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
                 ~flow:(Vec.extend board.Bulletin_board.flow ~dim:n')
                 ~edge_latencies:board.Bulletin_board.edge_latencies
             in
+            let sp = Span.enter spans "kernel_grow" in
             let kernel' = Rate_kernel.grow kernel inst' ~board:board' in
+            Span.exit spans sp;
             if Probe.enabled probe then
               Probe.emit probe (Probe.Kernel_rebuild { time });
             Metrics.incr rebuilds;
@@ -205,17 +223,20 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
       assert (Rate_kernel.is_current kernel ~board);
       ignore board;
       let g = Vec.copy !f in
+      let sp = Span.enter spans "integrate" in
       Integrator.integrate_phase_into ~probe ~t0:time config.Driver.scheme
         !inst_r ~pool:!pool
         ~deriv_into:(Rate_kernel.flow_derivative_into kernel)
         ~f:g ~tau:chunk ~steps:steps_per_chunk;
+      Span.exit spans sp;
       f := g;
       push (time +. chunk) !f
     done;
     match guard with
     | Some gd ->
-        Guard.check gd ~probe ?repairs:guard_repairs !inst_r ~index:k
-          ~time:(phase_start +. tau) !f
+        Span.record spans "guard_check" (fun () ->
+            Guard.check gd ~probe ?repairs:guard_repairs !inst_r ~index:k
+              ~time:(phase_start +. tau) !f)
     | None -> ()
   done;
   let out = Array.of_list (List.rev !samples) in

@@ -16,6 +16,7 @@ type t = sample array
 val record :
   ?probe:Staleroute_obs.Probe.t ->
   ?metrics:Staleroute_obs.Metrics.t ->
+  ?spans:Staleroute_obs.Span.recorder ->
   ?faults:Faults.t ->
   ?guard:Guard.t ->
   ?colgen:Path_pool.t ->
@@ -30,8 +31,9 @@ val record :
 
     An enabled [probe] receives [Board_repost] / [Kernel_rebuild] /
     [Step_batch] events; a live [metrics] registry maintains the
-    [board_reposts] and [kernel_rebuilds] counters.  Both default to
-    disabled.
+    [board_reposts] and [kernel_rebuilds] counters.  [spans] records
+    the same wall-clock timing spans as {!Driver.run} (minus the
+    per-phase parent).  All default to disabled.
 
     [faults] and [guard] mirror {!Driver.run}: faults are keyed by
     phase index under [Stale] (a delayed post lands on the {e chunk}

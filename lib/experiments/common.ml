@@ -118,16 +118,20 @@ let two_commodity () =
    fans experiments out across domains, each task installs its own
    registry without stomping its siblings'. *)
 let ambient :
-    (Staleroute_obs.Probe.t * Staleroute_obs.Metrics.t) option Domain.DLS.key
-    =
+    (Staleroute_obs.Probe.t
+    * Staleroute_obs.Metrics.t
+    * Staleroute_obs.Span.recorder)
+    option
+    Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
-let set_instrumentation ~probe ~metrics =
-  Domain.DLS.set ambient (Some (probe, metrics))
+let set_instrumentation ?(spans = Staleroute_obs.Span.null) ~probe ~metrics ()
+    =
+  Domain.DLS.set ambient (Some (probe, metrics, spans))
 
 let clear_instrumentation () = Domain.DLS.set ambient None
 
-let run ?probe ?metrics ?faults ?guard ?colgen ?from ?checkpoint_every
+let run ?probe ?metrics ?spans ?faults ?guard ?colgen ?from ?checkpoint_every
     ?on_checkpoint inst policy staleness ~phases ?(steps_per_phase = 20) ?init
     () =
   let config =
@@ -142,15 +146,19 @@ let run ?probe ?metrics ?faults ?guard ?colgen ?from ?checkpoint_every
   let init =
     match init with Some f -> f | None -> Flow.concentrated inst ~on:(fun _ -> 0)
   in
-  let ambient_probe, ambient_metrics =
+  let ambient_probe, ambient_metrics, ambient_spans =
     match Domain.DLS.get ambient with
-    | Some (p, m) -> (p, m)
-    | None -> (Staleroute_obs.Probe.null, Staleroute_obs.Metrics.null)
+    | Some (p, m, s) -> (p, m, s)
+    | None ->
+        ( Staleroute_obs.Probe.null,
+          Staleroute_obs.Metrics.null,
+          Staleroute_obs.Span.null )
   in
   let probe = Option.value probe ~default:ambient_probe in
   let metrics = Option.value metrics ~default:ambient_metrics in
-  Driver.run ~probe ~metrics ?faults ?guard ?colgen ?from ?checkpoint_every
-    ?on_checkpoint inst config ~init
+  let spans = Option.value spans ~default:ambient_spans in
+  Driver.run ~probe ~metrics ~spans ?faults ?guard ?colgen ?from
+    ?checkpoint_every ?on_checkpoint inst config ~init
 
 let worst_start inst =
   let pl = Flow.path_latencies inst (Flow.uniform inst) in

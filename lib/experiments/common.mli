@@ -56,6 +56,7 @@ val two_commodity : unit -> Instance.t
 val run :
   ?probe:Staleroute_obs.Probe.t ->
   ?metrics:Staleroute_obs.Metrics.t ->
+  ?spans:Staleroute_obs.Span.recorder ->
   ?faults:Faults.t ->
   ?guard:Guard.t ->
   ?colgen:Path_pool.t ->
@@ -72,20 +73,25 @@ val run :
   Driver.result
 (** Drive the fluid dynamics (RK4).  [init] defaults to the flow
     concentrated on each commodity's first path — deliberately far from
-    equilibrium.  [probe] / [metrics] default to the ambient
+    equilibrium.  [probe] / [metrics] / [spans] default to the ambient
     instrumentation (see {!set_instrumentation}), which itself defaults
     to disabled.  [faults] / [guard] / [colgen] / [from] /
     [checkpoint_every] / [on_checkpoint] are forwarded to {!Driver.run}
     verbatim. *)
 
 val set_instrumentation :
-  probe:Staleroute_obs.Probe.t -> metrics:Staleroute_obs.Metrics.t -> unit
+  ?spans:Staleroute_obs.Span.recorder ->
+  probe:Staleroute_obs.Probe.t ->
+  metrics:Staleroute_obs.Metrics.t ->
+  unit ->
+  unit
 (** Install ambient instrumentation: until {!clear_instrumentation},
     every {!run} call that does not pass its own [?probe] / [?metrics]
-    uses these instead.  Lets a harness (the bench runner, a CLI)
-    instrument whole experiment modules without changing their code.
-    The binding is domain-local ([Domain.DLS]): a pool task installing
-    its own registry does not affect tasks running on other domains. *)
+    / [?spans] uses these instead.  Lets a harness (the bench runner, a
+    CLI) instrument whole experiment modules without changing their
+    code.  The binding is domain-local ([Domain.DLS]): a pool task
+    installing its own registry does not affect tasks running on other
+    domains. *)
 
 val clear_instrumentation : unit -> unit
 (** Remove the ambient instrumentation installed by

@@ -25,6 +25,9 @@ let faults_injected t =
 
 let guard_trips t = count t (function Probe.Guard_trip _ -> true | _ -> false)
 
+let path_growths t =
+  count t (function Probe.Path_growth _ -> true | _ -> false)
+
 let migrations t =
   count t (function Probe.Agent_wake { migrated; _ } -> migrated | _ -> false)
 
@@ -100,6 +103,7 @@ let to_string t =
   add "integrator step batches" (step_batches t);
   add "agent wake-ups" (agent_wakes t);
   add "agent migrations" (migrations t);
+  add "paths grown" (path_growths t);
   add "faults injected" (faults_injected t);
   add "guard trips" (guard_trips t);
   let series = potential_series t in

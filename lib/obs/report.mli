@@ -23,6 +23,9 @@ val agent_wakes : t -> int
 val migrations : t -> int
 (** [Agent_wake] events with [migrated = true]. *)
 
+val path_growths : t -> int
+(** Number of [Path_growth] events (columns admitted by colgen). *)
+
 val faults_injected : t -> int
 (** Number of [Fault_injected] events. *)
 

@@ -1,0 +1,175 @@
+module Table = Staleroute_util.Table
+module Stats = Staleroute_util.Stats
+module Clock = Staleroute_util.Clock
+
+(* Per-name aggregate.  Durations are kept as a list (newest first):
+   spans are recorded at phase granularity, so a run produces thousands
+   of samples at most and quantiles are computed once, at profile
+   time. *)
+type agg = {
+  mutable count : int;
+  mutable total_ns : float;
+  mutable self_ns : float;
+  mutable samples : float list;
+}
+
+(* Open-span frames live in a preallocated, reused stack so steady-state
+   enter/exit allocates nothing (the stack only grows on record-depth
+   highs). *)
+type frame = {
+  mutable fname : string;
+  mutable start_ns : float;
+  mutable child_ns : float;
+}
+
+type recorder = {
+  on : bool;
+  mutable stack : frame array;
+  mutable depth : int;
+  aggs : (string, agg) Hashtbl.t;
+}
+
+type handle = int
+
+let null = { on = false; stack = [||]; depth = 0; aggs = Hashtbl.create 1 }
+
+let create () =
+  {
+    on = true;
+    stack = Array.init 8 (fun _ -> { fname = ""; start_ns = 0.; child_ns = 0. });
+    depth = 0;
+    aggs = Hashtbl.create 16;
+  }
+
+let enabled r = r.on
+
+let enter r name =
+  if not r.on then 0
+  else begin
+    let d = r.depth in
+    if d = Array.length r.stack then
+      r.stack <-
+        Array.append r.stack
+          (Array.init (Array.length r.stack) (fun _ ->
+               { fname = ""; start_ns = 0.; child_ns = 0. }));
+    let fr = r.stack.(d) in
+    fr.fname <- name;
+    fr.child_ns <- 0.;
+    fr.start_ns <- Clock.now_ns ();
+    r.depth <- d + 1;
+    d
+  end
+
+let exit r h =
+  if r.on then begin
+    if h <> r.depth - 1 then
+      invalid_arg "Span.exit: handle is not the innermost open span";
+    let now = Clock.now_ns () in
+    let fr = r.stack.(h) in
+    r.depth <- h;
+    let elapsed = now -. fr.start_ns in
+    if h > 0 then begin
+      let parent = r.stack.(h - 1) in
+      parent.child_ns <- parent.child_ns +. elapsed
+    end;
+    let agg =
+      match Hashtbl.find_opt r.aggs fr.fname with
+      | Some a -> a
+      | None ->
+          let a = { count = 0; total_ns = 0.; self_ns = 0.; samples = [] } in
+          Hashtbl.add r.aggs fr.fname a;
+          a
+    in
+    agg.count <- agg.count + 1;
+    agg.total_ns <- agg.total_ns +. elapsed;
+    agg.self_ns <- agg.self_ns +. (elapsed -. fr.child_ns);
+    agg.samples <- elapsed :: agg.samples
+  end
+
+let record r name f =
+  if not r.on then f ()
+  else begin
+    let h = enter r name in
+    match f () with
+    | y ->
+        exit r h;
+        y
+    | exception e ->
+        (* Restore balance: discard every span opened below [h] (their
+           frames were abandoned by the exception) and close this one. *)
+        r.depth <- h + 1;
+        exit r h;
+        raise e
+  end
+
+type entry = {
+  name : string;
+  count : int;
+  total_ns : float;
+  self_ns : float;
+  p50_ns : float;
+  p90_ns : float;
+  max_ns : float;
+}
+
+type profile = entry list
+
+let profile r =
+  Hashtbl.fold
+    (fun name (a : agg) acc ->
+      let xs = Array.of_list a.samples in
+      let qs = Stats.quantiles xs [| 0.5; 0.9 |] in
+      {
+        name;
+        count = a.count;
+        total_ns = a.total_ns;
+        self_ns = a.self_ns;
+        p50_ns = qs.(0);
+        p90_ns = qs.(1);
+        max_ns = Array.fold_left Float.max xs.(0) xs;
+      }
+      :: acc)
+    r.aggs []
+  |> List.sort (fun a b ->
+         match Float.compare b.total_ns a.total_ns with
+         | 0 -> String.compare a.name b.name
+         | c -> c)
+
+let ms ns = Printf.sprintf "%.3f" (ns /. 1e6)
+
+let to_table p =
+  let table =
+    Table.create ~title:"span profile (wall clock)"
+      ~columns:
+        [ "span"; "count"; "total ms"; "self ms"; "p50 ms"; "p90 ms"; "max ms" ]
+  in
+  List.iter
+    (fun e ->
+      Table.add_row table
+        [
+          e.name;
+          string_of_int e.count;
+          ms e.total_ns;
+          ms e.self_ns;
+          ms e.p50_ns;
+          ms e.p90_ns;
+          ms e.max_ns;
+        ])
+    p;
+  table
+
+let to_json p =
+  Json.Obj
+    (List.map
+       (fun e ->
+         ( e.name,
+           Json.Obj
+             [
+               ("count", Json.Int e.count);
+               ("total_ns", Json.Float e.total_ns);
+               ("self_ns", Json.Float e.self_ns);
+               ("p50_ns", Json.Float e.p50_ns);
+               ("p90_ns", Json.Float e.p90_ns);
+               ("max_ns", Json.Float e.max_ns);
+             ] ))
+       p)

@@ -191,6 +191,17 @@ let events_of_string s =
 
 let write_events oc events = output_string oc (events_to_string events)
 
+let schema_version = 1
+
+let header_json =
+  Json.Obj
+    [ ("ev", Json.String "trace_meta"); ("schema", Json.Int schema_version) ]
+
+let write_trace oc events =
+  output_string oc (Json.to_string header_json);
+  output_char oc '\n';
+  write_events oc events
+
 let jsonl_sink oc ev =
   output_string oc (Json.to_string (event_to_json ev));
   output_char oc '\n';

@@ -21,6 +21,22 @@ val events_of_string : string -> (Probe.event list, string) result
 val write_events : out_channel -> Probe.event array -> unit
 (** {!events_to_string} to the channel (no flush). *)
 
+(** {1 Versioned traces} *)
+
+val schema_version : int
+(** Current trace schema version ([1]). *)
+
+val header_json : Json.t
+(** The schema stamp written as the {e first} JSONL record of a
+    versioned trace: [{"ev":"trace_meta","schema":N}].  It is a pure
+    constant — no wall clock, no host identity — so versioned traces
+    stay byte-identical across same-seed runs.  {!Trace_reader} accepts
+    both versioned and legacy headerless streams. *)
+
+val write_trace : out_channel -> Probe.event array -> unit
+(** {!header_json} on the first line, then {!write_events} — what
+    [routesim --trace] writes.  (No flush.) *)
+
 val jsonl_sink : out_channel -> Probe.sink
 (** A streaming sink: each emitted event is written (and flushed) as
     one JSONL line the moment it happens — for watching a run live,

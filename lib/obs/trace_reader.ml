@@ -1,0 +1,121 @@
+type meta = { schema : int }
+
+let parse_meta json =
+  match Json.member "ev" json with
+  | Some (Json.String "trace_meta") -> (
+      match Option.bind (Json.member "schema" json) Json.to_int with
+      | Some v when v >= 1 && v <= Trace_export.schema_version ->
+          Ok (Some { schema = v })
+      | Some v ->
+          Error
+            (Printf.sprintf "unsupported trace schema %d (this reader knows %d)"
+               v Trace_export.schema_version)
+      | None -> Error "trace_meta record without a schema field")
+  | _ -> Ok None
+
+(* Fold line by line.  Only the first non-blank line may be a schema
+   stamp; anywhere else "trace_meta" is an unknown event kind and
+   errors like any other bad record. *)
+let fold_channel ic ~init ~f =
+  let rec go lineno ~first meta acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (meta, acc)
+    | line ->
+        if String.trim line = "" then go (lineno + 1) ~first meta acc
+        else begin
+          match Json.of_string line with
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+          | Ok json -> (
+              let as_meta = if first then parse_meta json else Ok None in
+              match as_meta with
+              | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+              | Ok (Some m) -> go (lineno + 1) ~first:false (Some m) acc
+              | Ok None -> (
+                  match Trace_export.event_of_json json with
+                  | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+                  | Ok ev -> go (lineno + 1) ~first:false meta (f acc ev)))
+        end
+  in
+  go 1 ~first:true None init
+
+let with_file path k =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic -> Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> k ic)
+
+let fold_file path ~init ~f = with_file path (fun ic -> fold_channel ic ~init ~f)
+
+let read_file path =
+  Result.map
+    (fun (meta, rev) -> (meta, List.rev rev))
+    (fold_file path ~init:[] ~f:(fun acc ev -> ev :: acc))
+
+type divergence = {
+  line : int;
+  byte_offset : int;
+  left : string option;
+  right : string option;
+  left_event : Probe.event option;
+  right_event : Probe.event option;
+}
+
+type diff_result = Identical of { events : int } | Diverged of divergence
+
+let parse_event_opt = function
+  | None -> None
+  | Some line -> (
+      match Json.of_string line with
+      | Error _ -> None
+      | Ok json -> (
+          match Trace_export.event_of_json json with
+          | Ok ev -> Some ev
+          | Error _ -> None))
+
+let is_event_line line =
+  String.trim line <> ""
+  &&
+  match Json.of_string line with
+  | Error _ -> false
+  | Ok json -> (
+      match Trace_export.event_of_json json with Ok _ -> true | Error _ -> false)
+
+let diff_files path_a path_b =
+  with_file path_a (fun ia ->
+      with_file path_b (fun ib ->
+          let rec go lineno offset events =
+            let la = try Some (input_line ia) with End_of_file -> None in
+            let lb = try Some (input_line ib) with End_of_file -> None in
+            match (la, lb) with
+            | None, None -> Ok (Identical { events })
+            | Some a, Some b when String.equal a b ->
+                go (lineno + 1)
+                  (offset + String.length a + 1)
+                  (if is_event_line a then events + 1 else events)
+            | left, right ->
+                Ok
+                  (Diverged
+                     {
+                       line = lineno;
+                       byte_offset = offset;
+                       left;
+                       right;
+                       left_event = parse_event_opt left;
+                       right_event = parse_event_opt right;
+                     })
+          in
+          go 1 0 0))
+
+let describe = function
+  | Identical { events } -> Printf.sprintf "identical (%d events)" events
+  | Diverged d ->
+      let side name = function
+        | None -> Printf.sprintf "  %s: <end of file>" name
+        | Some line -> Printf.sprintf "  %s: %s" name line
+      in
+      String.concat "\n"
+        [
+          Printf.sprintf "first divergence at line %d (byte offset %d):" d.line
+            d.byte_offset;
+          side "left " d.left;
+          side "right" d.right;
+        ]

@@ -85,11 +85,12 @@ let minimize ?(max_iter = 10_000) ?(tol = 1e-8) ~objective ~gradient inst =
   in
   loop 0
 
-let equilibrium ?max_iter ?tol inst =
-  minimize ?max_iter ?tol
-    ~objective:(fun f -> Potential.phi inst f)
-    ~gradient:(fun f -> Flow.path_latencies inst f)
-    inst
+let equilibrium ?(spans = Staleroute_obs.Span.null) ?max_iter ?tol inst =
+  Staleroute_obs.Span.record spans "fw_solve" (fun () ->
+      minimize ?max_iter ?tol
+        ~objective:(fun f -> Potential.phi inst f)
+        ~gradient:(fun f -> Flow.path_latencies inst f)
+        inst)
 
 let optimum_potential ?max_iter ?tol inst =
   (equilibrium ?max_iter ?tol inst).objective

@@ -27,9 +27,15 @@ val minimize :
     path index.  Stops when the duality gap drops below [tol] (default
     [1e-8]) or after [max_iter] (default 10_000) iterations. *)
 
-val equilibrium : ?max_iter:int -> ?tol:float -> Instance.t -> result
+val equilibrium :
+  ?spans:Staleroute_obs.Span.recorder ->
+  ?max_iter:int ->
+  ?tol:float ->
+  Instance.t ->
+  result
 (** Wardrop equilibrium: minimises the BMW potential [Φ]; the gradient
-    by [f_P] is the path latency [ℓ_P]. *)
+    by [f_P] is the path latency [ℓ_P].  [spans] (default disabled)
+    records the whole solve under a wall-clock ["fw_solve"] span. *)
 
 val optimum_potential : ?max_iter:int -> ?tol:float -> Instance.t -> float
 (** [Φ* = min_f Φ(f)]. *)

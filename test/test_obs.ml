@@ -139,6 +139,17 @@ let every_event_kind =
     Probe.Round { index = 3; potential = 1.25 };
     Probe.Agent_wake
       { time = 2.25; agent = 17; from_path = 0; to_path = 1; migrated = true };
+    Probe.Path_growth
+      {
+        time = 2.5;
+        index = 2;
+        commodity = 1;
+        cost = 0.75;
+        incumbent = 0.9;
+        path_count = 12;
+      };
+    Probe.Fault_injected { time = 2.75; index = 2; kind = "noise"; arg = 0.05 };
+    Probe.Guard_trip { time = 2.8; index = 2; action = "repair"; worst = 1e-9 };
     Probe.Note { time = 3.; name = "phi gap"; value = 1e-6 };
   |]
 
@@ -443,6 +454,22 @@ let test_report_counts_and_series () =
   check_true "summary table present" (contains rendered "run summary");
   check_true "sparkline present" (contains rendered "potential gap")
 
+let test_report_zero_phases () =
+  (* A report over an empty (or phase-free) trace must render, not
+     crash on empty series. *)
+  let report = Report.of_events [||] in
+  check_int "no phases" 0 (Report.phases report);
+  check_int "no reposts" 0 (Report.board_reposts report);
+  check_int "empty potential series" 0
+    (Array.length (Report.potential_series report));
+  check_int "empty delta series" 0
+    (Array.length (Report.delta_phi_series report));
+  let rendered = Report.to_string report in
+  check_true "summary still renders" (contains rendered "run summary");
+  let only_notes = Report.of_events [| Probe.Note { time = 0.; name = "x"; value = 1. } |] in
+  check_true "note-only trace renders"
+    (String.length (Report.to_string only_notes) > 0)
+
 let prop_report_series_matches_trajectory =
   qcheck ~count:25
     "qcheck: report potential series = trajectory potential gap"
@@ -520,6 +547,7 @@ let suite =
     case "discrete events" test_discrete_events;
     case "simulator probe counts" test_simulator_probe_counts;
     case "report counts and series" test_report_counts_and_series;
+    case "report renders zero phases" test_report_zero_phases;
     prop_report_series_matches_trajectory;
     case "disabled probe allocation-free" test_disabled_probe_allocation_free;
   ]

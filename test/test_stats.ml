@@ -78,6 +78,24 @@ let test_quantiles_match_quantile () =
         (Stats.quantile xs q) batch.(i))
     qs
 
+let test_quantiles_extremes () =
+  let xs = [| 5.; 1.; 3. |] in
+  let qs = Stats.quantiles xs [| 0.; 1. |] in
+  check_close "q0 is min" 1. qs.(0);
+  check_close "q1 is max" 5. qs.(1)
+
+let test_quantiles_single () =
+  let qs = Stats.quantiles [| 7. |] [| 0.; 0.5; 1. |] in
+  Array.iter (check_close "singleton at every q" 7.) qs
+
+let test_quantiles_constant () =
+  let qs = Stats.quantiles [| 2.; 2.; 2.; 2. |] [| 0.; 0.25; 0.5; 1. |] in
+  Array.iter (check_close "all-equal sample at every q" 2.) qs
+
+let test_quantiles_empty_qs () =
+  check_int "no quantiles requested" 0
+    (Array.length (Stats.quantiles [| 1.; 2. |] [||]))
+
 let test_quantiles_rejects () =
   check_raises_invalid "quantiles of empty" (fun () ->
       Stats.quantiles [||] [| 0.5 |]);
@@ -167,6 +185,10 @@ let suite =
     case "summarize empty" test_summarize_empty;
     case "confidence95" test_confidence95;
     case "quantiles match quantile" test_quantiles_match_quantile;
+    case "quantiles extremes" test_quantiles_extremes;
+    case "quantiles single sample" test_quantiles_single;
+    case "quantiles all-equal sample" test_quantiles_constant;
+    case "quantiles empty request" test_quantiles_empty_qs;
     case "quantiles rejects" test_quantiles_rejects;
     case "histogram empty" test_histogram_empty;
     case "histogram single sample" test_histogram_single;
