@@ -403,6 +403,32 @@ let bench_rates ~quota_s ~json_path () =
   let board2 = Bulletin_board.post inst ~time:1e-3 flow2 in
   let upd_kernel = Rate_kernel.build inst policy ~board in
   let flip = ref false in
+  (* The sparse-delta workload: a two-path transfer within one
+     commodity.  Two flow entries move, two edges go dirty, and only
+     the four paths over them change — the steady-state fresh-mode
+     step, where [repost] + [update ?changed] replace the full post and
+     the dense refresh. *)
+  let flow3 =
+    let g = Staleroute_util.Vec.copy flow in
+    Staleroute_util.Vec.set g 0 (Staleroute_util.Vec.get g 0 -. 0.004);
+    Staleroute_util.Vec.set g 1 (Staleroute_util.Vec.get g 1 +. 0.004);
+    g
+  in
+  let delta = Bulletin_board.delta () in
+  let board3 =
+    Bulletin_board.repost ~delta inst ~prev:board ~time:1e-3 flow3
+  in
+  (* The changed set is symmetric (same paths move bits in either
+     direction), so one copy serves the whole flip chain. *)
+  let changed =
+    ( Array.sub
+        (Bulletin_board.changed_paths delta)
+        0
+        (Bulletin_board.changed_count delta),
+      Bulletin_board.changed_count delta )
+  in
+  let sparse_kernel = Rate_kernel.build inst policy ~board in
+  let sflip = ref false in
   let tests =
     [
       Test.make ~name:"reference"
@@ -420,6 +446,23 @@ let bench_rates ~quota_s ~json_path () =
              ignore
                (Rate_kernel.update upd_kernel
                   ~board:(if !flip then board2 else board))));
+      Test.make ~name:"board-post"
+        (Staged.stage (fun () ->
+             ignore (Bulletin_board.post inst ~time:0. flow)));
+      (let prev = ref board in
+       let rflip = ref false in
+       Test.make ~name:"board-repost"
+         (Staged.stage (fun () ->
+              rflip := not !rflip;
+              prev :=
+                Bulletin_board.repost ~delta inst ~prev:!prev ~time:0.
+                  (if !rflip then flow3 else flow))));
+      Test.make ~name:"kernel-update-sparse"
+        (Staged.stage (fun () ->
+             sflip := not !sflip;
+             ignore
+               (Rate_kernel.update ~changed sparse_kernel
+                  ~board:(if !sflip then board3 else board))));
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) () in
@@ -440,13 +483,21 @@ let bench_rates ~quota_s ~json_path () =
   let kern_ns = get "kernel" in
   let build_ns = get "kernel-build" in
   let update_ns = get "kernel-update" in
+  let post_ns = get "board-post" in
+  let repost_ns = get "board-repost" in
+  let upd_sparse_ns = get "kernel-update-sparse" in
   (* Fresh information re-posts (and recompiles) every integrator step,
-     so a fresh-mode step costs one kernel compile plus one evaluation.
-     The acceptance bar for the incremental path: amortized
-     update + eval at least 2x cheaper than rebuild + eval. *)
-  let fresh_sps = 1e9 /. (update_ns +. kern_ns) in
+     so a fresh-mode step costs one board snapshot, one kernel
+     recompile and one evaluation.  The steady-state step is the
+     sparse-delta pipeline (repost + sub-row update); the rebuild
+     baseline is the full post + from-scratch build it replaced. *)
+  let fresh_sps = 1e9 /. (repost_ns +. upd_sparse_ns +. kern_ns) in
   let rebuild_sps = 1e9 /. (build_ns +. kern_ns) in
-  let fresh_speedup = (build_ns +. kern_ns) /. (update_ns +. kern_ns) in
+  let fresh_speedup =
+    (post_ns +. build_ns +. kern_ns)
+    /. (repost_ns +. upd_sparse_ns +. kern_ns)
+  in
+  let repost_speedup = post_ns /. repost_ns in
   let words = euler_words_per_step inst kernel in
   let paths = Instance.path_count inst in
   let table =
@@ -461,9 +512,18 @@ let bench_rates ~quota_s ~json_path () =
   Table.add_row table [ "kernel build (per board post)"; Printf.sprintf "%.1f" build_ns ];
   Table.add_row table
     [ "kernel update (incremental)"; Printf.sprintf "%.1f" update_ns ];
+  Table.add_row table
+    [ "kernel update (sparse delta)"; Printf.sprintf "%.1f" upd_sparse_ns ];
+  Table.add_row table [ "board post (full)"; Printf.sprintf "%.1f" post_ns ];
+  Table.add_row table
+    [ "board repost (sparse delta)"; Printf.sprintf "%.1f" repost_ns ];
+  Table.add_row table
+    [ "repost speedup"; Printf.sprintf "%.1fx" repost_speedup ];
   Table.add_row table [ "speedup"; Printf.sprintf "%.1fx" (ref_ns /. kern_ns) ];
   Table.add_row table
-    [ "fresh-mode steps/s (update+eval)"; Printf.sprintf "%.0f" fresh_sps ];
+    [
+      "fresh-mode steps/s (repost+update+eval)"; Printf.sprintf "%.0f" fresh_sps;
+    ];
   Table.add_row table
     [ "fresh-mode amortized speedup"; Printf.sprintf "%.1fx" fresh_speedup ];
   Table.add_row table
@@ -480,8 +540,13 @@ let bench_rates ~quota_s ~json_path () =
     \    \"reference\": %.2f,\n\
     \    \"kernel\": %.2f,\n\
     \    \"kernel_build\": %.2f,\n\
-    \    \"kernel_update\": %.2f\n\
+    \    \"kernel_update\": %.2f,\n\
+    \    \"kernel_update_sparse\": %.2f,\n\
+    \    \"board_post\": %.2f,\n\
+    \    \"board_repost\": %.2f\n\
     \  },\n\
+    \  \"repost_ns_per_op\": %.2f,\n\
+    \  \"repost_speedup\": %.2f,\n\
     \  \"speedup_kernel_vs_reference\": %.2f,\n\
     \  \"fresh_mode\": { \"steps_per_sec\": %.0f, \
      \"rebuild_steps_per_sec\": %.0f, \"amortized_speedup\": %.2f },\n\
@@ -491,7 +556,8 @@ let bench_rates ~quota_s ~json_path () =
     (Domain.recommended_domain_count ())
     paths
     (Instance.commodity_count inst)
-    ref_ns kern_ns build_ns update_ns (ref_ns /. kern_ns) fresh_sps
+    ref_ns kern_ns build_ns update_ns upd_sparse_ns post_ns repost_ns
+    repost_ns repost_speedup (ref_ns /. kern_ns) fresh_sps
     rebuild_sps fresh_speedup words;
   close_out oc;
   Printf.printf "(perf trajectory written to %s)\n%!" json_path
@@ -535,6 +601,21 @@ let micro () =
               ignore
                 (Rate_kernel.update uk
                    ~board:(if !flip then board2 else board)))));
+      Test.make ~name:"board post (16 paths)"
+        (Staged.stage (fun () ->
+             ignore (Bulletin_board.post inst ~time:0. flow)));
+      (let g = Staleroute_util.Vec.copy flow in
+       Staleroute_util.Vec.set g 0 (Staleroute_util.Vec.get g 0 -. 0.004);
+       Staleroute_util.Vec.set g 1 (Staleroute_util.Vec.get g 1 +. 0.004);
+       let delta = Bulletin_board.delta () in
+       let prev = ref board in
+       let flip = ref false in
+       Test.make ~name:"board repost sparse (16 paths)"
+         (Staged.stage (fun () ->
+              flip := not !flip;
+              prev :=
+                Bulletin_board.repost ~delta inst ~prev:!prev ~time:0.
+                  (if !flip then g else flow))));
       (let x = Staleroute_util.Vec.create 256 1.5 in
        let y = Staleroute_util.Vec.create 256 0.5 in
        Test.make ~name:"vec axpy (256)"
@@ -1563,6 +1644,44 @@ let perf_smoke ~json_path () =
   in
   check "kernel update minor words <= 64 (no per-entry alloc)"
     (update_words <= 64.);
+  (* Steady-state repost cost: with a persistent delta scratch, a
+     repost allocates only the new board's own arrays (flow copy, edge
+     and path latencies, the record) — bounded by the instance, never
+     by scan work.  A per-dirty-entry allocation would blow well past
+     the bound. *)
+  let delta = Bulletin_board.delta () in
+  let flow3 =
+    let g = Staleroute_util.Vec.copy flow in
+    Staleroute_util.Vec.set g 0 (Staleroute_util.Vec.get g 0 -. 0.004);
+    Staleroute_util.Vec.set g 1 (Staleroute_util.Vec.get g 1 +. 0.004);
+    g
+  in
+  let prev = ref board in
+  let rflip = ref false in
+  let repost_words =
+    words_per_call (fun () ->
+        rflip := not !rflip;
+        prev :=
+          Bulletin_board.repost ~delta inst ~prev:!prev ~time:0.
+            (if !rflip then flow3 else flow))
+  in
+  check "repost minor words <= 256 (board arrays only)"
+    (repost_words <= 256.);
+  (* Per-post work scales with the delta, not the network: on 200
+     parallel links a two-path transfer re-gathers exactly the two
+     touched edges. *)
+  let big = multicommodity_parallel 200 in
+  let bflow = Flow.uniform big in
+  let bprev = Bulletin_board.post big ~time:0. bflow in
+  let bflow2 =
+    let g = Staleroute_util.Vec.copy bflow in
+    Staleroute_util.Vec.set g 0 (Staleroute_util.Vec.get g 0 -. 0.002);
+    Staleroute_util.Vec.set g 1 (Staleroute_util.Vec.get g 1 +. 0.002);
+    g
+  in
+  ignore (Bulletin_board.repost ~delta big ~prev:bprev ~time:1. bflow2);
+  let big_dirty = Bulletin_board.dirty_edges delta in
+  check "two-path transfer dirties 2 of 200 edges" (big_dirty = 2);
   let pass = !failures = 0 in
   let oc = open_out json_path in
   Printf.fprintf oc
@@ -1574,6 +1693,8 @@ let perf_smoke ~json_path () =
     \  \"euler_minor_words_per_step\": %.2f,\n\
     \  \"vec_minor_words_per_call\": { %s },\n\
     \  \"kernel_update_minor_words_per_call\": %.2f,\n\
+    \  \"repost_minor_words_per_call\": %.2f,\n\
+    \  \"repost_dirty_edges_two_path_transfer\": %d,\n\
     \  \"pass\": %b\n\
      }\n"
     (meta_block ())
@@ -1583,7 +1704,7 @@ let perf_smoke ~json_path () =
        (List.map
           (fun (name, w) -> Printf.sprintf "\"%s\": %.2f" name w)
           vec_words))
-    update_words pass;
+    update_words repost_words big_dirty pass;
   close_out oc;
   Printf.printf "(perf smoke written to %s)\n%!" json_path;
   if not pass then exit 1

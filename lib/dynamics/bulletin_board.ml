@@ -1,4 +1,6 @@
 open Staleroute_wardrop
+module Vec = Staleroute_util.Vec
+module Latency = Staleroute_latency.Latency
 
 type t = {
   posted_at : float;
@@ -6,6 +8,7 @@ type t = {
   path_latencies : float array;
   edge_latencies : float array;
   revision : int;
+  clean : bool;
 }
 
 (* Process-wide post counter: every snapshot gets a strictly increasing
@@ -21,26 +24,271 @@ let posts () = Atomic.get posts_counter
 
 let next_revision () = 1 + Atomic.fetch_and_add posts_counter 1
 
-let post_with inst ~time ~flow ~edge_latencies =
-  if Array.length edge_latencies
-     <> Staleroute_graph.Digraph.edge_count (Instance.graph inst)
-  then invalid_arg "Bulletin_board.post_with: one latency per edge required";
-  let edge_latencies = Array.copy edge_latencies in
-  let path_latencies =
-    Array.init (Instance.path_count inst) (fun p ->
-        Flow.path_latency inst ~edge_latencies p)
-  in
+let edge_count inst =
+  Staleroute_graph.Digraph.edge_count (Instance.graph inst)
+
+(* The no-copy constructor behind every posting path: the caller owns
+   all three containers outright (it just built or copied them), so no
+   defensive copy is paid here.  Only [post_with] — whose array is
+   caller-supplied — copies before reaching this. *)
+let make_owned ~time ~flow ~path_latencies ~edge_latencies ~clean =
   {
     posted_at = time;
-    flow = Staleroute_util.Vec.copy flow;
+    flow;
     path_latencies;
     edge_latencies;
     revision = next_revision ();
+    clean;
   }
+
+let path_latencies_of inst ~edge_latencies =
+  Array.init (Instance.path_count inst) (fun p ->
+      Flow.path_latency inst ~edge_latencies p)
+
+let post_with inst ~time ~flow ~edge_latencies =
+  if Array.length edge_latencies <> edge_count inst then
+    invalid_arg "Bulletin_board.post_with: one latency per edge required";
+  let edge_latencies = Array.copy edge_latencies in
+  make_owned ~time ~flow:(Vec.copy flow)
+    ~path_latencies:(path_latencies_of inst ~edge_latencies)
+    ~edge_latencies ~clean:false
 
 let post inst ~time flow =
   let edge_latencies = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
-  post_with inst ~time ~flow ~edge_latencies
+  make_owned ~time ~flow:(Vec.copy flow)
+    ~path_latencies:(path_latencies_of inst ~edge_latencies)
+    ~edge_latencies ~clean:true
+
+let restore inst ~time ~flow ~edge_latencies =
+  (* Checkpoint-resume constructor: [post_with] plus a cleanliness
+     verification on this cold path.  A resumed run must drive the same
+     sparse-vs-full repost decisions (and dirty counters) as the
+     uninterrupted one, so a board whose latencies are exactly the ones
+     its flow induces gets its [clean] bit back. *)
+  let b = post_with inst ~time ~flow ~edge_latencies in
+  let induced = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
+  let clean = ref true in
+  for e = 0 to Array.length induced - 1 do
+    if
+      Int64.bits_of_float induced.(e)
+      <> Int64.bits_of_float b.edge_latencies.(e)
+    then clean := false
+  done;
+  { b with clean = !clean }
+
+(* --- sparse-delta re-posting --- *)
+
+type delta = {
+  mutable edge_mark : bool array;  (* edge id: flow re-gather pending *)
+  mutable dirty_edge : int array;  (* packed list of marked edges *)
+  mutable n_dirty_edges : int;
+  mutable path_mark : bool array;  (* path: latency recompute pending *)
+  mutable dirty_path : int array;  (* packed list of marked paths *)
+  mutable n_dirty_paths : int;
+  mutable changed : int array;  (* ascending: flow or latency bits moved *)
+  mutable n_changed : int;
+}
+
+let delta () =
+  {
+    edge_mark = [||];
+    dirty_edge = [||];
+    n_dirty_edges = 0;
+    path_mark = [||];
+    dirty_path = [||];
+    n_dirty_paths = 0;
+    changed = [||];
+    n_changed = 0;
+  }
+
+let ensure d ~edges ~paths =
+  if Array.length d.edge_mark < edges then begin
+    d.edge_mark <- Array.make edges false;
+    d.dirty_edge <- Array.make edges 0
+  end;
+  if Array.length d.path_mark < paths then begin
+    d.path_mark <- Array.make paths false;
+    d.dirty_path <- Array.make paths 0;
+    d.changed <- Array.make paths 0
+  end
+
+let dirty_edges d = d.n_dirty_edges
+let dirty_paths d = d.n_dirty_paths
+let changed_count d = d.n_changed
+let changed_paths d = d.changed
+
+let[@inline] bits_differ a b = Int64.bits_of_float a <> Int64.bits_of_float b
+
+let check_repost_frame ~who inst ~prev ~flow =
+  let n = Instance.path_count inst in
+  if Vec.dim flow <> n then
+    invalid_arg (who ^ ": flow dimension mismatch");
+  if Vec.dim prev.flow <> n || Array.length prev.edge_latencies <> edge_count inst
+  then invalid_arg (who ^ ": previous board is over a different instance")
+
+(* Recompute the latencies of every path incident to a listed dirty
+   edge, via the transposed incidence; everything else keeps its copied
+   (bit-identical) value.  Also fills [d.dirty_path] and clears the path
+   marks on the way out. *)
+let refresh_dirty_path_latencies d inst ~edge_latencies ~path_latencies =
+  let t_off = Instance.edge_csr_offsets inst in
+  let t_paths = Instance.edge_csr_paths inst in
+  d.n_dirty_paths <- 0;
+  for i = 0 to d.n_dirty_edges - 1 do
+    let e = d.dirty_edge.(i) in
+    for k = t_off.(e) to t_off.(e + 1) - 1 do
+      let p = Array.unsafe_get t_paths k in
+      if not (Array.unsafe_get d.path_mark p) then begin
+        Array.unsafe_set d.path_mark p true;
+        d.dirty_path.(d.n_dirty_paths) <- p;
+        d.n_dirty_paths <- d.n_dirty_paths + 1
+      end
+    done
+  done;
+  for i = 0 to d.n_dirty_paths - 1 do
+    let p = d.dirty_path.(i) in
+    path_latencies.(p) <- Flow.path_latency inst ~edge_latencies p;
+    d.path_mark.(p) <- false
+  done
+
+(* The changed set handed to [Rate_kernel.update]: paths whose posted
+   flow or posted latency moved bits, in ascending order. *)
+let collect_changed d ~n ~flow ~pflow ~path_latencies ~prev_path_latencies =
+  d.n_changed <- 0;
+  for p = 0 to n - 1 do
+    if
+      bits_differ (Vec.unsafe_get flow p) (Vec.unsafe_get pflow p)
+      || bits_differ
+           (Array.unsafe_get path_latencies p)
+           (Array.unsafe_get prev_path_latencies p)
+    then begin
+      d.changed.(d.n_changed) <- p;
+      d.n_changed <- d.n_changed + 1
+    end
+  done
+
+(* Delta-aware re-post.  Find the paths whose flow moved bits, mark
+   their edges dirty through the path->edge CSR, re-gather only the
+   dirty edges' flows — in the canonical ascending-path order of a full
+   [Flow.edge_flows] scan, which the transposed incidence rows preserve
+   by construction — re-evaluate only dirty edge latencies, and
+   recompute path latencies only for paths incident to a dirty edge.
+   Unchanged inputs through the same pure float expressions give
+   unchanged bits, so the board is bitwise identical to a fresh [post]
+   (the qcheck differential suite pins it down).
+
+   The sparse gather is only sound from a [clean] previous board (its
+   latencies are exactly the ones its flow induces); from an unclean
+   board (fault-injected latencies survive on undirty edges otherwise)
+   the edge side recomputes in full and only the changed set is still
+   extracted for the kernel update. *)
+let repost ?delta:d inst ~prev ~time flow =
+  check_repost_frame ~who:"Bulletin_board.repost" inst ~prev ~flow;
+  let n = Instance.path_count inst in
+  let ec = edge_count inst in
+  let d = match d with Some d -> d | None -> delta () in
+  ensure d ~edges:ec ~paths:n;
+  let pflow = prev.flow in
+  if prev.clean then begin
+    let offsets = Instance.csr_offsets inst in
+    let edges = Instance.csr_edges inst in
+    d.n_dirty_edges <- 0;
+    for p = 0 to n - 1 do
+      if bits_differ (Vec.unsafe_get flow p) (Vec.unsafe_get pflow p) then
+        for k = offsets.(p) to offsets.(p + 1) - 1 do
+          let e = Array.unsafe_get edges k in
+          if not (Array.unsafe_get d.edge_mark e) then begin
+            Array.unsafe_set d.edge_mark e true;
+            d.dirty_edge.(d.n_dirty_edges) <- e;
+            d.n_dirty_edges <- d.n_dirty_edges + 1
+          end
+        done
+    done;
+    let edge_latencies = Array.copy prev.edge_latencies in
+    let t_off = Instance.edge_csr_offsets inst in
+    let t_paths = Instance.edge_csr_paths inst in
+    for i = 0 to d.n_dirty_edges - 1 do
+      let e = d.dirty_edge.(i) in
+      (* Same skip, same ascending-path accumulation order as
+         [Flow.edge_flows]: identical bits. *)
+      let acc = ref 0. in
+      for k = t_off.(e) to t_off.(e + 1) - 1 do
+        let fp = Vec.unsafe_get flow (Array.unsafe_get t_paths k) in
+        if fp <> 0. then acc := !acc +. fp
+      done;
+      edge_latencies.(e) <- Latency.eval (Instance.latency inst e) !acc;
+      d.edge_mark.(e) <- false
+    done;
+    let path_latencies = Array.copy prev.path_latencies in
+    refresh_dirty_path_latencies d inst ~edge_latencies ~path_latencies;
+    collect_changed d ~n ~flow ~pflow ~path_latencies
+      ~prev_path_latencies:prev.path_latencies;
+    make_owned ~time ~flow:(Vec.copy flow) ~path_latencies ~edge_latencies
+      ~clean:true
+  end
+  else begin
+    let edge_latencies =
+      Flow.edge_latencies inst (Flow.edge_flows inst flow)
+    in
+    let path_latencies = path_latencies_of inst ~edge_latencies in
+    (* Full recompute: every edge and path was (re)done. *)
+    d.n_dirty_edges <- ec;
+    d.n_dirty_paths <- n;
+    collect_changed d ~n ~flow ~pflow ~path_latencies
+      ~prev_path_latencies:prev.path_latencies;
+    make_owned ~time ~flow:(Vec.copy flow) ~path_latencies ~edge_latencies
+      ~clean:true
+  end
+
+(* The delta-aware twin of [post_with], for caller-supplied latencies
+   (fault injection): dirty edges are the ones whose supplied latency
+   moved bits against the previous posting, and only their incident
+   paths' latencies recompute.  A board's path latencies are always
+   consistent with its own edge latencies, so a path with no dirty edge
+   keeps bit-identical latency whether [prev] was clean or not. *)
+let repost_with ?delta:d inst ~prev ~time ~flow ~edge_latencies =
+  if Array.length edge_latencies <> edge_count inst then
+    invalid_arg "Bulletin_board.repost_with: one latency per edge required";
+  check_repost_frame ~who:"Bulletin_board.repost_with" inst ~prev ~flow;
+  let n = Instance.path_count inst in
+  let ec = edge_count inst in
+  let d = match d with Some d -> d | None -> delta () in
+  ensure d ~edges:ec ~paths:n;
+  d.n_dirty_edges <- 0;
+  for e = 0 to ec - 1 do
+    if bits_differ edge_latencies.(e) prev.edge_latencies.(e) then begin
+      d.dirty_edge.(d.n_dirty_edges) <- e;
+      d.n_dirty_edges <- d.n_dirty_edges + 1
+    end
+  done;
+  let path_latencies = Array.copy prev.path_latencies in
+  refresh_dirty_path_latencies d inst ~edge_latencies ~path_latencies;
+  collect_changed d ~n ~flow ~pflow:prev.flow ~path_latencies
+    ~prev_path_latencies:prev.path_latencies;
+  make_owned ~time ~flow:(Vec.copy flow) ~path_latencies
+    ~edge_latencies:(Array.copy edge_latencies) ~clean:false
+
+let repost_grown inst ~prev =
+  let n = Instance.path_count inst in
+  let n0 = Vec.dim prev.flow in
+  if n < n0 then
+    invalid_arg "Bulletin_board.repost_grown: the path set shrank";
+  if Array.length prev.edge_latencies <> edge_count inst then
+    invalid_arg
+      "Bulletin_board.repost_grown: previous board is over a different graph";
+  (* Same snapshot over the grown index: admitted columns carry zero
+     posted flow, so edge flows — hence edge latencies — are untouched,
+     and the latency array is shared with [prev] outright (boards are
+     immutable).  Only the new columns' path latencies are computed. *)
+  let path_latencies = Array.make n 0. in
+  Array.blit prev.path_latencies 0 path_latencies 0 n0;
+  let edge_latencies = prev.edge_latencies in
+  for p = n0 to n - 1 do
+    path_latencies.(p) <- Flow.path_latency inst ~edge_latencies p
+  done;
+  make_owned ~time:prev.posted_at
+    ~flow:(Vec.extend prev.flow ~dim:n)
+    ~path_latencies ~edge_latencies ~clean:prev.clean
 
 let revision b = b.revision
 

@@ -2,7 +2,15 @@
 
     At the beginning of every phase of length [T] the current flow and
     the latencies it induces are posted; all agent decisions during the
-    phase read the posted values.  A board is an immutable snapshot. *)
+    phase read the posted values.  A board is an immutable snapshot.
+
+    Re-posting is delta-aware (DESIGN.md §13): {!repost} starts from the
+    previous snapshot, touches only edges and paths whose inputs moved
+    bits, and still produces a board {b bitwise identical} to a fresh
+    {!post} — unchanged inputs through the same pure float expressions
+    give unchanged bits, and the sparse edge-flow re-gather walks the
+    transposed incidence in the same ascending-path order as a full
+    [Flow.edge_flows] scan. *)
 
 open Staleroute_wardrop
 
@@ -12,6 +20,13 @@ type t = private {
   path_latencies : float array;  (** [ℓ_P(f(t̂))] by global path index *)
   edge_latencies : float array;  (** [ℓ_e(f(t̂))] by edge id *)
   revision : int;             (** process-wide post ordinal, see {!revision} *)
+  clean : bool;
+      (** whether [edge_latencies] are exactly the ones [flow] induces —
+          [true] for {!post}/{!repost} snapshots, [false] for
+          caller-supplied latencies ({!post_with}/{!repost_with}: fault
+          injection posts mixed-age or noisy boards).  {!repost} only
+          trusts the sparse gather from a clean previous board; from an
+          unclean one it recomputes the edge side in full. *)
 }
 
 val post : Instance.t -> time:float -> Flow.t -> t
@@ -25,13 +40,92 @@ val post_with :
   Instance.t -> time:float -> flow:Flow.t -> edge_latencies:float array -> t
 (** Post a board whose {e edge latencies are supplied by the caller}
     instead of evaluated at the flow — the constructor behind fault
-    injection ({!Faults}: noisy or partially refreshed boards) and
-    checkpoint restore.  Path latencies are recomputed from the given
-    edge latencies (same summation as {!post}, so a restored board is
-    bit-identical to the original).  Both arrays are copied; the
-    revision counter advances as for {!post}.  Raises
+    injection ({!Faults}: noisy or partially refreshed boards).  Path
+    latencies are recomputed from the given edge latencies (same
+    summation as {!post}, so a restored board is bit-identical to the
+    original).  Both arrays are copied; the revision counter advances as
+    for {!post}; the board is marked unclean.  Raises
     [Invalid_argument] if [edge_latencies] does not have one entry per
     edge. *)
+
+val restore :
+  Instance.t -> time:float -> flow:Flow.t -> edge_latencies:float array -> t
+(** {!post_with}, plus a cleanliness check: when the supplied latencies
+    are bitwise the ones the flow induces, the board is marked clean.
+    The checkpoint-resume constructor — a resumed run must drive the
+    same sparse-vs-full {!repost} decisions (and dirty-work counters) as
+    the uninterrupted one, and this cold-path verification is what
+    restores the [clean] bit a serialized board lost. *)
+
+(** {1 Delta-aware re-posting} *)
+
+type delta
+(** Persistent scratch for the {!repost} family: dirty-edge and
+    dirty-path marks, their packed lists, and the changed-path set.
+    Reusable across reposts (the driver paths allocate one per run), so
+    a steady-state repost allocates nothing beyond the new board's own
+    arrays.  Auto-resizes to the largest instance it has served; not
+    shareable across domains (single-domain state, like probes). *)
+
+val delta : unit -> delta
+(** A fresh, empty scratch value. *)
+
+val dirty_edges : delta -> int
+(** Number of edges whose flow was re-gathered (latency re-evaluated)
+    by the last repost through this scratch — the sparse-work measure
+    the [repost_dirty_edges] metric reports. *)
+
+val dirty_paths : delta -> int
+(** Number of paths whose latency was recomputed by the last repost. *)
+
+val changed_count : delta -> int
+(** Size of the changed-path set of the last repost (see
+    {!changed_paths}). *)
+
+val changed_paths : delta -> int array
+(** The changed-path set of the last repost: global indices of paths
+    whose posted flow or posted latency moved bits, ascending — exactly
+    the [?changed] argument {!Rate_kernel.update} wants.  Only the
+    first {!changed_count} entries are meaningful; the array is the
+    scratch's own buffer (do not mutate, do not hold across reposts). *)
+
+val repost : ?delta:delta -> Instance.t -> prev:t -> time:float -> Flow.t -> t
+(** [repost inst ~prev ~time flow] snapshots [flow] like {!post}, but
+    starts from the previous board: only edges incident to a path whose
+    flow moved bits get their flow re-gathered (canonical
+    ascending-path order, see {!Instance.edge_csr_paths}) and latency
+    re-evaluated, and only paths incident to such an edge get their
+    latency recomputed.  The result is {b bitwise identical} to
+    [post inst ~time flow] — the qcheck differential suite pins it
+    down.  From an unclean [prev] (see {!type-t}) the edge side
+    recomputes in full instead; the changed set is still extracted.
+    Raises [Invalid_argument] when [flow] or [prev] does not match the
+    instance's dimensions. *)
+
+val repost_with :
+  ?delta:delta ->
+  Instance.t ->
+  prev:t ->
+  time:float ->
+  flow:Flow.t ->
+  edge_latencies:float array ->
+  t
+(** The delta-aware twin of {!post_with} (bitwise identical to it):
+    dirty edges are the supplied latencies that moved bits against
+    [prev]'s, and only their incident paths' latencies recompute.  The
+    board is marked unclean, like {!post_with}'s.  Raises
+    [Invalid_argument] on dimension mismatches. *)
+
+val repost_grown : Instance.t -> prev:t -> t
+(** Re-post [prev] over a grown active set ([inst] must be an
+    {!Instance.extend} of the instance [prev] was posted over): same
+    snapshot time, flow zero-extended, edge latencies {e shared} with
+    [prev] (admitted columns carry zero posted flow, so edge flows are
+    untouched — boards are immutable), and only the new columns' path
+    latencies computed.  Bitwise identical to the equivalent
+    {!post_with} over the grown instance; cleanliness is inherited from
+    [prev].  Raises [Invalid_argument] when [inst] is smaller than
+    [prev]'s index or over a different graph. *)
 
 val revision : t -> int
 (** The value of the post counter when this board was posted.  A

@@ -51,7 +51,13 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
   | _ -> ());
   let inst_r = ref inst in
   let reposts = Metrics.counter metrics "board_reposts" in
+  (* Dirty-work of delta reposts — metrics only, never events. *)
+  let repost_edges = Metrics.counter metrics "repost_dirty_edges" in
+  let repost_paths = Metrics.counter metrics "repost_dirty_paths" in
   let rebuilds = Metrics.counter metrics "kernel_rebuilds" in
+  (* Persistent repost scratch — one per run, never shared across
+     domains. *)
+  let delta = Bulletin_board.delta () in
   let m_rounds = Metrics.counter metrics "rounds" in
   let grown_c =
     Metrics.counter
@@ -81,7 +87,7 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
       Probe.emit probe (Probe.Fault_injected { time; index; kind; arg });
     Metrics.incr faults_c
   in
-  let announce_and_compile ?prev ~time board =
+  let announce_and_compile ?prev ?changed ~time board =
     if Probe.enabled probe then Probe.emit probe (Probe.Board_repost { time });
     Metrics.incr reposts;
     let sp =
@@ -92,7 +98,7 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
       (* Incremental recompile when a previous kernel is live — bitwise
          identical to a fresh [build] (see {!Rate_kernel.update}). *)
       match prev with
-      | Some k -> Rate_kernel.update k ~board
+      | Some k -> Rate_kernel.update ?changed k ~board
       | None -> Rate_kernel.build !inst_r config.policy ~board
     in
     Span.exit spans sp;
@@ -101,11 +107,26 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
     Metrics.incr rebuilds;
     (board, kernel)
   in
+  (* Account the delta scratch's dirty-work counts and hand the changed
+     set to the kernel update — shared tail of every repost path. *)
+  let after_repost () =
+    Metrics.incr ~by:(Bulletin_board.dirty_edges delta) repost_edges;
+    Metrics.incr ~by:(Bulletin_board.dirty_paths delta) repost_paths;
+    (Bulletin_board.changed_paths delta, Bulletin_board.changed_count delta)
+  in
   let post ?prev time =
-    let sp = Span.enter spans "board_post" in
-    let board = Bulletin_board.post !inst_r ~time !f in
-    Span.exit spans sp;
-    announce_and_compile ?prev ~time board
+    match prev with
+    | Some (pb, pk) ->
+        let sp = Span.enter spans "board_repost" in
+        let board = Bulletin_board.repost ~delta !inst_r ~prev:pb ~time !f in
+        Span.exit spans sp;
+        let changed = after_repost () in
+        announce_and_compile ~prev:pk ~changed ~time board
+    | None ->
+        let sp = Span.enter spans "board_post" in
+        let board = Bulletin_board.post !inst_r ~time !f in
+        Span.exit spans sp;
+        announce_and_compile ~time board
   in
   (* The compiled kernel lives as long as its board post — which under
      fault injection can span several update periods (dropped re-posts
@@ -149,13 +170,7 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
             if Probe.enabled probe then
               Probe.emit probe (Probe.Board_repost { time });
             Metrics.incr reposts;
-            let board' =
-              Bulletin_board.post_with inst'
-                ~time:board.Bulletin_board.posted_at
-                ~flow:(Staleroute_util.Vec.extend board.Bulletin_board.flow
-                         ~dim:n')
-                ~edge_latencies:board.Bulletin_board.edge_latencies
-            in
+            let board' = Bulletin_board.repost_grown inst' ~prev:board in
             let sp = Span.enter spans "kernel_grow" in
             let kernel' = Rate_kernel.grow kernel inst' ~board:board' in
             Span.exit spans sp;
@@ -196,15 +211,20 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
           (match fault with
           | Some fault -> emit_fault ~time ~index:u fault
           | None -> ());
+          let sp = Span.enter spans "board_repost" in
+          let board =
+            Faults.board ~delta faults ~index:u fault !inst_r ~time ~prev !f
+          in
+          Span.exit spans sp;
+          let changed = after_repost () in
           posted :=
-            announce_and_compile ~prev:(snd !posted) ~time
-              (Faults.board faults ~index:u fault !inst_r ~time ~prev !f)
+            announce_and_compile ~prev:(snd !posted) ~changed ~time board
     end;
     if k mod config.rounds_per_update = 0 then
       try_grow ~index:(k / config.rounds_per_update) ~time;
     if !pending = Some k then begin
       pending := None;
-      posted := post ~prev:(snd !posted) time
+      posted := post ~prev:!posted time
     end;
     let board, kernel = !posted in
     assert (Rate_kernel.is_current kernel ~board);

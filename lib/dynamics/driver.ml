@@ -67,6 +67,8 @@ type instruments = {
   probe : Probe.t;
   spans : Span.recorder;
   reposts : Metrics.counter;
+  repost_edges : Metrics.counter;
+  repost_paths : Metrics.counter;
   rebuilds : Metrics.counter;
   derivs : Metrics.counter;
   build_ns : Metrics.histogram;
@@ -78,6 +80,11 @@ let instruments probe spans metrics ~faults =
     probe;
     spans;
     reposts = Metrics.counter metrics "board_reposts";
+    (* Dirty-work of delta reposts: how many edge latencies were
+       re-evaluated / path latencies recomputed.  Metrics only, never
+       events — trace byte-identity surfaces are untouched. *)
+    repost_edges = Metrics.counter metrics "repost_dirty_edges";
+    repost_paths = Metrics.counter metrics "repost_dirty_paths";
     rebuilds = Metrics.counter metrics "kernel_rebuilds";
     derivs = Metrics.counter metrics "derivative_evals";
     build_ns = Metrics.histogram metrics "kernel_build_ns";
@@ -122,7 +129,7 @@ let emit_fault ins ~time ~index fault =
    [Sys.time] is CPU time — coarse for a single build but meaningful
    accumulated over a run — and is consulted only when the histogram is
    live, keeping uninstrumented runs free of clock reads. *)
-let announce_and_compile ?prev inst policy ~ins ~time board =
+let announce_and_compile ?prev ?changed inst policy ~ins ~time board =
   if Probe.enabled ins.probe then
     Probe.emit ins.probe (Probe.Board_repost { time });
   Metrics.incr ins.reposts;
@@ -134,7 +141,7 @@ let announce_and_compile ?prev inst policy ~ins ~time board =
   in
   let kernel =
     match prev with
-    | Some l -> Rate_kernel.update l.kernel ~board
+    | Some l -> Rate_kernel.update ?changed l.kernel ~board
     | None -> Rate_kernel.build inst policy ~board
   in
   Span.exit ins.spans sp;
@@ -145,17 +152,32 @@ let announce_and_compile ?prev inst policy ~ins ~time board =
   assert (Rate_kernel.is_current kernel ~board);
   { board; kernel }
 
-let post_and_compile ?prev inst policy ~ins ~time f =
-  let sp = Span.enter ins.spans "board_post" in
-  let board = Bulletin_board.post inst ~time f in
-  Span.exit ins.spans sp;
-  announce_and_compile ?prev inst policy ~ins ~time board
+(* Account the delta scratch's dirty-work counts and hand the changed
+   set to the kernel update — shared tail of every repost path. *)
+let after_repost ~ins ~delta =
+  Metrics.incr ~by:(Bulletin_board.dirty_edges delta) ins.repost_edges;
+  Metrics.incr ~by:(Bulletin_board.dirty_paths delta) ins.repost_paths;
+  (Bulletin_board.changed_paths delta, Bulletin_board.changed_count delta)
+
+let post_and_compile ?prev inst policy ~ins ~delta ~time f =
+  match prev with
+  | Some l ->
+      let sp = Span.enter ins.spans "board_repost" in
+      let board = Bulletin_board.repost ~delta inst ~prev:l.board ~time f in
+      Span.exit ins.spans sp;
+      let changed = after_repost ~ins ~delta in
+      announce_and_compile ~prev:l ~changed inst policy ~ins ~time board
+  | None ->
+      let sp = Span.enter ins.spans "board_post" in
+      let board = Bulletin_board.post inst ~time f in
+      Span.exit ins.spans sp;
+      announce_and_compile inst policy ~ins ~time board
 
 (* The "a re-post lands now" path: build the (possibly Partial/Noise
    faulted) board for update [index] and compile it.  Drop/Delay/Partial
    faults with no previous board to lean on degrade to a clean post —
    nothing was actually injected, so no fault event is emitted. *)
-let post_faulted inst policy ~ins ~faults ~index fault ~time ~prev f =
+let post_faulted inst policy ~ins ~delta ~faults ~index fault ~time ~prev f =
   let fault =
     match
       (fault, (prev : live option))
@@ -167,10 +189,19 @@ let post_faulted inst policy ~ins ~faults ~index fault ~time ~prev f =
   | Some fault -> emit_fault ins ~time ~index fault
   | None -> ());
   let prev_board = Option.map (fun l -> l.board) prev in
-  let sp = Span.enter ins.spans "board_post" in
-  let board = Faults.board faults ~index fault inst ~time ~prev:prev_board f in
+  let sp =
+    Span.enter ins.spans
+      (match prev_board with Some _ -> "board_repost" | None -> "board_post")
+  in
+  let board =
+    Faults.board ~delta faults ~index fault inst ~time ~prev:prev_board f
+  in
   Span.exit ins.spans sp;
-  announce_and_compile ?prev inst policy ~ins ~time board
+  match prev with
+  | Some _ ->
+      let changed = after_repost ~ins ~delta in
+      announce_and_compile ?prev ~changed inst policy ~ins ~time board
+  | None -> announce_and_compile inst policy ~ins ~time board
 
 (* The driver always runs on the compiled kernel path: a board is
    compiled to a [Rate_kernel.t] once per post and the phase is
@@ -184,8 +215,8 @@ let post_faulted inst policy ~ins ~faults ~index fault ~time ~prev f =
    operative posting is established — under a dropped re-post that is
    the {e old} board, which is exactly the model-consistent oracle:
    agents can only discover routes the board actually shows. *)
-let advance_one_phase inst config ~ins ~pool ~grow_hook ~faults ~index:k ~live
-    ~time f =
+let advance_one_phase inst config ~ins ~pool ~delta ~grow_hook ~faults
+    ~index:k ~live ~time f =
   let tau = phase_length config in
   let steps = config.steps_per_phase in
   let stage = Integrator.stage_evals config.scheme in
@@ -242,8 +273,8 @@ let advance_one_phase inst config ~ins ~pool ~grow_hook ~faults ~index:k ~live
               ~steps:s1 g;
             let post_time = time +. (h *. float_of_int s1) in
             let l' =
-              post_and_compile ~prev:l inst config.policy ~ins ~time:post_time
-                g
+              post_and_compile ~prev:l inst config.policy ~ins ~delta
+                ~time:post_time g
             in
             integrate ~inst ~kernel:l'.kernel ~t0:post_time
               ~tau:(h *. float_of_int (steps - s1))
@@ -252,8 +283,8 @@ let advance_one_phase inst config ~ins ~pool ~grow_hook ~faults ~index:k ~live
           end
       | fault, live ->
           let l =
-            post_faulted inst config.policy ~ins ~faults ~index:k fault ~time
-              ~prev:live f
+            post_faulted inst config.policy ~ins ~delta ~faults ~index:k fault
+              ~time ~prev:live f
           in
           let l, g, inst = grow_hook ~index:k ~time l g in
           integrate ~inst ~kernel:l.kernel ~t0:time ~tau ~steps g;
@@ -280,8 +311,8 @@ let advance_one_phase inst config ~ins ~pool ~grow_hook ~faults ~index:k ~live
         | fault, lv ->
             live :=
               Some
-                (post_faulted !inst config.policy ~ins ~faults ~index:u fault
-                   ~time:step_time ~prev:lv !g));
+                (post_faulted !inst config.policy ~ins ~delta ~faults ~index:u
+                   fault ~time:step_time ~prev:lv !g));
         if j = 0 then begin
           let l', g', inst' =
             grow_hook ~index:k ~time:step_time (Option.get !live) !g
@@ -297,8 +328,11 @@ let advance_one_phase inst config ~ins ~pool ~grow_hook ~faults ~index:k ~live
       (!g, !live)
 
 let restore_live inst policy b =
+  (* [restore], not [post_with]: it re-verifies whether the checkpointed
+     latencies are exactly the flow-induced ones, so a resumed run makes
+     the same sparse/full repost decisions as the uninterrupted one. *)
   let board =
-    Bulletin_board.post_with inst ~time:b.posted_at ~flow:b.board_flow
+    Bulletin_board.restore inst ~time:b.posted_at ~flow:b.board_flow
       ~edge_latencies:b.board_latencies
   in
   { board; kernel = Rate_kernel.build inst policy ~board }
@@ -316,6 +350,9 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
   | _ -> ());
   let tau = phase_length config in
   let ins = instruments probe spans metrics ~faults in
+  (* Persistent repost scratch — one per run, never shared across
+     domains (pooled sweeps create their own driver per task). *)
+  let delta = Bulletin_board.delta () in
   let h_phi = Metrics.histogram metrics "phase_potential" in
   let h_dphi = Metrics.histogram metrics "phase_delta_phi" in
   let h_vgain = Metrics.histogram metrics "phase_virtual_gain" in
@@ -416,12 +453,7 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
               if Probe.enabled ins.probe then
                 Probe.emit ins.probe (Probe.Board_repost { time });
               Metrics.incr ins.reposts;
-              let board =
-                Bulletin_board.post_with inst'
-                  ~time:l.board.Bulletin_board.posted_at
-                  ~flow:(Vec.extend l.board.Bulletin_board.flow ~dim:n')
-                  ~edge_latencies:l.board.Bulletin_board.edge_latencies
-              in
+              let board = Bulletin_board.repost_grown inst' ~prev:l.board in
               let timed = Metrics.enabled_histogram ins.build_ns in
               let t0 = if timed then Sys.time () else 0. in
               let sp = Span.enter spans "kernel_grow" in
@@ -456,8 +488,8 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
         (Probe.Phase_start
            { index = k; time = start_time; potential = start_potential });
     let next, live' =
-      advance_one_phase !inst_r config ~ins ~pool:vpool ~grow_hook ~faults
-        ~index:k ~live:!live ~time:start_time !f
+      advance_one_phase !inst_r config ~ins ~pool:vpool ~delta ~grow_hook
+        ~faults ~index:k ~live:!live ~time:start_time !f
     in
     live := live';
     let inst = !inst_r in

@@ -190,9 +190,13 @@ let fault_at t ~index =
     else None
   end
 
-let board t ~index fault inst ~time ~prev flow =
+let board ?delta t ~index fault inst ~time ~prev flow =
   match (fault, prev) with
   | Some (Partial fraction), Some old ->
+      (* The fresh latencies are computed for every edge even though
+         only the refreshed subset survives: the per-edge RNG draws
+         must consume the stream in edge order regardless of the
+         subset, so the plan stays a pure function of (seed, index). *)
       let fresh = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
       let stale = old.Bulletin_board.edge_latencies in
       let rng = rng_for t ~index ~stream:1 in
@@ -202,12 +206,19 @@ let board t ~index fault inst ~time ~prev flow =
             if Rng.uniform rng < fraction then fresh_e else stale.(e))
           fresh
       in
-      Bulletin_board.post_with inst ~time ~flow ~edge_latencies:mixed
+      Bulletin_board.repost_with ?delta inst ~prev:old ~time ~flow
+        ~edge_latencies:mixed
   | Some (Noise sigma), _ ->
       let fresh = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
       let rng = rng_for t ~index ~stream:2 in
       let noisy =
         Array.map (fun l -> l *. exp (sigma *. Rng.gaussian rng)) fresh
       in
-      Bulletin_board.post_with inst ~time ~flow ~edge_latencies:noisy
+      (match prev with
+      | Some old ->
+          Bulletin_board.repost_with ?delta inst ~prev:old ~time ~flow
+            ~edge_latencies:noisy
+      | None ->
+          Bulletin_board.post_with inst ~time ~flow ~edge_latencies:noisy)
+  | _, Some old -> Bulletin_board.repost ?delta inst ~prev:old ~time flow
   | _ -> Bulletin_board.post inst ~time flow

@@ -100,6 +100,7 @@ val fault_at : t -> index:int -> fault option
     plans. *)
 
 val board :
+  ?delta:Bulletin_board.delta ->
   t ->
   index:int ->
   fault option ->
@@ -114,4 +115,10 @@ val board :
     [prev] is [None]), perturbed for [Noise].  The seeded draws (edge
     subset, noise) are pure functions of [(seed, index)].  Drops and
     delays are the {e caller's} responsibility — this function is the
-    "what lands" half of the fault model. *)
+    "what lands" half of the fault model.
+
+    When [prev] is available the board is built by the delta-aware
+    {!Bulletin_board.repost} / {!Bulletin_board.repost_with} (bitwise
+    identical to the fresh constructors); pass [?delta] to reuse
+    scratch across calls and to read the dirty-work counts and the
+    changed-path set afterwards. *)

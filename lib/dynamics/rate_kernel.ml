@@ -219,7 +219,43 @@ let refresh_row_cols t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a =
 
 let[@inline] bits_differ a b = Int64.bits_of_float a <> Int64.bits_of_float b
 
-let update t ~board =
+(* Refresh one commodity's block from freshly set dirty flags
+   ([t.lat_dirty]/[t.col_dirty] over local indices, [any_lat]/[any_col]
+   their disjunctions).  Shared by [update]'s full scan and its
+   changed-set path.  Rows with a dirty latency recompute in full (the
+   row's mu factor changed everywhere); other rows recompute dirty
+   columns only.  A block with no dirty flag at all is skipped outright:
+   its stored entries and b-order row sums were computed by the very
+   expressions a fresh build would run on the very same bits. *)
+let refresh_commodity t ~lat ~bflow ~sampling ~mig_kind ~mig_prm ~ci ~any_lat
+    ~any_col =
+  let ps = t.paths_of.(ci) in
+  let m = Array.length ps in
+  let off = t.mat_off.(ci) in
+  match sampling with
+  | Sampling.Logit _ ->
+      (* Softmax normalisation couples every sigma entry to every
+         latency in the commodity; the whole block refreshes or none of
+         it does (sigma and mu both read latencies only). *)
+      if any_lat then begin
+        Sampling.distribution_into sampling t.inst ~commodity:ci ~flow:bflow
+          ~latencies:lat ~from_:ps.(0) ~dst:t.sigma;
+        for a = 0 to m - 1 do
+          refresh_row t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a
+        done
+      end
+  | _ ->
+      if any_lat || any_col then begin
+        Sampling.distribution_into sampling t.inst ~commodity:ci ~flow:bflow
+          ~latencies:lat ~from_:ps.(0) ~dst:t.sigma;
+        for a = 0 to m - 1 do
+          if Array.unsafe_get t.lat_dirty a then
+            refresh_row t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a
+          else refresh_row_cols t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a
+        done
+      end
+
+let update ?changed t ~board =
   let old = t.board in
   let lat = board.Bulletin_board.path_latencies in
   let olat = old.Bulletin_board.path_latencies in
@@ -234,54 +270,44 @@ let update t ~board =
   if not incremental then
     (* Custom sampling or migration: the closures may not be pure
        functions of the posted data, and a fresh build would re-invoke
-       them — so must we.  Still an in-place recompile: no arrays are
-       reallocated. *)
+       them — so must we (the changed set is ignored).  Still an
+       in-place recompile: no arrays are reallocated. *)
     for ci = 0 to t.commodities - 1 do
       compile_commodity t.inst sampling migration
         ~origin_indep:(Sampling.origin_independent sampling)
         ~paths_of:t.paths_of ~mat_off:t.mat_off ~mat:t.mat
         ~row_sum:t.row_sum ~lat ~bflow ~sigma:t.sigma ci
     done
-  else
-    for ci = 0 to t.commodities - 1 do
-      let ps = t.paths_of.(ci) in
-      let m = Array.length ps in
-      let off = t.mat_off.(ci) in
-      let lat_dirty = t.lat_dirty and col_dirty = t.col_dirty in
-      let any_lat = ref false in
-      for j = 0 to m - 1 do
-        let q = Array.unsafe_get ps j in
-        let ch =
-          bits_differ (Array.unsafe_get lat q) (Array.unsafe_get olat q)
-        in
-        Array.unsafe_set lat_dirty j ch;
-        if ch then any_lat := true
-      done;
-      match sampling with
-      | Sampling.Logit _ ->
-          (* Softmax normalisation couples every sigma entry to every
-             latency in the commodity; the whole block refreshes or
-             none of it does (sigma and mu both read latencies only). *)
-          if !any_lat then begin
-            Sampling.distribution_into sampling t.inst ~commodity:ci
-              ~flow:bflow ~latencies:lat ~from_:ps.(0) ~dst:t.sigma;
-            for a = 0 to m - 1 do
-              refresh_row t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a
-            done
-          end
-      | Sampling.Uniform | Sampling.Proportional | Sampling.Mixed _ ->
-          (* sigma_b depends on nothing (Uniform) or only on the posted
-             flow of path b (Proportional/Mixed), so entry (a,b) is
-             stale exactly when ell_a, ell_b or sigma_b moved. *)
+  else begin
+    match changed with
+    | None ->
+        for ci = 0 to t.commodities - 1 do
+          let ps = t.paths_of.(ci) in
+          let m = Array.length ps in
+          let lat_dirty = t.lat_dirty and col_dirty = t.col_dirty in
+          let any_lat = ref false in
+          for j = 0 to m - 1 do
+            let q = Array.unsafe_get ps j in
+            let ch =
+              bits_differ (Array.unsafe_get lat q) (Array.unsafe_get olat q)
+            in
+            Array.unsafe_set lat_dirty j ch;
+            if ch then any_lat := true
+          done;
           let any_col = ref false in
           (match sampling with
+          | Sampling.Logit _ -> () (* whole-block; flags unused *)
           | Sampling.Uniform ->
               for j = 0 to m - 1 do
                 let d = Array.unsafe_get lat_dirty j in
                 Array.unsafe_set col_dirty j d;
                 if d then any_col := true
               done
-          | _ ->
+          | Sampling.Proportional | Sampling.Mixed _ ->
+              (* sigma_b depends on nothing (Uniform) or only on the
+                 posted flow of path b (Proportional/Mixed), so entry
+                 (a,b) is stale exactly when ell_a, ell_b or sigma_b
+                 moved. *)
               for j = 0 to m - 1 do
                 let q = Array.unsafe_get ps j in
                 let d =
@@ -291,19 +317,66 @@ let update t ~board =
                 in
                 Array.unsafe_set col_dirty j d;
                 if d then any_col := true
-              done);
-          if !any_lat || !any_col then begin
-            Sampling.distribution_into sampling t.inst ~commodity:ci
-              ~flow:bflow ~latencies:lat ~from_:ps.(0) ~dst:t.sigma;
-            for a = 0 to m - 1 do
-              if Array.unsafe_get t.lat_dirty a then
-                refresh_row t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a
-              else
-                refresh_row_cols t ~lat ~mig_kind ~mig_prm ~ps ~m ~off a
-            done
-          end
-      | Sampling.Custom _ -> assert false (* not incremental *)
-    done;
+              done
+          | Sampling.Custom _ -> assert false (* not incremental *));
+          refresh_commodity t ~lat ~bflow ~sampling ~mig_kind ~mig_prm ~ci
+            ~any_lat:!any_lat ~any_col:!any_col
+        done
+    | Some (chg, count) ->
+        (* The caller (a delta repost) guarantees every path outside
+           [chg.(0 .. count-1)] has bit-unchanged posted latency AND
+           flow, so only commodities owning a listed path need looking
+           at.  The list is ascending, but after [Instance.extend] a
+           commodity's paths may occupy several ascending runs of the
+           global index — each run is processed independently, which is
+           sound: entries always recompute from the {e new} board, so a
+           second pass over the same commodity is bitwise idempotent,
+           and any row sum transiently accumulated against a
+           not-yet-refreshed column is re-accumulated by that later
+           pass (a dirty column implies [any_col], which re-sums every
+           row of the block). *)
+        let i = ref 0 in
+        while !i < count do
+          let ci = Instance.commodity_of_path t.inst chg.(!i) in
+          let stop = ref (!i + 1) in
+          while
+            !stop < count && Instance.commodity_of_path t.inst chg.(!stop) = ci
+          do
+            incr stop
+          done;
+          let ps = t.paths_of.(ci) in
+          let m = Array.length ps in
+          Array.fill t.lat_dirty 0 m false;
+          Array.fill t.col_dirty 0 m false;
+          let any_lat = ref false and any_col = ref false in
+          for x = !i to !stop - 1 do
+            let q = chg.(x) in
+            let jl = Instance.local_index_of_path t.inst q in
+            let ch =
+              bits_differ (Array.unsafe_get lat q) (Array.unsafe_get olat q)
+            in
+            if ch then begin
+              t.lat_dirty.(jl) <- true;
+              any_lat := true
+            end;
+            let cd =
+              match sampling with
+              | Sampling.Uniform | Sampling.Logit _ -> ch
+              | _ ->
+                  ch
+                  || bits_differ (Vec.unsafe_get bflow q)
+                       (Vec.unsafe_get obflow q)
+            in
+            if cd then begin
+              t.col_dirty.(jl) <- true;
+              any_col := true
+            end
+          done;
+          refresh_commodity t ~lat ~bflow ~sampling ~mig_kind ~mig_prm ~ci
+            ~any_lat:!any_lat ~any_col:!any_col;
+          i := !stop
+        done
+  end;
   t.board <- board;
   t
 

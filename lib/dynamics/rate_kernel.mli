@@ -52,7 +52,7 @@ val build :
     inside a pool task — builds on the driver paths run within
     experiment tasks and must stay sequential there (the default). *)
 
-val update : t -> board:Bulletin_board.t -> t
+val update : ?changed:int array * int -> t -> board:Bulletin_board.t -> t
 (** [update t ~board] recompiles [t] {e in place} against a newly
     posted board and returns it: only σ·µ entries whose inputs (posted
     path latencies, and for flow-dependent samplings the posted flow)
@@ -62,12 +62,22 @@ val update : t -> board:Bulletin_board.t -> t
     reconstructs kernels with {!build} mid-chain and the byte-identity
     of resumed traces rides on the equivalence (qcheck pins it down).
 
+    [?changed:(paths, count)] narrows the dirty scan to the first
+    [count] entries of [paths] — ascending global indices such that
+    {b every other path has bit-unchanged posted latency and posted
+    flow} (exactly what {!Bulletin_board.changed_paths} hands out after
+    a delta repost).  Commodities owning no listed path are skipped
+    without being scanned, so the update costs
+    O(changed + refreshed entries) instead of O(|P|).  The caller owns
+    the guarantee; a wrong changed set silently leaves stale entries.
+    Without it, every path is compared (same result, full scan).
+
     The previous kernel value is destroyed: callers must not hold on to
     [t] as a kernel for the old board.  Policies with [Custom] sampling
     or migration fall back to a full (still allocation-free) in-place
     recompile — the closures are re-invoked exactly as a fresh build
-    would.  {!revision} advances to the new board's revision, exactly
-    as a rebuild. *)
+    would, and [?changed] is ignored.  {!revision} advances to the new
+    board's revision, exactly as a rebuild. *)
 
 val grow : t -> Instance.t -> board:Bulletin_board.t -> t
 (** [grow prev inst ~board] compiles a kernel for a {e grown} active

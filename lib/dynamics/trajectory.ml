@@ -28,7 +28,13 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
   let inst_r = ref inst in
   let pool = ref (Vec.Pool.create ~dim:(Instance.path_count inst)) in
   let reposts = Metrics.counter metrics "board_reposts" in
+  (* Dirty-work of delta reposts — metrics only, never events. *)
+  let repost_edges = Metrics.counter metrics "repost_dirty_edges" in
+  let repost_paths = Metrics.counter metrics "repost_dirty_paths" in
   let rebuilds = Metrics.counter metrics "kernel_rebuilds" in
+  (* Persistent repost scratch — one per recording, never shared across
+     domains. *)
+  let delta = Bulletin_board.delta () in
   let grown_c =
     Metrics.counter
       (match colgen with Some _ -> metrics | None -> Metrics.null)
@@ -54,7 +60,7 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
       Probe.emit probe (Probe.Fault_injected { time; index; kind; arg });
     Metrics.incr faults_c
   in
-  let announce_and_compile ?prev ~time board =
+  let announce_and_compile ?prev ?changed ~time board =
     if Probe.enabled probe then Probe.emit probe (Probe.Board_repost { time });
     Metrics.incr reposts;
     let sp =
@@ -66,7 +72,7 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
          live — bitwise identical to a fresh [build] (see
          {!Rate_kernel.update}). *)
       match prev with
-      | Some k -> Rate_kernel.update k ~board
+      | Some k -> Rate_kernel.update ?changed k ~board
       | None -> Rate_kernel.build !inst_r config.Driver.policy ~board
     in
     Span.exit spans sp;
@@ -75,11 +81,26 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
     Metrics.incr rebuilds;
     (board, kernel)
   in
+  (* Account the delta scratch's dirty-work counts and hand the changed
+     set to the kernel update — shared tail of every repost path. *)
+  let after_repost () =
+    Metrics.incr ~by:(Bulletin_board.dirty_edges delta) repost_edges;
+    Metrics.incr ~by:(Bulletin_board.dirty_paths delta) repost_paths;
+    (Bulletin_board.changed_paths delta, Bulletin_board.changed_count delta)
+  in
   let post_and_compile ?prev ~time flow =
-    let sp = Span.enter spans "board_post" in
-    let board = Bulletin_board.post !inst_r ~time flow in
-    Span.exit spans sp;
-    announce_and_compile ?prev ~time board
+    match prev with
+    | Some (pb, pk) ->
+        let sp = Span.enter spans "board_repost" in
+        let board = Bulletin_board.repost ~delta !inst_r ~prev:pb ~time flow in
+        Span.exit spans sp;
+        let changed = after_repost () in
+        announce_and_compile ~prev:pk ~changed ~time board
+    | None ->
+        let sp = Span.enter spans "board_post" in
+        let board = Bulletin_board.post !inst_r ~time flow in
+        Span.exit spans sp;
+        announce_and_compile ~time board
   in
   (* A faulted re-post that lands now; Drop/Delay/Partial with no
      previous board degrade to a clean post with no event (nothing was
@@ -94,12 +115,22 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
     | Some fault -> emit_fault ~time ~index fault
     | None -> ());
     let prev_board = Option.map fst prev in
-    let sp = Span.enter spans "board_post" in
+    let sp =
+      Span.enter spans
+        (match prev_board with
+        | Some _ -> "board_repost"
+        | None -> "board_post")
+    in
     let board =
-      Faults.board faults ~index fault !inst_r ~time ~prev:prev_board flow
+      Faults.board ~delta faults ~index fault !inst_r ~time ~prev:prev_board
+        flow
     in
     Span.exit spans sp;
-    announce_and_compile ?prev:(Option.map snd prev) ~time board
+    match prev with
+    | Some (_, pk) ->
+        let changed = after_repost () in
+        announce_and_compile ~prev:pk ~changed ~time board
+    | None -> announce_and_compile ~time board
   in
   let samples = ref [] in
   let sp0 = Span.enter spans "project" in
@@ -147,12 +178,7 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
             if Probe.enabled probe then
               Probe.emit probe (Probe.Board_repost { time });
             Metrics.incr reposts;
-            let board' =
-              Bulletin_board.post_with inst'
-                ~time:board.Bulletin_board.posted_at
-                ~flow:(Vec.extend board.Bulletin_board.flow ~dim:n')
-                ~edge_latencies:board.Bulletin_board.edge_latencies
-            in
+            let board' = Bulletin_board.repost_grown inst' ~prev:board in
             let sp = Span.enter spans "kernel_grow" in
             let kernel' = Rate_kernel.grow kernel inst' ~board:board' in
             Span.exit spans sp;
@@ -203,8 +229,7 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
       | Driver.Stale _ ->
           if !pending = Some j then
             (* The delayed post lands now, as a clean snapshot. *)
-            live :=
-              Some (post_and_compile ?prev:(Option.map snd !live) ~time !f)
+            live := Some (post_and_compile ?prev:!live ~time !f)
       | Driver.Fresh -> (
           (* Every chunk is an update; faults are keyed by the global
              update index.  A delayed post behaves as a dropped one —

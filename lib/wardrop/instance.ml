@@ -12,6 +12,8 @@ type t = {
   local_index_of_path : int array;
   csr_offsets : int array;
   csr_edges : int array;
+  edge_csr_offsets : int array;
+  edge_csr_paths : int array;
   max_path_length : int;
   beta : float;
   ell_max : float;
@@ -30,6 +32,38 @@ let () =
               column-generation core Path_pool instead of enumerating)"
              commodity cap)
     | _ -> None)
+
+(* Transposed incidence (edge -> path CSR), derived from the path -> edge
+   CSR by counting sort.  Each edge row lists the global indices of the
+   paths traversing it in {e ascending} order — that order is
+   load-bearing: a sparse per-edge flow re-gather
+   ([Bulletin_board.repost]) must accumulate path contributions in the
+   same p = 0,1,2,... order as the full [Flow.edge_flows] scan to stay
+   bitwise identical to it.  The counting sort below visits paths in
+   ascending order, so rows come out sorted by construction — and
+   because [extend] appends paths at the end of the global index,
+   rebuilding the transpose after growth reproduces every old row as a
+   prefix with the new paths appended. *)
+let transpose_csr ~edge_count ~path_count ~csr_offsets ~csr_edges =
+  let offsets = Array.make (edge_count + 1) 0 in
+  let nnz = csr_offsets.(path_count) in
+  for k = 0 to nnz - 1 do
+    let e = csr_edges.(k) in
+    offsets.(e + 1) <- offsets.(e + 1) + 1
+  done;
+  for e = 0 to edge_count - 1 do
+    offsets.(e + 1) <- offsets.(e + 1) + offsets.(e)
+  done;
+  let paths = Array.make (max 1 nnz) 0 in
+  let cursor = Array.copy offsets in
+  for p = 0 to path_count - 1 do
+    for k = csr_offsets.(p) to csr_offsets.(p + 1) - 1 do
+      let e = csr_edges.(k) in
+      paths.(cursor.(e)) <- p;
+      cursor.(e) <- cursor.(e) + 1
+    done
+  done;
+  (offsets, paths)
 
 (* Shared table builder: everything an instance derives from an explicit
    per-commodity path-set assignment.  [create] feeds it the full
@@ -76,6 +110,10 @@ let build_tables ~graph ~latencies ~commodities ~per_commodity =
     (fun p edges ->
       Array.iteri (fun k e -> csr_edges.(csr_offsets.(p) + k) <- e) edges)
     path_edges;
+  let edge_csr_offsets, edge_csr_paths =
+    transpose_csr ~edge_count:(Digraph.edge_count graph) ~path_count
+      ~csr_offsets ~csr_edges
+  in
   let max_path_length =
     Array.fold_left (fun m p -> max m (Path.length p)) 0 paths
   in
@@ -112,6 +150,8 @@ let build_tables ~graph ~latencies ~commodities ~per_commodity =
     local_index_of_path;
     csr_offsets;
     csr_edges;
+    edge_csr_offsets;
+    edge_csr_paths;
     max_path_length;
     beta;
     ell_max;
@@ -265,6 +305,13 @@ let extend t ~paths =
         (fun k e -> csr_edges.(csr_offsets.(p) + k) <- e)
         path_edges.(p)
     done;
+    (* Rebuilding the transpose from the grown CSR is the append: new
+       paths carry the largest indices, so the counting sort reproduces
+       every old edge row as a prefix and slots the new paths after. *)
+    let edge_csr_offsets, edge_csr_paths =
+      transpose_csr ~edge_count:(Digraph.edge_count t.graph)
+        ~path_count:n' ~csr_offsets ~csr_edges
+    in
     let max_path_length =
       Array.fold_left
         (fun m (_, p) -> max m (Path.length p))
@@ -292,6 +339,8 @@ let extend t ~paths =
       local_index_of_path;
       csr_offsets;
       csr_edges;
+      edge_csr_offsets;
+      edge_csr_paths;
       max_path_length;
       ell_max;
     }
@@ -340,6 +389,8 @@ let local_index_of_path t p =
 
 let csr_offsets t = t.csr_offsets
 let csr_edges t = t.csr_edges
+let edge_csr_offsets t = t.edge_csr_offsets
+let edge_csr_paths t = t.edge_csr_paths
 
 let demand t i = (commodity t i).Commodity.demand
 let max_path_length t = t.max_path_length

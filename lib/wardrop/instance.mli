@@ -101,6 +101,23 @@ val csr_edges : t -> int array
 (** CSR path→edge incidence, concatenated edge ids (shared array — do
     not mutate). *)
 
+val edge_csr_offsets : t -> int array
+(** Transposed (edge→path) CSR incidence, offsets: the paths traversing
+    edge [e] occupy
+    [edge_csr_paths.(edge_csr_offsets.(e)) ..
+     edge_csr_paths.(edge_csr_offsets.(e+1) - 1)].  Length
+    [edge_count + 1]; shared array — do not mutate. *)
+
+val edge_csr_paths : t -> int array
+(** Transposed CSR incidence, concatenated global path indices.  Each
+    edge's row is sorted in {e ascending} path order — the canonical
+    gather order: a sparse per-edge flow re-gather over this row
+    accumulates contributions in the same [p = 0,1,2,...] order as the
+    full [Flow.edge_flows] scan, which is what keeps
+    [Bulletin_board.repost] bitwise identical to a fresh post.
+    {!extend} preserves every old row as a prefix (new paths carry the
+    largest indices).  Shared array — do not mutate. *)
+
 val demand : t -> int -> float
 (** Demand of a commodity. *)
 

@@ -10,6 +10,14 @@ type t = {
   commodities : Commodity.t array;
   tolerance : float;
   seed_instance : Instance.t;
+  (* Negative-pricing memo for [grow]: the last (active instance,
+     posted latencies) that priced to "no growth".  Pricing is a pure
+     function of exactly those two, so re-pricing the same instance
+     under bit-identical latencies can only return the same empty
+     admission list — skipping the Dijkstra sweep is bitwise-inert.
+     Holds its own copy of the latency array (callers reuse buffers);
+     cleared whenever growth is admitted. *)
+  mutable no_growth : (Instance.t * float array) option;
 }
 
 type growth = {
@@ -53,6 +61,7 @@ let create ?(tolerance = 1e-9) ?(seed = Shortest) ?max_paths_per_commodity
     commodities = Array.of_list commodities;
     tolerance;
     seed_instance;
+    no_growth = None;
   }
 
 let instance t = t.seed_instance
@@ -101,15 +110,39 @@ let price t inst ~edge_latencies =
   done;
   !out
 
+let same_bits a b =
+  Array.length a = Array.length b
+  &&
+  let n = Array.length a in
+  let i = ref 0 in
+  let ok = ref true in
+  while !ok && !i < n do
+    if Int64.bits_of_float a.(!i) <> Int64.bits_of_float b.(!i) then
+      ok := false;
+    incr i
+  done;
+  !ok
+
 let grow t inst ~edge_latencies =
-  match price t inst ~edge_latencies with
-  | [] -> None
-  | adds ->
-      let inst' =
-        Instance.extend inst
-          ~paths:(List.map (fun g -> (g.commodity, g.path)) adds)
-      in
-      Some (inst', adds)
+  check_edge_latencies t edge_latencies;
+  let memo_hit =
+    match t.no_growth with
+    | Some (mi, ml) -> mi == inst && same_bits ml edge_latencies
+    | None -> false
+  in
+  if memo_hit then None
+  else
+    match price t inst ~edge_latencies with
+    | [] ->
+        t.no_growth <- Some (inst, Array.copy edge_latencies);
+        None
+    | adds ->
+        t.no_growth <- None;
+        let inst' =
+          Instance.extend inst
+            ~paths:(List.map (fun g -> (g.commodity, g.path)) adds)
+        in
+        Some (inst', adds)
 
 let replay t ~grown =
   Instance.extend t.seed_instance

@@ -87,7 +87,15 @@ val grow :
   (Instance.t * growth list) option
 (** {!price}, then {!Instance.extend} with the admitted columns.
     [None] when nothing priced in (the instance is returned physically
-    unchanged in that case — callers skip the re-post/rebuild). *)
+    unchanged in that case — callers skip the re-post/rebuild).
+
+    [grow] memoizes the last negative outcome: pricing the same active
+    instance again under bit-identical posted latencies skips the
+    Dijkstra sweep outright (the recomputation could only return the
+    same empty list — a pure-function cache, invisible in results, so
+    determinism, resume and pooled byte-identity are unaffected).  This
+    makes the pool value mutable scratch: do not share one pool across
+    domains. *)
 
 val replay : t -> grown:(int * int array) list -> Instance.t
 (** Reconstruct the grown instance from recorded growth:
