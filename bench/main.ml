@@ -212,6 +212,9 @@ let experiments =
     ( "e18",
       fun ~quick ~pool ~out ->
         buffer_tables out (E18_colgen_scaling.tables ?pool ~quick ()) );
+    ( "e19",
+      fun ~quick ~pool ~out ->
+        buffer_tables out (E19_edge_outage.tables ?pool ~quick ()) );
   ]
 
 let with_metrics = ref false
@@ -816,9 +819,13 @@ let trace_smoke ~json_path () =
    (seed, index); faulted traces are seed-deterministic; a NaN-producing
    policy trips the guard (raise under fail-fast, finite flow under
    repair); a run resumed from a mid-run snapshot replays the identical
-   trace; and dropped re-posts inflate the effective update period by
-   about 1/(1-p).  Writes BENCH_faults.json; exits non-zero on any
-   failure. *)
+   trace; dropped re-posts inflate the effective update period by
+   about 1/(1-p); and topology outages (DESIGN.md §14) keep every
+   byte-identity contract — same-seed outage traces identical, resume
+   across an outage boundary identical, a zero-rate plan bitwise inert
+   — while a full partition trips the guard (raise under fail-fast,
+   finite flow under ignore).  Writes BENCH_faults.json; exits
+   non-zero on any failure. *)
 let fault_smoke ~json_path () =
   let open Staleroute_dynamics in
   let failures = ref 0 in
@@ -971,6 +978,123 @@ let fault_smoke ~json_path () =
   check "drop 0.5: effective period in [1.6, 2.4] x T"
     (eff >= 1.6 && eff <= 2.4);
   check "drop: kernel rebuilt only on successful posts" (rebuilds = posts);
+  (* 6. Topology outages: byte-identity under edge failures, resume
+     across an outage boundary, zero-rate inertness, partition guard. *)
+  let inst4 = Common.parallel 4 in
+  let config4 =
+    {
+      Driver.policy = Policy.uniform_linear inst4;
+      staleness = Driver.Stale 0.25;
+      phases = 20;
+      steps_per_phase = 8;
+      scheme = Integrator.Rk4;
+    }
+  in
+  let init4 = Common.biased_start inst4 in
+  let outage_run ?faults ?from ?checkpoint_every ?on_checkpoint () =
+    let buf = Probe.Memory.create () in
+    let result =
+      Driver.run
+        ~probe:(Probe.Memory.probe buf)
+        ?faults ~guard:Guard.ignore_ ?from ?checkpoint_every ?on_checkpoint
+        inst4 config4 ~init:init4
+    in
+    (buf, result)
+  in
+  let outage_faults () =
+    Faults.plan
+      (Faults.make ~drop:0.25 ~outage:0.2 ~outage_mttr:3. ~outage_seed:7
+         ~seed:42 ())
+  in
+  let buf_o1, result_o1 = outage_run ~faults:(outage_faults ()) () in
+  let buf_o2, _ = outage_run ~faults:(outage_faults ()) () in
+  check "outage trace: same seed byte-identical"
+    (String.equal (to_string buf_o1) (to_string buf_o2));
+  let edge_downs =
+    Probe.Memory.count buf_o1 (function
+      | Probe.Edge_down _ -> true
+      | _ -> false)
+  in
+  let edge_ups =
+    Probe.Memory.count buf_o1 (function
+      | Probe.Edge_up _ -> true
+      | _ -> false)
+  in
+  check "outage trace: edges fail and recover" (edge_downs > 0 && edge_ups > 0);
+  let saved_o = ref None in
+  let _, _ =
+    outage_run ~faults:(outage_faults ()) ~checkpoint_every:7
+      ~on_checkpoint:(fun snap -> if !saved_o = None then saved_o := Some snap)
+      ()
+  in
+  let resume_outage_identical, resume_outage_flow_identical =
+    match !saved_o with
+    | None -> (false, false)
+    | Some snap ->
+        let buf_r, result_r = outage_run ~faults:(outage_faults ()) ~from:snap () in
+        let full = Probe.Memory.events buf_o1 in
+        let tail = Probe.Memory.events buf_r in
+        let prefix_len = Array.length full - Array.length tail in
+        let has_edge_event =
+          Array.exists (function
+            | Probe.Edge_down _ | Probe.Edge_up _ -> true
+            | _ -> false)
+        in
+        let stitched = Array.append (Array.sub full 0 prefix_len) tail in
+        ( prefix_len >= 0
+          && has_edge_event (Array.sub full 0 prefix_len)
+          && has_edge_event tail
+          && String.equal (to_string buf_o1)
+               (Trace_export.events_to_string stitched),
+          Array.for_all2
+            (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+            (Staleroute_util.Vec.to_array result_o1.Driver.final_flow)
+            (Staleroute_util.Vec.to_array result_r.Driver.final_flow) )
+  in
+  check "outage resume: outages on both sides of the snapshot, \
+         stitched trace byte-identical"
+    resume_outage_identical;
+  check "outage resume: final flow bit-identical" resume_outage_flow_identical;
+  let buf_clean, result_clean = outage_run () in
+  let buf_zero, result_zero =
+    outage_run
+      ~faults:(Faults.plan (Faults.make ~outage:0. ~outage_mttr:7. ~outage_seed:99 ()))
+      ()
+  in
+  let zero_rate_inert =
+    String.equal (to_string buf_clean) (to_string buf_zero)
+    && Array.for_all2
+         (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+         (Staleroute_util.Vec.to_array result_clean.Driver.final_flow)
+         (Staleroute_util.Vec.to_array result_zero.Driver.final_flow)
+  in
+  check "outage zero-rate: bitwise inert vs no plan at all" zero_rate_inert;
+  let partition_faults () =
+    Faults.plan (Faults.make ~outage:1. ~outage_mttr:4. ~outage_seed:7 ())
+  in
+  let partition_config = { config with Driver.phases = 6 } in
+  let partition_fail_fast =
+    match
+      Driver.run ~guard:Guard.fail_fast ~faults:(partition_faults ()) inst
+        partition_config ~init
+    with
+    | exception Guard.Unhealthy d ->
+        d.Guard.cause = Guard.Network_partitioned && d.Guard.index = 0
+    | _ -> false
+  in
+  check "partition: fail-fast raises Network_partitioned at index 0"
+    partition_fail_fast;
+  let partition_ignore_survives =
+    match
+      Driver.run ~guard:Guard.ignore_ ~faults:(partition_faults ()) inst
+        partition_config ~init
+    with
+    | result ->
+        Staleroute_util.Vec.for_all Float.is_finite result.Driver.final_flow
+    | exception _ -> false
+  in
+  check "partition: ignore completes with finite flow"
+    partition_ignore_survives;
   let pass = !failures = 0 in
   let oc = open_out json_path in
   Printf.fprintf oc
@@ -986,13 +1110,21 @@ let fault_smoke ~json_path () =
     \  \"guard\": { \"fail_fast_raised\": %b, \"repairs\": %d },\n\
     \  \"drop_half\": { \"phases\": %d, \"posts\": %d, \
      \"effective_period\": %.3f },\n\
+    \  \"outage\": { \"edge_downs\": %d, \"edge_ups\": %d, \
+     \"trace_byte_identical\": %b, \"resume_across_outage_identical\": %b, \
+     \"resume_flow_bit_identical\": %b, \"zero_rate_inert\": %b, \
+     \"partition_fail_fast_raised\": %b, \"partition_ignore_survives\": %b \
+     },\n\
     \  \"pass\": %b\n\
      }\n"
     (meta_block ())
     (Domain.recommended_domain_count ())
     drops delays partials noises injected resume_identical
     resume_flow_identical fail_fast_raised repairs drop_phases posts eff
-    pass;
+    edge_downs edge_ups
+    (String.equal (to_string buf_o1) (to_string buf_o2))
+    resume_outage_identical resume_outage_flow_identical zero_rate_inert
+    partition_fail_fast partition_ignore_survives pass;
   close_out oc;
   Printf.printf "(fault smoke written to %s)\n%!" json_path;
   if not pass then exit 1

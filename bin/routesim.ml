@@ -553,9 +553,11 @@ let cmd =
       & opt string "none"
       & info [ "faults" ] ~docv:"SPEC"
           ~doc:
-            "Inject seeded bulletin-board faults: comma-separated drop=P, \
-             delay=P:F, partial=P:F, noise=P:SIGMA, seed=N (e.g. \
-             'drop=0.3,noise=0.2:0.05,seed=7').  Faulted runs stay \
+            "Inject seeded bulletin-board faults and topology outages: \
+             comma-separated drop=P, delay=P:F, partial=P:F, noise=P:SIGMA, \
+             outage=RATE:MTTR:SEED (per-edge per-phase failure rate and mean \
+             downtime in phases; MTTR and SEED optional), seed=N (e.g. \
+             'drop=0.3,outage=0.05:4,seed=7').  Faulted runs stay \
              deterministic per seed.")
   in
   let guard =

@@ -35,6 +35,8 @@ let time_of_event = function
   | Probe.Agent_wake { time; _ }
   | Probe.Path_growth { time; _ }
   | Probe.Fault_injected { time; _ }
+  | Probe.Edge_down { time; _ }
+  | Probe.Edge_up { time; _ }
   | Probe.Guard_trip { time; _ }
   | Probe.Note { time; _ } ->
       time
@@ -128,7 +130,8 @@ let query_cmd =
           ~doc:
             "Keep only events of this kind (repeatable): phase_start, \
              phase_end, board_repost, kernel_rebuild, step_batch, round, \
-             agent_wake, path_growth, fault, guard_trip, note.")
+             agent_wake, path_growth, fault, edge_down, edge_up, guard_trip, \
+             note.")
   in
   let t_from =
     Arg.(

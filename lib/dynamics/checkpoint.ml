@@ -9,9 +9,17 @@ type t = {
   events : Probe.event array;
 }
 
-let version = 1
+let version = 2
 
 let floats xs = Json.List (Array.to_list (Array.map (fun x -> Json.Float x) xs))
+
+(* Whole-payload digest (satellite of DESIGN.md §14): the canonical
+   serialisation of every field except the digest itself.  [load]
+   recomputes and compares, so a truncated, bit-flipped or hand-edited
+   file dies with a one-line typed error instead of resuming from
+   silently corrupt state. *)
+let payload_digest fields =
+  Digest.to_hex (Digest.string (Json.to_string (Json.Obj fields)))
 
 let record_to_json (r : Driver.phase_record) =
   Json.Obj
@@ -69,22 +77,24 @@ let to_json t =
           ("grown_digest", Json.String (grown_digest grown));
         ]
   in
-  Json.Obj
-    ([
-       ("staleroute_checkpoint", Json.Int version);
-       ("fingerprint", Json.String t.fingerprint);
-       ("next_phase", Json.Int s.next_phase);
-       ("flow", floats (Vec.to_array s.flow));
-       ( "board",
-         match s.board with None -> Json.Null | Some b -> board_to_json b );
-       ("records", Json.List (List.map record_to_json s.records_so_far));
-     ]
+  let fields =
+    [
+      ("staleroute_checkpoint", Json.Int version);
+      ("fingerprint", Json.String t.fingerprint);
+      ("next_phase", Json.Int s.next_phase);
+      ("flow", floats (Vec.to_array s.flow));
+      ( "board",
+        match s.board with None -> Json.Null | Some b -> board_to_json b );
+      ("records", Json.List (List.map record_to_json s.records_so_far));
+    ]
     @ grown_fields
     @ [
         ( "events",
           Json.List
             (Array.to_list (Array.map Trace_export.event_to_json t.events)) );
-      ])
+      ]
+  in
+  Json.Obj (fields @ [ ("digest", Json.String (payload_digest fields)) ])
 
 (* --- decoding --- *)
 
@@ -152,6 +162,25 @@ let of_json j =
   let* () =
     if v = version then Ok ()
     else Error (Printf.sprintf "checkpoint: unsupported version %d" v)
+  in
+  (* Verify the payload digest before decoding anything else: the
+     digest field is last by construction, so the remaining fields in
+     order are exactly what [to_json] digested. *)
+  let* () =
+    match j with
+    | Json.Obj fields -> (
+        match List.assoc_opt "digest" fields with
+        | Some (Json.String d) ->
+            let payload =
+              List.filter (fun (k, _) -> not (String.equal k "digest")) fields
+            in
+            if String.equal d (payload_digest payload) then Ok ()
+            else
+              Error
+                "checkpoint: payload digest mismatch (truncated, bit-flipped \
+                 or edited file)"
+        | Some _ | None -> Error "checkpoint: bad or missing field \"digest\"")
+    | _ -> Error "checkpoint: not a JSON object"
   in
   let* fingerprint = field "fingerprint" Json.to_str j in
   let* next_phase = field "next_phase" Json.to_int j in

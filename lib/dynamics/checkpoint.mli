@@ -9,9 +9,16 @@
     exactly: a resumed run continues from bit-identical state, so its
     trace and final report match the uninterrupted run byte for byte.
 
-    The fault plan needs no state here — fault draws are pure functions
-    of [(seed, index)] (see {!Faults}) — and the board's revision stamp
-    is re-allocated on restore (it never appears in traces). *)
+    The fault plan needs no state here — fault draws (board faults
+    {e and} topology-outage transitions) are pure functions of
+    [(seed, index)] (see {!Faults}) — and the board's revision stamp
+    is re-allocated on restore (it never appears in traces).
+
+    The encoded document ends with a ["digest"] field — an MD5 over the
+    canonical serialisation of every other field.  {!load} recomputes
+    and compares it, so a truncated, bit-flipped or hand-edited
+    checkpoint dies with a one-line typed error instead of resuming
+    from silently corrupt state. *)
 
 type t = {
   fingerprint : string;

@@ -75,6 +75,16 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
   let sp0 = Span.enter spans "project" in
   let f = ref (Flow.project inst init) in
   Span.exit spans sp0;
+  (* Outage chain, keyed by update attempt like the board faults; the
+     down-set entering attempt 0 is recomputed purely. *)
+  let outage =
+    Faults.outage_start faults
+      ~edges:(Staleroute_graph.Digraph.edge_count (Instance.graph inst))
+      ~phase:0
+  in
+  (* The live down-set, refreshed at each update attempt; interior
+     rounds (including a delayed post's landing) reuse it. *)
+  let down = ref None in
   let emit_fault ~time ~index fault =
     let kind, arg =
       match fault with
@@ -118,13 +128,25 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
     match prev with
     | Some (pb, pk) ->
         let sp = Span.enter spans "board_repost" in
-        let board = Bulletin_board.repost ~delta !inst_r ~prev:pb ~time !f in
+        let board =
+          match !down with
+          | None -> Bulletin_board.repost ~delta !inst_r ~prev:pb ~time !f
+          | Some dn ->
+              Bulletin_board.repost_with ~delta !inst_r ~prev:pb ~time ~flow:!f
+                ~edge_latencies:(Faults.dead_edge_latencies !inst_r ~down:dn !f)
+        in
         Span.exit spans sp;
         let changed = after_repost () in
         announce_and_compile ~prev:pk ~changed ~time board
     | None ->
         let sp = Span.enter spans "board_post" in
-        let board = Bulletin_board.post !inst_r ~time !f in
+        let board =
+          match !down with
+          | None -> Bulletin_board.post !inst_r ~time !f
+          | Some dn ->
+              Bulletin_board.post_with !inst_r ~time ~flow:!f
+                ~edge_latencies:(Faults.dead_edge_latencies !inst_r ~down:dn !f)
+        in
         Span.exit spans sp;
         announce_and_compile ~time board
   in
@@ -142,9 +164,17 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
         let inst = !inst_r in
         let board, kernel = !posted in
         let sp = Span.enter spans "colgen_price" in
+        (* Price over alive edges only: dead edges go to [infinity] so
+           Dijkstra never admits a detour across one. *)
+        let pricing_latencies =
+          match !down with
+          | None -> board.Bulletin_board.edge_latencies
+          | Some dn ->
+              Faults.alive_latencies ~down:dn
+                board.Bulletin_board.edge_latencies
+        in
         let grown_set =
-          Path_pool.grow cg inst
-            ~edge_latencies:board.Bulletin_board.edge_latencies
+          Path_pool.grow cg inst ~edge_latencies:pricing_latencies
         in
         Span.exit spans sp;
         match grown_set with
@@ -191,6 +221,31 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
       (* Update attempt [u]; faults are keyed by it, so the plan is
          independent of [rounds_per_update] granularity. *)
       let u = k / config.rounds_per_update in
+      (* Outage boundary: advance the edge chains, evacuate flow off
+         dead paths before anything is posted or stepped.  Under a
+         subsequent [Drop] the surviving old board still shows dead
+         edges alive, so re-evacuation at every attempt while the
+         down-set is non-empty is load-bearing. *)
+      (match outage with
+      | None -> ()
+      | Some st ->
+          Faults.outage_step st ~phase:u ~on_change:(fun ~edge ~down ->
+              if Probe.enabled probe then
+                Probe.emit probe
+                  (if down then Probe.Edge_down { time; index = u; edge }
+                   else Probe.Edge_up { time; index = u; edge });
+              Metrics.incr faults_c);
+          down :=
+            (match Faults.outage_down st with
+            | None -> None
+            | Some dn ->
+                let inst = !inst_r in
+                let partitioned =
+                  Flow.evacuate inst ~dead:(Faults.path_dead inst ~down:dn) !f
+                in
+                Guard.check_partition ?guard ~probe inst ~index:u ~time
+                  partitioned;
+                Some dn));
       let fault = Faults.fault_at faults ~index:u in
       match fault with
       | Some Faults.Drop -> emit_fault ~time ~index:u Faults.Drop
@@ -213,7 +268,8 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
           | None -> ());
           let sp = Span.enter spans "board_repost" in
           let board =
-            Faults.board ~delta faults ~index:u fault !inst_r ~time ~prev !f
+            Faults.board ~delta ?down:!down faults ~index:u fault !inst_r ~time
+              ~prev !f
           in
           Span.exit spans sp;
           let changed = after_repost () in

@@ -159,17 +159,32 @@ let after_repost ~ins ~delta =
   Metrics.incr ~by:(Bulletin_board.dirty_paths delta) ins.repost_paths;
   (Bulletin_board.changed_paths delta, Bulletin_board.changed_count delta)
 
-let post_and_compile ?prev inst policy ~ins ~delta ~time f =
+(* [?down]: dead edges are pinned at [Faults.dead_latency] in the
+   posted latencies.  Passed only while the down-set is non-empty, so
+   outage-free phases keep the clean sparse-repost path bit-for-bit. *)
+let post_and_compile ?prev ?down inst policy ~ins ~delta ~time f =
   match prev with
   | Some l ->
       let sp = Span.enter ins.spans "board_repost" in
-      let board = Bulletin_board.repost ~delta inst ~prev:l.board ~time f in
+      let board =
+        match down with
+        | None -> Bulletin_board.repost ~delta inst ~prev:l.board ~time f
+        | Some dn ->
+            Bulletin_board.repost_with ~delta inst ~prev:l.board ~time ~flow:f
+              ~edge_latencies:(Faults.dead_edge_latencies inst ~down:dn f)
+      in
       Span.exit ins.spans sp;
       let changed = after_repost ~ins ~delta in
       announce_and_compile ~prev:l ~changed inst policy ~ins ~time board
   | None ->
       let sp = Span.enter ins.spans "board_post" in
-      let board = Bulletin_board.post inst ~time f in
+      let board =
+        match down with
+        | None -> Bulletin_board.post inst ~time f
+        | Some dn ->
+            Bulletin_board.post_with inst ~time ~flow:f
+              ~edge_latencies:(Faults.dead_edge_latencies inst ~down:dn f)
+      in
       Span.exit ins.spans sp;
       announce_and_compile inst policy ~ins ~time board
 
@@ -177,7 +192,8 @@ let post_and_compile ?prev inst policy ~ins ~delta ~time f =
    faulted) board for update [index] and compile it.  Drop/Delay/Partial
    faults with no previous board to lean on degrade to a clean post —
    nothing was actually injected, so no fault event is emitted. *)
-let post_faulted inst policy ~ins ~delta ~faults ~index fault ~time ~prev f =
+let post_faulted ?down inst policy ~ins ~delta ~faults ~index fault ~time
+    ~prev f =
   let fault =
     match
       (fault, (prev : live option))
@@ -194,7 +210,7 @@ let post_faulted inst policy ~ins ~delta ~faults ~index fault ~time ~prev f =
       (match prev_board with Some _ -> "board_repost" | None -> "board_post")
   in
   let board =
-    Faults.board ~delta faults ~index fault inst ~time ~prev:prev_board f
+    Faults.board ~delta ?down faults ~index fault inst ~time ~prev:prev_board f
   in
   Span.exit ins.spans sp;
   match prev with
@@ -202,6 +218,34 @@ let post_faulted inst policy ~ins ~delta ~faults ~index fault ~time ~prev f =
       let changed = after_repost ~ins ~delta in
       announce_and_compile ?prev ~changed inst policy ~ins ~time board
   | None -> announce_and_compile inst policy ~ins ~time board
+
+(* The outage boundary (DESIGN.md §14), shared verbatim by the three
+   drivers: advance the per-edge failure chain one phase (emitting
+   typed [Edge_down]/[Edge_up] events), and while any edge is dead,
+   evacuate the working flow off the dead paths *before* the phase's
+   post and kernel recompile — the posted flow, the board's latencies
+   and the compiled sigma/mu tables must all see the evacuated state.
+   A commodity with no surviving path goes to the partition guard.
+   Returns the live down-set flags, [None] when every edge is alive
+   (the bit-inert fast path). *)
+let outage_boundary ~ins ~guard inst ~index ~time outage g =
+  match outage with
+  | None -> None
+  | Some st -> (
+      Faults.outage_step st ~phase:index ~on_change:(fun ~edge ~down ->
+          if Probe.enabled ins.probe then
+            Probe.emit ins.probe
+              (if down then Probe.Edge_down { time; index; edge }
+               else Probe.Edge_up { time; index; edge });
+          Metrics.incr ins.faults_c);
+      match Faults.outage_down st with
+      | None -> None
+      | Some down ->
+          let dead = Faults.path_dead inst ~down in
+          let partitioned = Flow.evacuate inst ~dead g in
+          Guard.check_partition ?guard ~probe:ins.probe inst ~index ~time
+            partitioned;
+          Some down)
 
 (* The driver always runs on the compiled kernel path: a board is
    compiled to a [Rate_kernel.t] once per post and the phase is
@@ -215,8 +259,8 @@ let post_faulted inst policy ~ins ~delta ~faults ~index fault ~time ~prev f =
    operative posting is established — under a dropped re-post that is
    the {e old} board, which is exactly the model-consistent oracle:
    agents can only discover routes the board actually shows. *)
-let advance_one_phase inst config ~ins ~pool ~delta ~grow_hook ~faults
-    ~index:k ~live ~time f =
+let advance_one_phase inst config ~ins ~pool ~delta ~grow_hook ~faults ~guard
+    ~outage ~index:k ~live ~time f =
   let tau = phase_length config in
   let steps = config.steps_per_phase in
   let stage = Integrator.stage_evals config.scheme in
@@ -232,6 +276,13 @@ let advance_one_phase inst config ~ins ~pool ~delta ~grow_hook ~faults
   match config.staleness with
   | Stale _ -> (
       let g = Vec.copy f in
+      (* Evacuation happens on the working copy before any posting: a
+         dropped re-post then keeps the *old* board (which still shows
+         the dead edge alive — the headline stale-information hazard,
+         since migration happily moves flow back onto it mid-phase),
+         which is why the boundary re-evacuates every phase while the
+         down-set is non-empty. *)
+      let down = outage_boundary ~ins ~guard inst ~index:k ~time outage g in
       let fault = Faults.fault_at faults ~index:k in
       match (fault, live) with
       | Some Faults.Drop, Some l ->
@@ -242,7 +293,7 @@ let advance_one_phase inst config ~ins ~pool ~delta ~grow_hook ~faults
              re-post that recompiles the kernel. *)
           emit_fault ins ~time ~index:k Faults.Drop;
           assert (Rate_kernel.is_current l.kernel ~board:l.board);
-          let l, g, inst = grow_hook ~index:k ~time l g in
+          let l, g, inst = grow_hook ~index:k ~time ~down l g in
           integrate ~inst ~kernel:l.kernel ~t0:time ~tau ~steps g;
           (g, Some l)
       | Some (Faults.Delay fraction as fault), Some l ->
@@ -254,7 +305,7 @@ let advance_one_phase inst config ~ins ~pool ~delta ~grow_hook ~faults
           emit_fault ins ~time ~index:k fault;
           if steps < 2 then begin
             assert (Rate_kernel.is_current l.kernel ~board:l.board);
-            let l, g, inst = grow_hook ~index:k ~time l g in
+            let l, g, inst = grow_hook ~index:k ~time ~down l g in
             integrate ~inst ~kernel:l.kernel ~t0:time ~tau ~steps g;
             (g, Some l)
           end
@@ -267,13 +318,13 @@ let advance_one_phase inst config ~ins ~pool ~delta ~grow_hook ~faults
               max 1 (min (steps - 1) ideal)
             in
             assert (Rate_kernel.is_current l.kernel ~board:l.board);
-            let l, g, inst = grow_hook ~index:k ~time l g in
+            let l, g, inst = grow_hook ~index:k ~time ~down l g in
             integrate ~inst ~kernel:l.kernel ~t0:time
               ~tau:(h *. float_of_int s1)
               ~steps:s1 g;
             let post_time = time +. (h *. float_of_int s1) in
             let l' =
-              post_and_compile ~prev:l inst config.policy ~ins ~delta
+              post_and_compile ~prev:l ?down inst config.policy ~ins ~delta
                 ~time:post_time g
             in
             integrate ~inst ~kernel:l'.kernel ~t0:post_time
@@ -282,11 +333,14 @@ let advance_one_phase inst config ~ins ~pool ~delta ~grow_hook ~faults
             (g, Some l')
           end
       | fault, live ->
+          (* Post the (possibly evacuated) working copy — with no
+             outage its bits equal [f]'s, so the fault-free path is
+             unchanged. *)
           let l =
-            post_faulted inst config.policy ~ins ~delta ~faults ~index:k fault
-              ~time ~prev:live f
+            post_faulted ?down inst config.policy ~ins ~delta ~faults ~index:k
+              fault ~time ~prev:live g
           in
-          let l, g, inst = grow_hook ~index:k ~time l g in
+          let l, g, inst = grow_hook ~index:k ~time ~down l g in
           integrate ~inst ~kernel:l.kernel ~t0:time ~tau ~steps g;
           (g, Some l))
   | Fresh ->
@@ -299,6 +353,11 @@ let advance_one_phase inst config ~ins ~pool ~delta ~grow_hook ~faults
          boundary (the first step's posting). *)
       let h = tau /. float_of_int steps in
       let g = ref (Vec.copy f) in
+      (* The outage chain lives on the phase grid even under fresh
+         information: one transition batch and one evacuation per
+         phase, with every interior step's re-post carrying the same
+         down-set. *)
+      let down = outage_boundary ~ins ~guard inst ~index:k ~time outage !g in
       let live = ref live in
       let inst = ref inst in
       for j = 0 to steps - 1 do
@@ -311,11 +370,11 @@ let advance_one_phase inst config ~ins ~pool ~delta ~grow_hook ~faults
         | fault, lv ->
             live :=
               Some
-                (post_faulted !inst config.policy ~ins ~delta ~faults ~index:u
-                   fault ~time:step_time ~prev:lv !g));
+                (post_faulted ?down !inst config.policy ~ins ~delta ~faults
+                   ~index:u fault ~time:step_time ~prev:lv !g));
         if j = 0 then begin
           let l', g', inst' =
-            grow_hook ~index:k ~time:step_time (Option.get !live) !g
+            grow_hook ~index:k ~time:step_time ~down (Option.get !live) !g
           in
           live := Some l';
           g := g';
@@ -415,14 +474,23 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
   let vpool = ref (Vec.Pool.create ~dim:(Instance.path_count !inst_r)) in
   let grow_hook =
     match colgen with
-    | None -> fun ~index:_ ~time:_ l g -> (l, g, !inst_r)
+    | None -> fun ~index:_ ~time:_ ~down:_ l g -> (l, g, !inst_r)
     | Some cg -> (
-        fun ~index ~time l g ->
+        fun ~index ~time ~down l g ->
           let inst = !inst_r in
           let sp = Span.enter spans "colgen_price" in
+          (* While edges are dead, pricing runs over the alive network:
+             dead edges weigh [infinity] (Dijkstra accepts it), so the
+             oracle can admit a detour column but never a dead one. *)
+          let pricing_latencies =
+            match down with
+            | None -> l.board.Bulletin_board.edge_latencies
+            | Some dn ->
+                Faults.alive_latencies ~down:dn
+                  l.board.Bulletin_board.edge_latencies
+          in
           let grown_set =
-            Path_pool.grow cg inst
-              ~edge_latencies:l.board.Bulletin_board.edge_latencies
+            Path_pool.grow cg inst ~edge_latencies:pricing_latencies
           in
           Span.exit spans sp;
           match grown_set with
@@ -476,6 +544,14 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
               vpool := Vec.Pool.create ~dim:n';
               ({ board; kernel }, Vec.extend g ~dim:n', inst'))
   in
+  (* The outage down-set entering [start_phase] is recomputed purely
+     from the chain — nothing about it is checkpointed, so resume and
+     uninterrupted runs agree bit-for-bit. *)
+  let outage =
+    Faults.outage_start faults
+      ~edges:(Staleroute_graph.Digraph.edge_count (Instance.graph inst))
+      ~phase:start_phase
+  in
   let phi = ref (Potential.phi !inst_r !f) in
   for k = start_phase to config.phases - 1 do
     let sp_phase = Span.enter spans "phase" in
@@ -489,7 +565,7 @@ let run ?(probe = Probe.null) ?(metrics = Metrics.null) ?(spans = Span.null)
            { index = k; time = start_time; potential = start_potential });
     let next, live' =
       advance_one_phase !inst_r config ~ins ~pool:vpool ~delta ~grow_hook
-        ~faults ~index:k ~live:!live ~time:start_time !f
+        ~faults ~guard ~outage ~index:k ~live:!live ~time:start_time !f
     in
     live := live';
     let inst = !inst_r in

@@ -15,6 +15,9 @@ type spec = {
   partial_fraction : float;
   noise : float;
   noise_sigma : float;
+  outage : float;
+  outage_mttr : float;
+  outage_seed : int;
   seed : int;
 }
 
@@ -27,6 +30,9 @@ let none =
     partial_fraction = 0.5;
     noise = 0.;
     noise_sigma = 0.1;
+    outage = 0.;
+    outage_mttr = 4.;
+    outage_seed = 0;
     seed = 0;
   }
 
@@ -35,12 +41,13 @@ let check_prob name p =
     invalid_arg (Printf.sprintf "Faults.make: %s must be in [0, 1]" name)
 
 let make ?(drop = 0.) ?(delay = 0.) ?(delay_fraction = 0.5) ?(partial = 0.)
-    ?(partial_fraction = 0.5) ?(noise = 0.) ?(noise_sigma = 0.1) ?(seed = 0)
-    () =
+    ?(partial_fraction = 0.5) ?(noise = 0.) ?(noise_sigma = 0.1) ?(outage = 0.)
+    ?(outage_mttr = 4.) ?(outage_seed = 0) ?(seed = 0) () =
   check_prob "drop" drop;
   check_prob "delay" delay;
   check_prob "partial" partial;
   check_prob "noise" noise;
+  check_prob "outage" outage;
   if drop +. delay +. partial +. noise > 1. +. 1e-12 then
     invalid_arg "Faults.make: fault probabilities must sum to at most 1";
   if not (Float.is_finite delay_fraction)
@@ -53,6 +60,8 @@ let make ?(drop = 0.) ?(delay = 0.) ?(delay_fraction = 0.5) ?(partial = 0.)
   then invalid_arg "Faults.make: partial_fraction must be in (0, 1]";
   if not (Float.is_finite noise_sigma) || noise_sigma <= 0. then
     invalid_arg "Faults.make: noise_sigma must be positive";
+  if not (Float.is_finite outage_mttr) || outage_mttr < 1. then
+    invalid_arg "Faults.make: outage_mttr must be at least 1";
   {
     drop;
     delay;
@@ -61,10 +70,15 @@ let make ?(drop = 0.) ?(delay = 0.) ?(delay_fraction = 0.5) ?(partial = 0.)
     partial_fraction;
     noise;
     noise_sigma;
+    outage;
+    outage_mttr;
+    outage_seed;
     seed;
   }
 
 (* --- CLI syntax --- *)
+
+let valid_keys = [ "drop"; "delay"; "partial"; "noise"; "outage"; "seed" ]
 
 let float_field name s =
   match float_of_string_opt s with
@@ -127,11 +141,45 @@ let of_string s =
                   noise = p;
                   noise_sigma = Option.value sg ~default:acc.noise_sigma;
                 }
+          | "outage" -> (
+              (* outage=RATE[:MTTR[:SEED]] — up to two colon parameters,
+                 the second an integer seed. *)
+              match String.split_on_char ':' value with
+              | [ rate ] ->
+                  let* p = float_field "outage" rate in
+                  Ok { acc with outage = p }
+              | [ rate; mttr ] ->
+                  let* p = float_field "outage" rate in
+                  let* m = float_field "outage" mttr in
+                  Ok { acc with outage = p; outage_mttr = m }
+              | [ rate; mttr; sd ] -> (
+                  let* p = float_field "outage" rate in
+                  let* m = float_field "outage" mttr in
+                  match int_of_string_opt sd with
+                  | Some n ->
+                      Ok
+                        {
+                          acc with
+                          outage = p;
+                          outage_mttr = m;
+                          outage_seed = n;
+                        }
+                  | None ->
+                      Error (Printf.sprintf "faults: bad outage seed %S" sd))
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "faults: outage expects RATE[:MTTR[:SEED]], got %S"
+                       value))
           | "seed" -> (
               match int_of_string_opt value with
               | Some n -> Ok { acc with seed = n }
               | None -> Error (Printf.sprintf "faults: bad seed %S" value))
-          | other -> Error (Printf.sprintf "faults: unknown field %S" other))
+          | other ->
+              Error
+                (Printf.sprintf "faults: unknown field %S (valid keys: %s)"
+                   other
+                   (String.concat ", " valid_keys)))
     in
     let* spec =
       List.fold_left parse_field (Ok none) (String.split_on_char ',' s)
@@ -140,7 +188,9 @@ let of_string s =
       make ~drop:spec.drop ~delay:spec.delay
         ~delay_fraction:spec.delay_fraction ~partial:spec.partial
         ~partial_fraction:spec.partial_fraction ~noise:spec.noise
-        ~noise_sigma:spec.noise_sigma ~seed:spec.seed ()
+        ~noise_sigma:spec.noise_sigma ~outage:spec.outage
+        ~outage_mttr:spec.outage_mttr ~outage_seed:spec.outage_seed
+        ~seed:spec.seed ()
     with
     | spec -> Ok spec
     | exception Invalid_argument msg -> Error msg
@@ -149,12 +199,18 @@ let of_string s =
 let null_probabilities s =
   s.drop = 0. && s.delay = 0. && s.partial = 0. && s.noise = 0.
 
+let inert s = null_probabilities s && s.outage = 0.
+
 let to_string s =
-  if null_probabilities s then "none"
+  if inert s then "none"
   else begin
     let fields = ref [] in
     let addf fmt = Printf.ksprintf (fun x -> fields := x :: !fields) fmt in
-    if s.seed <> 0 then addf "seed=%d" s.seed;
+    if s.seed <> 0 && not (null_probabilities s) then addf "seed=%d" s.seed;
+    if s.outage > 0. then
+      if s.outage_seed <> 0 then
+        addf "outage=%g:%g:%d" s.outage s.outage_mttr s.outage_seed
+      else addf "outage=%g:%g" s.outage s.outage_mttr;
     if s.noise > 0. then addf "noise=%g:%g" s.noise s.noise_sigma;
     if s.partial > 0. then addf "partial=%g:%g" s.partial s.partial_fraction;
     if s.delay > 0. then addf "delay=%g:%g" s.delay s.delay_fraction;
@@ -164,9 +220,15 @@ let to_string s =
 
 (* --- the compiled plan --- *)
 
-type t = { spec : spec; null : bool }
+type t = { spec : spec; board_null : bool; null : bool }
 
-let plan spec = { spec; null = null_probabilities spec }
+let plan spec =
+  {
+    spec;
+    board_null = null_probabilities spec;
+    null = inert spec;
+  }
+
 let spec t = t.spec
 let is_null t = t.null
 
@@ -177,7 +239,7 @@ let is_null t = t.null
 let rng_for t ~index ~stream = Rng.create ~seed:t.spec.seed ~stream:((3 * index) + stream) ()
 
 let fault_at t ~index =
-  if t.null then None
+  if t.board_null then None
   else begin
     let s = t.spec in
     let u = Rng.uniform (rng_for t ~index ~stream:0) in
@@ -190,13 +252,120 @@ let fault_at t ~index =
     else None
   end
 
-let board ?delta t ~index fault inst ~time ~prev flow =
+(* --- topology outages --- *)
+
+(* Finite so posted latency arithmetic (differences in Migration.prob,
+   the potential integrand) stays NaN-free; large enough that a dead
+   edge never prices into any shortest path or migration target. *)
+let dead_latency = 1e12
+
+(* The outage chain draws from its own seed space (the xor keeps it
+   disjoint from the board-fault streams even for equal seeds) with one
+   stream per (phase, edge) cell, so a transition is a pure function of
+   (outage_seed, phase, edge) — query order, pool width and the board
+   faults that fired cannot perturb it.  Edge ids must fit 20 bits;
+   instances are orders of magnitude below that. *)
+let outage_rng t ~phase ~edge =
+  assert (edge < 0x100000);
+  Rng.create
+    ~seed:(t.spec.outage_seed lxor 0x6F757467)
+    ~stream:((phase lsl 20) lor edge)
+    ()
+
+(* Two-state Markov chain on the phase grid: an alive edge fails with
+   probability [outage]; a dead edge repairs with probability
+   [1 / outage_mttr] (geometric downtime with mean [outage_mttr]
+   phases). *)
+let transition t ~phase ~edge ~was_down =
+  let u = Rng.uniform (outage_rng t ~phase ~edge) in
+  if was_down then u >= 1. /. t.spec.outage_mttr else u < t.spec.outage
+
+(* State of [edge] *during* phase [phase]: fold the chain from phase 0.
+   The pure oracle anchors both the purity tests and resume — nothing
+   about the chain is ever checkpointed. *)
+let edge_down t ~edge ~phase =
+  if t.spec.outage = 0. then false
+  else begin
+    let down = ref false in
+    for ph = 0 to phase do
+      down := transition t ~phase:ph ~edge ~was_down:!down
+    done;
+    !down
+  end
+
+type outage = { plan : t; down : bool array; mutable n_down : int }
+
+let outage_start t ~edges ~phase =
+  if t.spec.outage = 0. then None
+  else begin
+    (* State *entering* [phase]: transitions 0 .. phase-1 applied, so
+       the first [outage_step ~phase] lands the resumed chain exactly
+       where the uninterrupted run's is. *)
+    let down = Array.make edges false in
+    let n = ref 0 in
+    for e = 0 to edges - 1 do
+      let d = ref false in
+      for ph = 0 to phase - 1 do
+        d := transition t ~phase:ph ~edge:e ~was_down:!d
+      done;
+      down.(e) <- !d;
+      if !d then incr n
+    done;
+    Some { plan = t; down; n_down = !n }
+  end
+
+let outage_step st ~phase ~on_change =
+  for e = 0 to Array.length st.down - 1 do
+    let was = st.down.(e) in
+    let now = transition st.plan ~phase ~edge:e ~was_down:was in
+    if now <> was then begin
+      st.down.(e) <- now;
+      st.n_down <- st.n_down + (if now then 1 else -1);
+      on_change ~edge:e ~down:now
+    end
+  done
+
+let outage_down st = if st.n_down = 0 then None else Some st.down
+
+let path_dead inst ~down p =
+  let es = Instance.path_edges inst p in
+  let n = Array.length es in
+  let rec any i = i < n && (down.(es.(i)) || any (i + 1)) in
+  any 0
+
+let dead_edge_latencies inst ~down flow =
+  let el = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
+  for e = 0 to Array.length el - 1 do
+    if down.(e) then el.(e) <- dead_latency
+  done;
+  el
+
+let alive_latencies ~down latencies =
+  Array.mapi (fun e l -> if down.(e) then infinity else l) latencies
+
+(* Pin the dead edges in a freshly allocated latency array.  Callers
+   below only apply this to arrays they just built, never to a board's
+   posted array. *)
+let apply_down down latencies =
+  (match down with
+  | None -> ()
+  | Some d ->
+      for e = 0 to Array.length latencies - 1 do
+        if d.(e) then latencies.(e) <- dead_latency
+      done);
+  latencies
+
+let board ?delta ?down t ~index fault inst ~time ~prev flow =
   match (fault, prev) with
   | Some (Partial fraction), Some old ->
       (* The fresh latencies are computed for every edge even though
          only the refreshed subset survives: the per-edge RNG draws
          must consume the stream in edge order regardless of the
-         subset, so the plan stays a pure function of (seed, index). *)
+         subset, so the plan stays a pure function of (seed, index).
+         Dead edges are pinned *after* the mix — a partial refresh can
+         not resurrect a dead edge, though it may keep a recovered one
+         posted dead for another phase (mixed-age boards are
+         inconsistent by design). *)
       let fresh = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
       let stale = old.Bulletin_board.edge_latencies in
       let rng = rng_for t ~index ~stream:1 in
@@ -206,19 +375,31 @@ let board ?delta t ~index fault inst ~time ~prev flow =
             if Rng.uniform rng < fraction then fresh_e else stale.(e))
           fresh
       in
+      let mixed = apply_down down mixed in
       Bulletin_board.repost_with ?delta inst ~prev:old ~time ~flow
         ~edge_latencies:mixed
-  | Some (Noise sigma), _ ->
+  | Some (Noise sigma), _ -> (
       let fresh = Flow.edge_latencies inst (Flow.edge_flows inst flow) in
       let rng = rng_for t ~index ~stream:2 in
       let noisy =
         Array.map (fun l -> l *. exp (sigma *. Rng.gaussian rng)) fresh
       in
-      (match prev with
+      let noisy = apply_down down noisy in
+      match prev with
       | Some old ->
           Bulletin_board.repost_with ?delta inst ~prev:old ~time ~flow
             ~edge_latencies:noisy
       | None ->
           Bulletin_board.post_with inst ~time ~flow ~edge_latencies:noisy)
-  | _, Some old -> Bulletin_board.repost ?delta inst ~prev:old ~time flow
-  | _ -> Bulletin_board.post inst ~time flow
+  | _, Some old -> (
+      match down with
+      | None -> Bulletin_board.repost ?delta inst ~prev:old ~time flow
+      | Some d ->
+          Bulletin_board.repost_with ?delta inst ~prev:old ~time ~flow
+            ~edge_latencies:(dead_edge_latencies inst ~down:d flow))
+  | _ -> (
+      match down with
+      | None -> Bulletin_board.post inst ~time flow
+      | Some d ->
+          Bulletin_board.post_with inst ~time ~flow
+            ~edge_latencies:(dead_edge_latencies inst ~down:d flow))

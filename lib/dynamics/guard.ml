@@ -49,12 +49,15 @@ let to_string t =
   if t.tol = 1e-6 then policy_name t.policy
   else Printf.sprintf "%s:%g" (policy_name t.policy) t.tol
 
+type cause = Numeric | Network_partitioned
+
 type diagnostic = {
   index : int;
   time : float;
   commodity : int;
   paths : int list;
   detail : string;
+  cause : cause;
 }
 
 exception Unhealthy of diagnostic
@@ -156,6 +159,7 @@ let check t ?(probe = Probe.null) ?repairs inst ~index ~time f =
                  commodity = ci;
                  paths = List.rev v.bad_paths;
                  detail;
+                 cause = Numeric;
                })
       | Repair ->
           for cj = 0 to nc - 1 do
@@ -171,3 +175,35 @@ let check t ?(probe = Probe.null) ?repairs inst ~index ~time f =
             Probe.emit probe
               (Probe.Guard_trip
                  { time; index; action = "ignore"; worst = !worst }))
+
+(* A partition is not repairable: there is no surviving path to carry
+   the stranded demand, so Repair degrades to the same observe-and-
+   continue behaviour as Ignore (the commodity's flow rides its dead
+   paths until the edge recovers).  With no guard installed the
+   partition is a hard error — silence would report garbage social
+   cost. *)
+let check_partition ?guard ?(probe = Probe.null) inst ~index ~time partitioned =
+  match partitioned with
+  | [] -> ()
+  | ci :: _ -> (
+      let diag () =
+        let n = List.length partitioned in
+        {
+          index;
+          time;
+          commodity = ci;
+          paths = Array.to_list (Instance.paths_of_commodity inst ci);
+          detail =
+            Printf.sprintf
+              "network partitioned: %d commodit%s with no surviving path" n
+              (if n = 1 then "y" else "ies");
+          cause = Network_partitioned;
+        }
+      in
+      match guard with
+      | None | Some { policy = Fail_fast; _ } -> raise (Unhealthy (diag ()))
+      | Some { policy = Repair | Ignore; _ } ->
+          if Probe.enabled probe then
+            Probe.emit probe
+              (Probe.Guard_trip
+                 { time; index; action = "partition"; worst = infinity }))

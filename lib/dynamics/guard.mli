@@ -43,12 +43,18 @@ val of_string : string -> (t, string) result
 
 val to_string : t -> string
 
+type cause =
+  | Numeric  (** non-finite / negative entries, demand error *)
+  | Network_partitioned
+      (** an outage left a commodity with no surviving path *)
+
 type diagnostic = {
   index : int;  (** phase or round index of the failed check *)
   time : float;  (** sim time of the boundary *)
   commodity : int;  (** first offending commodity *)
   paths : int list;  (** offending global path indices within it *)
   detail : string;  (** human-readable description *)
+  cause : cause;  (** what kind of check failed *)
 }
 
 exception Unhealthy of diagnostic
@@ -69,3 +75,20 @@ val check :
     is incremented once per repaired boundary; [probe] receives one
     [Guard_trip] event per unhealthy boundary under {!Repair} /
     {!Ignore}. *)
+
+val check_partition :
+  ?guard:t ->
+  ?probe:Staleroute_obs.Probe.t ->
+  Instance.t ->
+  index:int ->
+  time:float ->
+  int list ->
+  unit
+(** Judge the partitioned-commodity list returned by [Flow.evacuate]
+    (empty = healthy, nothing happens).  A partition has no repair —
+    there is no surviving path to carry the stranded demand — so
+    {!Repair} and {!Ignore} both emit a [Guard_trip] with
+    [action = "partition"] (and [worst = infinity]) and continue, while
+    {!Fail_fast} — or no guard at all — raises {!Unhealthy} with a
+    {!Network_partitioned} diagnostic naming the first stranded
+    commodity and its paths. *)

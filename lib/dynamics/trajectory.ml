@@ -88,24 +88,38 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
     Metrics.incr ~by:(Bulletin_board.dirty_paths delta) repost_paths;
     (Bulletin_board.changed_paths delta, Bulletin_board.changed_count delta)
   in
-  let post_and_compile ?prev ~time flow =
+  let post_and_compile ?prev ?down ~time flow =
     match prev with
     | Some (pb, pk) ->
         let sp = Span.enter spans "board_repost" in
-        let board = Bulletin_board.repost ~delta !inst_r ~prev:pb ~time flow in
+        let board =
+          match down with
+          | None -> Bulletin_board.repost ~delta !inst_r ~prev:pb ~time flow
+          | Some dn ->
+              Bulletin_board.repost_with ~delta !inst_r ~prev:pb ~time ~flow
+                ~edge_latencies:(Faults.dead_edge_latencies !inst_r ~down:dn
+                                   flow)
+        in
         Span.exit spans sp;
         let changed = after_repost () in
         announce_and_compile ~prev:pk ~changed ~time board
     | None ->
         let sp = Span.enter spans "board_post" in
-        let board = Bulletin_board.post !inst_r ~time flow in
+        let board =
+          match down with
+          | None -> Bulletin_board.post !inst_r ~time flow
+          | Some dn ->
+              Bulletin_board.post_with !inst_r ~time ~flow
+                ~edge_latencies:(Faults.dead_edge_latencies !inst_r ~down:dn
+                                   flow)
+        in
         Span.exit spans sp;
         announce_and_compile ~time board
   in
   (* A faulted re-post that lands now; Drop/Delay/Partial with no
      previous board degrade to a clean post with no event (nothing was
      actually injected). *)
-  let post_faulted ~index fault ~time ~prev flow =
+  let post_faulted ?down ~index fault ~time ~prev flow =
     let fault =
       match (fault, prev) with
       | Some (Faults.Drop | Faults.Delay _ | Faults.Partial _), None -> None
@@ -122,8 +136,8 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
         | None -> "board_post")
     in
     let board =
-      Faults.board ~delta faults ~index fault !inst_r ~time ~prev:prev_board
-        flow
+      Faults.board ~delta ?down faults ~index fault !inst_r ~time
+        ~prev:prev_board flow
     in
     Span.exit spans sp;
     match prev with
@@ -143,17 +157,23 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
   (* Column-generation boundary check, mirroring [Driver]: price the
      live posting once per phase (against the surviving old board under
      a dropped/delayed re-post) and grow the active set in place. *)
-  let try_grow ~index ~time =
+  let try_grow ~index ~time ~down =
     match colgen with
     | None -> ()
     | Some cg -> (
         let inst = !inst_r in
         let board, kernel = Option.get !live in
         let sp = Span.enter spans "colgen_price" in
-        let grown_set =
-          Path_pool.grow cg inst
-            ~edge_latencies:board.Bulletin_board.edge_latencies
+        (* Price over alive edges only while the down-set is non-empty
+           — a detour column may be admitted, a dead one never. *)
+        let pricing_latencies =
+          match down with
+          | None -> board.Bulletin_board.edge_latencies
+          | Some dn ->
+              Faults.alive_latencies ~down:dn
+                board.Bulletin_board.edge_latencies
         in
+        let grown_set = Path_pool.grow cg inst ~edge_latencies:pricing_latencies in
         Span.exit spans sp;
         match grown_set with
         | None -> ()
@@ -193,8 +213,42 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
   in
   let push time flow = samples := { time; flow = Vec.copy flow } :: !samples in
   push 0. !f;
+  (* Down-set entering phase 0 — recomputed purely, nothing
+     checkpointed (Trajectory does not resume, but the chain is shared
+     with the drivers that do). *)
+  let outage =
+    Faults.outage_start faults
+      ~edges:(Staleroute_graph.Digraph.edge_count (Instance.graph inst))
+      ~phase:0
+  in
   for k = 0 to config.Driver.phases - 1 do
     let phase_start = float_of_int k *. tau in
+    (* Outage boundary, before any posting: transitions fire, the
+       working flow evacuates dead paths in place, partitions go to the
+       guard (DESIGN.md §14).  The evacuation jump lands between the
+       phase's first and the previous phase's last sample. *)
+    let down =
+      match outage with
+      | None -> None
+      | Some st -> (
+          Faults.outage_step st ~phase:k ~on_change:(fun ~edge ~down ->
+              if Probe.enabled probe then
+                Probe.emit probe
+                  (if down then
+                     Probe.Edge_down { time = phase_start; index = k; edge }
+                   else Probe.Edge_up { time = phase_start; index = k; edge });
+              Metrics.incr faults_c);
+          match Faults.outage_down st with
+          | None -> None
+          | Some dn ->
+              let inst = !inst_r in
+              let partitioned =
+                Flow.evacuate inst ~dead:(Faults.path_dead inst ~down:dn) !f
+              in
+              Guard.check_partition ?guard ~probe inst ~index:k
+                ~time:phase_start partitioned;
+              Some dn)
+    in
     (* Chunk index (within this phase) where a delayed post lands. *)
     let pending = ref None in
     (match config.Driver.staleness with
@@ -218,10 +272,11 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
             end
         | fault, lv ->
             live :=
-              Some (post_faulted ~index:k fault ~time:phase_start ~prev:lv !f)
-        ));
+              Some
+                (post_faulted ?down ~index:k fault ~time:phase_start ~prev:lv
+                   !f)));
     (match config.Driver.staleness with
-    | Driver.Stale _ -> try_grow ~index:k ~time:phase_start
+    | Driver.Stale _ -> try_grow ~index:k ~time:phase_start ~down
     | Driver.Fresh -> ());
     for j = 0 to samples_per_phase - 1 do
       let time = phase_start +. (float_of_int j *. chunk) in
@@ -229,7 +284,7 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
       | Driver.Stale _ ->
           if !pending = Some j then
             (* The delayed post lands now, as a clean snapshot. *)
-            live := Some (post_and_compile ?prev:!live ~time !f)
+            live := Some (post_and_compile ?prev:!live ?down ~time !f)
       | Driver.Fresh -> (
           (* Every chunk is an update; faults are keyed by the global
              update index.  A delayed post behaves as a dropped one —
@@ -240,9 +295,9 @@ let record ?(probe = Probe.null) ?(metrics = Metrics.null)
           | Some ((Faults.Drop | Faults.Delay _) as fault), Some _ ->
               emit_fault ~time ~index:u fault
           | fault, lv ->
-              live := Some (post_faulted ~index:u fault ~time ~prev:lv !f)));
+              live := Some (post_faulted ?down ~index:u fault ~time ~prev:lv !f)));
       (match config.Driver.staleness with
-      | Driver.Fresh when j = 0 -> try_grow ~index:k ~time
+      | Driver.Fresh when j = 0 -> try_grow ~index:k ~time ~down
       | _ -> ());
       let board, kernel = Option.get !live in
       assert (Rate_kernel.is_current kernel ~board);

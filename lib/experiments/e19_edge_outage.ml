@@ -1,0 +1,184 @@
+open Staleroute_wardrop
+open Staleroute_dynamics
+module Table = Staleroute_util.Table
+module Pool = Staleroute_util.Pool
+module Probe = Staleroute_obs.Probe
+
+(* One shared outage seed: every cell's chain is a pure function of
+   (seed, phase, edge), so sweeps are deterministic at any pool width. *)
+let outage_seed = 19
+let mttr = 3.
+
+(* A four-link parallel workload: killing one link leaves three
+   detours, so outages degrade the run instead of partitioning it.
+   Uniform sampling matters twice over — it re-populates an evacuated
+   path after repair (proportional sampling cannot leave a zero), and
+   it is the policy family the paper's smooth guarantees cover. *)
+let workload () =
+  let inst = Common.parallel 4 in
+  (inst, Policy.uniform_linear inst)
+
+let rates ~quick = if quick then [| 0.; 0.05; 0.15 |] else [| 0.; 0.02; 0.05; 0.1; 0.2 |]
+
+let period_multiples ~quick =
+  if quick then [| 1.; 4. |] else [| 0.5; 1.; 2.; 4. |]
+
+type cell = {
+  gaps : float array;  (** per-phase potential gap [Φ(k) − Φ*] *)
+  down_by_phase : int array;  (** dead-edge count during each phase *)
+  edge_downs : int;  (** total failure transitions *)
+}
+
+let run_cell inst policy ~t ~phases ~rate =
+  let buf = Probe.Memory.create () in
+  let faults =
+    Faults.plan
+      (Faults.make ~outage:rate ~outage_mttr:mttr ~outage_seed ())
+  in
+  let result =
+    Common.run
+      ~probe:(Probe.Memory.probe buf)
+      ~faults ~guard:Guard.ignore_ inst policy (Driver.Stale t) ~phases
+      ~steps_per_phase:12 ~init:(Common.biased_start inst) ()
+  in
+  let phi_star = Frank_wolfe.optimum_potential inst in
+  let gaps =
+    Array.map
+      (fun r -> r.Driver.start_potential -. phi_star)
+      result.Driver.records
+  in
+  (* Dead-edge count per phase, folded from the boundary transitions
+     (events at boundary [k] describe the state during phase [k]). *)
+  let delta = Array.make phases 0 in
+  let edge_downs = ref 0 in
+  Array.iter
+    (function
+      | Probe.Edge_down { index; _ } when index < phases ->
+          incr edge_downs;
+          delta.(index) <- delta.(index) + 1
+      | Probe.Edge_up { index; _ } when index < phases ->
+          delta.(index) <- delta.(index) - 1
+      | _ -> ())
+    (Probe.Memory.events buf);
+  let down_by_phase = Array.make phases 0 in
+  let n = ref 0 in
+  Array.iteri
+    (fun k d ->
+      n := !n + d;
+      down_by_phase.(k) <- !n)
+    delta;
+  { gaps; down_by_phase; edge_downs = !edge_downs }
+
+let mean xs =
+  Array.fold_left ( +. ) 0. xs /. float_of_int (max 1 (Array.length xs))
+
+(* The clean run's steady residual: the worst gap over its second half,
+   slightly inflated.  "Recovered" means back inside that band. *)
+let recovery_threshold clean =
+  let n = Array.length clean.gaps in
+  let worst = ref 1e-12 in
+  for k = n / 2 to n - 1 do
+    worst := Float.max !worst clean.gaps.(k)
+  done;
+  2. *. !worst
+
+(* Recovery episodes: boundaries where the down-set returns to empty.
+   For each, the lag (in phases) until the potential gap halves from
+   its value at repair (floored at the clean steady band) — censored if
+   the next outage (or the horizon) arrives first. *)
+let recovery_lags ~band cell =
+  let phases = Array.length cell.down_by_phase in
+  let lags = ref [] and censored = ref 0 in
+  for k = 1 to phases - 1 do
+    if cell.down_by_phase.(k) = 0 && cell.down_by_phase.(k - 1) > 0 then begin
+      let threshold = Float.max band (0.5 *. cell.gaps.(k)) in
+      let rec scan j =
+        if j >= phases || cell.down_by_phase.(j) > 0 then incr censored
+        else if cell.gaps.(j) <= threshold then lags := (j - k) :: !lags
+        else scan (j + 1)
+      in
+      scan k
+    end
+  done;
+  (List.rev !lags, !censored)
+
+let tables ?pool ?(quick = false) () =
+  let inst, policy = workload () in
+  let t0 =
+    match Policy.safe_update_period inst policy with
+    | Some t_star -> Float.min t_star 1.
+    | None -> 1.
+  in
+  let phases = if quick then 120 else 400 in
+  let kts = period_multiples ~quick in
+  let rs = rates ~quick in
+  let n_r = Array.length rs in
+  let pool = Common.sweep_pool ~steps_per_phase:12 ~phases inst pool in
+  let cells =
+    Pool.parallel_map ~pool
+      (fun idx ->
+        let t = kts.(idx / n_r) *. t0 and rate = rs.(idx mod n_r) in
+        run_cell inst policy ~t ~phases ~rate)
+      (Array.init (Array.length kts * n_r) Fun.id)
+  in
+  let cell i j = cells.((i * n_r) + j) in
+  let cost =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E19  Excess social cost under edge outages (parallel-4, \
+            uniform-linear, T in multiples of t0=%.3g, %d phases, mttr=%g \
+            phases; mean potential gap over the run, x the outage-free \
+            mean)"
+           t0 phases mttr)
+      ~columns:
+        ("T\\rate"
+        :: Array.to_list
+             (Array.map
+                (fun r ->
+                  if r = 0. then "clean mean gap" else Printf.sprintf "%g" r)
+                rs))
+  in
+  Array.iteri
+    (fun i kt ->
+      let clean_mean = mean (cell i 0).gaps in
+      Table.add_row cost
+        (Printf.sprintf "%g x t0" kt
+        :: Array.to_list
+             (Array.init n_r (fun j ->
+                  if j = 0 then Printf.sprintf "%.4g" clean_mean
+                  else
+                    Printf.sprintf "%.2fx" (mean (cell i j).gaps /. clean_mean)))
+        ))
+    kts;
+  let lag =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E19  Recovery lag after full repair (parallel-4; sim time until \
+            the potential gap halves from its value at repair, floored at \
+            2x the clean steady band; one phase = T; 'c' = censored by the \
+            next outage or the horizon)")
+      ~columns:
+        ("T\\rate"
+        :: Array.to_list
+             (Array.init (n_r - 1) (fun j -> Printf.sprintf "%g" rs.(j + 1))))
+  in
+  Array.iteri
+    (fun i kt ->
+      let band = recovery_threshold (cell i 0) in
+      let t = kt *. t0 in
+      Table.add_row lag
+        (Printf.sprintf "%g x t0" kt
+        :: Array.to_list
+             (Array.init (n_r - 1) (fun j ->
+                  let c = cell i (j + 1) in
+                  let lags, censored = recovery_lags ~band c in
+                  match lags with
+                  | [] -> Printf.sprintf "- (0/%dc, %d down)" censored c.edge_downs
+                  | _ ->
+                      Printf.sprintf "%.2f (%d/%dc, %d down)"
+                        (t *. mean (Array.of_list (List.map float_of_int lags)))
+                        (List.length lags) censored c.edge_downs))))
+    kts;
+  [ cost; lag ]

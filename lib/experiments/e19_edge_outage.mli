@@ -1,0 +1,27 @@
+(** E19 (extension) — routing when the network itself fails.
+
+    The paper's network is fixed; only the information about it ages.
+    This experiment lets {e edges} fail and recover on the phase grid
+    (the topology-outage plan of [Staleroute_dynamics.Faults],
+    DESIGN.md §14) and measures graceful degradation on a four-link
+    parallel workload where every outage leaves a detour:
+
+    - {b Excess social cost} vs update period [T] and per-edge outage
+      rate: the time-averaged potential gap, relative to the outage-free
+      run at the same period.  Cost grows with both knobs — staler
+      boards strand flow on dead paths for longer (the board keeps
+      posting a dead edge until the next successful re-post ages out).
+    - {b Recovery lag} after full repair: sim time until the potential
+      gap halves from its value at repair (floored at twice the clean
+      run's steady band), censored by the next outage.  Longer periods
+      recover more slowly in sim time — one phase of staleness costs
+      [T] — the stale analogue of the paper's convergence-time scaling
+      in [T]. *)
+
+val tables :
+  ?pool:Staleroute_util.Pool.t ->
+  ?quick:bool ->
+  unit ->
+  Staleroute_util.Table.t list
+(** [?pool] fans the sweep cells out as independent runs; results
+    refold in index order, so output is identical at any pool width. *)

@@ -27,6 +27,8 @@ type event =
       path_count : int;
     }
   | Fault_injected of { time : float; index : int; kind : string; arg : float }
+  | Edge_down of { time : float; index : int; edge : int }
+  | Edge_up of { time : float; index : int; edge : int }
   | Guard_trip of {
       time : float;
       index : int;

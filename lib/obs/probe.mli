@@ -66,10 +66,20 @@ type event =
           ["noise"], [arg] the fault parameter (delay fraction, refresh
           fraction, noise sigma; [0.] for drops).  Stamped with sim
           time like every other event. *)
+  | Edge_down of { time : float; index : int; edge : int }
+      (** the outage plan killed [edge] at phase (or update round)
+          [index] — the board will post it at [Faults.dead_latency]
+          until it recovers. *)
+  | Edge_up of { time : float; index : int; edge : int }
+      (** the outage plan repaired [edge]; the next landing post shows
+          its true latency again. *)
   | Guard_trip of {
       time : float;
       index : int;  (** phase or round index of the boundary check *)
-      action : string;  (** ["repair"] or ["ignore"] *)
+      action : string;
+          (** ["repair"], ["ignore"], or ["partition"] (an outage left
+              a commodity with no surviving path — not repairable, so
+              Repair and Ignore guards both just record it) *)
       worst : float;  (** largest observed feasibility error; [nan]
                           when a non-finite entry tripped the guard *)
     }  (** a numeric guardrail found an unhealthy flow at a phase

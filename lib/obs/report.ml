@@ -24,6 +24,30 @@ let faults_injected t =
   count t (function Probe.Fault_injected _ -> true | _ -> false)
 
 let guard_trips t = count t (function Probe.Guard_trip _ -> true | _ -> false)
+let edge_downs t = count t (function Probe.Edge_down _ -> true | _ -> false)
+let edge_ups t = count t (function Probe.Edge_up _ -> true | _ -> false)
+
+(* Per-kind fault tally for the faults section: the four board-fault
+   kinds in plan order, then the topology-outage transitions.  Kinds
+   that never fired are omitted, so clean-run reports are unchanged. *)
+let fault_kind_counts t =
+  let board =
+    List.filter_map
+      (fun k ->
+        let n =
+          count t (function
+            | Probe.Fault_injected { kind; _ } -> String.equal kind k
+            | _ -> false)
+        in
+        if n > 0 then Some (k, n) else None)
+      [ "drop"; "delay"; "partial"; "noise" ]
+  in
+  let outage =
+    List.filter_map
+      (fun (k, n) -> if n > 0 then Some (k, n) else None)
+      [ ("edge down", edge_downs t); ("edge up", edge_ups t) ]
+  in
+  board @ outage
 
 let path_growths t =
   count t (function Probe.Path_growth _ -> true | _ -> false)
@@ -121,6 +145,15 @@ let to_string t =
   dist_row summary "per-phase virtual gain" (virtual_gain_series t);
   Buffer.add_string buf (Table.to_string summary);
   Buffer.add_char buf '\n';
+  (match fault_kind_counts t with
+  | [] -> ()
+  | kinds ->
+      let ft = Table.create ~title:"faults" ~columns:[ "kind"; "count" ] in
+      List.iter
+        (fun (k, n) -> Table.add_row ft [ k; string_of_int n ])
+        kinds;
+      Buffer.add_string buf (Table.to_string ft);
+      Buffer.add_char buf '\n');
   (match t.snapshot with
   | None -> ()
   | Some snap ->

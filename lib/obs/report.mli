@@ -32,6 +32,19 @@ val faults_injected : t -> int
 val guard_trips : t -> int
 (** Number of [Guard_trip] events. *)
 
+val edge_downs : t -> int
+(** Number of [Edge_down] events (topology-outage edge failures). *)
+
+val edge_ups : t -> int
+(** Number of [Edge_up] events (topology-outage edge repairs). *)
+
+val fault_kind_counts : t -> (string * int) list
+(** Per-kind fault tally: the board-fault kinds (["drop"], ["delay"],
+    ["partial"], ["noise"]) that fired, in plan order, followed by
+    ["edge down"] / ["edge up"] outage transitions.  Empty for a clean
+    run — {!to_string} renders it as a separate faults table only when
+    non-empty, so clean-run reports are unchanged. *)
+
 (** {1 Derived series} *)
 
 val potential_series : t -> (float * float) array
@@ -47,8 +60,9 @@ val virtual_gain_series : t -> float array
 
 val to_string : t -> string
 (** The rendered report: a run-summary table, a per-phase [ΔΦ]
-    distribution, the metrics snapshot table when one was supplied, and
-    an ASCII sparkline of the potential gap [Φ(t) − min Φ]. *)
+    distribution, a per-kind faults table when any fault fired, the
+    metrics snapshot table when one was supplied, and an ASCII
+    sparkline of the potential gap [Φ(t) − min Φ]. *)
 
 val print : t -> unit
 (** [to_string] to stdout. *)

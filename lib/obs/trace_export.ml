@@ -71,6 +71,22 @@ let event_to_json = function
           ("kind", Json.String kind);
           ("arg", Json.Float arg);
         ]
+  | Probe.Edge_down { time; index; edge } ->
+      Json.Obj
+        [
+          ("ev", Json.String "edge_down");
+          ("time", Json.Float time);
+          ("index", Json.Int index);
+          ("edge", Json.Int edge);
+        ]
+  | Probe.Edge_up { time; index; edge } ->
+      Json.Obj
+        [
+          ("ev", Json.String "edge_up");
+          ("time", Json.Float time);
+          ("index", Json.Int index);
+          ("edge", Json.Int edge);
+        ]
   | Probe.Guard_trip { time; index; action; worst } ->
       Json.Obj
         [
@@ -150,6 +166,16 @@ let event_of_json json =
       let* kind = field "kind" Json.to_str json in
       let* arg = field "arg" Json.to_float json in
       Ok (Probe.Fault_injected { time; index; kind; arg })
+  | "edge_down" ->
+      let* time = field "time" Json.to_float json in
+      let* index = field "index" Json.to_int json in
+      let* edge = field "edge" Json.to_int json in
+      Ok (Probe.Edge_down { time; index; edge })
+  | "edge_up" ->
+      let* time = field "time" Json.to_float json in
+      let* index = field "index" Json.to_int json in
+      let* edge = field "edge" Json.to_int json in
+      Ok (Probe.Edge_up { time; index; edge })
   | "guard_trip" ->
       let* time = field "time" Json.to_float json in
       let* index = field "index" Json.to_int json in

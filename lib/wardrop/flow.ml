@@ -93,6 +93,52 @@ let project inst f =
   project_ inst g;
   g
 
+(* Evacuation under an edge outage (DESIGN.md §14).  Like [project_]
+   this is a per-commodity renormalisation, but the support shrinks to
+   the surviving paths: dead paths are zeroed and the commodity's
+   demand is re-spread over the alive ones — proportionally when they
+   still carry mass, uniformly when all mass sat on dead paths.  A
+   commodity whose every path is dead is left untouched (there is
+   nowhere to move the mass) and reported to the caller, whose guard
+   decides. *)
+let evacuate inst ~dead f =
+  let partitioned = ref [] in
+  for ci = Instance.commodity_count inst - 1 downto 0 do
+    let ps = Instance.paths_of_commodity inst ci in
+    let n = Array.length ps in
+    let dead_mass = ref 0. in
+    let alive = ref 0 in
+    for j = 0 to n - 1 do
+      let p = Array.unsafe_get ps j in
+      if dead p then dead_mass := !dead_mass +. Vec.get f p else incr alive
+    done;
+    if !alive = 0 then partitioned := ci :: !partitioned
+    else if !dead_mass <> 0. then begin
+      let alive_mass = ref 0. in
+      for j = 0 to n - 1 do
+        let p = Array.unsafe_get ps j in
+        if dead p then Vec.set f p 0.
+        else alive_mass := !alive_mass +. Vec.get f p
+      done;
+      let r = Instance.demand inst ci in
+      if !alive_mass > 0. then begin
+        let scale = r /. !alive_mass in
+        for j = 0 to n - 1 do
+          let p = Array.unsafe_get ps j in
+          if not (dead p) then Vec.set f p (Vec.get f p *. scale)
+        done
+      end
+      else begin
+        let share = r /. float_of_int !alive in
+        for j = 0 to n - 1 do
+          let p = Array.unsafe_get ps j in
+          if not (dead p) then Vec.set f p share
+        done
+      end
+    end
+  done;
+  !partitioned
+
 let edge_flows inst f =
   let fe = Array.make (Staleroute_graph.Digraph.edge_count (Instance.graph inst)) 0. in
   let offsets = Instance.csr_offsets inst and edges = Instance.csr_edges inst in

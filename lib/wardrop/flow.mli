@@ -39,6 +39,18 @@ val project_ : Instance.t -> t -> unit
     integrator hot path uses.  Numeric health of internal state is the
     job of [Staleroute_dynamics.Guard], not of this function. *)
 
+val evacuate : Instance.t -> dead:(int -> bool) -> t -> int list
+(** [evacuate inst ~dead f] moves flow off dead paths, in place: for
+    each commodity, paths with [dead p = true] are zeroed and the
+    demand is restored over the surviving paths — rescaled
+    proportionally when they carry positive mass, spread uniformly when
+    the entire commodity sat on dead paths.  A commodity with {e no}
+    surviving path is left bit-untouched and its index is returned
+    (ascending) for the caller's guard to judge; commodities with no
+    mass on dead paths are also left bit-untouched (a zero-rate outage
+    is bitwise inert).  The result is feasible whenever the input was,
+    modulo the commodities returned. *)
+
 (** {1 Observations} *)
 
 val edge_flows : Instance.t -> t -> float array

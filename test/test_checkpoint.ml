@@ -115,6 +115,74 @@ let test_load_missing () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "loading a missing file should fail"
 
+(* Corruption detection: the payload digest must turn silent file
+   damage into a one-line typed error. *)
+let test_corruption_refused () =
+  let c, _, _ = capture_checkpoint ~every:3 8 in
+  let path = Filename.temp_file "staleroute_ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Checkpoint.save ~path c;
+      let original = In_channel.with_open_bin path In_channel.input_all in
+      check_true "digest serialised"
+        (Str_contains.contains original "\"digest\":\"");
+      let write s =
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc s)
+      in
+      let refuse label =
+        match Checkpoint.load ~path with
+        | Error e ->
+            check_true (label ^ " error is one line")
+              (not (String.contains e '\n'))
+        | Ok _ -> Alcotest.fail (label ^ " accepted")
+      in
+      write "";
+      refuse "empty file";
+      write (String.sub original 0 (String.length original / 2));
+      refuse "truncated file";
+      (* A flipped digit inside the payload still parses as JSON — only
+         the digest catches it. *)
+      let key = "\"next_phase\":" in
+      let pos =
+        let n = String.length key and h = String.length original in
+        let rec scan i =
+          if i + n > h then Alcotest.fail "next_phase not serialised"
+          else if String.sub original i n = key then i + n
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      let b = Bytes.of_string original in
+      let d = Bytes.get b pos in
+      check_true "flipping a digit" (d >= '0' && d <= '9');
+      Bytes.set b pos (if d = '9' then '8' else Char.chr (Char.code d + 1));
+      write (Bytes.to_string b);
+      (match Checkpoint.load ~path with
+      | Error e ->
+          check_true "bit-flip error names the digest"
+            (Str_contains.contains e "digest")
+      | Ok _ -> Alcotest.fail "bit-flipped payload accepted");
+      (* Stripping the digest field entirely is also refused. *)
+      (match Checkpoint.of_json (Checkpoint.to_json c) with
+      | Error e -> Alcotest.failf "pristine decode failed: %s" e
+      | Ok _ -> ());
+      match Checkpoint.to_json c with
+      | Json.Obj fields -> (
+          let stripped =
+            Json.Obj
+              (List.filter
+                 (fun (k, _) -> not (String.equal k "digest"))
+                 fields)
+          in
+          match Checkpoint.of_json stripped with
+          | Error e ->
+              check_true "missing digest refused"
+                (Str_contains.contains e "digest")
+          | Ok _ -> Alcotest.fail "digest-less checkpoint accepted")
+      | _ -> Alcotest.fail "checkpoint encodes to an object")
+
 let resume_replays ?faults () =
   let inst = inst () in
   let phases = 10 in
@@ -364,6 +432,7 @@ let suite =
     case "of_json rejects garbage" test_of_json_rejects_garbage;
     case "save/load" test_save_load;
     case "load missing file" test_load_missing;
+    case "corrupt files refused" test_corruption_refused;
     case "resume replays the run" test_resume_replays;
     case "resume replays a faulted run" test_resume_replays_faulted;
     case "resume validates the snapshot" test_resume_validates;

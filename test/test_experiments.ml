@@ -367,6 +367,41 @@ let test_e18_shape () =
         rows
   | _ -> Alcotest.fail "e18 must produce one table"
 
+let test_e19_shape () =
+  match E19_edge_outage.tables ~quick:true () with
+  | [ cost; lag ] ->
+      (* Regime-independent facts: outages strictly raise the mean
+         potential gap at every period, and every lag cell saw edge
+         failures. *)
+      let cost_rows = rows_of cost in
+      check_int "one cost row per period multiple" 2 (List.length cost_rows);
+      List.iter
+        (fun row ->
+          check_true "clean mean gap is positive" (float_cell row 1 > 0.);
+          List.iteri
+            (fun i cell ->
+              if i >= 2 then begin
+                let ratio =
+                  (* "%0.2fx" cells: strip the trailing x. *)
+                  float_of_string (String.sub cell 0 (String.length cell - 1))
+                in
+                check_true "outage raises the mean gap" (ratio > 1.)
+              end)
+            row)
+        cost_rows;
+      let lag_rows = rows_of lag in
+      check_int "one lag row per period multiple" 2 (List.length lag_rows);
+      List.iter
+        (fun row ->
+          List.iteri
+            (fun i cell ->
+              if i >= 1 then
+                check_true "every outage cell saw failures"
+                  (Str_contains.contains cell "down"))
+            row)
+        lag_rows
+  | _ -> Alcotest.fail "e19 must produce two tables"
+
 let suite =
   [
     case "instances well-formed" test_common_instances_well_formed;
@@ -392,4 +427,5 @@ let suite =
     slow_case "E16 end-to-end" test_e16_shape;
     slow_case "E17 end-to-end" test_e17_shape;
     slow_case "E18 end-to-end" test_e18_shape;
+    slow_case "E19 end-to-end" test_e19_shape;
   ]

@@ -214,6 +214,67 @@ let prop_project_in_place_propagates_nan =
       Flow.project_ inst f;
       not (Vec.for_all Float.is_finite f))
 
+(* --- Evacuation off dead paths (topology outages, DESIGN.md §14) --- *)
+
+let test_evacuate_no_dead_is_inert () =
+  let inst = Common.parallel 4 in
+  let r = rng () in
+  let f = Flow.random inst r in
+  let before = Vec.to_array f in
+  let partitioned = Flow.evacuate inst ~dead:(fun _ -> false) f in
+  check_true "no partition" (partitioned = []);
+  check_true "flow bit-untouched"
+    (Array.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       before (Vec.to_array f))
+
+let test_evacuate_rescales_proportionally () =
+  let inst = Common.parallel 4 in
+  let f = vec [| 0.4; 0.2; 0.3; 0.1 |] in
+  let partitioned = Flow.evacuate inst ~dead:(fun p -> p = 0) f in
+  check_true "no partition" (partitioned = []);
+  check_close "dead path zeroed" 0. (Vec.get f 0);
+  check_true "still feasible" (Flow.is_feasible ~tol:1e-12 inst f);
+  (* Survivors keep their relative proportions: 0.2:0.3:0.1 scaled by
+     1/0.6. *)
+  check_close ~eps:1e-12 "survivor 1" (0.2 /. 0.6) (Vec.get f 1);
+  check_close ~eps:1e-12 "survivor 2" (0.3 /. 0.6) (Vec.get f 2);
+  check_close ~eps:1e-12 "survivor 3" (0.1 /. 0.6) (Vec.get f 3)
+
+let test_evacuate_uniform_when_alive_mass_zero () =
+  let inst = Common.parallel 4 in
+  let f = vec [| 0.5; 0.5; 0.; 0. |] in
+  let partitioned = Flow.evacuate inst ~dead:(fun p -> p < 2) f in
+  check_true "no partition" (partitioned = []);
+  check_true "still feasible" (Flow.is_feasible ~tol:1e-12 inst f);
+  check_close "uniform split on the zero-mass survivors" 0.5 (Vec.get f 2);
+  check_close "uniform split on the zero-mass survivors" 0.5 (Vec.get f 3)
+
+let test_evacuate_reports_partition () =
+  let inst = Common.parallel 3 in
+  let f = Flow.uniform inst in
+  let before = Vec.to_array f in
+  let partitioned = Flow.evacuate inst ~dead:(fun _ -> true) f in
+  check_true "commodity reported partitioned" (partitioned = [ 0 ]);
+  check_true "partitioned flow left untouched"
+    (Array.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       before (Vec.to_array f))
+
+let test_evacuate_multi_commodity () =
+  let inst = Common.two_commodity () in
+  let f = Flow.uniform inst in
+  (* Kill every path of commodity 1 but none of commodity 0. *)
+  let c1 = Array.to_list (Array.map (fun p -> p)
+      (Instance.paths_of_commodity inst 1)) in
+  let partitioned = Flow.evacuate inst ~dead:(fun p -> List.mem p c1) f in
+  check_true "only commodity 1 partitioned" (partitioned = [ 1 ]);
+  Array.iter
+    (fun p ->
+      check_close "commodity 0 untouched" (Vec.get (Flow.uniform inst) p)
+        (Vec.get f p))
+    (Instance.paths_of_commodity inst 0)
+
 let suite =
   [
     case "uniform feasible" test_uniform_feasible;
@@ -235,4 +296,9 @@ let suite =
     case "project rejects non-finite" test_project_rejects_non_finite;
     prop_project_rejects_any_non_finite;
     prop_project_in_place_propagates_nan;
+    case "evacuate: no dead paths inert" test_evacuate_no_dead_is_inert;
+    case "evacuate: proportional rescale" test_evacuate_rescales_proportionally;
+    case "evacuate: uniform fallback" test_evacuate_uniform_when_alive_mass_zero;
+    case "evacuate: partition reported" test_evacuate_reports_partition;
+    case "evacuate: multi-commodity" test_evacuate_multi_commodity;
   ]

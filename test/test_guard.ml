@@ -156,6 +156,95 @@ let test_driver_unguarded_nan_propagates () =
     (not
        (Staleroute_util.Vec.for_all Float.is_finite result.Driver.final_flow))
 
+(* --- Network partition (topology outages, DESIGN.md §14) --- *)
+
+let test_partition_fail_fast () =
+  let inst = Common.braess () in
+  (match
+     Guard.check_partition ~guard:Guard.fail_fast inst ~index:4 ~time:2. [ 0 ]
+   with
+  | exception Guard.Unhealthy d ->
+      check_int "index recorded" 4 d.Guard.index;
+      check_close "time recorded" 2. d.Guard.time;
+      check_int "commodity recorded" 0 d.Guard.commodity;
+      check_true "cause is the partition"
+        (d.Guard.cause = Guard.Network_partitioned);
+      check_int "every path of the commodity listed" 3
+        (List.length d.Guard.paths)
+  | () -> Alcotest.fail "expected Guard.Unhealthy");
+  (* Without a guard a partition still dies — there is no silent
+     default for a commodity with no surviving path. *)
+  match Guard.check_partition inst ~index:0 ~time:0. [ 0 ] with
+  | exception Guard.Unhealthy d ->
+      check_true "cause is the partition"
+        (d.Guard.cause = Guard.Network_partitioned)
+  | () -> Alcotest.fail "expected Guard.Unhealthy without a guard"
+
+let test_partition_tolerant_policies_observe () =
+  let inst = Common.braess () in
+  List.iter
+    (fun guard ->
+      let buf = Probe.Memory.create () in
+      Guard.check_partition ~guard ~probe:(Probe.Memory.probe buf) inst
+        ~index:1 ~time:0.5 [ 0 ];
+      check_int "partition Guard_trip emitted" 1
+        (Probe.Memory.count buf (function
+          | Probe.Guard_trip { action = "partition"; worst; _ } ->
+              worst = Float.infinity
+          | _ -> false)))
+    [ Guard.repair; Guard.ignore_ ];
+  (* An empty partition list is free: no events, no raise. *)
+  let buf = Probe.Memory.create () in
+  Guard.check_partition ~guard:Guard.fail_fast ~probe:(Probe.Memory.probe buf)
+    inst ~index:0 ~time:0. [];
+  check_int "no events when nothing is partitioned" 0 (Probe.Memory.length buf)
+
+let outage_config phases =
+  {
+    Driver.policy = Policy.uniform_linear (Common.two_link ~beta:4.);
+    staleness = Driver.Stale 0.25;
+    phases;
+    steps_per_phase = 4;
+    scheme = Integrator.Rk4;
+  }
+
+let test_driver_partition_fail_fast () =
+  (* Outage rate 1: both links die at phase 0, stranding the commodity. *)
+  let inst = Common.two_link ~beta:4. in
+  let faults = Faults.plan (Faults.make ~outage:1. ~outage_mttr:4. ()) in
+  match
+    Driver.run ~faults ~guard:Guard.fail_fast inst (outage_config 3)
+      ~init:(Common.biased_start inst)
+  with
+  | exception Guard.Unhealthy d ->
+      check_int "trips at phase 0" 0 d.Guard.index;
+      check_true "cause is the partition"
+        (d.Guard.cause = Guard.Network_partitioned)
+  | _ -> Alcotest.fail "expected a partition trip from the driver"
+
+let test_driver_partition_ignore_survives () =
+  let inst = Common.two_link ~beta:4. in
+  let faults = Faults.plan (Faults.make ~outage:1. ~outage_mttr:4. ()) in
+  let buf = Probe.Memory.create () in
+  let result =
+    Driver.run
+      ~probe:(Probe.Memory.probe buf)
+      ~faults ~guard:Guard.ignore_ inst (outage_config 6)
+      ~init:(Common.biased_start inst)
+  in
+  check_true "run completes with a feasible flow"
+    (Flow.is_feasible ~tol:1e-9 inst result.Driver.final_flow);
+  check_true "edge failures announced"
+    (Probe.Memory.count buf (function
+       | Probe.Edge_down _ -> true
+       | _ -> false)
+    > 0);
+  check_true "partition trips announced"
+    (Probe.Memory.count buf (function
+       | Probe.Guard_trip { action = "partition"; _ } -> true
+       | _ -> false)
+    > 0)
+
 let suite =
   [
     case "of_string" test_of_string;
@@ -168,4 +257,8 @@ let suite =
     case "driver fail-fast" test_driver_fail_fast;
     case "driver repair keeps finite" test_driver_repair_keeps_finite;
     case "unguarded NaN propagates" test_driver_unguarded_nan_propagates;
+    case "partition fail-fast" test_partition_fail_fast;
+    case "partition tolerant policies" test_partition_tolerant_policies_observe;
+    case "driver partition fail-fast" test_driver_partition_fail_fast;
+    case "driver partition ignore survives" test_driver_partition_ignore_survives;
   ]

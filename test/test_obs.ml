@@ -149,6 +149,8 @@ let every_event_kind =
         path_count = 12;
       };
     Probe.Fault_injected { time = 2.75; index = 2; kind = "noise"; arg = 0.05 };
+    Probe.Edge_down { time = 2.75; index = 2; edge = 7 };
+    Probe.Edge_up { time = 2.8; index = 3; edge = 7 };
     Probe.Guard_trip { time = 2.8; index = 2; action = "repair"; worst = 1e-9 };
     Probe.Note { time = 3.; name = "phi gap"; value = 1e-6 };
   |]
@@ -454,6 +456,68 @@ let test_report_counts_and_series () =
   check_true "summary table present" (contains rendered "run summary");
   check_true "sparkline present" (contains rendered "potential gap")
 
+let test_report_faults_section () =
+  (* A faulted run (board faults + topology outages) must grow a
+     per-kind faults table; the counts come off the recorded trace,
+     which is what `trace_tool summary` reads. *)
+  let inst = Common.two_link ~beta:4. in
+  let config =
+    driver_config ~phases:24 (Policy.uniform_linear inst) (Driver.Stale 0.25)
+  in
+  let faults =
+    Faults.plan
+      (Faults.make ~drop:0.3 ~outage:0.25 ~outage_mttr:2. ~outage_seed:5
+         ~seed:42 ())
+  in
+  let buf = Probe.Memory.create () in
+  let _ =
+    Driver.run
+      ~probe:(Probe.Memory.probe buf)
+      ~faults ~guard:Guard.ignore_ inst config
+      ~init:(Common.biased_start inst)
+  in
+  let report = Report.of_events (Probe.Memory.events buf) in
+  check_true "edge failures recorded" (Report.edge_downs report > 0);
+  check_true "edge repairs recorded" (Report.edge_ups report > 0);
+  let kinds = Report.fault_kind_counts report in
+  check_true "drop kind tallied" (List.mem_assoc "drop" kinds);
+  check_int "edge down tally matches"
+    (Report.edge_downs report)
+    (List.assoc "edge down" kinds);
+  check_int "edge up tally matches"
+    (Report.edge_ups report)
+    (List.assoc "edge up" kinds);
+  let rendered = Report.to_string report in
+  check_true "faults table present" (contains rendered "faults");
+  check_true "edge down row present" (contains rendered "edge down");
+  (* The same counts must come off a recorded trace — write the run's
+     events to a JSONL file and rebuild the report the way
+     `trace_tool summary` does. *)
+  let path = Filename.temp_file "test_obs_faults" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Trace_export.write_trace oc (Probe.Memory.events buf);
+      close_out oc;
+      match Trace_reader.read_file path with
+      | Error e -> Alcotest.failf "recorded trace unreadable: %s" e
+      | Ok (_, events) ->
+          let reread = Report.of_events (Array.of_list events) in
+          check_int "recorded trace: edge downs survive the round-trip"
+            (Report.edge_downs report)
+            (Report.edge_downs reread);
+          check_true "recorded trace: same faults table"
+            (Report.fault_kind_counts reread
+            = Report.fault_kind_counts report));
+  (* Clean runs keep the old report shape. *)
+  let clean_buf, _ =
+    captured_run inst config ~init:(Common.biased_start inst)
+  in
+  let clean = Report.of_events (Probe.Memory.events clean_buf) in
+  check_true "clean run has no faults section"
+    (Report.fault_kind_counts clean = [])
+
 let test_report_zero_phases () =
   (* A report over an empty (or phase-free) trace must render, not
      crash on empty series. *)
@@ -547,6 +611,7 @@ let suite =
     case "discrete events" test_discrete_events;
     case "simulator probe counts" test_simulator_probe_counts;
     case "report counts and series" test_report_counts_and_series;
+    case "report faults section" test_report_faults_section;
     case "report renders zero phases" test_report_zero_phases;
     prop_report_series_matches_trajectory;
     case "disabled probe allocation-free" test_disabled_probe_allocation_free;
